@@ -1,0 +1,140 @@
+//! The library-based compiler: lowers a shared-index layer onto the
+//! accelerator as a VLIW instruction stream.
+//!
+//! Tiling follows the paper's buffer discipline: input neurons are split
+//! into NBin-half-sized tiles (loaded once each); for every tile the
+//! output groups stream their synapse-index and compact-weight slices
+//! through the SIB/SBs while partial sums accumulate in NBout; outputs
+//! are stored once every group has seen every tile.
+
+use cs_compress::format::SharedIndexLayer;
+
+use crate::config::AccelConfig;
+use crate::isa::{Instruction, Program};
+use crate::pe::Activation;
+
+/// Compiles one layer into a program.
+///
+/// Tiles are `cfg.nbin_neurons()` wide (half the ping-pong NBin). The
+/// instruction order is `tile -> [load index, load synapses, compute] per
+/// group`, with activation and store once at the end.
+pub fn compile_layer(
+    layer: &SharedIndexLayer,
+    cfg: &AccelConfig,
+    activation: Activation,
+) -> Program {
+    let tile = cfg.nbin_neurons().max(1);
+    let mut instrs = Vec::new();
+    let mut offset = 0usize;
+    while offset < layer.n_in {
+        let len = tile.min(layer.n_in - offset);
+        instrs.push(Instruction::LoadNeurons { offset, len });
+        for g in 0..layer.groups.len() {
+            instrs.push(Instruction::LoadIndex {
+                group: g,
+                offset,
+                len,
+            });
+            instrs.push(Instruction::LoadSynapses {
+                group: g,
+                offset,
+                len,
+            });
+            instrs.push(Instruction::Compute {
+                group: g,
+                offset,
+                len,
+            });
+        }
+        offset += len;
+    }
+    for g in 0..layer.groups.len() {
+        instrs.push(Instruction::Activate {
+            group: g,
+            activation,
+        });
+    }
+    // Store outputs in NBout-sized chunks.
+    let out_chunk = (cfg.nbout_bytes / 2 / cfg.neuron_bytes).max(1);
+    let mut first = 0usize;
+    while first < layer.n_out {
+        let count = out_chunk.min(layer.n_out - first);
+        instrs.push(Instruction::StoreOutputs { first, count });
+        first += count;
+    }
+    Program {
+        instrs,
+        n_in: layer.n_in,
+        n_out: layer.n_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_nn::init::{local_convergence, ConvergenceProfile};
+    use cs_sparsity::coarse::{self, CoarseConfig, PruneMetric};
+    use cs_tensor::Shape;
+
+    fn small_layer(n_in: usize, n_out: usize) -> SharedIndexLayer {
+        let w = local_convergence(
+            Shape::d2(n_in, n_out),
+            &ConvergenceProfile::with_target_density(0.25).with_block(16),
+            3,
+        );
+        let cfg = CoarseConfig::fc(16, 16, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, 0.25).unwrap();
+        SharedIndexLayer::from_fc("t", &w, &mask, 16, 4).unwrap()
+    }
+
+    #[test]
+    fn single_tile_program_structure() {
+        let layer = small_layer(64, 32);
+        let cfg = AccelConfig::paper_default();
+        let p = compile_layer(&layer, &cfg, Activation::Relu);
+        // 1 tile: LoadNeurons + 2 groups x 3 instrs + 2 activates + 1 store.
+        assert_eq!(p.len(), 1 + 2 * 3 + 2 + 1);
+        assert!(matches!(p.instrs[0], Instruction::LoadNeurons { .. }));
+        assert!(matches!(
+            p.instrs.last(),
+            Some(Instruction::StoreOutputs { .. })
+        ));
+    }
+
+    #[test]
+    fn large_input_is_tiled() {
+        let layer = small_layer(5000, 16);
+        let cfg = AccelConfig::paper_default();
+        let p = compile_layer(&layer, &cfg, Activation::None);
+        let loads = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instruction::LoadNeurons { .. }))
+            .count();
+        // 5000 inputs at 2048 per tile -> 3 tiles.
+        assert_eq!(loads, 3);
+        // Every tile computes every group.
+        let computes = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instruction::Compute { .. }))
+            .count();
+        assert_eq!(computes, 3 * layer.groups.len());
+    }
+
+    #[test]
+    fn tile_offsets_cover_input_exactly() {
+        let layer = small_layer(5000, 16);
+        let cfg = AccelConfig::paper_default();
+        let p = compile_layer(&layer, &cfg, Activation::None);
+        let total: usize = p
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instruction::LoadNeurons { len, .. } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 5000);
+    }
+}

@@ -1,0 +1,101 @@
+//! Accelerator configuration (the paper's Section V / Table VI build).
+
+/// Structural parameters of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// Number of PEs (`T_n`); each computes one output neuron at a time.
+    pub tn: usize,
+    /// Multipliers per PE (`T_m`); also the adder-tree fan-in.
+    pub tm: usize,
+    /// Input neuron buffer size in bytes (NBin, ping-pong total).
+    pub nbin_bytes: usize,
+    /// Output neuron buffer size in bytes (NBout).
+    pub nbout_bytes: usize,
+    /// Total synapse buffer size in bytes (all `T_n` SBs together).
+    pub sb_bytes: usize,
+    /// Synapse index buffer size in bytes (SIB).
+    pub sib_bytes: usize,
+    /// Instruction buffer size in bytes (IB).
+    pub ib_bytes: usize,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Bytes per 16-bit neuron value.
+    pub neuron_bytes: usize,
+}
+
+impl AccelConfig {
+    /// The paper's implementation: `T_m = T_n = 16`, 1 GHz, 53 KB SRAM
+    /// (NBin 8 KB, NBout 8 KB, SB 32 KB, SIB 1 KB), 512 GOP/s peak.
+    pub fn paper_default() -> Self {
+        AccelConfig {
+            tn: 16,
+            tm: 16,
+            nbin_bytes: 8 * 1024,
+            nbout_bytes: 8 * 1024,
+            sb_bytes: 32 * 1024,
+            sib_bytes: 1024,
+            ib_bytes: 4 * 1024,
+            freq_ghz: 1.0,
+            neuron_bytes: 2,
+        }
+    }
+
+    /// Candidate neurons the NSM scans per cycle (`16 · T_m`).
+    pub fn nsm_window(&self) -> usize {
+        16 * self.tm
+    }
+
+    /// Candidate synapses each PE's SB row supplies per cycle (`4 · T_m`).
+    pub fn ssm_candidates(&self) -> usize {
+        4 * self.tm
+    }
+
+    /// Peak MACs per cycle across the NFU (`T_n · T_m`).
+    pub fn peak_macs_per_cycle(&self) -> usize {
+        self.tn * self.tm
+    }
+
+    /// Peak throughput in GOP/s (2 ops per MAC).
+    pub fn peak_gops(&self) -> f64 {
+        2.0 * self.peak_macs_per_cycle() as f64 * self.freq_ghz
+    }
+
+    /// Neurons that fit in one NBin half (ping half of the pair).
+    pub fn nbin_neurons(&self) -> usize {
+        self.nbin_bytes / 2 / self.neuron_bytes
+    }
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        AccelConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_build_peaks_at_512_gops() {
+        let c = AccelConfig::paper_default();
+        assert_eq!(c.peak_macs_per_cycle(), 256);
+        assert!((c.peak_gops() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structural_widths() {
+        let c = AccelConfig::paper_default();
+        assert_eq!(c.nsm_window(), 256);
+        assert_eq!(c.ssm_candidates(), 64);
+        assert_eq!(c.nbin_neurons(), 2048);
+    }
+
+    #[test]
+    fn total_sram_is_53kb() {
+        let c = AccelConfig::paper_default();
+        let total =
+            c.nbin_bytes + c.nbout_bytes + c.sb_bytes + c.sib_bytes + c.ib_bytes;
+        assert_eq!(total / 1024, 53);
+    }
+}

@@ -1,0 +1,43 @@
+//! The Cambricon-S accelerator simulator.
+//!
+//! This crate models the accelerator of Section V at two levels:
+//!
+//! * **Functional** — [`nsm`], [`ssm`], [`pe`] and [`exec`] emulate the
+//!   actual bit-level selection logic (Fig. 12's neuron flags, indexing
+//!   strings, the SSM's MUX and the WDM's LUT decode) and produce real
+//!   output values, validated against the dense reference computation in
+//!   `cs-compress`/`cs-nn`.
+//! * **Timing** — [`timing`] is a cycle-approximate model driven by layer
+//!   geometry and sparsity, mirroring the pipeline's structural limits:
+//!   the NSM scans `16·T_m = 256` candidate neurons per cycle and emits
+//!   `T_m = 16` selected ones, each PE's SB row supplies `4·T_m = 64`
+//!   candidate synapses per cycle from which the SSM picks up to 16, and
+//!   each PEFU retires `T_m = 16` MACs per cycle. DMA is overlapped with
+//!   compute through `cs-sim`'s ping-pong scheduler.
+//!
+//! The VLIW-style control path (instruction set + compiler, Section V-C)
+//! lives in [`isa`] and [`compiler`]; the functional executor interprets
+//! compiled programs.
+//!
+//! # Example
+//!
+//! ```
+//! use cs_accel::config::AccelConfig;
+//! use cs_accel::timing::{simulate_layer, LayerTiming};
+//!
+//! let cfg = AccelConfig::paper_default();
+//! let layer = LayerTiming::fc(4096, 4096, 0.10, 0.60, 4);
+//! let run = simulate_layer(&cfg, &layer);
+//! assert!(run.stats.cycles > 0);
+//! ```
+
+pub mod compiler;
+pub mod config;
+pub mod exec;
+pub mod isa;
+pub mod nsm;
+pub mod pe;
+pub mod ssm;
+pub mod timing;
+
+pub use config::AccelConfig;

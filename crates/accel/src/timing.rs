@@ -1,0 +1,379 @@
+//! Cycle-approximate timing model for full-size layers.
+//!
+//! The functional executor is exact but walks every synapse; for the
+//! paper's full-scale workloads the experiments instead use this
+//! statistical model, which applies the same structural throughput rules
+//! to *expected* selection counts:
+//!
+//! * NSM scan: `16·T_m` candidate neurons per cycle, shared by all PEs;
+//! * NSM emit / PEFU: `T_m` selected neurons (= MACs per PE) per cycle;
+//! * SSM/SB supply: `4·T_m` static-survivor synapses per cycle per PE,
+//!   bounded by the WDM decode rate for the dictionary width;
+//! * DMA overlapped with compute through ping-pong buffering.
+
+use cs_nn::spec::{LayerSpec, LayerSpecKind};
+use cs_sim::{DramModel, OverlapScheduler, SimStats};
+
+use crate::config::AccelConfig;
+use crate::ssm;
+
+/// Shape + sparsity summary of one layer for the timing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTiming {
+    /// Layer name (reports only).
+    pub name: String,
+    /// Inputs per output computation (FC: `n_in`; conv: `n_fin·kx·ky`).
+    pub n_in: usize,
+    /// Outputs per position (FC: `n_out`; conv: `n_fout`).
+    pub n_out: usize,
+    /// Spatial positions (conv: `oh·ow`; FC/LSTM: timesteps or 1).
+    pub positions: usize,
+    /// Static synapse density (surviving / total).
+    pub static_density: f64,
+    /// Dynamic input-neuron density (non-zero fraction).
+    pub dynamic_density: f64,
+    /// Dictionary bits per stored weight (16 = uncompressed).
+    pub weight_bits: u8,
+    /// Total input activations loaded from DRAM.
+    pub input_neurons: usize,
+    /// Total output activations stored to DRAM.
+    pub output_neurons: usize,
+}
+
+impl LayerTiming {
+    /// A fully-connected layer.
+    pub fn fc(
+        n_in: usize,
+        n_out: usize,
+        static_density: f64,
+        dynamic_density: f64,
+        weight_bits: u8,
+    ) -> Self {
+        LayerTiming {
+            name: "fc".into(),
+            n_in,
+            n_out,
+            positions: 1,
+            static_density,
+            dynamic_density,
+            weight_bits,
+            input_neurons: n_in,
+            output_neurons: n_out,
+        }
+    }
+
+    /// A convolutional layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        n_fin: usize,
+        n_fout: usize,
+        k: usize,
+        oh: usize,
+        ow: usize,
+        in_h: usize,
+        in_w: usize,
+        static_density: f64,
+        dynamic_density: f64,
+        weight_bits: u8,
+    ) -> Self {
+        LayerTiming {
+            name: "conv".into(),
+            n_in: n_fin * k * k,
+            n_out: n_fout,
+            positions: oh * ow,
+            static_density,
+            dynamic_density,
+            weight_bits,
+            input_neurons: n_fin * in_h * in_w,
+            output_neurons: n_fout * oh * ow,
+        }
+    }
+
+    /// Builds a timing summary from a network-spec layer plus measured
+    /// sparsities.
+    ///
+    /// # Panics
+    ///
+    /// Panics for pooling layers (no MACs to time).
+    pub fn from_spec(
+        layer: &LayerSpec,
+        static_density: f64,
+        dynamic_density: f64,
+        weight_bits: u8,
+    ) -> Self {
+        match *layer.kind() {
+            LayerSpecKind::Conv {
+                n_fin,
+                n_fout,
+                kx,
+                in_h,
+                in_w,
+                groups,
+                ..
+            } => {
+                let (oh, ow) = layer.output_hw();
+                let mut t = LayerTiming::conv(
+                    n_fin / groups,
+                    n_fout,
+                    kx,
+                    oh,
+                    ow,
+                    in_h,
+                    in_w,
+                    static_density,
+                    dynamic_density,
+                    weight_bits,
+                );
+                t.name = layer.name().to_string();
+                t.input_neurons = n_fin * in_h * in_w;
+                t
+            }
+            LayerSpecKind::Fc { n_in, n_out } => {
+                let mut t =
+                    LayerTiming::fc(n_in, n_out, static_density, dynamic_density, weight_bits);
+                t.name = layer.name().to_string();
+                t
+            }
+            LayerSpecKind::Lstm {
+                n_in,
+                n_hidden,
+                seq_len,
+            } => LayerTiming {
+                name: layer.name().to_string(),
+                n_in: n_in + n_hidden,
+                n_out: 4 * n_hidden,
+                positions: seq_len,
+                static_density,
+                dynamic_density,
+                weight_bits,
+                input_neurons: seq_len * (n_in + n_hidden),
+                output_neurons: seq_len * n_hidden,
+            },
+            LayerSpecKind::Pool { .. } => panic!("pooling layers are not timed"),
+        }
+    }
+
+    /// Surviving synapse count.
+    pub fn surviving_weights(&self) -> u64 {
+        ((self.n_in * self.n_out) as f64 * self.static_density).round() as u64
+    }
+
+    /// Dense MAC count for the whole layer.
+    pub fn dense_macs(&self) -> u64 {
+        (self.n_in * self.n_out * self.positions) as u64
+    }
+
+    /// Expected MACs actually executed with both sparsities exploited.
+    pub fn sparse_macs(&self) -> u64 {
+        (self.dense_macs() as f64 * self.static_density * self.dynamic_density).round() as u64
+    }
+}
+
+/// Result of a timing simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingRun {
+    /// Activity counters; `stats.cycles` is the overlapped total.
+    pub stats: SimStats,
+    /// Pure compute-pipeline cycles (no DMA).
+    pub compute_cycles: u64,
+    /// Pure DMA cycles (no compute).
+    pub dma_cycles: u64,
+}
+
+impl TimingRun {
+    /// Wall-clock time in microseconds at the configured frequency.
+    pub fn micros(&self, freq_ghz: f64) -> f64 {
+        self.stats.cycles as f64 / (freq_ghz * 1000.0)
+    }
+}
+
+/// Per-(position, group) compute cycles under the structural limits.
+pub fn group_cycles(
+    cfg: &AccelConfig,
+    n_in: usize,
+    static_survivors: usize,
+    needed: usize,
+    weight_bits: u8,
+) -> u64 {
+    let scan = n_in.div_ceil(cfg.nsm_window()) as u64;
+    let supply = ssm::supply_cycles(static_survivors, cfg.tm, weight_bits);
+    let pefu = (needed.div_ceil(cfg.tm) as u64).max(1);
+    scan.max(supply).max(pefu)
+}
+
+/// Simulates one layer on Cambricon-S, exploiting both sparsities.
+pub fn simulate_layer(cfg: &AccelConfig, layer: &LayerTiming) -> TimingRun {
+    simulate_layer_with(cfg, layer, &DramModel::paper_default())
+}
+
+/// Simulates one layer with an explicit DRAM model.
+pub fn simulate_layer_with(
+    cfg: &AccelConfig,
+    layer: &LayerTiming,
+    dram: &DramModel,
+) -> TimingRun {
+    let groups = layer.n_out.div_ceil(cfg.tn);
+    let static_surv = (layer.n_in as f64 * layer.static_density).round() as usize;
+    let needed = (static_surv as f64 * layer.dynamic_density).round() as usize;
+    let per_group = group_cycles(cfg, layer.n_in, static_surv, needed, layer.weight_bits);
+    let compute_cycles = per_group * groups as u64 * layer.positions as u64;
+
+    // DMA traffic: weights and indexes once, activations once.
+    let weight_bytes =
+        (layer.surviving_weights() * u64::from(layer.weight_bits)).div_ceil(8);
+    // Codebook LUTs: one 2^bits-entry, 16-bit table per ~16K weights.
+    let lut_bytes = if layer.weight_bits < 16 {
+        let luts = layer.surviving_weights().div_ceil(16_384).max(1);
+        luts * (1u64 << layer.weight_bits.min(12)) * 2
+    } else {
+        0
+    };
+    let index_bytes = (groups as u64 * layer.n_in as u64).div_ceil(8);
+    let in_bytes = (layer.input_neurons * cfg.neuron_bytes) as u64;
+    let out_bytes = (layer.output_neurons * cfg.neuron_bytes) as u64;
+    let read_bytes = weight_bytes + lut_bytes + index_bytes + in_bytes;
+    let load_cycles = dram.stream_cycles(read_bytes);
+    let store_cycles = dram.stream_cycles(out_bytes);
+    let dma_cycles = load_cycles + store_cycles;
+
+    // Overlap via ping-pong buffering across virtual tiles.
+    let mut sched = OverlapScheduler::new();
+    let tiles = 16u64;
+    for _ in 0..tiles {
+        sched.tile(
+            load_cycles / tiles,
+            compute_cycles / tiles,
+            store_cycles / tiles,
+        );
+    }
+    let cycles = sched.finish() + dram.latency_cycles;
+
+    let macs = layer.positions as u64 * layer.n_out as u64 * needed as u64;
+    let stats = SimStats {
+        cycles,
+        macs,
+        dram_read_bytes: read_bytes,
+        dram_write_bytes: out_bytes,
+        nbin_bytes: (layer.positions * groups * layer.n_in * cfg.neuron_bytes) as u64,
+        nbout_bytes: 2 * (layer.positions * layer.n_out * cfg.neuron_bytes) as u64,
+        sb_bytes: (layer.positions as u64)
+            * (layer.n_out as u64)
+            * ((static_surv as u64 * u64::from(layer.weight_bits)).div_ceil(8)),
+        sib_bytes: (layer.positions * groups * layer.n_in / 8) as u64,
+        nsm_selections: (layer.positions * groups * needed) as u64,
+        ssm_selections: macs,
+        wdm_decodes: (layer.positions * layer.n_out * static_surv) as u64,
+    };
+    TimingRun {
+        stats,
+        compute_cycles,
+        dma_cycles,
+    }
+}
+
+/// Simulates the accelerator running the *dense* representation
+/// (ACC-dense): no sparsity exploited, 16-bit weights.
+pub fn simulate_layer_dense(cfg: &AccelConfig, layer: &LayerTiming) -> TimingRun {
+    let dense = LayerTiming {
+        static_density: 1.0,
+        dynamic_density: 1.0,
+        weight_bits: 16,
+        ..layer.clone()
+    };
+    simulate_layer(cfg, &dense)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AccelConfig {
+        AccelConfig::paper_default()
+    }
+
+    #[test]
+    fn dense_fc_is_memory_bound() {
+        // AlexNet fc6 dense: 37.7M weights at 16-bit = 75.5MB.
+        let l = LayerTiming::fc(9216, 4096, 1.0, 1.0, 16);
+        let run = simulate_layer(&cfg(), &l);
+        assert!(run.dma_cycles > run.compute_cycles);
+        // ~75MB / 256 B/cycle ≈ 295k cycles.
+        assert!(run.stats.cycles > 290_000);
+    }
+
+    #[test]
+    fn sparse_fc_much_faster_than_dense() {
+        let dense = simulate_layer(&cfg(), &LayerTiming::fc(9216, 4096, 1.0, 1.0, 16));
+        let sparse = simulate_layer(&cfg(), &LayerTiming::fc(9216, 4096, 0.1, 0.6, 4));
+        let speedup = dense.stats.cycles as f64 / sparse.stats.cycles as f64;
+        assert!(speedup > 10.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn conv_sparse_speedup_bounded_by_16x() {
+        // Fig. 21: the NSM selects 16 of 256, so conv speedup saturates
+        // near 16x.
+        let dense = simulate_layer_dense(
+            &cfg(),
+            &LayerTiming::conv(256, 384, 3, 13, 13, 13, 13, 1.0, 1.0, 16),
+        );
+        let very_sparse = simulate_layer(
+            &cfg(),
+            &LayerTiming::conv(256, 384, 3, 13, 13, 13, 13, 0.02, 0.5, 8),
+        );
+        let speedup = dense.stats.cycles as f64 / very_sparse.stats.cycles as f64;
+        assert!(speedup <= 16.5, "speedup {speedup}");
+        assert!(speedup > 8.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn group_cycles_limits() {
+        let c = cfg();
+        // Scan-limited: huge window, almost nothing selected.
+        assert_eq!(group_cycles(&c, 2560, 10, 5, 4), 10);
+        // Supply-limited: dynamic density below 25%.
+        assert_eq!(group_cycles(&c, 256, 640, 16, 4), 10);
+        // PEFU-limited.
+        assert_eq!(group_cycles(&c, 256, 320, 320, 4), 20);
+    }
+
+    #[test]
+    fn from_spec_conv_geometry() {
+        use cs_nn::spec::{Model, NetworkSpec, Scale};
+        let spec = NetworkSpec::model(Model::AlexNet, Scale::Full);
+        let conv2 = spec.layers().iter().find(|l| l.name() == "conv2").unwrap();
+        let t = LayerTiming::from_spec(conv2, 0.35, 0.6, 8);
+        assert_eq!(t.n_in, 48 * 25); // grouped conv
+        assert_eq!(t.n_out, 256);
+        assert_eq!(t.positions, 27 * 27);
+    }
+
+    #[test]
+    fn sparse_macs_expectation() {
+        let l = LayerTiming::fc(1000, 100, 0.1, 0.5, 4);
+        assert_eq!(l.dense_macs(), 100_000);
+        assert_eq!(l.sparse_macs(), 5_000);
+    }
+
+    #[test]
+    fn lstm_spec_timing() {
+        use cs_nn::spec::{Model, NetworkSpec, Scale};
+        let spec = NetworkSpec::model(Model::Lstm, Scale::Full);
+        let l = LayerTiming::from_spec(&spec.layers()[0], 0.125, 0.7, 4);
+        assert_eq!(l.positions, 20);
+        assert_eq!(l.n_in, 760 + 600);
+        assert_eq!(l.n_out, 4 * 600);
+        let run = simulate_layer(&cfg(), &l);
+        assert!(run.stats.cycles > 0);
+    }
+
+    #[test]
+    fn quantization_reduces_dma() {
+        let l16 = LayerTiming::fc(4096, 4096, 0.1, 1.0, 16);
+        let l4 = LayerTiming::fc(4096, 4096, 0.1, 1.0, 4);
+        let r16 = simulate_layer(&cfg(), &l16);
+        let r4 = simulate_layer(&cfg(), &l4);
+        assert!(r4.stats.dram_read_bytes * 3 < r16.stats.dram_read_bytes);
+        assert!(r4.stats.cycles < r16.stats.cycles);
+    }
+}

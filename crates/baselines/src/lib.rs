@@ -1,0 +1,29 @@
+//! Baseline platforms the paper compares Cambricon-S against.
+//!
+//! * [`diannao`] — DianNao: a dense 256-MAC accelerator with no sparsity
+//!   support (weights and zero activations are all fetched and computed).
+//! * [`cambricon_x`] — Cambricon-X: per-PE Indexing Modules exploit
+//!   *synapse* sparsity with fine-grained indexes, but dynamic neuron
+//!   sparsity and weight quantization are not supported.
+//! * [`eie`] — EIE: a fully-connected-layer accelerator keeping all
+//!   synapses in on-chip SRAM (Table VII comparison).
+//! * [`cnvlutin`] — Cnvlutin: dynamic neuron sparsity only.
+//! * [`scnn`] — SCNN: both sparsities, with coordinate-computation
+//!   overheads (79% of dense performance on dense networks).
+//! * [`cpu_gpu`] — analytic roofline models for CPU-Caffe / CPU-Sparse /
+//!   GPU-Caffe / GPU-cuBLAS / GPU-cuSparse (see DESIGN.md substitution
+//!   #4: constants are calibrated to the paper's reported gaps, since the
+//!   original Caffe/cuBLAS runs are not reproducible offline).
+//!
+//! All accelerator baselines consume the same [`cs_accel::timing::LayerTiming`]
+//! summaries as Cambricon-S itself, so comparisons are apples-to-apples.
+
+pub mod cambricon_x;
+pub mod cnvlutin;
+pub mod cpu_gpu;
+pub mod diannao;
+pub mod eie;
+pub mod scnn;
+
+pub use cambricon_x::simulate_layer as cambricon_x_layer;
+pub use diannao::simulate_layer as diannao_layer;

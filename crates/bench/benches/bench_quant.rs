@@ -1,0 +1,39 @@
+//! Micro-benchmarks of k-means clustering and local quantization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_quant::{kmeans_1d, quantize_global, quantize_local};
+
+fn values(n: usize) -> Vec<f32> {
+    let mut x = 42u64;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmeans_1d");
+    for n in [10_000usize, 100_000] {
+        let v = values(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| kmeans_1d(&v, 16, 25));
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let v = values(100_000);
+    c.bench_function("quantize_global_100k_4bit", |b| {
+        b.iter(|| quantize_global(&v, 4).unwrap());
+    });
+    c.bench_function("quantize_local_100k_4bit_8regions", |b| {
+        b.iter(|| quantize_local(&v, 4, 8).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_kmeans, bench_quantize);
+criterion_main!(benches);

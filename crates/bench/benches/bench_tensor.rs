@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the dense reference kernels.
+
+use cambricon_s::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_tensor::ops::{self, Conv2dGeometry};
+use cs_tensor::{Shape, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for n in [32usize, 128, 256] {
+        let a = Tensor::from_fn(Shape::d2(n, n), |i| (i % 17) as f32 * 0.1);
+        let b = Tensor::from_fn(Shape::d2(n, n), |i| (i % 13) as f32 * 0.1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ops::matmul(&a, &b).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let input = Tensor::from_fn(Shape::d3(16, 28, 28), |i| (i % 7) as f32 * 0.1);
+    let w = Tensor::from_fn(Shape::d4(16, 32, 3, 3), |i| (i % 5) as f32 * 0.01);
+    let geom = Conv2dGeometry::square(3, 1, 1);
+    c.bench_function("conv2d_16x32_28x28", |b| {
+        b.iter(|| ops::conv2d(&input, &w, None, &geom).unwrap());
+    });
+}
+
+fn bench_network_forward(c: &mut Criterion) {
+    let net = Network::small_cnn("bench", (3, 16, 16), 10, 3);
+    let x = Tensor::from_fn(Shape::d3(3, 16, 16), |i| (i % 11) as f32 * 0.1);
+    c.bench_function("small_cnn_forward", |b| {
+        b.iter(|| net.forward(&x).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv2d, bench_network_forward);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Regenerates every table and figure in one run, writing each artifact
+//! to `results/<experiment>.txt`.
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin exp_all -- --scale 2
+//! ```
+
+use cambricon_s::experiments::*;
+use cambricon_s::prelude::LayerClass;
+use std::fs;
+use std::path::Path;
+
+fn save(name: &str, content: &str) {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    fs::write(dir.join(format!("{name}.txt")), content).expect("write artifact");
+    println!("wrote results/{name}.txt");
+}
+
+fn main() {
+    let scale = cs_bench::scale_from_args();
+    let seed = cs_bench::SEED;
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    save("exp_fig01_local_convergence", &fig01::run(256, seed).render());
+    save("exp_fig04_cdf", &fig04::run(scale, seed).render());
+    save(
+        "exp_tab02_blocksize",
+        &tab02::run(scale, seed).expect("tab02").render(),
+    );
+    save("exp_tab03_sparsity", &tab03::run(scale, seed).render());
+    let fig08_params = if quick {
+        fig08::Fig08Params::smoke()
+    } else {
+        fig08::Fig08Params::full()
+    };
+    save(
+        "exp_fig08_max_vs_avg",
+        &fig08::run(&fig08_params).expect("fig08").render(),
+    );
+    save(
+        "exp_tab04_compression",
+        &tab04::run(scale, seed).expect("tab04").render(),
+    );
+    save(
+        "exp_tab05_comparison",
+        &tab05::run(scale, seed).expect("tab05").render(),
+    );
+    save("exp_tab06_hw", &tab06::run().render());
+    save("exp_fig15_speedup", &fig15::run(None).render());
+    save(
+        "exp_fig16_conv_speedup",
+        &fig15::run(Some(LayerClass::Convolutional)).render(),
+    );
+    save(
+        "exp_fig17_fc_speedup",
+        &fig15::run(Some(LayerClass::FullyConnected)).render(),
+    );
+    let energy = fig18::run();
+    save("exp_fig18_energy", &energy.render());
+    save("exp_fig19_breakdown", &energy.render_fig19());
+    save("exp_fig20_breakdown_onchip", &energy.render_fig20());
+    save("exp_fig21_sensitivity", &fig21::run().render());
+    save("exp_tab07_eie", &tab07::run().render());
+    save("exp_disc_ablations", &disc::run().render());
+    save(
+        "exp_ext_entropy",
+        &ext_entropy::run(scale, seed).expect("ext_entropy").render(),
+    );
+    save("exp_ext_dse", &ext_dse::run(scale, seed).render());
+    save("exp_ext_table1", &ext_table1::run().render());
+    save("exp_ext_scaling", &ext_scaling::run().render());
+    println!("all artifacts regenerated");
+}

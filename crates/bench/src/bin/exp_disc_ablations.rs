@@ -1,0 +1,7 @@
+//! Regenerates the discussion-section ablations (entropy decoding,
+//! shared NSM/SIB, WDM, index traffic).
+use cambricon_s::experiments::disc;
+
+fn main() {
+    println!("{}", disc::run().render());
+}

@@ -1,0 +1,7 @@
+//! Extension: design-space exploration of block size and dictionary widths.
+use cambricon_s::experiments::ext_dse;
+
+fn main() {
+    let scale = cs_bench::scale_from_args();
+    println!("{}", ext_dse::run(scale, cs_bench::SEED).render());
+}

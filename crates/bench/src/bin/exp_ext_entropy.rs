@@ -1,0 +1,7 @@
+//! Extension: Huffman vs adaptive arithmetic coding in the entropy stage.
+use cambricon_s::experiments::ext_entropy;
+
+fn main() {
+    let scale = cs_bench::scale_from_args();
+    println!("{}", ext_entropy::run(scale, cs_bench::SEED).expect("pipeline").render());
+}

@@ -1,0 +1,6 @@
+//! Extension: PE-array scaling sweep.
+use cambricon_s::experiments::ext_scaling;
+
+fn main() {
+    println!("{}", ext_scaling::run().render());
+}

@@ -1,0 +1,6 @@
+//! Extension: measured Table I capability matrix.
+use cambricon_s::experiments::ext_table1;
+
+fn main() {
+    println!("{}", ext_table1::run().render());
+}

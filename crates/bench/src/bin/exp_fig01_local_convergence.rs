@@ -1,0 +1,7 @@
+//! Regenerates Fig. 1: local-convergence weight maps.
+use cambricon_s::experiments::fig01;
+
+fn main() {
+    let r = fig01::run(256, cs_bench::SEED);
+    println!("{}", r.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4: larger-weight CDFs for five layers + random init.
+use cambricon_s::experiments::fig04;
+
+fn main() {
+    let scale = cs_bench::scale_from_args();
+    println!("{}", fig04::run(scale, cs_bench::SEED).render());
+}

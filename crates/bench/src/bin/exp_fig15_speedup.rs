@@ -1,0 +1,6 @@
+//! Regenerates Fig. 15: overall speedup over CPU/GPU/DianNao/Cambricon-X.
+use cambricon_s::experiments::fig15;
+
+fn main() {
+    println!("{}", fig15::run(None).render());
+}

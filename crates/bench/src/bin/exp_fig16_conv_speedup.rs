@@ -1,0 +1,7 @@
+//! Regenerates Fig. 16: convolutional-layer speedup.
+use cambricon_s::experiments::fig15;
+use cambricon_s::prelude::LayerClass;
+
+fn main() {
+    println!("{}", fig15::run(Some(LayerClass::Convolutional)).render());
+}

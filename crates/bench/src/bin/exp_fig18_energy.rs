@@ -1,0 +1,6 @@
+//! Regenerates Fig. 18: energy efficiency over GPU/DianNao/Cambricon-X.
+use cambricon_s::experiments::fig18;
+
+fn main() {
+    println!("{}", fig18::run().render());
+}

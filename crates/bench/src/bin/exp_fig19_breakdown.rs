@@ -1,0 +1,6 @@
+//! Regenerates Fig. 19: energy breakdown including off-chip accesses.
+use cambricon_s::experiments::fig18;
+
+fn main() {
+    println!("{}", fig18::run().render_fig19());
+}

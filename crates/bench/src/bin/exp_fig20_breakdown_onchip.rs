@@ -1,0 +1,6 @@
+//! Regenerates Fig. 20: on-chip energy breakdown.
+use cambricon_s::experiments::fig18;
+
+fn main() {
+    println!("{}", fig18::run().render_fig20());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 21: sparsity sensitivity sweeps.
+use cambricon_s::experiments::fig21;
+
+fn main() {
+    println!("{}", fig21::run().render());
+}

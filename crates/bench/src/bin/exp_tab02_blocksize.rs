@@ -1,0 +1,9 @@
+//! Regenerates Table II: AlexNet compression vs pruning block size.
+use cambricon_s::experiments::tab02;
+
+fn main() {
+    let scale = cs_bench::scale_from_args();
+    let r = tab02::run(scale, cs_bench::SEED).expect("compression pipeline");
+    println!("{}", r.render());
+    println!("best block size N = {}", r.best_n());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table III: SSS/SNS/DNS per network.
+use cambricon_s::experiments::tab03;
+
+fn main() {
+    let scale = cs_bench::scale_from_args();
+    println!("{}", tab03::run(scale, cs_bench::SEED).render());
+}

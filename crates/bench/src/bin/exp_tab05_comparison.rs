@@ -1,0 +1,7 @@
+//! Regenerates Table V: comparison vs Deep Compression / CNNpack.
+use cambricon_s::experiments::tab05;
+
+fn main() {
+    let scale = cs_bench::scale_from_args();
+    println!("{}", tab05::run(scale, cs_bench::SEED).expect("pipeline").render());
+}

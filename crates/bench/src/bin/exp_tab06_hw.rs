@@ -1,0 +1,6 @@
+//! Regenerates Table VI: hardware characteristics.
+use cambricon_s::experiments::tab06;
+
+fn main() {
+    println!("{}", tab06::run().render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table VII: FC-layer latency vs EIE.
+use cambricon_s::experiments::tab07;
+
+fn main() {
+    println!("{}", tab07::run().render());
+}

@@ -1,0 +1,453 @@
+//! Adaptive binary arithmetic coding (LZMA-style range coder).
+//!
+//! Probabilities are 12-bit fixed point and adapt with shift-5 updates —
+//! the same scheme proven in LZMA/LZMA2. This coder is both one of the
+//! two entropy coders the paper mentions and the engine of the bilevel
+//! codec in [`crate::bilevel`].
+
+use crate::CodingError;
+
+const PROB_BITS: u32 = 12;
+const PROB_INIT: u16 = 1 << (PROB_BITS - 1);
+const MOVE_BITS: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// An adaptive probability model for one binary context.
+///
+/// Stores `P(bit = 0)` in 12-bit fixed point and adapts toward observed
+/// bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitModel(u16);
+
+impl BitModel {
+    /// A fresh model at probability ½.
+    pub fn new() -> Self {
+        BitModel(PROB_INIT)
+    }
+
+    /// Current probability of a zero bit, in `[0, 1]`.
+    pub fn p_zero(&self) -> f64 {
+        f64::from(self.0) / f64::from(1u32 << PROB_BITS)
+    }
+
+    fn update(&mut self, bit: bool) {
+        if bit {
+            self.0 -= self.0 >> MOVE_BITS;
+        } else {
+            self.0 += ((1 << PROB_BITS) - self.0) >> MOVE_BITS;
+        }
+    }
+}
+
+impl Default for BitModel {
+    fn default() -> Self {
+        BitModel::new()
+    }
+}
+
+/// Binary arithmetic encoder.
+///
+/// # Example
+///
+/// ```
+/// use cs_coding::arith::{BitModel, Decoder, Encoder};
+///
+/// let bits = [true, false, false, true, false];
+/// let mut model = BitModel::new();
+/// let mut enc = Encoder::new();
+/// for b in bits {
+///     enc.encode(&mut model, b);
+/// }
+/// let bytes = enc.finish();
+///
+/// let mut model = BitModel::new();
+/// let mut dec = Decoder::new(&bytes).unwrap();
+/// for b in bits {
+///     assert_eq!(dec.decode(&mut model).unwrap(), b);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an encoder.
+    pub fn new() -> Self {
+        Encoder {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
+    }
+
+    /// Encodes one bit under `model`, adapting the model.
+    pub fn encode(&mut self, model: &mut BitModel, bit: bool) {
+        let bound = (self.range >> PROB_BITS) * u32::from(model.0);
+        if bit {
+            self.low += u64::from(bound);
+            self.range -= bound;
+        } else {
+            self.range = bound;
+        }
+        model.update(bit);
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    /// Flushes and returns the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+
+    /// Encoded size so far (without the final flush).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Returns `true` when nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    fn shift_low(&mut self) {
+        if self.low < 0xFF00_0000 || self.low > 0xFFFF_FFFF {
+            let carry = (self.low >> 32) as u8;
+            self.out.push(self.cache.wrapping_add(carry));
+            for _ in 1..self.cache_size {
+                self.out.push(0xFFu8.wrapping_add(carry));
+            }
+            self.cache = ((self.low >> 24) & 0xFF) as u8;
+            self.cache_size = 0;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Encoder::new()
+    }
+}
+
+/// Binary arithmetic decoder (see [`Encoder`] for a round-trip example).
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    code: u32,
+    range: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over an encoded stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::CorruptStream`] when the stream is shorter
+    /// than the 5-byte preamble.
+    pub fn new(input: &'a [u8]) -> Result<Self, CodingError> {
+        if input.len() < 5 {
+            return Err(CodingError::CorruptStream(
+                "arithmetic stream shorter than preamble".into(),
+            ));
+        }
+        let mut code = 0u32;
+        for &b in &input[1..5] {
+            code = (code << 8) | u32::from(b);
+        }
+        Ok(Decoder {
+            code,
+            range: u32::MAX,
+            input,
+            pos: 5,
+        })
+    }
+
+    /// Decodes one bit under `model`, adapting the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::CorruptStream`] when the stream runs out.
+    pub fn decode(&mut self, model: &mut BitModel) -> Result<bool, CodingError> {
+        let bound = (self.range >> PROB_BITS) * u32::from(model.0);
+        let bit = if self.code < bound {
+            self.range = bound;
+            false
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            true
+        };
+        model.update(bit);
+        while self.range < TOP {
+            let byte = if self.pos < self.input.len() {
+                let b = self.input[self.pos];
+                self.pos += 1;
+                b
+            } else {
+                // Encoder flush pads with implicit zeros; tolerate a
+                // limited overrun so the final symbols decode.
+                self.pos += 1;
+                if self.pos > self.input.len() + 8 {
+                    return Err(CodingError::CorruptStream(
+                        "arithmetic stream exhausted".into(),
+                    ));
+                }
+                0
+            };
+            self.code = (self.code << 8) | u32::from(byte);
+            self.range <<= 8;
+        }
+        Ok(bit)
+    }
+}
+
+/// Adaptive multi-symbol coder built on the binary coder: each symbol's
+/// bits are coded MSB-first through a *bit tree* of contexts (the prefix
+/// of already-coded bits selects the model), the same construction LZMA
+/// uses for literals. This is the "arithmetic coding" alternative the
+/// paper names next to Huffman coding.
+#[derive(Debug, Clone)]
+pub struct SymbolModel {
+    bits: u8,
+    tree: Vec<BitModel>,
+}
+
+impl SymbolModel {
+    /// Creates a model for `bits`-wide symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn new(bits: u8) -> Self {
+        assert!(bits > 0 && bits <= 16, "symbol width {bits} out of range");
+        SymbolModel {
+            bits,
+            tree: vec![BitModel::new(); 1 << bits],
+        }
+    }
+
+    /// Symbol width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Encodes one symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol does not fit in the model's width.
+    pub fn encode(&mut self, enc: &mut Encoder, symbol: u16) {
+        assert!(u32::from(symbol) < (1u32 << self.bits), "symbol too wide");
+        let mut node = 1usize;
+        for i in (0..self.bits).rev() {
+            let bit = (symbol >> i) & 1 == 1;
+            enc.encode(&mut self.tree[node], bit);
+            node = (node << 1) | usize::from(bit);
+        }
+    }
+
+    /// Decodes one symbol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-exhaustion errors.
+    pub fn decode(&mut self, dec: &mut Decoder<'_>) -> Result<u16, CodingError> {
+        let mut node = 1usize;
+        for _ in 0..self.bits {
+            let bit = dec.decode(&mut self.tree[node])?;
+            node = (node << 1) | usize::from(bit);
+        }
+        Ok((node - (1 << self.bits)) as u16)
+    }
+}
+
+/// Encodes a whole symbol stream adaptively (header: count + width).
+pub fn encode_symbols(symbols: &[u16], bits: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + symbols.len() * usize::from(bits) / 8);
+    out.extend_from_slice(&(symbols.len() as u64).to_le_bytes());
+    out.push(bits);
+    let mut model = SymbolModel::new(bits);
+    let mut enc = Encoder::new();
+    for s in symbols {
+        model.encode(&mut enc, *s);
+    }
+    out.extend_from_slice(&enc.finish());
+    out
+}
+
+/// Decodes a stream produced by [`encode_symbols`].
+///
+/// # Errors
+///
+/// Returns [`CodingError::CorruptStream`] on truncated or malformed
+/// input.
+pub fn decode_symbols(bytes: &[u8]) -> Result<Vec<u16>, CodingError> {
+    if bytes.len() < 9 {
+        return Err(CodingError::CorruptStream("missing symbol header".into()));
+    }
+    let count = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
+    let bits = bytes[8];
+    if bits == 0 || bits > 16 {
+        return Err(CodingError::CorruptStream(format!(
+            "symbol width {bits} out of range"
+        )));
+    }
+    // An adapted model needs at least ~0.01 bits per symbol, so a count
+    // vastly exceeding the stream marks a corrupt header; reject it
+    // before attempting a decompression-bomb-sized decode.
+    if count > bytes.len().saturating_mul(1024) {
+        return Err(CodingError::CorruptStream(format!(
+            "symbol count {count} exceeds stream capacity"
+        )));
+    }
+    let mut model = SymbolModel::new(bits);
+    let mut dec = Decoder::new(&bytes[9..])?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        out.push(model.decode(&mut dec)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(bits: &[bool]) {
+        let mut model = BitModel::new();
+        let mut enc = Encoder::new();
+        for b in bits {
+            enc.encode(&mut model, *b);
+        }
+        let bytes = enc.finish();
+        let mut model = BitModel::new();
+        let mut dec = Decoder::new(&bytes).unwrap();
+        for (i, b) in bits.iter().enumerate() {
+            assert_eq!(dec.decode(&mut model).unwrap(), *b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_patterns() {
+        roundtrip(&[true; 100]);
+        roundtrip(&[false; 100]);
+        let alt: Vec<bool> = (0..257).map(|i| i % 2 == 0).collect();
+        roundtrip(&alt);
+        let lcg: Vec<bool> = {
+            let mut x = 12345u64;
+            (0..10_000)
+                .map(|_| {
+                    x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    (x >> 62) & 1 == 1
+                })
+                .collect()
+        };
+        roundtrip(&lcg);
+    }
+
+    #[test]
+    fn skewed_stream_compresses_below_one_bit() {
+        // 99% zeros: adaptive model should get well under 0.2 bits/bit.
+        let bits: Vec<bool> = (0..20_000).map(|i| i % 100 == 0).collect();
+        let mut model = BitModel::new();
+        let mut enc = Encoder::new();
+        for b in &bits {
+            enc.encode(&mut model, *b);
+        }
+        let bytes = enc.finish();
+        let ratio = (bytes.len() * 8) as f64 / bits.len() as f64;
+        assert!(ratio < 0.2, "got {ratio} bits/bit");
+    }
+
+    #[test]
+    fn random_stream_does_not_compress() {
+        let mut x = 99u64;
+        let bits: Vec<bool> = (0..20_000)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (x >> 62) & 1 == 1
+            })
+            .collect();
+        let mut model = BitModel::new();
+        let mut enc = Encoder::new();
+        for b in &bits {
+            enc.encode(&mut model, *b);
+        }
+        let bytes = enc.finish();
+        let ratio = (bytes.len() * 8) as f64 / bits.len() as f64;
+        assert!(ratio > 0.95, "got {ratio} bits/bit");
+    }
+
+    #[test]
+    fn model_adapts_toward_observations() {
+        let mut m = BitModel::new();
+        assert!((m.p_zero() - 0.5).abs() < 1e-9);
+        for _ in 0..100 {
+            m.update(false);
+        }
+        assert!(m.p_zero() > 0.95);
+        for _ in 0..100 {
+            m.update(true);
+        }
+        assert!(m.p_zero() < 0.05);
+    }
+
+    #[test]
+    fn short_stream_rejected() {
+        assert!(Decoder::new(&[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        let symbols: Vec<u16> = (0..5000).map(|i| ((i * i) % 61) as u16).collect();
+        let enc = encode_symbols(&symbols, 6);
+        assert_eq!(decode_symbols(&enc).unwrap(), symbols);
+    }
+
+    #[test]
+    fn skewed_symbols_compress_below_flat_width() {
+        // 90% zeros over 4-bit symbols: well under 4 bits/symbol.
+        let symbols: Vec<u16> = (0..20_000)
+            .map(|i| if i % 10 == 0 { (i % 15) as u16 } else { 0 })
+            .collect();
+        let enc = encode_symbols(&symbols, 4);
+        let bits_per_symbol = (enc.len() * 8) as f64 / symbols.len() as f64;
+        assert!(bits_per_symbol < 1.5, "got {bits_per_symbol} bits/symbol");
+    }
+
+    #[test]
+    fn symbol_header_validated() {
+        assert!(decode_symbols(&[0; 4]).is_err());
+        let mut enc = encode_symbols(&[1, 2, 3], 4);
+        enc[8] = 0; // corrupt width
+        assert!(decode_symbols(&enc).is_err());
+    }
+
+    #[test]
+    fn empty_symbol_stream_roundtrips() {
+        let enc = encode_symbols(&[], 4);
+        assert_eq!(decode_symbols(&enc).unwrap(), Vec::<u16>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol too wide")]
+    fn oversized_symbol_panics() {
+        let mut m = SymbolModel::new(4);
+        let mut e = Encoder::new();
+        m.encode(&mut e, 16);
+    }
+}

@@ -1,0 +1,166 @@
+//! Bit-granular I/O over byte buffers.
+
+use crate::CodingError;
+
+/// Writes bits most-significant-first into a growing byte buffer.
+///
+/// # Example
+///
+/// ```
+/// use cs_coding::bits::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bit(true);
+/// assert_eq!(w.bit_len(), 4);
+/// let bytes = w.into_bytes();
+/// assert_eq!(bytes, vec![0b1011_0000]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0..8).
+    used: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= 1 << (7 - self.used);
+        }
+        self.used = (self.used + 1) % 8;
+    }
+
+    /// Appends the `count` low bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u8) {
+        assert!(count <= 64);
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.used as usize
+        }
+    }
+
+    /// Finalizes into bytes (final partial byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits most-significant-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::CorruptStream`] at end of input.
+    pub fn read_bit(&mut self) -> Result<bool, CodingError> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(CodingError::CorruptStream("bit read past end".into()));
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `count` bits as an MSB-first integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::CorruptStream`] at end of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u8) -> Result<u64, CodingError> {
+        assert!(count <= 64);
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1101, 4);
+        w.write_bits(0xABCD, 16);
+        w.write_bit(true);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xABCD);
+        assert!(r.read_bit().unwrap());
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bit(false);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bit(true);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        let b = w.into_bytes();
+        assert_eq!(b[0], 0b1000_0000);
+    }
+}

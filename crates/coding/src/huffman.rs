@@ -1,0 +1,370 @@
+//! Canonical Huffman coding over `u16` symbols.
+//!
+//! This is the entropy-coding stage of the paper's compression flow
+//! (Fig. 5): quantized weight dictionary indices are Huffman-coded because
+//! their occurrence probabilities are strongly unbalanced. The encoded
+//! container stores a canonical code-length table followed by the
+//! bitstream, so [`decode`] fully recovers the input.
+
+use std::collections::BinaryHeap;
+
+use crate::bits::{BitReader, BitWriter};
+use crate::CodingError;
+
+/// Maximum symbol value supported (`dictionary index` for up to 16-bit
+/// quantization).
+pub const MAX_SYMBOL: u16 = u16::MAX;
+
+/// An encoded Huffman container: header (symbol count, alphabet, code
+/// lengths) plus payload bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoded {
+    bytes: Vec<u8>,
+    /// Number of payload symbols.
+    pub symbol_count: usize,
+    /// Payload-only size in bits (excluding the header), the figure used
+    /// in compressed-size accounting.
+    pub payload_bits: usize,
+}
+
+impl Encoded {
+    /// Total container size in bytes (header + payload).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` for an empty container.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Borrows the raw container bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Computes canonical Huffman code lengths for a frequency table
+/// (`(symbol, count)` pairs, counts > 0), capped by the alphabet.
+///
+/// Returns `(symbol, length)` pairs. A single-symbol alphabet gets a
+/// 1-bit code.
+pub fn code_lengths(freqs: &[(u16, u64)]) -> Vec<(u16, u8)> {
+    match freqs.len() {
+        0 => return Vec::new(),
+        1 => return vec![(freqs[0].0, 1)],
+        _ => {}
+    }
+    // Heap of (count, tie, node-id); internal nodes appended after leaves.
+    #[derive(PartialEq, Eq)]
+    struct Node(u64, usize, usize);
+    impl Ord for Node {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            // Reverse for min-heap.
+            (o.0, o.1).cmp(&(self.0, self.1))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    let n = freqs.len();
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    let mut heap = BinaryHeap::new();
+    for (i, (_, c)) in freqs.iter().enumerate() {
+        heap.push(Node(*c, i, i));
+    }
+    let mut next = n;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        parent[a.2] = next;
+        parent[b.2] = next;
+        heap.push(Node(a.0 + b.0, next, next));
+        next += 1;
+    }
+    freqs
+        .iter()
+        .enumerate()
+        .map(|(i, (s, _))| {
+            let mut d = 0u8;
+            let mut p = parent[i];
+            while p != usize::MAX {
+                d += 1;
+                p = parent[p];
+            }
+            (*s, d)
+        })
+        .collect()
+}
+
+/// Assigns canonical codes from `(symbol, length)` pairs: shorter codes
+/// first, ties broken by symbol value.
+pub fn canonical_codes(lengths: &[(u16, u8)]) -> Vec<(u16, u8, u64)> {
+    let mut sorted: Vec<(u16, u8)> = lengths.to_vec();
+    sorted.sort_by_key(|(s, l)| (*l, *s));
+    let mut out = Vec::with_capacity(sorted.len());
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for (s, l) in sorted {
+        code <<= l - prev_len;
+        out.push((s, l, code));
+        code += 1;
+        prev_len = l;
+    }
+    out
+}
+
+/// Encodes a symbol stream.
+///
+/// # Errors
+///
+/// Returns [`CodingError::InvalidInput`] for an empty input (there is
+/// nothing to build a code from; callers treat empty layers specially).
+pub fn encode(symbols: &[u16]) -> Result<Encoded, CodingError> {
+    if symbols.is_empty() {
+        return Err(CodingError::InvalidInput("empty symbol stream".into()));
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    for s in symbols {
+        *counts.entry(*s).or_insert(0u64) += 1;
+    }
+    let freqs: Vec<(u16, u64)> = counts.into_iter().collect();
+    let lengths = code_lengths(&freqs);
+    let codes = canonical_codes(&lengths);
+    let mut table = vec![0u64; usize::from(u16::MAX) + 1];
+    let mut lens = vec![0u8; usize::from(u16::MAX) + 1];
+    for (s, l, c) in &codes {
+        table[usize::from(*s)] = *c;
+        lens[usize::from(*s)] = *l;
+    }
+
+    let mut w = BitWriter::new();
+    // Header: symbol count (u64), alphabet size (u32), then per-symbol
+    // (value u16, length u8).
+    w.write_bits(symbols.len() as u64, 64);
+    w.write_bits(codes.len() as u64, 32);
+    for (s, l, _) in &codes {
+        w.write_bits(u64::from(*s), 16);
+        w.write_bits(u64::from(*l), 8);
+    }
+    let header_bits = w.bit_len();
+    for s in symbols {
+        w.write_bits(table[usize::from(*s)], lens[usize::from(*s)]);
+    }
+    let payload_bits = w.bit_len() - header_bits;
+    Ok(Encoded {
+        bytes: w.into_bytes(),
+        symbol_count: symbols.len(),
+        payload_bits,
+    })
+}
+
+/// Decodes a container produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`CodingError::CorruptStream`] on truncated or inconsistent
+/// input.
+pub fn decode(enc: &Encoded) -> Result<Vec<u16>, CodingError> {
+    decode_bytes(enc.as_bytes())
+}
+
+/// Decodes from raw container bytes.
+///
+/// # Errors
+///
+/// Returns [`CodingError::CorruptStream`] on truncated or inconsistent
+/// input.
+pub fn decode_bytes(bytes: &[u8]) -> Result<Vec<u16>, CodingError> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(64)? as usize;
+    // Every symbol costs at least one payload bit, so a count exceeding
+    // the stream length marks a corrupt (or hostile) header.
+    if count > bytes.len().saturating_mul(8) {
+        return Err(CodingError::CorruptStream(format!(
+            "symbol count {count} exceeds stream capacity"
+        )));
+    }
+    let alphabet = r.read_bits(32)? as usize;
+    if alphabet == 0 {
+        return Err(CodingError::CorruptStream("empty alphabet".into()));
+    }
+    if alphabet > usize::from(u16::MAX) + 1 {
+        return Err(CodingError::CorruptStream(format!(
+            "alphabet size {alphabet} exceeds u16 symbol space"
+        )));
+    }
+    let mut lengths = Vec::with_capacity(alphabet);
+    for _ in 0..alphabet {
+        let s = r.read_bits(16)? as u16;
+        let l = r.read_bits(8)? as u8;
+        if l == 0 || l > 64 {
+            return Err(CodingError::CorruptStream(format!("bad code length {l}")));
+        }
+        lengths.push((s, l));
+    }
+    let codes = canonical_codes(&lengths);
+    // Decode by walking lengths in canonical order: maintain (len, code)
+    // and compare prefix reads.
+    let mut out = Vec::with_capacity(count);
+    // Build first-code table per length for fast canonical decoding.
+    let max_len = codes.iter().map(|(_, l, _)| *l).max().unwrap_or(1);
+    let mut first_code = vec![0u64; usize::from(max_len) + 1];
+    let mut first_index = vec![0usize; usize::from(max_len) + 1];
+    let mut by_order: Vec<u16> = Vec::with_capacity(codes.len());
+    {
+        let mut idx = 0usize;
+        for l in 1..=max_len {
+            let start_code = codes
+                .iter()
+                .find(|(_, cl, _)| *cl == l)
+                .map(|(_, _, c)| *c)
+                .unwrap_or(0);
+            first_code[usize::from(l)] = start_code;
+            first_index[usize::from(l)] = idx;
+            for (s, cl, _) in &codes {
+                if *cl == l {
+                    by_order.push(*s);
+                    idx += 1;
+                }
+            }
+        }
+    }
+    let counts_per_len: Vec<usize> = (0..=usize::from(max_len))
+        .map(|l| codes.iter().filter(|(_, cl, _)| usize::from(*cl) == l).count())
+        .collect();
+    for _ in 0..count {
+        let mut code = 0u64;
+        let mut len = 0u8;
+        loop {
+            code = (code << 1) | u64::from(r.read_bit()?);
+            len += 1;
+            if len > max_len {
+                return Err(CodingError::CorruptStream("code too long".into()));
+            }
+            let l = usize::from(len);
+            if counts_per_len[l] > 0 {
+                let offset = code.wrapping_sub(first_code[l]);
+                if code >= first_code[l] && (offset as usize) < counts_per_len[l] {
+                    out.push(by_order[first_index[l] + offset as usize]);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Shannon-optimal payload size in bits for a symbol stream — a lower
+/// bound used in tests and size sanity checks.
+pub fn entropy_bits(symbols: &[u16]) -> f64 {
+    if symbols.is_empty() {
+        return 0.0;
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    for s in symbols {
+        *counts.entry(*s).or_insert(0u64) += 1;
+    }
+    let n = symbols.len() as f64;
+    counts
+        .values()
+        .map(|c| {
+            let p = *c as f64 / n;
+            -(*c as f64) * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let data = vec![3u16, 3, 3, 3, 1, 1, 2, 7];
+        let enc = encode(&data).unwrap();
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        let data = vec![42u16; 100];
+        let enc = encode(&data).unwrap();
+        assert_eq!(decode(&enc).unwrap(), data);
+        // 1 bit per symbol.
+        assert_eq!(enc.payload_bits, 100);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% zeros, 10% spread: payload ≈ entropy.
+        let mut data = vec![0u16; 900];
+        for i in 0..100 {
+            data.push(1 + (i % 7) as u16);
+        }
+        let enc = encode(&data).unwrap();
+        let h = entropy_bits(&data);
+        assert!(enc.payload_bits as f64 >= h - 1e-9);
+        assert!(
+            (enc.payload_bits as f64) < h + data.len() as f64,
+            "payload {} vs entropy {h}",
+            enc.payload_bits
+        );
+        // Far below the 4 bits/symbol a flat code would need.
+        assert!(enc.payload_bits < 2 * data.len());
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(encode(&[]).is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_detected() {
+        let data = vec![1u16, 2, 3, 4, 5, 6, 7, 8];
+        let enc = encode(&data).unwrap();
+        let mut bytes = enc.as_bytes().to_vec();
+        bytes.truncate(bytes.len() / 2);
+        assert!(decode_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let lengths = vec![(0u16, 2u8), (1, 2), (2, 3), (3, 3), (4, 3), (5, 3)];
+        let codes = canonical_codes(&lengths);
+        for (i, (_, la, ca)) in codes.iter().enumerate() {
+            for (j, (_, lb, cb)) in codes.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if la <= lb {
+                    assert_ne!(
+                        *ca,
+                        cb >> (lb - la),
+                        "code {i} is a prefix of code {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_lengths_match_frequencies() {
+        // Most frequent symbol gets the shortest code.
+        let freqs = vec![(0u16, 100u64), (1, 10), (2, 10), (3, 1)];
+        let lengths = code_lengths(&freqs);
+        let len_of = |s: u16| lengths.iter().find(|(x, _)| *x == s).unwrap().1;
+        assert!(len_of(0) <= len_of(1));
+        assert!(len_of(1) <= len_of(3));
+    }
+
+    #[test]
+    fn large_alphabet_roundtrip() {
+        let data: Vec<u16> = (0..5000).map(|i| ((i * i) % 257) as u16).collect();
+        let enc = encode(&data).unwrap();
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+}

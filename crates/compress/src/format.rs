@@ -1,0 +1,378 @@
+//! Compact shared-index storage — the on-device format of Section V-A.
+//!
+//! After coarse-grained pruning, all output neurons inside a block group
+//! share the same connection topology, so one synapse index (one bit per
+//! input position) serves a whole group of `B_out` outputs — in hardware,
+//! the 16 PEs fed by the shared NSM. Weights are stored compactly (only
+//! surviving synapses) as quantized dictionary indices, with a per-group
+//! codebook that the PE's Weight Decoder Module (WDM) holds as a LUT.
+//!
+//! Convolutional layers lower to the same structure: each output-map
+//! group shares an index over the `(n_fin, kx, ky)` window positions, and
+//! one "output" here is one output feature map evaluated at a spatial
+//! position (exactly how the accelerator time-shares its PEs).
+
+use cs_quant::{kmeans_1d, Codebook};
+use cs_sparsity::Mask;
+use cs_tensor::{Tensor, TensorError};
+
+use crate::CompressError;
+
+/// One group of output neurons sharing a synapse index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputGroup {
+    /// Shared synapse index: one bit per input position, `true` when the
+    /// connection survives (broadcast by the NSM).
+    pub index: Vec<bool>,
+    /// Per output neuron: quantized weights for the surviving positions,
+    /// in input order. All rows have length `index.count_ones()`.
+    pub weights: Vec<Vec<u16>>,
+    /// The group's weight codebook (the WDM LUT contents).
+    pub codebook: Codebook,
+}
+
+impl OutputGroup {
+    /// Surviving synapses per output neuron.
+    pub fn survivors(&self) -> usize {
+        self.index.iter().filter(|b| **b).count()
+    }
+}
+
+/// A layer stored in the accelerator's compact shared-index format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedIndexLayer {
+    /// Layer name.
+    pub name: String,
+    /// Input positions per output computation (FC: `n_in`; conv:
+    /// `n_fin · kx · ky`).
+    pub n_in: usize,
+    /// Total output neurons (FC) or output feature maps (conv).
+    pub n_out: usize,
+    /// Outputs per shared index (`B_out`; the hardware shares across
+    /// `T_n = 16` PEs).
+    pub group_size: usize,
+    /// Dictionary width in bits (decoded by the WDM).
+    pub quant_bits: u8,
+    /// The output groups in order.
+    pub groups: Vec<OutputGroup>,
+}
+
+impl SharedIndexLayer {
+    /// Builds the format from a fully-connected weight matrix
+    /// `(n_in, n_out)` and its block-aligned mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the mask is not shared within each output
+    /// group (i.e. pruning was not coarse over `group_size` outputs) or
+    /// shapes disagree.
+    pub fn from_fc(
+        name: impl Into<String>,
+        weights: &Tensor,
+        mask: &Mask,
+        group_size: usize,
+        quant_bits: u8,
+    ) -> Result<Self, CompressError> {
+        if weights.shape().rank() != 2 {
+            return Err(CompressError::Tensor(TensorError::RankMismatch {
+                expected: 2,
+                actual: weights.shape().rank(),
+                op: "shared-index fc",
+            }));
+        }
+        let (n_in, n_out) = (weights.shape().dim(0), weights.shape().dim(1));
+        let get_mask = |i: usize, o: usize| mask.bits()[i * n_out + o];
+        let get_w = |i: usize, o: usize| weights.as_slice()[i * n_out + o];
+        Self::build(
+            name.into(),
+            n_in,
+            n_out,
+            group_size,
+            quant_bits,
+            get_mask,
+            get_w,
+        )
+    }
+
+    /// Builds the format from convolutional weights
+    /// `(n_fin, n_fout, kx, ky)` and a mask that is coarse over
+    /// `group_size` output maps (the paper's `(1, N, 1, 1)` blocks).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SharedIndexLayer::from_fc`].
+    pub fn from_conv(
+        name: impl Into<String>,
+        weights: &Tensor,
+        mask: &Mask,
+        group_size: usize,
+        quant_bits: u8,
+    ) -> Result<Self, CompressError> {
+        if weights.shape().rank() != 4 {
+            return Err(CompressError::Tensor(TensorError::RankMismatch {
+                expected: 4,
+                actual: weights.shape().rank(),
+                op: "shared-index conv",
+            }));
+        }
+        let (fi, fo, kx, ky) = (
+            weights.shape().dim(0),
+            weights.shape().dim(1),
+            weights.shape().dim(2),
+            weights.shape().dim(3),
+        );
+        let n_in = fi * kx * ky;
+        // Input position p = (f * kx + x) * ky + y.
+        let get_mask = move |p: usize, o: usize| {
+            let f = p / (kx * ky);
+            let rem = p % (kx * ky);
+            mask.bits()[((f * fo + o) * kx + rem / ky) * ky + rem % ky]
+        };
+        let get_w = move |p: usize, o: usize| {
+            let f = p / (kx * ky);
+            let rem = p % (kx * ky);
+            weights.as_slice()[((f * fo + o) * kx + rem / ky) * ky + rem % ky]
+        };
+        Self::build(name.into(), n_in, fo, group_size, quant_bits, get_mask, get_w)
+    }
+
+    fn build(
+        name: String,
+        n_in: usize,
+        n_out: usize,
+        group_size: usize,
+        quant_bits: u8,
+        get_mask: impl Fn(usize, usize) -> bool,
+        get_w: impl Fn(usize, usize) -> f32,
+    ) -> Result<Self, CompressError> {
+        let group_size = group_size.max(1).min(n_out);
+        let mut groups = Vec::with_capacity(n_out.div_ceil(group_size));
+        for g0 in (0..n_out).step_by(group_size) {
+            let g1 = (g0 + group_size).min(n_out);
+            // Shared index from the first output; verify the rest agree.
+            let index: Vec<bool> = (0..n_in).map(|i| get_mask(i, g0)).collect();
+            for o in g0 + 1..g1 {
+                for (i, bit) in index.iter().enumerate() {
+                    if get_mask(i, o) != *bit {
+                        return Err(CompressError::Coding(
+                            cs_coding::CodingError::InvalidInput(format!(
+                                "mask not shared within output group at ({i}, {o})"
+                            )),
+                        ));
+                    }
+                }
+            }
+            // Gather surviving weights for the group and quantize with a
+            // per-group codebook (local quantization at group scope).
+            let mut all: Vec<f32> = Vec::new();
+            for o in g0..g1 {
+                for (i, bit) in index.iter().enumerate() {
+                    if *bit {
+                        all.push(get_w(i, o));
+                    }
+                }
+            }
+            if all.is_empty() {
+                // Fully-pruned group: keep an empty codebook.
+                groups.push(OutputGroup {
+                    index,
+                    weights: vec![Vec::new(); g1 - g0],
+                    codebook: Codebook::new(vec![0.0]),
+                });
+                continue;
+            }
+            let k = 1usize << quant_bits.min(12);
+            let km = kmeans_1d(&all, k, 20);
+            let codebook = Codebook::new(km.centroids);
+            let per_out = all.len() / (g1 - g0);
+            let weights: Vec<Vec<u16>> = (0..g1 - g0)
+                .map(|oi| km.assignments[oi * per_out..(oi + 1) * per_out].to_vec())
+                .collect();
+            groups.push(OutputGroup {
+                index,
+                weights,
+                codebook,
+            });
+        }
+        Ok(SharedIndexLayer {
+            name,
+            n_in,
+            n_out,
+            group_size,
+            quant_bits,
+            groups,
+        })
+    }
+
+    /// Fraction of surviving synapses.
+    pub fn density(&self) -> f64 {
+        let total = self.n_in * self.n_out;
+        if total == 0 {
+            return 0.0;
+        }
+        let surv: usize = self
+            .groups
+            .iter()
+            .map(|g| g.survivors() * g.weights.len())
+            .sum();
+        surv as f64 / total as f64
+    }
+
+    /// Total surviving synapse count.
+    pub fn surviving(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.survivors() * g.weights.len())
+            .sum()
+    }
+
+    /// Index storage in bits: one bit per input position per *group*
+    /// (shared across the group's outputs).
+    pub fn index_bits(&self) -> usize {
+        self.groups.len() * self.n_in
+    }
+
+    /// Compact weight storage in bytes at the dictionary width, plus the
+    /// codebook LUTs (2 bytes per entry).
+    pub fn weight_bytes(&self) -> usize {
+        let dict_bits: usize = self.surviving() * usize::from(self.quant_bits);
+        let luts: usize = self.groups.iter().map(|g| g.codebook.byte_size()).sum();
+        dict_bits.div_ceil(8) + luts
+    }
+
+    /// Decodes the weight for `(group, lane, pos)` through the group's
+    /// codebook — what the WDM does in hardware.
+    pub fn decode_weight(&self, group: usize, lane: usize, pos: usize) -> f32 {
+        let g = &self.groups[group];
+        g.codebook.value(g.weights[lane][pos])
+    }
+
+    /// Reference computation: dense input (length `n_in`) to all outputs,
+    /// using only surviving synapses. This is the functional ground truth
+    /// the accelerator simulator is validated against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input.len() != n_in`.
+    pub fn output(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        let mut out = Vec::with_capacity(self.n_out);
+        for g in &self.groups {
+            let selected: Vec<usize> = g
+                .index
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| **b)
+                .map(|(i, _)| i)
+                .collect();
+            for lane in &g.weights {
+                let mut acc = 0.0f32;
+                for (pos, &i) in selected.iter().enumerate() {
+                    acc += g.codebook.value(lane[pos]) * input[i];
+                }
+                out.push(acc);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_nn::init::{local_convergence, ConvergenceProfile};
+    use cs_sparsity::coarse::{self, CoarseConfig, PruneMetric};
+    use cs_tensor::Shape;
+
+    fn fc_layer(n_in: usize, n_out: usize, group: usize, density: f64) -> (Tensor, Mask) {
+        let w = local_convergence(
+            Shape::d2(n_in, n_out),
+            &ConvergenceProfile::with_target_density(density).with_block(group),
+            3,
+        );
+        let cfg = CoarseConfig::fc(group, group, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, density).unwrap();
+        (w, mask)
+    }
+
+    #[test]
+    fn fc_roundtrip_matches_dense_reference() {
+        let (w, mask) = fc_layer(64, 32, 16, 0.25);
+        let mut pruned = w.clone();
+        mask.apply(&mut pruned);
+        let sil = SharedIndexLayer::from_fc("fc", &w, &mask, 16, 8).unwrap();
+        let input: Vec<f32> = (0..64).map(|i| ((i * 13) % 7) as f32 * 0.1).collect();
+        let got = sil.output(&input);
+        // Dense reference with pruned weights (quantization adds error).
+        for (o, got_o) in got.iter().enumerate() {
+            let mut want = 0.0f32;
+            for (i, x) in input.iter().enumerate() {
+                want += pruned.as_slice()[i * 32 + o] * x;
+            }
+            let tolerance = 0.05 * want.abs().max(0.5);
+            assert!(
+                (got_o - want).abs() < tolerance,
+                "output {o}: got {got_o} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_shares_index() {
+        let (w, mask) = fc_layer(64, 32, 16, 0.25);
+        let sil = SharedIndexLayer::from_fc("fc", &w, &mask, 16, 4).unwrap();
+        assert_eq!(sil.groups.len(), 2);
+        for g in &sil.groups {
+            assert_eq!(g.weights.len(), 16);
+            for lane in &g.weights {
+                assert_eq!(lane.len(), g.survivors());
+            }
+        }
+        // Index bits: 2 groups x 64 inputs, vs fine-grained 64x32.
+        assert_eq!(sil.index_bits(), 128);
+    }
+
+    #[test]
+    fn unshared_mask_rejected() {
+        let w = Tensor::full(Shape::d2(8, 8), 1.0);
+        // A mask that differs within an 8-wide output group.
+        let mut bits = vec![true; 64];
+        bits[3] = false; // (0,3) pruned but (0,0) kept
+        let mask = Mask::from_bits(Shape::d2(8, 8), bits).unwrap();
+        assert!(SharedIndexLayer::from_fc("bad", &w, &mask, 8, 4).is_err());
+    }
+
+    #[test]
+    fn conv_lowering_matches_mask() {
+        let w = local_convergence(
+            Shape::d4(2, 32, 3, 3),
+            &ConvergenceProfile::with_target_density(0.3),
+            9,
+        );
+        let cfg = CoarseConfig::conv(1, 16, 1, 1, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, 0.3).unwrap();
+        let sil = SharedIndexLayer::from_conv("conv", &w, &mask, 16, 8).unwrap();
+        assert_eq!(sil.n_in, 2 * 9);
+        assert_eq!(sil.n_out, 32);
+        assert_eq!(sil.groups.len(), 2);
+        assert!((sil.density() - mask.density()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_and_sizes() {
+        let (w, mask) = fc_layer(128, 64, 16, 0.125);
+        let sil = SharedIndexLayer::from_fc("fc", &w, &mask, 16, 4).unwrap();
+        assert!((sil.density() - mask.density()).abs() < 1e-9);
+        assert!(sil.weight_bytes() < 128 * 64 * 2 / 4);
+    }
+
+    #[test]
+    fn fully_pruned_group_is_empty_but_valid() {
+        let w = Tensor::full(Shape::d2(4, 4), 1.0);
+        let mask = Mask::zeros_like(Shape::d2(4, 4));
+        let sil = SharedIndexLayer::from_fc("empty", &w, &mask, 4, 4).unwrap();
+        assert_eq!(sil.surviving(), 0);
+        let out = sil.output(&[1.0; 4]);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,77 @@
+//! The full Cambricon-S compression pipeline (the paper's Fig. 5):
+//! coarse-grained pruning → local quantization → entropy coding.
+//!
+//! * [`config`] — per-layer-class pruning/quantization settings, with the
+//!   paper's published per-network targets (Table IV).
+//! * [`pipeline`] — runs the flow over a network spec, producing the size
+//!   accounting the paper reports (`W_p`, `r_p`, `W_q`, `r_q`, `W_c`,
+//!   `r_c`, index sizes).
+//! * [`irregularity`] — the reduced-irregularity metric `R(Irr)` (Eq. 1),
+//!   using the bilevel codec in `cs-coding` as the JBIG stand-in.
+//! * [`mod@format`] — the compact shared-index storage format consumed by the
+//!   accelerator simulator: per output-neuron-group synapse indexes shared
+//!   by all PEs, plus quantized weights and codebooks for the WDM.
+//!
+//! # Example
+//!
+//! ```
+//! use cs_compress::config::ModelCompressionConfig;
+//! use cs_compress::pipeline;
+//! use cs_nn::spec::{Model, NetworkSpec, Scale};
+//!
+//! let spec = NetworkSpec::model(Model::Mlp, Scale::Reduced(4));
+//! let cfg = ModelCompressionConfig::paper(Model::Mlp);
+//! let report = pipeline::compress_model(&spec, &cfg, 42).unwrap();
+//! assert!(report.overall_ratio() > 10.0);
+//! ```
+
+pub mod config;
+pub mod format;
+pub mod irregularity;
+pub mod pipeline;
+
+use std::fmt;
+
+/// Error type for the compression pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressError {
+    /// Propagated tensor error.
+    Tensor(cs_tensor::TensorError),
+    /// Propagated quantization error.
+    Quant(cs_quant::QuantError),
+    /// Propagated coding error.
+    Coding(cs_coding::CodingError),
+    /// A layer has no surviving weights after pruning.
+    EmptyLayer(String),
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CompressError::Quant(e) => write!(f, "quantization error: {e}"),
+            CompressError::Coding(e) => write!(f, "coding error: {e}"),
+            CompressError::EmptyLayer(n) => write!(f, "layer {n} has no surviving weights"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl From<cs_tensor::TensorError> for CompressError {
+    fn from(e: cs_tensor::TensorError) -> Self {
+        CompressError::Tensor(e)
+    }
+}
+
+impl From<cs_quant::QuantError> for CompressError {
+    fn from(e: cs_quant::QuantError) -> Self {
+        CompressError::Quant(e)
+    }
+}
+
+impl From<cs_coding::CodingError> for CompressError {
+    fn from(e: cs_coding::CodingError) -> Self {
+        CompressError::Coding(e)
+    }
+}

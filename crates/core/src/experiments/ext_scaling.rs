@@ -1,0 +1,131 @@
+//! Extension experiment: architecture scaling — how throughput and the
+//! sparse speedup change with the PE array size (`T_n × T_m`).
+//!
+//! The paper fixes `T_m = T_n = 16` "compatible with the pruning block
+//! size"; this sweep shows why: smaller arrays waste the available
+//! sparsity headroom, while larger arrays outgrow the block size (groups
+//! of 16 outputs can no longer fill all PEs) and become memory-bound.
+
+use cs_accel::config::AccelConfig;
+use cs_accel::timing::{simulate_layer, simulate_layer_dense};
+use cs_nn::spec::{Model, Scale};
+
+use crate::render_table;
+use crate::workload::paper_workload;
+
+/// One array-size data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// PEs (`T_n`) = multipliers per PE (`T_m`).
+    pub t: usize,
+    /// Peak GOP/s of this build.
+    pub peak_gops: f64,
+    /// AlexNet sparse cycles.
+    pub sparse_cycles: u64,
+    /// AlexNet dense cycles on the same build.
+    pub dense_cycles: u64,
+}
+
+impl ScalingPoint {
+    /// Sparse-over-dense speedup at this array size.
+    pub fn sparse_speedup(&self) -> f64 {
+        self.dense_cycles as f64 / self.sparse_cycles.max(1) as f64
+    }
+}
+
+/// Result of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ExtScalingResult {
+    /// Points in increasing array size.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ExtScalingResult {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let header = ["Tn=Tm", "peak GOP/s", "sparse cycles", "dense cycles", "sparse gain"];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.t.to_string(),
+                    format!("{:.0}", p.peak_gops),
+                    p.sparse_cycles.to_string(),
+                    p.dense_cycles.to_string(),
+                    format!("{:.2}x", p.sparse_speedup()),
+                ]
+            })
+            .collect();
+        format!(
+            "Extension: PE-array scaling on AlexNet\n{}",
+            render_table(&header, &rows)
+        )
+    }
+}
+
+/// Sweeps `T ∈ {8, 16, 32, 64}` on the AlexNet workload.
+pub fn run() -> ExtScalingResult {
+    let wl = paper_workload(Model::AlexNet, Scale::Full);
+    let points = [8usize, 16, 32, 64]
+        .into_iter()
+        .map(|t| {
+            let cfg = AccelConfig {
+                tn: t,
+                tm: t,
+                ..AccelConfig::paper_default()
+            };
+            let sparse: u64 = wl
+                .layers
+                .iter()
+                .map(|l| simulate_layer(&cfg, &l.timing).stats.cycles)
+                .sum();
+            let dense: u64 = wl
+                .layers
+                .iter()
+                .map(|l| simulate_layer_dense(&cfg, &l.timing).stats.cycles)
+                .sum();
+            ScalingPoint {
+                t,
+                peak_gops: cfg.peak_gops(),
+                sparse_cycles: sparse,
+                dense_cycles: dense,
+            }
+        })
+        .collect();
+    ExtScalingResult { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_arrays_are_faster_but_saturate() {
+        let r = run();
+        assert_eq!(r.points.len(), 4);
+        // Monotone improvement in absolute cycles...
+        for w in r.points.windows(2) {
+            assert!(w[1].sparse_cycles <= w[0].sparse_cycles);
+        }
+        // ...but with diminishing returns: 8->16 helps more than 32->64.
+        let gain = |i: usize| {
+            r.points[i].sparse_cycles as f64 / r.points[i + 1].sparse_cycles as f64
+        };
+        assert!(gain(0) >= gain(2), "{} vs {}", gain(0), gain(2));
+        assert!(r.render().contains("scaling"));
+    }
+
+    #[test]
+    fn sparse_gain_holds_across_sizes() {
+        let r = run();
+        for p in &r.points {
+            assert!(
+                p.sparse_speedup() > 1.5,
+                "T={} speedup {}",
+                p.t,
+                p.sparse_speedup()
+            );
+        }
+    }
+}

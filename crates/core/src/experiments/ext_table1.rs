@@ -1,0 +1,140 @@
+//! Extension experiment: Table I — which accelerator exploits which
+//! sparsity.
+//!
+//! The paper's Table I is a capability claim; here it is *measured*: for
+//! each simulated accelerator we vary static synapse sparsity and
+//! dynamic neuron sparsity independently on a probe layer and check
+//! whether execution time responds. An accelerator "supports" a sparsity
+//! type when more of it makes the layer at least 10% faster.
+
+use cs_accel::config::AccelConfig;
+use cs_accel::timing::{simulate_layer as ours_layer, LayerTiming};
+use cs_baselines::{cambricon_x, cnvlutin, diannao, scnn};
+
+use crate::render_table;
+
+/// Capability row for one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapabilityRow {
+    /// Accelerator name.
+    pub name: String,
+    /// Exploits static synapse sparsity (SSS).
+    pub sss: bool,
+    /// Exploits dynamic neuron sparsity (DNS).
+    pub dns: bool,
+    /// Paper's Table I claim `(sss, dns)` for comparison.
+    pub claimed: (bool, bool),
+}
+
+/// Result of the Table I measurement.
+#[derive(Debug, Clone)]
+pub struct ExtTable1Result {
+    /// One row per accelerator.
+    pub rows: Vec<CapabilityRow>,
+}
+
+impl ExtTable1Result {
+    /// Whether every measured capability matches the paper's claim.
+    pub fn all_match(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| (r.sss, r.dns) == r.claimed)
+    }
+
+    /// Renders the capability matrix.
+    pub fn render(&self) -> String {
+        let header = ["accelerator", "SSS", "DNS", "paper SSS", "paper DNS"];
+        let tick = |b: bool| if b { "yes" } else { "no" }.to_string();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    tick(r.sss),
+                    tick(r.dns),
+                    tick(r.claimed.0),
+                    tick(r.claimed.1),
+                ]
+            })
+            .collect();
+        format!(
+            "Extension: measured Table I capability matrix (match: {})\n{}",
+            self.all_match(),
+            render_table(&header, &rows)
+        )
+    }
+}
+
+fn probe(sd: f64, dd: f64) -> LayerTiming {
+    LayerTiming::conv(256, 256, 3, 13, 13, 13, 13, sd, dd, 16)
+}
+
+fn responds(cycles: impl Fn(&LayerTiming) -> u64, vary_static: bool) -> bool {
+    let dense = cycles(&probe(1.0, 1.0));
+    let sparse = if vary_static {
+        cycles(&probe(0.1, 1.0))
+    } else {
+        cycles(&probe(1.0, 0.1))
+    };
+    (dense as f64) > (sparse as f64) * 1.1
+}
+
+/// Measures the capability matrix.
+pub fn run() -> ExtTable1Result {
+    let cfg = AccelConfig::paper_default();
+    let ours = |l: &LayerTiming| ours_layer(&cfg, l).stats.cycles;
+    let dn = |l: &LayerTiming| diannao::simulate_layer(l).stats.cycles;
+    let x = |l: &LayerTiming| cambricon_x::simulate_layer(l).stats.cycles;
+    let cn = |l: &LayerTiming| cnvlutin::simulate_layer(l).stats.cycles;
+    let sc = |l: &LayerTiming| scnn::simulate_layer(l).stats.cycles;
+
+    let rows = vec![
+        CapabilityRow {
+            name: "DianNao".into(),
+            sss: responds(dn, true),
+            dns: responds(dn, false),
+            claimed: (false, false),
+        },
+        CapabilityRow {
+            name: "Cambricon-X".into(),
+            sss: responds(x, true),
+            dns: responds(x, false),
+            claimed: (true, false),
+        },
+        CapabilityRow {
+            name: "Cnvlutin".into(),
+            sss: responds(cn, true),
+            dns: responds(cn, false),
+            claimed: (false, true),
+        },
+        CapabilityRow {
+            name: "SCNN".into(),
+            sss: responds(sc, true),
+            dns: responds(sc, false),
+            claimed: (true, true),
+        },
+        CapabilityRow {
+            name: "Cambricon-S".into(),
+            sss: responds(ours, true),
+            dns: responds(ours, false),
+            claimed: (true, true),
+        },
+    ];
+    ExtTable1Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_capabilities_match_the_papers_table1() {
+        let r = run();
+        assert!(
+            r.all_match(),
+            "capability mismatch:\n{}",
+            r.render()
+        );
+    }
+}

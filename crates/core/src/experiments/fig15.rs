@@ -1,0 +1,213 @@
+//! Figs. 15–17 — speedup over CPU, GPU, DianNao and Cambricon-X.
+//!
+//! Fig. 15 covers whole networks; Figs. 16 and 17 restrict to the
+//! convolutional and fully-connected layers respectively (pass a class
+//! filter to [`run`]).
+
+use cs_accel::config::AccelConfig;
+use cs_baselines::cpu_gpu::{self, PlatformModel};
+use cs_baselines::{cambricon_x_layer, diannao_layer};
+use cs_nn::spec::{LayerClass, Model, Scale};
+
+use crate::render_table;
+use crate::workload::{paper_workload, NetworkWorkload};
+
+/// Platform identifiers in figure order.
+pub const PLATFORMS: [&str; 8] = [
+    "CPU-Caffe",
+    "CPU-Sparse",
+    "GPU-Caffe",
+    "GPU-cuBLAS",
+    "GPU-cuSparse",
+    "DianNao",
+    "Cambricon-X",
+    "ACC-dense",
+];
+
+/// One network's timings.
+#[derive(Debug, Clone)]
+pub struct ModelSpeedup {
+    /// The network.
+    pub model: Model,
+    /// Our (sparse) execution time in seconds.
+    pub ours_seconds: f64,
+    /// Baseline execution times in [`PLATFORMS`] order, seconds.
+    pub baseline_seconds: [f64; 8],
+}
+
+impl ModelSpeedup {
+    /// Speedups of ours over each baseline.
+    pub fn speedups(&self) -> [f64; 8] {
+        let mut out = [0.0; 8];
+        for (o, b) in out.iter_mut().zip(&self.baseline_seconds) {
+            *o = b / self.ours_seconds;
+        }
+        out
+    }
+}
+
+/// Result of the speedup experiment.
+#[derive(Debug, Clone)]
+pub struct Fig15Result {
+    /// Which layer class was included (None = all, Fig. 15).
+    pub class_filter: Option<LayerClass>,
+    /// Per-network rows.
+    pub rows: Vec<ModelSpeedup>,
+}
+
+impl Fig15Result {
+    /// Geometric-mean speedup over each baseline.
+    pub fn geomean(&self) -> [f64; 8] {
+        let mut acc = [0.0f64; 8];
+        for row in &self.rows {
+            for (a, s) in acc.iter_mut().zip(row.speedups()) {
+                *a += s.ln();
+            }
+        }
+        let n = self.rows.len().max(1) as f64;
+        acc.map(|v| (v / n).exp())
+    }
+
+    /// Renders the figure as a speedup table.
+    pub fn render(&self) -> String {
+        let fig = match self.class_filter {
+            None => "Fig.15 overall",
+            Some(LayerClass::Convolutional) => "Fig.16 convolutional layers",
+            Some(LayerClass::FullyConnected) => "Fig.17 fully-connected layers",
+            _ => "speedup",
+        };
+        let mut header = vec!["model"];
+        header.extend(PLATFORMS);
+        let mut rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.model.to_string()];
+                row.extend(r.speedups().iter().map(|s| format!("{s:.1}x")));
+                row
+            })
+            .collect();
+        let mut gm = vec!["geomean".to_string()];
+        gm.extend(self.geomean().iter().map(|s| format!("{s:.1}x")));
+        rows.push(gm);
+        format!(
+            "{fig}: speedup of Cambricon-S (sparse) over baselines\n{}",
+            render_table(&header, &rows)
+        )
+    }
+}
+
+fn filtered(wl: &NetworkWorkload, filter: Option<LayerClass>) -> NetworkWorkload {
+    match filter {
+        None => wl.clone(),
+        Some(class) => NetworkWorkload {
+            model: wl.model,
+            layers: wl
+                .layers
+                .iter()
+                .filter(|l| l.class == class)
+                .cloned()
+                .collect(),
+        },
+    }
+}
+
+fn software_seconds(wl: &NetworkWorkload, platform: &PlatformModel) -> f64 {
+    wl.layers
+        .iter()
+        .map(|l| platform.layer_seconds(&l.timing))
+        .sum()
+}
+
+/// Runs the speedup comparison; `class_filter` selects Fig. 16/17.
+pub fn run(class_filter: Option<LayerClass>) -> Fig15Result {
+    let cfg = AccelConfig::paper_default();
+    let ghz = cfg.freq_ghz * 1e9;
+    let mut rows = Vec::new();
+    for model in Model::all() {
+        let wl = filtered(&paper_workload(model, Scale::Full), class_filter);
+        if wl.layers.is_empty() {
+            continue;
+        }
+        let ours: u64 = wl.run_ours(&cfg).iter().map(|r| r.stats.cycles).sum();
+        let ours_seconds = ours as f64 / ghz;
+        let acc_dense: u64 = wl
+            .run_ours_dense(&cfg)
+            .iter()
+            .map(|r| r.stats.cycles)
+            .sum();
+        let diannao: u64 = wl
+            .layers
+            .iter()
+            .map(|l| diannao_layer(&l.timing).stats.cycles)
+            .sum();
+        let x: u64 = wl
+            .layers
+            .iter()
+            .map(|l| cambricon_x_layer(&l.timing).stats.cycles)
+            .sum();
+        let baseline_seconds = [
+            software_seconds(&wl, &cpu_gpu::cpu_caffe()),
+            software_seconds(&wl, &cpu_gpu::cpu_sparse()),
+            software_seconds(&wl, &cpu_gpu::gpu_caffe()),
+            software_seconds(&wl, &cpu_gpu::gpu_cublas()),
+            software_seconds(&wl, &cpu_gpu::gpu_cusparse()),
+            diannao as f64 / ghz,
+            x as f64 / ghz,
+            acc_dense as f64 / ghz,
+        ];
+        rows.push(ModelSpeedup {
+            model,
+            ours_seconds,
+            baseline_seconds,
+        });
+    }
+    Fig15Result { class_filter, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_speedups_have_paper_shape() {
+        let r = run(None);
+        assert_eq!(r.rows.len(), 7);
+        let gm = r.geomean();
+        // Paper headline factors: CPU-Sparse 331x, GPU-cuSparse 19.3x,
+        // DianNao 13.1x, Cambricon-X 1.71x, ACC-dense 4.32x. Shapes: each
+        // baseline slower than ours, with the right ordering.
+        let [cpu, cpu_sp, gpu, cublas, cusparse, diannao, x, dense] = gm;
+        assert!(cpu_sp > cpu, "sparse CPU slower than dense CPU");
+        assert!(cpu > gpu, "GPU faster than CPU");
+        assert!(gpu > 1.0 && cublas > 1.0 && cusparse > 1.0);
+        assert!(
+            (4.0..40.0).contains(&diannao),
+            "DianNao geomean {diannao}"
+        );
+        assert!((1.1..4.0).contains(&x), "Cambricon-X geomean {x}");
+        assert!((1.5..10.0).contains(&dense), "ACC-dense geomean {dense}");
+        assert!(diannao > x, "DianNao slower than Cambricon-X");
+        assert!(r.render().contains("Fig.15"));
+    }
+
+    #[test]
+    fn conv_and_fc_figures_filter_layers() {
+        let conv = run(Some(LayerClass::Convolutional));
+        // MLP and LSTM have no conv layers.
+        assert_eq!(conv.rows.len(), 5);
+        let fc = run(Some(LayerClass::FullyConnected));
+        assert!(fc.rows.len() >= 5);
+        assert!(conv.render().contains("Fig.16"));
+        assert!(fc.render().contains("Fig.17"));
+    }
+
+    #[test]
+    fn fc_speedup_over_x_exceeds_conv_speedup_over_x() {
+        // Paper: 2.15x (FC) vs 1.66x (conv) over Cambricon-X thanks to
+        // quantization + index sharing in memory-bound FC layers.
+        let conv = run(Some(LayerClass::Convolutional)).geomean()[6];
+        let fc = run(Some(LayerClass::FullyConnected)).geomean()[6];
+        assert!(fc > conv, "fc {fc} vs conv {conv}");
+    }
+}

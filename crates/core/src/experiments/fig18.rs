@@ -1,0 +1,251 @@
+//! Figs. 18–20 — energy efficiency and energy breakdowns.
+//!
+//! Fig. 18 compares energy efficiency (1/energy, normalized to
+//! Cambricon-S) against the GPU, DianNao and Cambricon-X, including
+//! off-chip accesses. Figs. 19/20 break our energy down per component
+//! with and without DRAM.
+
+use cs_accel::config::AccelConfig;
+use cs_accel::timing::simulate_layer;
+use cs_baselines::cpu_gpu;
+use cs_baselines::{cambricon_x_layer, diannao_layer};
+use cs_energy::energy::{
+    energy_cambricon_s, energy_cambricon_x, energy_diannao, EnergyBreakdown, EnergyModel,
+};
+use cs_nn::spec::{Model, Scale};
+
+use crate::render_table;
+use crate::workload::paper_workload;
+
+/// Per-network energies in joules.
+#[derive(Debug, Clone)]
+pub struct ModelEnergy {
+    /// The network.
+    pub model: Model,
+    /// Our total energy (J), including DRAM.
+    pub ours_j: f64,
+    /// Our energy without DRAM.
+    pub ours_onchip_j: f64,
+    /// GPU energy.
+    pub gpu_j: f64,
+    /// DianNao energy.
+    pub diannao_j: f64,
+    /// DianNao on-chip energy.
+    pub diannao_onchip_j: f64,
+    /// Cambricon-X energy.
+    pub x_j: f64,
+    /// Cambricon-X on-chip energy.
+    pub x_onchip_j: f64,
+    /// Our per-component breakdown (pJ).
+    pub ours_breakdown: EnergyBreakdown,
+}
+
+/// Result of the energy experiments.
+#[derive(Debug, Clone)]
+pub struct Fig18Result {
+    /// One row per network.
+    pub rows: Vec<ModelEnergy>,
+}
+
+impl Fig18Result {
+    /// Geometric-mean efficiency gains `[gpu, diannao, x]` (with DRAM).
+    pub fn geomean_efficiency(&self) -> [f64; 3] {
+        let mut acc = [0.0f64; 3];
+        for r in &self.rows {
+            acc[0] += (r.gpu_j / r.ours_j).ln();
+            acc[1] += (r.diannao_j / r.ours_j).ln();
+            acc[2] += (r.x_j / r.ours_j).ln();
+        }
+        let n = self.rows.len().max(1) as f64;
+        acc.map(|v| (v / n).exp())
+    }
+
+    /// Renders Fig. 18 (efficiency vs baselines).
+    pub fn render(&self) -> String {
+        let header = ["model", "vs GPU", "vs DianNao", "vs Cambricon-X"];
+        let mut rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.to_string(),
+                    format!("{:.1}x", r.gpu_j / r.ours_j),
+                    format!("{:.1}x", r.diannao_j / r.ours_j),
+                    format!("{:.2}x", r.x_j / r.ours_j),
+                ]
+            })
+            .collect();
+        let gm = self.geomean_efficiency();
+        rows.push(vec![
+            "geomean".into(),
+            format!("{:.1}x", gm[0]),
+            format!("{:.1}x", gm[1]),
+            format!("{:.2}x", gm[2]),
+        ]);
+        format!(
+            "Fig.18 energy efficiency of Cambricon-S over baselines (incl. DRAM)\n{}",
+            render_table(&header, &rows)
+        )
+    }
+
+    /// Renders Fig. 19 (breakdown including DRAM).
+    pub fn render_fig19(&self) -> String {
+        let header = ["model", "DRAM%", "SRAM%", "logic%", "CP%"];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let b = &r.ours_breakdown;
+                let t = b.total_pj();
+                let logic = b.selector_pj + b.ssm_pj + b.wdm_pj + b.pefu_pj;
+                vec![
+                    r.model.to_string(),
+                    format!("{:.1}", 100.0 * b.dram_pj / t),
+                    format!("{:.1}", 100.0 * b.onchip_sram_pj() / t),
+                    format!("{:.1}", 100.0 * logic / t),
+                    format!("{:.1}", 100.0 * b.cp_pj / t),
+                ]
+            })
+            .collect();
+        format!(
+            "Fig.19 energy breakdown with off-chip accesses\n{}",
+            render_table(&header, &rows)
+        )
+    }
+
+    /// Renders Fig. 20 (on-chip-only breakdown).
+    pub fn render_fig20(&self) -> String {
+        let header = [
+            "model", "NBin%", "NBout%", "SB%", "SIB%", "NSM%", "SSM%", "WDM%", "PEFU%", "CP%",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let b = &r.ours_breakdown;
+                let t = b.onchip_pj();
+                let pct = |v: f64| format!("{:.1}", 100.0 * v / t);
+                vec![
+                    r.model.to_string(),
+                    pct(b.nbin_pj),
+                    pct(b.nbout_pj),
+                    pct(b.sb_pj),
+                    pct(b.sib_pj),
+                    pct(b.selector_pj),
+                    pct(b.ssm_pj),
+                    pct(b.wdm_pj),
+                    pct(b.pefu_pj),
+                    pct(b.cp_pj),
+                ]
+            })
+            .collect();
+        format!(
+            "Fig.20 energy breakdown without off-chip accesses\n{}",
+            render_table(&header, &rows)
+        )
+    }
+}
+
+/// Runs the energy comparison for all networks.
+pub fn run() -> Fig18Result {
+    let cfg = AccelConfig::paper_default();
+    let em = EnergyModel::default_65nm();
+    let mut rows = Vec::new();
+    for model in Model::all() {
+        let wl = paper_workload(model, Scale::Full);
+        let mut ours = EnergyBreakdown::default();
+        let mut dn = EnergyBreakdown::default();
+        let mut x = EnergyBreakdown::default();
+        let mut gpu_j = 0.0;
+        let gpu = cpu_gpu::gpu_caffe();
+        for l in &wl.layers {
+            let run = simulate_layer(&cfg, &l.timing);
+            ours = add(ours, energy_cambricon_s(&run.stats, &em));
+            dn = add(dn, energy_diannao(&diannao_layer(&l.timing).stats, &em));
+            x = add(x, energy_cambricon_x(&cambricon_x_layer(&l.timing).stats, &em));
+            gpu_j += gpu.layer_joules(&l.timing);
+        }
+        rows.push(ModelEnergy {
+            model,
+            ours_j: ours.total_pj() * 1e-12,
+            ours_onchip_j: ours.onchip_pj() * 1e-12,
+            gpu_j,
+            diannao_j: dn.total_pj() * 1e-12,
+            diannao_onchip_j: dn.onchip_pj() * 1e-12,
+            x_j: x.total_pj() * 1e-12,
+            x_onchip_j: x.onchip_pj() * 1e-12,
+            ours_breakdown: ours,
+        });
+    }
+    Fig18Result { rows }
+}
+
+fn add(a: EnergyBreakdown, b: EnergyBreakdown) -> EnergyBreakdown {
+    EnergyBreakdown {
+        nbin_pj: a.nbin_pj + b.nbin_pj,
+        nbout_pj: a.nbout_pj + b.nbout_pj,
+        sb_pj: a.sb_pj + b.sb_pj,
+        sib_pj: a.sib_pj + b.sib_pj,
+        selector_pj: a.selector_pj + b.selector_pj,
+        ssm_pj: a.ssm_pj + b.ssm_pj,
+        wdm_pj: a.wdm_pj + b.wdm_pj,
+        pefu_pj: a.pefu_pj + b.pefu_pj,
+        cp_pj: a.cp_pj + b.cp_pj,
+        dram_pj: a.dram_pj + b.dram_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_ordering_matches_paper() {
+        let r = run();
+        assert_eq!(r.rows.len(), 7);
+        let [gpu, dn, x] = r.geomean_efficiency();
+        // Paper: 49.6x vs GPU, 9.16x vs DianNao, 1.37x vs Cambricon-X.
+        assert!(gpu > dn, "GPU {gpu} vs DianNao {dn}");
+        assert!(dn > x, "DianNao {dn} vs X {x}");
+        assert!(x > 1.0, "X {x}");
+        assert!((1.05..5.0).contains(&x), "vs X: {x}");
+        assert!((2.0..40.0).contains(&dn), "vs DianNao: {dn}");
+        assert!(gpu > 5.0, "vs GPU: {gpu}");
+    }
+
+    #[test]
+    fn dram_dominates_and_sram_dominates_onchip() {
+        let r = run();
+        for m in &r.rows {
+            let b = &m.ours_breakdown;
+            assert!(
+                b.dram_fraction() > 0.5,
+                "{}: DRAM {}",
+                m.model,
+                b.dram_fraction()
+            );
+            let sram = b.onchip_sram_pj() / b.onchip_pj();
+            assert!((0.25..0.98).contains(&sram), "{}: SRAM {sram}", m.model);
+        }
+        assert!(r.render().contains("Fig.18"));
+        assert!(r.render_fig19().contains("Fig.19"));
+        assert!(r.render_fig20().contains("Fig.20"));
+    }
+
+    #[test]
+    fn memory_intensive_nets_have_highest_dram_share() {
+        let r = run();
+        let frac = |m: Model| {
+            r.rows
+                .iter()
+                .find(|x| x.model == m)
+                .unwrap()
+                .ours_breakdown
+                .dram_fraction()
+        };
+        // Paper: LSTM and MLP consume >98% in main memory, more than the
+        // conv-heavy networks.
+        assert!(frac(Model::Mlp) > frac(Model::Vgg16));
+        assert!(frac(Model::Lstm) > frac(Model::Vgg16));
+    }
+}

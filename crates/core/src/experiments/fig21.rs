@@ -1,0 +1,156 @@
+//! Fig. 21 — sparsity sensitivity: speedup of sparse over dense
+//! execution as synapse and neuron sparsity vary independently.
+//!
+//! Four curves, as in the paper: (a) conv layer, synapse-sparsity sweep
+//! at dense neurons; (b) conv layer, neuron-sparsity sweep at dense
+//! synapses; (c/d) the same for a fully-connected layer. Structural
+//! limits cap the conv curves at 16× (NSM selects 16 of 256) and the
+//! neuron-only curves at ~4× (SSM selects 16 of 64); FC layers are
+//! memory-bound so synapse sparsity translates directly to time while
+//! neuron sparsity buys nothing.
+
+use cs_accel::config::AccelConfig;
+use cs_accel::timing::{simulate_layer, simulate_layer_dense, LayerTiming};
+
+use crate::render_table;
+
+/// One sweep curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Curve label.
+    pub label: String,
+    /// `(density, speedup-over-dense)` points, density decreasing.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Curve {
+    /// Maximum speedup along the curve.
+    pub fn max_speedup(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(0.0, f64::max)
+    }
+}
+
+/// Result of the sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct Fig21Result {
+    /// The four curves.
+    pub curves: Vec<Curve>,
+}
+
+impl Fig21Result {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let header = ["curve", "density%", "speedup"];
+        let mut rows = Vec::new();
+        for c in &self.curves {
+            for (d, s) in &c.points {
+                rows.push(vec![
+                    c.label.clone(),
+                    format!("{:.1}", 100.0 * d),
+                    format!("{s:.2}x"),
+                ]);
+            }
+        }
+        format!(
+            "Fig.21 speedup of sparse over dense execution\n{}",
+            render_table(&header, &rows)
+        )
+    }
+}
+
+const DENSITIES: [f64; 9] = [1.0, 0.95, 0.75, 0.50, 0.35, 0.25, 0.10, 0.05, 0.01];
+
+fn sweep(
+    label: &str,
+    template: &LayerTiming,
+    vary_synapse: bool,
+    cfg: &AccelConfig,
+) -> Curve {
+    let dense_cycles = simulate_layer_dense(cfg, template).stats.cycles;
+    let points = DENSITIES
+        .iter()
+        .map(|&d| {
+            let mut l = template.clone();
+            // Sweeps isolate sparsity: weights stay 16-bit.
+            l.weight_bits = 16;
+            if vary_synapse {
+                l.static_density = d;
+                l.dynamic_density = 1.0;
+            } else {
+                l.static_density = 1.0;
+                l.dynamic_density = d;
+            }
+            let cycles = simulate_layer(cfg, &l).stats.cycles;
+            (d, dense_cycles as f64 / cycles as f64)
+        })
+        .collect();
+    Curve {
+        label: label.to_string(),
+        points,
+    }
+}
+
+/// Runs the four sweeps.
+pub fn run() -> Fig21Result {
+    let cfg = AccelConfig::paper_default();
+    let conv = LayerTiming::conv(256, 256, 3, 13, 13, 13, 13, 1.0, 1.0, 16);
+    let fc = LayerTiming::fc(4096, 4096, 1.0, 1.0, 16);
+    Fig21Result {
+        curves: vec![
+            sweep("conv/SS", &conv, true, &cfg),
+            sweep("conv/NS", &conv, false, &cfg),
+            sweep("fc/SS", &fc, true, &cfg),
+            sweep("fc/NS", &fc, false, &cfg),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve<'a>(r: &'a Fig21Result, label: &str) -> &'a Curve {
+        r.curves.iter().find(|c| c.label == label).unwrap()
+    }
+
+    #[test]
+    fn conv_synapse_sweep_approaches_but_never_exceeds_16x() {
+        let r = run();
+        let c = curve(&r, "conv/SS");
+        let max = c.max_speedup();
+        assert!((10.0..=16.2).contains(&max), "max {max}");
+        // Monotone: lower density -> higher speedup.
+        for w in c.points.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn conv_neuron_sweep_saturates_near_4x() {
+        // SSM selects 16 of 64: at most ~4x from neuron sparsity alone.
+        let r = run();
+        let max = curve(&r, "conv/NS").max_speedup();
+        assert!((2.5..=4.2).contains(&max), "max {max}");
+    }
+
+    #[test]
+    fn fc_synapse_sweep_gains_at_low_density() {
+        // Paper: gains even at 95% density, large at 1% (~59x).
+        let r = run();
+        let c = curve(&r, "fc/SS");
+        let at95 = c.points.iter().find(|p| p.0 == 0.95).unwrap().1;
+        assert!(at95 > 1.0, "at 95%: {at95}");
+        let at1 = c.points.iter().find(|p| p.0 == 0.01).unwrap().1;
+        assert!(at1 > 20.0, "at 1%: {at1}");
+    }
+
+    #[test]
+    fn fc_neuron_sparsity_buys_nothing() {
+        // FC time is weight-traffic-bound; neuron sparsity does not
+        // reduce memory accesses.
+        let r = run();
+        let max = curve(&r, "fc/NS").max_speedup();
+        assert!(max < 1.3, "max {max}");
+        assert!(r.render().contains("Fig.21"));
+    }
+}

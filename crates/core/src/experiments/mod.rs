@@ -1,0 +1,44 @@
+//! Experiment drivers — one per table/figure of the paper's evaluation.
+//!
+//! Every driver returns a structured result type plus a `render()`
+//! method producing the text table/series the paper reports. The
+//! `exp_*` binaries in `cs-bench` are thin wrappers around these, and
+//! the integration tests smoke-run them at reduced scale.
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Fig. 1 local convergence maps | [`fig01`] |
+//! | Fig. 4 larger-weight CDFs | [`fig04`] |
+//! | Table II block-size sweep | [`tab02`] |
+//! | Table III SSS/SNS/DNS | [`tab03`] |
+//! | Fig. 8 max vs. average pruning | [`fig08`] |
+//! | Table IV compression results | [`tab04`] |
+//! | Table V comparison vs. Deep Compression / CNNpack | [`tab05`] |
+//! | Table VI hardware characteristics | [`tab06`] |
+//! | Figs. 15–17 speedups | [`fig15`] |
+//! | Figs. 18–20 energy | [`fig18`] |
+//! | Fig. 21 sparsity sensitivity | [`fig21`] |
+//! | Table VII EIE comparison | [`tab07`] |
+//! | Discussion ablations | [`disc`] |
+//! | Extension: entropy-coder comparison | [`ext_entropy`] |
+//! | Extension: compression DSE | [`ext_dse`] |
+//! | Extension: measured Table I capability matrix | [`ext_table1`] |
+//! | Extension: PE-array scaling | [`ext_scaling`] |
+
+pub mod disc;
+pub mod ext_dse;
+pub mod ext_scaling;
+pub mod ext_table1;
+pub mod ext_entropy;
+pub mod fig01;
+pub mod fig04;
+pub mod fig08;
+pub mod fig15;
+pub mod fig18;
+pub mod fig21;
+pub mod tab02;
+pub mod tab03;
+pub mod tab04;
+pub mod tab05;
+pub mod tab06;
+pub mod tab07;

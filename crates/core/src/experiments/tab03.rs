@@ -1,0 +1,211 @@
+//! Table III — static and dynamic sparsity per network.
+//!
+//! SSS and SNS are measured from the pruning masks the pipeline
+//! produces. DNS is measured by propagating sampled activations through
+//! the materialized (synthetic-weight) layers: each layer's output
+//! density is the fraction of sampled post-ReLU outputs that are
+//! non-zero, and feeds the next layer's input distribution. Because the
+//! synthetic weights are zero-mean, measured DNS sits near 50% — the
+//! right order for the paper's 40–80% band (the exact values depend on
+//! trained biases we cannot reproduce; Figs. 15–20 therefore use the
+//! paper's published DNS as workload parameters instead, see
+//! `crate::workload`).
+
+use cs_nn::init::{self, ConvergenceProfile};
+use cs_nn::spec::{LayerClass, Model, NetworkSpec, Scale};
+use cs_sparsity::convergence::matrix_view;
+use cs_sparsity::{stats, Mask};
+use cs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cs_compress::config::ModelCompressionConfig;
+use cs_compress::pipeline::prune_layer;
+
+use crate::render_table;
+
+/// Per-class sparsity triple (percentages, remaining/total).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassSparsity {
+    /// Static synapse sparsity (%).
+    pub sss: f64,
+    /// Static neuron sparsity (%).
+    pub sns: f64,
+    /// Dynamic neuron sparsity (%).
+    pub dns: f64,
+    /// Number of layers aggregated.
+    pub layers: usize,
+}
+
+/// One network's Table III row.
+#[derive(Debug, Clone)]
+pub struct ModelSparsity {
+    /// The model.
+    pub model: Model,
+    /// Convolutional-layer aggregate (None when the model has none).
+    pub conv: Option<ClassSparsity>,
+    /// Fully-connected aggregate.
+    pub fc: Option<ClassSparsity>,
+    /// LSTM aggregate.
+    pub lstm: Option<ClassSparsity>,
+}
+
+/// Result of the Table III experiment.
+#[derive(Debug, Clone)]
+pub struct Tab03Result {
+    /// One row per model.
+    pub rows: Vec<ModelSparsity>,
+}
+
+impl Tab03Result {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let header = ["model", "class", "SSS%", "SNS%", "DNS%"];
+        let mut rows = Vec::new();
+        for m in &self.rows {
+            for (class, s) in [("C", m.conv), ("F", m.fc), ("L", m.lstm)] {
+                if let Some(s) = s {
+                    rows.push(vec![
+                        m.model.to_string(),
+                        class.to_string(),
+                        format!("{:.2}", s.sss),
+                        format!("{:.2}", s.sns),
+                        format!("{:.2}", s.dns),
+                    ]);
+                }
+            }
+        }
+        format!("Table III: sparsity in NNs\n{}", render_table(&header, &rows))
+    }
+}
+
+fn half_normal(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32).abs()
+}
+
+/// Measures the post-ReLU output density of one layer by sampling
+/// `samples` output neurons against synthetic inputs of the given
+/// density.
+pub fn sample_layer_dns(
+    weights: &Tensor,
+    mask: &Mask,
+    input_density: f64,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let (rows, cols) = matrix_view(weights);
+    let data = weights.as_slice();
+    let bits = mask.bits();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input: Vec<f32> = (0..rows)
+        .map(|_| {
+            if rng.gen_bool(input_density.clamp(0.0, 1.0)) {
+                half_normal(&mut rng)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut positive = 0usize;
+    let samples = samples.min(cols).max(1);
+    for s in 0..samples {
+        let o = (s * cols / samples).min(cols - 1);
+        let mut acc = 0.0f32;
+        for (i, x) in input.iter().enumerate() {
+            if *x != 0.0 && bits[i * cols + o] {
+                acc += data[i * cols + o] * x;
+            }
+        }
+        if acc > 0.0 {
+            positive += 1;
+        }
+    }
+    positive as f64 / samples as f64
+}
+
+/// Runs the Table III measurement for all seven models.
+pub fn run(scale: Scale, seed: u64) -> Tab03Result {
+    let mut rows = Vec::new();
+    for model in Model::all() {
+        let spec = NetworkSpec::model(model, scale);
+        let cfg = ModelCompressionConfig::paper(model);
+        let mut agg: [ClassSparsity; 3] = Default::default();
+        let mut prev_dns = 1.0f64;
+        for layer in spec.weighted_layers() {
+            let lc = cfg.for_layer(layer);
+            let profile = ConvergenceProfile::with_target_density(lc.target_density);
+            let weights = init::materialize(layer, &profile, seed);
+            let mask = prune_layer(&weights, lc).expect("valid density");
+            let dns = sample_layer_dns(&weights, &mask, prev_dns, 256, seed ^ 0xf00d);
+            prev_dns = dns.max(0.05);
+            let slot = match layer.class() {
+                LayerClass::Convolutional => 0,
+                LayerClass::FullyConnected => 1,
+                _ => 2,
+            };
+            agg[slot].sss += 100.0 * stats::synapse_sparsity(&mask);
+            agg[slot].sns += 100.0 * stats::static_neuron_sparsity(&mask);
+            agg[slot].dns += 100.0 * dns;
+            agg[slot].layers += 1;
+        }
+        let finish = |s: ClassSparsity| {
+            if s.layers == 0 {
+                None
+            } else {
+                Some(ClassSparsity {
+                    sss: s.sss / s.layers as f64,
+                    sns: s.sns / s.layers as f64,
+                    dns: s.dns / s.layers as f64,
+                    layers: s.layers,
+                })
+            }
+        };
+        rows.push(ModelSparsity {
+            model,
+            conv: finish(agg[0]),
+            fc: finish(agg[1]),
+            lstm: finish(agg[2]),
+        });
+    }
+    Tab03Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_table_matches_targets_and_structure() {
+        let r = run(Scale::Reduced(16), 3);
+        assert_eq!(r.rows.len(), 7);
+        let alexnet = r
+            .rows
+            .iter()
+            .find(|m| m.model == Model::AlexNet)
+            .unwrap();
+        let conv = alexnet.conv.unwrap();
+        // SSS close to the 35.25% target (within block granularity).
+        assert!((conv.sss - 35.25).abs() < 8.0, "conv SSS {}", conv.sss);
+        // Conv SNS stays high (essentially 100% at full scale; the
+        // 16x-reduced test models lose a few whole input maps).
+        assert!(conv.sns > 70.0, "conv SNS {}", conv.sns);
+        // DNS lands mid-band for ReLU layers.
+        assert!((20.0..85.0).contains(&conv.dns), "conv DNS {}", conv.dns);
+        // MLP has no conv layers.
+        let mlp = r.rows.iter().find(|m| m.model == Model::Mlp).unwrap();
+        assert!(mlp.conv.is_none());
+        assert!(mlp.fc.is_some());
+        assert!(r.render().contains("Table III"));
+    }
+
+    #[test]
+    fn fc_sns_drops_at_aggressive_pruning() {
+        let r = run(Scale::Reduced(16), 3);
+        let vgg = r.rows.iter().find(|m| m.model == Model::Vgg16).unwrap();
+        let fc = vgg.fc.unwrap();
+        // 4.84% density leaves some input neurons dead.
+        assert!(fc.sns < 100.0, "fc SNS {}", fc.sns);
+    }
+}

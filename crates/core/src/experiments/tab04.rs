@@ -1,0 +1,129 @@
+//! Table IV — full compression results for all seven networks.
+
+use cs_compress::config::ModelCompressionConfig;
+use cs_compress::pipeline::{compress_model, ModelReport};
+use cs_nn::spec::{LayerClass, Model, NetworkSpec, Scale};
+
+use crate::render_table;
+
+/// Result of the Table IV experiment.
+#[derive(Debug, Clone)]
+pub struct Tab04Result {
+    /// One compression report per model.
+    pub reports: Vec<ModelReport>,
+    /// Scale the networks were materialized at.
+    pub scale: Scale,
+}
+
+fn human(bytes: usize) -> String {
+    if bytes >= 1_000_000 {
+        format!("{:.2}M", bytes as f64 / 1e6)
+    } else if bytes >= 1_000 {
+        format!("{:.2}K", bytes as f64 / 1e3)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+impl Tab04Result {
+    /// Renders the Table IV rows.
+    pub fn render(&self) -> String {
+        let header = [
+            "model", "C%", "F/L%", "W_p", "I", "r_p", "W_q", "r_q", "W_c", "I_c", "r_c",
+            "R(Irr)",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .reports
+            .iter()
+            .map(|r| {
+                let c = r
+                    .class_density(LayerClass::Convolutional)
+                    .map(|d| format!("{:.2}", 100.0 * d))
+                    .unwrap_or_else(|| "-".into());
+                let f = r
+                    .class_density(LayerClass::FullyConnected)
+                    .or_else(|| r.class_density(LayerClass::Lstm))
+                    .map(|d| format!("{:.2}", 100.0 * d))
+                    .unwrap_or_else(|| "-".into());
+                vec![
+                    r.model.to_string(),
+                    c,
+                    f,
+                    human(r.wp_bytes()),
+                    human(r.index_bytes()),
+                    format!("{:.1}x", r.pruning_ratio()),
+                    human(r.wq_bytes()),
+                    format!("{:.0}x", r.quantized_ratio()),
+                    human(r.wc_bytes()),
+                    human(r.ic_bytes()),
+                    format!("{:.0}x", r.overall_ratio()),
+                    format!("{:.2}x", r.reduced_irregularity()),
+                ]
+            })
+            .collect();
+        format!(
+            "Table IV: compression results (scale {:?})\n{}",
+            self.scale,
+            render_table(&header, &rows)
+        )
+    }
+
+    /// Mean reduced irregularity across models (paper: 20.13×).
+    pub fn mean_irregularity(&self) -> f64 {
+        let sum: f64 = self
+            .reports
+            .iter()
+            .map(ModelReport::reduced_irregularity)
+            .sum();
+        sum / self.reports.len().max(1) as f64
+    }
+}
+
+/// Compresses all seven networks with the paper's settings.
+///
+/// # Errors
+///
+/// Propagates compression failures.
+pub fn run(scale: Scale, seed: u64) -> Result<Tab04Result, cs_compress::CompressError> {
+    let mut reports = Vec::new();
+    for model in Model::all() {
+        let spec = NetworkSpec::model(model, scale);
+        let cfg = ModelCompressionConfig::paper(model);
+        reports.push(compress_model(&spec, &cfg, seed)?);
+    }
+    Ok(Tab04Result { reports, scale })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_compress_with_paper_shape() {
+        let r = run(Scale::Reduced(8), 5).unwrap();
+        assert_eq!(r.reports.len(), 7);
+        for rep in &r.reports {
+            let rc = rep.overall_ratio();
+            match rep.model {
+                // Deep nets with dense FC / moderate conv pruning
+                // compress far less (paper: 10x).
+                Model::ResNet152 => assert!((2.0..30.0).contains(&rc), "resnet rc {rc}"),
+                // Tiny test-scale models pay fixed codebook overheads;
+                // full-scale ratios land near the paper's 69-98x.
+                _ => assert!(rc > 10.0, "{} rc {rc}", rep.model),
+            }
+            assert!(rep.reduced_irregularity() >= 1.0);
+        }
+        // Large FC-heavy nets compress the most.
+        let rc_of = |m: Model| {
+            r.reports
+                .iter()
+                .find(|x| x.model == m)
+                .unwrap()
+                .overall_ratio()
+        };
+        assert!(rc_of(Model::AlexNet) > rc_of(Model::ResNet152));
+        assert!(r.mean_irregularity() > 2.0);
+        assert!(r.render().contains("Table IV"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Table VI — hardware characteristics (area/power breakdown).
+
+use cs_energy::model::{
+    cambricon_s_modules, indexing_modules_s, total_area_mm2, total_power_mw, Platform,
+};
+
+use crate::render_table;
+
+/// Result of the Table VI experiment.
+#[derive(Debug, Clone)]
+pub struct Tab06Result {
+    /// Total area in mm².
+    pub total_area: f64,
+    /// Total power in mW.
+    pub total_power: f64,
+    /// Per-module rows: (name, area, area %, power, power %).
+    pub modules: Vec<(String, f64, f64, f64, f64)>,
+    /// Area of the sparsity components (NSM + SSM + WDM + SIB).
+    pub sparsity_area: f64,
+    /// Power of the sparsity components.
+    pub sparsity_power: f64,
+}
+
+impl Tab06Result {
+    /// Renders Table VI.
+    pub fn render(&self) -> String {
+        let header = ["module", "area(mm2)", "area%", "power(mW)", "power%"];
+        let mut rows = vec![vec![
+            "Total".to_string(),
+            format!("{:.2}", self.total_area),
+            "100.00".to_string(),
+            format!("{:.2}", self.total_power),
+            "100.00".to_string(),
+        ]];
+        for (n, a, ap, p, pp) in &self.modules {
+            rows.push(vec![
+                n.clone(),
+                format!("{a:.2}"),
+                format!("{ap:.2}"),
+                format!("{p:.2}"),
+                format!("{pp:.2}"),
+            ]);
+        }
+        format!(
+            "Table VI: hardware characteristics (TSMC 65nm, 1 GHz, 512 GOP/s)\n{}\n\
+             sparsity components: {:.2} mm2 ({:.1}% of area), {:.2} mW ({:.1}% of power)\n\
+             indexing (NSM+SSM) vs Cambricon-X IM: {:.2}x area, {:.2}x power saving",
+            render_table(&header, &rows),
+            self.sparsity_area,
+            100.0 * self.sparsity_area / self.total_area,
+            self.sparsity_power,
+            100.0 * self.sparsity_power / self.total_power,
+            1.98 / indexing_modules_s().area_mm2,
+            332.62 / indexing_modules_s().power_mw,
+        )
+    }
+}
+
+/// Builds the table from the model constants.
+pub fn run() -> Tab06Result {
+    let total_area = total_area_mm2(Platform::CambriconS);
+    let total_power = total_power_mw(Platform::CambriconS);
+    let mods = cambricon_s_modules();
+    let modules = mods
+        .iter()
+        .map(|m| {
+            (
+                m.name.to_string(),
+                m.area_mm2,
+                100.0 * m.area_mm2 / total_area,
+                m.power_mw,
+                100.0 * m.power_mw / total_power,
+            )
+        })
+        .collect();
+    let spars = |name: &str| mods.iter().find(|m| m.name == name).unwrap();
+    let sparsity_area = spars("NSM").area_mm2
+        + spars("SSM").area_mm2
+        + spars("WDM").area_mm2
+        + spars("SIB").area_mm2;
+    let sparsity_power = spars("NSM").power_mw
+        + spars("SSM").power_mw
+        + spars("WDM").power_mw
+        + spars("SIB").power_mw;
+    Tab06Result {
+        total_area,
+        total_power,
+        modules,
+        sparsity_area,
+        sparsity_power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_sparsity_share_match_paper() {
+        let r = run();
+        assert!((r.total_area - 6.73).abs() < 1e-9);
+        assert!((r.total_power - 798.55).abs() < 1e-9);
+        // Paper: sparsity components are 2.48-2.53 mm2 (~37%) and
+        // ~195-201 mW (~25%).
+        assert!((r.sparsity_area - 2.53).abs() < 0.1, "{}", r.sparsity_area);
+        assert!(
+            (r.sparsity_power - 201.4).abs() < 10.0,
+            "{}",
+            r.sparsity_power
+        );
+        assert!(r.render().contains("Table VI"));
+    }
+}

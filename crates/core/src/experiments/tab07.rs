@@ -1,0 +1,153 @@
+//! Table VII — FC-layer latency against EIE.
+//!
+//! Both accelerators are granted all-synapses-on-chip (EIE's design
+//! point); the comparison is pure computation time on the six big FC
+//! layers of AlexNet and VGG16.
+
+use cs_accel::config::AccelConfig;
+use cs_accel::timing::LayerTiming;
+use cs_baselines::eie::{self, EieModel};
+
+use crate::render_table;
+
+/// One layer's comparison.
+#[derive(Debug, Clone)]
+pub struct EieRow {
+    /// Layer label (e.g. `alexnet/fc6`).
+    pub layer: String,
+    /// EIE latency in µs (published).
+    pub eie_us: f64,
+    /// EIE latency in µs (our analytic model, sanity reference).
+    pub eie_model_us: f64,
+    /// Our accelerator's latency in µs.
+    pub ours_us: f64,
+}
+
+/// Result of the Table VII experiment.
+#[derive(Debug, Clone)]
+pub struct Tab07Result {
+    /// Six FC layers.
+    pub rows: Vec<EieRow>,
+}
+
+impl Tab07Result {
+    /// Geometric-mean speedup over published EIE latencies.
+    pub fn geomean_speedup(&self) -> f64 {
+        let s: f64 = self
+            .rows
+            .iter()
+            .map(|r| (r.eie_us / r.ours_us).ln())
+            .sum();
+        (s / self.rows.len().max(1) as f64).exp()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let header = ["layer", "EIE(us)", "EIE-model(us)", "ACC(us)", "speedup"];
+        let mut rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.layer.clone(),
+                    format!("{:.2}", r.eie_us),
+                    format!("{:.2}", r.eie_model_us),
+                    format!("{:.2}", r.ours_us),
+                    format!("{:.2}x", r.eie_us / r.ours_us),
+                ]
+            })
+            .collect();
+        rows.push(vec![
+            "geomean".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("{:.2}x", self.geomean_speedup()),
+        ]);
+        format!(
+            "Table VII: FC-layer latency vs EIE (all synapses on-chip)\n{}",
+            render_table(&header, &rows)
+        )
+    }
+}
+
+/// The six FC layers with the paper's sparsities: (label, n_in, n_out,
+/// static density, dynamic density).
+pub fn layers() -> Vec<(String, LayerTiming)> {
+    let cases = [
+        ("alexnet/fc6", 9216usize, 4096usize, 0.1007, 0.6073),
+        ("alexnet/fc7", 4096, 4096, 0.1007, 0.6073),
+        ("alexnet/fc8", 4096, 1000, 0.1007, 0.6073),
+        ("vgg16/fc6", 25088, 4096, 0.0484, 0.5697),
+        ("vgg16/fc7", 4096, 4096, 0.0484, 0.5697),
+        ("vgg16/fc8", 4096, 1000, 0.0484, 0.5697),
+    ];
+    cases
+        .into_iter()
+        .map(|(label, n_in, n_out, sd, dd)| {
+            (label.to_string(), LayerTiming::fc(n_in, n_out, sd, dd, 4))
+        })
+        .collect()
+}
+
+/// Runs the Table VII comparison.
+pub fn run() -> Tab07Result {
+    let cfg = AccelConfig::paper_default();
+    let eie_model = EieModel::paper_default();
+    let rows = layers()
+        .into_iter()
+        .map(|(label, timing)| {
+            let eie_us = eie::PAPER_LATENCIES
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, v)| *v)
+                .expect("published latency exists");
+            EieRow {
+                layer: label,
+                eie_us,
+                eie_model_us: eie_model.fc_micros(&timing),
+                ours_us: eie::our_fc_micros(&cfg, &timing),
+            }
+        })
+        .collect();
+    Tab07Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn we_beat_eie_on_every_layer() {
+        let r = run();
+        assert_eq!(r.rows.len(), 6);
+        for row in &r.rows {
+            assert!(
+                row.ours_us < row.eie_us,
+                "{}: ours {} vs EIE {}",
+                row.layer,
+                row.ours_us,
+                row.eie_us
+            );
+        }
+        // Paper geomean: 1.65x. Accept the same order of magnitude.
+        let gm = r.geomean_speedup();
+        assert!((1.2..6.0).contains(&gm), "geomean {gm}");
+        assert!(r.render().contains("Table VII"));
+    }
+
+    #[test]
+    fn eie_model_tracks_published_latencies() {
+        let r = run();
+        for row in &r.rows {
+            let ratio = row.eie_model_us / row.eie_us;
+            assert!(
+                (0.1..10.0).contains(&ratio),
+                "{}: model {} vs published {}",
+                row.layer,
+                row.eie_model_us,
+                row.eie_us
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! # Cambricon-S: a software/hardware co-designed sparse NN accelerator
+//!
+//! This crate is the public facade of a from-scratch reproduction of
+//! *Cambricon-S: Addressing Irregularity in Sparse Neural Networks
+//! through A Cooperative Software/Hardware Approach* (MICRO 2018).
+//!
+//! It re-exports the workspace's building blocks and adds:
+//!
+//! * [`workload`] — the paper's seven benchmark networks as timing
+//!   workloads, parameterized with the published sparsities (Table III /
+//!   Table IV);
+//! * [`experiments`] — one driver per table and figure of the paper's
+//!   evaluation, each returning structured results plus a rendered text
+//!   table.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cambricon_s::prelude::*;
+//!
+//! // Compress a network with the paper's settings...
+//! let spec = NetworkSpec::model(Model::Mlp, Scale::Reduced(4));
+//! let cfg = ModelCompressionConfig::paper(Model::Mlp);
+//! let report = compress_model(&spec, &cfg, 42).unwrap();
+//! assert!(report.overall_ratio() > 10.0);
+//!
+//! // ...and estimate how fast Cambricon-S runs it.
+//! let wl = paper_workload(Model::Mlp, Scale::Full);
+//! let cycles = wl.total_cycles_ours();
+//! assert!(cycles > 0);
+//! ```
+
+pub mod experiments;
+pub mod workload;
+
+/// Convenient re-exports of the most-used workspace types.
+pub mod prelude {
+    pub use crate::workload::{paper_workload, NetworkWorkload};
+    pub use cs_accel::config::AccelConfig;
+    pub use cs_accel::exec::Accelerator;
+    pub use cs_accel::timing::{simulate_layer, simulate_layer_dense, LayerTiming};
+    pub use cs_compress::config::{LayerCompressionConfig, ModelCompressionConfig};
+    pub use cs_compress::format::SharedIndexLayer;
+    pub use cs_compress::pipeline::{compress_layer, compress_model, ModelReport};
+    pub use cs_nn::spec::{LayerClass, LayerSpec, Model, NetworkSpec, Scale};
+    pub use cs_nn::{Layer, LayerKind, Network};
+    pub use cs_sparsity::coarse::{CoarseConfig, PruneMetric};
+    pub use cs_sparsity::Mask;
+}
+
+pub use prelude::*;
+
+/// Renders a simple aligned text table: `header` then rows.
+pub(crate) fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn render_table_aligns() {
+        let t = super::render_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with(" 2"));
+    }
+}

@@ -1,0 +1,165 @@
+//! The paper's benchmark networks as accelerator workloads.
+//!
+//! A [`NetworkWorkload`] pairs every weighted layer of a model with the
+//! sparsity parameters the paper publishes: static densities from the
+//! compression targets (Table IV) and dynamic neuron densities from the
+//! measured DNS values (Table III). Timing experiments run these through
+//! the Cambricon-S and baseline models.
+
+use cs_accel::config::AccelConfig;
+use cs_accel::timing::{simulate_layer, simulate_layer_dense, LayerTiming, TimingRun};
+use cs_compress::config::ModelCompressionConfig;
+use cs_nn::spec::{LayerClass, Model, NetworkSpec, Scale};
+
+/// One layer of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadLayer {
+    /// Timing summary (shape + sparsity + bit width).
+    pub timing: LayerTiming,
+    /// Layer class for per-class reporting (Figs. 16/17).
+    pub class: LayerClass,
+}
+
+/// A full network ready for timing simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkWorkload {
+    /// Which benchmark this is.
+    pub model: Model,
+    /// Weighted layers in execution order.
+    pub layers: Vec<WorkloadLayer>,
+}
+
+/// Dynamic neuron density (DNS, non-zero fraction) per model and class,
+/// from the paper's Table III. LSTM state values come from saturating
+/// nonlinearities and are essentially never exactly zero.
+pub fn paper_dns(model: Model, class: LayerClass) -> f64 {
+    let (c, f) = match model {
+        Model::LeNet5 => (1.0, 0.885),
+        Model::Mlp => (1.0, 0.3369),
+        Model::Cifar10Quick => (0.6939, 0.8007),
+        Model::AlexNet => (0.6237, 0.6073),
+        Model::Vgg16 => (0.4052, 0.5697),
+        Model::ResNet152 => (0.4970, 0.7590),
+        Model::Lstm => (1.0, 1.0),
+    };
+    match class {
+        LayerClass::Convolutional => c,
+        LayerClass::FullyConnected => f,
+        LayerClass::Lstm => 1.0,
+        LayerClass::Pooling => 1.0,
+    }
+}
+
+/// Builds the workload for one model with the paper's published
+/// sparsities and quantization bit widths.
+pub fn paper_workload(model: Model, scale: Scale) -> NetworkWorkload {
+    let spec = NetworkSpec::model(model, scale);
+    let cfg = ModelCompressionConfig::paper(model);
+    let mut layers = Vec::new();
+    let mut first = true;
+    for layer in spec.weighted_layers() {
+        let lc = cfg.for_layer(layer);
+        // The first layer consumes the dense input image/features.
+        let dd = if first {
+            1.0
+        } else {
+            paper_dns(model, layer.class())
+        };
+        first = false;
+        let timing =
+            LayerTiming::from_spec(layer, lc.target_density, dd, lc.quant_bits);
+        layers.push(WorkloadLayer {
+            timing,
+            class: layer.class(),
+        });
+    }
+    NetworkWorkload { model, layers }
+}
+
+impl NetworkWorkload {
+    /// Simulates every layer on Cambricon-S (sparse), returning per-layer
+    /// runs.
+    pub fn run_ours(&self, cfg: &AccelConfig) -> Vec<TimingRun> {
+        self.layers
+            .iter()
+            .map(|l| simulate_layer(cfg, &l.timing))
+            .collect()
+    }
+
+    /// Simulates every layer on Cambricon-S with the dense
+    /// representation (ACC-dense).
+    pub fn run_ours_dense(&self, cfg: &AccelConfig) -> Vec<TimingRun> {
+        self.layers
+            .iter()
+            .map(|l| simulate_layer_dense(cfg, &l.timing))
+            .collect()
+    }
+
+    /// Total sparse-execution cycles on Cambricon-S at the paper build.
+    pub fn total_cycles_ours(&self) -> u64 {
+        self.run_ours(&AccelConfig::paper_default())
+            .iter()
+            .map(|r| r.stats.cycles)
+            .sum()
+    }
+
+    /// Layers of one class only.
+    pub fn class_layers(&self, class: LayerClass) -> Vec<&WorkloadLayer> {
+        self.layers.iter().filter(|l| l.class == class).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_workloads() {
+        for m in Model::all() {
+            let wl = paper_workload(m, Scale::Full);
+            assert!(!wl.layers.is_empty(), "{m}");
+            for l in &wl.layers {
+                assert!(l.timing.static_density > 0.0);
+                assert!(l.timing.dynamic_density > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn alexnet_layer_parameters_match_paper() {
+        let wl = paper_workload(Model::AlexNet, Scale::Full);
+        let conv2 = wl.layers.iter().find(|l| l.timing.name == "conv2").unwrap();
+        assert!((conv2.timing.static_density - 0.3525).abs() < 1e-9);
+        assert!((conv2.timing.dynamic_density - 0.6237).abs() < 1e-9);
+        assert_eq!(conv2.timing.weight_bits, 8);
+        let fc7 = wl.layers.iter().find(|l| l.timing.name == "fc7").unwrap();
+        assert!((fc7.timing.static_density - 0.1007).abs() < 1e-9);
+        assert_eq!(fc7.timing.weight_bits, 4);
+    }
+
+    #[test]
+    fn first_layer_sees_dense_input() {
+        let wl = paper_workload(Model::Vgg16, Scale::Full);
+        assert_eq!(wl.layers[0].timing.dynamic_density, 1.0);
+        assert!(wl.layers[1].timing.dynamic_density < 1.0);
+    }
+
+    #[test]
+    fn sparse_runs_beat_dense_runs() {
+        let wl = paper_workload(Model::AlexNet, Scale::Full);
+        let cfg = AccelConfig::paper_default();
+        let sparse: u64 = wl.run_ours(&cfg).iter().map(|r| r.stats.cycles).sum();
+        let dense: u64 = wl
+            .run_ours_dense(&cfg)
+            .iter()
+            .map(|r| r.stats.cycles)
+            .sum();
+        let speedup = dense as f64 / sparse as f64;
+        assert!((2.0..10.0).contains(&speedup), "ACC-dense/ours {speedup}");
+    }
+
+    #[test]
+    fn lstm_has_no_dynamic_sparsity() {
+        assert_eq!(paper_dns(Model::Lstm, LayerClass::Lstm), 1.0);
+    }
+}

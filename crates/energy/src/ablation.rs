@@ -1,0 +1,114 @@
+//! Design-choice ablations from the paper's discussion section.
+
+use crate::model::{cambricon_s_modules, AreaPower};
+
+/// Cost delta of a design alternative relative to the shipped design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationCost {
+    /// Additional area in mm² (positive = alternative is bigger).
+    pub area_mm2: f64,
+    /// Additional power in mW.
+    pub power_mw: f64,
+    /// Additional SRAM in KB.
+    pub sram_kb: f64,
+}
+
+fn module(name: &str) -> AreaPower {
+    cambricon_s_modules()
+        .into_iter()
+        .find(|m| m.name == name)
+        .expect("module exists in Table VI")
+}
+
+/// Distributed NSMs (one per PE, 16 total) instead of the shared NSM:
+/// the reduced irregularity is what makes sharing possible. The paper
+/// reports 10.35 mm² and 1821.9 mW saved — i.e. 15 extra NSM instances.
+pub fn distributed_nsm() -> AblationCost {
+    let nsm = module("NSM");
+    AblationCost {
+        area_mm2: 15.0 * nsm.area_mm2,
+        power_mw: 15.0 * nsm.power_mw,
+        sram_kb: 0.0,
+    }
+}
+
+/// Sixteen private SIBs instead of the shared one: 15 KB extra SRAM.
+pub fn distributed_sib() -> AblationCost {
+    AblationCost {
+        area_mm2: 15.0 * module("SIB").area_mm2,
+        power_mw: 15.0 * module("SIB").power_mw,
+        sram_kb: 15.0,
+    }
+}
+
+/// A WDM supporting arbitrary bit-widths instead of the 4-bit aliased
+/// design: the paper measures 5.14× area and 4.27× power for the
+/// flexible decoder.
+pub fn flexible_wdm() -> AblationCost {
+    let wdm = module("WDM");
+    AblationCost {
+        area_mm2: (5.14 - 1.0) * wdm.area_mm2,
+        power_mw: (4.27 - 1.0) * wdm.power_mw,
+        sram_kb: 0.0,
+    }
+}
+
+/// On-accelerator entropy (Huffman) decoding: one sequential decoder is
+/// 6.781e-3 mm²; sustaining the SBs' supply rate needs `T_m × 4` decoders
+/// per PE = 1024 total, costing 6.94 mm² and 971.37 mW — which is why the
+/// paper leaves entropy coding off-chip.
+pub fn entropy_decoders(tn: usize, tm: usize) -> AblationCost {
+    let per_decoder_mm2 = 6.781e-3;
+    let count = (tn * tm * 4) as f64;
+    AblationCost {
+        area_mm2: per_decoder_mm2 * count,
+        power_mw: 971.37 * count / 1024.0,
+        sram_kb: 0.0,
+    }
+}
+
+/// Relative performance gain entropy decoding would buy (paper: none in
+/// conv layers, 1.18× in FC layers) — far too little for a 2.03× area and
+/// 2.22× power increase.
+pub fn entropy_decoding_fc_speedup() -> f64 {
+    1.18
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{total_area_mm2, total_power_mw, Platform};
+
+    #[test]
+    fn distributed_nsm_matches_paper_savings() {
+        let c = distributed_nsm();
+        assert!((c.area_mm2 - 10.35).abs() < 0.01);
+        assert!((c.power_mw - 1821.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn distributed_sib_adds_15kb() {
+        assert_eq!(distributed_sib().sram_kb, 15.0);
+    }
+
+    #[test]
+    fn entropy_decoders_match_paper_costs() {
+        let c = entropy_decoders(16, 16);
+        assert!((c.area_mm2 - 6.94).abs() < 0.05);
+        assert!((c.power_mw - 971.37).abs() < 0.01);
+        // Total chip would be ~2x bigger and hotter.
+        let area_factor =
+            (total_area_mm2(Platform::CambriconS) + c.area_mm2) / total_area_mm2(Platform::CambriconS);
+        let power_factor = (total_power_mw(Platform::CambriconS) + c.power_mw)
+            / total_power_mw(Platform::CambriconS);
+        assert!((area_factor - 2.03).abs() < 0.02);
+        assert!((power_factor - 2.22).abs() < 0.02);
+    }
+
+    #[test]
+    fn flexible_wdm_is_much_bigger() {
+        let c = flexible_wdm();
+        assert!(c.area_mm2 > 6.0);
+        assert!(c.power_mw > 50.0);
+    }
+}

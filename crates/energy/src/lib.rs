@@ -1,0 +1,22 @@
+//! Area, power and energy models (the paper's Table VI and Figs. 18–20).
+//!
+//! The paper obtains silicon numbers from RTL synthesis at TSMC 65 nm and
+//! DRAM energy from CACTI 6.0. Here those numbers are *model inputs*
+//! (DESIGN.md substitution #3):
+//!
+//! * [`model`] reproduces Table VI's per-module area/power breakdown for
+//!   Cambricon-S and the published totals for DianNao and Cambricon-X;
+//! * [`energy`] converts simulated activity counters (`cs_sim::SimStats`)
+//!   into per-component energy with 65 nm-class per-event constants,
+//!   yielding the Fig. 19/20 breakdowns and the Fig. 18 efficiency
+//!   comparison;
+//! * [`ablation`] quantifies the discussion-section design choices:
+//!   shared vs. distributed NSM/SIB, the fixed-alias WDM, and the
+//!   rejected entropy-decoder option.
+
+pub mod ablation;
+pub mod energy;
+pub mod model;
+
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use model::{AreaPower, Platform};

@@ -1,0 +1,145 @@
+//! Area/power tables at TSMC 65 nm (the paper's Table VI).
+
+/// Area and power of one hardware module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaPower {
+    /// Module name.
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// Which accelerator a table describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Cambricon-S (this paper).
+    CambriconS,
+    /// Cambricon-X (MICRO'16).
+    CambriconX,
+    /// DianNao (ASPLOS'14).
+    DianNao,
+}
+
+/// Cambricon-S per-module breakdown (Table VI). The NFU row aggregates
+/// SB + SSM + WDM + PEFU, which are also listed individually.
+pub fn cambricon_s_modules() -> Vec<AreaPower> {
+    vec![
+        AreaPower {
+            name: "NBin",
+            area_mm2: 0.55,
+            power_mw: 93.32,
+        },
+        AreaPower {
+            name: "NBout",
+            area_mm2: 0.55,
+            power_mw: 93.32,
+        },
+        AreaPower {
+            name: "SIB",
+            area_mm2: 0.05,
+            power_mw: 6.89,
+        },
+        AreaPower {
+            name: "NSM",
+            area_mm2: 0.69,
+            power_mw: 121.46,
+        },
+        AreaPower {
+            name: "CP",
+            area_mm2: 0.16,
+            power_mw: 75.06,
+        },
+        AreaPower {
+            name: "SB",
+            area_mm2: 1.05,
+            power_mw: 151.91,
+        },
+        AreaPower {
+            name: "SSM",
+            area_mm2: 0.25,
+            power_mw: 56.80,
+        },
+        AreaPower {
+            name: "WDM",
+            area_mm2: 1.54,
+            power_mw: 16.25,
+        },
+        AreaPower {
+            name: "PEFU",
+            area_mm2: 1.89,
+            power_mw: 183.54,
+        },
+    ]
+}
+
+/// Total area in mm² for a platform (published numbers).
+pub fn total_area_mm2(p: Platform) -> f64 {
+    match p {
+        Platform::CambriconS => 6.73,
+        Platform::CambriconX => 6.38,
+        Platform::DianNao => 3.02,
+    }
+}
+
+/// Total power in mW for a platform (published numbers).
+pub fn total_power_mw(p: Platform) -> f64 {
+    match p {
+        Platform::CambriconS => 798.55,
+        Platform::CambriconX => 954.0,
+        Platform::DianNao => 485.0,
+    }
+}
+
+/// Cambricon-X's Indexing Module cost (per-PE indexing, 31.07% of area
+/// and 34.83% of power per the Cambricon-X paper).
+pub fn cambricon_x_im() -> AreaPower {
+    AreaPower {
+        name: "IM",
+        area_mm2: 1.98,
+        power_mw: 332.62,
+    }
+}
+
+/// The Cambricon-S modules replacing the IM's function (shared NSM +
+/// per-PE SSMs).
+pub fn indexing_modules_s() -> AreaPower {
+    AreaPower {
+        name: "NSM+SSM",
+        area_mm2: 0.69 + 0.25,
+        power_mw: 121.46 + 56.80,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_sums_are_consistent_with_totals() {
+        let mods = cambricon_s_modules();
+        let area: f64 = mods.iter().map(|m| m.area_mm2).sum();
+        let power: f64 = mods.iter().map(|m| m.power_mw).sum();
+        // Module rows cover the whole chip within rounding.
+        assert!((area - total_area_mm2(Platform::CambriconS)).abs() < 0.1);
+        assert!((power - total_power_mw(Platform::CambriconS)).abs() < 5.0);
+    }
+
+    #[test]
+    fn indexing_cost_improvement_matches_paper() {
+        // Paper: NSM+SSM vs IM = 1.87x power, 2.11x area.
+        let ours = indexing_modules_s();
+        let im = cambricon_x_im();
+        assert!((im.power_mw / ours.power_mw - 1.87).abs() < 0.02);
+        assert!((im.area_mm2 / ours.area_mm2 - 2.11).abs() < 0.02);
+    }
+
+    #[test]
+    fn relative_chip_sizes() {
+        // Ours is 1.05x Cambricon-X and 2.22x DianNao.
+        let s = total_area_mm2(Platform::CambriconS);
+        assert!((s / total_area_mm2(Platform::CambriconX) - 1.05).abs() < 0.01);
+        assert!((s / total_area_mm2(Platform::DianNao) - 2.22).abs() < 0.01);
+    }
+}

@@ -1,0 +1,333 @@
+//! Weight initializers, including the local-convergence generator.
+//!
+//! The paper's key observation is *local convergence*: after training,
+//! larger weights gather into small clusters (Fig. 1, Fig. 4). Since the
+//! original trained Caffe models are not available offline, synthetic
+//! weights with the same statistical structure are generated instead: a
+//! Gaussian base field whose magnitude is boosted inside randomly-planted
+//! *hot blocks*. The hot-block fraction directly controls how much weight
+//! mass survives coarse-grained pruning, so each benchmark layer can be
+//! calibrated to the paper's published sparsity.
+
+use cs_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{LayerSpec, LayerSpecKind};
+
+/// Statistical profile of a synthetically "trained" layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceProfile {
+    /// Edge length of the square hot blocks planted in the weight matrix.
+    pub block: usize,
+    /// Fraction of blocks that are hot (carry the large weights).
+    pub hot_fraction: f64,
+    /// Magnitude gain applied inside hot blocks.
+    pub hot_gain: f32,
+    /// Standard deviation of the Gaussian base field.
+    pub base_std: f32,
+}
+
+impl ConvergenceProfile {
+    /// A profile matching the paper's observation that roughly the top 10%
+    /// of weights cluster into blocks covering ~10–35% of the matrix.
+    pub fn paper_default() -> Self {
+        ConvergenceProfile {
+            block: 16,
+            hot_fraction: 0.12,
+            hot_gain: 6.0,
+            base_std: 0.01,
+        }
+    }
+
+    /// Profile targeting a given post-pruning density (fraction of weights
+    /// kept). Hot blocks are what survives average pruning, so the hot
+    /// fraction is set to the target density.
+    pub fn with_target_density(density: f64) -> Self {
+        ConvergenceProfile {
+            hot_fraction: density.clamp(0.005, 1.0),
+            ..ConvergenceProfile::paper_default()
+        }
+    }
+
+    /// Overrides the planted block size.
+    pub fn with_block(mut self, block: usize) -> Self {
+        self.block = block.max(1);
+        self
+    }
+}
+
+impl Default for ConvergenceProfile {
+    fn default() -> Self {
+        ConvergenceProfile::paper_default()
+    }
+}
+
+/// Draws one standard normal sample via the Box–Muller transform.
+fn normal(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Xavier/Glorot uniform initialization for a trainable weight matrix.
+///
+/// # Example
+///
+/// ```
+/// use cs_tensor::Shape;
+/// let w = cs_nn::init::xavier(Shape::d2(64, 32), 42);
+/// assert!(w.max_abs() <= (6.0f32 / 96.0).sqrt() + 1e-6);
+/// ```
+pub fn xavier(shape: Shape, seed: u64) -> Tensor {
+    let (fan_in, fan_out) = fans(&shape);
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(shape, |_| rng.gen_range(-bound..=bound))
+}
+
+/// Pure Gaussian initialization (an *untrained* layer: no local
+/// convergence) — the paper's Fig. 4 "initial" comparison curve.
+pub fn gaussian(shape: Shape, std: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(shape, |_| normal(&mut rng) * std)
+}
+
+/// Generates a synthetically "trained" weight tensor exhibiting local
+/// convergence.
+///
+/// A Gaussian base field is multiplied by `hot_gain` inside a random
+/// subset of `block × block` tiles (tiles over the *last two* logical
+/// dimensions of the weight layout; for conv tensors the tiling runs over
+/// the `(n_fin, n_fout)` plane, matching the paper's blocks of shape
+/// `(1, N, 1, 1)` along the output-feature-map dimension).
+pub fn local_convergence(shape: Shape, profile: &ConvergenceProfile, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (rows, cols) = matrix_view_dims(&shape);
+    let bl = profile.block.max(1);
+    let brows = rows.div_ceil(bl);
+    let bcols = cols.div_ceil(bl);
+    let hot: Vec<bool> = (0..brows * bcols)
+        .map(|_| rng.gen_bool(profile.hot_fraction))
+        .collect();
+    let mut data = Vec::with_capacity(shape.len());
+    for r in 0..rows {
+        for c in 0..cols {
+            let b = (r / bl) * bcols + (c / bl);
+            let gain = if hot[b] { profile.hot_gain } else { 1.0 };
+            data.push(normal(&mut rng) * profile.base_std * gain);
+        }
+    }
+    Tensor::from_vec(shape, data).expect("length computed from shape")
+}
+
+/// Materializes weights for a layer spec with a deterministic per-layer
+/// seed, in the canonical layout used throughout the workspace:
+///
+/// * FC: `(n_in, n_out)`
+/// * Conv: `(n_fin / groups, n_fout, kx, ky)`
+/// * LSTM: `(n_in + n_hidden, 4 * n_hidden)`
+///
+/// # Panics
+///
+/// Panics when called on a pooling layer (which has no weights).
+pub fn materialize(layer: &LayerSpec, profile: &ConvergenceProfile, seed: u64) -> Tensor {
+    let shape = weight_shape(layer);
+    local_convergence(shape, profile, seed ^ name_hash(layer.name()))
+}
+
+/// The canonical weight-tensor shape for a layer spec.
+///
+/// # Panics
+///
+/// Panics for pooling layers.
+pub fn weight_shape(layer: &LayerSpec) -> Shape {
+    match *layer.kind() {
+        LayerSpecKind::Conv {
+            n_fin,
+            n_fout,
+            kx,
+            ky,
+            groups,
+            ..
+        } => Shape::d4(n_fin / groups, n_fout, kx, ky),
+        LayerSpecKind::Fc { n_in, n_out } => Shape::d2(n_in, n_out),
+        LayerSpecKind::Lstm { n_in, n_hidden, .. } => Shape::d2(n_in + n_hidden, 4 * n_hidden),
+        LayerSpecKind::Pool { .. } => panic!("pooling layers have no weights"),
+    }
+}
+
+/// Stable FNV-1a hash of a layer name, used for per-layer seeds.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Treats any weight shape as a 2-D matrix for block planting:
+/// conv `(fi, fo, kx, ky)` becomes `(fi * kx * ky, fo)`-like row/col counts.
+fn matrix_view_dims(shape: &Shape) -> (usize, usize) {
+    match shape.rank() {
+        1 => (1, shape.dim(0)),
+        2 => (shape.dim(0), shape.dim(1)),
+        4 => (
+            shape.dim(0) * shape.dim(2) * shape.dim(3),
+            shape.dim(1),
+        ),
+        _ => {
+            let n = shape.len();
+            let rows = (n as f64).sqrt() as usize;
+            (rows.max(1), n / rows.max(1))
+        }
+    }
+}
+
+fn fans(shape: &Shape) -> (usize, usize) {
+    match shape.rank() {
+        2 => (shape.dim(0), shape.dim(1)),
+        4 => (
+            shape.dim(0) * shape.dim(2) * shape.dim(3),
+            shape.dim(1) * shape.dim(2) * shape.dim(3),
+        ),
+        _ => (shape.len(), shape.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Model, NetworkSpec, Scale};
+
+    #[test]
+    fn xavier_is_bounded_and_deterministic() {
+        let a = xavier(Shape::d2(16, 16), 7);
+        let b = xavier(Shape::d2(16, 16), 7);
+        assert_eq!(a, b);
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(a.max_abs() <= bound);
+        let c = xavier(Shape::d2(16, 16), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_std_roughly_matches() {
+        let g = gaussian(Shape::d1(20_000), 0.05, 3);
+        let var: f32 =
+            g.as_slice().iter().map(|v| v * v).sum::<f32>() / g.len() as f32;
+        assert!((var.sqrt() - 0.05).abs() < 0.005);
+    }
+
+    #[test]
+    fn local_convergence_clusters_large_weights() {
+        let profile = ConvergenceProfile {
+            block: 8,
+            hot_fraction: 0.1,
+            hot_gain: 8.0,
+            base_std: 0.01,
+        };
+        let w = local_convergence(Shape::d2(128, 128), &profile, 11);
+        // Top-10% threshold.
+        let mut mags: Vec<f32> = w.as_slice().iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let thr = mags[w.len() / 10];
+        // Count 8x8 blocks holding >= 32 large weights (half the block):
+        // impossible under i.i.d. Gaussian, common under local convergence.
+        let mut dense_blocks = 0;
+        for br in 0..16 {
+            for bc in 0..16 {
+                let mut cnt = 0;
+                for r in 0..8 {
+                    for c in 0..8 {
+                        if w.get(&[br * 8 + r, bc * 8 + c]).abs() >= thr {
+                            cnt += 1;
+                        }
+                    }
+                }
+                if cnt >= 32 {
+                    dense_blocks += 1;
+                }
+            }
+        }
+        assert!(dense_blocks >= 10, "only {dense_blocks} dense blocks");
+    }
+
+    #[test]
+    fn iid_gaussian_does_not_cluster() {
+        let w = gaussian(Shape::d2(128, 128), 0.01, 11);
+        let mut mags: Vec<f32> = w.as_slice().iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let thr = mags[w.len() / 10];
+        let mut dense_blocks = 0;
+        for br in 0..16 {
+            for bc in 0..16 {
+                let mut cnt = 0;
+                for r in 0..8 {
+                    for c in 0..8 {
+                        if w.get(&[br * 8 + r, bc * 8 + c]).abs() >= thr {
+                            cnt += 1;
+                        }
+                    }
+                }
+                if cnt >= 32 {
+                    dense_blocks += 1;
+                }
+            }
+        }
+        assert_eq!(dense_blocks, 0);
+    }
+
+    #[test]
+    fn materialize_shapes_match_spec() {
+        let spec = NetworkSpec::model(Model::LeNet5, Scale::Full);
+        let profile = ConvergenceProfile::paper_default();
+        for layer in spec.weighted_layers() {
+            let w = materialize(layer, &profile, 99);
+            assert_eq!(w.len(), layer.weight_count(), "layer {}", layer.name());
+        }
+    }
+
+    #[test]
+    fn materialize_is_per_layer_distinct() {
+        let spec = NetworkSpec::model(Model::Mlp, Scale::Full);
+        let profile = ConvergenceProfile::paper_default();
+        let layers: Vec<_> = spec.weighted_layers().collect();
+        let w0 = materialize(layers[0], &profile, 1);
+        let w0_again = materialize(layers[0], &profile, 1);
+        assert_eq!(w0, w0_again);
+        let w1 = materialize(layers[1], &profile, 1);
+        assert_ne!(w0.as_slice()[0], w1.as_slice()[0]);
+    }
+
+    #[test]
+    fn hot_fraction_controls_surviving_mass() {
+        // More hot blocks => larger share of weights above the top-10%
+        // threshold of the sparse profile.
+        let lo = local_convergence(
+            Shape::d2(256, 256),
+            &ConvergenceProfile::with_target_density(0.05),
+            5,
+        );
+        let hi = local_convergence(
+            Shape::d2(256, 256),
+            &ConvergenceProfile::with_target_density(0.4),
+            5,
+        );
+        let big = |t: &Tensor| t.as_slice().iter().filter(|v| v.abs() > 0.03).count();
+        assert!(big(&hi) > 3 * big(&lo));
+    }
+
+    #[test]
+    #[should_panic(expected = "no weights")]
+    fn weight_shape_panics_for_pooling() {
+        let spec = NetworkSpec::model(Model::LeNet5, Scale::Full);
+        let pool = spec
+            .layers()
+            .iter()
+            .find(|l| !l.has_weights())
+            .unwrap();
+        let _ = weight_shape(pool);
+    }
+}

@@ -1,0 +1,41 @@
+//! Neural-network substrate for the Cambricon-S reproduction.
+//!
+//! The paper evaluates on seven networks (LeNet-5, a 3-layer MLP, the
+//! Cifar10 quick model, AlexNet, VGG16, ResNet-152 and an LSTM acoustic
+//! model). This crate provides:
+//!
+//! * [`spec`] — *shape-level* descriptions ([`spec::NetworkSpec`]) of all
+//!   seven networks at their published layer geometries. Compression and
+//!   accelerator-timing experiments work from these specs plus per-layer
+//!   weight tensors materialized on demand, so the full models never need
+//!   to be resident at once.
+//! * [`network`] — *runnable* sequential networks with forward inference,
+//!   used for the small trainable models and for validating the
+//!   accelerator simulators functionally.
+//! * [`train`] — SGD with momentum, softmax cross-entropy and
+//!   mask-preserving updates (the fine-tuning step of iterative pruning).
+//! * [`init`] — weight initializers, including the *local convergence
+//!   generator* that plants block-clustered large weights so synthetic
+//!   models reproduce the paper's Fig. 1/Fig. 4 weight statistics.
+//! * [`data`] — synthetic classification datasets (no external data gates).
+//! * [`lstm`] — an LSTM cell for the recurrent workload.
+//!
+//! # Example
+//!
+//! ```
+//! use cs_nn::spec::{Model, NetworkSpec, Scale};
+//!
+//! let alexnet = NetworkSpec::model(Model::AlexNet, Scale::Full);
+//! let total: usize = alexnet.layers().iter().map(|l| l.weight_count()).sum();
+//! assert!(total > 50_000_000); // ~60M synapses
+//! ```
+
+pub mod data;
+pub mod init;
+pub mod lstm;
+pub mod network;
+pub mod spec;
+pub mod train;
+
+pub use network::{Layer, LayerKind, Network};
+pub use spec::{LayerClass, LayerSpec, Model, NetworkSpec, Scale};

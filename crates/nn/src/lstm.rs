@@ -1,0 +1,201 @@
+//! LSTM cell forward pass for the recurrent benchmark workload.
+//!
+//! The paper's LSTM model (after Sak et al.) is evaluated for compression
+//! (its gate matrices `W_ix`, `W_ih`, … are pruned/quantized like FC
+//! weights) and for accelerator timing (each gate is a matrix–vector
+//! product). This module provides a functional cell so dynamic neuron
+//! sparsity of the recurrent state can be measured.
+
+use cs_tensor::{ops, Shape, Tensor, TensorError};
+
+/// Gate ordering within the packed `(n_in + n_hidden, 4 * n_hidden)`
+/// weight matrix: input, forget, cell (candidate), output.
+pub const GATES: [&str; 4] = ["i", "f", "g", "o"];
+
+/// One LSTM layer with packed weights.
+///
+/// Weights are stored exactly as the compression pipeline sees them: a
+/// single `(n_in + n_hidden, 4 * n_hidden)` matrix whose first `n_in` rows
+/// multiply the input (`W_ix`-style) and remaining rows multiply the
+/// previous hidden state (`W_ih`-style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmCell {
+    n_in: usize,
+    n_hidden: usize,
+    weights: Tensor,
+    bias: Vec<f32>,
+}
+
+impl LstmCell {
+    /// Creates a cell from packed weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `weights` is not
+    /// `(n_in + n_hidden, 4 * n_hidden)`.
+    pub fn new(n_in: usize, n_hidden: usize, weights: Tensor) -> Result<Self, TensorError> {
+        let expect = Shape::d2(n_in + n_hidden, 4 * n_hidden);
+        if weights.shape() != &expect {
+            return Err(TensorError::ShapeMismatch {
+                left: weights.shape().clone(),
+                right: expect,
+                op: "lstm weights",
+            });
+        }
+        Ok(LstmCell {
+            n_in,
+            n_hidden,
+            weights,
+            bias: vec![0.0; 4 * n_hidden],
+        })
+    }
+
+    /// Input feature size.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Hidden state size.
+    pub fn n_hidden(&self) -> usize {
+        self.n_hidden
+    }
+
+    /// Borrows the packed weight matrix.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutably borrows the packed weight matrix (for pruning).
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// Advances one timestep: `(h', c') = cell(x, h, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `x`, `h` or `c` have wrong lengths.
+    pub fn step(
+        &self,
+        x: &Tensor,
+        h: &Tensor,
+        c: &Tensor,
+    ) -> Result<(Tensor, Tensor), TensorError> {
+        if x.len() != self.n_in || h.len() != self.n_hidden || c.len() != self.n_hidden {
+            return Err(TensorError::ShapeMismatch {
+                left: x.shape().clone(),
+                right: Shape::d1(self.n_in),
+                op: "lstm step",
+            });
+        }
+        // Concatenate [x, h] and do one matvec against packed weights.
+        let mut xh = Vec::with_capacity(self.n_in + self.n_hidden);
+        xh.extend_from_slice(x.as_slice());
+        xh.extend_from_slice(h.as_slice());
+        let xh = Tensor::from_vec(Shape::d2(1, self.n_in + self.n_hidden), xh)?;
+        let gates = ops::matmul(&xh, &self.weights)?;
+        let g = gates.as_slice();
+        let nh = self.n_hidden;
+        let mut h_new = vec![0.0f32; nh];
+        let mut c_new = vec![0.0f32; nh];
+        for j in 0..nh {
+            let i_g = sigmoid(g[j] + self.bias[j]);
+            let f_g = sigmoid(g[nh + j] + self.bias[nh + j]);
+            let g_g = (g[2 * nh + j] + self.bias[2 * nh + j]).tanh();
+            let o_g = sigmoid(g[3 * nh + j] + self.bias[3 * nh + j]);
+            c_new[j] = f_g * c.as_slice()[j] + i_g * g_g;
+            h_new[j] = o_g * c_new[j].tanh();
+        }
+        Ok((
+            Tensor::from_vec(Shape::d1(nh), h_new)?,
+            Tensor::from_vec(Shape::d1(nh), c_new)?,
+        ))
+    }
+
+    /// Runs a full sequence from zero state, returning all hidden states.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LstmCell::step`] errors.
+    pub fn run(&self, xs: &[Tensor]) -> Result<Vec<Tensor>, TensorError> {
+        let mut h = Tensor::zeros(Shape::d1(self.n_hidden));
+        let mut c = Tensor::zeros(Shape::d1(self.n_hidden));
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            let (h2, c2) = self.step(x, &h, &c)?;
+            h = h2;
+            c = c2;
+            out.push(h.clone());
+        }
+        Ok(out)
+    }
+}
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    fn cell(n_in: usize, n_hidden: usize) -> LstmCell {
+        let w = init::xavier(Shape::d2(n_in + n_hidden, 4 * n_hidden), 3);
+        LstmCell::new(n_in, n_hidden, w).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_weight_shape() {
+        let w = Tensor::zeros(Shape::d2(4, 4));
+        assert!(LstmCell::new(2, 3, w).is_err());
+    }
+
+    #[test]
+    fn zero_weights_give_decaying_state() {
+        let w = Tensor::zeros(Shape::d2(2 + 3, 12));
+        let cell = LstmCell::new(2, 3, w).unwrap();
+        let x = Tensor::full(Shape::d1(2), 1.0);
+        let h = Tensor::zeros(Shape::d1(3));
+        let c = Tensor::full(Shape::d1(3), 1.0);
+        let (h2, c2) = cell.step(&x, &h, &c).unwrap();
+        // With all-zero gates: i=f=o=0.5, g=0 => c' = 0.5*c.
+        for v in c2.as_slice() {
+            assert!((v - 0.5).abs() < 1e-6);
+        }
+        for v in h2.as_slice() {
+            assert!((v - 0.5 * 0.5f32.tanh()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hidden_state_stays_bounded() {
+        let cell = cell(8, 16);
+        let xs: Vec<Tensor> = (0..50)
+            .map(|i| Tensor::full(Shape::d1(8), (i as f32).sin()))
+            .collect();
+        let hs = cell.run(&xs).unwrap();
+        assert_eq!(hs.len(), 50);
+        for h in &hs {
+            assert!(h.max_abs() <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn step_rejects_wrong_input_len() {
+        let cell = cell(4, 4);
+        let x = Tensor::zeros(Shape::d1(3));
+        let h = Tensor::zeros(Shape::d1(4));
+        let c = Tensor::zeros(Shape::d1(4));
+        assert!(cell.step(&x, &h, &c).is_err());
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let cell = cell(4, 8);
+        let xs: Vec<Tensor> = (0..5).map(|_| Tensor::full(Shape::d1(4), 0.3)).collect();
+        let a = cell.run(&xs).unwrap();
+        let b = cell.run(&xs).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,767 @@
+//! Shape-level descriptions of the paper's seven benchmark networks.
+//!
+//! A [`NetworkSpec`] records layer geometries only (no weights), which is
+//! all the compression-size accounting and the accelerator timing models
+//! need. Weight tensors are materialized per layer on demand by
+//! [`crate::init`], so even VGG16's 138M synapses never have to be resident
+//! at once.
+
+use std::fmt;
+
+/// Broad layer classes used throughout the paper's tables
+/// (`C`, `F` and `L` rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerClass {
+    /// Convolutional layers.
+    Convolutional,
+    /// Fully-connected layers.
+    FullyConnected,
+    /// LSTM (recurrent) layers.
+    Lstm,
+    /// Pooling layers (no weights).
+    Pooling,
+}
+
+impl fmt::Display for LayerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayerClass::Convolutional => "conv",
+            LayerClass::FullyConnected => "fc",
+            LayerClass::Lstm => "lstm",
+            LayerClass::Pooling => "pool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Geometry of one layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerSpecKind {
+    /// A convolutional layer over an `in_h × in_w` input.
+    Conv {
+        /// Input feature maps (`N_fin`).
+        n_fin: usize,
+        /// Output feature maps (`N_fout`).
+        n_fout: usize,
+        /// Kernel height (`K_x`).
+        kx: usize,
+        /// Kernel width (`K_y`).
+        ky: usize,
+        /// Input spatial height.
+        in_h: usize,
+        /// Input spatial width.
+        in_w: usize,
+        /// Stride (same in both dimensions).
+        stride: usize,
+        /// Zero padding (same in both dimensions).
+        pad: usize,
+        /// Caffe-style channel groups (AlexNet uses 2).
+        groups: usize,
+    },
+    /// A fully-connected layer.
+    Fc {
+        /// Input neurons (`N_in`).
+        n_in: usize,
+        /// Output neurons (`N_out`).
+        n_out: usize,
+    },
+    /// One LSTM layer unrolled over a sequence.
+    Lstm {
+        /// Input feature size.
+        n_in: usize,
+        /// Hidden state size.
+        n_hidden: usize,
+        /// Sequence length used when counting operations.
+        seq_len: usize,
+    },
+    /// A max/average pooling layer (no weights).
+    Pool {
+        /// Channels.
+        channels: usize,
+        /// Input spatial height.
+        in_h: usize,
+        /// Input spatial width.
+        in_w: usize,
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+}
+
+/// One layer of a [`NetworkSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSpec {
+    name: String,
+    kind: LayerSpecKind,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec.
+    pub fn new(name: impl Into<String>, kind: LayerSpecKind) -> Self {
+        LayerSpec {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The layer's name (e.g. `"fc6"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's geometry.
+    pub fn kind(&self) -> &LayerSpecKind {
+        &self.kind
+    }
+
+    /// The broad class used by the paper's per-class tables.
+    pub fn class(&self) -> LayerClass {
+        match self.kind {
+            LayerSpecKind::Conv { .. } => LayerClass::Convolutional,
+            LayerSpecKind::Fc { .. } => LayerClass::FullyConnected,
+            LayerSpecKind::Lstm { .. } => LayerClass::Lstm,
+            LayerSpecKind::Pool { .. } => LayerClass::Pooling,
+        }
+    }
+
+    /// Returns `true` when the layer carries synaptic weights.
+    pub fn has_weights(&self) -> bool {
+        !matches!(self.kind, LayerSpecKind::Pool { .. })
+    }
+
+    /// Number of synaptic weights in the layer (0 for pooling).
+    ///
+    /// For grouped convolutions only `n_fin / groups` input maps connect to
+    /// each output map, matching Caffe's parameter count.
+    pub fn weight_count(&self) -> usize {
+        match self.kind {
+            LayerSpecKind::Conv {
+                n_fin,
+                n_fout,
+                kx,
+                ky,
+                groups,
+                ..
+            } => (n_fin / groups) * n_fout * kx * ky,
+            LayerSpecKind::Fc { n_in, n_out } => n_in * n_out,
+            LayerSpecKind::Lstm { n_in, n_hidden, .. } => 4 * n_hidden * (n_in + n_hidden),
+            LayerSpecKind::Pool { .. } => 0,
+        }
+    }
+
+    /// Output spatial size for conv/pool layers, `(1, 1)` otherwise.
+    pub fn output_hw(&self) -> (usize, usize) {
+        match self.kind {
+            LayerSpecKind::Conv {
+                kx,
+                ky,
+                in_h,
+                in_w,
+                stride,
+                pad,
+                ..
+            } => (
+                (in_h + 2 * pad - kx) / stride + 1,
+                (in_w + 2 * pad - ky) / stride + 1,
+            ),
+            LayerSpecKind::Pool {
+                in_h,
+                in_w,
+                k,
+                stride,
+                ..
+            } => (
+                (in_h.saturating_sub(k)) / stride + 1,
+                (in_w.saturating_sub(k)) / stride + 1,
+            ),
+            _ => (1, 1),
+        }
+    }
+
+    /// Number of input neurons consumed by the layer.
+    pub fn input_neurons(&self) -> usize {
+        match self.kind {
+            LayerSpecKind::Conv {
+                n_fin, in_h, in_w, ..
+            } => n_fin * in_h * in_w,
+            LayerSpecKind::Fc { n_in, .. } => n_in,
+            LayerSpecKind::Lstm {
+                n_in,
+                n_hidden,
+                seq_len,
+            } => seq_len * (n_in + n_hidden),
+            LayerSpecKind::Pool {
+                channels,
+                in_h,
+                in_w,
+                ..
+            } => channels * in_h * in_w,
+        }
+    }
+
+    /// Number of output neurons produced by the layer.
+    pub fn output_neurons(&self) -> usize {
+        let (oh, ow) = self.output_hw();
+        match self.kind {
+            LayerSpecKind::Conv { n_fout, .. } => n_fout * oh * ow,
+            LayerSpecKind::Fc { n_out, .. } => n_out,
+            LayerSpecKind::Lstm {
+                n_hidden, seq_len, ..
+            } => seq_len * n_hidden,
+            LayerSpecKind::Pool { channels, .. } => channels * oh * ow,
+        }
+    }
+
+    /// Dense multiply count for one inference pass (the paper's MAC count).
+    pub fn macs(&self) -> usize {
+        match self.kind {
+            LayerSpecKind::Conv { .. } => {
+                let (oh, ow) = self.output_hw();
+                self.weight_count() * oh * ow
+            }
+            LayerSpecKind::Fc { .. } => self.weight_count(),
+            LayerSpecKind::Lstm { seq_len, .. } => self.weight_count() * seq_len,
+            LayerSpecKind::Pool { .. } => 0,
+        }
+    }
+}
+
+/// The seven benchmark networks from the paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// LeNet-5 on MNIST-like 28×28 inputs.
+    LeNet5,
+    /// 3-layer MLP (784–300–100–10).
+    Mlp,
+    /// The Caffe "Cifar10 quick" model.
+    Cifar10Quick,
+    /// AlexNet (with 2-way grouped conv2/4/5, like Caffe).
+    AlexNet,
+    /// VGG16.
+    Vgg16,
+    /// ResNet-152 (bottleneck stages 3/8/36/3).
+    ResNet152,
+    /// A single-layer acoustic LSTM.
+    Lstm,
+}
+
+impl Model {
+    /// All seven benchmark models in the paper's table order.
+    pub fn all() -> [Model; 7] {
+        [
+            Model::LeNet5,
+            Model::Mlp,
+            Model::Cifar10Quick,
+            Model::AlexNet,
+            Model::Vgg16,
+            Model::ResNet152,
+            Model::Lstm,
+        ]
+    }
+
+    /// Canonical lowercase name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::LeNet5 => "lenet5",
+            Model::Mlp => "mlp",
+            Model::Cifar10Quick => "cifar10",
+            Model::AlexNet => "alexnet",
+            Model::Vgg16 => "vgg16",
+            Model::ResNet152 => "resnet152",
+            Model::Lstm => "lstm",
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Down-scaling applied to channel/neuron counts when materializing the
+/// large networks on a laptop.
+///
+/// Compression *ratios* and speedup *shapes* are scale-invariant to first
+/// order, so experiments default to a reduced scale and accept `Full` when
+/// the caller has the memory and patience.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Published layer sizes.
+    Full,
+    /// Channel and neuron counts divided by the factor (clamped to stay
+    /// at least 16 wide so pruning blocks still fit).
+    Reduced(usize),
+}
+
+impl Scale {
+    fn apply(&self, n: usize) -> usize {
+        match self {
+            Scale::Full => n,
+            Scale::Reduced(f) => (n / f).max(16).min(n),
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::Reduced(4)
+    }
+}
+
+/// A full network described at the shape level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSpec {
+    name: String,
+    model: Model,
+    layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Builds the spec for one of the paper's models at the given scale.
+    pub fn model(model: Model, scale: Scale) -> Self {
+        let layers = match model {
+            Model::LeNet5 => lenet5(scale),
+            Model::Mlp => mlp(scale),
+            Model::Cifar10Quick => cifar10_quick(scale),
+            Model::AlexNet => alexnet(scale),
+            Model::Vgg16 => vgg16(scale),
+            Model::ResNet152 => resnet152(scale),
+            Model::Lstm => lstm(scale),
+        };
+        NetworkSpec {
+            name: model.name().to_string(),
+            model,
+            layers,
+        }
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which of the paper's models this spec describes.
+    pub fn model_id(&self) -> Model {
+        self.model
+    }
+
+    /// All layers in execution order.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Only the layers that carry weights.
+    pub fn weighted_layers(&self) -> impl Iterator<Item = &LayerSpec> {
+        self.layers.iter().filter(|l| l.has_weights())
+    }
+
+    /// Total synapse count.
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(LayerSpec::weight_count).sum()
+    }
+
+    /// Total dense MAC count for one inference.
+    pub fn total_macs(&self) -> usize {
+        self.layers.iter().map(LayerSpec::macs).sum()
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the paper's conv-layer tuple
+fn conv(
+    name: &str,
+    s: Scale,
+    n_fin: usize,
+    n_fout: usize,
+    k: usize,
+    in_hw: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> LayerSpec {
+    // Never scale the raw image channels (3 or 1).
+    let fin = if n_fin <= 3 { n_fin } else { s.apply(n_fin) };
+    LayerSpec::new(
+        name,
+        LayerSpecKind::Conv {
+            n_fin: fin,
+            n_fout: s.apply(n_fout),
+            kx: k,
+            ky: k,
+            in_h: in_hw,
+            in_w: in_hw,
+            stride,
+            pad,
+            groups: if groups > 1 && s.apply(n_fout).is_multiple_of(groups) {
+                groups
+            } else {
+                1
+            },
+        },
+    )
+}
+
+fn fc(name: &str, s: Scale, n_in: usize, n_out: usize) -> LayerSpec {
+    LayerSpec::new(
+        name,
+        LayerSpecKind::Fc {
+            n_in: s.apply(n_in),
+            n_out: s.apply(n_out),
+        },
+    )
+}
+
+fn pool(name: &str, s: Scale, channels: usize, in_hw: usize, k: usize, stride: usize) -> LayerSpec {
+    LayerSpec::new(
+        name,
+        LayerSpecKind::Pool {
+            channels: s.apply(channels),
+            in_h: in_hw,
+            in_w: in_hw,
+            k,
+            stride,
+        },
+    )
+}
+
+fn lenet5(s: Scale) -> Vec<LayerSpec> {
+    vec![
+        conv("conv1", s, 1, 20, 5, 28, 1, 0, 1),
+        pool("pool1", s, 20, 24, 2, 2),
+        conv("conv2", s, 20, 50, 5, 12, 1, 0, 1),
+        pool("pool2", s, 50, 8, 2, 2),
+        fc("ip1", s, 800, 500),
+        fc("ip2", s, 500, 10),
+    ]
+}
+
+fn mlp(s: Scale) -> Vec<LayerSpec> {
+    vec![
+        fc("ip1", s, 784, 300),
+        fc("ip2", s, 300, 100),
+        fc("ip3", s, 100, 10),
+    ]
+}
+
+fn cifar10_quick(s: Scale) -> Vec<LayerSpec> {
+    vec![
+        conv("conv1", s, 3, 32, 5, 32, 1, 2, 1),
+        pool("pool1", s, 32, 32, 3, 2),
+        conv("conv2", s, 32, 32, 5, 15, 1, 2, 1),
+        pool("pool2", s, 32, 15, 3, 2),
+        conv("conv3", s, 32, 64, 5, 7, 1, 2, 1),
+        pool("pool3", s, 64, 7, 3, 2),
+        fc("ip1", s, 576, 64),
+        fc("ip2", s, 64, 10),
+    ]
+}
+
+fn alexnet(s: Scale) -> Vec<LayerSpec> {
+    vec![
+        conv("conv1", s, 3, 96, 11, 227, 4, 0, 1),
+        pool("pool1", s, 96, 55, 3, 2),
+        conv("conv2", s, 96, 256, 5, 27, 1, 2, 2),
+        pool("pool2", s, 256, 27, 3, 2),
+        conv("conv3", s, 256, 384, 3, 13, 1, 1, 1),
+        conv("conv4", s, 384, 384, 3, 13, 1, 1, 2),
+        conv("conv5", s, 384, 256, 3, 13, 1, 1, 2),
+        pool("pool5", s, 256, 13, 3, 2),
+        fc("fc6", s, 9216, 4096),
+        fc("fc7", s, 4096, 4096),
+        fc("fc8", s, 4096, 1000),
+    ]
+}
+
+fn vgg16(s: Scale) -> Vec<LayerSpec> {
+    let mut layers = Vec::new();
+    let cfg: &[(usize, usize, usize, usize)] = &[
+        // (n_fin, n_fout, in_hw, index within stage)
+        (3, 64, 224, 1),
+        (64, 64, 224, 2),
+        (64, 128, 112, 1),
+        (128, 128, 112, 2),
+        (128, 256, 56, 1),
+        (256, 256, 56, 2),
+        (256, 256, 56, 3),
+        (256, 512, 28, 1),
+        (512, 512, 28, 2),
+        (512, 512, 28, 3),
+        (512, 512, 14, 1),
+        (512, 512, 14, 2),
+        (512, 512, 14, 3),
+    ];
+    let mut stage = 1;
+    let mut last_hw = 224;
+    for (i, &(fin, fout, hw, idx)) in cfg.iter().enumerate() {
+        if i > 0 && hw != last_hw {
+            layers.push(pool(
+                &format!("pool{}", stage),
+                s,
+                fin,
+                last_hw,
+                2,
+                2,
+            ));
+            stage += 1;
+            last_hw = hw;
+        }
+        layers.push(conv(
+            &format!("conv{}_{}", stage, idx),
+            s,
+            fin,
+            fout,
+            3,
+            hw,
+            1,
+            1,
+            1,
+        ));
+    }
+    layers.push(pool("pool5", s, 512, 14, 2, 2));
+    layers.push(fc("fc6", s, 25088, 4096));
+    layers.push(fc("fc7", s, 4096, 4096));
+    layers.push(fc("fc8", s, 4096, 1000));
+    layers
+}
+
+fn resnet152(s: Scale) -> Vec<LayerSpec> {
+    let mut layers = vec![conv("conv1", s, 3, 64, 7, 224, 2, 3, 1)];
+    layers.push(pool("pool1", s, 64, 112, 3, 2));
+    // Bottleneck stages: (blocks, mid-channels, out-channels, spatial).
+    let stages: &[(usize, usize, usize, usize)] = &[
+        (3, 64, 256, 56),
+        (8, 128, 512, 28),
+        (36, 256, 1024, 14),
+        (3, 512, 2048, 7),
+    ];
+    let mut in_ch = 64;
+    for (si, &(blocks, mid, out, hw)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let stage = si + 2;
+            let stride = if b == 0 && si > 0 { 2 } else { 1 };
+            let in_hw = if b == 0 && si > 0 { hw * 2 } else { hw };
+            layers.push(conv(
+                &format!("res{}{}_branch2a", stage, block_letter(b)),
+                s,
+                in_ch,
+                mid,
+                1,
+                in_hw,
+                stride,
+                0,
+                1,
+            ));
+            layers.push(conv(
+                &format!("res{}{}_branch2b", stage, block_letter(b)),
+                s,
+                mid,
+                mid,
+                3,
+                hw,
+                1,
+                1,
+                1,
+            ));
+            layers.push(conv(
+                &format!("res{}{}_branch2c", stage, block_letter(b)),
+                s,
+                mid,
+                out,
+                1,
+                hw,
+                1,
+                0,
+                1,
+            ));
+            if b == 0 {
+                layers.push(conv(
+                    &format!("res{}{}_branch1", stage, block_letter(b)),
+                    s,
+                    in_ch,
+                    out,
+                    1,
+                    in_hw,
+                    stride,
+                    0,
+                    1,
+                ));
+            }
+            in_ch = out;
+        }
+    }
+    layers.push(pool("pool5", s, 2048, 7, 7, 1));
+    layers.push(fc("fc1000", s, 2048, 1000));
+    layers
+}
+
+fn block_letter(b: usize) -> String {
+    if b == 0 {
+        "a".to_string()
+    } else {
+        format!("b{b}")
+    }
+}
+
+fn lstm(s: Scale) -> Vec<LayerSpec> {
+    vec![LayerSpec::new(
+        "lstm1",
+        LayerSpecKind::Lstm {
+            n_in: s.apply(760),
+            n_hidden: s.apply(600),
+            seq_len: 20,
+        },
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_has_roughly_60m_weights() {
+        let spec = NetworkSpec::model(Model::AlexNet, Scale::Full);
+        let total = spec.total_weights();
+        assert!(
+            (55_000_000..66_000_000).contains(&total),
+            "got {total} weights"
+        );
+    }
+
+    #[test]
+    fn alexnet_fc6_shape() {
+        let spec = NetworkSpec::model(Model::AlexNet, Scale::Full);
+        let fc6 = spec
+            .layers()
+            .iter()
+            .find(|l| l.name() == "fc6")
+            .expect("fc6 exists");
+        assert_eq!(fc6.weight_count(), 9216 * 4096);
+        assert_eq!(fc6.class(), LayerClass::FullyConnected);
+    }
+
+    #[test]
+    fn vgg16_has_roughly_138m_weights() {
+        let spec = NetworkSpec::model(Model::Vgg16, Scale::Full);
+        let total = spec.total_weights();
+        assert!(
+            (130_000_000..145_000_000).contains(&total),
+            "got {total} weights"
+        );
+    }
+
+    #[test]
+    fn vgg16_conv_macs_dominate() {
+        let spec = NetworkSpec::model(Model::Vgg16, Scale::Full);
+        let conv_macs: usize = spec
+            .layers()
+            .iter()
+            .filter(|l| l.class() == LayerClass::Convolutional)
+            .map(LayerSpec::macs)
+            .sum();
+        let fc_macs: usize = spec
+            .layers()
+            .iter()
+            .filter(|l| l.class() == LayerClass::FullyConnected)
+            .map(LayerSpec::macs)
+            .sum();
+        assert!(conv_macs > 50 * fc_macs);
+    }
+
+    #[test]
+    fn resnet152_weight_count_in_range() {
+        let spec = NetworkSpec::model(Model::ResNet152, Scale::Full);
+        let total = spec.total_weights();
+        // ~58M conv+fc parameters (no batchnorm params counted).
+        assert!(
+            (50_000_000..70_000_000).contains(&total),
+            "got {total} weights"
+        );
+        // 152-layer nets have (3+8+36+3)*3 + 4 downsample + conv1 + fc layers.
+        let weighted = spec.weighted_layers().count();
+        assert_eq!(weighted, 50 * 3 + 4 + 1 + 1);
+    }
+
+    #[test]
+    fn lenet5_weight_count() {
+        let spec = NetworkSpec::model(Model::LeNet5, Scale::Full);
+        assert_eq!(spec.total_weights(), 500 + 25_000 + 400_000 + 5_000);
+    }
+
+    #[test]
+    fn mlp_weight_count() {
+        let spec = NetworkSpec::model(Model::Mlp, Scale::Full);
+        assert_eq!(spec.total_weights(), 784 * 300 + 300 * 100 + 100 * 10);
+    }
+
+    #[test]
+    fn lstm_weight_count_matches_gate_formula() {
+        let spec = NetworkSpec::model(Model::Lstm, Scale::Full);
+        assert_eq!(spec.total_weights(), 4 * 600 * (760 + 600));
+    }
+
+    #[test]
+    fn reduced_scale_shrinks_but_keeps_structure() {
+        let full = NetworkSpec::model(Model::AlexNet, Scale::Full);
+        let small = NetworkSpec::model(Model::AlexNet, Scale::Reduced(4));
+        assert_eq!(full.layers().len(), small.layers().len());
+        assert!(small.total_weights() < full.total_weights() / 8);
+    }
+
+    #[test]
+    fn conv_output_geometry() {
+        let spec = NetworkSpec::model(Model::AlexNet, Scale::Full);
+        let conv1 = &spec.layers()[0];
+        assert_eq!(conv1.output_hw(), (55, 55)); // (227-11)/4+1
+        let conv2 = spec
+            .layers()
+            .iter()
+            .find(|l| l.name() == "conv2")
+            .unwrap();
+        assert_eq!(conv2.output_hw(), (27, 27));
+    }
+
+    #[test]
+    fn macs_formula_conv() {
+        // conv: weights * output positions
+        let l = LayerSpec::new(
+            "c",
+            LayerSpecKind::Conv {
+                n_fin: 2,
+                n_fout: 3,
+                kx: 3,
+                ky: 3,
+                in_h: 8,
+                in_w: 8,
+                stride: 1,
+                pad: 1,
+                groups: 1,
+            },
+        );
+        assert_eq!(l.weight_count(), 54);
+        assert_eq!(l.macs(), 54 * 64);
+    }
+
+    #[test]
+    fn grouped_conv_halves_weights() {
+        let spec = NetworkSpec::model(Model::AlexNet, Scale::Full);
+        let conv2 = spec
+            .layers()
+            .iter()
+            .find(|l| l.name() == "conv2")
+            .unwrap();
+        // groups=2: (96/2)*256*25
+        assert_eq!(conv2.weight_count(), 48 * 256 * 25);
+    }
+
+    #[test]
+    fn all_models_build_at_all_scales() {
+        for m in Model::all() {
+            for s in [Scale::Full, Scale::Reduced(4), Scale::Reduced(16)] {
+                let spec = NetworkSpec::model(m, s);
+                assert!(spec.total_weights() > 0, "{m} at {s:?}");
+                assert!(spec.total_macs() > 0, "{m} at {s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Training: SGD with momentum, softmax cross-entropy and mask-preserving
+//! updates.
+//!
+//! Mask preservation is the mechanism behind the paper's iterative
+//! prune-and-finetune loop: after every SGD step, weights belonging to
+//! pruned blocks are forced back to zero so the network re-learns within
+//! the sparse topology.
+
+use cs_tensor::{ops, Shape, Tensor, TensorError};
+
+use crate::data::Dataset;
+use crate::network::Network;
+
+/// Hyper-parameters for [`Trainer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            batch: 16,
+        }
+    }
+}
+
+/// Per-layer binary masks pinning pruned weights at zero; indexed like the
+/// network's layers, `None` for unmasked layers.
+pub type LayerMasks = Vec<Option<Vec<bool>>>;
+
+/// SGD-with-momentum trainer with optional mask-preserving updates.
+#[derive(Debug)]
+pub struct Trainer {
+    cfg: TrainConfig,
+    velocity: Vec<Option<Vec<f32>>>,
+    bias_velocity: Vec<Option<Vec<f32>>>,
+}
+
+impl Trainer {
+    /// Creates a trainer for the given network structure.
+    pub fn new(net: &Network, cfg: TrainConfig) -> Self {
+        let velocity = net
+            .layers()
+            .iter()
+            .map(|l| l.weights().map(|w| vec![0.0; w.len()]))
+            .collect();
+        let bias_velocity = net
+            .layers()
+            .iter()
+            .map(|l| l.weights().map(|w| vec![0.0; bias_len(l, w)]))
+            .collect();
+        Trainer {
+            cfg,
+            velocity,
+            bias_velocity,
+        }
+    }
+
+    /// Runs one epoch over the dataset, returning the mean loss.
+    ///
+    /// When `masks` is provided, masked-out weights are re-zeroed after
+    /// every update (the fine-tuning step of iterative pruning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from forward/backward passes.
+    pub fn epoch(
+        &mut self,
+        net: &mut Network,
+        data: &Dataset,
+        masks: Option<&LayerMasks>,
+    ) -> Result<f32, TensorError> {
+        let mut total_loss = 0.0f64;
+        let n = data.len();
+        let mut idx = 0;
+        while idx < n {
+            let end = (idx + self.cfg.batch).min(n);
+            let mut grad_w: Vec<Option<Vec<f32>>> = net
+                .layers()
+                .iter()
+                .map(|l| l.weights().map(|w| vec![0.0; w.len()]))
+                .collect();
+            let mut grad_b: Vec<Option<Vec<f32>>> = net
+                .layers()
+                .iter()
+                .map(|l| l.weights().map(|w| vec![0.0; bias_len(l, w)]))
+                .collect();
+            for s in idx..end {
+                let cache = net.forward_cached(&data.inputs[s])?;
+                let (loss, dlogits) = softmax_cross_entropy(&cache.output, data.labels[s])?;
+                total_loss += f64::from(loss);
+                let grads = net.backward(&cache, &dlogits)?;
+                for (li, gw) in grads.weights.iter().enumerate() {
+                    if let (Some(gw), Some(acc)) = (gw, grad_w[li].as_mut()) {
+                        for (a, g) in acc.iter_mut().zip(gw.as_slice()) {
+                            *a += g;
+                        }
+                    }
+                    if let (Some(gb), Some(acc)) = (&grads.bias[li], grad_b[li].as_mut()) {
+                        for (a, g) in acc.iter_mut().zip(gb) {
+                            *a += g;
+                        }
+                    }
+                }
+            }
+            let scale = 1.0 / (end - idx) as f32;
+            self.apply(net, &grad_w, &grad_b, scale, masks);
+            idx = end;
+        }
+        Ok((total_loss / n as f64) as f32)
+    }
+
+    fn apply(
+        &mut self,
+        net: &mut Network,
+        grad_w: &[Option<Vec<f32>>],
+        grad_b: &[Option<Vec<f32>>],
+        scale: f32,
+        masks: Option<&LayerMasks>,
+    ) {
+        let cfg = self.cfg;
+        for (li, layer) in net.layers_mut().iter_mut().enumerate() {
+            let mask = masks.and_then(|m| m.get(li)).and_then(|m| m.as_ref());
+            if let (Some(w), Some(g), Some(v)) = (
+                layer.weights_mut(),
+                grad_w[li].as_ref(),
+                self.velocity[li].as_mut(),
+            ) {
+                let ws = w.as_mut_slice();
+                for i in 0..ws.len() {
+                    let grad = g[i] * scale + cfg.weight_decay * ws[i];
+                    v[i] = cfg.momentum * v[i] - cfg.lr * grad;
+                    ws[i] += v[i];
+                    if let Some(m) = mask {
+                        if !m[i] {
+                            ws[i] = 0.0;
+                            v[i] = 0.0;
+                        }
+                    }
+                }
+            }
+            if let (Some(g), Some(v)) = (grad_b[li].as_ref(), self.bias_velocity[li].as_mut()) {
+                if let Some(bias) = layer_bias_mut(layer) {
+                    for i in 0..bias.len() {
+                        let grad = g[i] * scale;
+                        v[i] = cfg.momentum * v[i] - cfg.lr * grad;
+                        bias[i] += v[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn bias_len(layer: &crate::network::Layer, _w: &Tensor) -> usize {
+    match &layer.kind {
+        crate::network::LayerKind::FullyConnected { bias, .. }
+        | crate::network::LayerKind::Conv2d { bias, .. } => bias.len(),
+        _ => 0,
+    }
+}
+
+fn layer_bias_mut(layer: &mut crate::network::Layer) -> Option<&mut Vec<f32>> {
+    match &mut layer.kind {
+        crate::network::LayerKind::FullyConnected { bias, .. }
+        | crate::network::LayerKind::Conv2d { bias, .. } => Some(bias),
+        _ => None,
+    }
+}
+
+/// Softmax cross-entropy loss and its gradient w.r.t. the logits.
+///
+/// # Errors
+///
+/// Propagates shape errors from the softmax.
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> Result<(f32, Tensor), TensorError> {
+    let n = logits.len();
+    let row = logits.clone().reshape(Shape::d2(1, n))?;
+    let probs = ops::softmax(&row)?;
+    let p = probs.as_slice()[label].max(1e-12);
+    let loss = -p.ln();
+    let grad = Tensor::from_fn(Shape::d1(n), |i| {
+        probs.as_slice()[i] - if i == label { 1.0 } else { 0.0 }
+    });
+    Ok((loss, grad))
+}
+
+/// Fraction of samples whose arg-max prediction matches the label.
+///
+/// # Errors
+///
+/// Propagates shape errors from the forward pass.
+pub fn accuracy(net: &Network, data: &Dataset) -> Result<f64, TensorError> {
+    let mut correct = 0usize;
+    for (x, label) in data.inputs.iter().zip(&data.labels) {
+        let y = net.forward(x)?;
+        let pred = argmax(y.as_slice());
+        if pred == *label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / data.len().max(1) as f64)
+}
+
+fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, x) in v.iter().enumerate() {
+        if *x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn softmax_ce_gradient_sums_to_zero() {
+        let logits = Tensor::from_vec(Shape::d1(4), vec![1.0, 2.0, 0.5, -1.0]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, 1).unwrap();
+        assert!(loss > 0.0);
+        let sum: f32 = grad.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-6);
+        // Gradient at the true label is negative.
+        assert!(grad.as_slice()[1] < 0.0);
+    }
+
+    #[test]
+    fn mlp_learns_blobs() {
+        let ds = data::blobs(120, 8, 3, 0.3, 11);
+        let mut net = Network::mlp("learner", &[8, 24, 3], 4);
+        let mut tr = Trainer::new(
+            &net,
+            TrainConfig {
+                lr: 0.1,
+                ..TrainConfig::default()
+            },
+        );
+        let before = accuracy(&net, &ds).unwrap();
+        let mut last = f32::INFINITY;
+        for _ in 0..30 {
+            last = tr.epoch(&mut net, &ds, None).unwrap();
+        }
+        let after = accuracy(&net, &ds).unwrap();
+        assert!(after > before.max(0.8), "accuracy {before} -> {after}");
+        assert!(last < 0.5, "final loss {last}");
+    }
+
+    #[test]
+    fn masked_training_keeps_pruned_weights_zero() {
+        let ds = data::blobs(60, 6, 2, 0.3, 13);
+        let mut net = Network::mlp("masked", &[6, 10, 2], 4);
+        // Prune half of layer-0 weights.
+        let w0_len = net.layers()[0].weights().unwrap().len();
+        let mask0: Vec<bool> = (0..w0_len).map(|i| i % 2 == 0).collect();
+        {
+            let w = net.layers_mut()[0].weights_mut().unwrap();
+            for (i, v) in w.as_mut_slice().iter_mut().enumerate() {
+                if !mask0[i] {
+                    *v = 0.0;
+                }
+            }
+        }
+        let masks: LayerMasks = net
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 0 {
+                    Some(mask0.clone())
+                } else {
+                    l.weights().map(|w| vec![true; w.len()])
+                }
+            })
+            .collect();
+        let mut tr = Trainer::new(&net, TrainConfig::default());
+        for _ in 0..5 {
+            tr.epoch(&mut net, &ds, Some(&masks)).unwrap();
+        }
+        let w = net.layers()[0].weights().unwrap();
+        for (i, v) in w.as_slice().iter().enumerate() {
+            if !mask0[i] {
+                assert_eq!(*v, 0.0, "pruned weight {i} drifted to {v}");
+            }
+        }
+        // Surviving weights did move.
+        assert!(w.as_slice().iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn cnn_learns_images_a_little() {
+        let ds = data::images(60, (1, 8, 8), 2, 0.15, 21);
+        let mut net = Network::small_cnn("cnn", (1, 8, 8), 2, 3);
+        let mut tr = Trainer::new(
+            &net,
+            TrainConfig {
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
+        );
+        for _ in 0..8 {
+            tr.epoch(&mut net, &ds, None).unwrap();
+        }
+        let acc = accuracy(&net, &ds).unwrap();
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn accuracy_of_untrained_net_is_near_chance() {
+        let ds = data::blobs(200, 8, 4, 0.3, 17);
+        let net = Network::mlp("chance", &[8, 8, 4], 5);
+        let acc = accuracy(&net, &ds).unwrap();
+        assert!(acc < 0.6);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the NN substrate.
+
+use cs_nn::init::{self, ConvergenceProfile};
+use cs_nn::network::{LayerKind, Network};
+use cs_nn::spec::{LayerSpec, LayerSpecKind, Model, NetworkSpec, Scale};
+use cs_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Spec arithmetic: conv MACs always equal weights × output
+    /// positions; FC MACs equal weights.
+    #[test]
+    fn spec_mac_identities(fin in 1usize..64, fout in 1usize..64, k in 1usize..6,
+                           hw in 6usize..32, stride in 1usize..3) {
+        prop_assume!(hw >= k);
+        let conv = LayerSpec::new("c", LayerSpecKind::Conv {
+            n_fin: fin, n_fout: fout, kx: k, ky: k,
+            in_h: hw, in_w: hw, stride, pad: 0, groups: 1,
+        });
+        let (oh, ow) = conv.output_hw();
+        prop_assert_eq!(conv.macs(), conv.weight_count() * oh * ow);
+        let fc = LayerSpec::new("f", LayerSpecKind::Fc { n_in: fin, n_out: fout });
+        prop_assert_eq!(fc.macs(), fc.weight_count());
+    }
+
+    /// The local-convergence generator is deterministic in its seed and
+    /// its output scales with the configured std.
+    #[test]
+    fn generator_determinism(rows in 4usize..48, cols in 4usize..48, seed in 0u64..1000) {
+        let p = ConvergenceProfile::paper_default();
+        let a = init::local_convergence(Shape::d2(rows, cols), &p, seed);
+        let b = init::local_convergence(Shape::d2(rows, cols), &p, seed);
+        prop_assert_eq!(&a, &b);
+        let c = init::local_convergence(Shape::d2(rows, cols), &p, seed + 1);
+        prop_assert_ne!(a, c);
+    }
+
+    /// MLP forward is linear between ReLUs: scaling the final layer's
+    /// weights scales the output.
+    #[test]
+    fn final_layer_scaling(alpha in 0.1f32..4.0, seed in 0u64..100) {
+        let mut net = Network::mlp("s", &[6, 8, 4], seed);
+        let x = Tensor::from_fn(Shape::d1(6), |i| (i as f32 - 2.5) * 0.3);
+        let y1 = net.forward(&x).unwrap();
+        let last = net.layers().len() - 1;
+        net.layers_mut()[last].weights_mut().unwrap().map_inplace(|v| v * alpha);
+        let y2 = net.forward(&x).unwrap();
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((a * alpha - b).abs() < 1e-3 * (1.0 + a.abs() * alpha),
+                         "{} vs {}", a * alpha, b);
+        }
+    }
+
+    /// Zeroing an MLP's first layer forces constant output regardless of
+    /// the input (bias-only propagation).
+    #[test]
+    fn dead_first_layer_is_input_invariant(seed in 0u64..100) {
+        let mut net = Network::mlp("z", &[5, 7, 3], seed);
+        net.layers_mut()[0].weights_mut().unwrap().map_inplace(|_| 0.0);
+        let y1 = net.forward(&Tensor::full(Shape::d1(5), 1.0)).unwrap();
+        let y2 = net.forward(&Tensor::full(Shape::d1(5), -3.0)).unwrap();
+        prop_assert_eq!(y1, y2);
+    }
+
+    /// Every model spec has consistent per-layer arithmetic at any scale.
+    #[test]
+    fn specs_consistent_at_any_scale(factor in 1usize..32) {
+        for m in Model::all() {
+            let spec = NetworkSpec::model(m, Scale::Reduced(factor));
+            let total: usize = spec.layers().iter().map(|l| l.weight_count()).sum();
+            prop_assert_eq!(total, spec.total_weights());
+            for l in spec.weighted_layers() {
+                prop_assert!(l.weight_count() > 0);
+                prop_assert!(l.input_neurons() > 0);
+                prop_assert!(l.output_neurons() > 0);
+            }
+        }
+    }
+
+    /// ReLU networks produce non-negative outputs after a trailing ReLU.
+    #[test]
+    fn relu_tail_is_nonnegative(seed in 0u64..100) {
+        let mut layers = Network::mlp("r", &[4, 6, 6], seed).layers().to_vec();
+        layers.push(cs_nn::Layer::new("tail", LayerKind::Relu));
+        let net = Network::new("r2", layers);
+        let x = Tensor::from_fn(Shape::d1(4), |i| (i as f32) - 1.5);
+        let y = net.forward(&x).unwrap();
+        prop_assert!(y.as_slice().iter().all(|v| *v >= 0.0));
+    }
+}

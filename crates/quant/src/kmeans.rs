@@ -1,0 +1,187 @@
+//! 1-D k-means (Lloyd's algorithm) for weight clustering.
+//!
+//! Weight quantization only needs scalar clustering, which permits a fast
+//! exact implementation: values are sorted once, centroids stay sorted,
+//! and each Lloyd assignment step is a linear sweep over cluster
+//! boundaries (midpoints between adjacent centroids). Centroids are
+//! initialized at quantiles, which is deterministic and close to optimal
+//! for the unimodal-ish weight distributions in practice.
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster centroids, sorted ascending.
+    pub centroids: Vec<f32>,
+    /// Per-input nearest-centroid index (into `centroids`).
+    pub assignments: Vec<u16>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+/// Clusters `values` into at most `k` groups with up to `max_iters` Lloyd
+/// iterations.
+///
+/// When there are fewer distinct values than `k`, fewer centroids are
+/// returned (quantization is then lossless).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `values` is empty.
+pub fn kmeans_1d(values: &[f32], k: usize, max_iters: usize) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!values.is_empty(), "cannot cluster zero values");
+
+    // Sort a copy; remember nothing (assignment is recomputed at the end
+    // against the original order).
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+
+    // Deduplicate for centroid seeding.
+    let mut distinct: Vec<f32> = Vec::with_capacity(sorted.len().min(4096));
+    for v in &sorted {
+        if distinct.last() != Some(v) {
+            distinct.push(*v);
+        }
+    }
+    let k = k.min(distinct.len());
+
+    // Quantile initialization over the sorted values.
+    let mut centroids: Vec<f32> = (0..k)
+        .map(|i| {
+            let pos = (i * 2 + 1) * sorted.len() / (2 * k);
+            sorted[pos.min(sorted.len() - 1)]
+        })
+        .collect();
+    centroids.dedup();
+
+    for _ in 0..max_iters {
+        // Boundaries are midpoints between adjacent centroids.
+        let mut sums = vec![0.0f64; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        let mut ci = 0usize;
+        for v in &sorted {
+            while ci + 1 < centroids.len()
+                && (centroids[ci] + centroids[ci + 1]) / 2.0 < *v
+            {
+                ci += 1;
+            }
+            sums[ci] += f64::from(*v);
+            counts[ci] += 1;
+        }
+        let mut moved = false;
+        let mut next = Vec::with_capacity(centroids.len());
+        for (i, c) in centroids.iter().enumerate() {
+            if counts[i] == 0 {
+                continue; // drop empty clusters
+            }
+            let m = (sums[i] / counts[i] as f64) as f32;
+            if (m - c).abs() > 1e-7 {
+                moved = true;
+            }
+            next.push(m);
+        }
+        centroids = next;
+        if !moved {
+            break;
+        }
+    }
+
+    // Final assignment in original order + inertia.
+    let mut assignments = Vec::with_capacity(values.len());
+    let mut inertia = 0.0f64;
+    for v in values {
+        let idx = nearest(&centroids, *v);
+        let d = f64::from(v - centroids[idx]);
+        inertia += d * d;
+        assignments.push(idx as u16);
+    }
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+    }
+}
+
+fn nearest(centroids: &[f32], v: f32) -> usize {
+    // Binary search over the sorted centroids.
+    let mut lo = 0usize;
+    let mut hi = centroids.len();
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if centroids[mid] <= v {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // lo is the last centroid <= v (or 0); compare with its neighbour.
+    if lo + 1 < centroids.len()
+        && (centroids[lo + 1] - v).abs() < (v - centroids[lo]).abs()
+    {
+        lo + 1
+    } else {
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_obvious_clusters() {
+        let values = vec![0.0, 0.1, 0.05, 10.0, 10.1, 9.9];
+        let r = kmeans_1d(&values, 2, 20);
+        assert_eq!(r.centroids.len(), 2);
+        assert!((r.centroids[0] - 0.05).abs() < 0.01);
+        assert!((r.centroids[1] - 10.0).abs() < 0.1);
+        assert_eq!(&r.assignments[..3], &[0, 0, 0]);
+        assert_eq!(&r.assignments[3..], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn fewer_distinct_values_than_k() {
+        let values = vec![1.0, 1.0, 2.0, 2.0];
+        let r = kmeans_1d(&values, 8, 20);
+        assert!(r.centroids.len() <= 2);
+        assert!(r.inertia < 1e-9);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let values: Vec<f32> = (0..500).map(|i| ((i * 37) % 101) as f32 / 101.0).collect();
+        let r2 = kmeans_1d(&values, 2, 30);
+        let r8 = kmeans_1d(&values, 8, 30);
+        let r32 = kmeans_1d(&values, 32, 30);
+        assert!(r8.inertia < r2.inertia);
+        assert!(r32.inertia < r8.inertia);
+    }
+
+    #[test]
+    fn assignments_point_to_nearest_centroid() {
+        let values: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        let r = kmeans_1d(&values, 4, 30);
+        for (v, a) in values.iter().zip(&r.assignments) {
+            let d_assigned = (v - r.centroids[usize::from(*a)]).abs();
+            for c in &r.centroids {
+                assert!(d_assigned <= (v - c).abs() + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn centroids_sorted() {
+        let values: Vec<f32> = (0..300).map(|i| ((i * 97) % 31) as f32).collect();
+        let r = kmeans_1d(&values, 8, 30);
+        for w in r.centroids.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn single_value() {
+        let r = kmeans_1d(&[3.5], 4, 10);
+        assert_eq!(r.centroids, vec![3.5]);
+        assert_eq!(r.assignments, vec![0]);
+    }
+}

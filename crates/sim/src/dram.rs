@@ -1,0 +1,84 @@
+//! Main-memory model: bandwidth-limited transfers with per-byte energy.
+//!
+//! The paper plugs every accelerator into "a main memory model allowing a
+//! bandwidth up to 256 GB/s" and uses CACTI 6.0 for DRAM energy. At the
+//! accelerator's 1 GHz clock, 256 GB/s is 256 bytes per cycle. Energy is
+//! charged per byte moved; the default (20 pJ/bit) is in the range CACTI
+//! reports for DDR-class parts and makes off-chip accesses dominate total
+//! energy exactly as in the paper's Fig. 19.
+
+/// Bandwidth-limited DRAM with per-byte access energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Sustained bandwidth in bytes per accelerator cycle.
+    pub bytes_per_cycle: f64,
+    /// Fixed latency added to the first transfer of a burst, in cycles.
+    pub latency_cycles: u64,
+    /// Access energy in picojoules per byte.
+    pub energy_pj_per_byte: f64,
+}
+
+impl DramModel {
+    /// The paper's configuration: 256 GB/s at a 1 GHz accelerator clock,
+    /// 100-cycle first-access latency, 20 pJ/bit.
+    pub fn paper_default() -> Self {
+        DramModel {
+            bytes_per_cycle: 256.0,
+            latency_cycles: 100,
+            energy_pj_per_byte: 160.0,
+        }
+    }
+
+    /// Cycles to stream `bytes` (excluding the burst latency).
+    pub fn stream_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+
+    /// Cycles for one burst of `bytes` including the first-access latency.
+    pub fn burst_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            0
+        } else {
+            self.latency_cycles + self.stream_cycles(bytes)
+        }
+    }
+
+    /// Energy in picojoules to move `bytes`.
+    pub fn energy_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_pj_per_byte
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_cycles_scale_with_bytes() {
+        let d = DramModel::paper_default();
+        assert_eq!(d.stream_cycles(256), 1);
+        assert_eq!(d.stream_cycles(257), 2);
+        assert_eq!(d.stream_cycles(0), 0);
+        assert_eq!(d.stream_cycles(256 * 1000), 1000);
+    }
+
+    #[test]
+    fn burst_adds_latency_only_when_nonempty() {
+        let d = DramModel::paper_default();
+        assert_eq!(d.burst_cycles(0), 0);
+        assert_eq!(d.burst_cycles(256), 101);
+    }
+
+    #[test]
+    fn energy_is_linear() {
+        let d = DramModel::paper_default();
+        assert_eq!(d.energy_pj(0), 0.0);
+        assert_eq!(d.energy_pj(100), 16_000.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Simulation substrate: cycle accounting, DRAM bandwidth model,
+//! ping-pong (double-buffered) DMA/compute overlap, and activity
+//! counters.
+//!
+//! All accelerator models in this workspace (Cambricon-S, DianNao,
+//! Cambricon-X, EIE) are *cycle-approximate*: per layer tile they compute
+//! how many cycles the compute pipeline and the DMA engine each need and
+//! combine them with the overlap rules implemented here, mirroring the
+//! paper's ping-pong buffering ("hiding the DMA memory access behind the
+//! computation", Section VII-D).
+//!
+//! # Example
+//!
+//! ```
+//! use cs_sim::pingpong::OverlapScheduler;
+//!
+//! // Three tiles, compute-bound: DMA hides behind compute.
+//! let mut s = OverlapScheduler::new();
+//! for _ in 0..3 {
+//!     s.tile(10, 100, 0);
+//! }
+//! assert_eq!(s.finish(), 10 + 300);
+//! ```
+
+pub mod dram;
+pub mod pingpong;
+pub mod stats;
+
+pub use dram::DramModel;
+pub use pingpong::OverlapScheduler;
+pub use stats::SimStats;

@@ -1,0 +1,135 @@
+//! Activity counters collected during simulation.
+//!
+//! The energy model (`cs-energy`) converts these counts into picojoules;
+//! the performance comparisons read `cycles` directly.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Activity counters for one simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Total elapsed cycles.
+    pub cycles: u64,
+    /// Multiply-accumulate operations executed.
+    pub macs: u64,
+    /// Bytes read from main memory.
+    pub dram_read_bytes: u64,
+    /// Bytes written to main memory.
+    pub dram_write_bytes: u64,
+    /// Bytes read from the input neuron buffer (NBin).
+    pub nbin_bytes: u64,
+    /// Bytes read/written at the output neuron buffer (NBout).
+    pub nbout_bytes: u64,
+    /// Bytes read from the synapse buffers (SB).
+    pub sb_bytes: u64,
+    /// Bytes read from the synapse index buffer (SIB).
+    pub sib_bytes: u64,
+    /// Neuron-selection operations performed by the NSM (selected
+    /// neurons produced).
+    pub nsm_selections: u64,
+    /// Synapse-selection operations performed by SSMs.
+    pub ssm_selections: u64,
+    /// Weight decodes performed by WDMs (LUT lookups).
+    pub wdm_decodes: u64,
+}
+
+impl SimStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        SimStats::default()
+    }
+
+    /// Total bytes moved to/from main memory.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Total on-chip SRAM traffic in bytes.
+    pub fn sram_bytes(&self) -> u64 {
+        self.nbin_bytes + self.nbout_bytes + self.sb_bytes + self.sib_bytes
+    }
+}
+
+impl Add for SimStats {
+    type Output = SimStats;
+
+    fn add(self, o: SimStats) -> SimStats {
+        SimStats {
+            cycles: self.cycles + o.cycles,
+            macs: self.macs + o.macs,
+            dram_read_bytes: self.dram_read_bytes + o.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes + o.dram_write_bytes,
+            nbin_bytes: self.nbin_bytes + o.nbin_bytes,
+            nbout_bytes: self.nbout_bytes + o.nbout_bytes,
+            sb_bytes: self.sb_bytes + o.sb_bytes,
+            sib_bytes: self.sib_bytes + o.sib_bytes,
+            nsm_selections: self.nsm_selections + o.nsm_selections,
+            ssm_selections: self.ssm_selections + o.ssm_selections,
+            wdm_decodes: self.wdm_decodes + o.wdm_decodes,
+        }
+    }
+}
+
+impl AddAssign for SimStats {
+    fn add_assign(&mut self, o: SimStats) {
+        *self = *self + o;
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles={} macs={} dram={}B sram={}B",
+            self.cycles,
+            self.macs,
+            self.dram_bytes(),
+            self.sram_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = SimStats {
+            cycles: 10,
+            macs: 5,
+            dram_read_bytes: 100,
+            ..SimStats::new()
+        };
+        let b = SimStats {
+            cycles: 1,
+            dram_write_bytes: 50,
+            ..SimStats::new()
+        };
+        let c = a + b;
+        assert_eq!(c.cycles, 11);
+        assert_eq!(c.macs, 5);
+        assert_eq!(c.dram_bytes(), 150);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!SimStats::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn sram_totals() {
+        let s = SimStats {
+            nbin_bytes: 1,
+            nbout_bytes: 2,
+            sb_bytes: 3,
+            sib_bytes: 4,
+            ..SimStats::new()
+        };
+        assert_eq!(s.sram_bytes(), 10);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the overlap scheduler and DRAM model.
+
+use cs_sim::{DramModel, OverlapScheduler};
+use proptest::prelude::*;
+
+proptest! {
+    /// Total time is bounded below by each resource's busy time and
+    /// above by fully-serial execution.
+    #[test]
+    fn scheduler_bounds(tiles in proptest::collection::vec(
+        (0u64..1000, 0u64..1000, 0u64..1000), 1..50)) {
+        let mut s = OverlapScheduler::new();
+        for (l, c, st) in &tiles {
+            s.tile(*l, *c, *st);
+        }
+        let total_load: u64 = tiles.iter().map(|t| t.0).sum();
+        let total_compute: u64 = tiles.iter().map(|t| t.1).sum();
+        let total_store: u64 = tiles.iter().map(|t| t.2).sum();
+        let serial: u64 = tiles.iter().map(|t| t.0 + t.1 + t.2).sum();
+        let finish = s.finish();
+        prop_assert!(finish >= total_load.max(total_compute).max(total_store));
+        prop_assert!(finish <= serial);
+    }
+
+    /// Adding a tile never makes the schedule finish earlier.
+    #[test]
+    fn scheduler_monotone(tiles in proptest::collection::vec(
+        (0u64..500, 0u64..500, 0u64..500), 2..30)) {
+        let mut partial = OverlapScheduler::new();
+        let mut full = OverlapScheduler::new();
+        for (i, (l, c, st)) in tiles.iter().enumerate() {
+            if i + 1 < tiles.len() {
+                partial.tile(*l, *c, *st);
+            }
+            full.tile(*l, *c, *st);
+        }
+        prop_assert!(full.finish() >= partial.finish());
+    }
+
+    /// Compute completion times returned by tile() are non-decreasing.
+    #[test]
+    fn tile_completions_are_ordered(tiles in proptest::collection::vec(
+        (0u64..500, 1u64..500), 1..30)) {
+        let mut s = OverlapScheduler::new();
+        let mut last = 0u64;
+        for (l, c) in &tiles {
+            let end = s.tile(*l, *c, 0);
+            prop_assert!(end >= last);
+            last = end;
+        }
+    }
+
+    /// DRAM cycles are monotone in bytes and energy is exactly linear.
+    #[test]
+    fn dram_monotonicity(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let d = DramModel::paper_default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(d.stream_cycles(lo) <= d.stream_cycles(hi));
+        prop_assert!((d.energy_pj(a) + d.energy_pj(b) - d.energy_pj(a + b)).abs() < 1e-6);
+    }
+
+    /// Utilizations are proper fractions.
+    #[test]
+    fn utilizations_bounded(tiles in proptest::collection::vec(
+        (0u64..200, 0u64..200, 0u64..200), 1..20)) {
+        let mut s = OverlapScheduler::new();
+        for (l, c, st) in &tiles {
+            s.tile(*l, *c, *st);
+        }
+        prop_assert!((0.0..=1.0).contains(&s.compute_utilization()));
+        // Memory busy counts two queues against one wall clock, so the
+        // combined utilization can reach 2.0 but no more.
+        prop_assert!((0.0..=2.0).contains(&s.memory_utilization()));
+    }
+}

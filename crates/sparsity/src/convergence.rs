@@ -1,0 +1,234 @@
+//! Local-convergence analysis (the paper's Fig. 1 and Fig. 4).
+//!
+//! The paper observes that after training, weights whose magnitude is in
+//! the top *m%* of a layer gather into small clusters. This module
+//! quantifies that: a `k × k` window slides (with stride `k`) over the
+//! weight matrix, each window is labelled with its count of "larger"
+//! weights, and the distribution of labels is compared between trained
+//! and randomly-initialized layers.
+
+use cs_tensor::{Shape, Tensor};
+
+/// Magnitude threshold such that the top `m_fraction` of weights (by
+/// absolute value) lie at or above it.
+///
+/// # Panics
+///
+/// Panics on an empty tensor.
+pub fn larger_weight_threshold(w: &Tensor, m_fraction: f64) -> f32 {
+    assert!(!w.is_empty(), "threshold of empty tensor");
+    let mut mags: Vec<f32> = w.as_slice().iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+    let k = ((m_fraction * mags.len() as f64).round() as usize).clamp(1, mags.len());
+    mags[k - 1]
+}
+
+/// Views any weight tensor as a 2-D matrix for windowing: FC stays
+/// `(n_in, n_out)`, conv `(fi, fo, kx, ky)` flattens to
+/// `(fi * kx * ky, fo)`.
+pub fn matrix_view(w: &Tensor) -> (usize, usize) {
+    let s = w.shape();
+    match s.rank() {
+        2 => (s.dim(0), s.dim(1)),
+        4 => (s.dim(0) * s.dim(2) * s.dim(3), s.dim(1)),
+        _ => (1, w.len()),
+    }
+}
+
+/// Labels every `k × k` window (stride `k`) with its count of larger
+/// weights and returns a histogram indexed by label (`0..=k*k`).
+pub fn window_histogram(w: &Tensor, k: usize, m_fraction: f64) -> Vec<usize> {
+    assert!(k > 0, "window size must be positive");
+    let thr = larger_weight_threshold(w, m_fraction);
+    let (rows, cols) = matrix_view(w);
+    let data = w.as_slice();
+    let mut hist = vec![0usize; k * k + 1];
+    let brows = rows / k;
+    let bcols = cols / k;
+    for br in 0..brows {
+        for bc in 0..bcols {
+            let mut count = 0usize;
+            for r in 0..k {
+                for c in 0..k {
+                    let v = data[(br * k + r) * cols + (bc * k + c)];
+                    if v.abs() >= thr {
+                        count += 1;
+                    }
+                }
+            }
+            hist[count] += 1;
+        }
+    }
+    hist
+}
+
+/// Cumulative distribution of window labels: `cdf[x]` is the fraction of
+/// windows containing at most `x` larger weights (the paper's Fig. 4
+/// curves).
+pub fn cdf(hist: &[usize]) -> Vec<f64> {
+    let total: usize = hist.iter().sum();
+    if total == 0 {
+        return vec![1.0; hist.len()];
+    }
+    let mut acc = 0usize;
+    hist.iter()
+        .map(|h| {
+            acc += h;
+            acc as f64 / total as f64
+        })
+        .collect()
+}
+
+/// The largest label with at least one window — "how far the tail
+/// reaches". Trained layers reach well past the i.i.d. expectation.
+pub fn max_label(hist: &[usize]) -> usize {
+    hist.iter().rposition(|h| *h > 0).unwrap_or(0)
+}
+
+/// Top-`m_fraction` weight bitmap of a matrix-viewed tensor (Fig. 1:
+/// white pixels mark larger weights).
+pub fn bitmap(w: &Tensor, m_fraction: f64) -> Vec<Vec<bool>> {
+    let thr = larger_weight_threshold(w, m_fraction);
+    let (rows, cols) = matrix_view(w);
+    let data = w.as_slice();
+    (0..rows)
+        .map(|r| (0..cols).map(|c| data[r * cols + c].abs() >= thr).collect())
+        .collect()
+}
+
+/// Renders a bitmap as a portable bitmap (PBM P1) string, with `1` for
+/// larger weights — a direct Fig. 1 reproduction artifact.
+pub fn render_pbm(bits: &[Vec<bool>]) -> String {
+    let rows = bits.len();
+    let cols = bits.first().map_or(0, Vec::len);
+    let mut out = format!("P1\n{cols} {rows}\n");
+    for row in bits {
+        let line: Vec<&str> = row.iter().map(|b| if *b { "1" } else { "0" }).collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Converts a Fig. 1-style bitmap to a coarse ASCII thumbnail for
+/// terminal output (each character covers a `cell × cell` region; darker
+/// characters mean more larger weights).
+pub fn render_ascii(bits: &[Vec<bool>], cell: usize) -> String {
+    let rows = bits.len();
+    let cols = bits.first().map_or(0, Vec::len);
+    if rows == 0 || cols == 0 || cell == 0 {
+        return String::new();
+    }
+    let shades = [' ', '.', ':', '+', '*', '#'];
+    let mut out = String::new();
+    for br in 0..rows.div_ceil(cell) {
+        for bc in 0..cols.div_ceil(cell) {
+            let mut count = 0usize;
+            let mut total = 0usize;
+            for row in bits.iter().take(((br + 1) * cell).min(rows)).skip(br * cell) {
+                for cellv in row.iter().take(((bc + 1) * cell).min(cols)).skip(bc * cell) {
+                    total += 1;
+                    if *cellv {
+                        count += 1;
+                    }
+                }
+            }
+            let frac = count as f64 / total.max(1) as f64;
+            let idx = ((frac * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
+            out.push(shades[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds a tensor with planted clusters for demos/tests (hot `k × k`
+/// tiles at the given coordinates).
+pub fn planted_cluster_matrix(
+    rows: usize,
+    cols: usize,
+    k: usize,
+    hot_tiles: &[(usize, usize)],
+) -> Tensor {
+    Tensor::from_fn(Shape::d2(rows, cols), |i| {
+        let r = i / cols;
+        let c = i % cols;
+        if hot_tiles.contains(&(r / k, c / k)) {
+            1.0
+        } else {
+            0.001
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_selects_top_fraction() {
+        let w = Tensor::from_fn(Shape::d1(100), |i| i as f32);
+        let thr = larger_weight_threshold(&w, 0.1);
+        assert_eq!(thr, 90.0);
+        let above = w.as_slice().iter().filter(|v| **v >= thr).count();
+        assert_eq!(above, 10);
+    }
+
+    #[test]
+    fn clustered_matrix_has_heavy_tail() {
+        // 10% of weights in full tiles -> windows are either full or empty.
+        let w = planted_cluster_matrix(40, 40, 4, &[(0, 0), (2, 3), (5, 5), (7, 1), (9, 9)]);
+        let hist = window_histogram(&w, 4, 0.05);
+        assert_eq!(max_label(&hist), 16);
+        // Five full windows.
+        assert_eq!(hist[16], 5);
+    }
+
+    #[test]
+    fn iid_matrix_has_light_tail() {
+        // Pseudo-random scattered larger weights: with m=10% and 4x4
+        // windows the expected count is 1.6; counts near 16 are absent.
+        let w = Tensor::from_fn(Shape::d2(64, 64), |i| {
+            let x = ((i as u64).wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1) >> 33)
+                as f32;
+            x / (1u64 << 31) as f32
+        });
+        let hist = window_histogram(&w, 4, 0.1);
+        assert!(max_label(&hist) <= 8, "tail at {}", max_label(&hist));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let hist = vec![5, 3, 2, 0, 1];
+        let c = cdf(&hist);
+        for w in c.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!((c.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!((c[0] - 5.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pbm_roundtrip_dimensions() {
+        let bits = vec![vec![true, false], vec![false, true]];
+        let pbm = render_pbm(&bits);
+        assert!(pbm.starts_with("P1\n2 2\n"));
+        assert!(pbm.contains("1 0"));
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_cell_band() {
+        let w = planted_cluster_matrix(16, 16, 4, &[(0, 0)]);
+        let bits = bitmap(&w, 0.0625);
+        let art = render_ascii(&bits, 4);
+        assert_eq!(art.lines().count(), 4);
+        // Hot corner is the densest shade.
+        assert!(art.lines().next().unwrap().starts_with('#'));
+    }
+
+    #[test]
+    fn matrix_view_flattens_conv() {
+        let w = Tensor::zeros(Shape::d4(3, 8, 5, 5));
+        assert_eq!(matrix_view(&w), (75, 8));
+    }
+}

@@ -1,0 +1,93 @@
+//! Element-wise fine-grained pruning — the Deep-Compression baseline.
+//!
+//! Fine-grained pruning keeps the individually largest weights regardless
+//! of position. It reaches excellent sparsity but leaves a fully irregular
+//! index (one bit *per synapse*), which is exactly the overhead the
+//! paper's coarse-grained pruning removes.
+
+use cs_tensor::{Tensor, TensorError};
+
+use crate::mask::Mask;
+
+/// Prunes every weight with `|w| < threshold`.
+pub fn prune_by_threshold(w: &Tensor, threshold: f32) -> Mask {
+    Mask::from_bits(
+        w.shape().clone(),
+        w.as_slice().iter().map(|v| v.abs() >= threshold).collect(),
+    )
+    .expect("bits generated from shape")
+}
+
+/// Keeps exactly the `density` fraction of largest-magnitude weights.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidGeometry`] when `density` is outside
+/// `(0, 1]`.
+pub fn prune_to_density(w: &Tensor, density: f64) -> Result<Mask, TensorError> {
+    if !(0.0..=1.0).contains(&density) || density == 0.0 {
+        return Err(TensorError::InvalidGeometry(format!(
+            "target density {density} outside (0, 1]"
+        )));
+    }
+    let keep = ((density * w.len() as f64).round() as usize).clamp(1, w.len());
+    let mut order: Vec<usize> = (0..w.len()).collect();
+    let data = w.as_slice();
+    order.sort_by(|a, b| {
+        data[*b]
+            .abs()
+            .partial_cmp(&data[*a].abs())
+            .expect("weights are finite")
+    });
+    let mut bits = vec![false; w.len()];
+    for &i in order.iter().take(keep) {
+        bits[i] = true;
+    }
+    Mask::from_bits(w.shape().clone(), bits).map_err(|_| unreachable!())
+}
+
+/// Number of index bits for fine-grained direct indexing: one per synapse.
+pub fn index_bits(w: &Tensor) -> usize {
+    w.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_tensor::Shape;
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let w = Tensor::from_vec(Shape::d1(5), vec![0.1, -0.9, 0.5, -0.05, 0.7]).unwrap();
+        let m = prune_to_density(&w, 0.4).unwrap();
+        assert_eq!(m.bits(), &[false, true, false, false, true]);
+    }
+
+    #[test]
+    fn threshold_variant() {
+        let w = Tensor::from_vec(Shape::d1(4), vec![0.1, -0.9, 0.5, -0.05]).unwrap();
+        let m = prune_by_threshold(&w, 0.3);
+        assert_eq!(m.bits(), &[false, true, true, false]);
+    }
+
+    #[test]
+    fn density_bounds_validated() {
+        let w = Tensor::zeros(Shape::d1(4));
+        assert!(prune_to_density(&w, 0.0).is_err());
+        assert!(prune_to_density(&w, 2.0).is_err());
+        assert!(prune_to_density(&w, 1.0).is_ok());
+    }
+
+    #[test]
+    fn exact_count_kept() {
+        let w = Tensor::from_fn(Shape::d2(10, 10), |i| (i as f32).sin());
+        let m = prune_to_density(&w, 0.13).unwrap();
+        assert_eq!(m.ones(), 13);
+    }
+
+    #[test]
+    fn index_is_one_bit_per_synapse() {
+        let w = Tensor::zeros(Shape::d2(32, 32));
+        assert_eq!(index_bits(&w), 1024);
+    }
+}

@@ -1,0 +1,208 @@
+//! Sparse-index storage formats: direct and step indexing.
+//!
+//! Cambricon-S uses **direct indexing** — one bit per (block of)
+//! synapse(s) — because coarse-grained pruning makes the direct bitmap
+//! tiny. Cambricon-X used **step indexing**: a fixed-width distance from
+//! the previous surviving synapse. When a gap exceeds the field's range,
+//! a *placeholder* entry is emitted whose synapse slot stores a zero
+//! weight — the dot product is unchanged, at the cost of one extra index
+//! entry and one extra stored weight. Both formats are implemented with
+//! exact size accounting so the baselines charge realistic index
+//! traffic.
+
+use crate::mask::Mask;
+
+/// A step-indexed encoding of a mask.
+///
+/// Each entry is a `bits`-wide gap from the previous entry's position;
+/// every entry lands on a synapse slot — a real survivor or a
+/// zero-weight placeholder inserted for saturated gaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepIndex {
+    /// Gap field width in bits.
+    pub bits: u8,
+    /// Encoded gaps, in stream order.
+    pub gaps: Vec<u16>,
+    /// Marks entries that are zero-weight placeholders (implied in
+    /// hardware by the stored zero weight; kept explicit here so decode
+    /// is exact).
+    pub placeholder: Vec<bool>,
+    /// Total positions the index spans.
+    pub len: usize,
+}
+
+impl StepIndex {
+    /// Encodes a mask's surviving positions as steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn encode(mask: &Mask, bits: u8) -> Self {
+        assert!(bits > 0 && bits <= 16, "step width {bits} out of range");
+        let max_gap = (1u32 << bits) - 1;
+        let mut gaps = Vec::new();
+        let mut placeholder = Vec::new();
+        let mut gap: u32 = 0;
+        for b in mask.bits() {
+            gap += 1;
+            if *b {
+                while gap > max_gap {
+                    gaps.push(max_gap as u16);
+                    placeholder.push(true);
+                    gap -= max_gap;
+                }
+                gaps.push(gap as u16);
+                placeholder.push(false);
+                gap = 0;
+            }
+        }
+        StepIndex {
+            bits,
+            gaps,
+            placeholder,
+            len: mask.len(),
+        }
+    }
+
+    /// Decodes back into surviving positions (placeholders skipped —
+    /// their stored weights are zero, so hardware needs no distinction).
+    pub fn positions(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        for (g, ph) in self.gaps.iter().zip(&self.placeholder) {
+            pos += *g as usize;
+            if !ph {
+                out.push(pos - 1);
+            }
+        }
+        out
+    }
+
+    /// Encoded index size in bits.
+    pub fn size_bits(&self) -> usize {
+        self.gaps.len() * usize::from(self.bits)
+    }
+
+    /// Number of placeholder entries — each also costs one stored
+    /// zero weight.
+    pub fn placeholders(&self) -> usize {
+        self.placeholder.iter().filter(|p| **p).count()
+    }
+
+    /// Total synapse slots stored (survivors + placeholder zeros).
+    pub fn stored_entries(&self) -> usize {
+        self.gaps.len()
+    }
+}
+
+/// Direct-index size in bits: one bit per position.
+pub fn direct_size_bits(mask: &Mask) -> usize {
+    mask.len()
+}
+
+/// Picks the smaller of the two encodings for a mask (what a real design
+/// does per layer) and returns `(name, bits)`.
+pub fn best_encoding(mask: &Mask, step_bits: u8) -> (&'static str, usize) {
+    let direct = direct_size_bits(mask);
+    let step = StepIndex::encode(mask, step_bits).size_bits();
+    if step < direct {
+        ("step", step)
+    } else {
+        ("direct", direct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_tensor::Shape;
+
+    fn mask_from(bits: Vec<bool>) -> Mask {
+        let n = bits.len();
+        Mask::from_bits(Shape::d1(n), bits).unwrap()
+    }
+
+    #[test]
+    fn step_roundtrip_simple() {
+        // Survivors at positions 0, 3, 4, 10.
+        let mut bits = vec![false; 12];
+        for p in [0usize, 3, 4, 10] {
+            bits[p] = true;
+        }
+        let m = mask_from(bits);
+        let s = StepIndex::encode(&m, 4);
+        assert_eq!(s.positions(), vec![0, 3, 4, 10]);
+        assert_eq!(s.placeholders(), 0);
+        assert_eq!(s.size_bits(), 4 * 4);
+    }
+
+    #[test]
+    fn saturated_gap_inserts_placeholder() {
+        // Gap of 21 with 4-bit steps (max 15) needs one placeholder.
+        let mut bits = vec![false; 25];
+        bits[0] = true;
+        bits[21] = true;
+        let m = mask_from(bits);
+        let s = StepIndex::encode(&m, 4);
+        assert_eq!(s.positions(), vec![0, 21]);
+        assert_eq!(s.placeholders(), 1);
+        assert_eq!(s.stored_entries(), 3);
+    }
+
+    #[test]
+    fn gap_exactly_at_field_max_is_not_a_placeholder() {
+        // Positions 0 and 15 with 4-bit steps: the second gap is exactly
+        // 15 = max, still a real survivor entry.
+        let mut bits = vec![false; 16];
+        bits[0] = true;
+        bits[15] = true;
+        let m = mask_from(bits);
+        let s = StepIndex::encode(&m, 4);
+        assert_eq!(s.positions(), vec![0, 15]);
+        assert_eq!(s.placeholders(), 0);
+    }
+
+    #[test]
+    fn dense_mask_prefers_direct() {
+        let m = mask_from(vec![true; 64]);
+        let (name, bits) = best_encoding(&m, 8);
+        assert_eq!(name, "direct");
+        assert_eq!(bits, 64);
+    }
+
+    #[test]
+    fn very_sparse_mask_prefers_step() {
+        let mut bits = vec![false; 4096];
+        for i in (0..4096).step_by(200) {
+            bits[i] = true;
+        }
+        let m = mask_from(bits);
+        let (name, size) = best_encoding(&m, 8);
+        assert_eq!(name, "step");
+        assert!(size < 4096);
+    }
+
+    #[test]
+    fn all_pruned_mask_encodes_empty() {
+        let m = mask_from(vec![false; 100]);
+        let s = StepIndex::encode(&m, 8);
+        assert!(s.positions().is_empty());
+        assert_eq!(s.size_bits(), 0);
+    }
+
+    #[test]
+    fn step_sizes_scale_with_survivor_count() {
+        let mut sparse = vec![false; 1024];
+        let mut denser = vec![false; 1024];
+        for i in (0..1024).step_by(64) {
+            sparse[i] = true;
+        }
+        for i in (0..1024).step_by(8) {
+            denser[i] = true;
+        }
+        let s1 = StepIndex::encode(&mask_from(sparse), 8);
+        let s2 = StepIndex::encode(&mask_from(denser), 8);
+        assert!(s1.size_bits() < s2.size_bits());
+        assert_eq!(s2.positions().len(), 128);
+    }
+}

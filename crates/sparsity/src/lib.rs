@@ -1,0 +1,37 @@
+//! Pruning and sparsity analysis for the Cambricon-S reproduction.
+//!
+//! This crate implements the paper's software contribution:
+//!
+//! * [`mask`] — binary pruning masks aligned with weight tensors.
+//! * [`fine`] — element-wise fine-grained pruning (the Deep-Compression
+//!   baseline the paper compares against).
+//! * [`coarse`] — **coarse-grained block pruning** (Section III-A): blocks
+//!   of synapses are pruned together under a *max* or *average* metric,
+//!   which is what makes the surviving indexes regular enough to share
+//!   across processing elements.
+//! * [`stats`] — static synapse/neuron sparsity and dynamic neuron
+//!   sparsity (the paper's SSS / SNS / DNS, Table III).
+//! * [`convergence`] — the local-convergence analysis behind Fig. 1 and
+//!   Fig. 4 (sliding-window counts of "larger" weights and their CDF).
+//!
+//! # Example
+//!
+//! ```
+//! use cs_sparsity::coarse::{CoarseConfig, PruneMetric};
+//! use cs_tensor::{Shape, Tensor};
+//!
+//! let w = Tensor::from_fn(Shape::d2(8, 8), |i| if i < 32 { 1.0 } else { 0.01 });
+//! let cfg = CoarseConfig::fc(4, 4, PruneMetric::Average);
+//! let mask = cs_sparsity::coarse::prune_to_density(&w, &cfg, 0.5).unwrap();
+//! assert!((mask.density() - 0.5).abs() < 1e-9);
+//! ```
+
+pub mod coarse;
+pub mod convergence;
+pub mod fine;
+pub mod indexing;
+pub mod mask;
+pub mod stats;
+
+pub use coarse::{CoarseConfig, PruneMetric};
+pub use mask::Mask;

@@ -1,0 +1,214 @@
+//! Binary pruning masks.
+
+use cs_tensor::{Shape, Tensor, TensorError};
+
+/// A binary mask aligned element-for-element with a weight tensor.
+///
+/// `true` marks a *surviving* synapse, `false` a pruned one — matching the
+/// paper's direct indexing format where a `1` bit means the synapse
+/// exists.
+///
+/// # Example
+///
+/// ```
+/// use cs_sparsity::Mask;
+/// use cs_tensor::{Shape, Tensor};
+///
+/// let w = Tensor::from_vec(Shape::d1(4), vec![0.0, 1.0, 0.0, 2.0]).unwrap();
+/// let m = Mask::from_nonzero(&w);
+/// assert_eq!(m.ones(), 2);
+/// assert_eq!(m.density(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    shape: Shape,
+    bits: Vec<bool>,
+}
+
+impl Mask {
+    /// An all-ones (nothing pruned) mask.
+    pub fn ones_like(shape: Shape) -> Self {
+        let len = shape.len();
+        Mask {
+            shape,
+            bits: vec![true; len],
+        }
+    }
+
+    /// An all-zeros (everything pruned) mask.
+    pub fn zeros_like(shape: Shape) -> Self {
+        let len = shape.len();
+        Mask {
+            shape,
+            bits: vec![false; len],
+        }
+    }
+
+    /// Builds a mask from explicit bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the bit count differs
+    /// from the shape's element count.
+    pub fn from_bits(shape: Shape, bits: Vec<bool>) -> Result<Self, TensorError> {
+        if bits.len() != shape.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: bits.len(),
+            });
+        }
+        Ok(Mask { shape, bits })
+    }
+
+    /// Marks every non-zero element of `t` as surviving.
+    pub fn from_nonzero(t: &Tensor) -> Self {
+        Mask {
+            shape: t.shape().clone(),
+            bits: t.as_slice().iter().map(|v| *v != 0.0).collect(),
+        }
+    }
+
+    /// The mask's shape (same as the weight tensor it covers).
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Borrows the raw bits (row-major, `true` = surviving).
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Mutably borrows the raw bits.
+    pub fn bits_mut(&mut self) -> &mut [bool] {
+        &mut self.bits
+    }
+
+    /// Total number of mask positions.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` when the mask covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of surviving synapses.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Fraction of surviving synapses — the paper's "sparsity" figure
+    /// (ratio of remaining to total).
+    pub fn density(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        self.ones() as f64 / self.bits.len() as f64
+    }
+
+    /// Zeroes pruned positions of `t` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` has a different element count.
+    pub fn apply(&self, t: &mut Tensor) {
+        assert_eq!(t.len(), self.bits.len(), "mask/tensor length mismatch");
+        for (v, keep) in t.as_mut_slice().iter_mut().zip(&self.bits) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Element-wise AND with another mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn and(&self, other: &Mask) -> Result<Mask, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+                op: "mask and",
+            });
+        }
+        Ok(Mask {
+            shape: self.shape.clone(),
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| *a && *b)
+                .collect(),
+        })
+    }
+
+    /// Extracts the surviving values of `t` in row-major order — the
+    /// accelerator's compact synapse storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` has a different element count.
+    pub fn compact_values(&self, t: &Tensor) -> Vec<f32> {
+        assert_eq!(t.len(), self.bits.len(), "mask/tensor length mismatch");
+        t.as_slice()
+            .iter()
+            .zip(&self.bits)
+            .filter(|(_, keep)| **keep)
+            .map(|(v, _)| *v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_and_zeros() {
+        let m1 = Mask::ones_like(Shape::d2(3, 3));
+        assert_eq!(m1.ones(), 9);
+        assert_eq!(m1.density(), 1.0);
+        let m0 = Mask::zeros_like(Shape::d2(3, 3));
+        assert_eq!(m0.ones(), 0);
+    }
+
+    #[test]
+    fn from_bits_validates_length() {
+        assert!(Mask::from_bits(Shape::d1(3), vec![true, false]).is_err());
+        assert!(Mask::from_bits(Shape::d1(2), vec![true, false]).is_ok());
+    }
+
+    #[test]
+    fn apply_zeroes_pruned() {
+        let mut t = Tensor::from_vec(Shape::d1(4), vec![1., 2., 3., 4.]).unwrap();
+        let m = Mask::from_bits(Shape::d1(4), vec![true, false, true, false]).unwrap();
+        m.apply(&mut t);
+        assert_eq!(t.as_slice(), &[1., 0., 3., 0.]);
+    }
+
+    #[test]
+    fn and_combines() {
+        let a = Mask::from_bits(Shape::d1(3), vec![true, true, false]).unwrap();
+        let b = Mask::from_bits(Shape::d1(3), vec![true, false, false]).unwrap();
+        assert_eq!(a.and(&b).unwrap().bits(), &[true, false, false]);
+        let c = Mask::ones_like(Shape::d1(4));
+        assert!(a.and(&c).is_err());
+    }
+
+    #[test]
+    fn compact_values_keeps_order() {
+        let t = Tensor::from_vec(Shape::d1(5), vec![10., 20., 30., 40., 50.]).unwrap();
+        let m = Mask::from_bits(Shape::d1(5), vec![false, true, false, true, true]).unwrap();
+        assert_eq!(m.compact_values(&t), vec![20., 40., 50.]);
+    }
+
+    #[test]
+    fn from_nonzero_roundtrip() {
+        let t = Tensor::from_vec(Shape::d1(4), vec![0.0, -1.0, 0.0, 0.5]).unwrap();
+        let m = Mask::from_nonzero(&t);
+        assert_eq!(m.bits(), &[false, true, false, true]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Sparsity statistics: SSS, SNS and DNS (the paper's Table III).
+//!
+//! * **SSS** — static synapse sparsity: fraction of synapses remaining
+//!   after pruning.
+//! * **SNS** — static neuron sparsity: fraction of input neurons that
+//!   still have at least one surviving synapse (a neuron all of whose
+//!   outgoing synapses are pruned is dead and can be removed).
+//! * **DNS** — dynamic neuron sparsity: fraction of *non-zero* activation
+//!   values at runtime (zeros come from ReLU and feed nothing forward).
+//!
+//! The paper reports all three as "ratio of remaining to total".
+
+use cs_tensor::Tensor;
+
+use crate::mask::Mask;
+
+/// Per-layer sparsity report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityReport {
+    /// Static synapse sparsity (remaining / total).
+    pub sss: f64,
+    /// Static neuron sparsity (remaining / total input neurons).
+    pub sns: f64,
+    /// Dynamic neuron sparsity (non-zero / total activations), if
+    /// activation traces were provided.
+    pub dns: Option<f64>,
+}
+
+/// Static synapse sparsity of a mask (identical to its density).
+pub fn synapse_sparsity(mask: &Mask) -> f64 {
+    mask.density()
+}
+
+/// Static neuron sparsity: the fraction of *input* neurons with at least
+/// one surviving synapse.
+///
+/// For a 2-D FC mask `(n_in, n_out)` the input neurons are the rows; for a
+/// 4-D conv mask `(n_fin, n_fout, kx, ky)` they are the input feature
+/// maps (which is why conv layers in the paper show 100% SNS — a whole
+/// input map is essentially never fully pruned).
+pub fn static_neuron_sparsity(mask: &Mask) -> f64 {
+    let shape = mask.shape();
+    let n_in = shape.dim(0);
+    if n_in == 0 {
+        return 0.0;
+    }
+    let per_in = mask.len() / n_in;
+    let bits = mask.bits();
+    let alive = (0..n_in)
+        .filter(|i| bits[i * per_in..(i + 1) * per_in].iter().any(|b| *b))
+        .count();
+    alive as f64 / n_in as f64
+}
+
+/// Dynamic neuron sparsity of a batch of activation tensors: the overall
+/// fraction of non-zero values.
+pub fn dynamic_neuron_sparsity(activations: &[Tensor]) -> f64 {
+    let total: usize = activations.iter().map(Tensor::len).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let zeros: usize = activations.iter().map(Tensor::count_zeros).sum();
+    1.0 - zeros as f64 / total as f64
+}
+
+/// Builds a full report from a mask and optional activation traces.
+pub fn report(mask: &Mask, activations: Option<&[Tensor]>) -> SparsityReport {
+    SparsityReport {
+        sss: synapse_sparsity(mask),
+        sns: static_neuron_sparsity(mask),
+        dns: activations.map(dynamic_neuron_sparsity),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_tensor::Shape;
+
+    #[test]
+    fn sns_counts_dead_rows() {
+        // 4 input neurons; rows 1 and 3 fully pruned.
+        let bits = vec![
+            true, false, false, //
+            false, false, false, //
+            false, true, true, //
+            false, false, false,
+        ];
+        let m = Mask::from_bits(Shape::d2(4, 3), bits).unwrap();
+        assert!((static_neuron_sparsity(&m) - 0.5).abs() < 1e-12);
+        assert!((synapse_sparsity(&m) - 3.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sns_is_full_for_conv_style_masks() {
+        // 4-D conv mask where every input map keeps some weight.
+        let mut bits = vec![false; 2 * 4 * 3 * 3];
+        bits[0] = true; // fi=0
+        bits[4 * 9] = true; // fi=1
+        let m = Mask::from_bits(Shape::d4(2, 4, 3, 3), bits).unwrap();
+        assert_eq!(static_neuron_sparsity(&m), 1.0);
+    }
+
+    #[test]
+    fn dns_counts_zeros() {
+        let a = Tensor::from_vec(Shape::d1(4), vec![0.0, 1.0, 2.0, 0.0]).unwrap();
+        let b = Tensor::from_vec(Shape::d1(2), vec![0.0, 3.0]).unwrap();
+        let dns = dynamic_neuron_sparsity(&[a, b]);
+        assert!((dns - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dns_empty_is_zero() {
+        assert_eq!(dynamic_neuron_sparsity(&[]), 0.0);
+    }
+
+    #[test]
+    fn report_combines_all() {
+        let m = Mask::ones_like(Shape::d2(2, 2));
+        let acts = [Tensor::from_vec(Shape::d1(2), vec![0.0, 1.0]).unwrap()];
+        let r = report(&m, Some(&acts));
+        assert_eq!(r.sss, 1.0);
+        assert_eq!(r.sns, 1.0);
+        assert_eq!(r.dns, Some(0.5));
+        let r2 = report(&m, None);
+        assert_eq!(r2.dns, None);
+    }
+}

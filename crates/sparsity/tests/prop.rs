@@ -1,0 +1,122 @@
+//! Property-based tests for pruning, masks and index encodings.
+
+use cs_sparsity::coarse::{self, CoarseConfig, PruneMetric};
+use cs_sparsity::indexing::{self, StepIndex};
+use cs_sparsity::{fine, stats, Mask};
+use cs_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn weights(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut x = seed | 1;
+    Tensor::from_fn(Shape::d2(rows, cols), |_| {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    })
+}
+
+proptest! {
+    /// Step-index encoding recovers exactly the surviving positions for
+    /// any mask and any field width.
+    #[test]
+    fn step_index_roundtrip(bits_vec in proptest::collection::vec(any::<bool>(), 1..2000),
+                            width in 2u8..12) {
+        let n = bits_vec.len();
+        let mask = Mask::from_bits(Shape::d1(n), bits_vec.clone()).unwrap();
+        let si = StepIndex::encode(&mask, width);
+        let want: Vec<usize> = bits_vec.iter().enumerate()
+            .filter(|(_, b)| **b).map(|(i, _)| i).collect();
+        prop_assert_eq!(si.positions(), want);
+    }
+
+    /// Step-index size is survivors + placeholders, each `width` bits.
+    #[test]
+    fn step_index_size_formula(bits_vec in proptest::collection::vec(any::<bool>(), 1..1000),
+                               width in 2u8..10) {
+        let n = bits_vec.len();
+        let mask = Mask::from_bits(Shape::d1(n), bits_vec).unwrap();
+        let si = StepIndex::encode(&mask, width);
+        prop_assert_eq!(si.size_bits(),
+                        (mask.ones() + si.placeholders()) * usize::from(width));
+    }
+
+    /// `best_encoding` never returns something bigger than direct.
+    #[test]
+    fn best_encoding_is_at_most_direct(bits_vec in proptest::collection::vec(any::<bool>(), 1..1000)) {
+        let n = bits_vec.len();
+        let mask = Mask::from_bits(Shape::d1(n), bits_vec).unwrap();
+        let (_, size) = indexing::best_encoding(&mask, 8);
+        prop_assert!(size <= indexing::direct_size_bits(&mask));
+    }
+
+    /// Coarse pruning under both metrics yields block-aligned masks, and
+    /// the max-metric mask always keeps the single largest weight.
+    #[test]
+    fn coarse_metrics_invariants(rows in 4usize..40, cols in 4usize..40,
+                                 block in 1usize..10, density in 0.1f64..0.9,
+                                 seed in 0u64..500) {
+        let w = weights(rows, cols, seed);
+        for metric in [PruneMetric::Max, PruneMetric::Average] {
+            let cfg = CoarseConfig::fc(block, block, metric);
+            let mask = coarse::prune_to_density(&w, &cfg, density).unwrap();
+            prop_assert!(coarse::is_block_aligned(&mask, &cfg));
+        }
+        // Max pruning keeps the block containing the global max weight
+        // whenever at least one block survives at this density.
+        let cfg = CoarseConfig::fc(block, block, PruneMetric::Max);
+        let mask = coarse::prune_to_density(&w, &cfg, density).unwrap();
+        let (mut best, mut bv) = (0usize, -1.0f32);
+        for (i, v) in w.as_slice().iter().enumerate() {
+            if v.abs() > bv {
+                bv = v.abs();
+                best = i;
+            }
+        }
+        prop_assert!(mask.bits()[best], "largest weight pruned under max metric");
+    }
+
+    /// block_keep is consistent with the mask: a block bit is set iff
+    /// some synapse in it survives.
+    #[test]
+    fn block_keep_consistency(rows in 4usize..30, cols in 4usize..30,
+                              block in 1usize..8, density in 0.1f64..0.9,
+                              seed in 0u64..200) {
+        let w = weights(rows, cols, seed);
+        let cfg = CoarseConfig::fc(block, block, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, density).unwrap();
+        let bk = coarse::block_keep(&mask, &cfg);
+        prop_assert_eq!(bk.keep.iter().filter(|b| **b).count() > 0, mask.ones() > 0);
+        // Total survivors equal the mask's ones (blocks are exclusive).
+        let kept_blocks = bk.keep.iter().filter(|b| **b).count();
+        prop_assert!(kept_blocks * block * block >= mask.ones());
+    }
+
+    /// SNS is 1.0 exactly when no input row is fully pruned; fine-grained
+    /// SSS equals the requested density.
+    #[test]
+    fn stats_invariants(rows in 2usize..30, cols in 2usize..30,
+                        density in 0.1f64..1.0, seed in 0u64..200) {
+        let w = weights(rows, cols, seed);
+        let mask = fine::prune_to_density(&w, density).unwrap();
+        let sss = stats::synapse_sparsity(&mask);
+        let expect = ((density * (rows * cols) as f64).round())
+            .clamp(1.0, (rows * cols) as f64) / (rows * cols) as f64;
+        prop_assert!((sss - expect).abs() < 1e-9);
+        let sns = stats::static_neuron_sparsity(&mask);
+        let dead_rows = (0..rows).filter(|r| {
+            mask.bits()[r * cols..(r + 1) * cols].iter().all(|b| !*b)
+        }).count();
+        prop_assert!((sns - (rows - dead_rows) as f64 / rows as f64).abs() < 1e-9);
+    }
+
+    /// Applying a mask then extracting compact values matches filtering.
+    #[test]
+    fn compact_values_match_filter(rows in 1usize..20, cols in 1usize..20,
+                                   density in 0.1f64..1.0, seed in 0u64..200) {
+        let w = weights(rows, cols, seed);
+        let mask = fine::prune_to_density(&w, density).unwrap();
+        let compact = mask.compact_values(&w);
+        let filtered: Vec<f32> = w.as_slice().iter().zip(mask.bits())
+            .filter(|(_, b)| **b).map(|(v, _)| *v).collect();
+        prop_assert_eq!(compact, filtered);
+    }
+}

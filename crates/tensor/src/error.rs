@@ -1,0 +1,97 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Error returned by fallible tensor constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count of the provided data does not match the shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have shapes that the operation cannot combine.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Shape,
+        /// Shape of the right operand.
+        right: Shape,
+        /// Name of the failed operation.
+        op: &'static str,
+    },
+    /// The operation requires a tensor of a different rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Rank of the provided tensor.
+        actual: usize,
+        /// Name of the failed operation.
+        op: &'static str,
+    },
+    /// A convolution/pooling geometry is invalid (e.g. kernel larger than
+    /// the padded input, or zero stride).
+    InvalidGeometry(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left} vs {right}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op} requires rank {expected}, got rank {actual}"),
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                left: Shape::d2(2, 3),
+                right: Shape::d2(4, 5),
+                op: "matmul",
+            },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 4,
+                op: "matmul",
+            },
+            TensorError::InvalidGeometry("zero stride".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with(char::is_numeric));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

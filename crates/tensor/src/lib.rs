@@ -1,0 +1,32 @@
+//! Dense tensor substrate for the Cambricon-S reproduction.
+//!
+//! This crate provides the minimal numerical foundation the rest of the
+//! workspace builds on: a row-major [`Tensor`] of `f32` values with a
+//! dynamic [`Shape`], plus the dense linear-algebra kernels (matrix
+//! multiplication, im2col convolution, pooling) that the neural-network
+//! substrate uses as its *reference* implementation. The accelerator
+//! simulators in `cs-accel`/`cs-baselines` are validated for functional
+//! correctness against these kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use cs_tensor::{Tensor, Shape};
+//!
+//! # fn main() -> Result<(), cs_tensor::TensorError> {
+//! let a = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.])?;
+//! let b = Tensor::from_vec(Shape::d2(3, 2), vec![1., 0., 0., 1., 1., 1.])?;
+//! let c = cs_tensor::ops::matmul(&a, &b)?;
+//! assert_eq!(c.as_slice(), &[4., 5., 10., 11.]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

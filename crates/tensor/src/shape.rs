@@ -1,0 +1,201 @@
+//! Dynamic tensor shapes.
+
+use std::fmt;
+
+/// A dynamically-ranked tensor shape.
+///
+/// The Cambricon-S paper works with 2-D fully-connected weight matrices
+/// `(N_in, N_out)` and 4-D convolutional weight tensors
+/// `(N_fin, N_fout, K_x, K_y)`, so convenience constructors for those ranks
+/// are provided.
+///
+/// # Example
+///
+/// ```
+/// use cs_tensor::Shape;
+///
+/// let s = Shape::d4(3, 8, 5, 5);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.len(), 3 * 8 * 5 * 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from explicit dimensions.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// A rank-1 shape.
+    pub fn d1(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    /// A rank-2 shape `(rows, cols)`.
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Shape(vec![rows, cols])
+    }
+
+    /// A rank-3 shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Shape(vec![a, b, c])
+    }
+
+    /// A rank-4 shape, e.g. a convolution weight `(n_fin, n_fout, kx, ky)`.
+    pub fn d4(a: usize, b: usize, c: usize, d: usize) -> Self {
+        Shape(vec![a, b, c, d])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of all dimensions).
+    ///
+    /// An empty (rank-0) shape has one element, matching the scalar
+    /// convention.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` when the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// All dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// ```
+    /// use cs_tensor::Shape;
+    /// assert_eq!(Shape::d3(2, 3, 4).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `idx` has the wrong rank or any
+    /// coordinate is out of bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.0.len()).rev() {
+            debug_assert!(idx[i] < self.0[i], "index out of bounds");
+            off += idx[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        assert_eq!(Shape::d1(5).len(), 5);
+        assert_eq!(Shape::d2(3, 4).len(), 12);
+        assert_eq!(Shape::d4(2, 3, 4, 5).len(), 120);
+        assert_eq!(Shape::d4(2, 3, 4, 5).rank(), 4);
+        assert_eq!(Shape::new(vec![]).len(), 1);
+    }
+
+    #[test]
+    fn offsets_are_row_major() {
+        let s = Shape::d2(3, 4);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[0, 3]), 3);
+        assert_eq!(s.offset(&[1, 0]), 4);
+        assert_eq!(s.offset(&[2, 3]), 11);
+
+        let s4 = Shape::d4(2, 3, 4, 5);
+        assert_eq!(s4.offset(&[0, 0, 0, 1]), 1);
+        assert_eq!(s4.offset(&[0, 0, 1, 0]), 5);
+        assert_eq!(s4.offset(&[0, 1, 0, 0]), 20);
+        assert_eq!(s4.offset(&[1, 0, 0, 0]), 60);
+    }
+
+    #[test]
+    fn strides_match_offsets() {
+        let s = Shape::d3(2, 3, 4);
+        let strides = s.strides();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(
+                        s.offset(&[i, j, k]),
+                        i * strides[0] + j * strides[1] + k * strides[2]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::d2(3, 4).to_string(), "(3, 4)");
+        assert_eq!(Shape::d1(7).to_string(), "(7)");
+    }
+
+    #[test]
+    fn zero_dim_shape_is_empty() {
+        assert!(Shape::d2(0, 4).is_empty());
+        assert!(!Shape::d2(1, 4).is_empty());
+    }
+}

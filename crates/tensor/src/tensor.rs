@@ -1,0 +1,289 @@
+//! The dense tensor type.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// This is the reference data container for the whole workspace: network
+/// weights, activations and the inputs fed to the accelerator simulators are
+/// all `Tensor`s. Sparse/compressed representations live in `cs-compress`
+/// and convert to/from dense `Tensor`s.
+///
+/// # Example
+///
+/// ```
+/// use cs_tensor::{Shape, Tensor};
+///
+/// let mut t = Tensor::zeros(Shape::d2(2, 2));
+/// t[&[0, 1][..]] = 3.5;
+/// assert_eq!(t.get(&[0, 1]), 3.5);
+/// assert_eq!(t.as_slice(), &[0.0, 3.5, 0.0, 0.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with a constant value.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from existing row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` does not
+    /// equal `shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize) -> f32) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: (0..len).map(&mut f).collect(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds
+    /// (debug builds; release builds panic on the final bounds check).
+    pub fn get(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::get`].
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// Reinterprets the tensor with a new shape of the same element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the element counts
+    /// differ.
+    pub fn reshape(self, shape: Shape) -> Result<Self, TensorError> {
+        if shape.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Number of elements equal to exactly `0.0`.
+    ///
+    /// Dynamic neuron sparsity in the paper is defined by exact zeros
+    /// produced by pruning or the ReLU activation, so exact comparison is
+    /// intended here.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|v| **v == 0.0).count()
+    }
+
+    /// Fraction of non-zero elements, the paper's notion of "sparsity"
+    /// (ratio of *remaining* values to total values).
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.count_zeros() as f64 / self.data.len() as f64
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute value (0.0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(
+                f,
+                "[{:?}, ... ; {} elements]",
+                &self.data[..8],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl Index<&[usize]> for Tensor {
+    type Output = f32;
+
+    fn index(&self, idx: &[usize]) -> &f32 {
+        &self.data[self.shape.offset(idx)]
+    }
+}
+
+impl IndexMut<&[usize]> for Tensor {
+    fn index_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(idx);
+        &mut self.data[off]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(Shape::d2(2, 3));
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().iter().all(|v| *v == 0.0));
+        let f = Tensor::full(Shape::d1(4), 2.5);
+        assert!(f.as_slice().iter().all(|v| *v == 2.5));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 4]).is_ok());
+        let err = Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(Shape::d3(2, 3, 4));
+        t.set(&[1, 2, 3], 9.0);
+        assert_eq!(t.get(&[1, 2, 3]), 9.0);
+        assert_eq!(t.as_slice()[12 + 2 * 4 + 3], 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::d2(2, 3), (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.clone().reshape(Shape::d1(6)).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(Shape::d2(7, 1)).is_err());
+    }
+
+    #[test]
+    fn density_counts_exact_zeros() {
+        let t = Tensor::from_vec(Shape::d1(4), vec![0.0, 1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(t.count_zeros(), 2);
+        assert!((t.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_and_max_abs() {
+        let t = Tensor::from_vec(Shape::d1(3), vec![-3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(t.max_abs(), 3.0);
+        let relu = t.map(|v| v.max(0.0));
+        assert_eq!(relu.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn index_operators() {
+        let mut t = Tensor::zeros(Shape::d2(2, 2));
+        t[&[1, 1][..]] = 7.0;
+        assert_eq!(t[&[1, 1][..]], 7.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor::zeros(Shape::d2(8, 8));
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

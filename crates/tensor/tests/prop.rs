@@ -1,0 +1,114 @@
+//! Property-based tests for the tensor kernels.
+
+use cs_tensor::ops::{self, Conv2dGeometry};
+use cs_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor2(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    Tensor::from_fn(Shape::d2(rows, cols), |_| {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    })
+}
+
+proptest! {
+    /// `(A·B)·C == A·(B·C)` within floating-point tolerance.
+    #[test]
+    fn matmul_is_associative(m in 1usize..12, k in 1usize..12,
+                             n in 1usize..12, p in 1usize..12, seed in 0u64..100) {
+        let a = tensor2(m, k, seed);
+        let b = tensor2(k, n, seed + 1);
+        let c = tensor2(n, p, seed + 2);
+        let left = ops::matmul(&ops::matmul(&a, &b).unwrap(), &c).unwrap();
+        let right = ops::matmul(&a, &ops::matmul(&b, &c).unwrap()).unwrap();
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3, "{} vs {}", l, r);
+        }
+    }
+
+    /// Multiplying by the identity is a no-op.
+    #[test]
+    fn matmul_identity(m in 1usize..16, n in 1usize..16, seed in 0u64..100) {
+        let a = tensor2(m, n, seed);
+        let id = Tensor::from_fn(Shape::d2(n, n), |i| {
+            if i / n == i % n { 1.0 } else { 0.0 }
+        });
+        let out = ops::matmul(&a, &id).unwrap();
+        prop_assert_eq!(out.as_slice(), a.as_slice());
+    }
+
+    /// `transpose(transpose(A)) == A` and `(A·B)^T == B^T · A^T`.
+    #[test]
+    fn transpose_laws(m in 1usize..12, k in 1usize..12, n in 1usize..12,
+                      seed in 0u64..100) {
+        let a = tensor2(m, k, seed);
+        let b = tensor2(k, n, seed + 1);
+        prop_assert_eq!(ops::transpose(&ops::transpose(&a).unwrap()).unwrap(), a.clone());
+        let lhs = ops::transpose(&ops::matmul(&a, &b).unwrap()).unwrap();
+        let rhs = ops::matmul(&ops::transpose(&b).unwrap(), &ops::transpose(&a).unwrap()).unwrap();
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-4);
+        }
+    }
+
+    /// Convolution is linear in the input.
+    #[test]
+    fn conv2d_is_linear(c in 1usize..3, h in 4usize..8, fo in 1usize..4,
+                        alpha in -2.0f32..2.0, seed in 0u64..50) {
+        let x = Tensor::from_fn(Shape::d3(c, h, h), {
+            let mut s = seed | 1;
+            move |_| { s = s.wrapping_mul(48271); ((s >> 16) % 100) as f32 * 0.01 }
+        });
+        let w = Tensor::from_fn(Shape::d4(c, fo, 3, 3), {
+            let mut s = (seed + 7) | 1;
+            move |_| { s = s.wrapping_mul(48271); ((s >> 16) % 100) as f32 * 0.01 - 0.5 }
+        });
+        let geom = Conv2dGeometry::square(3, 1, 1);
+        let y1 = ops::conv2d(&x, &w, None, &geom).unwrap();
+        let xs = x.map(|v| v * alpha);
+        let y2 = ops::conv2d(&xs, &w, None, &geom).unwrap();
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((a * alpha - b).abs() < 1e-2 * (1.0 + a.abs()),
+                         "{} vs {}", a * alpha, b);
+        }
+    }
+
+    /// Max pooling never invents values: every output equals some input.
+    #[test]
+    fn max_pool_outputs_are_inputs(c in 1usize..3, h in 4usize..10, seed in 0u64..50) {
+        let x = Tensor::from_fn(Shape::d3(c, h, h), {
+            let mut s = seed | 1;
+            move |_| { s = s.wrapping_mul(48271); ((s >> 16) % 1000) as f32 * 0.001 }
+        });
+        let geom = Conv2dGeometry::square(2, 2, 0);
+        let y = ops::max_pool2d(&x, &geom).unwrap();
+        for v in y.as_slice() {
+            prop_assert!(x.as_slice().contains(v));
+        }
+    }
+
+    /// Reshape round-trips and preserves data.
+    #[test]
+    fn reshape_preserves_data(m in 1usize..16, n in 1usize..16, seed in 0u64..100) {
+        let a = tensor2(m, n, seed);
+        let flat = a.clone().reshape(Shape::d1(m * n)).unwrap();
+        prop_assert_eq!(flat.as_slice(), a.as_slice());
+        let back = flat.reshape(Shape::d2(m, n)).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// Softmax outputs are a probability distribution per row.
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..8, cols in 1usize..16,
+                                      seed in 0u64..100) {
+        let a = tensor2(rows, cols, seed).map(|v| v * 5.0);
+        let s = ops::softmax(&a).unwrap();
+        for r in 0..rows {
+            let row = &s.as_slice()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+}

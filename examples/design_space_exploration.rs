@@ -1,0 +1,55 @@
+//! Compression-parameter tuning scenario: the paper's "long-tuning
+//! process" as a runnable search.
+//!
+//! Sweeps pruning block size and dictionary widths over representative
+//! AlexNet layers, scoring each configuration by compressed size under a
+//! reconstruction-error (accuracy-proxy) bound, then prints the ranked
+//! design points and compares the winner with the paper's chosen design.
+//!
+//! ```text
+//! cargo run --release --example design_space_exploration -- --scale 8
+//! ```
+
+use cambricon_s::experiments::ext_dse;
+use cambricon_s::prelude::Scale;
+
+fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            if let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) {
+                return if n <= 1 { Scale::Full } else { Scale::Reduced(n) };
+            }
+        }
+    }
+    Scale::Reduced(8)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("exploring block sizes x dictionary widths on AlexNet probe layers ({scale:?})...\n");
+    let result = ext_dse::run(scale, 7);
+    println!("{}", result.render());
+
+    let best = result.best().expect("at least one feasible design");
+    println!(
+        "\nbest feasible design: N={} conv {}b / fc {}b -> {:.1} KB (nmse {:.4})",
+        best.n,
+        best.conv_bits,
+        best.fc_bits,
+        best.compressed_bytes as f64 / 1e3,
+        best.nmse,
+    );
+    let paper = result
+        .points
+        .iter()
+        .find(|p| p.n == 16 && p.conv_bits == 8 && p.fc_bits == 4)
+        .expect("the paper design point was evaluated");
+    println!(
+        "paper design (N=16, conv 8b, fc 4b): {:.1} KB (nmse {:.4}) — within {:.0}% of the best",
+        paper.compressed_bytes as f64 / 1e3,
+        paper.nmse,
+        100.0 * (paper.compressed_bytes as f64 / best.compressed_bytes as f64 - 1.0).abs(),
+    );
+}

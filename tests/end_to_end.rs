@@ -1,0 +1,182 @@
+//! End-to-end integration: network spec → synthetic weights →
+//! coarse-grained compression → compact shared-index format →
+//! accelerator functional execution, validated against the dense
+//! reference at every step.
+
+use cambricon_s::prelude::*;
+use cs_accel::exec::Accelerator;
+use cs_accel::pe::Activation;
+use cs_nn::init::{self, ConvergenceProfile};
+
+/// Compress every FC layer of the MLP and execute each on the
+/// accelerator; outputs must match the shared-index reference exactly
+/// and the masked-dense reference within quantization error.
+#[test]
+fn mlp_layers_execute_correctly_on_the_accelerator() {
+    let spec = NetworkSpec::model(Model::Mlp, Scale::Reduced(4));
+    let cfg = ModelCompressionConfig::paper(Model::Mlp);
+    let accel = Accelerator::new(AccelConfig::paper_default());
+
+    for layer in spec.weighted_layers() {
+        let lc = cfg.for_layer(layer);
+        let profile = ConvergenceProfile::with_target_density(lc.target_density);
+        let weights = init::materialize(layer, &profile, 11);
+        let (report, mask, _) = compress_layer(layer, &weights, lc).expect("compression");
+        // The tiny output layer keeps at least one block, so only check
+        // the density target on layers with room to prune.
+        if report.weight_count >= 1024 {
+            assert!(report.density <= 0.35, "layer {} too dense", layer.name());
+        }
+
+        let sil = SharedIndexLayer::from_fc(layer.name(), &weights, &mask, 16, lc.quant_bits)
+            .expect("block-aligned mask");
+        let input: Vec<f32> = (0..sil.n_in)
+            .map(|i| match i % 4 {
+                0 => 0.0,
+                r => r as f32 * 0.1,
+            })
+            .collect();
+        let run = accel
+            .run_layer(&sil, &input, Activation::None)
+            .expect("execution");
+        let want = sil.output(&input);
+        for (o, (got, want)) in run.outputs.iter().zip(&want).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-4,
+                "layer {} output {o}: {got} vs {want}",
+                layer.name()
+            );
+        }
+
+        // Quantization error against the masked dense compute is bounded.
+        let mut pruned = weights.clone();
+        mask.apply(&mut pruned);
+        let n_out = sil.n_out;
+        for o in 0..n_out {
+            let mut dense = 0.0f32;
+            for (i, x) in input.iter().enumerate() {
+                dense += pruned.as_slice()[i * n_out + o] * x;
+            }
+            let err = (run.outputs[o] - dense).abs();
+            assert!(
+                err <= 0.15 * dense.abs().max(0.5),
+                "layer {} output {o}: quantized {} vs dense {dense}",
+                layer.name(),
+                run.outputs[o]
+            );
+        }
+    }
+}
+
+/// The whole-network compression report is consistent: per-layer sizes
+/// sum to the totals and ratios are ordered r_p < r_q.
+#[test]
+fn compression_report_is_internally_consistent() {
+    let spec = NetworkSpec::model(Model::LeNet5, Scale::Full);
+    let cfg = ModelCompressionConfig::paper(Model::LeNet5);
+    let report = compress_model(&spec, &cfg, 3).expect("pipeline");
+    let wp: usize = report.layers.iter().map(|l| l.wp_bytes).sum();
+    assert_eq!(wp, report.wp_bytes());
+    assert!(report.pruning_ratio() < report.quantized_ratio());
+    for l in &report.layers {
+        assert!(l.surviving <= l.weight_count);
+        assert!(l.wq_bytes <= l.wp_bytes);
+        assert!(l.coarse_index_bits <= l.fine_index_bits);
+    }
+}
+
+/// Conv layers lower into the same shared-index format and execute
+/// correctly (one spatial position = one FC-like evaluation).
+#[test]
+fn conv_layer_lowering_executes_correctly() {
+    let w = init::local_convergence(
+        cs_tensor::Shape::d4(8, 32, 3, 3),
+        &ConvergenceProfile::with_target_density(0.3),
+        5,
+    );
+    let coarse = CoarseConfig::conv(1, 16, 1, 1, PruneMetric::Average);
+    let mask = cs_sparsity::coarse::prune_to_density(&w, &coarse, 0.3).expect("prune");
+    let sil = SharedIndexLayer::from_conv("conv", &w, &mask, 16, 8).expect("format");
+    assert_eq!(sil.n_in, 8 * 9);
+
+    let accel = Accelerator::new(AccelConfig::paper_default());
+    // Three different im2col windows (spatial positions).
+    for seed in 0..3u64 {
+        let input: Vec<f32> = (0..sil.n_in)
+            .map(|i| {
+                let v = ((i as u64 + seed * 31) % 7) as f32 * 0.2 - 0.3;
+                if v < 0.0 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let run = accel
+            .run_layer(&sil, &input, Activation::Relu)
+            .expect("execution");
+        let want: Vec<f32> = sil.output(&input).iter().map(|v| v.max(0.0)).collect();
+        for (got, want) in run.outputs.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+}
+
+/// Dynamic sparsity end to end: feeding the same layer a sparser input
+/// reduces both MACs and cycles without changing correctness.
+#[test]
+fn dynamic_sparsity_saves_work_end_to_end() {
+    let w = init::local_convergence(
+        cs_tensor::Shape::d2(2048, 64),
+        &ConvergenceProfile::with_target_density(0.2).with_block(16),
+        9,
+    );
+    let coarse = CoarseConfig::fc(16, 16, PruneMetric::Average);
+    let mask = cs_sparsity::coarse::prune_to_density(&w, &coarse, 0.2).expect("prune");
+    let sil = SharedIndexLayer::from_fc("fc", &w, &mask, 16, 4).expect("format");
+    let accel = Accelerator::new(AccelConfig::paper_default());
+
+    let dense_in: Vec<f32> = (0..2048).map(|i| (i % 9 + 1) as f32 * 0.05).collect();
+    let sparse_in: Vec<f32> = dense_in
+        .iter()
+        .enumerate()
+        .map(|(i, v)| if i % 3 == 0 { *v } else { 0.0 })
+        .collect();
+    let run_dense = accel
+        .run_layer(&sil, &dense_in, Activation::None)
+        .expect("dense run");
+    let run_sparse = accel
+        .run_layer(&sil, &sparse_in, Activation::None)
+        .expect("sparse run");
+    assert!(run_sparse.stats.macs * 2 < run_dense.stats.macs);
+    assert!(run_sparse.stats.cycles <= run_dense.stats.cycles);
+    // And the sparse run is still correct.
+    let want = sil.output(&sparse_in);
+    for (got, want) in run_sparse.outputs.iter().zip(&want) {
+        assert!((got - want).abs() < 1e-4);
+    }
+}
+
+/// The VLIW program compiled for a layer covers all inputs and outputs,
+/// and re-running the same program is deterministic.
+#[test]
+fn compiled_programs_are_deterministic() {
+    let w = init::local_convergence(
+        cs_tensor::Shape::d2(4096, 32),
+        &ConvergenceProfile::with_target_density(0.25).with_block(16),
+        2,
+    );
+    let coarse = CoarseConfig::fc(16, 16, PruneMetric::Average);
+    let mask = cs_sparsity::coarse::prune_to_density(&w, &coarse, 0.25).expect("prune");
+    let sil = SharedIndexLayer::from_fc("fc", &w, &mask, 16, 4).expect("format");
+    let cfg = AccelConfig::paper_default();
+    let program = cs_accel::compiler::compile_layer(&sil, &cfg, Activation::None);
+    assert_eq!(program.n_in, 4096);
+    assert_eq!(program.n_out, 32);
+    let accel = Accelerator::new(cfg);
+    let input: Vec<f32> = (0..4096).map(|i| (i % 5) as f32 * 0.1).collect();
+    let a = accel.run_program(&program, &sil, &input).expect("run 1");
+    let b = accel.run_program(&program, &sil, &input).expect("run 2");
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.stats, b.stats);
+}

@@ -1,0 +1,92 @@
+//! Smoke tests: every experiment driver runs at reduced scale and
+//! produces the artifact it claims to.
+
+use cambricon_s::experiments::*;
+use cambricon_s::prelude::{LayerClass, Scale};
+
+const SEED: u64 = 77;
+
+#[test]
+fn fig01_runs() {
+    let r = fig01::run(128, SEED);
+    assert!(r.render().contains("trained layer"));
+}
+
+#[test]
+fn fig04_runs() {
+    let r = fig04::run(Scale::Reduced(16), SEED);
+    assert_eq!(r.curves.len(), 6);
+    assert!(r.render().lines().count() >= 8);
+}
+
+#[test]
+fn tab02_runs() {
+    let r = tab02::run(Scale::Reduced(16), SEED).expect("pipeline");
+    assert_eq!(r.points.len(), 7);
+    assert!(r.render().contains("r_c"));
+}
+
+#[test]
+fn tab03_runs() {
+    let r = tab03::run(Scale::Reduced(16), SEED);
+    assert_eq!(r.rows.len(), 7);
+    assert!(r.render().contains("DNS%"));
+}
+
+#[test]
+fn fig08_smoke_runs() {
+    let r = fig08::run(&fig08::Fig08Params::smoke()).expect("training");
+    assert_eq!(r.points.len(), 2);
+}
+
+#[test]
+fn tab04_runs() {
+    let r = tab04::run(Scale::Reduced(16), SEED).expect("pipeline");
+    assert_eq!(r.reports.len(), 7);
+    assert!(r.render().contains("R(Irr)"));
+}
+
+#[test]
+fn tab05_runs() {
+    let r = tab05::run(Scale::Reduced(16), SEED).expect("pipeline");
+    assert_eq!(r.measured_ratio.len(), 7);
+}
+
+#[test]
+fn tab06_runs() {
+    assert!(tab06::run().render().contains("NSM"));
+}
+
+#[test]
+fn fig15_16_17_run() {
+    assert_eq!(fig15::run(None).rows.len(), 7);
+    assert_eq!(fig15::run(Some(LayerClass::Convolutional)).rows.len(), 5);
+    assert!(!fig15::run(Some(LayerClass::FullyConnected)).rows.is_empty());
+}
+
+#[test]
+fn fig18_19_20_run() {
+    let r = fig18::run();
+    assert_eq!(r.rows.len(), 7);
+    assert!(r.render_fig19().contains("DRAM%"));
+    assert!(r.render_fig20().contains("PEFU%"));
+}
+
+#[test]
+fn fig21_runs() {
+    let r = fig21::run();
+    assert_eq!(r.curves.len(), 4);
+}
+
+#[test]
+fn tab07_runs() {
+    let r = tab07::run();
+    assert_eq!(r.rows.len(), 6);
+    assert!(r.geomean_speedup() > 1.0);
+}
+
+#[test]
+fn disc_runs() {
+    let r = disc::run();
+    assert!(r.render().contains("entropy"));
+}
