@@ -94,8 +94,7 @@ mod tests {
     #[test]
     fn total_sram_is_53kb() {
         let c = AccelConfig::paper_default();
-        let total =
-            c.nbin_bytes + c.nbout_bytes + c.sb_bytes + c.sib_bytes + c.ib_bytes;
+        let total = c.nbin_bytes + c.nbout_bytes + c.sb_bytes + c.sib_bytes + c.ib_bytes;
         assert_eq!(total / 1024, 53);
     }
 }

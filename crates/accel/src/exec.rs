@@ -15,10 +15,61 @@ use cs_tensor::TensorError;
 
 use crate::compiler::compile_layer;
 use crate::config::AccelConfig;
+use crate::error::AccelError;
 use crate::isa::{Instruction, Program};
 use crate::nsm;
 use crate::pe::Activation;
 use crate::ssm;
+
+/// Checks that a shared-index layer is internally consistent: every
+/// weight row matches its group's index popcount, dictionary indices fit
+/// the codebook, and the groups cover no more than `n_out` outputs.
+///
+/// The executor runs this before interpreting a program, so serving
+/// workers can also call it once at model-registration time to reject
+/// malformed layers at admission instead of per request.
+///
+/// # Errors
+///
+/// Returns the first inconsistency found.
+pub fn validate_layer(layer: &SharedIndexLayer) -> Result<(), AccelError> {
+    for (gi, g) in layer.groups.iter().enumerate() {
+        if g.index.len() != layer.n_in {
+            return Err(AccelError::WindowOutOfRange {
+                offset: 0,
+                len: g.index.len(),
+                n_in: layer.n_in,
+            });
+        }
+        let survivors = g.survivors();
+        for row in &g.weights {
+            if row.len() != survivors {
+                return Err(AccelError::MalformedGroup {
+                    group: gi,
+                    expected: survivors,
+                    actual: row.len(),
+                });
+            }
+            if let Some(&max) = row.iter().max() {
+                if usize::from(max) >= g.codebook.len() {
+                    return Err(AccelError::CodebookOverflow {
+                        group: gi,
+                        index: max,
+                        entries: g.codebook.len(),
+                    });
+                }
+            }
+        }
+        let top = gi * layer.group_size + g.weights.len();
+        if top > layer.n_out {
+            return Err(AccelError::OutputOverflow {
+                needed: top,
+                n_out: layer.n_out,
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Result of a functional run.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,13 +105,14 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// Returns a length-mismatch error when `input.len() != layer.n_in`.
+    /// Returns a length-mismatch error when `input.len() != layer.n_in`,
+    /// or a structural [`AccelError`] when the layer is malformed.
     pub fn run_layer(
         &self,
         layer: &SharedIndexLayer,
         input: &[f32],
         activation: Activation,
-    ) -> Result<RunResult, TensorError> {
+    ) -> Result<RunResult, AccelError> {
         let program = compile_layer(layer, &self.cfg, activation);
         self.run_program(&program, layer, input)
     }
@@ -77,7 +129,7 @@ impl Accelerator {
         &self,
         layers: &[(SharedIndexLayer, Activation)],
         input: &[f32],
-    ) -> Result<RunResult, TensorError> {
+    ) -> Result<RunResult, AccelError> {
         let mut x = input.to_vec();
         let mut stats = SimStats::new();
         for (layer, activation) in layers {
@@ -90,21 +142,55 @@ impl Accelerator {
 
     /// Executes a pre-compiled program.
     ///
+    /// Every instruction operand is validated against the layer before
+    /// the datapath runs, so a corrupted or mismatched program degrades
+    /// to an [`AccelError`] instead of a panic — a hard requirement on
+    /// the serving path, where a panic would take down a worker thread.
+    ///
     /// # Errors
     ///
-    /// Returns a length-mismatch error when `input.len() != program.n_in`.
+    /// Returns a length-mismatch error when `input.len() != program.n_in`,
+    /// [`AccelError::ProgramMismatch`] when program and layer disagree on
+    /// geometry, and the corresponding structural error when an
+    /// instruction references groups or windows the layer doesn't have.
     pub fn run_program(
         &self,
         program: &Program,
         layer: &SharedIndexLayer,
         input: &[f32],
-    ) -> Result<RunResult, TensorError> {
+    ) -> Result<RunResult, AccelError> {
         if input.len() != program.n_in {
-            return Err(TensorError::LengthMismatch {
+            return Err(AccelError::Tensor(TensorError::LengthMismatch {
                 expected: program.n_in,
                 actual: input.len(),
+            }));
+        }
+        if program.n_in != layer.n_in {
+            return Err(AccelError::ProgramMismatch {
+                program_n_in: program.n_in,
+                layer_n_in: layer.n_in,
             });
         }
+        validate_layer(layer)?;
+        let check_group = |group: usize| -> Result<(), AccelError> {
+            if group >= layer.groups.len() {
+                return Err(AccelError::GroupOutOfRange {
+                    group,
+                    groups: layer.groups.len(),
+                });
+            }
+            Ok(())
+        };
+        let check_window = |offset: usize, len: usize| -> Result<(), AccelError> {
+            if offset.checked_add(len).is_none_or(|end| end > layer.n_in) {
+                return Err(AccelError::WindowOutOfRange {
+                    offset,
+                    len,
+                    n_in: layer.n_in,
+                });
+            }
+            Ok(())
+        };
         // Per-group prefix popcounts of the synapse index, so weight
         // slices for input tiles can be located in the compact storage.
         let prefixes: Vec<Vec<usize>> = layer
@@ -132,25 +218,28 @@ impl Accelerator {
         for instr in &program.instrs {
             match *instr {
                 Instruction::LoadNeurons { offset, len } => {
+                    check_window(offset, len)?;
                     nbin = &input[offset..offset + len];
                     nbin_offset = offset;
                     let bytes = (len * self.cfg.neuron_bytes) as u64;
                     stats.dram_read_bytes += bytes;
                     pending_load += self.dram.stream_cycles(bytes);
                 }
-                Instruction::LoadIndex { len, .. } => {
+                Instruction::LoadIndex { group, len, .. } => {
+                    check_group(group)?;
                     let bytes = len.div_ceil(8) as u64;
                     stats.dram_read_bytes += bytes;
                     stats.sib_bytes += bytes;
                     pending_load += self.dram.stream_cycles(bytes);
                 }
                 Instruction::LoadSynapses { group, offset, len } => {
+                    check_group(group)?;
+                    check_window(offset, len)?;
                     let g = &layer.groups[group];
                     let pre = &prefixes[group];
                     let slice_survivors = pre[offset + len] - pre[offset];
                     let lanes = g.weights.len();
-                    let dict_bits =
-                        slice_survivors * lanes * usize::from(layer.quant_bits);
+                    let dict_bits = slice_survivors * lanes * usize::from(layer.quant_bits);
                     let mut bytes = dict_bits.div_ceil(8) as u64;
                     if offset == 0 {
                         bytes += g.codebook.byte_size() as u64;
@@ -161,9 +250,16 @@ impl Accelerator {
                     pending_load += self.dram.stream_cycles(bytes);
                 }
                 Instruction::Compute { group, offset, len } => {
+                    check_group(group)?;
+                    check_window(offset, len)?;
+                    if offset != nbin_offset || len > nbin.len() {
+                        return Err(AccelError::TileMismatch {
+                            loaded: nbin_offset,
+                            requested: offset,
+                        });
+                    }
                     let g = &layer.groups[group];
                     let pre = &prefixes[group];
-                    debug_assert_eq!(offset, nbin_offset, "compute window != NBin tile");
                     let index_slice = &g.index[offset..offset + len];
                     let window = &nbin[..len];
                     let sel = nsm::select(window, index_slice);
@@ -192,6 +288,7 @@ impl Accelerator {
                     pending_load = 0;
                 }
                 Instruction::Activate { group, activation } => {
+                    check_group(group)?;
                     let lanes = layer.groups[group].weights.len();
                     for lane in 0..lanes {
                         let o = group * layer.group_size + lane;
@@ -319,7 +416,10 @@ mod tests {
         let x = input(128, 5);
         let run = acc
             .run_network(
-                &[(l1.clone(), Activation::Relu), (l2.clone(), Activation::None)],
+                &[
+                    (l1.clone(), Activation::Relu),
+                    (l2.clone(), Activation::None),
+                ],
                 &x,
             )
             .unwrap();
@@ -347,7 +447,10 @@ mod tests {
         let x = input(128, 0);
         let run = acc
             .run_network(
-                &[(l1.clone(), Activation::Relu), (l2.clone(), Activation::None)],
+                &[
+                    (l1.clone(), Activation::Relu),
+                    (l2.clone(), Activation::None),
+                ],
                 &x,
             )
             .unwrap();
@@ -366,6 +469,91 @@ mod tests {
         let l = layer(64, 16, 0.5, 2);
         let acc = Accelerator::new(AccelConfig::paper_default());
         assert!(acc.run_layer(&l, &[0.0; 63], Activation::None).is_err());
+    }
+
+    #[test]
+    fn corrupted_program_degrades_to_error_not_panic() {
+        use crate::error::AccelError;
+        let l = layer(64, 16, 0.5, 2);
+        let acc = Accelerator::new(AccelConfig::paper_default());
+        let x = input(64, 0);
+        let mut program = compile_layer(&l, acc.config(), Activation::None);
+
+        // Group index past the layer's groups.
+        program.instrs[1] = Instruction::LoadIndex {
+            group: 99,
+            offset: 0,
+            len: 64,
+        };
+        assert!(matches!(
+            acc.run_program(&program, &l, &x),
+            Err(AccelError::GroupOutOfRange { group: 99, .. })
+        ));
+
+        // Window past the input width.
+        program.instrs[1] = Instruction::LoadNeurons {
+            offset: 32,
+            len: 64,
+        };
+        assert!(matches!(
+            acc.run_program(&program, &l, &x),
+            Err(AccelError::WindowOutOfRange { .. })
+        ));
+
+        // Compute against a tile that is not resident in NBin.
+        let good = compile_layer(&l, acc.config(), Activation::None);
+        let mut skewed = good.clone();
+        skewed.instrs.insert(
+            0,
+            Instruction::Compute {
+                group: 0,
+                offset: 16,
+                len: 16,
+            },
+        );
+        assert!(matches!(
+            acc.run_program(&skewed, &l, &x),
+            Err(AccelError::TileMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn program_layer_geometry_mismatch_is_an_error() {
+        use crate::error::AccelError;
+        let l64 = layer(64, 16, 0.5, 2);
+        let l128 = layer(128, 16, 0.5, 2);
+        let acc = Accelerator::new(AccelConfig::paper_default());
+        let program = compile_layer(&l128, acc.config(), Activation::None);
+        let x = input(128, 0);
+        assert!(matches!(
+            acc.run_program(&program, &l64, &x),
+            Err(AccelError::ProgramMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_layer_rejected_by_validation() {
+        use crate::error::AccelError;
+        let mut l = layer(64, 16, 0.5, 2);
+        // Truncate one weight row so it no longer matches the index.
+        l.groups[0].weights[3].pop();
+        assert!(matches!(
+            validate_layer(&l),
+            Err(AccelError::MalformedGroup { group: 0, .. })
+        ));
+        let acc = Accelerator::new(AccelConfig::paper_default());
+        let x = input(64, 0);
+        assert!(acc.run_layer(&l, &x, Activation::None).is_err());
+
+        // Dictionary index beyond the codebook LUT.
+        let mut l2 = layer(64, 16, 0.5, 3);
+        if let Some(w) = l2.groups[0].weights[0].first_mut() {
+            *w = u16::MAX;
+        }
+        assert!(matches!(
+            validate_layer(&l2),
+            Err(AccelError::CodebookOverflow { group: 0, .. })
+        ));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod compiler;
 pub mod config;
+pub mod error;
 pub mod exec;
 pub mod isa;
 pub mod nsm;
@@ -41,3 +42,4 @@ pub mod ssm;
 pub mod timing;
 
 pub use config::AccelConfig;
+pub use error::AccelError;

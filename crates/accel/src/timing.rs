@@ -207,11 +207,7 @@ pub fn simulate_layer(cfg: &AccelConfig, layer: &LayerTiming) -> TimingRun {
 }
 
 /// Simulates one layer with an explicit DRAM model.
-pub fn simulate_layer_with(
-    cfg: &AccelConfig,
-    layer: &LayerTiming,
-    dram: &DramModel,
-) -> TimingRun {
+pub fn simulate_layer_with(cfg: &AccelConfig, layer: &LayerTiming, dram: &DramModel) -> TimingRun {
     let groups = layer.n_out.div_ceil(cfg.tn);
     let static_surv = (layer.n_in as f64 * layer.static_density).round() as usize;
     let needed = (static_surv as f64 * layer.dynamic_density).round() as usize;
@@ -219,8 +215,7 @@ pub fn simulate_layer_with(
     let compute_cycles = per_group * groups as u64 * layer.positions as u64;
 
     // DMA traffic: weights and indexes once, activations once.
-    let weight_bytes =
-        (layer.surviving_weights() * u64::from(layer.weight_bits)).div_ceil(8);
+    let weight_bytes = (layer.surviving_weights() * u64::from(layer.weight_bits)).div_ceil(8);
     // Codebook LUTs: one 2^bits-entry, 16-bit table per ~16K weights.
     let lut_bytes = if layer.weight_bits < 16 {
         let luts = layer.surviving_weights().div_ceil(16_384).max(1);

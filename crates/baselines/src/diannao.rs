@@ -47,7 +47,11 @@ pub fn simulate_layer(layer: &LayerTiming) -> TimingRun {
     // Dense DMA: all weights at 16-bit; conv inputs re-streamed once per
     // output-map tile (NBin too small to persist them).
     let weight_bytes = (layer.n_in * layer.n_out * 2) as u64;
-    let input_refetch = if layer.positions > 1 { groups as u64 } else { 1 };
+    let input_refetch = if layer.positions > 1 {
+        groups as u64
+    } else {
+        1
+    };
     let in_bytes = (layer.input_neurons * cfg.neuron_bytes) as u64 * input_refetch;
     let out_bytes = (layer.output_neurons * cfg.neuron_bytes) as u64;
     let load_cycles = dram.stream_cycles(weight_bytes + in_bytes);

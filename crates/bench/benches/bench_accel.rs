@@ -22,7 +22,13 @@ fn bench_functional_exec(c: &mut Criterion) {
     let sil = SharedIndexLayer::from_fc("b", &w, &mask, 16, 4).unwrap();
     let accel = Accelerator::new(AccelConfig::paper_default());
     let input: Vec<f32> = (0..4096)
-        .map(|i| if i % 3 == 0 { 0.0 } else { (i % 7) as f32 * 0.1 })
+        .map(|i| {
+            if i % 3 == 0 {
+                0.0
+            } else {
+                (i % 7) as f32 * 0.1
+            }
+        })
         .collect();
     c.bench_function("functional_exec_fc_4096x64", |b| {
         b.iter(|| accel.run_layer(&sil, &input, Activation::Relu).unwrap());
@@ -62,5 +68,10 @@ fn bench_compile(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_functional_exec, bench_timing_model, bench_compile);
+criterion_group!(
+    benches,
+    bench_functional_exec,
+    bench_timing_model,
+    bench_compile
+);
 criterion_main!(benches);

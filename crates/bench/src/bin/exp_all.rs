@@ -22,7 +22,10 @@ fn main() {
     let seed = cs_bench::SEED;
     let quick = std::env::args().any(|a| a == "--quick");
 
-    save("exp_fig01_local_convergence", &fig01::run(256, seed).render());
+    save(
+        "exp_fig01_local_convergence",
+        &fig01::run(256, seed).render(),
+    );
     save("exp_fig04_cdf", &fig04::run(scale, seed).render());
     save(
         "exp_tab02_blocksize",

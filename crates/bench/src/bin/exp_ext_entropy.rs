@@ -3,5 +3,10 @@ use cambricon_s::experiments::ext_entropy;
 
 fn main() {
     let scale = cs_bench::scale_from_args();
-    println!("{}", ext_entropy::run(scale, cs_bench::SEED).expect("pipeline").render());
+    println!(
+        "{}",
+        ext_entropy::run(scale, cs_bench::SEED)
+            .expect("pipeline")
+            .render()
+    );
 }

@@ -3,7 +3,11 @@ use cambricon_s::experiments::fig08::{self, Fig08Params};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let p = if quick { Fig08Params::smoke() } else { Fig08Params::full() };
+    let p = if quick {
+        Fig08Params::smoke()
+    } else {
+        Fig08Params::full()
+    };
     let r = fig08::run(&p).expect("training succeeds");
     println!("{}", r.render());
 }

@@ -1,0 +1,46 @@
+//! Serving saturation sweep: offered load × worker count × batch size.
+//!
+//! Drives the `cs-serve` runtime with closed-loop clients against the
+//! paper's MLP compressed at the given scale, and prints the saturation
+//! table. The headline figure is the simulated-hardware throughput
+//! (each worker models one Cambricon-S accelerator), which must scale
+//! with the worker count once the offered load saturates the pool.
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin exp_serve_load -- --scale 4
+//! cargo run --release -p cs-bench --bin exp_serve_load -- --quick
+//! ```
+
+use cs_serve::loadgen::{run_sweep, SweepConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = SweepConfig {
+        scale: cs_bench::scale_from_args(),
+        seed: cs_bench::SEED,
+        requests: if quick { 64 } else { 384 },
+        clients: if quick { vec![8] } else { vec![1, 4, 16] },
+        workers: vec![1, 2, 4],
+        max_batches: if quick { vec![8] } else { vec![1, 8] },
+        ..SweepConfig::default()
+    };
+    let report = match run_sweep(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve load sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("Serving saturation sweep ({} requests/point)", cfg.requests);
+    println!("{}", report.render());
+    match report.scaling(1, 4) {
+        Some(s) => {
+            println!("1 -> 4 worker hardware throughput scaling at saturation: {s:.2}x");
+            if s < 1.5 {
+                eprintln!("warning: scaling below the 1.5x acceptance floor");
+                std::process::exit(2);
+            }
+        }
+        None => eprintln!("warning: sweep missing 1- or 4-worker points"),
+    }
+}

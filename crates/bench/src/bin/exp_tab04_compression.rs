@@ -5,5 +5,8 @@ fn main() {
     let scale = cs_bench::scale_from_args();
     let r = tab04::run(scale, cs_bench::SEED).expect("compression pipeline");
     println!("{}", r.render());
-    println!("mean R(Irr) = {:.2}x (paper: 20.13x)", r.mean_irregularity());
+    println!(
+        "mean R(Irr) = {:.2}x (paper: 20.13x)",
+        r.mean_irregularity()
+    );
 }

@@ -3,5 +3,10 @@ use cambricon_s::experiments::tab05;
 
 fn main() {
     let scale = cs_bench::scale_from_args();
-    println!("{}", tab05::run(scale, cs_bench::SEED).expect("pipeline").render());
+    println!(
+        "{}",
+        tab05::run(scale, cs_bench::SEED)
+            .expect("pipeline")
+            .render()
+    );
 }

@@ -202,10 +202,7 @@ mod tests {
         let scattered = lcg_bits(128 * 128, 3, 50);
         let cb = compressed_size(&BiLevelImage::from_bits(&blocky, 128).unwrap());
         let cs = compressed_size(&BiLevelImage::from_bits(&scattered, 128).unwrap());
-        assert!(
-            cs > 10 * cb,
-            "scattered {cs} bytes vs blocky {cb} bytes"
-        );
+        assert!(cs > 10 * cb, "scattered {cs} bytes vs blocky {cb} bytes");
     }
 
     #[test]

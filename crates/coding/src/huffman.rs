@@ -233,7 +233,12 @@ pub fn decode_bytes(bytes: &[u8]) -> Result<Vec<u16>, CodingError> {
         }
     }
     let counts_per_len: Vec<usize> = (0..=usize::from(max_len))
-        .map(|l| codes.iter().filter(|(_, cl, _)| usize::from(*cl) == l).count())
+        .map(|l| {
+            codes
+                .iter()
+                .filter(|(_, cl, _)| usize::from(*cl) == l)
+                .count()
+        })
         .collect();
     for _ in 0..count {
         let mut code = 0u64;
@@ -341,11 +346,7 @@ mod tests {
                     continue;
                 }
                 if la <= lb {
-                    assert_ne!(
-                        *ca,
-                        cb >> (lb - la),
-                        "code {i} is a prefix of code {j}"
-                    );
+                    assert_ne!(*ca, cb >> (lb - la), "code {i} is a prefix of code {j}");
                 }
             }
         }

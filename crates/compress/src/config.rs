@@ -91,11 +91,7 @@ pub struct ModelCompressionConfig {
 impl ModelCompressionConfig {
     /// Resolves the config for a specific layer.
     pub fn for_layer(&self, layer: &LayerSpec) -> &LayerCompressionConfig {
-        if let Some((_, cfg)) = self
-            .overrides
-            .iter()
-            .find(|(name, _)| name == layer.name())
-        {
+        if let Some((_, cfg)) = self.overrides.iter().find(|(name, _)| name == layer.name()) {
             return cfg;
         }
         match layer.class() {

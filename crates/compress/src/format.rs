@@ -133,7 +133,15 @@ impl SharedIndexLayer {
             let rem = p % (kx * ky);
             weights.as_slice()[((f * fo + o) * kx + rem / ky) * ky + rem % ky]
         };
-        Self::build(name.into(), n_in, fo, group_size, quant_bits, get_mask, get_w)
+        Self::build(
+            name.into(),
+            n_in,
+            fo,
+            group_size,
+            quant_bits,
+            get_mask,
+            get_w,
+        )
     }
 
     fn build(
@@ -154,11 +162,9 @@ impl SharedIndexLayer {
             for o in g0 + 1..g1 {
                 for (i, bit) in index.iter().enumerate() {
                     if get_mask(i, o) != *bit {
-                        return Err(CompressError::Coding(
-                            cs_coding::CodingError::InvalidInput(format!(
-                                "mask not shared within output group at ({i}, {o})"
-                            )),
-                        ));
+                        return Err(CompressError::Coding(cs_coding::CodingError::InvalidInput(
+                            format!("mask not shared within output group at ({i}, {o})"),
+                        )));
                     }
                 }
             }

@@ -139,8 +139,7 @@ impl ModelReport {
     /// Mean density over layers of a class, weighted by synapse count
     /// (the per-class "sparsity" percentages of Table IV).
     pub fn class_density(&self, class: LayerClass) -> Option<f64> {
-        let layers: Vec<&LayerReport> =
-            self.layers.iter().filter(|l| l.class == class).collect();
+        let layers: Vec<&LayerReport> = self.layers.iter().filter(|l| l.class == class).collect();
         if layers.is_empty() {
             return None;
         }
@@ -155,10 +154,7 @@ impl ModelReport {
 /// # Errors
 ///
 /// Propagates invalid-density errors.
-pub fn prune_layer(
-    weights: &Tensor,
-    cfg: &LayerCompressionConfig,
-) -> Result<Mask, CompressError> {
+pub fn prune_layer(weights: &Tensor, cfg: &LayerCompressionConfig) -> Result<Mask, CompressError> {
     if cfg.target_density >= 1.0 {
         return Ok(Mask::ones_like(weights.shape().clone()));
     }
@@ -195,9 +191,7 @@ pub fn compress_layer(
     // config) and the indexes (bilevel).
     let dict_bytes = match cfg.entropy {
         EntropyCoder::Huffman => huffman::encode(quant.indices())?.payload_bits.div_ceil(8),
-        EntropyCoder::Arithmetic => {
-            arith::encode_symbols(quant.indices(), cfg.quant_bits).len()
-        }
+        EntropyCoder::Arithmetic => arith::encode_symbols(quant.indices(), cfg.quant_bits).len(),
     };
     let wc_bytes = dict_bytes + quant.codebook_bytes();
 

@@ -92,7 +92,9 @@ pub fn run() -> DiscResult {
             .map(|l| {
                 let run = cambricon_x_layer(&l.timing);
                 // Isolate the index component of X's reads.
-                ((l.timing.n_in * l.timing.n_out) as u64).div_ceil(8).min(run.stats.dram_read_bytes)
+                ((l.timing.n_in * l.timing.n_out) as u64)
+                    .div_ceil(8)
+                    .min(run.stats.dram_read_bytes)
             })
             .sum();
         ln_sum += (x as f64 / ours as f64).ln();

@@ -54,7 +54,15 @@ impl ExtDseResult {
 
     /// Renders the ranked sweep.
     pub fn render(&self) -> String {
-        let header = ["rank", "N", "conv bits", "fc bits", "size(KB)", "nmse", "feasible"];
+        let header = [
+            "rank",
+            "N",
+            "conv bits",
+            "fc bits",
+            "size(KB)",
+            "nmse",
+            "feasible",
+        ];
         let rows: Vec<Vec<String>> = self
             .points
             .iter()

@@ -46,7 +46,13 @@ impl ExtEntropyResult {
 
     /// Renders the comparison.
     pub fn render(&self) -> String {
-        let header = ["model", "huffman Wc", "arith Wc", "huffman r_c", "arith r_c"];
+        let header = [
+            "model",
+            "huffman Wc",
+            "arith Wc",
+            "huffman r_c",
+            "arith r_c",
+        ];
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()

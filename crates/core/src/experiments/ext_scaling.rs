@@ -43,7 +43,13 @@ pub struct ExtScalingResult {
 impl ExtScalingResult {
     /// Renders the sweep.
     pub fn render(&self) -> String {
-        let header = ["Tn=Tm", "peak GOP/s", "sparse cycles", "dense cycles", "sparse gain"];
+        let header = [
+            "Tn=Tm",
+            "peak GOP/s",
+            "sparse cycles",
+            "dense cycles",
+            "sparse gain",
+        ];
         let rows: Vec<Vec<String>> = self
             .points
             .iter()
@@ -109,9 +115,8 @@ mod tests {
             assert!(w[1].sparse_cycles <= w[0].sparse_cycles);
         }
         // ...but with diminishing returns: 8->16 helps more than 32->64.
-        let gain = |i: usize| {
-            r.points[i].sparse_cycles as f64 / r.points[i + 1].sparse_cycles as f64
-        };
+        let gain =
+            |i: usize| r.points[i].sparse_cycles as f64 / r.points[i + 1].sparse_cycles as f64;
         assert!(gain(0) >= gain(2), "{} vs {}", gain(0), gain(2));
         assert!(r.render().contains("scaling"));
     }

@@ -36,9 +36,7 @@ pub struct ExtTable1Result {
 impl ExtTable1Result {
     /// Whether every measured capability matches the paper's claim.
     pub fn all_match(&self) -> bool {
-        self.rows
-            .iter()
-            .all(|r| (r.sss, r.dns) == r.claimed)
+        self.rows.iter().all(|r| (r.sss, r.dns) == r.claimed)
     }
 
     /// Renders the capability matrix.
@@ -131,10 +129,6 @@ mod tests {
     #[test]
     fn measured_capabilities_match_the_papers_table1() {
         let r = run();
-        assert!(
-            r.all_match(),
-            "capability mismatch:\n{}",
-            r.render()
-        );
+        assert!(r.all_match(), "capability mismatch:\n{}", r.render());
     }
 }

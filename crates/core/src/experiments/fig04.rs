@@ -44,11 +44,7 @@ impl Fig04Result {
             .curves
             .iter()
             .map(|c| {
-                let mut row = vec![
-                    c.label.clone(),
-                    c.k.to_string(),
-                    c.max_label.to_string(),
-                ];
+                let mut row = vec![c.label.clone(), c.k.to_string(), c.max_label.to_string()];
                 for i in 0..=max_cols {
                     let v = c.cdf.get(i).copied().unwrap_or(1.0);
                     row.push(format!("{v:.3}"));

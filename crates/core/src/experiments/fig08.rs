@@ -160,12 +160,7 @@ pub fn run(p: &Fig08Params) -> Result<Fig08Result, TensorError> {
         0.25,
         p.seed,
     );
-    let mut base = Network::small_cnn(
-        "fig8",
-        (1, p.image_side, p.image_side),
-        p.classes,
-        p.seed,
-    );
+    let mut base = Network::small_cnn("fig8", (1, p.image_side, p.image_side), p.classes, p.seed);
     let mut tr = Trainer::new(
         &base,
         TrainConfig {

@@ -131,11 +131,7 @@ pub fn run(class_filter: Option<LayerClass>) -> Fig15Result {
         }
         let ours: u64 = wl.run_ours(&cfg).iter().map(|r| r.stats.cycles).sum();
         let ours_seconds = ours as f64 / ghz;
-        let acc_dense: u64 = wl
-            .run_ours_dense(&cfg)
-            .iter()
-            .map(|r| r.stats.cycles)
-            .sum();
+        let acc_dense: u64 = wl.run_ours_dense(&cfg).iter().map(|r| r.stats.cycles).sum();
         let diannao: u64 = wl
             .layers
             .iter()
@@ -181,10 +177,7 @@ mod tests {
         assert!(cpu_sp > cpu, "sparse CPU slower than dense CPU");
         assert!(cpu > gpu, "GPU faster than CPU");
         assert!(gpu > 1.0 && cublas > 1.0 && cusparse > 1.0);
-        assert!(
-            (4.0..40.0).contains(&diannao),
-            "DianNao geomean {diannao}"
-        );
+        assert!((4.0..40.0).contains(&diannao), "DianNao geomean {diannao}");
         assert!((1.1..4.0).contains(&x), "Cambricon-X geomean {x}");
         assert!((1.5..10.0).contains(&dense), "ACC-dense geomean {dense}");
         assert!(diannao > x, "DianNao slower than Cambricon-X");

@@ -162,7 +162,10 @@ pub fn run() -> Fig18Result {
             let run = simulate_layer(&cfg, &l.timing);
             ours = add(ours, energy_cambricon_s(&run.stats, &em));
             dn = add(dn, energy_diannao(&diannao_layer(&l.timing).stats, &em));
-            x = add(x, energy_cambricon_x(&cambricon_x_layer(&l.timing).stats, &em));
+            x = add(
+                x,
+                energy_cambricon_x(&cambricon_x_layer(&l.timing).stats, &em),
+            );
             gpu_j += gpu.layer_joules(&l.timing);
         }
         rows.push(ModelEnergy {

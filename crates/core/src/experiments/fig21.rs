@@ -60,12 +60,7 @@ impl Fig21Result {
 
 const DENSITIES: [f64; 9] = [1.0, 0.95, 0.75, 0.50, 0.35, 0.25, 0.10, 0.05, 0.01];
 
-fn sweep(
-    label: &str,
-    template: &LayerTiming,
-    vary_synapse: bool,
-    cfg: &AccelConfig,
-) -> Curve {
+fn sweep(label: &str, template: &LayerTiming, vary_synapse: bool, cfg: &AccelConfig) -> Curve {
     let dense_cycles = simulate_layer_dense(cfg, template).stats.cycles;
     let points = DENSITIES
         .iter()

@@ -27,9 +27,9 @@
 
 pub mod disc;
 pub mod ext_dse;
+pub mod ext_entropy;
 pub mod ext_scaling;
 pub mod ext_table1;
-pub mod ext_entropy;
 pub mod fig01;
 pub mod fig04;
 pub mod fig08;

@@ -38,9 +38,7 @@ pub struct Tab02Result {
 impl Tab02Result {
     /// Renders the Table II rows.
     pub fn render(&self) -> String {
-        let header = [
-            "N", "C:W%", "F:W%", "W(MB)", "I(KB)", "r_p", "r_q", "r_c",
-        ];
+        let header = ["N", "C:W%", "F:W%", "W(MB)", "I(KB)", "r_p", "r_q", "r_c"];
         let rows: Vec<Vec<String>> = self
             .points
             .iter()
@@ -127,7 +125,9 @@ pub fn run(scale: Scale, seed: u64) -> Result<Tab02Result, cs_compress::Compress
             conv_density: report
                 .class_density(LayerClass::Convolutional)
                 .unwrap_or(cd),
-            fc_density: report.class_density(LayerClass::FullyConnected).unwrap_or(fd),
+            fc_density: report
+                .class_density(LayerClass::FullyConnected)
+                .unwrap_or(fd),
             report,
         });
     }

@@ -29,8 +29,7 @@ impl Tab04Result {
     /// Renders the Table IV rows.
     pub fn render(&self) -> String {
         let header = [
-            "model", "C%", "F/L%", "W_p", "I", "r_p", "W_q", "r_q", "W_c", "I_c", "r_c",
-            "R(Irr)",
+            "model", "C%", "F/L%", "W_p", "I", "r_p", "W_q", "r_q", "W_c", "I_c", "r_c", "R(Irr)",
         ];
         let rows: Vec<Vec<String>> = self
             .reports

@@ -33,11 +33,7 @@ pub struct Tab07Result {
 impl Tab07Result {
     /// Geometric-mean speedup over published EIE latencies.
     pub fn geomean_speedup(&self) -> f64 {
-        let s: f64 = self
-            .rows
-            .iter()
-            .map(|r| (r.eie_us / r.ours_us).ln())
-            .sum();
+        let s: f64 = self.rows.iter().map(|r| (r.eie_us / r.ours_us).ln()).sum();
         (s / self.rows.len().max(1) as f64).exp()
     }
 

@@ -44,6 +44,11 @@ pub mod prelude {
     pub use cs_compress::pipeline::{compress_layer, compress_model, ModelReport};
     pub use cs_nn::spec::{LayerClass, LayerSpec, Model, NetworkSpec, Scale};
     pub use cs_nn::{Layer, LayerKind, Network};
+    pub use cs_serve::loadgen::{run_sweep, SweepConfig, SweepReport};
+    pub use cs_serve::{
+        InferRequest, InferResponse, ModelRegistry, ServableModel, ServeConfig, ServeError,
+        ServeSnapshot, Server,
+    };
     pub use cs_sparsity::coarse::{CoarseConfig, PruneMetric};
     pub use cs_sparsity::Mask;
 }

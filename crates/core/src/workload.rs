@@ -66,8 +66,7 @@ pub fn paper_workload(model: Model, scale: Scale) -> NetworkWorkload {
             paper_dns(model, layer.class())
         };
         first = false;
-        let timing =
-            LayerTiming::from_spec(layer, lc.target_density, dd, lc.quant_bits);
+        let timing = LayerTiming::from_spec(layer, lc.target_density, dd, lc.quant_bits);
         layers.push(WorkloadLayer {
             timing,
             class: layer.class(),
@@ -149,11 +148,7 @@ mod tests {
         let wl = paper_workload(Model::AlexNet, Scale::Full);
         let cfg = AccelConfig::paper_default();
         let sparse: u64 = wl.run_ours(&cfg).iter().map(|r| r.stats.cycles).sum();
-        let dense: u64 = wl
-            .run_ours_dense(&cfg)
-            .iter()
-            .map(|r| r.stats.cycles)
-            .sum();
+        let dense: u64 = wl.run_ours_dense(&cfg).iter().map(|r| r.stats.cycles).sum();
         let speedup = dense as f64 / sparse as f64;
         assert!((2.0..10.0).contains(&speedup), "ACC-dense/ours {speedup}");
     }

@@ -97,8 +97,8 @@ mod tests {
         assert!((c.area_mm2 - 6.94).abs() < 0.05);
         assert!((c.power_mw - 971.37).abs() < 0.01);
         // Total chip would be ~2x bigger and hotter.
-        let area_factor =
-            (total_area_mm2(Platform::CambriconS) + c.area_mm2) / total_area_mm2(Platform::CambriconS);
+        let area_factor = (total_area_mm2(Platform::CambriconS) + c.area_mm2)
+            / total_area_mm2(Platform::CambriconS);
         let power_factor = (total_power_mw(Platform::CambriconS) + c.power_mw)
             / total_power_mw(Platform::CambriconS);
         assert!((area_factor - 2.03).abs() < 0.02);

@@ -189,20 +189,14 @@ mod tests {
         let run = simulate_layer(&AccelConfig::paper_default(), &conv_layer());
         let e = energy_cambricon_s(&run.stats, &EnergyModel::default_65nm());
         let frac = e.onchip_sram_pj() / e.onchip_pj();
-        assert!(
-            (0.4..0.95).contains(&frac),
-            "on-chip SRAM fraction {frac}"
-        );
+        assert!((0.4..0.95).contains(&frac), "on-chip SRAM fraction {frac}");
     }
 
     #[test]
     fn ours_more_efficient_than_x_and_diannao() {
         let l = conv_layer();
         let m = EnergyModel::default_65nm();
-        let ours = energy_cambricon_s(
-            &simulate_layer(&AccelConfig::paper_default(), &l).stats,
-            &m,
-        );
+        let ours = energy_cambricon_s(&simulate_layer(&AccelConfig::paper_default(), &l).stats, &m);
         let x = energy_cambricon_x(&cambricon_x_layer(&l).stats, &m);
         let dn = energy_diannao(&diannao_layer(&l).stats, &m);
         assert!(ours.total_pj() < x.total_pj());

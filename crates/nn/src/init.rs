@@ -173,10 +173,7 @@ fn matrix_view_dims(shape: &Shape) -> (usize, usize) {
     match shape.rank() {
         1 => (1, shape.dim(0)),
         2 => (shape.dim(0), shape.dim(1)),
-        4 => (
-            shape.dim(0) * shape.dim(2) * shape.dim(3),
-            shape.dim(1),
-        ),
+        4 => (shape.dim(0) * shape.dim(2) * shape.dim(3), shape.dim(1)),
         _ => {
             let n = shape.len();
             let rows = (n as f64).sqrt() as usize;
@@ -215,8 +212,7 @@ mod tests {
     #[test]
     fn gaussian_std_roughly_matches() {
         let g = gaussian(Shape::d1(20_000), 0.05, 3);
-        let var: f32 =
-            g.as_slice().iter().map(|v| v * v).sum::<f32>() / g.len() as f32;
+        let var: f32 = g.as_slice().iter().map(|v| v * v).sum::<f32>() / g.len() as f32;
         assert!((var.sqrt() - 0.05).abs() < 0.005);
     }
 
@@ -323,11 +319,7 @@ mod tests {
     #[should_panic(expected = "no weights")]
     fn weight_shape_panics_for_pooling() {
         let spec = NetworkSpec::model(Model::LeNet5, Scale::Full);
-        let pool = spec
-            .layers()
-            .iter()
-            .find(|l| !l.has_weights())
-            .unwrap();
+        let pool = spec.layers().iter().find(|l| !l.has_weights()).unwrap();
         let _ = weight_shape(pool);
     }
 }

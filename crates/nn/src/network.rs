@@ -234,12 +234,7 @@ impl Network {
     /// Appends a ResNet-style residual stage to `layers`: two 3x3 convs
     /// with a ReLU between, then a skip from the stage input and a final
     /// ReLU. Returns the layers for chaining.
-    pub fn residual_stage(
-        layers: &mut Vec<Layer>,
-        name: &str,
-        channels: usize,
-        seed: u64,
-    ) {
+    pub fn residual_stage(layers: &mut Vec<Layer>, name: &str, channels: usize, seed: u64) {
         let g3 = Conv2dGeometry::square(3, 1, 1);
         let entry = layers.len(); // input of the stage = output of entry-1
         layers.push(Layer::new(
@@ -309,8 +304,12 @@ impl Network {
                         && layers
                             .last()
                             .is_some_and(|p| !matches!(p.kind, LayerKind::Flatten))
-                        && layers.iter().any(|p| matches!(p.kind, LayerKind::Conv2d { .. }))
-                        && !layers.iter().any(|p| matches!(p.kind, LayerKind::FullyConnected { .. }))
+                        && layers
+                            .iter()
+                            .any(|p| matches!(p.kind, LayerKind::Conv2d { .. }))
+                        && !layers
+                            .iter()
+                            .any(|p| matches!(p.kind, LayerKind::FullyConnected { .. }))
                     {
                         layers.push(Layer::new("flatten", LayerKind::Flatten));
                     }
@@ -494,11 +493,7 @@ fn backward_layer(
             let dx = max_pool_backward(input, geom, grad_out)?;
             Ok((dx, None, None))
         }
-        LayerKind::Flatten => Ok((
-            grad_out.clone().reshape(input.shape().clone())?,
-            None,
-            None,
-        )),
+        LayerKind::Flatten => Ok((grad_out.clone().reshape(input.shape().clone())?, None, None)),
         LayerKind::Residual { .. } => {
             unreachable!("residual layers are handled by Network::backward")
         }
@@ -754,9 +749,7 @@ mod tests {
     #[test]
     fn forward_cached_records_every_layer_input() {
         let net = Network::mlp("t", &[4, 6, 6, 2], 9);
-        let cache = net
-            .forward_cached(&Tensor::zeros(Shape::d1(4)))
-            .unwrap();
+        let cache = net.forward_cached(&Tensor::zeros(Shape::d1(4))).unwrap();
         assert_eq!(cache.inputs.len(), net.layers().len());
     }
 
@@ -767,9 +760,7 @@ mod tests {
             .weights_mut()
             .unwrap()
             .map_inplace(|_| 0.0);
-        let y = net
-            .forward(&Tensor::full(Shape::d1(4), 1.0))
-            .unwrap();
+        let y = net.forward(&Tensor::full(Shape::d1(4), 1.0)).unwrap();
         assert!(y.as_slice().iter().all(|v| *v == 0.0));
     }
 

@@ -495,14 +495,7 @@ fn vgg16(s: Scale) -> Vec<LayerSpec> {
     let mut last_hw = 224;
     for (i, &(fin, fout, hw, idx)) in cfg.iter().enumerate() {
         if i > 0 && hw != last_hw {
-            layers.push(pool(
-                &format!("pool{}", stage),
-                s,
-                fin,
-                last_hw,
-                2,
-                2,
-            ));
+            layers.push(pool(&format!("pool{}", stage), s, fin, last_hw, 2, 2));
             stage += 1;
             last_hw = hw;
         }
@@ -713,11 +706,7 @@ mod tests {
         let spec = NetworkSpec::model(Model::AlexNet, Scale::Full);
         let conv1 = &spec.layers()[0];
         assert_eq!(conv1.output_hw(), (55, 55)); // (227-11)/4+1
-        let conv2 = spec
-            .layers()
-            .iter()
-            .find(|l| l.name() == "conv2")
-            .unwrap();
+        let conv2 = spec.layers().iter().find(|l| l.name() == "conv2").unwrap();
         assert_eq!(conv2.output_hw(), (27, 27));
     }
 
@@ -745,11 +734,7 @@ mod tests {
     #[test]
     fn grouped_conv_halves_weights() {
         let spec = NetworkSpec::model(Model::AlexNet, Scale::Full);
-        let conv2 = spec
-            .layers()
-            .iter()
-            .find(|l| l.name() == "conv2")
-            .unwrap();
+        let conv2 = spec.layers().iter().find(|l| l.name() == "conv2").unwrap();
         // groups=2: (96/2)*256*25
         assert_eq!(conv2.weight_count(), 48 * 256 * 25);
     }

@@ -60,9 +60,7 @@ pub fn kmeans_1d(values: &[f32], k: usize, max_iters: usize) -> KMeansResult {
         let mut counts = vec![0usize; centroids.len()];
         let mut ci = 0usize;
         for v in &sorted {
-            while ci + 1 < centroids.len()
-                && (centroids[ci] + centroids[ci + 1]) / 2.0 < *v
-            {
+            while ci + 1 < centroids.len() && (centroids[ci] + centroids[ci + 1]) / 2.0 < *v {
                 ci += 1;
             }
             sums[ci] += f64::from(*v);
@@ -115,9 +113,7 @@ fn nearest(centroids: &[f32], v: f32) -> usize {
         }
     }
     // lo is the last centroid <= v (or 0); compare with its neighbour.
-    if lo + 1 < centroids.len()
-        && (centroids[lo + 1] - v).abs() < (v - centroids[lo]).abs()
-    {
+    if lo + 1 < centroids.len() && (centroids[lo + 1] - v).abs() < (v - centroids[lo]).abs() {
         lo + 1
     } else {
         lo

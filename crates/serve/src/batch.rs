@@ -1,0 +1,202 @@
+//! Dynamic batching policy.
+//!
+//! [`Batcher`] is a pure state machine — no channels, no threads, no
+//! wall clock — so the size- and deadline-close rules are unit-testable
+//! with hand-fed timestamps. The server's batcher thread drives it with
+//! queue arrivals and `recv_timeout` wake-ups.
+//!
+//! A batch holds requests for a single model (workers execute one
+//! compressed model per batch); an arrival for a different model closes
+//! the open batch immediately rather than waiting out its deadline.
+
+use crate::error::ServeError;
+
+/// Size- and deadline-based closing rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum requests per batch; reaching it closes the batch.
+    pub max_batch: usize,
+    /// Microseconds a non-full batch may wait for more requests before
+    /// it is closed anyway.
+    pub max_wait_us: u64,
+}
+
+impl BatchPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `max_batch == 0`.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A closed batch ready for dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch<T> {
+    /// Registry index of the model every item targets.
+    pub model: usize,
+    /// The batched items in arrival order.
+    pub items: Vec<T>,
+    /// Clock reading when the batch was opened.
+    pub opened_us: u64,
+}
+
+/// The dynamic batcher: accumulates same-model items until the size or
+/// deadline rule closes the batch.
+#[derive(Debug)]
+pub struct Batcher<T> {
+    policy: BatchPolicy,
+    model: usize,
+    items: Vec<T>,
+    opened_us: u64,
+}
+
+impl<T> Batcher<T> {
+    /// A batcher with nothing pending.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Batcher {
+            policy,
+            model: 0,
+            items: Vec::new(),
+            opened_us: 0,
+        }
+    }
+
+    /// Number of items in the open batch.
+    pub fn pending(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Deadline of the open batch (µs), if one is open.
+    pub fn deadline_us(&self) -> Option<u64> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.opened_us.saturating_add(self.policy.max_wait_us))
+        }
+    }
+
+    fn close(&mut self) -> Option<Batch<T>> {
+        if self.items.is_empty() {
+            return None;
+        }
+        Some(Batch {
+            model: self.model,
+            items: std::mem::take(&mut self.items),
+            opened_us: self.opened_us,
+        })
+    }
+
+    /// Feeds one arrival at clock time `now_us`; returns any batches
+    /// this closes: one when the size rule fires or a model switch
+    /// evicts the open batch, none otherwise. (A `Vec` keeps the
+    /// dispatch loop shape-agnostic if richer policies close more.)
+    pub fn offer(&mut self, model: usize, item: T, now_us: u64) -> Vec<Batch<T>> {
+        let mut out = Vec::new();
+        if !self.items.is_empty() && self.model != model {
+            out.extend(self.close());
+        }
+        if self.items.is_empty() {
+            self.model = model;
+            self.opened_us = now_us;
+        }
+        self.items.push(item);
+        if self.items.len() >= self.policy.max_batch {
+            out.extend(self.close());
+        }
+        out
+    }
+
+    /// Closes the open batch if its deadline has passed.
+    pub fn poll(&mut self, now_us: u64) -> Option<Batch<T>> {
+        match self.deadline_us() {
+            Some(deadline) if now_us >= deadline => self.close(),
+            _ => None,
+        }
+    }
+
+    /// Unconditionally closes the open batch (shutdown drain).
+    pub fn flush(&mut self) -> Option<Batch<T>> {
+        self.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(max_batch: usize, max_wait_us: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_wait_us,
+        }
+    }
+
+    #[test]
+    fn size_close_fires_at_max_batch() {
+        let mut b = Batcher::new(policy(3, 1_000));
+        assert!(b.offer(0, "a", 0).is_empty());
+        assert!(b.offer(0, "b", 10).is_empty());
+        let closed = b.offer(0, "c", 20);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].items, vec!["a", "b", "c"]);
+        assert_eq!(closed[0].opened_us, 0);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn deadline_close_fires_only_after_max_wait() {
+        let mut b = Batcher::new(policy(8, 500));
+        b.offer(0, 1, 100);
+        assert_eq!(b.deadline_us(), Some(600));
+        assert!(b.poll(599).is_none());
+        let closed = b.poll(600).unwrap();
+        assert_eq!(closed.items, vec![1]);
+        assert!(b.poll(10_000).is_none(), "nothing pending after close");
+    }
+
+    #[test]
+    fn model_switch_closes_the_open_batch() {
+        let mut b = Batcher::new(policy(8, 500));
+        b.offer(0, "m0-a", 0);
+        b.offer(0, "m0-b", 10);
+        let closed = b.offer(1, "m1-a", 20);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].model, 0);
+        assert_eq!(closed[0].items, vec!["m0-a", "m0-b"]);
+        assert_eq!(b.pending(), 1);
+        assert_eq!(b.deadline_us(), Some(520));
+    }
+
+    #[test]
+    fn unit_batches_close_on_every_offer() {
+        let mut b = Batcher::new(policy(1, 500));
+        assert_eq!(b.offer(0, "a", 0).len(), 1);
+        assert_eq!(b.offer(2, "b", 5).len(), 1);
+        assert_eq!(b.pending(), 0, "unit batches never stay open");
+    }
+
+    #[test]
+    fn flush_drains_partial_batches() {
+        let mut b = Batcher::new(policy(8, 500));
+        b.offer(3, 1, 0);
+        b.offer(3, 2, 1);
+        let f = b.flush().unwrap();
+        assert_eq!(f.model, 3);
+        assert_eq!(f.items, vec![1, 2]);
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn zero_max_batch_is_rejected() {
+        assert!(policy(0, 10).validate().is_err());
+        assert!(policy(1, 0).validate().is_ok());
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed errors for the serving runtime.
+//!
+//! Everything a client can observe — admission rejection, bad request
+//! shape, a worker-side hardware-model failure — is a value on this
+//! enum. The server never panics on the request path; worker threads
+//! convert [`AccelError`]s into responses instead of unwinding.
+
+use std::fmt;
+
+use cs_accel::AccelError;
+use cs_compress::CompressError;
+
+/// Error raised by the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request named a model the registry does not hold.
+    UnknownModel(String),
+    /// The request's input length does not match the model's input width.
+    ShapeMismatch {
+        /// Model the request addressed.
+        model: String,
+        /// Input width the model expects.
+        expected: usize,
+        /// Input length the request carried.
+        actual: usize,
+    },
+    /// The bounded admission queue is full; the client should back off.
+    Overloaded {
+        /// Configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The worker processing this request died before responding.
+    WorkerLost,
+    /// A configuration parameter is out of range.
+    InvalidConfig(String),
+    /// The accelerator model rejected the request.
+    Accel(AccelError),
+    /// Building a servable model from a network spec failed.
+    Compress(CompressError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            ServeError::ShapeMismatch {
+                model,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "model {model:?} expects {expected} inputs, request carried {actual}"
+            ),
+            ServeError::Overloaded { capacity } => {
+                write!(f, "admission queue full ({capacity} slots)")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WorkerLost => write!(f, "worker exited before responding"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            ServeError::Accel(e) => write!(f, "accelerator error: {e}"),
+            ServeError::Compress(e) => write!(f, "compression error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Accel(e) => Some(e),
+            ServeError::Compress(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AccelError> for ServeError {
+    fn from(e: AccelError) -> Self {
+        ServeError::Accel(e)
+    }
+}
+
+impl From<CompressError> for ServeError {
+    fn from(e: CompressError) -> Self {
+        ServeError::Compress(e)
+    }
+}

@@ -1,0 +1,57 @@
+//! Batched, multi-worker inference serving on the Cambricon-S model.
+//!
+//! The paper's stack ends at a single compressed network running on one
+//! simulated accelerator. This crate wraps that in the runtime a
+//! deployment needs: clients submit [`InferRequest`]s against a
+//! [`ModelRegistry`] of compressed models; admission control bounds the
+//! queue and rejects overload as [`ServeError::Overloaded`]; a dynamic
+//! [`batch::Batcher`] closes batches on size or deadline; and a pool of
+//! worker threads — each owning one [`cs_accel::exec::Accelerator`] —
+//! executes batches and answers every request with its outputs plus the
+//! simulated hardware cost (cycles from `cs-sim`'s counters, picojoules
+//! from `cs-energy`).
+//!
+//! Time is injected via the [`Clock`] trait so the latency percentiles
+//! in [`ServeSnapshot`] are testable deterministically; the
+//! [`loadgen`] module drives saturation sweeps over offered load ×
+//! worker count × batch size.
+//!
+//! # Example
+//!
+//! ```
+//! use cs_nn::spec::Scale;
+//! use cs_serve::{InferRequest, ModelRegistry, ServableModel, ServeConfig, Server};
+//!
+//! let mut registry = ModelRegistry::new();
+//! let model = ServableModel::mlp(Scale::Reduced(8), 7).unwrap();
+//! let n_in = model.n_in;
+//! registry.register(model).unwrap();
+//!
+//! let server = Server::start(registry, ServeConfig::default()).unwrap();
+//! let resp = server.infer(InferRequest::new("mlp", vec![0.5; n_in])).unwrap();
+//! assert_eq!(resp.outputs.len(), 10);
+//! assert!(resp.cycles > 0);
+//!
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+// The request path must degrade to typed errors, never panic: a panic
+// in a worker would silently drop every queued request. `unwrap`/
+// `expect` stay banned outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod clock;
+pub mod error;
+pub mod loadgen;
+pub mod model;
+pub mod server;
+pub mod stats;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use error::ServeError;
+pub use model::{ModelRegistry, ServableModel};
+pub use server::{InferRequest, InferResponse, ServeConfig, Server, Ticket};
+pub use stats::{ServeSnapshot, ServeStats};

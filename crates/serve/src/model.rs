@@ -1,0 +1,260 @@
+//! Servable models and the registry the server dispatches against.
+//!
+//! A [`ServableModel`] is a network compressed into the accelerator's
+//! shared-index format: the chain the paper's software stack produces
+//! (materialize → coarse-grained prune → compact shared-index layout)
+//! applied to every weighted layer. The [`ModelRegistry`] maps model
+//! names to compiled artifacts and validates each layer against the
+//! executor's structural checks at registration time, so admission
+//! control can reject malformed models before a single request queues.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cs_accel::exec::validate_layer;
+use cs_accel::pe::Activation;
+use cs_compress::config::ModelCompressionConfig;
+use cs_compress::format::SharedIndexLayer;
+use cs_compress::pipeline::prune_layer;
+use cs_nn::init::{self, ConvergenceProfile};
+use cs_nn::spec::{LayerSpecKind, Model, NetworkSpec, Scale};
+
+use crate::error::ServeError;
+
+/// Output-group width of the shared-index format (`T_n` in the paper).
+const GROUP_SIZE: usize = 16;
+
+/// A network compiled to the accelerator's compact format, ready to be
+/// executed by a worker.
+#[derive(Debug, Clone)]
+pub struct ServableModel {
+    /// Registry name clients address requests to.
+    pub name: String,
+    /// Compressed layers in execution order, each with its activation.
+    pub layers: Vec<(SharedIndexLayer, Activation)>,
+    /// Input width of the first layer.
+    pub n_in: usize,
+    /// Output width of the last layer.
+    pub n_out: usize,
+}
+
+impl ServableModel {
+    /// Compresses every fully-connected layer of `spec` into the
+    /// shared-index format, chaining them with ReLU activations (the
+    /// last layer is pass-through, mirroring a logits head).
+    ///
+    /// Only FC-only networks are servable today: the functional
+    /// executor's conv path expects per-window im2col inputs the
+    /// batcher does not yet produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for non-FC layers or
+    /// mismatched widths between consecutive layers, and propagates
+    /// compression failures.
+    pub fn from_spec(
+        name: impl Into<String>,
+        spec: &NetworkSpec,
+        cfg: &ModelCompressionConfig,
+        seed: u64,
+    ) -> Result<Self, ServeError> {
+        let name = name.into();
+        let mut layers: Vec<(SharedIndexLayer, Activation)> = Vec::new();
+        let weighted: Vec<_> = spec.weighted_layers().collect();
+        let count = weighted.len();
+        for (i, layer) in weighted.into_iter().enumerate() {
+            let n_in = match layer.kind() {
+                LayerSpecKind::Fc { n_in, .. } => *n_in,
+                _ => {
+                    return Err(ServeError::InvalidConfig(format!(
+                        "layer {:?} is not fully-connected; only FC networks are servable",
+                        layer.name()
+                    )))
+                }
+            };
+            if let Some((prev, _)) = layers.last() {
+                if prev.n_out != n_in {
+                    return Err(ServeError::InvalidConfig(format!(
+                        "layer {:?} expects {} inputs but previous layer produces {}",
+                        layer.name(),
+                        n_in,
+                        prev.n_out
+                    )));
+                }
+            }
+            let lc = cfg.for_layer(layer);
+            let profile = ConvergenceProfile::with_target_density(lc.target_density);
+            let weights = init::materialize(layer, &profile, seed.wrapping_add(i as u64));
+            let mask = prune_layer(&weights, lc)?;
+            let sil = SharedIndexLayer::from_fc(
+                layer.name(),
+                &weights,
+                &mask,
+                GROUP_SIZE,
+                lc.quant_bits,
+            )?;
+            let activation = if i + 1 == count {
+                Activation::None
+            } else {
+                Activation::Relu
+            };
+            layers.push((sil, activation));
+        }
+        let (n_in, n_out) = match (layers.first(), layers.last()) {
+            (Some((first, _)), Some((last, _))) => (first.n_in, last.n_out),
+            _ => {
+                return Err(ServeError::InvalidConfig(format!(
+                    "network {:?} has no weighted layers",
+                    spec.name()
+                )))
+            }
+        };
+        Ok(ServableModel {
+            name,
+            layers,
+            n_in,
+            n_out,
+        })
+    }
+
+    /// The paper's MLP (784-300-100-10 at full scale) compressed with
+    /// its published per-layer settings — the stock serving workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compression failures (none occur for the stock spec).
+    pub fn mlp(scale: Scale, seed: u64) -> Result<Self, ServeError> {
+        let spec = NetworkSpec::model(Model::Mlp, scale);
+        let cfg = ModelCompressionConfig::paper(Model::Mlp);
+        ServableModel::from_spec("mlp", &spec, &cfg, seed)
+    }
+}
+
+/// Immutable name → model map shared by the admission path and workers.
+///
+/// Built once before the server starts; registration validates every
+/// layer with the executor's [`validate_layer`] so a malformed artifact
+/// is rejected here instead of failing requests later.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: Vec<Arc<ServableModel>>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Adds a model, returning its dense index.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate names, empty models, and any layer that fails
+    /// the executor's structural validation.
+    pub fn register(&mut self, model: ServableModel) -> Result<usize, ServeError> {
+        if self.by_name.contains_key(&model.name) {
+            return Err(ServeError::InvalidConfig(format!(
+                "model {:?} registered twice",
+                model.name
+            )));
+        }
+        if model.layers.is_empty() {
+            return Err(ServeError::InvalidConfig(format!(
+                "model {:?} has no layers",
+                model.name
+            )));
+        }
+        for (layer, _) in &model.layers {
+            validate_layer(layer)?;
+        }
+        let idx = self.models.len();
+        self.by_name.insert(model.name.clone(), idx);
+        self.models.push(Arc::new(model));
+        Ok(idx)
+    }
+
+    /// Looks a model up by name.
+    pub fn get(&self, name: &str) -> Option<(usize, Arc<ServableModel>)> {
+        let idx = *self.by_name.get(name)?;
+        Some((idx, Arc::clone(&self.models[idx])))
+    }
+
+    /// Looks a model up by dense index.
+    pub fn get_by_index(&self, idx: usize) -> Option<Arc<ServableModel>> {
+        self.models.get(idx).map(Arc::clone)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Registered model names in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.models.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// All models in registration order (workers snapshot this once at
+    /// startup so each owns its model set).
+    pub fn models(&self) -> &[Arc<ServableModel>] {
+        &self.models
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_accel::exec::Accelerator;
+    use cs_accel::AccelConfig;
+
+    #[test]
+    fn mlp_compiles_and_runs_end_to_end() {
+        let m = ServableModel::mlp(Scale::Reduced(8), 7).unwrap();
+        assert_eq!(m.layers.len(), 3);
+        assert_eq!(m.n_in, m.layers[0].0.n_in);
+        assert_eq!(m.n_out, m.layers.last().unwrap().0.n_out);
+        let accel = Accelerator::new(AccelConfig::paper_default());
+        let input = vec![0.5f32; m.n_in];
+        let run = accel.run_network(&m.layers, &input).unwrap();
+        assert_eq!(run.outputs.len(), m.n_out);
+        assert!(run.stats.cycles > 0);
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_resolves_names() {
+        let m = ServableModel::mlp(Scale::Reduced(8), 7).unwrap();
+        let mut reg = ModelRegistry::new();
+        let idx = reg.register(m.clone()).unwrap();
+        assert_eq!(idx, 0);
+        assert!(matches!(reg.register(m), Err(ServeError::InvalidConfig(_))));
+        let (i, got) = reg.get("mlp").unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(got.name, "mlp");
+        assert!(reg.get("nope").is_none());
+        assert_eq!(reg.names(), vec!["mlp"]);
+    }
+
+    #[test]
+    fn conv_networks_are_rejected_with_a_typed_error() {
+        let spec = NetworkSpec::model(Model::AlexNet, Scale::Reduced(16));
+        let cfg = ModelCompressionConfig::paper(Model::AlexNet);
+        let err = ServableModel::from_spec("alex", &spec, &cfg, 1).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn registration_runs_structural_validation() {
+        let mut m = ServableModel::mlp(Scale::Reduced(8), 7).unwrap();
+        // Corrupt a group's shared index so validation must trip.
+        m.layers[0].0.groups[0].index.pop();
+        let mut reg = ModelRegistry::new();
+        assert!(matches!(reg.register(m), Err(ServeError::Accel(_))));
+    }
+}

@@ -1,0 +1,663 @@
+//! The batched multi-worker inference server.
+//!
+//! Request flow:
+//!
+//! ```text
+//! clients ──try_send──▶ bounded queue ──▶ batcher thread ──▶ per-worker
+//!    ▲                   (admission)       (size/deadline)     lanes
+//!    │                                                      (round-robin)
+//!    └──── per-request response channel ◀── worker pool ◀───────┘
+//!                                           (one Accelerator each)
+//! ```
+//!
+//! Admission is a `try_send` on a bounded channel: a full queue rejects
+//! with [`ServeError::Overloaded`] instead of blocking the client, which
+//! is the backpressure contract. The batcher groups same-model requests
+//! under the [`BatchPolicy`]; workers execute whole batches on their own
+//! [`Accelerator`] and answer each request on its private channel with
+//! outputs plus the simulated hardware cost (cycles, picojoules).
+//!
+//! Shutdown is graceful: [`Server::shutdown`] stops admitting, drains
+//! the queue through the batcher, lets workers finish in-flight batches
+//! and joins every thread before returning the final stats snapshot.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cs_accel::exec::Accelerator;
+use cs_accel::AccelConfig;
+use cs_energy::energy::energy_cambricon_s;
+use cs_energy::EnergyModel;
+
+use crate::batch::{Batch, BatchPolicy, Batcher};
+use crate::clock::{Clock, MonotonicClock};
+use crate::error::ServeError;
+use crate::model::{ModelRegistry, ServableModel};
+use crate::stats::{ServeSnapshot, ServeStats};
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads, each owning one simulated accelerator.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Maximum requests per batch.
+    pub max_batch: usize,
+    /// Microseconds a partial batch waits before closing anyway.
+    pub max_wait_us: u64,
+    /// When true, workers sleep out each batch's simulated service time
+    /// (`cycles / freq`), so wall-clock latency and saturation behave
+    /// like a real multi-accelerator deployment even on few host cores.
+    pub emulate_hw_time: bool,
+    /// Accelerator clock in GHz (service-time emulation and the
+    /// hardware-side throughput figures).
+    pub freq_ghz: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 64,
+            max_batch: 8,
+            max_wait_us: 200,
+            emulate_hw_time: false,
+            freq_ghz: 1.0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig(
+                "workers must be at least 1".to_string(),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_depth must be at least 1".to_string(),
+            ));
+        }
+        if !self.freq_ghz.is_finite() || self.freq_ghz <= 0.0 {
+            return Err(ServeError::InvalidConfig(format!(
+                "freq_ghz must be finite and positive, got {}",
+                self.freq_ghz
+            )));
+        }
+        self.policy().validate()
+    }
+
+    fn policy(&self) -> BatchPolicy {
+        BatchPolicy {
+            max_batch: self.max_batch,
+            max_wait_us: self.max_wait_us,
+        }
+    }
+}
+
+/// One inference request: a model name and its input vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferRequest {
+    /// Registry name of the model to run.
+    pub model: String,
+    /// Input activations (length must equal the model's input width).
+    pub input: Vec<f32>,
+}
+
+impl InferRequest {
+    /// Convenience constructor.
+    pub fn new(model: impl Into<String>, input: Vec<f32>) -> Self {
+        InferRequest {
+            model: model.into(),
+            input,
+        }
+    }
+}
+
+/// One completed inference with its simulated hardware cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// Model that produced the outputs.
+    pub model: String,
+    /// Output neuron values (post-activation) of the final layer.
+    pub outputs: Vec<f32>,
+    /// Simulated accelerator cycles this request consumed.
+    pub cycles: u64,
+    /// Simulated energy this request consumed (picojoules).
+    pub energy_pj: f64,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+    /// Worker (accelerator) that executed it.
+    pub worker: usize,
+    /// End-to-end latency on the server's clock (µs).
+    pub latency_us: u64,
+}
+
+/// A queued request: resolved model index, input, admission timestamp
+/// and the private channel the response goes back on.
+struct Job {
+    model_idx: usize,
+    input: Vec<f32>,
+    submit_us: u64,
+    reply: SyncSender<Result<InferResponse, ServeError>>,
+}
+
+/// Handle to one in-flight request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<InferResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the worker-side error for this request, or
+    /// [`ServeError::WorkerLost`] if the worker died before answering.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::WorkerLost),
+        }
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<InferResponse, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+        }
+    }
+}
+
+/// The running server. Shareable across client threads by reference;
+/// dropped or [`Server::shutdown`] joins all internal threads.
+pub struct Server {
+    registry: Arc<ModelRegistry>,
+    cfg: ServeConfig,
+    stats: Arc<ServeStats>,
+    queue: Option<SyncSender<Job>>,
+    shutting_down: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("models", &self.registry.names())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Starts the server on the wall clock.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configs and an empty registry.
+    pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> Result<Server, ServeError> {
+        Server::start_with_clock(registry, cfg, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Starts the server with an injected clock (tests use
+    /// [`crate::clock::ManualClock`] to pin latency figures).
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configs and an empty registry.
+    pub fn start_with_clock(
+        registry: ModelRegistry,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Server, ServeError> {
+        cfg.validate()?;
+        if registry.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "registry holds no models".to_string(),
+            ));
+        }
+        let registry = Arc::new(registry);
+        let stats = Arc::new(ServeStats::new(Arc::clone(&clock), cfg.workers));
+        let shutting_down = Arc::new(AtomicBool::new(false));
+
+        let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
+        // One bounded dispatch lane per worker, filled round-robin by
+        // the batcher. Deterministic assignment keeps the accelerators
+        // evenly loaded regardless of how the host schedules threads
+        // (this simulator often runs on a single core, where a shared
+        // work-stealing queue would let one worker starve the rest).
+        let mut batch_txs = Vec::with_capacity(cfg.workers);
+        let mut threads = Vec::with_capacity(cfg.workers + 1);
+        let mut worker_rxs = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let (tx, rx) = mpsc::sync_channel::<Batch<Job>>(1);
+            batch_txs.push(tx);
+            worker_rxs.push(rx);
+        }
+        threads.push(Server::spawn_batcher(
+            queue_rx,
+            batch_txs,
+            cfg.policy(),
+            Arc::clone(&stats),
+        ));
+        for (worker_id, rx) in worker_rxs.into_iter().enumerate() {
+            threads.push(Server::spawn_worker(
+                worker_id,
+                rx,
+                Arc::clone(&registry),
+                &cfg,
+                Arc::clone(&stats),
+            ));
+        }
+
+        Ok(Server {
+            registry,
+            cfg,
+            stats,
+            queue: Some(queue_tx),
+            shutting_down,
+            threads,
+        })
+    }
+
+    fn spawn_batcher(
+        queue_rx: Receiver<Job>,
+        batch_txs: Vec<SyncSender<Batch<Job>>>,
+        policy: BatchPolicy,
+        stats: Arc<ServeStats>,
+    ) -> JoinHandle<()> {
+        std::thread::Builder::new()
+            .name("cs-serve-batcher".to_string())
+            .spawn(move || {
+                let mut batcher: Batcher<Job> = Batcher::new(policy);
+                let mut next_worker = 0usize;
+                let mut dispatch = |batch: Batch<Job>| {
+                    stats.record_batch(batch.items.len());
+                    for _ in 0..batch.items.len() {
+                        stats.record_dequeue();
+                    }
+                    // Round-robin assignment; a send error means that
+                    // worker is gone, so its jobs are dropped and the
+                    // clients observe WorkerLost.
+                    let _ = batch_txs[next_worker % batch_txs.len()].send(batch);
+                    next_worker = next_worker.wrapping_add(1);
+                };
+                loop {
+                    // Wait until the open batch's deadline (or idle
+                    // indefinitely when nothing is pending).
+                    let wait = batcher
+                        .deadline_us()
+                        .map(|d| Duration::from_micros(d.saturating_sub(stats.now_us())))
+                        .unwrap_or(Duration::from_secs(3600));
+                    match queue_rx.recv_timeout(wait) {
+                        Ok(job) => {
+                            let now = stats.now_us();
+                            for batch in batcher.offer(job.model_idx, job, now) {
+                                dispatch(batch);
+                            }
+                            // The deadline may already have passed while
+                            // the queue was busy.
+                            if let Some(batch) = batcher.poll(stats.now_us()) {
+                                dispatch(batch);
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if let Some(batch) = batcher.poll(stats.now_us()) {
+                                dispatch(batch);
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            // Shutdown: the server dropped its sender
+                            // and the buffer is drained — flush.
+                            if let Some(batch) = batcher.flush() {
+                                dispatch(batch);
+                            }
+                            break;
+                        }
+                    }
+                }
+            })
+            .unwrap_or_else(|e| panic!("spawning batcher thread failed: {e}"))
+    }
+
+    fn spawn_worker(
+        worker_id: usize,
+        batch_rx: Receiver<Batch<Job>>,
+        registry: Arc<ModelRegistry>,
+        cfg: &ServeConfig,
+        stats: Arc<ServeStats>,
+    ) -> JoinHandle<()> {
+        // Each worker owns its models and accelerator: the Arc clones
+        // are taken once here, never through the registry lock on the
+        // hot path, and the Accelerator is Copy + reusable per request.
+        let models: Vec<Arc<ServableModel>> = registry.models().to_vec();
+        let accel = Accelerator::new(AccelConfig {
+            freq_ghz: cfg.freq_ghz,
+            ..AccelConfig::paper_default()
+        });
+        let energy_model = EnergyModel::default_65nm();
+        let emulate = cfg.emulate_hw_time;
+        let freq_ghz = cfg.freq_ghz;
+        std::thread::Builder::new()
+            .name(format!("cs-serve-worker-{worker_id}"))
+            .spawn(move || loop {
+                let batch = match batch_rx.recv() {
+                    Ok(batch) => batch,
+                    Err(_) => break,
+                };
+                let batch_size = batch.items.len();
+                let model = match models.get(batch.model) {
+                    Some(m) => Arc::clone(m),
+                    None => {
+                        // Admission resolved the index against the same
+                        // registry, so this is unreachable; answer the
+                        // requests rather than asserting.
+                        for job in batch.items {
+                            let _ = job
+                                .reply
+                                .send(Err(ServeError::UnknownModel(format!("#{}", batch.model))));
+                            stats.record_failure();
+                        }
+                        continue;
+                    }
+                };
+                let mut results = Vec::with_capacity(batch_size);
+                let mut batch_cycles = 0u64;
+                for job in batch.items {
+                    match accel.run_network(&model.layers, &job.input) {
+                        Ok(run) => {
+                            let cycles = run.stats.cycles;
+                            let energy_pj =
+                                energy_cambricon_s(&run.stats, &energy_model).total_pj();
+                            batch_cycles += cycles;
+                            results.push((job, Ok((run.outputs, cycles, energy_pj))));
+                        }
+                        Err(e) => results.push((job, Err(ServeError::Accel(e)))),
+                    }
+                }
+                if emulate && batch_cycles > 0 {
+                    // One accelerator serves the whole batch serially:
+                    // sleep out its simulated busy time so wall-clock
+                    // behaviour matches the modeled hardware.
+                    let ns = batch_cycles as f64 / freq_ghz;
+                    std::thread::sleep(Duration::from_nanos(ns as u64));
+                }
+                let done_us = stats.now_us();
+                for (job, result) in results {
+                    match result {
+                        Ok((outputs, cycles, energy_pj)) => {
+                            let latency_us = done_us.saturating_sub(job.submit_us);
+                            stats.record_done(worker_id, latency_us, cycles, energy_pj);
+                            // The client may have dropped its ticket;
+                            // that is its prerogative, not an error.
+                            let _ = job.reply.send(Ok(InferResponse {
+                                model: model.name.clone(),
+                                outputs,
+                                cycles,
+                                energy_pj,
+                                batch_size,
+                                worker: worker_id,
+                                latency_us,
+                            }));
+                        }
+                        Err(e) => {
+                            stats.record_failure();
+                            let _ = job.reply.send(Err(e));
+                        }
+                    }
+                }
+            })
+            .unwrap_or_else(|e| panic!("spawning worker thread failed: {e}"))
+    }
+
+    /// Submits a request without blocking on execution; the returned
+    /// [`Ticket`] resolves to the response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] / [`ServeError::ShapeMismatch`] for
+    /// malformed requests, [`ServeError::Overloaded`] when the queue is
+    /// full, [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, req: InferRequest) -> Result<Ticket, ServeError> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (model_idx, model) = self
+            .registry
+            .get(&req.model)
+            .ok_or_else(|| ServeError::UnknownModel(req.model.clone()))?;
+        if req.input.len() != model.n_in {
+            return Err(ServeError::ShapeMismatch {
+                model: req.model,
+                expected: model.n_in,
+                actual: req.input.len(),
+            });
+        }
+        let queue = match &self.queue {
+            Some(q) => q,
+            None => return Err(ServeError::ShuttingDown),
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            model_idx,
+            input: req.input,
+            submit_us: self.stats.now_us(),
+            reply: reply_tx,
+        };
+        match queue.try_send(job) {
+            Ok(()) => {
+                self.stats.record_submit();
+                Ok(Ticket { rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.record_reject();
+                Err(ServeError::Overloaded {
+                    capacity: self.cfg.queue_depth,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Synchronous inference: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Server::submit`] plus worker-side errors.
+    pub fn infer(&self, req: InferRequest) -> Result<InferResponse, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ServeSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The registry the server dispatches against.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Stops admitting, drains in-flight work, joins all threads and
+    /// returns the final snapshot.
+    pub fn shutdown(mut self) -> ServeSnapshot {
+        self.stop_and_join();
+        self.stats.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Dropping the queue sender disconnects the batcher once the
+        // buffered jobs drain; the batcher then drops the dispatch
+        // sender, which stops the workers after in-flight batches.
+        self.queue = None;
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ServableModel;
+    use cs_nn::spec::Scale;
+
+    fn mlp_registry() -> (ModelRegistry, ServableModel) {
+        let model = ServableModel::mlp(Scale::Reduced(8), 7).expect("mlp compiles");
+        let mut reg = ModelRegistry::new();
+        reg.register(model.clone()).expect("register");
+        (reg, model)
+    }
+
+    fn input_for(model: &ServableModel, salt: u32) -> Vec<f32> {
+        (0..model.n_in)
+            .map(|i| {
+                let v = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                if v.is_multiple_of(3) {
+                    0.0
+                } else {
+                    (v % 17) as f32 * 0.07 - 0.5
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_a_request_and_matches_direct_execution() {
+        let (reg, model) = mlp_registry();
+        let server = Server::start(reg, ServeConfig::default()).expect("start");
+        let input = input_for(&model, 1);
+        let resp = server
+            .infer(InferRequest::new("mlp", input.clone()))
+            .expect("infer");
+        let accel = Accelerator::new(AccelConfig::paper_default());
+        let direct = accel.run_network(&model.layers, &input).expect("direct");
+        assert_eq!(resp.outputs, direct.outputs);
+        assert_eq!(resp.cycles, direct.stats.cycles);
+        assert!(resp.energy_pj > 0.0);
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.failed, 0);
+    }
+
+    #[test]
+    fn unknown_model_and_bad_shape_are_rejected_at_admission() {
+        let (reg, model) = mlp_registry();
+        let server = Server::start(reg, ServeConfig::default()).expect("start");
+        assert!(matches!(
+            server.submit(InferRequest::new("nope", vec![0.0; model.n_in])),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            server.submit(InferRequest::new("mlp", vec![0.0; 3])),
+            Err(ServeError::ShapeMismatch { expected, actual: 3, .. })
+                if expected == model.n_in
+        ));
+        let snap = server.shutdown();
+        assert_eq!(snap.submitted, 0);
+    }
+
+    #[test]
+    fn batches_respect_max_batch_and_answer_every_ticket() {
+        let (reg, model) = mlp_registry();
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait_us: 5_000,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(reg, cfg).expect("start");
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                server
+                    .submit(InferRequest::new("mlp", input_for(&model, i)))
+                    .expect("submit")
+            })
+            .collect();
+        for t in tickets {
+            let resp = t.wait().expect("response");
+            assert!(resp.batch_size >= 1 && resp.batch_size <= 4);
+            assert_eq!(resp.outputs.len(), model.n_out);
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 8);
+        assert!(snap.batch_hist.iter().all(|(size, _)| *size <= 4));
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_shutting_down() {
+        let (reg, model) = mlp_registry();
+        let server = Server::start(reg, ServeConfig::default()).expect("start");
+        let n_in = model.n_in;
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 0);
+        // A fresh server is needed for further traffic; the old handle
+        // is consumed. Start another to prove restartability.
+        let (reg2, _) = mlp_registry();
+        let server2 = Server::start(reg2, ServeConfig::default()).expect("restart");
+        assert!(server2
+            .infer(InferRequest::new("mlp", vec![0.1; n_in]))
+            .is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let (reg, _) = mlp_registry();
+        for cfg in [
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_depth: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                freq_ghz: 0.0,
+                ..ServeConfig::default()
+            },
+        ] {
+            let (reg_fresh, _) = mlp_registry();
+            assert!(Server::start(reg_fresh, cfg).is_err());
+        }
+        assert!(Server::start(reg, ServeConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn empty_registry_is_rejected() {
+        assert!(matches!(
+            Server::start(ModelRegistry::new(), ServeConfig::default()),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,365 @@
+//! Serving statistics: latency percentiles, batch-size histogram,
+//! throughput and simulated hardware cost per request.
+//!
+//! All time is read through the injected [`Clock`], never from
+//! `Instant::now()`, so every figure in a [`ServeSnapshot`] — including
+//! the percentiles — is reproducible in tests with a
+//! [`crate::clock::ManualClock`].
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::clock::Clock;
+
+/// Hard cap on retained latency samples; past this the recorder keeps
+/// every second sample to bound memory during long soak runs.
+const MAX_LATENCY_SAMPLES: usize = 1 << 20;
+
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Counter updates can't leave the map in a broken state, so a
+    // poisoned lock (a panicking test thread) is safe to adopt.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    queue_depth: usize,
+    max_queue_depth: usize,
+    latencies_us: Vec<u64>,
+    keep_every: usize,
+    latency_skip: usize,
+    batch_hist: BTreeMap<usize, u64>,
+    total_cycles: u64,
+    total_energy_pj: f64,
+    worker_busy_cycles: Vec<u64>,
+}
+
+/// Shared, thread-safe statistics recorder.
+///
+/// The admission path, the batcher and every worker hold an `Arc` of
+/// this and record events as they happen; [`ServeStats::snapshot`]
+/// folds the counters into a [`ServeSnapshot`].
+pub struct ServeStats {
+    clock: Arc<dyn Clock>,
+    start_us: u64,
+    inner: Mutex<StatsInner>,
+}
+
+impl std::fmt::Debug for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeStats")
+            .field("start_us", &self.start_us)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeStats {
+    /// A recorder for `workers` worker threads, timed by `clock`.
+    pub fn new(clock: Arc<dyn Clock>, workers: usize) -> Self {
+        let start_us = clock.now_us();
+        ServeStats {
+            clock,
+            start_us,
+            inner: Mutex::new(StatsInner {
+                keep_every: 1,
+                worker_busy_cycles: vec![0; workers],
+                ..StatsInner::default()
+            }),
+        }
+    }
+
+    /// The clock this recorder reads.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Current time in microseconds on the injected clock.
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    /// Records a request admitted into the queue.
+    pub fn record_submit(&self) {
+        let mut g = lock_or_recover(&self.inner);
+        g.submitted += 1;
+        g.queue_depth += 1;
+        g.max_queue_depth = g.max_queue_depth.max(g.queue_depth);
+    }
+
+    /// Records a request rejected with `Overloaded`.
+    pub fn record_reject(&self) {
+        lock_or_recover(&self.inner).rejected += 1;
+    }
+
+    /// Records a request leaving the queue for a batch.
+    pub fn record_dequeue(&self) {
+        let mut g = lock_or_recover(&self.inner);
+        g.queue_depth = g.queue_depth.saturating_sub(1);
+    }
+
+    /// Records a closed batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        *lock_or_recover(&self.inner)
+            .batch_hist
+            .entry(size)
+            .or_insert(0) += 1;
+    }
+
+    /// Records one completed request.
+    pub fn record_done(&self, worker: usize, latency_us: u64, cycles: u64, energy_pj: f64) {
+        let mut g = lock_or_recover(&self.inner);
+        g.completed += 1;
+        g.total_cycles += cycles;
+        g.total_energy_pj += energy_pj;
+        if let Some(busy) = g.worker_busy_cycles.get_mut(worker) {
+            *busy += cycles;
+        }
+        // Reservoir-ish decimation: once the buffer is full, keep every
+        // 2^k-th sample so percentiles stay representative while memory
+        // stays bounded.
+        if g.latencies_us.len() >= MAX_LATENCY_SAMPLES {
+            g.latencies_us = g.latencies_us.iter().copied().step_by(2).collect();
+            g.keep_every *= 2;
+        }
+        if g.latency_skip == 0 {
+            g.latencies_us.push(latency_us);
+            g.latency_skip = g.keep_every - 1;
+        } else {
+            g.latency_skip -= 1;
+        }
+    }
+
+    /// Records one failed request (the worker returned an error).
+    pub fn record_failure(&self) {
+        lock_or_recover(&self.inner).failed += 1;
+    }
+
+    /// Folds the counters into an immutable snapshot at the current
+    /// clock reading.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        let now = self.clock.now_us();
+        let g = lock_or_recover(&self.inner);
+        let mut sorted = g.latencies_us.clone();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        let elapsed_us = now.saturating_sub(self.start_us);
+        let completed = g.completed;
+        let batches: u64 = g.batch_hist.values().sum();
+        let batched_reqs: u64 = g.batch_hist.iter().map(|(size, n)| *size as u64 * n).sum();
+        ServeSnapshot {
+            elapsed_us,
+            submitted: g.submitted,
+            rejected: g.rejected,
+            completed,
+            failed: g.failed,
+            queue_depth: g.queue_depth,
+            max_queue_depth: g.max_queue_depth,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            mean_latency_us: if sorted.is_empty() {
+                0.0
+            } else {
+                sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
+            },
+            throughput_rps: if elapsed_us == 0 {
+                0.0
+            } else {
+                completed as f64 * 1e6 / elapsed_us as f64
+            },
+            batch_hist: g.batch_hist.iter().map(|(s, n)| (*s, *n)).collect(),
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched_reqs as f64 / batches as f64
+            },
+            total_cycles: g.total_cycles,
+            cycles_per_req: if completed == 0 {
+                0.0
+            } else {
+                g.total_cycles as f64 / completed as f64
+            },
+            energy_pj_per_req: if completed == 0 {
+                0.0
+            } else {
+                g.total_energy_pj / completed as f64
+            },
+            worker_busy_cycles: g.worker_busy_cycles.clone(),
+        }
+    }
+}
+
+/// Immutable summary of a server's activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSnapshot {
+    /// Microseconds since the recorder was created.
+    pub elapsed_us: u64,
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Requests currently queued (admitted, not yet batched).
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: usize,
+    /// Median end-to-end latency (µs).
+    pub p50_us: u64,
+    /// 95th-percentile latency (µs).
+    pub p95_us: u64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: u64,
+    /// Mean latency (µs).
+    pub mean_latency_us: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// `(batch size, count)` pairs in ascending size order.
+    pub batch_hist: Vec<(usize, u64)>,
+    /// Mean requests per closed batch.
+    pub mean_batch: f64,
+    /// Total simulated accelerator cycles across all requests.
+    pub total_cycles: u64,
+    /// Mean simulated cycles per completed request.
+    pub cycles_per_req: f64,
+    /// Mean simulated energy per completed request (picojoules).
+    pub energy_pj_per_req: f64,
+    /// Simulated busy cycles per worker (one accelerator each).
+    pub worker_busy_cycles: Vec<u64>,
+}
+
+impl ServeSnapshot {
+    /// Simulated-hardware makespan: the busiest accelerator's cycle
+    /// count. With balanced load this shrinks linearly in the number of
+    /// workers, which is what the saturation sweep measures.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.worker_busy_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Requests per second the simulated hardware sustains at
+    /// `freq_ghz`: completed requests over the busiest accelerator's
+    /// busy time.
+    pub fn hw_rps(&self, freq_ghz: f64) -> f64 {
+        let makespan = self.makespan_cycles();
+        if makespan == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * freq_ghz * 1e9 / makespan as f64
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "requests: {} completed, {} failed, {} rejected ({} submitted)\n",
+            self.completed, self.failed, self.rejected, self.submitted
+        ));
+        s.push_str(&format!(
+            "latency:  p50 {} us, p95 {} us, p99 {} us, mean {:.1} us\n",
+            self.p50_us, self.p95_us, self.p99_us, self.mean_latency_us
+        ));
+        s.push_str(&format!(
+            "rate:     {:.1} req/s wall, mean batch {:.2}, queue max {}\n",
+            self.throughput_rps, self.mean_batch, self.max_queue_depth
+        ));
+        s.push_str(&format!(
+            "hardware: {:.0} cycles/req, {:.1} nJ/req\n",
+            self.cycles_per_req,
+            self.energy_pj_per_req / 1e3
+        ));
+        let hist: Vec<String> = self
+            .batch_hist
+            .iter()
+            .map(|(size, n)| format!("{size}:{n}"))
+            .collect();
+        s.push_str(&format!("batches:  [{}]\n", hist.join(" ")));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn percentiles_are_deterministic_under_a_manual_clock() {
+        let clock = Arc::new(ManualClock::new(0));
+        let stats = ServeStats::new(clock.clone(), 2);
+        for latency in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 1000] {
+            stats.record_submit();
+            stats.record_dequeue();
+            stats.record_done(0, latency, 50, 10.0);
+        }
+        clock.advance(1_000_000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.completed, 10);
+        assert_eq!(snap.p50_us, 500);
+        assert_eq!(snap.p95_us, 1000);
+        assert_eq!(snap.p99_us, 1000);
+        assert_eq!(snap.mean_latency_us, 550.0);
+        // Exactly one simulated second elapsed → rps equals count.
+        assert_eq!(snap.throughput_rps, 10.0);
+        assert_eq!(snap.total_cycles, 500);
+        assert_eq!(snap.cycles_per_req, 50.0);
+        assert_eq!(snap.energy_pj_per_req, 10.0);
+    }
+
+    #[test]
+    fn queue_depth_tracks_submit_and_dequeue() {
+        let stats = ServeStats::new(Arc::new(ManualClock::new(0)), 1);
+        stats.record_submit();
+        stats.record_submit();
+        stats.record_submit();
+        stats.record_dequeue();
+        let snap = stats.snapshot();
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.max_queue_depth, 3);
+    }
+
+    #[test]
+    fn batch_histogram_and_mean() {
+        let stats = ServeStats::new(Arc::new(ManualClock::new(0)), 1);
+        stats.record_batch(1);
+        stats.record_batch(4);
+        stats.record_batch(4);
+        let snap = stats.snapshot();
+        assert_eq!(snap.batch_hist, vec![(1, 1), (4, 2)]);
+        assert!((snap.mean_batch - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hw_rps_uses_the_busiest_worker() {
+        let stats = ServeStats::new(Arc::new(ManualClock::new(0)), 2);
+        stats.record_done(0, 10, 1_000, 0.0);
+        stats.record_done(1, 10, 3_000, 0.0);
+        let snap = stats.snapshot();
+        assert_eq!(snap.makespan_cycles(), 3_000);
+        // 2 requests / (3000 cycles / 1 GHz) = 2 / 3 µs.
+        let rps = snap.hw_rps(1.0);
+        assert!((rps - 2.0 / 3e-6).abs() / rps < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zeros() {
+        let stats = ServeStats::new(Arc::new(ManualClock::new(0)), 1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.throughput_rps, 0.0);
+        assert_eq!(snap.mean_batch, 0.0);
+        assert_eq!(snap.hw_rps(1.0), 0.0);
+        assert!(snap.render().contains("requests"));
+    }
+}

@@ -7,6 +7,33 @@
 //! reports for DDR-class parts and makes off-chip accesses dominate total
 //! energy exactly as in the paper's Fig. 19.
 
+/// Error constructing a DRAM model from user-provided parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DramModelError {
+    /// Bandwidth must be a finite, strictly positive byte/cycle rate.
+    InvalidBandwidth(f64),
+    /// Per-byte energy must be finite and non-negative.
+    InvalidEnergy(f64),
+}
+
+impl std::fmt::Display for DramModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DramModelError::InvalidBandwidth(b) => {
+                write!(f, "DRAM bandwidth must be finite and positive, got {b}")
+            }
+            DramModelError::InvalidEnergy(e) => {
+                write!(
+                    f,
+                    "DRAM energy/byte must be finite and non-negative, got {e}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramModelError {}
+
 /// Bandwidth-limited DRAM with per-byte access energy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramModel {
@@ -29,9 +56,51 @@ impl DramModel {
         }
     }
 
+    /// Validated constructor for custom memory systems (the serving
+    /// layer builds these from operator-supplied config, so garbage
+    /// parameters must be rejected as values, not trusted into the
+    /// cycle math).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or non-positive bandwidth and non-finite or
+    /// negative per-byte energy.
+    pub fn new(
+        bytes_per_cycle: f64,
+        latency_cycles: u64,
+        energy_pj_per_byte: f64,
+    ) -> Result<Self, DramModelError> {
+        if !bytes_per_cycle.is_finite() || bytes_per_cycle <= 0.0 {
+            return Err(DramModelError::InvalidBandwidth(bytes_per_cycle));
+        }
+        if !energy_pj_per_byte.is_finite() || energy_pj_per_byte < 0.0 {
+            return Err(DramModelError::InvalidEnergy(energy_pj_per_byte));
+        }
+        Ok(DramModel {
+            bytes_per_cycle,
+            latency_cycles,
+            energy_pj_per_byte,
+        })
+    }
+
     /// Cycles to stream `bytes` (excluding the burst latency).
+    ///
+    /// Saturates rather than overflowing: a degenerate bandwidth (the
+    /// fields are public, so a caller can still construct one) yields
+    /// `u64::MAX` instead of a platform-dependent float-to-int cast.
     pub fn stream_cycles(&self, bytes: u64) -> u64 {
-        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+        let cycles = (bytes as f64 / self.bytes_per_cycle).ceil();
+        if cycles.is_finite() && cycles >= 0.0 {
+            if cycles >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                cycles as u64
+            }
+        } else if bytes == 0 {
+            0
+        } else {
+            u64::MAX
+        }
     }
 
     /// Cycles for one burst of `bytes` including the first-access latency.
@@ -80,5 +149,27 @@ mod tests {
         let d = DramModel::paper_default();
         assert_eq!(d.energy_pj(0), 0.0);
         assert_eq!(d.energy_pj(100), 16_000.0);
+    }
+
+    #[test]
+    fn constructor_rejects_degenerate_parameters() {
+        assert!(DramModel::new(0.0, 10, 1.0).is_err());
+        assert!(DramModel::new(-4.0, 10, 1.0).is_err());
+        assert!(DramModel::new(f64::NAN, 10, 1.0).is_err());
+        assert!(DramModel::new(64.0, 10, f64::INFINITY).is_err());
+        assert!(DramModel::new(64.0, 10, -1.0).is_err());
+        let d = DramModel::new(64.0, 10, 1.0).unwrap();
+        assert_eq!(d.stream_cycles(128), 2);
+    }
+
+    #[test]
+    fn stream_cycles_saturate_instead_of_overflowing() {
+        let degenerate = DramModel {
+            bytes_per_cycle: 0.0,
+            latency_cycles: 0,
+            energy_pj_per_byte: 0.0,
+        };
+        assert_eq!(degenerate.stream_cycles(0), 0);
+        assert_eq!(degenerate.stream_cycles(1), u64::MAX);
     }
 }

@@ -151,7 +151,7 @@ mod tests {
         s.tile(10, 1000, 0); // load [0,10) compute [10,1010)
         s.tile(10, 1000, 0); // load [10,20) compute [1010,2010)
         s.tile(10, 1000, 0); // load waits for slot 0 free at 1010
-        // Load 3 starts at 1010 -> compute [2010, 3010).
+                             // Load 3 starts at 1010 -> compute [2010, 3010).
         assert_eq!(s.finish(), 3010);
     }
 

@@ -56,13 +56,7 @@ impl CoarseConfig {
     }
 
     /// Convolutional block `(B_fin, B_fout, B_x, B_y)`.
-    pub fn conv(
-        b_fin: usize,
-        b_fout: usize,
-        b_x: usize,
-        b_y: usize,
-        metric: PruneMetric,
-    ) -> Self {
+    pub fn conv(b_fin: usize, b_fout: usize, b_x: usize, b_y: usize, metric: PruneMetric) -> Self {
         CoarseConfig::new(vec![b_fin, b_fout, b_x, b_y], metric)
     }
 
@@ -187,11 +181,7 @@ pub fn prune_by_threshold(w: &Tensor, cfg: &CoarseConfig, threshold: f64) -> Mas
 ///
 /// Returns [`TensorError::InvalidGeometry`] when `density` is outside
 /// `(0, 1]`.
-pub fn prune_to_density(
-    w: &Tensor,
-    cfg: &CoarseConfig,
-    density: f64,
-) -> Result<Mask, TensorError> {
+pub fn prune_to_density(w: &Tensor, cfg: &CoarseConfig, density: f64) -> Result<Mask, TensorError> {
     if !(0.0..=1.0).contains(&density) || density == 0.0 {
         return Err(TensorError::InvalidGeometry(format!(
             "target density {density} outside (0, 1]"
@@ -235,11 +225,7 @@ pub fn index_bits(shape: &Shape, cfg: &CoarseConfig) -> usize {
 }
 
 fn mask_from_block_keep(shape: &Shape, bs: &BlockScores, keep: &[bool]) -> Mask {
-    let bits: Vec<bool> = bs
-        .block_of
-        .iter()
-        .map(|bid| keep[*bid as usize])
-        .collect();
+    let bits: Vec<bool> = bs.block_of.iter().map(|bid| keep[*bid as usize]).collect();
     Mask::from_bits(shape.clone(), bits).expect("bits generated from shape")
 }
 
@@ -418,12 +404,8 @@ mod tests {
         let keep_half = 0.5;
         let max_mask =
             prune_to_density(&w, &CoarseConfig::fc(4, 4, PruneMetric::Max), keep_half).unwrap();
-        let avg_mask = prune_to_density(
-            &w,
-            &CoarseConfig::fc(4, 4, PruneMetric::Average),
-            keep_half,
-        )
-        .unwrap();
+        let avg_mask =
+            prune_to_density(&w, &CoarseConfig::fc(4, 4, PruneMetric::Average), keep_half).unwrap();
         // Max keeps the outlier block.
         assert!(max_mask.bits()[0]);
         assert!(!max_mask.bits()[4]);
@@ -530,10 +512,7 @@ mod tests {
         let fine_cfg = CoarseConfig::fc(1, 1, PruneMetric::Average);
         let bk_fine = block_keep(&mask, &fine_cfg);
         assert_eq!(bk_fine.keep.len(), 64);
-        assert_eq!(
-            bk_fine.keep.iter().filter(|b| **b).count(),
-            mask.ones()
-        );
+        assert_eq!(bk_fine.keep.iter().filter(|b| **b).count(), mask.ones());
     }
 
     #[test]

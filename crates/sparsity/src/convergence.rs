@@ -125,7 +125,11 @@ pub fn render_ascii(bits: &[Vec<bool>], cell: usize) -> String {
         for bc in 0..cols.div_ceil(cell) {
             let mut count = 0usize;
             let mut total = 0usize;
-            for row in bits.iter().take(((br + 1) * cell).min(rows)).skip(br * cell) {
+            for row in bits
+                .iter()
+                .take(((br + 1) * cell).min(rows))
+                .skip(br * cell)
+            {
                 for cellv in row.iter().take(((bc + 1) * cell).min(cols)).skip(bc * cell) {
                     total += 1;
                     if *cellv {
@@ -189,8 +193,10 @@ mod tests {
         // Pseudo-random scattered larger weights: with m=10% and 4x4
         // windows the expected count is 1.6; counts near 16 are absent.
         let w = Tensor::from_fn(Shape::d2(64, 64), |i| {
-            let x = ((i as u64).wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1) >> 33)
-                as f32;
+            let x = ((i as u64)
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1)
+                >> 33) as f32;
             x / (1u64 << 31) as f32
         });
         let hist = window_histogram(&w, 4, 0.1);

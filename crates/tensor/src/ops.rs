@@ -435,11 +435,8 @@ mod tests {
     #[test]
     fn conv2d_matches_hand_computation() {
         // 1 input channel 3x3, 1 output map, 2x2 kernel, stride 1, no pad.
-        let input = Tensor::from_vec(
-            Shape::d3(1, 3, 3),
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(Shape::d3(1, 3, 3), vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap();
         let w = Tensor::from_vec(Shape::d4(1, 1, 2, 2), vec![1., 0., 0., 1.]).unwrap();
         let geom = Conv2dGeometry::square(2, 1, 0);
         let out = conv2d(&input, &w, None, &geom).unwrap();
@@ -451,8 +448,11 @@ mod tests {
     #[test]
     fn conv2d_with_padding_and_bias() {
         let input = Tensor::from_vec(Shape::d3(1, 2, 2), vec![1., 2., 3., 4.]).unwrap();
-        let w = Tensor::from_vec(Shape::d4(1, 1, 3, 3), vec![0., 0., 0., 0., 1., 0., 0., 0., 0.])
-            .unwrap();
+        let w = Tensor::from_vec(
+            Shape::d4(1, 1, 3, 3),
+            vec![0., 0., 0., 0., 1., 0., 0., 0., 0.],
+        )
+        .unwrap();
         let geom = Conv2dGeometry::square(3, 1, 1);
         let out = conv2d(&input, &w, Some(&[10.0]), &geom).unwrap();
         // Identity kernel + bias 10.
@@ -462,8 +462,7 @@ mod tests {
     #[test]
     fn conv2d_multi_channel() {
         // 2 in channels, 2 out maps, 1x1 kernels: a per-pixel matmul.
-        let input =
-            Tensor::from_vec(Shape::d3(2, 1, 2), vec![1., 2., 3., 4.]).unwrap();
+        let input = Tensor::from_vec(Shape::d3(2, 1, 2), vec![1., 2., 3., 4.]).unwrap();
         // w[fi][fo]: fi0->(1,10), fi1->(100,1000)
         let w = Tensor::from_vec(Shape::d4(2, 2, 1, 1), vec![1., 10., 100., 1000.]).unwrap();
         let geom = Conv2dGeometry::square(1, 1, 0);
@@ -475,11 +474,8 @@ mod tests {
 
     #[test]
     fn pooling_max_and_avg() {
-        let input = Tensor::from_vec(
-            Shape::d3(1, 4, 4),
-            (1..=16).map(|v| v as f32).collect(),
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(Shape::d3(1, 4, 4), (1..=16).map(|v| v as f32).collect()).unwrap();
         let geom = Conv2dGeometry::square(2, 2, 0);
         let mx = max_pool2d(&input, &geom).unwrap();
         assert_eq!(mx.as_slice(), &[6., 8., 14., 16.]);

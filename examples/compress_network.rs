@@ -22,7 +22,11 @@ fn parse_args() -> (Model, Scale) {
     while let Some(a) = it.next() {
         if a == "--scale" {
             if let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) {
-                scale = if n <= 1 { Scale::Full } else { Scale::Reduced(n) };
+                scale = if n <= 1 {
+                    Scale::Full
+                } else {
+                    Scale::Reduced(n)
+                };
             }
         }
     }

@@ -19,7 +19,11 @@ fn scale_from_args() -> Scale {
     while let Some(a) = it.next() {
         if a == "--scale" {
             if let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) {
-                return if n <= 1 { Scale::Full } else { Scale::Reduced(n) };
+                return if n <= 1 {
+                    Scale::Full
+                } else {
+                    Scale::Reduced(n)
+                };
             }
         }
     }

@@ -35,7 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let accel = Accelerator::new(AccelConfig::paper_default());
     let input: Vec<f32> = (0..sil.n_in)
-        .map(|i| if i % 3 == 0 { 0.0 } else { (i % 13) as f32 * 0.05 })
+        .map(|i| {
+            if i % 3 == 0 {
+                0.0
+            } else {
+                (i % 13) as f32 * 0.05
+            }
+        })
         .collect();
     let run = accel.run_layer(&sil, &input, Activation::Relu)?;
 

@@ -10,9 +10,7 @@ use cambricon_s::prelude::*;
 use cs_accel::exec::Accelerator;
 use cs_accel::pe::Activation;
 use cs_baselines::{cambricon_x_layer, diannao_layer};
-use cs_energy::energy::{
-    energy_cambricon_s, energy_cambricon_x, energy_diannao, EnergyModel,
-};
+use cs_energy::energy::{energy_cambricon_s, energy_cambricon_x, energy_diannao, EnergyModel};
 use cs_nn::init::{self, ConvergenceProfile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -5,9 +5,7 @@
 use cambricon_s::prelude::*;
 use cambricon_s::workload::paper_workload;
 use cs_baselines::{cambricon_x_layer, diannao_layer};
-use cs_energy::energy::{
-    energy_cambricon_s, energy_cambricon_x, energy_diannao, EnergyModel,
-};
+use cs_energy::energy::{energy_cambricon_s, energy_cambricon_x, energy_diannao, EnergyModel};
 
 fn ours_cycles(wl: &cambricon_s::workload::NetworkWorkload) -> u64 {
     let cfg = AccelConfig::paper_default();
@@ -92,11 +90,7 @@ fn acc_dense_sits_between_sparse_and_diannao() {
     for model in Model::all() {
         let wl = paper_workload(model, Scale::Full);
         let sparse = ours_cycles(&wl);
-        let dense: u64 = wl
-            .run_ours_dense(&cfg)
-            .iter()
-            .map(|r| r.stats.cycles)
-            .sum();
+        let dense: u64 = wl.run_ours_dense(&cfg).iter().map(|r| r.stats.cycles).sum();
         let dn: u64 = wl
             .layers
             .iter()

@@ -90,3 +90,54 @@ fn disc_runs() {
     let r = disc::run();
     assert!(r.render().contains("entropy"));
 }
+
+#[test]
+fn ext_dse_runs() {
+    let r = ext_dse::run(Scale::Reduced(16), SEED);
+    assert!(!r.points.is_empty());
+    assert!(r.render().lines().count() >= 3);
+}
+
+#[test]
+fn ext_entropy_runs() {
+    let r = ext_entropy::run(Scale::Reduced(16), SEED).expect("pipeline");
+    assert!(!r.rows.is_empty());
+    assert!(!r.render().is_empty());
+}
+
+#[test]
+fn ext_scaling_runs() {
+    let r = ext_scaling::run();
+    assert_eq!(r.points.len(), 4);
+    assert!(!r.render().is_empty());
+}
+
+#[test]
+fn ext_table1_runs() {
+    let r = ext_table1::run();
+    assert!(!r.rows.is_empty());
+    assert!(!r.render().is_empty());
+}
+
+#[test]
+fn serve_load_sweep_runs_at_tiny_scale() {
+    // The same path `exp_serve_load` drives, shrunk to smoke size.
+    use cambricon_s::prelude::{run_sweep, SweepConfig};
+    let r = run_sweep(&SweepConfig {
+        scale: Scale::Reduced(16),
+        requests: 16,
+        clients: vec![4],
+        workers: vec![1, 4],
+        max_batches: vec![4],
+        emulate_hw_time: false,
+        ..SweepConfig::default()
+    })
+    .expect("sweep");
+    assert_eq!(r.points.len(), 2);
+    assert!(r.points.iter().all(|p| p.completed == 16));
+    assert!(r.render().contains("hw req/s"));
+    // The acceptance floor: 1 -> 4 workers must scale the simulated
+    // hardware throughput by at least 1.5x at saturation.
+    let scaling = r.scaling(1, 4).expect("scaling computable");
+    assert!(scaling >= 1.5, "1->4 worker scaling {scaling:.2}x");
+}

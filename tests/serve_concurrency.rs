@@ -1,0 +1,236 @@
+//! Concurrency contract of the serving runtime: many client threads
+//! against a 2-worker server must each get exactly one response whose
+//! outputs are bit-identical to single-threaded execution, and a full
+//! admission queue must reject with `Overloaded` instead of blocking.
+
+use cambricon_s::prelude::*;
+use cs_accel::exec::Accelerator;
+
+const SEED: u64 = 20181020;
+
+fn deterministic_input(n_in: usize, request_id: u64) -> Vec<f32> {
+    (0..n_in)
+        .map(|i| {
+            let v = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(request_id.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            if v.is_multiple_of(3) {
+                0.0
+            } else {
+                ((v >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_get_exactly_one_bit_identical_response_each() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 12;
+
+    let model = ServableModel::mlp(Scale::Reduced(8), SEED).expect("mlp compiles");
+    let layers = model.layers.clone();
+    let n_in = model.n_in;
+    let mut registry = ModelRegistry::new();
+    registry.register(model).expect("register");
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait_us: 500,
+            queue_depth: CLIENTS * PER_CLIENT,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start");
+
+    // Reference outputs from a single-threaded Accelerator, computed
+    // outside the server.
+    let reference = Accelerator::new(AccelConfig::paper_default());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..CLIENTS {
+            let server = &server;
+            let layers = &layers;
+            let reference = &reference;
+            handles.push(scope.spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let rid = (client * PER_CLIENT + i) as u64;
+                    let input = deterministic_input(n_in, rid);
+                    let resp = server
+                        .infer(InferRequest::new("mlp", input.clone()))
+                        .expect("request completes");
+                    let direct = reference
+                        .run_network(layers, &input)
+                        .expect("direct execution");
+                    // Bit-identical: batching and threading must not
+                    // change a single output bit.
+                    assert_eq!(
+                        resp.outputs, direct.outputs,
+                        "client {client} request {i} diverged from single-threaded run"
+                    );
+                    assert_eq!(resp.cycles, direct.stats.cycles);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    let snap = server.shutdown();
+    // Exactly one response per request: every submission completed,
+    // none failed, none were double-counted.
+    assert_eq!(snap.submitted, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(snap.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(snap.failed, 0);
+    assert_eq!(snap.rejected, 0);
+    let batched: u64 = snap.batch_hist.iter().map(|(s, n)| *s as u64 * n).sum();
+    assert_eq!(
+        batched, snap.completed,
+        "every request rode exactly one batch"
+    );
+    assert!(snap.batch_hist.iter().all(|(size, _)| *size <= 4));
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    let model = ServableModel::mlp(Scale::Reduced(16), SEED).expect("mlp compiles");
+    let n_in = model.n_in;
+    let mut registry = ModelRegistry::new();
+    registry.register(model).expect("register");
+    // One worker that sleeps out its simulated service time at a clock
+    // slowed 1000x (1 MHz), so each request occupies the pipeline for
+    // milliseconds while a burst of submissions arrives in microseconds:
+    // the bounded queue must overflow deterministically.
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait_us: 0,
+            queue_depth: 2,
+            emulate_hw_time: true,
+            freq_ghz: 0.001,
+        },
+    )
+    .expect("start");
+
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for rid in 0..32 {
+        match server.submit(InferRequest::new("mlp", deterministic_input(n_in, rid))) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 2);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a 2-deep queue cannot absorb a 32-request burst"
+    );
+    let admitted = tickets.len() as u64;
+    // Every admitted request still completes (graceful backpressure,
+    // not dropped work).
+    for t in tickets {
+        t.wait().expect("admitted request completes");
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.completed, admitted);
+    assert_eq!(snap.rejected, rejected);
+    assert_eq!(admitted + rejected, 32);
+}
+
+#[test]
+fn multi_model_batches_route_responses_to_the_right_client() {
+    let mlp_a = ServableModel::mlp(Scale::Reduced(8), SEED).expect("mlp a");
+    let mut spec_b = ServableModel::mlp(Scale::Reduced(8), SEED ^ 0xABCD).expect("mlp b");
+    spec_b.name = "mlp-b".to_string();
+    let layers_a = mlp_a.layers.clone();
+    let layers_b = spec_b.layers.clone();
+    let n_in = mlp_a.n_in;
+    let mut registry = ModelRegistry::new();
+    registry.register(mlp_a).expect("register a");
+    registry.register(spec_b).expect("register b");
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait_us: 300,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start");
+    let reference = Accelerator::new(AccelConfig::paper_default());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..4usize {
+            let server = &server;
+            let (name, layers) = if client % 2 == 0 {
+                ("mlp", &layers_a)
+            } else {
+                ("mlp-b", &layers_b)
+            };
+            let reference = &reference;
+            handles.push(scope.spawn(move || {
+                for i in 0..8u64 {
+                    let input = deterministic_input(n_in, client as u64 * 100 + i);
+                    let resp = server
+                        .infer(InferRequest::new(name, input.clone()))
+                        .expect("request completes");
+                    assert_eq!(resp.model, name, "response routed to wrong model");
+                    let direct = reference.run_network(layers, &input).expect("direct");
+                    assert_eq!(resp.outputs, direct.outputs);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    let snap = server.shutdown();
+    assert_eq!(snap.completed, 32);
+    assert_eq!(snap.failed, 0);
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let model = ServableModel::mlp(Scale::Reduced(16), SEED).expect("mlp compiles");
+    let n_in = model.n_in;
+    let mut registry = ModelRegistry::new();
+    registry.register(model).expect("register");
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait_us: 1_000,
+            queue_depth: 32,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start");
+    let tickets: Vec<_> = (0..16)
+        .map(|rid| {
+            server
+                .submit(InferRequest::new("mlp", deterministic_input(n_in, rid)))
+                .expect("submit")
+        })
+        .collect();
+    // Shut down immediately: queued and batching requests must still be
+    // answered, not dropped.
+    let snap = server.shutdown();
+    assert_eq!(snap.completed, 16);
+    for t in tickets {
+        t.wait()
+            .expect("in-flight request answered during shutdown");
+    }
+}

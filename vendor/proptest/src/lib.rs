@@ -1,0 +1,181 @@
+//! Offline stand-in for the subset of the `proptest` API used by this
+//! workspace's property tests.
+//!
+//! The build container cannot reach crates.io, so the real `proptest`
+//! cannot be fetched. This shim keeps every `proptest!` test compiling
+//! and running: strategies generate deterministic pseudo-random cases
+//! (seeded per test name), `prop_assert*` report the failing case, and
+//! `prop_assume!` rejects a case without failing the test.
+//!
+//! Deliberate simplifications versus upstream: no shrinking (a failing
+//! case is reported as generated), no persisted regression files (the
+//! seed is fixed, so runs are already reproducible), and only the
+//! strategy combinators this repo exercises — ranges, tuples,
+//! `collection::vec`, `any`, `sample::{select, Index}` and `Just`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Items most tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                &mut rng,
+                            );
+                        )+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed at case {}/{}: {}",
+                                stringify!($name),
+                                case + 1,
+                                config.cases,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("assertion failed: {}", stringify!($cond)),
+                ),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!(
+                        "assertion failed: {} ({})",
+                        stringify!($cond),
+                        format!($($fmt)+)
+                    ),
+                ),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("{:?} != {:?}", left, right),
+                ),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("{:?} != {:?} ({})", left, right, format!($($fmt)+)),
+                ),
+            );
+        }
+    }};
+}
+
+/// Fails the current case when both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("{:?} == {:?}", left, right),
+                ),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("{:?} == {:?} ({})", left, right, format!($($fmt)+)),
+                ),
+            );
+        }
+    }};
+}
+
+/// Rejects (skips) the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

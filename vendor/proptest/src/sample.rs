@@ -1,0 +1,70 @@
+//! Sampling strategies (subset: `select` and `Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly among a fixed set of options.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Picks one of `options` per case.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}
+
+/// A positional sample: resolves to an index once a collection size is
+/// known, like upstream `proptest::sample::Index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this sample onto `0..size`; `size` must be nonzero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "cannot index an empty collection");
+        ((self.0 as u128 * size as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn select_only_yields_options() {
+        let s = select(vec![4u8, 8, 16]);
+        let mut rng = TestRng::from_name("select");
+        for _ in 0..100 {
+            assert!([4u8, 8, 16].contains(&s.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn index_is_always_in_range() {
+        let mut rng = TestRng::from_name("index");
+        for size in [1usize, 2, 7, 1000] {
+            for _ in 0..100 {
+                let i = any::<Index>().generate(&mut rng);
+                assert!(i.index(size) < size);
+            }
+        }
+    }
+}

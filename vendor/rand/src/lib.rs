@@ -1,0 +1,180 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API used by this
+//! workspace: `StdRng::seed_from_u64`, `Rng::gen_range` over integer and
+//! float ranges, and `Rng::gen_bool`.
+//!
+//! The build container has no access to crates.io, so the real `rand`
+//! cannot be fetched; this shim keeps the same call sites compiling with
+//! a deterministic, decent-quality generator (SplitMix64). Streams are
+//! reproducible for a given seed but intentionally *not* identical to
+//! upstream `rand`'s — callers in this repo only rely on seeded
+//! determinism and uniformity, never on exact upstream streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core-RNG interface (a subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (a subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling interface (a subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that can produce uniform samples (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 explicit mantissa bits -> uniform in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty float range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty float range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named RNGs (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                // Pre-mix so that small consecutive seeds do not yield
+                // correlated first draws.
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let g = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&g));
+        }
+    }
+
+    #[test]
+    fn floats_fill_the_range_uniformly() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "frac {frac}");
+    }
+}
