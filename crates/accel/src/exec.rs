@@ -223,6 +223,7 @@ impl Accelerator {
                     nbin_offset = offset;
                     let bytes = (len * self.cfg.neuron_bytes) as u64;
                     stats.dram_read_bytes += bytes;
+                    stats.nbin_peak_bytes = stats.nbin_peak_bytes.max(bytes);
                     pending_load += self.dram.stream_cycles(bytes);
                 }
                 Instruction::LoadIndex { group, len, .. } => {
@@ -307,6 +308,11 @@ impl Accelerator {
             }
         }
         stats.cycles = sched.finish() + self.dram.latency_cycles;
+        // Busy/stall split for the telemetry layer: cycles the pipeline
+        // computed vs. cycles exposed waiting on memory (including the
+        // fixed DRAM latency, which no compute hides).
+        stats.compute_busy_cycles = sched.compute_busy_cycles();
+        stats.dram_stall_cycles = stats.cycles.saturating_sub(stats.compute_busy_cycles);
         Ok(RunResult { outputs, stats })
     }
 }
@@ -406,6 +412,46 @@ mod tests {
         assert_eq!(run.stats.dram_write_bytes, 64);
         assert!(run.stats.cycles > 0);
         assert!(run.stats.wdm_decodes > 0);
+    }
+
+    #[test]
+    fn stats_split_cycles_into_compute_and_dram_stall() {
+        let l = layer(256, 32, 0.25, 11);
+        let acc = Accelerator::new(AccelConfig::paper_default());
+        let x = input(256, 3);
+        let run = acc.run_layer(&l, &x, Activation::None).unwrap();
+        let s = run.stats;
+        assert!(s.compute_busy_cycles > 0);
+        assert_eq!(
+            s.compute_busy_cycles + s.dram_stall_cycles,
+            s.cycles,
+            "busy + stall covers the elapsed cycles exactly"
+        );
+        // One 256-neuron layer fits a single NBin tile.
+        assert_eq!(s.nbin_peak_bytes, (256 * acc.config().neuron_bytes) as u64);
+    }
+
+    #[test]
+    fn network_breakdown_accumulates_and_occupancy_peaks() {
+        let l1 = layer(128, 64, 0.3, 3);
+        let l2 = layer(64, 32, 0.4, 4);
+        let acc = Accelerator::new(AccelConfig::paper_default());
+        let x = input(128, 5);
+        let run = acc
+            .run_network(
+                &[
+                    (l1.clone(), Activation::Relu),
+                    (l2.clone(), Activation::None),
+                ],
+                &x,
+            )
+            .unwrap();
+        let solo1 = acc.run_layer(&l1, &x, Activation::Relu).unwrap();
+        assert!(run.stats.compute_busy_cycles > solo1.stats.compute_busy_cycles);
+        assert_eq!(
+            run.stats.nbin_peak_bytes, solo1.stats.nbin_peak_bytes,
+            "the wider first layer sets the occupancy peak"
+        );
     }
 
     #[test]

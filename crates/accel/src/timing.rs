@@ -258,6 +258,11 @@ pub fn simulate_layer_with(cfg: &AccelConfig, layer: &LayerTiming, dram: &DramMo
         nsm_selections: (layer.positions * groups * needed) as u64,
         ssm_selections: macs,
         wdm_decodes: (layer.positions * layer.n_out * static_surv) as u64,
+        compute_busy_cycles: sched.compute_busy_cycles(),
+        dram_stall_cycles: cycles.saturating_sub(sched.compute_busy_cycles()),
+        // The streamed input is split evenly over the virtual tiles;
+        // NBin holds one tile at a time.
+        nbin_peak_bytes: in_bytes.div_ceil(tiles),
     };
     TimingRun {
         stats,

@@ -82,6 +82,9 @@ pub fn simulate_layer(layer: &LayerTiming) -> TimingRun {
             nsm_selections: 0,
             ssm_selections: 0,
             wdm_decodes: 0,
+            compute_busy_cycles: sched.compute_busy_cycles(),
+            dram_stall_cycles: cycles.saturating_sub(sched.compute_busy_cycles()),
+            nbin_peak_bytes: in_bytes.div_ceil(tiles),
         },
         compute_cycles,
         dma_cycles: load_cycles + store_cycles,

@@ -6,15 +6,41 @@
 //! (each worker models one Cambricon-S accelerator), which must scale
 //! with the worker count once the offered load saturates the pool.
 //!
+//! `--metrics-out <path>` additionally threads a telemetry registry
+//! through every operating point and writes the accumulated metrics
+//! (queue waits, batch sizes, compute/DRAM-stall cycles, worker
+//! busy/idle time, …) as JSONL, one series per line.
+//!
 //! ```text
 //! cargo run --release -p cs-bench --bin exp_serve_load -- --scale 4
 //! cargo run --release -p cs-bench --bin exp_serve_load -- --quick
+//! cargo run --release -p cs-bench --bin exp_serve_load -- --quick --metrics-out serve_metrics.jsonl
 //! ```
 
-use cs_serve::loadgen::{run_sweep, SweepConfig};
+use std::sync::Arc;
+
+use cs_serve::loadgen::{run_sweep_with_recorder, SweepConfig};
+use cs_serve::{Recorder, Registry};
+
+fn metrics_out_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            match args.next() {
+                Some(path) => return Some(path.into()),
+                None => {
+                    eprintln!("error: --metrics-out requires a path");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    None
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let metrics_out = metrics_out_path();
     let cfg = SweepConfig {
         scale: cs_bench::scale_from_args(),
         seed: cs_bench::SEED,
@@ -24,7 +50,8 @@ fn main() {
         max_batches: if quick { vec![8] } else { vec![1, 8] },
         ..SweepConfig::default()
     };
-    let report = match run_sweep(&cfg) {
+    let registry = Arc::new(Registry::new());
+    let report = match run_sweep_with_recorder(&cfg, registry.clone()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("serve load sweep failed: {e}");
@@ -33,6 +60,16 @@ fn main() {
     };
     println!("Serving saturation sweep ({} requests/point)", cfg.requests);
     println!("{}", report.render());
+    if let Some(path) = metrics_out {
+        let jsonl = registry.jsonl().unwrap_or_default();
+        match std::fs::write(&path, jsonl) {
+            Ok(()) => println!("telemetry written to {}", path.display()),
+            Err(e) => {
+                eprintln!("writing {} failed: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
     match report.scaling(1, 4) {
         Some(s) => {
             println!("1 -> 4 worker hardware throughput scaling at saturation: {s:.2}x");

@@ -1,0 +1,43 @@
+//! Runnable version of the README "Observability" snippet: start a
+//! server with a retaining `Registry`, push a little traffic through
+//! it, and print the Prometheus-style `/metrics` page.
+//!
+//! ```text
+//! cargo run --release -p cs-serve --example metrics_dump
+//! ```
+
+use std::sync::Arc;
+
+use cs_nn::spec::Scale;
+use cs_serve::{
+    InferRequest, ModelRegistry, MonotonicClock, Registry, ServableModel, ServeConfig, Server,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ServableModel::mlp(Scale::Reduced(8), 20181020)?;
+    let n_in = model.n_in;
+    let mut registry = ModelRegistry::new();
+    registry.register(model)?;
+
+    let metrics = Arc::new(Registry::new());
+    let server = Server::start_with_recorder(
+        registry,
+        ServeConfig::default(),
+        Arc::new(MonotonicClock::new()),
+        metrics.clone(),
+    )?;
+
+    let tickets: Vec<_> = (0..16)
+        .map(|i| server.submit(InferRequest::new("mlp", vec![0.25 * i as f32; n_in])))
+        .collect::<Result<_, _>>()?;
+    for t in tickets {
+        t.wait()?;
+    }
+    let text = server
+        .metrics_text()
+        .expect("started with a retaining recorder");
+    server.shutdown();
+
+    print!("{text}");
+    Ok(())
+}

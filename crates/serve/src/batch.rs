@@ -37,6 +37,32 @@ impl BatchPolicy {
     }
 }
 
+/// Why a batch was closed — the batch-formation telemetry splits its
+/// histograms by this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The batch reached `max_batch` items.
+    Size,
+    /// The batch's `max_wait_us` deadline expired.
+    Deadline,
+    /// An arrival for a different model evicted the open batch.
+    ModelSwitch,
+    /// Shutdown drain flushed the partial batch.
+    Flush,
+}
+
+impl CloseReason {
+    /// Stable lowercase name, used as a metric label value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CloseReason::Size => "size",
+            CloseReason::Deadline => "deadline",
+            CloseReason::ModelSwitch => "model_switch",
+            CloseReason::Flush => "flush",
+        }
+    }
+}
+
 /// A closed batch ready for dispatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Batch<T> {
@@ -46,6 +72,8 @@ pub struct Batch<T> {
     pub items: Vec<T>,
     /// Clock reading when the batch was opened.
     pub opened_us: u64,
+    /// Which rule closed the batch.
+    pub reason: CloseReason,
 }
 
 /// The dynamic batcher: accumulates same-model items until the size or
@@ -83,7 +111,7 @@ impl<T> Batcher<T> {
         }
     }
 
-    fn close(&mut self) -> Option<Batch<T>> {
+    fn close(&mut self, reason: CloseReason) -> Option<Batch<T>> {
         if self.items.is_empty() {
             return None;
         }
@@ -91,6 +119,7 @@ impl<T> Batcher<T> {
             model: self.model,
             items: std::mem::take(&mut self.items),
             opened_us: self.opened_us,
+            reason,
         })
     }
 
@@ -101,7 +130,7 @@ impl<T> Batcher<T> {
     pub fn offer(&mut self, model: usize, item: T, now_us: u64) -> Vec<Batch<T>> {
         let mut out = Vec::new();
         if !self.items.is_empty() && self.model != model {
-            out.extend(self.close());
+            out.extend(self.close(CloseReason::ModelSwitch));
         }
         if self.items.is_empty() {
             self.model = model;
@@ -109,7 +138,7 @@ impl<T> Batcher<T> {
         }
         self.items.push(item);
         if self.items.len() >= self.policy.max_batch {
-            out.extend(self.close());
+            out.extend(self.close(CloseReason::Size));
         }
         out
     }
@@ -117,14 +146,14 @@ impl<T> Batcher<T> {
     /// Closes the open batch if its deadline has passed.
     pub fn poll(&mut self, now_us: u64) -> Option<Batch<T>> {
         match self.deadline_us() {
-            Some(deadline) if now_us >= deadline => self.close(),
+            Some(deadline) if now_us >= deadline => self.close(CloseReason::Deadline),
             _ => None,
         }
     }
 
     /// Unconditionally closes the open batch (shutdown drain).
     pub fn flush(&mut self) -> Option<Batch<T>> {
-        self.close()
+        self.close(CloseReason::Flush)
     }
 }
 
@@ -148,6 +177,7 @@ mod tests {
         assert_eq!(closed.len(), 1);
         assert_eq!(closed[0].items, vec!["a", "b", "c"]);
         assert_eq!(closed[0].opened_us, 0);
+        assert_eq!(closed[0].reason, CloseReason::Size);
         assert_eq!(b.pending(), 0);
     }
 
@@ -159,6 +189,7 @@ mod tests {
         assert!(b.poll(599).is_none());
         let closed = b.poll(600).unwrap();
         assert_eq!(closed.items, vec![1]);
+        assert_eq!(closed.reason, CloseReason::Deadline);
         assert!(b.poll(10_000).is_none(), "nothing pending after close");
     }
 
@@ -171,6 +202,7 @@ mod tests {
         assert_eq!(closed.len(), 1);
         assert_eq!(closed[0].model, 0);
         assert_eq!(closed[0].items, vec!["m0-a", "m0-b"]);
+        assert_eq!(closed[0].reason, CloseReason::ModelSwitch);
         assert_eq!(b.pending(), 1);
         assert_eq!(b.deadline_us(), Some(520));
     }
@@ -191,6 +223,7 @@ mod tests {
         let f = b.flush().unwrap();
         assert_eq!(f.model, 3);
         assert_eq!(f.items, vec![1, 2]);
+        assert_eq!(f.reason, CloseReason::Flush);
         assert!(b.flush().is_none());
     }
 

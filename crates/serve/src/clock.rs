@@ -1,108 +1,7 @@
 //! Injectable monotonic time source.
 //!
-//! The stats layer never calls `Instant::now()` directly: it reads time
-//! through a [`Clock`], so latency percentiles and throughput figures
-//! can be tested deterministically with a [`ManualClock`] and driven by
-//! a [`MonotonicClock`] in production.
+//! The clock abstraction now lives in `cs-telemetry` so the serving
+//! runtime and the metrics layer share one notion of time; this module
+//! re-exports it to keep `cs_serve::clock::*` paths working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
-
-/// A monotonic microsecond counter.
-///
-/// Implementations must be monotonic (never run backwards) and safe to
-/// read from any thread.
-pub trait Clock: Send + Sync {
-    /// Microseconds elapsed since the clock's origin.
-    fn now_us(&self) -> u64;
-}
-
-/// Wall-clock implementation backed by [`Instant`].
-#[derive(Debug)]
-pub struct MonotonicClock {
-    origin: Instant,
-}
-
-impl MonotonicClock {
-    /// A clock whose origin is the moment of construction.
-    pub fn new() -> Self {
-        MonotonicClock {
-            origin: Instant::now(),
-        }
-    }
-}
-
-impl Default for MonotonicClock {
-    fn default() -> Self {
-        MonotonicClock::new()
-    }
-}
-
-impl Clock for MonotonicClock {
-    fn now_us(&self) -> u64 {
-        // u64 microseconds cover ~584k years of uptime; the truncation
-        // can never fire in practice.
-        self.origin.elapsed().as_micros() as u64
-    }
-}
-
-/// Hand-advanced clock for deterministic tests.
-///
-/// Time only moves when [`ManualClock::advance`] or [`ManualClock::set`]
-/// is called, so a test controls exactly what latency every sample gets.
-#[derive(Debug, Default)]
-pub struct ManualClock {
-    us: AtomicU64,
-}
-
-impl ManualClock {
-    /// A manual clock starting at `start_us`.
-    pub fn new(start_us: u64) -> Self {
-        ManualClock {
-            us: AtomicU64::new(start_us),
-        }
-    }
-
-    /// Moves the clock forward by `delta_us`.
-    pub fn advance(&self, delta_us: u64) {
-        self.us.fetch_add(delta_us, Ordering::SeqCst);
-    }
-
-    /// Jumps the clock to an absolute time. Saturates monotonically: a
-    /// target earlier than the current reading is ignored.
-    pub fn set(&self, us: u64) {
-        self.us.fetch_max(us, Ordering::SeqCst);
-    }
-}
-
-impl Clock for ManualClock {
-    fn now_us(&self) -> u64 {
-        self.us.load(Ordering::SeqCst)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn manual_clock_advances_and_never_rewinds() {
-        let c = ManualClock::new(100);
-        assert_eq!(c.now_us(), 100);
-        c.advance(50);
-        assert_eq!(c.now_us(), 150);
-        c.set(40);
-        assert_eq!(c.now_us(), 150, "set must not rewind");
-        c.set(400);
-        assert_eq!(c.now_us(), 400);
-    }
-
-    #[test]
-    fn monotonic_clock_moves_forward() {
-        let c = MonotonicClock::new();
-        let a = c.now_us();
-        std::thread::sleep(std::time::Duration::from_millis(2));
-        let b = c.now_us();
-        assert!(b > a);
-    }
-}
+pub use cs_telemetry::clock::{Clock, ManualClock, MonotonicClock};

@@ -50,7 +50,9 @@ pub mod model;
 pub mod server;
 pub mod stats;
 
+pub use batch::CloseReason;
 pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use cs_telemetry::{NoopRecorder, Recorder, Registry};
 pub use error::ServeError;
 pub use model::{ModelRegistry, ServableModel};
 pub use server::{InferRequest, InferResponse, ServeConfig, Server, Ticket};

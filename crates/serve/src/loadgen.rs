@@ -11,9 +11,12 @@
 //! time. That is the figure that scales with the worker count.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cs_nn::spec::Scale;
+use cs_telemetry::{NoopRecorder, Recorder};
 
+use crate::clock::MonotonicClock;
 use crate::error::ServeError;
 use crate::model::{ModelRegistry, ServableModel};
 use crate::server::{InferRequest, ServeConfig, Server};
@@ -200,9 +203,33 @@ pub fn run_point(
     requests: usize,
     seed: u64,
 ) -> Result<LoadPoint, ServeError> {
+    run_point_with_recorder(model, cfg, clients, requests, seed, Arc::new(NoopRecorder))
+}
+
+/// [`run_point`] with a telemetry recorder threaded into the server.
+/// Passing the same [`cs_telemetry::Registry`] across points makes its
+/// metrics accumulate over the whole sweep (series are re-resolved by
+/// name, not re-created).
+///
+/// # Errors
+///
+/// Same conditions as [`run_point`].
+pub fn run_point_with_recorder(
+    model: &ServableModel,
+    cfg: &ServeConfig,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+    recorder: Arc<dyn Recorder>,
+) -> Result<LoadPoint, ServeError> {
     let mut registry = ModelRegistry::new();
     registry.register(model.clone())?;
-    let server = Server::start(registry, cfg.clone())?;
+    let server = Server::start_with_recorder(
+        registry,
+        cfg.clone(),
+        Arc::new(MonotonicClock::new()),
+        recorder,
+    )?;
     let name = model.name.clone();
     let n_in = model.n_in;
     let retries = AtomicU64::new(0);
@@ -272,6 +299,19 @@ pub fn run_point(
 ///
 /// Propagates model-compilation and per-point failures.
 pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, ServeError> {
+    run_sweep_with_recorder(cfg, Arc::new(NoopRecorder))
+}
+
+/// [`run_sweep`] with a telemetry recorder shared by every operating
+/// point, so the recorder's metrics cover the whole sweep.
+///
+/// # Errors
+///
+/// Propagates model-compilation and per-point failures.
+pub fn run_sweep_with_recorder(
+    cfg: &SweepConfig,
+    recorder: Arc<dyn Recorder>,
+) -> Result<SweepReport, ServeError> {
     let model = ServableModel::mlp(cfg.scale, cfg.seed)?;
     let mut points = Vec::new();
     for &clients in &cfg.clients {
@@ -285,12 +325,13 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, ServeError> {
                     emulate_hw_time: cfg.emulate_hw_time,
                     freq_ghz: cfg.freq_ghz,
                 };
-                points.push(run_point(
+                points.push(run_point_with_recorder(
                     &model,
                     &serve_cfg,
                     clients,
                     cfg.requests,
                     cfg.seed,
+                    Arc::clone(&recorder),
                 )?);
             }
         }

@@ -31,6 +31,7 @@ use cs_accel::exec::Accelerator;
 use cs_accel::AccelConfig;
 use cs_energy::energy::energy_cambricon_s;
 use cs_energy::EnergyModel;
+use cs_telemetry::{NoopRecorder, Recorder};
 
 use crate::batch::{Batch, BatchPolicy, Batcher};
 use crate::clock::{Clock, MonotonicClock};
@@ -189,6 +190,7 @@ pub struct Server {
     registry: Arc<ModelRegistry>,
     cfg: ServeConfig,
     stats: Arc<ServeStats>,
+    recorder: Arc<dyn Recorder>,
     queue: Option<SyncSender<Job>>,
     shutting_down: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
@@ -224,6 +226,25 @@ impl Server {
         cfg: ServeConfig,
         clock: Arc<dyn Clock>,
     ) -> Result<Server, ServeError> {
+        Server::start_with_recorder(registry, cfg, clock, Arc::new(NoopRecorder))
+    }
+
+    /// Starts the server with an injected clock and telemetry recorder.
+    /// Every request-path event (admission, queue wait, batch close,
+    /// worker busy/idle, per-request hardware breakdown) registers and
+    /// feeds metrics on `recorder`; pass a [`cs_telemetry::Registry`]
+    /// and read them back via [`Server::metrics_text`] /
+    /// [`Server::metrics_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configs and an empty registry.
+    pub fn start_with_recorder(
+        registry: ModelRegistry,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<Server, ServeError> {
         cfg.validate()?;
         if registry.is_empty() {
             return Err(ServeError::InvalidConfig(
@@ -231,7 +252,12 @@ impl Server {
             ));
         }
         let registry = Arc::new(registry);
-        let stats = Arc::new(ServeStats::new(Arc::clone(&clock), cfg.workers));
+        let stats = Arc::new(ServeStats::with_recorder(
+            Arc::clone(&clock),
+            cfg.workers,
+            recorder.as_ref(),
+            cfg.max_batch,
+        ));
         let shutting_down = Arc::new(AtomicBool::new(false));
 
         let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
@@ -268,6 +294,7 @@ impl Server {
             registry,
             cfg,
             stats,
+            recorder,
             queue: Some(queue_tx),
             shutting_down,
             threads,
@@ -286,9 +313,14 @@ impl Server {
                 let mut batcher: Batcher<Job> = Batcher::new(policy);
                 let mut next_worker = 0usize;
                 let mut dispatch = |batch: Batch<Job>| {
-                    stats.record_batch(batch.items.len());
-                    for _ in 0..batch.items.len() {
-                        stats.record_dequeue();
+                    let now = stats.now_us();
+                    stats.record_batch(
+                        batch.items.len(),
+                        now.saturating_sub(batch.opened_us),
+                        batch.reason,
+                    );
+                    for job in &batch.items {
+                        stats.record_dequeue(now.saturating_sub(job.submit_us));
                     }
                     // Round-robin assignment; a send error means that
                     // worker is gone, so its jobs are dropped and the
@@ -354,69 +386,85 @@ impl Server {
         let freq_ghz = cfg.freq_ghz;
         std::thread::Builder::new()
             .name(format!("cs-serve-worker-{worker_id}"))
-            .spawn(move || loop {
-                let batch = match batch_rx.recv() {
-                    Ok(batch) => batch,
-                    Err(_) => break,
-                };
-                let batch_size = batch.items.len();
-                let model = match models.get(batch.model) {
-                    Some(m) => Arc::clone(m),
-                    None => {
-                        // Admission resolved the index against the same
-                        // registry, so this is unreachable; answer the
-                        // requests rather than asserting.
-                        for job in batch.items {
-                            let _ = job
-                                .reply
-                                .send(Err(ServeError::UnknownModel(format!("#{}", batch.model))));
-                            stats.record_failure();
+            .spawn(move || {
+                // Lane accounting: time between batches is idle, time
+                // spent executing one is busy; both accumulate into
+                // the per-worker telemetry counters.
+                let mut lane_mark = stats.now_us();
+                loop {
+                    let batch = match batch_rx.recv() {
+                        Ok(batch) => batch,
+                        Err(_) => break,
+                    };
+                    let busy_from = stats.now_us();
+                    let batch_size = batch.items.len();
+                    let model = match models.get(batch.model) {
+                        Some(m) => Arc::clone(m),
+                        None => {
+                            // Admission resolved the index against the
+                            // same registry, so this is unreachable;
+                            // answer the requests rather than asserting.
+                            for job in batch.items {
+                                let _ = job.reply.send(Err(ServeError::UnknownModel(format!(
+                                    "#{}",
+                                    batch.model
+                                ))));
+                                stats.record_failure();
+                            }
+                            continue;
                         }
-                        continue;
+                    };
+                    let mut results = Vec::with_capacity(batch_size);
+                    let mut batch_cycles = 0u64;
+                    for job in batch.items {
+                        match accel.run_network(&model.layers, &job.input) {
+                            Ok(run) => {
+                                let cycles = run.stats.cycles;
+                                let energy_pj =
+                                    energy_cambricon_s(&run.stats, &energy_model).total_pj();
+                                batch_cycles += cycles;
+                                stats.record_request_hw(&run.stats);
+                                results.push((job, Ok((run.outputs, cycles, energy_pj))));
+                            }
+                            Err(e) => results.push((job, Err(ServeError::Accel(e)))),
+                        }
                     }
-                };
-                let mut results = Vec::with_capacity(batch_size);
-                let mut batch_cycles = 0u64;
-                for job in batch.items {
-                    match accel.run_network(&model.layers, &job.input) {
-                        Ok(run) => {
-                            let cycles = run.stats.cycles;
-                            let energy_pj =
-                                energy_cambricon_s(&run.stats, &energy_model).total_pj();
-                            batch_cycles += cycles;
-                            results.push((job, Ok((run.outputs, cycles, energy_pj))));
-                        }
-                        Err(e) => results.push((job, Err(ServeError::Accel(e)))),
+                    if emulate && batch_cycles > 0 {
+                        // One accelerator serves the whole batch
+                        // serially: sleep out its simulated busy time so
+                        // wall-clock behaviour matches the modeled
+                        // hardware.
+                        let ns = batch_cycles as f64 / freq_ghz;
+                        std::thread::sleep(Duration::from_nanos(ns as u64));
                     }
-                }
-                if emulate && batch_cycles > 0 {
-                    // One accelerator serves the whole batch serially:
-                    // sleep out its simulated busy time so wall-clock
-                    // behaviour matches the modeled hardware.
-                    let ns = batch_cycles as f64 / freq_ghz;
-                    std::thread::sleep(Duration::from_nanos(ns as u64));
-                }
-                let done_us = stats.now_us();
-                for (job, result) in results {
-                    match result {
-                        Ok((outputs, cycles, energy_pj)) => {
-                            let latency_us = done_us.saturating_sub(job.submit_us);
-                            stats.record_done(worker_id, latency_us, cycles, energy_pj);
-                            // The client may have dropped its ticket;
-                            // that is its prerogative, not an error.
-                            let _ = job.reply.send(Ok(InferResponse {
-                                model: model.name.clone(),
-                                outputs,
-                                cycles,
-                                energy_pj,
-                                batch_size,
-                                worker: worker_id,
-                                latency_us,
-                            }));
-                        }
-                        Err(e) => {
-                            stats.record_failure();
-                            let _ = job.reply.send(Err(e));
+                    let done_us = stats.now_us();
+                    stats.record_worker_lane(
+                        worker_id,
+                        busy_from.saturating_sub(lane_mark),
+                        done_us.saturating_sub(busy_from),
+                    );
+                    lane_mark = done_us;
+                    for (job, result) in results {
+                        match result {
+                            Ok((outputs, cycles, energy_pj)) => {
+                                let latency_us = done_us.saturating_sub(job.submit_us);
+                                stats.record_done(worker_id, latency_us, cycles, energy_pj);
+                                // The client may have dropped its ticket;
+                                // that is its prerogative, not an error.
+                                let _ = job.reply.send(Ok(InferResponse {
+                                    model: model.name.clone(),
+                                    outputs,
+                                    cycles,
+                                    energy_pj,
+                                    batch_size,
+                                    worker: worker_id,
+                                    latency_us,
+                                }));
+                            }
+                            Err(e) => {
+                                stats.record_failure();
+                                let _ = job.reply.send(Err(e));
+                            }
                         }
                     }
                 }
@@ -485,6 +533,19 @@ impl Server {
     /// Current statistics snapshot.
     pub fn stats(&self) -> ServeSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Prometheus text-format dump of the server's telemetry — the
+    /// `/metrics`-page equivalent. `None` when the server was started
+    /// without a retaining recorder (the no-op default).
+    pub fn metrics_text(&self) -> Option<String> {
+        self.recorder.prometheus_text()
+    }
+
+    /// JSONL dump of the server's telemetry (one series per line).
+    /// `None` when the server was started without a retaining recorder.
+    pub fn metrics_jsonl(&self) -> Option<String> {
+        self.recorder.jsonl()
     }
 
     /// The server's configuration.
@@ -651,6 +712,89 @@ mod tests {
             assert!(Server::start(reg_fresh, cfg).is_err());
         }
         assert!(Server::start(reg, ServeConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn recorder_metrics_reconcile_with_the_snapshot() {
+        use crate::clock::ManualClock;
+        use cs_telemetry::Registry;
+        let (reg, model) = mlp_registry();
+        let registry = Arc::new(Registry::new());
+        let clock = Arc::new(ManualClock::new(0));
+        let cfg = ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            // The manual clock never moves, so a zero deadline makes
+            // every batch close promptly instead of waiting for time
+            // that never passes.
+            max_wait_us: 0,
+            ..ServeConfig::default()
+        };
+        let server = Server::start_with_recorder(reg, cfg, clock, registry.clone()).expect("start");
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| {
+                server
+                    .submit(InferRequest::new("mlp", input_for(&model, i)))
+                    .expect("submit")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("response");
+        }
+        let text = server.metrics_text().expect("registry retains state");
+        let jsonl = server.metrics_jsonl().expect("registry retains state");
+        let snap = server.shutdown();
+
+        let counter = |name| registry.find_counter(name, &[]).unwrap().get();
+        assert_eq!(counter("serve_requests_submitted_total"), snap.submitted);
+        assert_eq!(counter("serve_requests_completed_total"), snap.completed);
+        assert_eq!(counter("serve_requests_failed_total"), 0);
+
+        // The per-request hardware breakdown reconciles exactly with
+        // the snapshot's cycle total: compute + DRAM stall = cycles.
+        let compute = registry
+            .find_histogram("serve_request_compute_cycles", &[])
+            .unwrap();
+        let stall = registry
+            .find_histogram("serve_request_dram_stall_cycles", &[])
+            .unwrap();
+        assert_eq!(compute.sum() + stall.sum(), snap.total_cycles);
+
+        // Same rank rule on both sides: quantiles agree (all-zero
+        // latencies under the frozen clock make them trivially exact,
+        // and the count reconciliation is the strong check).
+        let lat = registry
+            .find_histogram("serve_request_latency_us", &[])
+            .unwrap();
+        assert_eq!(lat.count(), snap.completed);
+        assert_eq!(lat.quantile(0.50), snap.p50_us);
+        assert_eq!(lat.quantile(0.95), snap.p95_us);
+        assert_eq!(lat.quantile(0.99), snap.p99_us);
+
+        // Batch-size histogram matches the snapshot's exactly.
+        let bs = registry.find_histogram("serve_batch_size", &[]).unwrap();
+        assert_eq!(
+            bs.count(),
+            snap.batch_hist.iter().map(|(_, n)| n).sum::<u64>()
+        );
+        assert_eq!(
+            bs.sum(),
+            snap.batch_hist
+                .iter()
+                .map(|(s, n)| *s as u64 * n)
+                .sum::<u64>()
+        );
+
+        assert!(text.contains("serve_requests_completed_total 6"));
+        assert!(jsonl.contains("serve_request_latency_us"));
+    }
+
+    #[test]
+    fn default_server_has_no_metrics_dump() {
+        let (reg, _) = mlp_registry();
+        let server = Server::start(reg, ServeConfig::default()).expect("start");
+        assert!(server.metrics_text().is_none());
+        assert!(server.metrics_jsonl().is_none());
     }
 
     #[test]

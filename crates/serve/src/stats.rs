@@ -5,10 +5,24 @@
 //! `Instant::now()`, so every figure in a [`ServeSnapshot`] — including
 //! the percentiles — is reproducible in tests with a
 //! [`crate::clock::ManualClock`].
+//!
+//! Every `record_*` event additionally feeds a set of
+//! [`cs_telemetry`] handles registered against the recorder passed to
+//! [`ServeStats::with_recorder`]. The default recorder is a
+//! [`NoopRecorder`], whose handles discard updates, so the snapshot
+//! path is unchanged for callers that never ask for metrics. The
+//! snapshot percentiles and the telemetry histograms share one rank
+//! rule ([`cs_telemetry::rank_for_quantile`]), so they agree exactly
+//! whenever latencies land on histogram bucket bounds.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use cs_sim::SimStats;
+use cs_telemetry::{buckets, label, percentile_of_sorted, Counter, Gauge, Histogram};
+use cs_telemetry::{Labels, NoopRecorder, Recorder};
+
+use crate::batch::CloseReason;
 use crate::clock::Clock;
 
 /// Hard cap on retained latency samples; past this the recorder keeps
@@ -38,6 +52,158 @@ struct StatsInner {
     worker_busy_cycles: Vec<u64>,
 }
 
+/// Telemetry handles for every serving-path event, fetched once at
+/// startup (registration locks; updates are lock-free atomics).
+#[derive(Debug, Clone)]
+struct ServeMetrics {
+    submitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    failed: Counter,
+    queue_depth: Gauge,
+    queue_wait_us: Histogram,
+    batch_size: Histogram,
+    batch_wait_us: Histogram,
+    /// Indexed by [`CloseReason`] discriminant order.
+    batch_close: [Counter; 4],
+    latency_us: Histogram,
+    compute_cycles: Histogram,
+    dram_stall_cycles: Histogram,
+    nbin_peak_bytes: Gauge,
+    energy_pj: Counter,
+    worker_busy_us: Vec<Counter>,
+    worker_idle_us: Vec<Counter>,
+    worker_busy_cycles: Vec<Counter>,
+}
+
+impl ServeMetrics {
+    fn new(rec: &dyn Recorder, workers: usize, max_batch: usize) -> Self {
+        let close = |reason: CloseReason| {
+            rec.counter(
+                "serve_batch_close_total",
+                "Batches closed, by closing rule",
+                label("reason", reason.as_str()),
+            )
+        };
+        ServeMetrics {
+            submitted: rec.counter(
+                "serve_requests_submitted_total",
+                "Requests admitted into the queue",
+                Labels::new(),
+            ),
+            rejected: rec.counter(
+                "serve_requests_rejected_total",
+                "Requests rejected with Overloaded",
+                Labels::new(),
+            ),
+            completed: rec.counter(
+                "serve_requests_completed_total",
+                "Requests answered successfully",
+                Labels::new(),
+            ),
+            failed: rec.counter(
+                "serve_requests_failed_total",
+                "Requests answered with an error",
+                Labels::new(),
+            ),
+            queue_depth: rec.gauge(
+                "serve_queue_depth",
+                "Requests admitted but not yet batched",
+                Labels::new(),
+            ),
+            queue_wait_us: rec.histogram(
+                "serve_queue_wait_us",
+                "Enqueue-to-dequeue wait per request",
+                Labels::new(),
+                &buckets::duration_us(),
+            ),
+            batch_size: rec.histogram(
+                "serve_batch_size",
+                "Requests per closed batch",
+                Labels::new(),
+                &buckets::exact(max_batch.max(1) as u64),
+            ),
+            batch_wait_us: rec.histogram(
+                "serve_batch_wait_us",
+                "Open-to-close wait per batch",
+                Labels::new(),
+                &buckets::duration_us(),
+            ),
+            batch_close: [
+                close(CloseReason::Size),
+                close(CloseReason::Deadline),
+                close(CloseReason::ModelSwitch),
+                close(CloseReason::Flush),
+            ],
+            latency_us: rec.histogram(
+                "serve_request_latency_us",
+                "End-to-end latency per completed request",
+                Labels::new(),
+                &buckets::duration_us(),
+            ),
+            compute_cycles: rec.histogram(
+                "serve_request_compute_cycles",
+                "Simulated NFU-busy cycles per request",
+                Labels::new(),
+                &buckets::cycles(),
+            ),
+            dram_stall_cycles: rec.histogram(
+                "serve_request_dram_stall_cycles",
+                "Simulated cycles stalled on DRAM per request",
+                Labels::new(),
+                &buckets::cycles(),
+            ),
+            nbin_peak_bytes: rec.gauge(
+                "serve_nbin_peak_bytes",
+                "Peak NBin occupancy over served requests",
+                Labels::new(),
+            ),
+            energy_pj: rec.counter(
+                "serve_energy_pj_total",
+                "Simulated energy across completed requests (pJ)",
+                Labels::new(),
+            ),
+            worker_busy_us: (0..workers)
+                .map(|w| {
+                    rec.counter(
+                        "serve_worker_busy_us",
+                        "Wall-clock time spent executing batches",
+                        label("worker", w),
+                    )
+                })
+                .collect(),
+            worker_idle_us: (0..workers)
+                .map(|w| {
+                    rec.counter(
+                        "serve_worker_idle_us",
+                        "Wall-clock time spent waiting for batches",
+                        label("worker", w),
+                    )
+                })
+                .collect(),
+            worker_busy_cycles: (0..workers)
+                .map(|w| {
+                    rec.counter(
+                        "serve_worker_busy_cycles",
+                        "Simulated accelerator cycles executed",
+                        label("worker", w),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn close_counter(&self, reason: CloseReason) -> &Counter {
+        let idx = match reason {
+            CloseReason::Size => 0,
+            CloseReason::Deadline => 1,
+            CloseReason::ModelSwitch => 2,
+            CloseReason::Flush => 3,
+        };
+        &self.batch_close[idx]
+    }
+}
+
 /// Shared, thread-safe statistics recorder.
 ///
 /// The admission path, the batcher and every worker hold an `Arc` of
@@ -47,6 +213,7 @@ pub struct ServeStats {
     clock: Arc<dyn Clock>,
     start_us: u64,
     inner: Mutex<StatsInner>,
+    metrics: ServeMetrics,
 }
 
 impl std::fmt::Debug for ServeStats {
@@ -58,8 +225,21 @@ impl std::fmt::Debug for ServeStats {
 }
 
 impl ServeStats {
-    /// A recorder for `workers` worker threads, timed by `clock`.
+    /// A recorder for `workers` worker threads, timed by `clock`, with
+    /// telemetry discarded (no-op handles).
     pub fn new(clock: Arc<dyn Clock>, workers: usize) -> Self {
+        ServeStats::with_recorder(clock, workers, &NoopRecorder, 64)
+    }
+
+    /// A recorder whose events additionally feed telemetry handles
+    /// registered against `recorder`. `max_batch` sizes the exact
+    /// batch-size histogram (one bucket per size).
+    pub fn with_recorder(
+        clock: Arc<dyn Clock>,
+        workers: usize,
+        recorder: &dyn Recorder,
+        max_batch: usize,
+    ) -> Self {
         let start_us = clock.now_us();
         ServeStats {
             clock,
@@ -69,6 +249,7 @@ impl ServeStats {
                 worker_busy_cycles: vec![0; workers],
                 ..StatsInner::default()
             }),
+            metrics: ServeMetrics::new(recorder, workers, max_batch),
         }
     }
 
@@ -84,58 +265,106 @@ impl ServeStats {
 
     /// Records a request admitted into the queue.
     pub fn record_submit(&self) {
-        let mut g = lock_or_recover(&self.inner);
-        g.submitted += 1;
-        g.queue_depth += 1;
-        g.max_queue_depth = g.max_queue_depth.max(g.queue_depth);
+        {
+            let mut g = lock_or_recover(&self.inner);
+            g.submitted += 1;
+            g.queue_depth += 1;
+            g.max_queue_depth = g.max_queue_depth.max(g.queue_depth);
+        }
+        self.metrics.submitted.inc();
+        self.metrics.queue_depth.add(1);
     }
 
     /// Records a request rejected with `Overloaded`.
     pub fn record_reject(&self) {
         lock_or_recover(&self.inner).rejected += 1;
+        self.metrics.rejected.inc();
     }
 
-    /// Records a request leaving the queue for a batch.
-    pub fn record_dequeue(&self) {
-        let mut g = lock_or_recover(&self.inner);
-        g.queue_depth = g.queue_depth.saturating_sub(1);
+    /// Records a request leaving the queue for a batch after waiting
+    /// `wait_us` since admission.
+    pub fn record_dequeue(&self, wait_us: u64) {
+        {
+            let mut g = lock_or_recover(&self.inner);
+            g.queue_depth = g.queue_depth.saturating_sub(1);
+        }
+        self.metrics.queue_depth.sub(1);
+        self.metrics.queue_wait_us.observe(wait_us);
     }
 
-    /// Records a closed batch of `size` requests.
-    pub fn record_batch(&self, size: usize) {
+    /// Records a closed batch of `size` requests that stayed open for
+    /// `wait_us` and was closed by `reason`.
+    pub fn record_batch(&self, size: usize, wait_us: u64, reason: CloseReason) {
         *lock_or_recover(&self.inner)
             .batch_hist
             .entry(size)
             .or_insert(0) += 1;
+        self.metrics.batch_size.observe(size as u64);
+        self.metrics.batch_wait_us.observe(wait_us);
+        self.metrics.close_counter(reason).inc();
     }
 
     /// Records one completed request.
     pub fn record_done(&self, worker: usize, latency_us: u64, cycles: u64, energy_pj: f64) {
-        let mut g = lock_or_recover(&self.inner);
-        g.completed += 1;
-        g.total_cycles += cycles;
-        g.total_energy_pj += energy_pj;
-        if let Some(busy) = g.worker_busy_cycles.get_mut(worker) {
-            *busy += cycles;
+        {
+            let mut g = lock_or_recover(&self.inner);
+            g.completed += 1;
+            g.total_cycles += cycles;
+            g.total_energy_pj += energy_pj;
+            if let Some(busy) = g.worker_busy_cycles.get_mut(worker) {
+                *busy += cycles;
+            }
+            // Reservoir-ish decimation: once the buffer is full, keep
+            // every 2^k-th sample so percentiles stay representative
+            // while memory stays bounded.
+            if g.latencies_us.len() >= MAX_LATENCY_SAMPLES {
+                g.latencies_us = g.latencies_us.iter().copied().step_by(2).collect();
+                g.keep_every *= 2;
+            }
+            if g.latency_skip == 0 {
+                g.latencies_us.push(latency_us);
+                g.latency_skip = g.keep_every - 1;
+            } else {
+                g.latency_skip -= 1;
+            }
         }
-        // Reservoir-ish decimation: once the buffer is full, keep every
-        // 2^k-th sample so percentiles stay representative while memory
-        // stays bounded.
-        if g.latencies_us.len() >= MAX_LATENCY_SAMPLES {
-            g.latencies_us = g.latencies_us.iter().copied().step_by(2).collect();
-            g.keep_every *= 2;
+        self.metrics.completed.inc();
+        self.metrics.latency_us.observe(latency_us);
+        self.metrics.energy_pj.add(energy_pj.round() as u64);
+        if let Some(c) = self.metrics.worker_busy_cycles.get(worker) {
+            c.add(cycles);
         }
-        if g.latency_skip == 0 {
-            g.latencies_us.push(latency_us);
-            g.latency_skip = g.keep_every - 1;
-        } else {
-            g.latency_skip -= 1;
+    }
+
+    /// Records the simulated-hardware breakdown of one request: how the
+    /// accelerator's cycles split into compute vs DRAM stall, and the
+    /// peak NBin occupancy it reached.
+    pub fn record_request_hw(&self, sim: &SimStats) {
+        self.metrics.compute_cycles.observe(sim.compute_busy_cycles);
+        self.metrics
+            .dram_stall_cycles
+            .observe(sim.dram_stall_cycles);
+        // Gauge high-water mark tracks the peak across requests.
+        self.metrics
+            .nbin_peak_bytes
+            .set(sim.nbin_peak_bytes.min(i64::MAX as u64) as i64);
+    }
+
+    /// Records one worker-lane accounting sample: `idle_us` waiting for
+    /// a batch, then `busy_us` executing it.
+    pub fn record_worker_lane(&self, worker: usize, idle_us: u64, busy_us: u64) {
+        if let Some(c) = self.metrics.worker_idle_us.get(worker) {
+            c.add(idle_us);
+        }
+        if let Some(c) = self.metrics.worker_busy_us.get(worker) {
+            c.add(busy_us);
         }
     }
 
     /// Records one failed request (the worker returned an error).
     pub fn record_failure(&self) {
         lock_or_recover(&self.inner).failed += 1;
+        self.metrics.failed.inc();
     }
 
     /// Folds the counters into an immutable snapshot at the current
@@ -145,13 +374,6 @@ impl ServeStats {
         let g = lock_or_recover(&self.inner);
         let mut sorted = g.latencies_us.clone();
         sorted.sort_unstable();
-        let pct = |q: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
-            sorted[idx]
-        };
         let elapsed_us = now.saturating_sub(self.start_us);
         let completed = g.completed;
         let batches: u64 = g.batch_hist.values().sum();
@@ -164,9 +386,9 @@ impl ServeStats {
             failed: g.failed,
             queue_depth: g.queue_depth,
             max_queue_depth: g.max_queue_depth,
-            p50_us: pct(0.50),
-            p95_us: pct(0.95),
-            p99_us: pct(0.99),
+            p50_us: percentile_of_sorted(&sorted, 0.50),
+            p95_us: percentile_of_sorted(&sorted, 0.95),
+            p99_us: percentile_of_sorted(&sorted, 0.99),
             mean_latency_us: if sorted.is_empty() {
                 0.0
             } else {
@@ -293,6 +515,7 @@ impl ServeSnapshot {
 mod tests {
     use super::*;
     use crate::clock::ManualClock;
+    use cs_telemetry::Registry;
 
     #[test]
     fn percentiles_are_deterministic_under_a_manual_clock() {
@@ -300,7 +523,7 @@ mod tests {
         let stats = ServeStats::new(clock.clone(), 2);
         for latency in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 1000] {
             stats.record_submit();
-            stats.record_dequeue();
+            stats.record_dequeue(0);
             stats.record_done(0, latency, 50, 10.0);
         }
         clock.advance(1_000_000);
@@ -323,7 +546,7 @@ mod tests {
         stats.record_submit();
         stats.record_submit();
         stats.record_submit();
-        stats.record_dequeue();
+        stats.record_dequeue(5);
         let snap = stats.snapshot();
         assert_eq!(snap.queue_depth, 2);
         assert_eq!(snap.max_queue_depth, 3);
@@ -332,9 +555,9 @@ mod tests {
     #[test]
     fn batch_histogram_and_mean() {
         let stats = ServeStats::new(Arc::new(ManualClock::new(0)), 1);
-        stats.record_batch(1);
-        stats.record_batch(4);
-        stats.record_batch(4);
+        stats.record_batch(1, 0, CloseReason::Deadline);
+        stats.record_batch(4, 10, CloseReason::Size);
+        stats.record_batch(4, 20, CloseReason::Size);
         let snap = stats.snapshot();
         assert_eq!(snap.batch_hist, vec![(1, 1), (4, 2)]);
         assert!((snap.mean_batch - 3.0).abs() < 1e-9);
@@ -361,5 +584,113 @@ mod tests {
         assert_eq!(snap.mean_batch, 0.0);
         assert_eq!(snap.hw_rps(1.0), 0.0);
         assert!(snap.render().contains("requests"));
+    }
+
+    #[test]
+    fn recorder_sees_every_event_the_snapshot_sees() {
+        let registry = Registry::new();
+        let clock = Arc::new(ManualClock::new(0));
+        let stats = ServeStats::with_recorder(clock, 2, &registry, 8);
+        stats.record_submit();
+        stats.record_submit();
+        stats.record_reject();
+        stats.record_dequeue(40);
+        stats.record_dequeue(60);
+        stats.record_batch(2, 60, CloseReason::Size);
+        stats.record_done(0, 500, 1_000, 12.6);
+        stats.record_done(1, 700, 3_000, 7.4);
+        stats.record_failure();
+        let snap = stats.snapshot();
+
+        let counter = |name| registry.find_counter(name, &[]).unwrap().get();
+        assert_eq!(counter("serve_requests_submitted_total"), snap.submitted);
+        assert_eq!(counter("serve_requests_rejected_total"), snap.rejected);
+        assert_eq!(counter("serve_requests_completed_total"), snap.completed);
+        assert_eq!(counter("serve_requests_failed_total"), snap.failed);
+        assert_eq!(counter("serve_energy_pj_total"), 13 + 7);
+
+        let depth = registry.find_gauge("serve_queue_depth", &[]).unwrap();
+        assert_eq!(depth.get() as usize, snap.queue_depth);
+        assert_eq!(depth.max() as usize, snap.max_queue_depth);
+
+        let wait = registry.find_histogram("serve_queue_wait_us", &[]).unwrap();
+        assert_eq!(wait.count(), 2);
+        assert_eq!(wait.sum(), 100);
+
+        let size = registry.find_histogram("serve_batch_size", &[]).unwrap();
+        assert_eq!(size.count(), 1);
+        assert_eq!(size.sum(), 2);
+        let by_size = registry
+            .find_counter("serve_batch_close_total", &[("reason", "size")])
+            .unwrap();
+        assert_eq!(by_size.get(), 1);
+
+        let busy0 = registry
+            .find_counter("serve_worker_busy_cycles", &[("worker", "0")])
+            .unwrap();
+        let busy1 = registry
+            .find_counter("serve_worker_busy_cycles", &[("worker", "1")])
+            .unwrap();
+        assert_eq!(busy0.get(), snap.worker_busy_cycles[0]);
+        assert_eq!(busy1.get(), snap.worker_busy_cycles[1]);
+    }
+
+    #[test]
+    fn snapshot_and_histogram_percentiles_agree_on_bucket_bounds() {
+        // Latencies placed exactly on `duration_us` bucket bounds: the
+        // exact sample percentiles (snapshot) and the bucketed
+        // histogram quantiles share `rank_for_quantile`, so they must
+        // agree to the microsecond.
+        let registry = Registry::new();
+        let clock = Arc::new(ManualClock::new(0));
+        let stats = ServeStats::with_recorder(clock, 1, &registry, 8);
+        let latencies = [10u64, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000];
+        for l in latencies {
+            stats.record_done(0, l, 1, 0.0);
+        }
+        let snap = stats.snapshot();
+        let hist = registry
+            .find_histogram("serve_request_latency_us", &[])
+            .unwrap();
+        assert_eq!(hist.quantile(0.50), snap.p50_us);
+        assert_eq!(hist.quantile(0.95), snap.p95_us);
+        assert_eq!(hist.quantile(0.99), snap.p99_us);
+        assert_eq!(snap.p50_us, 200);
+    }
+
+    #[test]
+    fn hw_breakdown_and_worker_lane_accounting_reach_the_recorder() {
+        let registry = Registry::new();
+        let stats = ServeStats::with_recorder(Arc::new(ManualClock::new(0)), 1, &registry, 8);
+        let sim = SimStats {
+            cycles: 100,
+            compute_busy_cycles: 80,
+            dram_stall_cycles: 20,
+            nbin_peak_bytes: 4_096,
+            ..SimStats::default()
+        };
+        stats.record_request_hw(&sim);
+        stats.record_worker_lane(0, 30, 70);
+        stats.record_worker_lane(0, 10, 90);
+        // Out-of-range workers are ignored, not a panic.
+        stats.record_worker_lane(7, 1, 1);
+
+        let compute = registry
+            .find_histogram("serve_request_compute_cycles", &[])
+            .unwrap();
+        let stall = registry
+            .find_histogram("serve_request_dram_stall_cycles", &[])
+            .unwrap();
+        assert_eq!(compute.sum() + stall.sum(), sim.cycles);
+        let nbin = registry.find_gauge("serve_nbin_peak_bytes", &[]).unwrap();
+        assert_eq!(nbin.max(), 4_096);
+        let idle = registry
+            .find_counter("serve_worker_idle_us", &[("worker", "0")])
+            .unwrap();
+        let busy = registry
+            .find_counter("serve_worker_busy_us", &[("worker", "0")])
+            .unwrap();
+        assert_eq!(idle.get(), 40);
+        assert_eq!(busy.get(), 160);
     }
 }

@@ -75,6 +75,16 @@ impl OverlapScheduler {
         self.tiles
     }
 
+    /// Total cycles the compute pipeline was busy.
+    pub fn compute_busy_cycles(&self) -> u64 {
+        self.compute_busy
+    }
+
+    /// Total cycles the memory channel was busy (loads + stores).
+    pub fn memory_busy_cycles(&self) -> u64 {
+        self.mem_busy
+    }
+
     /// Fraction of elapsed time the compute pipeline was busy.
     pub fn compute_utilization(&self) -> f64 {
         let total = self.finish();

@@ -32,6 +32,15 @@ pub struct SimStats {
     pub ssm_selections: u64,
     /// Weight decodes performed by WDMs (LUT lookups).
     pub wdm_decodes: u64,
+    /// Cycles the compute pipeline was actually busy (from the overlap
+    /// scheduler); the rest of `cycles` is exposed memory time.
+    pub compute_busy_cycles: u64,
+    /// Cycles the pipeline spent stalled on DRAM: elapsed cycles not
+    /// covered by compute (`cycles - compute_busy_cycles`).
+    pub dram_stall_cycles: u64,
+    /// Peak bytes resident in the NBin input-neuron buffer across the
+    /// run (buffer occupancy; combines as a max, not a sum).
+    pub nbin_peak_bytes: u64,
 }
 
 impl SimStats {
@@ -67,6 +76,11 @@ impl Add for SimStats {
             nsm_selections: self.nsm_selections + o.nsm_selections,
             ssm_selections: self.ssm_selections + o.ssm_selections,
             wdm_decodes: self.wdm_decodes + o.wdm_decodes,
+            compute_busy_cycles: self.compute_busy_cycles + o.compute_busy_cycles,
+            dram_stall_cycles: self.dram_stall_cycles + o.dram_stall_cycles,
+            // Occupancy is a level, not a flow: chaining layers keeps
+            // the highest peak either side reached.
+            nbin_peak_bytes: self.nbin_peak_bytes.max(o.nbin_peak_bytes),
         }
     }
 }
@@ -114,6 +128,26 @@ mod tests {
         let mut d = a;
         d += b;
         assert_eq!(d, c);
+    }
+
+    #[test]
+    fn breakdown_sums_but_occupancy_peaks() {
+        let a = SimStats {
+            compute_busy_cycles: 70,
+            dram_stall_cycles: 30,
+            nbin_peak_bytes: 4096,
+            ..SimStats::new()
+        };
+        let b = SimStats {
+            compute_busy_cycles: 10,
+            dram_stall_cycles: 5,
+            nbin_peak_bytes: 1024,
+            ..SimStats::new()
+        };
+        let c = a + b;
+        assert_eq!(c.compute_busy_cycles, 80);
+        assert_eq!(c.dram_stall_cycles, 35);
+        assert_eq!(c.nbin_peak_bytes, 4096, "peak is a max, not a sum");
     }
 
     #[test]

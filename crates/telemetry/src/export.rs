@@ -1,0 +1,219 @@
+//! Text exporters: Prometheus exposition format and JSONL.
+//!
+//! Both render a [`Registry`] deterministically — families sorted by
+//! name, series by labels — so the outputs are golden-file testable.
+//! The JSONL form is one self-contained JSON object per series per
+//! line, convenient for appending per-run metric artifacts in CI.
+
+use std::fmt::Write as _;
+
+use crate::recorder::{Handle, Registry};
+
+fn render_label_pairs(labels: &[(String, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders every metric in Prometheus text exposition format.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    for family in registry.sorted_families() {
+        let kind = match family.series.first() {
+            Some(s) => match s.handle {
+                Handle::Counter(_) => "counter",
+                Handle::Gauge(_) => "gauge",
+                Handle::Histogram(_) => "histogram",
+            },
+            None => continue,
+        };
+        let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+        let _ = writeln!(out, "# TYPE {} {}", family.name, kind);
+        for series in &family.series {
+            let pairs = render_label_pairs(&series.labels);
+            let braced = |extra: &str| -> String {
+                match (pairs.is_empty(), extra.is_empty()) {
+                    (true, true) => String::new(),
+                    (true, false) => format!("{{{extra}}}"),
+                    (false, true) => format!("{{{pairs}}}"),
+                    (false, false) => format!("{{{pairs},{extra}}}"),
+                }
+            };
+            match &series.handle {
+                Handle::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", family.name, braced(""), c.get());
+                }
+                Handle::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", family.name, braced(""), g.get());
+                    let _ = writeln!(out, "{}_max{} {}", family.name, braced(""), g.max());
+                }
+                Handle::Histogram(h) => {
+                    let Some(snap) = h.snapshot() else { continue };
+                    let mut cum = 0u64;
+                    for (i, count) in snap.counts.iter().enumerate() {
+                        cum += count;
+                        let le = if i < snap.bounds.len() {
+                            snap.bounds[i].to_string()
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            family.name,
+                            braced(&format!("le=\"{le}\"")),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(out, "{}_sum{} {}", family.name, braced(""), snap.sum);
+                    let _ = writeln!(out, "{}_count{} {}", family.name, braced(""), snap.count);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders every metric as JSONL: one JSON object per series per line.
+pub fn render_jsonl(registry: &Registry) -> String {
+    let mut out = String::new();
+    for family in registry.sorted_families() {
+        for series in &family.series {
+            let labels = series
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            match &series.handle {
+                Handle::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{}\",\"kind\":\"counter\",\"labels\":{{{labels}}},\"value\":{}}}",
+                        family.name,
+                        c.get()
+                    );
+                }
+                Handle::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{}\",\"kind\":\"gauge\",\"labels\":{{{labels}}},\"value\":{},\"max\":{}}}",
+                        family.name,
+                        g.get(),
+                        g.max()
+                    );
+                }
+                Handle::Histogram(h) => {
+                    let Some(snap) = h.snapshot() else { continue };
+                    let mut buckets = String::new();
+                    let mut cum = 0u64;
+                    for (i, count) in snap.counts.iter().enumerate() {
+                        cum += count;
+                        if i > 0 {
+                            buckets.push(',');
+                        }
+                        let le = if i < snap.bounds.len() {
+                            snap.bounds[i].to_string()
+                        } else {
+                            "\"+Inf\"".to_string()
+                        };
+                        let _ = write!(buckets, "{{\"le\":{le},\"count\":{cum}}}");
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{}\",\"kind\":\"histogram\",\"labels\":{{{labels}}},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{buckets}]}}",
+                        family.name,
+                        snap.count,
+                        snap.sum,
+                        snap.min,
+                        snap.max,
+                        snap.quantile(0.50),
+                        snap.quantile(0.95),
+                        snap.quantile(0.99),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{label, Labels, Recorder};
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("requests_total", "Requests admitted", Labels::new())
+            .add(7);
+        r.gauge("queue_depth", "Live queue depth", Labels::new())
+            .set(3);
+        let h = r.histogram("wait_us", "Queue wait", Labels::new(), &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5_000);
+        r.counter("busy_us", "Worker busy time", label("worker", 1))
+            .add(42);
+        r
+    }
+
+    #[test]
+    fn prometheus_rendering_is_complete_and_cumulative() {
+        let text = render_prometheus(&sample_registry());
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total 7"));
+        assert!(text.contains("queue_depth 3"));
+        assert!(text.contains("queue_depth_max 3"));
+        assert!(text.contains("wait_us_bucket{le=\"10\"} 1"));
+        assert!(text.contains("wait_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("wait_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("wait_us_sum 5055"));
+        assert!(text.contains("wait_us_count 3"));
+        assert!(text.contains("busy_us{worker=\"1\"} 42"));
+    }
+
+    #[test]
+    fn jsonl_renders_one_valid_object_per_line() {
+        let text = render_jsonl(&sample_registry());
+        assert_eq!(text.lines().count(), 4);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            // Braces balance — a cheap structural check without a JSON
+            // parser in the dependency-free build.
+            let opens = line.matches('{').count();
+            let closes = line.matches('}').count();
+            assert_eq!(opens, closes, "{line}");
+        }
+        assert!(text.contains("\"kind\":\"histogram\""));
+        assert!(text.contains("\"le\":\"+Inf\""));
+        assert!(text.contains("\"labels\":{\"worker\":\"1\"}"));
+    }
+
+    #[test]
+    fn renderings_are_sorted_and_deterministic() {
+        let a = render_prometheus(&sample_registry());
+        let b = render_prometheus(&sample_registry());
+        assert_eq!(a, b);
+        let busy = a.find("busy_us").unwrap_or(usize::MAX);
+        let wait = a.find("wait_us").unwrap_or(0);
+        assert!(busy < wait, "families sorted by name");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("c", "h", vec![("k".into(), "a\"b\\c".into())])
+            .inc();
+        let text = render_prometheus(&r);
+        assert!(text.contains("c{k=\"a\\\"b\\\\c\"} 1"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Span-style timers: measure a region's duration on an injected
+//! clock and record it into a [`Histogram`].
+
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::metrics::Histogram;
+
+/// An in-flight timed region. Records its duration into the histogram
+/// when finished — explicitly via [`Span::finish`] (which also returns
+/// the duration), or implicitly on drop, so early returns and `?` exits
+/// are still accounted.
+pub struct Span {
+    clock: Arc<dyn Clock>,
+    hist: Option<Histogram>,
+    start_us: u64,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("start_us", &self.start_us)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Span {
+    /// Starts timing now.
+    pub fn start(clock: Arc<dyn Clock>, hist: Histogram) -> Self {
+        let start_us = clock.now_us();
+        Span {
+            clock,
+            hist: Some(hist),
+            start_us,
+        }
+    }
+
+    /// Clock reading when the span started.
+    pub fn start_us(&self) -> u64 {
+        self.start_us
+    }
+
+    /// Microseconds elapsed so far, without ending the span.
+    pub fn elapsed_us(&self) -> u64 {
+        self.clock.now_us().saturating_sub(self.start_us)
+    }
+
+    /// Ends the span, records the duration, and returns it.
+    pub fn finish(mut self) -> u64 {
+        let elapsed = self.elapsed_us();
+        if let Some(h) = self.hist.take() {
+            h.observe(elapsed);
+        }
+        elapsed
+    }
+
+    /// Ends the span without recording (e.g. the measured operation
+    /// failed and should not pollute the latency distribution).
+    pub fn cancel(mut self) {
+        self.hist = None;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(h) = self.hist.take() {
+            h.observe(self.clock.now_us().saturating_sub(self.start_us));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn finish_records_the_manual_duration() {
+        let clock = Arc::new(ManualClock::new(0));
+        let hist = Histogram::live(&[10, 100]);
+        let span = Span::start(Arc::clone(&clock) as Arc<dyn Clock>, hist.clone());
+        clock.advance(42);
+        assert_eq!(span.elapsed_us(), 42);
+        assert_eq!(span.finish(), 42);
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 42);
+    }
+
+    #[test]
+    fn drop_records_and_cancel_does_not() {
+        let clock = Arc::new(ManualClock::new(5));
+        let hist = Histogram::live(&[10]);
+        {
+            let _span = Span::start(Arc::clone(&clock) as Arc<dyn Clock>, hist.clone());
+            clock.advance(7);
+        }
+        assert_eq!(hist.count(), 1, "drop records");
+        assert_eq!(hist.sum(), 7);
+        let span = Span::start(Arc::clone(&clock) as Arc<dyn Clock>, hist.clone());
+        clock.advance(100);
+        span.cancel();
+        assert_eq!(hist.count(), 1, "cancel suppresses the sample");
+    }
+}

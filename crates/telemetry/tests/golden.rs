@@ -1,0 +1,106 @@
+//! Golden-file tests for the exporters: a deterministic event sequence
+//! (manual clock, fixed values) must render byte-for-byte identically
+//! to the checked-in `tests/golden/*` files.
+//!
+//! Regenerate after an intentional format change with
+//! `TELEMETRY_BLESS=1 cargo test -p cs-telemetry --test golden`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cs_telemetry::{label, Labels, ManualClock, Recorder, Registry, Span};
+
+/// A registry shaped like the serving path's, fed a fixed sequence.
+fn sample_registry() -> Registry {
+    let r = Registry::new();
+    let clock = Arc::new(ManualClock::new(0));
+
+    r.counter(
+        "serve_requests_submitted_total",
+        "Requests admitted into the queue",
+        Labels::new(),
+    )
+    .add(9);
+    r.counter(
+        "serve_requests_rejected_total",
+        "Requests rejected with Overloaded",
+        Labels::new(),
+    )
+    .add(2);
+
+    let depth = r.gauge(
+        "serve_queue_depth",
+        "Requests admitted but not yet batched",
+        Labels::new(),
+    );
+    depth.add(5);
+    depth.sub(3);
+
+    let wait = r.histogram(
+        "serve_queue_wait_us",
+        "Enqueue-to-dequeue wait per request",
+        Labels::new(),
+        &[10, 100, 1_000],
+    );
+    for us in [7u64, 10, 90, 100, 900, 4_000] {
+        let span = Span::start(clock.clone(), wait.clone());
+        clock.advance(us);
+        span.finish();
+    }
+
+    let size = r.histogram(
+        "serve_batch_size",
+        "Requests per closed batch",
+        Labels::new(),
+        &[1, 2, 3, 4],
+    );
+    for s in [1u64, 4, 4] {
+        size.observe(s);
+    }
+
+    for (worker, busy) in [(0u64, 1_500u64), (1, 2_500)] {
+        r.counter(
+            "serve_worker_busy_us",
+            "Wall-clock time spent executing batches",
+            label("worker", worker),
+        )
+        .add(busy);
+    }
+    r
+}
+
+fn check(golden_name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(golden_name);
+    if std::env::var_os("TELEMETRY_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "reading {} failed ({e}); regenerate with TELEMETRY_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{golden_name} drifted from the golden file; if the format change \
+         is intentional, regenerate with TELEMETRY_BLESS=1"
+    );
+}
+
+#[test]
+fn prometheus_rendering_matches_golden() {
+    let text = sample_registry()
+        .prometheus_text()
+        .expect("registry retains state");
+    check("serve_sample.prom", &text);
+}
+
+#[test]
+fn jsonl_rendering_matches_golden() {
+    let text = sample_registry().jsonl().expect("registry retains state");
+    check("serve_sample.jsonl", &text);
+}

@@ -5,6 +5,8 @@
 
 use cambricon_s::prelude::*;
 use cs_accel::exec::Accelerator;
+use cs_serve::batch::{BatchPolicy, Batcher, CloseReason};
+use proptest::prelude::*;
 
 const SEED: u64 = 20181020;
 
@@ -105,7 +107,8 @@ fn full_queue_rejects_with_overloaded() {
     // slowed 1000x (1 MHz), so each request occupies the pipeline for
     // milliseconds while a burst of submissions arrives in microseconds:
     // the bounded queue must overflow deterministically.
-    let server = Server::start(
+    let metrics = std::sync::Arc::new(cs_serve::Registry::new());
+    let server = Server::start_with_recorder(
         registry,
         ServeConfig {
             workers: 1,
@@ -115,6 +118,8 @@ fn full_queue_rejects_with_overloaded() {
             emulate_hw_time: true,
             freq_ghz: 0.001,
         },
+        std::sync::Arc::new(cs_serve::MonotonicClock::new()),
+        metrics.clone(),
     )
     .expect("start");
 
@@ -144,6 +149,19 @@ fn full_queue_rejects_with_overloaded() {
     assert_eq!(snap.completed, admitted);
     assert_eq!(snap.rejected, rejected);
     assert_eq!(admitted + rejected, 32);
+    // The telemetry reject counter counts the same backpressure events
+    // as the snapshot — neither side misses an Overloaded.
+    let reject_counter = metrics
+        .find_counter("serve_requests_rejected_total", &[])
+        .expect("reject counter registered");
+    assert_eq!(reject_counter.get(), rejected);
+    assert_eq!(
+        metrics
+            .find_counter("serve_requests_completed_total", &[])
+            .expect("completed counter registered")
+            .get(),
+        admitted
+    );
 }
 
 #[test]
@@ -199,6 +217,96 @@ fn multi_model_batches_route_responses_to_the_right_client() {
     let snap = server.shutdown();
     assert_eq!(snap.completed, 32);
     assert_eq!(snap.failed, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batching invariants over arbitrary arrival sequences, driven
+    /// against the pure `Batcher` state machine with hand-fed
+    /// timestamps: no batch exceeds `max_batch`, every admitted request
+    /// lands in exactly one batch, and requests for the same model stay
+    /// FIFO.
+    #[test]
+    fn batcher_invariants_hold_for_any_arrival_sequence(
+        arrivals in proptest::collection::vec((0usize..3, 0u64..300), 1..200),
+        max_batch in 1usize..9,
+        max_wait_us in 0u64..400,
+    ) {
+        let mut b: Batcher<(usize, usize)> =
+            Batcher::new(BatchPolicy { max_batch, max_wait_us });
+        let mut now = 0u64;
+        let mut closed = Vec::new();
+        for (id, (model, gap)) in arrivals.iter().enumerate() {
+            now += gap;
+            // The server's batcher thread polls the deadline before
+            // folding in the next arrival; mirror that order.
+            closed.extend(b.poll(now));
+            closed.extend(b.offer(*model, (id, *model), now));
+        }
+        closed.extend(b.flush());
+
+        for batch in &closed {
+            // No batch exceeds the size limit, none is empty.
+            prop_assert!(!batch.items.is_empty());
+            prop_assert!(batch.items.len() <= max_batch);
+            // Single-model batches: every item targets the batch model.
+            prop_assert!(batch.items.iter().all(|(_, m)| *m == batch.model));
+            // The size rule only fires on exactly-full batches.
+            if batch.reason == CloseReason::Size {
+                prop_assert_eq!(batch.items.len(), max_batch);
+            }
+        }
+
+        // Every admitted request rides exactly one batch: ids across
+        // all closed batches are a permutation of the arrivals.
+        let ids: Vec<usize> = closed
+            .iter()
+            .flat_map(|b| b.items.iter().map(|(id, _)| *id))
+            .collect();
+        let mut deduped = ids.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        prop_assert_eq!(ids.len(), arrivals.len(), "dropped or duplicated requests");
+        prop_assert_eq!(deduped.len(), arrivals.len());
+
+        // FIFO within a lane: for each model, ids appear in strictly
+        // increasing arrival order across the closed batches.
+        for model in 0..3usize {
+            let order: Vec<usize> = closed
+                .iter()
+                .flat_map(|b| b.items.iter().filter(|(_, m)| *m == model))
+                .map(|(id, _)| *id)
+                .collect();
+            prop_assert!(
+                order.windows(2).all(|w| w[0] < w[1]),
+                "model {} served out of order: {:?}", model, order
+            );
+        }
+    }
+
+    /// The batcher never holds a batch past its deadline: polling at
+    /// the reported deadline always closes the open batch.
+    #[test]
+    fn batcher_deadline_is_tight(
+        gaps in proptest::collection::vec(0u64..100, 1..50),
+        max_wait_us in 1u64..500,
+    ) {
+        let mut b: Batcher<u64> = Batcher::new(BatchPolicy { max_batch: usize::MAX, max_wait_us });
+        let mut now = 0u64;
+        for (i, gap) in gaps.iter().enumerate() {
+            now += gap;
+            prop_assert!(b.offer(0, i as u64, now).is_empty());
+            let deadline = b.deadline_us().expect("batch open");
+            // Strictly before the deadline: still open.
+            prop_assert!(b.poll(deadline - 1).is_none());
+            prop_assert!(b.pending() == i + 1);
+        }
+        let deadline = b.deadline_us().expect("batch open");
+        let batch = b.poll(deadline).expect("deadline closes");
+        prop_assert_eq!(batch.reason, CloseReason::Deadline);
+        prop_assert_eq!(batch.items.len(), gaps.len());
+    }
 }
 
 #[test]
