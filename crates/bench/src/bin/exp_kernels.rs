@@ -1,0 +1,297 @@
+//! Kernel microbenchmarks: dense reference vs the compiled block-CSR
+//! sparse engine, and single- vs multi-thread matmul scaling.
+//!
+//! Three experiments, each with a bit-identity check before timing:
+//!
+//! 1. **FC dense vs sparse** at the paper's FC setting (16×16 blocks,
+//!    25% density): [`cs_compress::engine::CompiledFcLayer`] against a
+//!    dense matmul over its decoded twin weights. Acceptance floor:
+//!    sparse ≥ 2× dense.
+//! 2. **Conv dense vs sparse** at the paper's conv setting
+//!    (`(1,16,1,1)` blocks): [`cs_compress::engine::CompiledConvLayer`]
+//!    against `ops::conv2d` on the twin weights (informational).
+//! 3. **Parallel matmul scaling**: `ops::matmul_pooled` at 1/2/4
+//!    threads vs the serial kernel. Acceptance floor: ≥ 2× at 4
+//!    threads — checked only when the host actually has ≥ 4 cores,
+//!    otherwise reported as a warning (CI containers are often
+//!    single-core).
+//!
+//! `--metrics-out <path>` writes every measurement as JSONL.
+//! `--threads <n>` caps the thread counts swept (CI uses 2).
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin exp_kernels
+//! cargo run --release -p cs-bench --bin exp_kernels -- --quick --threads 2 --metrics-out kernels.jsonl
+//! ```
+
+use std::time::Instant;
+
+use cs_compress::engine::{CompiledConvLayer, CompiledFcLayer};
+use cs_parallel::ThreadPool;
+use cs_sparsity::coarse::{prune_to_density, CoarseConfig};
+use cs_tensor::ops::{self, Conv2dGeometry};
+use cs_tensor::{Shape, Tensor};
+
+/// Paper FC setting: 16×16 blocks, quantized to 8-bit codebooks.
+const STRIP_WIDTH: usize = 16;
+const QUANT_BITS: u8 = 8;
+const DENSITY: f64 = 0.25;
+
+struct Args {
+    quick: bool,
+    threads_cap: usize,
+    metrics_out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut quick = false;
+    let mut threads_cap = 4usize;
+    let mut metrics_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads_cap = n,
+                _ => {
+                    eprintln!("error: --threads requires a positive integer");
+                    std::process::exit(1);
+                }
+            },
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(path.into()),
+                None => {
+                    eprintln!("error: --metrics-out requires a path");
+                    std::process::exit(1);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    Args {
+        quick,
+        threads_cap,
+        metrics_out,
+    }
+}
+
+/// Deterministic xorshift values in [-0.5, 0.5), seeded per tensor.
+fn fill(seed: u64, n: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_add(cs_bench::SEED) | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        })
+        .collect()
+}
+
+/// Median-of-runs wall time for `f`, in nanoseconds per call.
+fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    // One warm-up call keeps first-touch page faults out of the figure.
+    f();
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / reps as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let mut jsonl = String::new();
+    let mut failures: Vec<String> = Vec::new();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "exp_kernels: host cores = {host_cores}, thread cap = {}, {}",
+        args.threads_cap,
+        if args.quick { "quick" } else { "full" }
+    );
+
+    // ---- 1. FC dense vs sparse at the paper setting -------------------
+    let (n_in, n_out, fc_reps) = if args.quick {
+        (256, 256, 40)
+    } else {
+        (1024, 1024, 40)
+    };
+    let weights = Tensor::from_vec(Shape::d2(n_in, n_out), fill(1, n_in * n_out))
+        .unwrap_or_else(|e| panic!("fc weights: {e}"));
+    let mask = prune_to_density(&weights, &CoarseConfig::paper_fc(), DENSITY)
+        .unwrap_or_else(|e| panic!("fc prune: {e}"));
+    let compiled = CompiledFcLayer::compile_fc("fc", &weights, &mask, STRIP_WIDTH, QUANT_BITS)
+        .unwrap_or_else(|e| panic!("fc compile: {e}"));
+    let twin = compiled.to_dense();
+    let x = fill(2, n_in);
+    let xt =
+        Tensor::from_vec(Shape::d2(1, n_in), x.clone()).unwrap_or_else(|e| panic!("fc input: {e}"));
+
+    let dense_out = ops::matmul(&xt, &twin).unwrap_or_else(|e| panic!("fc dense: {e}"));
+    let sparse_out = compiled.forward_alloc(&x);
+    assert_eq!(
+        bits(dense_out.as_slice()),
+        bits(&sparse_out),
+        "sparse FC output must be bit-identical to the dense reference"
+    );
+
+    let mut out = vec![0.0f32; n_out];
+    let dense_ns = time_ns(fc_reps, || {
+        let r = ops::matmul(&xt, &twin).unwrap_or_else(|e| panic!("fc dense: {e}"));
+        std::hint::black_box(r);
+    });
+    let sparse_ns = time_ns(fc_reps, || {
+        compiled.forward(&x, &mut out);
+        std::hint::black_box(&out);
+    });
+    let fc_speedup = dense_ns / sparse_ns;
+    println!(
+        "fc {n_in}x{n_out} @ density {:.2}: dense {:.1} µs, sparse {:.1} µs, speedup {fc_speedup:.2}x",
+        compiled.density(),
+        dense_ns / 1e3,
+        sparse_ns / 1e3,
+    );
+    jsonl.push_str(&format!(
+        "{{\"experiment\":\"fc\",\"n_in\":{n_in},\"n_out\":{n_out},\"density\":{:.4},\"dense_ns\":{dense_ns:.0},\"sparse_ns\":{sparse_ns:.0},\"speedup\":{fc_speedup:.3}}}\n",
+        compiled.density()
+    ));
+    if fc_speedup < 2.0 {
+        failures.push(format!(
+            "sparse FC kernel speedup {fc_speedup:.2}x is below the 2x acceptance floor"
+        ));
+    }
+
+    // ---- 2. Conv dense vs sparse --------------------------------------
+    let (fin, fout, hw, conv_reps) = if args.quick {
+        (16, 32, 14, 20)
+    } else {
+        (64, 128, 28, 20)
+    };
+    let geom = Conv2dGeometry::square(3, 1, 1);
+    let cw = Tensor::from_vec(Shape::d4(fin, fout, 3, 3), fill(3, fin * fout * 9))
+        .unwrap_or_else(|e| panic!("conv weights: {e}"));
+    let cmask = prune_to_density(&cw, &CoarseConfig::paper_conv(), DENSITY)
+        .unwrap_or_else(|e| panic!("conv prune: {e}"));
+    let cconv = CompiledConvLayer::compile_conv("conv", &cw, &cmask, STRIP_WIDTH, QUANT_BITS, geom)
+        .unwrap_or_else(|e| panic!("conv compile: {e}"));
+    let ctwin = cconv.to_dense();
+    let cin = Tensor::from_vec(Shape::d3(fin, hw, hw), fill(4, fin * hw * hw))
+        .unwrap_or_else(|e| panic!("conv input: {e}"));
+
+    let conv_dense = ops::conv2d(&cin, &ctwin, None, &geom).unwrap_or_else(|e| panic!("conv: {e}"));
+    let conv_sparse = cconv
+        .forward(&cin)
+        .unwrap_or_else(|e| panic!("conv sparse: {e}"));
+    assert_eq!(
+        bits(conv_dense.as_slice()),
+        bits(conv_sparse.as_slice()),
+        "sparse conv output must be bit-identical to the dense reference"
+    );
+
+    let conv_dense_ns = time_ns(conv_reps, || {
+        let r = ops::conv2d(&cin, &ctwin, None, &geom).unwrap_or_else(|e| panic!("conv: {e}"));
+        std::hint::black_box(r);
+    });
+    let conv_sparse_ns = time_ns(conv_reps, || {
+        let r = cconv
+            .forward(&cin)
+            .unwrap_or_else(|e| panic!("conv sparse: {e}"));
+        std::hint::black_box(r);
+    });
+    let conv_speedup = conv_dense_ns / conv_sparse_ns;
+    println!(
+        "conv {fin}->{fout} {hw}x{hw} k3: dense {:.1} µs, sparse {:.1} µs, speedup {conv_speedup:.2}x",
+        conv_dense_ns / 1e3,
+        conv_sparse_ns / 1e3,
+    );
+    jsonl.push_str(&format!(
+        "{{\"experiment\":\"conv\",\"fin\":{fin},\"fout\":{fout},\"hw\":{hw},\"dense_ns\":{conv_dense_ns:.0},\"sparse_ns\":{conv_sparse_ns:.0},\"speedup\":{conv_speedup:.3}}}\n"
+    ));
+
+    // ---- 3. Parallel matmul scaling -----------------------------------
+    let (mm, mm_reps) = if args.quick { (160, 4) } else { (384, 4) };
+    let a = Tensor::from_vec(Shape::d2(mm, mm), fill(5, mm * mm))
+        .unwrap_or_else(|e| panic!("mm a: {e}"));
+    let b = Tensor::from_vec(Shape::d2(mm, mm), fill(6, mm * mm))
+        .unwrap_or_else(|e| panic!("mm b: {e}"));
+    let serial = ops::matmul(&a, &b).unwrap_or_else(|e| panic!("mm serial: {e}"));
+    let serial_ns = time_ns(mm_reps, || {
+        let r = ops::matmul(&a, &b).unwrap_or_else(|e| panic!("mm serial: {e}"));
+        std::hint::black_box(r);
+    });
+    println!("matmul {mm}^3 serial: {:.2} ms", serial_ns / 1e6);
+    let mut speedup_at_4 = None;
+    for threads in [1usize, 2, 4] {
+        if threads > args.threads_cap {
+            continue;
+        }
+        let pool = ThreadPool::new(threads);
+        let pooled = ops::matmul_pooled(&a, &b, &pool).unwrap_or_else(|e| panic!("mm pooled: {e}"));
+        assert_eq!(
+            bits(serial.as_slice()),
+            bits(pooled.as_slice()),
+            "pooled matmul must be bit-identical to serial at any thread count"
+        );
+        let pooled_ns = time_ns(mm_reps, || {
+            let r = ops::matmul_pooled(&a, &b, &pool).unwrap_or_else(|e| panic!("mm pooled: {e}"));
+            std::hint::black_box(r);
+        });
+        let speedup = serial_ns / pooled_ns;
+        if threads == 4 {
+            speedup_at_4 = Some(speedup);
+        }
+        println!(
+            "matmul {mm}^3 @ {threads} threads: {:.2} ms, speedup {speedup:.2}x",
+            pooled_ns / 1e6
+        );
+        jsonl.push_str(&format!(
+            "{{\"experiment\":\"matmul_scaling\",\"n\":{mm},\"threads\":{threads},\"serial_ns\":{serial_ns:.0},\"pooled_ns\":{pooled_ns:.0},\"speedup\":{speedup:.3}}}\n"
+        ));
+    }
+    match speedup_at_4 {
+        Some(s) if host_cores >= 4 => {
+            if s < 2.0 {
+                failures.push(format!(
+                    "parallel matmul speedup {s:.2}x at 4 threads is below the 2x floor"
+                ));
+            }
+        }
+        Some(s) => {
+            eprintln!("warning: host has {host_cores} core(s); 4-thread speedup {s:.2}x not gated")
+        }
+        None => eprintln!(
+            "warning: thread cap {} skipped the 4-thread point; scaling floor not checked",
+            args.threads_cap
+        ),
+    }
+
+    if let Some(path) = args.metrics_out {
+        match std::fs::write(&path, jsonl) {
+            Ok(()) => println!("metrics written to {}", path.display()),
+            Err(e) => {
+                eprintln!("writing {} failed: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(2);
+    }
+    println!("all kernel acceptance floors passed");
+}

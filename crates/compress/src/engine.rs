@@ -1,0 +1,654 @@
+//! Compiled sparse execution engine: block-CSR kernels over the shared
+//! index format.
+//!
+//! [`SharedIndexLayer`] is a *storage* format — good for size accounting,
+//! slow to execute (per-output gather through `Vec<bool>` indexes and
+//! codebook lookups). This module compiles it into an execution-friendly
+//! block-CSR layout:
+//!
+//! * outputs are grouped into *strips* of `strip_width` lanes (one strip
+//!   per shared-index group, the hardware's `T_n = 16` PE cluster);
+//! * each strip stores its surviving input positions as contiguous
+//!   `[start, end)` *runs* derived from the coarse block grid (block
+//!   pruning makes survivors naturally clumped);
+//! * weights are stored twice per strip: as `u16` codebook indices (the
+//!   compact form the WDM would hold) and as pre-decoded `f32` values in
+//!   input-major order, which is what the hot loop reads.
+//!
+//! # Dense-vs-sparse equivalence contract
+//!
+//! On **finite** inputs, [`CompiledFcLayer::forward`] is bit-identical to
+//! the dense reference `ops::matmul(x, self.to_dense())` (plus the same
+//! bias addition). Two facts make this exact rather than approximate:
+//!
+//! 1. the sparse kernel accumulates surviving terms in ascending input
+//!    order — the same order the dense loop adds them in; and
+//! 2. the terms it skips are exactly `x[i] * 0.0 = ±0.0`, and adding
+//!    `±0.0` to an accumulator that started at `+0.0` never changes its
+//!    bits: an `f32` sum starting from `+0.0` cannot become `-0.0`
+//!    through addition (opposite-signed zero sums and exact cancellation
+//!    both round to `+0.0` under round-to-nearest).
+//!
+//! Non-finite inputs void the contract — `0.0 * NaN` is `NaN` in the
+//! dense kernel and silently dropped by the sparse one — which is why
+//! the dense reference kernel in `cs-tensor` must never zero-skip.
+
+use cs_quant::Codebook;
+use cs_sparsity::Mask;
+use cs_tensor::ops::{self, Conv2dGeometry};
+use cs_tensor::{Shape, Tensor, TensorError};
+
+use crate::format::SharedIndexLayer;
+use crate::CompressError;
+
+/// One strip of `strip_width` (or fewer, at the edge) output lanes
+/// sharing a synapse index, compiled for execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcStrip {
+    /// First output lane of the strip.
+    pub out_start: usize,
+    /// One past the last output lane.
+    pub out_end: usize,
+    /// Surviving input positions as `[start, end)` runs, ascending.
+    pub runs: Vec<(u32, u32)>,
+    /// Codebook indices, input-major: `indices[pos * width + lane]` for
+    /// the `pos`-th surviving input.
+    pub indices: Vec<u16>,
+    /// Pre-decoded weights, same layout as `indices`.
+    pub values: Vec<f32>,
+    /// The strip's codebook (the WDM LUT contents).
+    pub codebook: Codebook,
+    /// Number of surviving input positions.
+    pub survivors: usize,
+}
+
+impl FcStrip {
+    fn width(&self) -> usize {
+        self.out_end - self.out_start
+    }
+
+    /// Accumulates this strip's outputs into `out` (length `width()`),
+    /// which must already be zeroed.
+    fn accumulate(&self, input: &[f32], out: &mut [f32]) {
+        let width = self.width();
+        let mut pos = 0usize;
+        for &(s, e) in &self.runs {
+            for i in s..e {
+                let xi = input[i as usize];
+                let row = &self.values[pos * width..(pos + 1) * width];
+                for (o, &wv) in out.iter_mut().zip(row) {
+                    *o += xi * wv;
+                }
+                pos += 1;
+            }
+        }
+    }
+}
+
+/// A fully-connected layer compiled to block-CSR strips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFcLayer {
+    /// Layer name.
+    pub name: String,
+    /// Input width.
+    pub n_in: usize,
+    /// Output width.
+    pub n_out: usize,
+    /// Output lanes per strip (the last strip may be narrower).
+    pub strip_width: usize,
+    /// The strips in output order.
+    pub strips: Vec<FcStrip>,
+    /// Optional per-output bias, added after accumulation exactly like
+    /// the dense pipeline's element-wise add.
+    pub bias: Option<Vec<f32>>,
+}
+
+impl CompiledFcLayer {
+    /// Compiles dense weights `(n_in, n_out)` plus a block-aligned mask
+    /// directly, quantizing with the same per-group codebook parameters
+    /// as [`SharedIndexLayer::from_fc`] (so both paths produce identical
+    /// codebooks).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SharedIndexLayer::from_fc`].
+    pub fn compile_fc(
+        name: impl Into<String>,
+        weights: &Tensor,
+        mask: &Mask,
+        strip_width: usize,
+        quant_bits: u8,
+    ) -> Result<Self, CompressError> {
+        let shared = SharedIndexLayer::from_fc(name, weights, mask, strip_width, quant_bits)?;
+        Ok(Self::from_shared(&shared))
+    }
+
+    /// Compiles an existing shared-index layer. Infallible: the storage
+    /// format already carries everything the engine needs.
+    pub fn from_shared(layer: &SharedIndexLayer) -> Self {
+        let mut strips = Vec::with_capacity(layer.groups.len());
+        let mut out_start = 0usize;
+        for g in &layer.groups {
+            let width = g.weights.len();
+            let out_end = out_start + width;
+            let survivors = g.survivors();
+            let runs = runs_from_index(&g.index);
+            // Transpose the group's output-major lanes to input-major.
+            let mut indices = vec![0u16; survivors * width];
+            for (lane, lw) in g.weights.iter().enumerate() {
+                for (pos, &idx) in lw.iter().enumerate() {
+                    indices[pos * width + lane] = idx;
+                }
+            }
+            let values: Vec<f32> = indices.iter().map(|&i| g.codebook.value(i)).collect();
+            strips.push(FcStrip {
+                out_start,
+                out_end,
+                runs,
+                indices,
+                values,
+                codebook: g.codebook.clone(),
+                survivors,
+            });
+            out_start = out_end;
+        }
+        CompiledFcLayer {
+            name: layer.name.clone(),
+            n_in: layer.n_in,
+            n_out: layer.n_out,
+            strip_width: layer.group_size,
+            strips,
+            bias: None,
+        }
+    }
+
+    /// Attaches a per-output bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bias.len() != n_out`.
+    #[must_use]
+    pub fn with_bias(mut self, bias: Vec<f32>) -> Self {
+        assert_eq!(bias.len(), self.n_out, "bias length mismatch");
+        self.bias = Some(bias);
+        self
+    }
+
+    /// Total surviving synapses.
+    pub fn surviving(&self) -> usize {
+        self.strips.iter().map(|s| s.survivors * s.width()).sum()
+    }
+
+    /// Fraction of surviving synapses.
+    pub fn density(&self) -> f64 {
+        let total = self.n_in * self.n_out;
+        if total == 0 {
+            return 0.0;
+        }
+        self.surviving() as f64 / total as f64
+    }
+
+    /// Sparse forward pass: `out = x · W_sparse (+ bias)`.
+    ///
+    /// Bit-identical to `ops::matmul` against [`Self::to_dense`] on
+    /// finite inputs (see the module docs for the argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths disagree with `n_in` / `n_out`.
+    pub fn forward(&self, input: &[f32], out: &mut [f32]) {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        assert_eq!(out.len(), self.n_out, "output length mismatch");
+        out.fill(0.0);
+        for strip in &self.strips {
+            strip.accumulate(input, &mut out[strip.out_start..strip.out_end]);
+        }
+        if let Some(bias) = &self.bias {
+            for (o, b) in out.iter_mut().zip(bias) {
+                *o += *b;
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around [`Self::forward`].
+    pub fn forward_alloc(&self, input: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n_out];
+        self.forward(input, &mut out);
+        out
+    }
+
+    /// Parallel [`Self::forward`]: strips write disjoint output windows,
+    /// so they fan out over the pool; per-strip arithmetic is unchanged
+    /// and the result is bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_pooled(&self, input: &[f32], out: &mut [f32], pool: &cs_parallel::ThreadPool) {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        assert_eq!(out.len(), self.n_out, "output length mismatch");
+        if self.strips.is_empty() {
+            out.fill(0.0);
+            return;
+        }
+        pool.parallel_chunks_mut(out, self.strip_width.max(1), |si, window| {
+            window.fill(0.0);
+            let strip = &self.strips[si];
+            strip.accumulate(input, window);
+            if let Some(bias) = &self.bias {
+                for (o, b) in window.iter_mut().zip(&bias[strip.out_start..strip.out_end]) {
+                    *o += *b;
+                }
+            }
+        });
+    }
+
+    /// Reconstructs the dense `(n_in, n_out)` weight matrix the engine
+    /// executes: decoded codebook values at surviving positions, zeros
+    /// elsewhere. This is the dense-reference operand of the equivalence
+    /// contract.
+    pub fn to_dense(&self) -> Tensor {
+        let mut dense = vec![0.0f32; self.n_in * self.n_out];
+        for strip in &self.strips {
+            let width = strip.width();
+            let mut pos = 0usize;
+            for &(s, e) in &strip.runs {
+                for i in s..e {
+                    for lane in 0..width {
+                        dense[i as usize * self.n_out + strip.out_start + lane] =
+                            strip.values[pos * width + lane];
+                    }
+                    pos += 1;
+                }
+            }
+        }
+        Tensor::from_vec(Shape::d2(self.n_in, self.n_out), dense)
+            .unwrap_or_else(|_| Tensor::zeros(Shape::d2(self.n_in, self.n_out)))
+    }
+}
+
+/// A convolutional layer compiled for sparse execution: the standard
+/// im2col lowering with the inner matmul replaced by the block-CSR FC
+/// kernel over `(n_fin · kx · ky, n_fout)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledConvLayer {
+    inner: CompiledFcLayer,
+    geom: Conv2dGeometry,
+    n_fin: usize,
+    n_fout: usize,
+    bias: Option<Vec<f32>>,
+}
+
+impl CompiledConvLayer {
+    /// Compiles conv weights `(n_fin, n_fout, kx, ky)` plus a mask that
+    /// is coarse over `strip_width` output maps.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SharedIndexLayer::from_conv`], plus a
+    /// geometry check against the weight kernel.
+    pub fn compile_conv(
+        name: impl Into<String>,
+        weights: &Tensor,
+        mask: &Mask,
+        strip_width: usize,
+        quant_bits: u8,
+        geom: Conv2dGeometry,
+    ) -> Result<Self, CompressError> {
+        if weights.shape().rank() != 4 {
+            return Err(CompressError::Tensor(TensorError::RankMismatch {
+                expected: 4,
+                actual: weights.shape().rank(),
+                op: "compile conv",
+            }));
+        }
+        let (kx, ky) = (weights.shape().dim(2), weights.shape().dim(3));
+        if kx != geom.kx || ky != geom.ky {
+            return Err(CompressError::Tensor(TensorError::InvalidGeometry(
+                format!(
+                    "weight kernel ({kx}x{ky}) disagrees with geometry ({}x{})",
+                    geom.kx, geom.ky
+                ),
+            )));
+        }
+        let shared = SharedIndexLayer::from_conv(name, weights, mask, strip_width, quant_bits)?;
+        Ok(Self::from_shared(&shared, weights.shape().dim(0), geom))
+    }
+
+    /// Wraps a shared-index conv layer (lowered over `(f·kx+x)·ky+y`
+    /// input positions, as [`SharedIndexLayer::from_conv`] produces).
+    pub fn from_shared(layer: &SharedIndexLayer, n_fin: usize, geom: Conv2dGeometry) -> Self {
+        let inner = CompiledFcLayer::from_shared(layer);
+        CompiledConvLayer {
+            n_fout: inner.n_out,
+            inner,
+            geom,
+            n_fin,
+            bias: None,
+        }
+    }
+
+    /// Attaches a per-output-map bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bias.len() != n_fout`.
+    #[must_use]
+    pub fn with_bias(mut self, bias: Vec<f32>) -> Self {
+        assert_eq!(bias.len(), self.n_fout, "bias length mismatch");
+        self.bias = Some(bias);
+        self
+    }
+
+    /// The inner block-CSR FC layer over lowered window positions.
+    pub fn inner(&self) -> &CompiledFcLayer {
+        &self.inner
+    }
+
+    /// Sparse conv forward over a `(n_fin, h, w)` input, producing
+    /// `(n_fout, oh, ow)`. Bit-identical to `ops::conv2d` against the
+    /// densified lowered weights on finite inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/geometry errors when the input is inconsistent.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let cols = ops::im2col(input, &self.geom)?;
+        self.finish_forward(input, &cols, None)
+    }
+
+    /// Parallel [`Self::forward`], bit-identical to the serial version.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_pooled(
+        &self,
+        input: &Tensor,
+        pool: &cs_parallel::ThreadPool,
+    ) -> Result<Tensor, TensorError> {
+        let cols = ops::im2col_pooled(input, &self.geom, pool)?;
+        self.finish_forward(input, &cols, Some(pool))
+    }
+
+    fn finish_forward(
+        &self,
+        input: &Tensor,
+        cols: &Tensor,
+        pool: Option<&cs_parallel::ThreadPool>,
+    ) -> Result<Tensor, TensorError> {
+        if input.shape().dim(0) != self.n_fin {
+            return Err(TensorError::ShapeMismatch {
+                left: input.shape().clone(),
+                right: Shape::d2(self.inner.n_in, self.n_fout),
+                op: "sparse conv2d",
+            });
+        }
+        let (h, w) = (input.shape().dim(1), input.shape().dim(2));
+        let (oh, ow) = self.geom.output_size(h, w)?;
+        let positions = oh * ow;
+        let n_fout = self.n_fout;
+        let n_in = self.inner.n_in;
+        let cv = cols.as_slice();
+        let mut prod = vec![0.0f32; positions * n_fout];
+        match pool {
+            Some(p) => {
+                let rows_per = p.default_chunk(positions);
+                p.parallel_chunks_mut(&mut prod, rows_per * n_fout, |ci, window| {
+                    let row0 = ci * rows_per;
+                    for (ri, orow) in window.chunks_mut(n_fout).enumerate() {
+                        let r = row0 + ri;
+                        self.inner.forward(&cv[r * n_in..(r + 1) * n_in], orow);
+                    }
+                });
+            }
+            None => {
+                for (r, orow) in prod.chunks_mut(n_fout).enumerate() {
+                    self.inner.forward(&cv[r * n_in..(r + 1) * n_in], orow);
+                }
+            }
+        }
+        // Transpose (oh*ow, n_fout) -> (n_fout, oh, ow), adding bias —
+        // the exact element order of the dense conv2d epilogue.
+        let bias = self.bias.as_deref();
+        Ok(Tensor::from_fn(Shape::d3(n_fout, oh, ow), |i| {
+            let fo = i / (oh * ow);
+            let pos = i % (oh * ow);
+            let b = bias.map_or(0.0, |bs| bs[fo]);
+            prod[pos * n_fout + fo] + b
+        }))
+    }
+
+    /// The densified lowered weight matrix `(n_fin · kx · ky, n_fout)`,
+    /// i.e. the `wmat` operand the dense `conv2d` would multiply by.
+    pub fn to_dense_lowered(&self) -> Tensor {
+        self.inner.to_dense()
+    }
+
+    /// The densified 4-D weight tensor `(n_fin, n_fout, kx, ky)`.
+    pub fn to_dense(&self) -> Tensor {
+        let lowered = self.inner.to_dense();
+        let lv = lowered.as_slice();
+        let (kx, ky) = (self.geom.kx, self.geom.ky);
+        let n_fout = self.n_fout;
+        Tensor::from_fn(Shape::d4(self.n_fin, n_fout, kx, ky), |i| {
+            let y = i % ky;
+            let x = (i / ky) % kx;
+            let fo = (i / (kx * ky)) % n_fout;
+            let f = i / (n_fout * kx * ky);
+            let p = (f * kx + x) * ky + y;
+            lv[p * n_fout + fo]
+        })
+    }
+}
+
+/// Collapses a boolean survival index into ascending `[start, end)` runs.
+fn runs_from_index(index: &[bool]) -> Vec<(u32, u32)> {
+    let mut runs = Vec::new();
+    let mut start: Option<u32> = None;
+    for (i, b) in index.iter().enumerate() {
+        match (b, start) {
+            (true, None) => start = Some(i as u32),
+            (false, Some(s)) => {
+                runs.push((s, i as u32));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        runs.push((s, index.len() as u32));
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_nn::init::{local_convergence, ConvergenceProfile};
+    use cs_sparsity::coarse::{self, CoarseConfig, PruneMetric};
+
+    fn fc_layer(n_in: usize, n_out: usize, group: usize, density: f64) -> (Tensor, Mask) {
+        let w = local_convergence(
+            Shape::d2(n_in, n_out),
+            &ConvergenceProfile::with_target_density(density).with_block(group),
+            3,
+        );
+        let cfg = CoarseConfig::fc(group, group, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, density).unwrap();
+        (w, mask)
+    }
+
+    fn bits_of(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn fc_forward_is_bit_identical_to_dense_reference() {
+        let (w, mask) = fc_layer(64, 32, 16, 0.25);
+        let layer = CompiledFcLayer::compile_fc("fc", &w, &mask, 16, 8).unwrap();
+        let dense = layer.to_dense();
+        let input: Vec<f32> = (0..64)
+            .map(|i| ((i * 13) % 29) as f32 * 0.1 - 1.0)
+            .collect();
+        let x = Tensor::from_vec(Shape::d2(1, 64), input.clone()).unwrap();
+        let want = ops::matmul(&x, &dense).unwrap();
+        let got = layer.forward_alloc(&input);
+        assert_eq!(bits_of(&got), bits_of(want.as_slice()));
+    }
+
+    #[test]
+    fn fc_forward_with_bias_matches_dense_add() {
+        let (w, mask) = fc_layer(48, 24, 8, 0.5);
+        let bias: Vec<f32> = (0..24).map(|i| (i as f32) * 0.01 - 0.1).collect();
+        let layer = CompiledFcLayer::compile_fc("fc", &w, &mask, 8, 8)
+            .unwrap()
+            .with_bias(bias.clone());
+        let dense = layer.to_dense();
+        let input: Vec<f32> = (0..48).map(|i| ((i * 7) % 23) as f32 * 0.05).collect();
+        let x = Tensor::from_vec(Shape::d2(1, 48), input.clone()).unwrap();
+        let mm = ops::matmul(&x, &dense).unwrap();
+        let bt = Tensor::from_vec(Shape::d2(1, 24), bias).unwrap();
+        let want = ops::add(&mm, &bt).unwrap();
+        let got = layer.forward_alloc(&input);
+        assert_eq!(bits_of(&got), bits_of(want.as_slice()));
+    }
+
+    #[test]
+    fn fc_forward_handles_edge_shapes_and_full_pruning() {
+        // n_out not a multiple of the strip width, and a fully-pruned
+        // strip in the middle.
+        let (w, _) = fc_layer(40, 24, 8, 0.9);
+        let mut bits = vec![true; 40 * 24];
+        for i in 0..40 {
+            for o in 8..16 {
+                bits[i * 24 + o] = false; // second strip fully pruned
+            }
+        }
+        let mask = Mask::from_bits(Shape::d2(40, 24), bits).unwrap();
+        let layer = CompiledFcLayer::compile_fc("edge", &w, &mask, 8, 8).unwrap();
+        let dense = layer.to_dense();
+        let input: Vec<f32> = (0..40).map(|i| (i as f32).sin()).collect();
+        let x = Tensor::from_vec(Shape::d2(1, 40), input.clone()).unwrap();
+        let want = ops::matmul(&x, &dense).unwrap();
+        let got = layer.forward_alloc(&input);
+        assert_eq!(bits_of(&got), bits_of(want.as_slice()));
+        assert_eq!(&got[8..16], &[0.0f32; 8]);
+    }
+
+    #[test]
+    fn from_shared_equals_compile_fc() {
+        let (w, mask) = fc_layer(64, 32, 16, 0.25);
+        let shared = SharedIndexLayer::from_fc("fc", &w, &mask, 16, 8).unwrap();
+        let via_shared = CompiledFcLayer::from_shared(&shared);
+        let direct = CompiledFcLayer::compile_fc("fc", &w, &mask, 16, 8).unwrap();
+        assert_eq!(via_shared, direct);
+        assert_eq!(via_shared.surviving(), shared.surviving());
+        assert!((via_shared.density() - shared.density()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_matches_shared_index_reference_output() {
+        let (w, mask) = fc_layer(64, 32, 16, 0.25);
+        let shared = SharedIndexLayer::from_fc("fc", &w, &mask, 16, 8).unwrap();
+        let layer = CompiledFcLayer::from_shared(&shared);
+        let input: Vec<f32> = (0..64).map(|i| ((i * 3) % 11) as f32 * 0.2).collect();
+        let want = shared.output(&input);
+        let got = layer.forward_alloc(&input);
+        assert_eq!(bits_of(&got), bits_of(&want));
+    }
+
+    #[test]
+    fn pooled_fc_forward_is_bit_identical() {
+        let pool = cs_parallel::ThreadPool::new(4);
+        let (w, mask) = fc_layer(128, 64, 16, 0.25);
+        let bias: Vec<f32> = (0..64).map(|i| (i as f32) * 0.001).collect();
+        let layer = CompiledFcLayer::compile_fc("fc", &w, &mask, 16, 8)
+            .unwrap()
+            .with_bias(bias);
+        let input: Vec<f32> = (0..128).map(|i| (i as f32 * 0.37).cos()).collect();
+        let serial = layer.forward_alloc(&input);
+        let mut pooled = vec![0.0f32; 64];
+        layer.forward_pooled(&input, &mut pooled, &pool);
+        assert_eq!(bits_of(&serial), bits_of(&pooled));
+    }
+
+    #[test]
+    fn conv_forward_is_bit_identical_to_dense_conv2d() {
+        let w = local_convergence(
+            Shape::d4(2, 32, 3, 3),
+            &ConvergenceProfile::with_target_density(0.3),
+            9,
+        );
+        let cfg = CoarseConfig::conv(1, 16, 1, 1, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, 0.3).unwrap();
+        let geom = Conv2dGeometry::square(3, 1, 1);
+        let bias: Vec<f32> = (0..32).map(|i| (i as f32) * 0.01 - 0.15).collect();
+        let layer = CompiledConvLayer::compile_conv("conv", &w, &mask, 16, 8, geom)
+            .unwrap()
+            .with_bias(bias.clone());
+        let input = Tensor::from_fn(Shape::d3(2, 8, 8), |i| ((i * 17) % 31) as f32 * 0.06 - 0.9);
+        let want = ops::conv2d(&input, &layer.to_dense(), Some(&bias), &geom).unwrap();
+        let got = layer.forward(&input).unwrap();
+        assert_eq!(want.shape(), got.shape());
+        assert_eq!(bits_of(want.as_slice()), bits_of(got.as_slice()));
+    }
+
+    #[test]
+    fn pooled_conv_forward_is_bit_identical() {
+        let pool = cs_parallel::ThreadPool::new(3);
+        let w = local_convergence(
+            Shape::d4(2, 32, 3, 3),
+            &ConvergenceProfile::with_target_density(0.3),
+            11,
+        );
+        let cfg = CoarseConfig::conv(1, 16, 1, 1, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, 0.3).unwrap();
+        let geom = Conv2dGeometry::square(3, 1, 1);
+        let layer = CompiledConvLayer::compile_conv("conv", &w, &mask, 16, 8, geom).unwrap();
+        let input = Tensor::from_fn(Shape::d3(2, 9, 7), |i| ((i * 29) % 41) as f32 * 0.04 - 0.8);
+        let serial = layer.forward(&input).unwrap();
+        let pooled = layer.forward_pooled(&input, &pool).unwrap();
+        assert_eq!(bits_of(serial.as_slice()), bits_of(pooled.as_slice()));
+    }
+
+    #[test]
+    fn runs_cover_exactly_the_survivors() {
+        let index = vec![
+            true, true, false, false, true, false, true, true, true, false,
+        ];
+        let runs = runs_from_index(&index);
+        assert_eq!(runs, vec![(0, 2), (4, 5), (6, 9)]);
+        assert_eq!(runs_from_index(&[]), vec![]);
+        assert_eq!(runs_from_index(&[true]), vec![(0, 1)]);
+        assert_eq!(runs_from_index(&[false]), vec![]);
+    }
+
+    #[test]
+    fn to_dense_roundtrips_through_conv_lowering() {
+        let w = local_convergence(
+            Shape::d4(2, 16, 3, 3),
+            &ConvergenceProfile::with_target_density(0.5),
+            5,
+        );
+        let cfg = CoarseConfig::conv(1, 16, 1, 1, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, 0.5).unwrap();
+        let geom = Conv2dGeometry::square(3, 1, 0);
+        let layer = CompiledConvLayer::compile_conv("conv", &w, &mask, 16, 8, geom).unwrap();
+        let dense4 = layer.to_dense();
+        assert_eq!(dense4.shape(), &Shape::d4(2, 16, 3, 3));
+        // Lowering the 4-D densification reproduces the lowered matrix.
+        let lowered = layer.to_dense_lowered();
+        let lv = lowered.as_slice();
+        for f in 0..2 {
+            for fo in 0..16 {
+                for x in 0..3 {
+                    for y in 0..3 {
+                        let p = (f * 3 + x) * 3 + y;
+                        assert_eq!(dense4.get(&[f, fo, x, y]), lv[p * 16 + fo]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`mod@format`] — the compact shared-index storage format consumed by the
 //!   accelerator simulator: per output-neuron-group synapse indexes shared
 //!   by all PEs, plus quantized weights and codebooks for the WDM.
+//! * [`engine`] — the compiled block-CSR sparse execution engine: the
+//!   storage format lowered into run-length strips with pre-decoded
+//!   weights, with FC and conv kernels bit-identical to the dense
+//!   reference on finite inputs.
 //!
 //! # Example
 //!
@@ -26,6 +30,7 @@
 //! ```
 
 pub mod config;
+pub mod engine;
 pub mod format;
 pub mod irregularity;
 pub mod pipeline;

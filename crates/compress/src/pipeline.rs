@@ -165,6 +165,28 @@ pub fn prune_layer(weights: &Tensor, cfg: &LayerCompressionConfig) -> Result<Mas
     )?)
 }
 
+/// Parallel [`prune_layer`]: block scoring fans out over the pool and
+/// the result is bit-identical to the serial version.
+///
+/// # Errors
+///
+/// Same conditions as [`prune_layer`].
+pub fn prune_layer_pooled(
+    weights: &Tensor,
+    cfg: &LayerCompressionConfig,
+    pool: &cs_parallel::ThreadPool,
+) -> Result<Mask, CompressError> {
+    if cfg.target_density >= 1.0 {
+        return Ok(Mask::ones_like(weights.shape().clone()));
+    }
+    Ok(coarse::prune_to_density_pooled(
+        weights,
+        &cfg.coarse,
+        cfg.target_density,
+        pool,
+    )?)
+}
+
 /// Runs the full flow on one layer's weights, returning the report and
 /// the quantized layer artifact.
 ///
@@ -186,7 +208,40 @@ pub fn compress_layer(
     // Local quantization: one codebook per ~region_values weights.
     let regions = surviving_values.len().div_ceil(cfg.region_values).max(1);
     let quant = quantize_local(&surviving_values, cfg.quant_bits, regions)?;
+    finish_layer(layer, weights, cfg, mask, surviving_values, quant)
+}
 
+/// Parallel [`compress_layer`]: block scoring and per-region k-means fan
+/// out over the pool; the entropy-coding stages are unchanged. Produces
+/// a report identical to the serial version.
+///
+/// # Errors
+///
+/// Same conditions as [`compress_layer`].
+pub fn compress_layer_pooled(
+    layer: &LayerSpec,
+    weights: &Tensor,
+    cfg: &LayerCompressionConfig,
+    pool: &cs_parallel::ThreadPool,
+) -> Result<(LayerReport, Mask, QuantizedLayer), CompressError> {
+    let mask = prune_layer_pooled(weights, cfg, pool)?;
+    let surviving_values = mask.compact_values(weights);
+    if surviving_values.is_empty() {
+        return Err(CompressError::EmptyLayer(layer.name().to_string()));
+    }
+    let regions = surviving_values.len().div_ceil(cfg.region_values).max(1);
+    let quant = cs_quant::quantize_local_pooled(&surviving_values, cfg.quant_bits, regions, pool)?;
+    finish_layer(layer, weights, cfg, mask, surviving_values, quant)
+}
+
+fn finish_layer(
+    layer: &LayerSpec,
+    weights: &Tensor,
+    cfg: &LayerCompressionConfig,
+    mask: Mask,
+    surviving_values: Vec<f32>,
+    quant: QuantizedLayer,
+) -> Result<(LayerReport, Mask, QuantizedLayer), CompressError> {
     // Entropy-code the dictionary (Huffman or adaptive arithmetic, per
     // config) and the indexes (bilevel).
     let dict_bytes = match cfg.entropy {
@@ -245,6 +300,34 @@ pub fn compress_model(
             .with_block(dominant_block(&lc.coarse));
         let weights = init::materialize(layer, &profile, seed);
         let (report, _, _) = compress_layer(layer, &weights, lc)?;
+        layers.push(report);
+    }
+    Ok(ModelReport {
+        model: spec.model_id(),
+        layers,
+    })
+}
+
+/// Parallel [`compress_model`]: per-layer pruning and quantization fan
+/// out over the pool via [`compress_layer_pooled`]. Produces a report
+/// identical to the serial version.
+///
+/// # Errors
+///
+/// Propagates per-layer failures.
+pub fn compress_model_pooled(
+    spec: &NetworkSpec,
+    cfg: &ModelCompressionConfig,
+    seed: u64,
+    pool: &cs_parallel::ThreadPool,
+) -> Result<ModelReport, CompressError> {
+    let mut layers = Vec::new();
+    for layer in spec.weighted_layers() {
+        let lc = cfg.for_layer(layer);
+        let profile = ConvergenceProfile::with_target_density(lc.target_density)
+            .with_block(dominant_block(&lc.coarse));
+        let weights = init::materialize(layer, &profile, seed);
+        let (report, _, _) = compress_layer_pooled(layer, &weights, lc, pool)?;
         layers.push(report);
     }
     Ok(ModelReport {
@@ -338,6 +421,30 @@ mod tests {
         assert!(coarse::is_block_aligned(&mask, &lc.coarse));
         assert_eq!(quant.len(), report.surviving);
         assert_eq!(quant.bits(), 6);
+    }
+
+    #[test]
+    fn pooled_pipeline_produces_identical_reports() {
+        let pool = cs_parallel::ThreadPool::new(4);
+        let spec = NetworkSpec::model(Model::Mlp, Scale::Reduced(4));
+        let cfg = ModelCompressionConfig::paper(Model::Mlp);
+        let serial = compress_model(&spec, &cfg, 7).unwrap();
+        let pooled = compress_model_pooled(&spec, &cfg, 7, &pool).unwrap();
+        assert_eq!(serial, pooled);
+
+        // Layer-level equality including mask and quantization artifacts.
+        let layer = spec.weighted_layers().next().unwrap();
+        let lc = cfg.for_layer(layer);
+        let w = init::materialize(
+            layer,
+            &ConvergenceProfile::with_target_density(lc.target_density),
+            5,
+        );
+        let (sr, sm, sq) = compress_layer(layer, &w, lc).unwrap();
+        let (pr, pm, pq) = compress_layer_pooled(layer, &w, lc, &pool).unwrap();
+        assert_eq!(sr, pr);
+        assert_eq!(sm, pm);
+        assert_eq!(sq, pq);
     }
 
     #[test]

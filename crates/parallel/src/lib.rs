@@ -1,0 +1,527 @@
+//! A small scoped thread pool with a chunked parallel-for.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! cannot pull in `rayon` or `crossbeam`; this crate provides the thin
+//! slice of those libraries the execution engine actually needs, with
+//! zero dependencies:
+//!
+//! * [`ThreadPool::run_chunks`] — split `0..n` into fixed-size chunks
+//!   and execute them on all pool threads (the caller participates, so
+//!   a pool of `threads = 1` runs entirely on the calling thread).
+//! * [`ThreadPool::parallel_chunks_mut`] — the same, but handing each
+//!   task a disjoint `&mut [T]` window of one output buffer, which is
+//!   how the tensor kernels parallelize over output rows.
+//!
+//! The pool is *scoped*: the closure passed to `run_chunks` may borrow
+//! from the caller's stack. Safety rests on a strict protocol — the
+//! job slot holds a lifetime-erased pointer to the closure only for the
+//! duration of one `run_chunks` call, workers register themselves in an
+//! `active` count under the pool mutex before touching the job, and the
+//! caller does not return until the slot is cleared **and** the active
+//! count has drained back to zero. Panics inside a task are caught,
+//! carried back, and re-raised on the calling thread.
+//!
+//! Determinism: chunk *boundaries* are fixed by `(n, chunk)` alone and
+//! tasks write only to their own chunk, so any kernel whose per-chunk
+//! computation is deterministic produces bit-identical results at every
+//! thread count — the property the dense-vs-sparse equivalence tests
+//! rely on.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Acquires a mutex, recovering the data from a poisoned lock (the
+/// pool's own invariants do not depend on the poison flag: panics are
+/// tracked explicitly per job).
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One in-flight parallel-for, shared between the caller and every
+/// worker that adopts it. The `task` pointer is lifetime-erased; it is
+/// only dereferenced by threads counted in `State::active` (or by the
+/// caller itself), and the caller waits for that count to reach zero
+/// before its stack frame — and therefore the closure — can die.
+struct Job {
+    task: *const (dyn Fn(usize, usize) + Sync),
+    next: Arc<AtomicUsize>,
+    n: usize,
+    chunk: usize,
+    panicked: Arc<AtomicBool>,
+    panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
+}
+
+// SAFETY: the raw pointer targets a `Sync` closure, and the adoption
+// protocol (see `Job` docs) guarantees it is never dereferenced after
+// `run_chunks` returns.
+unsafe impl Send for Job {}
+
+impl Clone for Job {
+    fn clone(&self) -> Self {
+        Job {
+            task: self.task,
+            next: Arc::clone(&self.next),
+            n: self.n,
+            chunk: self.chunk,
+            panicked: Arc::clone(&self.panicked),
+            panic: Arc::clone(&self.panic),
+        }
+    }
+}
+
+impl Job {
+    /// Pulls chunks off the shared cursor until the range is exhausted
+    /// or a sibling (or this thread) panics.
+    fn execute(&self) {
+        // SAFETY: see `Job` — callers of `execute` are either the
+        // `run_chunks` caller itself or a worker registered in the
+        // active count, so the closure is alive.
+        let task = unsafe { &*self.task };
+        while !self.panicked.load(Ordering::Relaxed) {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                break;
+            }
+            let end = (start + self.chunk).min(self.n);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(start, end))) {
+                self.panicked.store(true, Ordering::Relaxed);
+                let mut slot = lock_or_recover(&self.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Pool state guarded by the mutex in [`Shared`].
+struct State {
+    /// The current job, present only while a `run_chunks` call is in
+    /// flight. Cleared by the caller before it starts waiting for the
+    /// active count to drain, so late-waking workers never adopt a job
+    /// whose chunks are already exhausted *after* the caller returned.
+    job: Option<Job>,
+    /// Bumped once per job so a worker never re-adopts the same one.
+    generation: u64,
+    /// Workers currently executing the job.
+    active: usize,
+    /// Set by `Drop` to retire the workers.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that a new job (or shutdown) is available.
+    work_ready: Condvar,
+    /// Signals the caller that the active count reached zero.
+    work_done: Condvar,
+}
+
+/// A persistent scoped thread pool.
+///
+/// `threads` counts the *total* parallelism including the calling
+/// thread, so `ThreadPool::new(1)` spawns nothing and runs every job
+/// inline — handy both as a baseline in benchmarks and to keep tests
+/// deterministic on single-core hosts.
+///
+/// # Example
+///
+/// ```
+/// use cs_parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let mut out = vec![0u64; 1000];
+/// pool.parallel_chunks_mut(&mut out, 100, |ci, chunk| {
+///     for (i, v) in chunk.iter_mut().enumerate() {
+///         *v = (ci * 100 + i) as u64 * 2;
+///     }
+/// });
+/// assert_eq!(out[123], 246);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes concurrent `run_chunks` calls: the pool has a single
+    /// job slot, so overlapping calls from different threads queue here
+    /// instead of corrupting each other.
+    run_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` total lanes of parallelism
+    /// (`threads - 1` spawned workers plus the caller). `threads == 0`
+    /// is treated as 1.
+    pub fn new(threads: usize) -> Self {
+        let spawned = threads.max(1) - 1;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let workers = (0..spawned)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cs-parallel-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .unwrap_or_else(|e| panic!("spawning pool worker failed: {e}"))
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    /// A pool sized to the host (`available_parallelism`, min 1).
+    pub fn with_available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ThreadPool::new(threads)
+    }
+
+    /// Total parallelism (spawned workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// A reasonable default chunk size for `n` items on this pool:
+    /// about four chunks per thread, never zero.
+    pub fn default_chunk(&self, n: usize) -> usize {
+        n.div_ceil(self.threads() * 4).max(1)
+    }
+
+    /// Runs `f(start, end)` for every chunk `[start, end)` of `0..n`,
+    /// where chunks are `[0, c), [c, 2c), …` for `c = chunk.max(1)`.
+    /// Blocks until every chunk completed. Chunks run concurrently in
+    /// an unspecified order; `f` must therefore only write state owned
+    /// by its own chunk (or otherwise synchronized).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (one of) the panic payload(s) if `f` panicked on any
+    /// thread; remaining chunks are abandoned.
+    pub fn run_chunks(&self, n: usize, chunk: usize, f: impl Fn(usize, usize) + Sync) {
+        if n == 0 {
+            return;
+        }
+        let chunk = chunk.max(1);
+        if self.workers.is_empty() || n <= chunk {
+            // Inline fast path; chunk boundaries match the pooled path.
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + chunk).min(n);
+                f(start, end);
+                start = end;
+            }
+            return;
+        }
+
+        let _serialize = lock_or_recover(&self.run_lock);
+        let task: &(dyn Fn(usize, usize) + Sync) = &f;
+        // SAFETY: erasing the lifetime is sound because this function
+        // clears the job slot and drains the active count before
+        // returning, so no thread can hold the pointer afterwards.
+        let task: *const (dyn Fn(usize, usize) + Sync) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize, usize) + Sync),
+                *const (dyn Fn(usize, usize) + Sync),
+            >(task as *const _)
+        };
+        let job = Job {
+            task,
+            next: Arc::new(AtomicUsize::new(0)),
+            n,
+            chunk,
+            panicked: Arc::new(AtomicBool::new(false)),
+            panic: Arc::new(Mutex::new(None)),
+        };
+        {
+            let mut st = lock_or_recover(&self.shared.state);
+            st.job = Some(job.clone());
+            st.generation = st.generation.wrapping_add(1);
+        }
+        self.shared.work_ready.notify_all();
+
+        // The caller is a full participant.
+        job.execute();
+
+        // Close the slot, then wait out every worker that adopted the
+        // job. Ordering matters: clearing first guarantees late wakers
+        // see `None` and go back to sleep instead of racing the drop of
+        // this stack frame.
+        {
+            let mut st = lock_or_recover(&self.shared.state);
+            st.job = None;
+            while st.active > 0 {
+                st = self
+                    .shared
+                    .work_done
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        let payload = lock_or_recover(&job.panic).take();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+
+    /// Runs `f(i)` for every `i` in `0..n` with an automatically chosen
+    /// chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from `f` like [`ThreadPool::run_chunks`].
+    pub fn parallel_for(&self, n: usize, f: impl Fn(usize) + Sync) {
+        let chunk = self.default_chunk(n);
+        self.run_chunks(n, chunk, |start, end| {
+            for i in start..end {
+                f(i);
+            }
+        });
+    }
+
+    /// Splits `data` into consecutive windows of `chunk_len` elements
+    /// (the last may be shorter) and runs `f(window_index, window)`
+    /// concurrently. Windows are disjoint, so each invocation owns its
+    /// slice exclusively — the safe route to parallel writes into one
+    /// output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`; re-raises panics from `f`.
+    pub fn parallel_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        // Hand out the windows through per-window mutexed slots: each
+        // task takes its window exactly once, which proves disjointness
+        // to the borrow checker without unsafe code here.
+        let slots: Vec<Mutex<Option<&mut [T]>>> = data
+            .chunks_mut(chunk_len)
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        self.run_chunks(slots.len(), 1, |start, end| {
+            for (off, slot) in slots[start..end].iter().enumerate() {
+                if let Some(w) = lock_or_recover(slot).take() {
+                    f(start + off, w);
+                }
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_or_recover(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut last_gen = 0u64;
+    loop {
+        let job = {
+            let mut st = lock_or_recover(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != last_gen {
+                    last_gen = st.generation;
+                    if let Some(job) = st.job.clone() {
+                        st.active += 1;
+                        break job;
+                    }
+                    // The job was already retired; keep waiting.
+                }
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        job.execute();
+        let mut st = lock_or_recover(&shared.state);
+        st.active -= 1;
+        if st.active == 0 {
+            shared.work_done.notify_all();
+        }
+        drop(st);
+        // Waking the caller outside the lock avoids a pointless
+        // immediate block on `state`.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for n in [0usize, 1, 7, 100, 1023] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_chunks(n, 13, |start, end| {
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_jobs() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicU64::new(0);
+        for round in 0..50u64 {
+            pool.parallel_for(100, |i| {
+                total.fetch_add(round + i as u64, Ordering::Relaxed);
+            });
+        }
+        // sum over rounds of (100*round + 4950)
+        let want: u64 = (0..50u64).map(|r| 100 * r + 4950).sum();
+        assert_eq!(total.load(Ordering::Relaxed), want);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let main_id = std::thread::current().id();
+        pool.parallel_for(32, |_| {
+            assert_eq!(std::thread::current().id(), main_id);
+        });
+    }
+
+    #[test]
+    fn chunks_mut_windows_are_disjoint_and_complete() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0u32; 997]; // deliberately not a multiple
+        pool.parallel_chunks_mut(&mut data, 64, |ci, w| {
+            for (i, v) in w.iter_mut().enumerate() {
+                *v = (ci * 64 + i) as u32 + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        // A chunk-deterministic kernel must give the same bytes on any
+        // pool size.
+        let kernel = |threads: usize| {
+            let pool = ThreadPool::new(threads);
+            let mut out = vec![0.0f32; 512];
+            pool.parallel_chunks_mut(&mut out, 32, |ci, w| {
+                for (i, v) in w.iter_mut().enumerate() {
+                    let x = (ci * 32 + i) as f32;
+                    *v = (x * 0.37).sin() * 1e-3 + x;
+                }
+            });
+            out
+        };
+        let base = kernel(1);
+        for t in [2, 3, 8] {
+            assert_eq!(kernel(t), base, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn panic_in_task_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunks(100, 1, |start, _| {
+                if start == 57 {
+                    panic!("boom at {start}");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "panic must cross run_chunks");
+        // The pool must still work afterwards.
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(10, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn zero_threads_behaves_like_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let count = AtomicUsize::new(0);
+        pool.run_chunks(5, 2, |s, e| {
+            count.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn concurrent_run_calls_serialize_cleanly() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let total = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            let total = Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    pool.parallel_for(50, |i| {
+                        total.fetch_add(i as u64, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 20 * 1225);
+    }
+
+    #[test]
+    fn default_chunk_is_sane() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.default_chunk(0), 1);
+        assert!(pool.default_chunk(16) >= 1);
+        assert!(pool.default_chunk(1_000_000) >= 1_000_000 / 64);
+    }
+}

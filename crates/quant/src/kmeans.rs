@@ -18,11 +18,15 @@ pub struct KMeansResult {
     pub inertia: f64,
 }
 
-/// Clusters `values` into at most `k` groups with up to `max_iters` Lloyd
-/// iterations.
+/// Clusters `values` into exactly `min(k, distinct values)` groups with
+/// up to `max_iters` Lloyd iterations.
 ///
-/// When there are fewer distinct values than `k`, fewer centroids are
-/// returned (quantization is then lossless).
+/// When there are fewer distinct values than `k`, one centroid per
+/// distinct value is returned (quantization is then lossless). With `k`
+/// or more distinct values, exactly `k` centroids come back: duplicate
+/// quantile seeds are topped back up from unused distinct values, and
+/// clusters that empty out during Lloyd iterations are reseeded by
+/// splitting the widest populated cluster instead of being dropped.
 ///
 /// # Panics
 ///
@@ -45,7 +49,12 @@ pub fn kmeans_1d(values: &[f32], k: usize, max_iters: usize) -> KMeansResult {
     }
     let k = k.min(distinct.len());
 
-    // Quantile initialization over the sorted values.
+    // Quantile initialization over the sorted values. Repeated values can
+    // make several quantiles coincide; dedup and then top the seeds back
+    // up to `k` from the distinct values not yet used (a sorted merge
+    // walk — seeds are themselves drawn from `distinct`, so exact `==`
+    // matching is valid). This guarantees exactly `min(k, distinct)`
+    // seeds, where the old code could silently start with fewer.
     let mut centroids: Vec<f32> = (0..k)
         .map(|i| {
             let pos = (i * 2 + 1) * sorted.len() / (2 * k);
@@ -53,31 +62,84 @@ pub fn kmeans_1d(values: &[f32], k: usize, max_iters: usize) -> KMeansResult {
         })
         .collect();
     centroids.dedup();
+    if centroids.len() < k {
+        let need = k - centroids.len();
+        let mut added = 0usize;
+        let mut ci = 0usize;
+        let mut topped = Vec::with_capacity(k);
+        for &d in &distinct {
+            if ci < centroids.len() && centroids[ci] == d {
+                topped.push(d);
+                ci += 1;
+            } else if added < need {
+                topped.push(d);
+                added += 1;
+            }
+        }
+        centroids = topped;
+    }
+    debug_assert_eq!(centroids.len(), k);
 
     for _ in 0..max_iters {
         // Boundaries are midpoints between adjacent centroids.
-        let mut sums = vec![0.0f64; centroids.len()];
-        let mut counts = vec![0usize; centroids.len()];
+        let kk = centroids.len();
+        let mut sums = vec![0.0f64; kk];
+        let mut counts = vec![0usize; kk];
+        let mut mins = vec![f32::INFINITY; kk];
+        let mut maxs = vec![f32::NEG_INFINITY; kk];
         let mut ci = 0usize;
         for v in &sorted {
-            while ci + 1 < centroids.len() && (centroids[ci] + centroids[ci + 1]) / 2.0 < *v {
+            while ci + 1 < kk && (centroids[ci] + centroids[ci + 1]) / 2.0 < *v {
                 ci += 1;
             }
             sums[ci] += f64::from(*v);
             counts[ci] += 1;
+            mins[ci] = mins[ci].min(*v);
+            maxs[ci] = maxs[ci].max(*v);
         }
         let mut moved = false;
-        let mut next = Vec::with_capacity(centroids.len());
+        let mut next = vec![0.0f32; kk];
+        let mut empties = Vec::new();
         for (i, c) in centroids.iter().enumerate() {
             if counts[i] == 0 {
-                continue; // drop empty clusters
+                // Keep the slot; reseeded below. Dropping empty clusters
+                // here is what used to collapse the codebook below `k`.
+                empties.push(i);
+                next[i] = *c;
+            } else {
+                let m = (sums[i] / counts[i] as f64) as f32;
+                if (m - c).abs() > 1e-7 {
+                    moved = true;
+                }
+                next[i] = m;
             }
-            let m = (sums[i] / counts[i] as f64) as f32;
-            if (m - c).abs() > 1e-7 {
+        }
+        // Reseed each empty cluster by splitting the widest populated
+        // cluster: the empty centroid jumps to the donor's max value,
+        // which the donor's mean sits strictly below whenever its span is
+        // positive. While empties remain and k <= distinct, pigeonhole
+        // guarantees some cluster holds >= 2 values with positive span.
+        for e in empties {
+            let mut donor = None;
+            let mut best_span = 0.0f32;
+            for i in 0..kk {
+                if counts[i] >= 2 {
+                    let span = maxs[i] - mins[i];
+                    if span > best_span {
+                        best_span = span;
+                        donor = Some(i);
+                    }
+                }
+            }
+            if let Some(d) = donor {
+                next[e] = maxs[d];
+                // Shrink the donor's recorded range so a further reseed
+                // this round picks a different extreme or donor.
+                maxs[d] = next[d];
                 moved = true;
             }
-            next.push(m);
         }
+        next.sort_by(|a, b| a.partial_cmp(b).expect("finite centroids"));
         centroids = next;
         if !moved {
             break;
@@ -179,5 +241,57 @@ mod tests {
         let r = kmeans_1d(&[3.5], 4, 10);
         assert_eq!(r.centroids, vec![3.5]);
         assert_eq!(r.assignments, vec![0]);
+    }
+
+    #[test]
+    fn repeated_values_do_not_collapse_centroids() {
+        // Regression: quantile seeding over heavily repeated values used
+        // to produce duplicate seeds, `dedup()` removed them, and empty
+        // clusters were dropped mid-Lloyd — the codebook came back with
+        // fewer than `k` centroids despite >= k distinct values.
+        let values = vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 5.0, 5.0];
+        let r = kmeans_1d(&values, 4, 20);
+        assert_eq!(r.centroids.len(), 4, "centroids: {:?}", r.centroids);
+        // Four distinct values into four clusters: lossless.
+        assert!(r.inertia < 1e-9, "inertia: {}", r.inertia);
+    }
+
+    #[test]
+    fn skewed_repeats_keep_exactly_min_k_distinct_centroids() {
+        // A long run of a single value plus a few outliers, across a range
+        // of k values: the result must always have min(k, distinct) many
+        // centroids, stay sorted, and keep assignments in range.
+        let mut values = vec![0.25f32; 400];
+        values.extend_from_slice(&[-3.0, -1.0, 0.5, 1.5, 2.0, 7.0, 9.0]);
+        let distinct = 8usize;
+        for k in [1usize, 2, 3, 4, 6, 8, 16, 64] {
+            let r = kmeans_1d(&values, k, 30);
+            assert_eq!(
+                r.centroids.len(),
+                k.min(distinct),
+                "k={k} centroids: {:?}",
+                r.centroids
+            );
+            for w in r.centroids.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            for a in &r.assignments {
+                assert!(usize::from(*a) < r.centroids.len());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cluster_reseed_reduces_inertia() {
+        // Two tight groups far apart plus heavy repeats in the middle.
+        // With dropped clusters, k=4 would degenerate; with reseeding the
+        // lossless 4-centroid solution must be found.
+        let mut values = vec![0.0f32; 100];
+        values.extend(std::iter::repeat_n(100.0f32, 100));
+        values.push(50.0);
+        values.push(51.0);
+        let r = kmeans_1d(&values, 4, 50);
+        assert_eq!(r.centroids.len(), 4, "centroids: {:?}", r.centroids);
+        assert!(r.inertia < 1e-6, "inertia: {}", r.inertia);
     }
 }

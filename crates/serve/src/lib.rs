@@ -54,6 +54,6 @@ pub use batch::CloseReason;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use cs_telemetry::{NoopRecorder, Recorder, Registry};
 pub use error::ServeError;
-pub use model::{ModelRegistry, ServableModel};
-pub use server::{InferRequest, InferResponse, ServeConfig, Server, Ticket};
+pub use model::{CompiledLane, LaneKernel, LaneLayer, ModelRegistry, ServableModel};
+pub use server::{ExecBackend, InferRequest, InferResponse, ServeConfig, Server, Ticket};
 pub use stats::{ServeSnapshot, ServeStats};

@@ -324,6 +324,7 @@ pub fn run_sweep_with_recorder(
                     max_wait_us: cfg.max_wait_us,
                     emulate_hw_time: cfg.emulate_hw_time,
                     freq_ghz: cfg.freq_ghz,
+                    backend: crate::server::ExecBackend::Simulator,
                 };
                 points.push(run_point_with_recorder(
                     &model,

@@ -14,10 +14,13 @@ use std::sync::Arc;
 use cs_accel::exec::validate_layer;
 use cs_accel::pe::Activation;
 use cs_compress::config::ModelCompressionConfig;
+use cs_compress::engine::CompiledFcLayer;
 use cs_compress::format::SharedIndexLayer;
 use cs_compress::pipeline::prune_layer;
+use cs_compress::CompressError;
 use cs_nn::init::{self, ConvergenceProfile};
 use cs_nn::spec::{LayerSpecKind, Model, NetworkSpec, Scale};
+use cs_tensor::{ops, Shape, Tensor};
 
 use crate::error::ServeError;
 
@@ -127,6 +130,117 @@ impl ServableModel {
         let spec = NetworkSpec::model(Model::Mlp, scale);
         let cfg = ModelCompressionConfig::paper(Model::Mlp);
         ServableModel::from_spec("mlp", &spec, &cfg, seed)
+    }
+
+    /// Lowers the model onto the block-CSR sparse engine: one
+    /// [`CompiledFcLayer`] per shared-index layer, surviving weights
+    /// only.
+    pub fn sparse_lane(&self) -> CompiledLane {
+        let layers = self
+            .layers
+            .iter()
+            .map(|(sil, act)| LaneLayer {
+                name: sil.name.clone(),
+                kernel: LaneKernel::Sparse(CompiledFcLayer::from_shared(sil)),
+                activation: *act,
+            })
+            .collect();
+        CompiledLane { layers }
+    }
+
+    /// The dense reference twin of [`ServableModel::sparse_lane`]: each
+    /// layer's weights decoded to a full `n_in × n_out` tensor with
+    /// pruned positions stored as explicit zeros. Because both lanes
+    /// decode the same codebooks, their outputs are bit-identical on
+    /// finite inputs (see [`cs_compress::engine`] for the argument).
+    pub fn dense_lane(&self) -> CompiledLane {
+        let layers = self
+            .layers
+            .iter()
+            .map(|(sil, act)| LaneLayer {
+                name: sil.name.clone(),
+                kernel: LaneKernel::Dense(CompiledFcLayer::from_shared(sil).to_dense()),
+                activation: *act,
+            })
+            .collect();
+        CompiledLane { layers }
+    }
+}
+
+/// A kernel an engine-backed worker lane runs for one layer.
+#[derive(Debug, Clone)]
+pub enum LaneKernel {
+    /// Block-CSR sparse kernel over the surviving weights.
+    Sparse(CompiledFcLayer),
+    /// Dense matmul over the decoded twin weights (`n_in × n_out`).
+    Dense(Tensor),
+}
+
+impl LaneKernel {
+    /// `"sparse"` or `"dense"` — the telemetry `kernel` label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LaneKernel::Sparse(_) => "sparse",
+            LaneKernel::Dense(_) => "dense",
+        }
+    }
+
+    /// Runs the kernel on one input vector (pre-activation outputs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors from the dense path; the sparse
+    /// path cannot fail once the input length matches.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, ServeError> {
+        match self {
+            LaneKernel::Sparse(layer) => Ok(layer.forward_alloc(input)),
+            LaneKernel::Dense(weights) => {
+                let x = Tensor::from_vec(Shape::d2(1, input.len()), input.to_vec())
+                    .map_err(CompressError::from)?;
+                let out = ops::matmul(&x, weights).map_err(CompressError::from)?;
+                Ok(out.as_slice().to_vec())
+            }
+        }
+    }
+}
+
+/// One layer of an engine-backed worker lane.
+#[derive(Debug, Clone)]
+pub struct LaneLayer {
+    /// Layer name (the telemetry `layer` label).
+    pub name: String,
+    /// The compiled kernel.
+    pub kernel: LaneKernel,
+    /// Activation applied element-wise after the kernel.
+    pub activation: Activation,
+}
+
+/// A model lowered for engine-backed workers: per-layer kernels in
+/// execution order. Workers build one per model at spawn so the hot
+/// path never touches the registry or re-decodes weights.
+#[derive(Debug, Clone)]
+pub struct CompiledLane {
+    /// Layers in execution order.
+    pub layers: Vec<LaneLayer>,
+}
+
+impl CompiledLane {
+    /// Runs the whole lane: each layer's kernel followed by its
+    /// activation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (dense-path shape mismatches only).
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            let mut out = layer.kernel.forward(&x)?;
+            for v in &mut out {
+                *v = layer.activation.apply(*v);
+            }
+            x = out;
+        }
+        Ok(x)
     }
 }
 
@@ -247,6 +361,37 @@ mod tests {
         let cfg = ModelCompressionConfig::paper(Model::AlexNet);
         let err = ServableModel::from_spec("alex", &spec, &cfg, 1).unwrap_err();
         assert!(matches!(err, ServeError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn sparse_and_dense_lanes_are_bit_identical() {
+        let m = ServableModel::mlp(Scale::Reduced(8), 7).unwrap();
+        let sparse = m.sparse_lane();
+        let dense = m.dense_lane();
+        assert_eq!(sparse.layers.len(), m.layers.len());
+        for (lane_layer, (sil, act)) in sparse.layers.iter().zip(&m.layers) {
+            assert_eq!(lane_layer.name, sil.name);
+            assert_eq!(lane_layer.kernel.kind(), "sparse");
+            assert_eq!(lane_layer.activation, *act);
+        }
+        assert!(dense.layers.iter().all(|l| l.kernel.kind() == "dense"));
+        // Inputs mixing zeros, negatives and positives; both lanes must
+        // agree bit-for-bit (same decoded weights, same term order).
+        let input: Vec<f32> = (0..m.n_in)
+            .map(|i| match i % 5 {
+                0 => 0.0,
+                1 => -0.75,
+                2 => (i % 13) as f32 * 0.11,
+                3 => -((i % 7) as f32) * 0.23,
+                _ => 1.5,
+            })
+            .collect();
+        let a = sparse.forward(&input).unwrap();
+        let b = dense.forward(&input).unwrap();
+        assert_eq!(a.len(), m.n_out);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        assert!(a.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -31,13 +31,33 @@ use cs_accel::exec::Accelerator;
 use cs_accel::AccelConfig;
 use cs_energy::energy::energy_cambricon_s;
 use cs_energy::EnergyModel;
-use cs_telemetry::{NoopRecorder, Recorder};
+use cs_telemetry::{buckets, Histogram, NoopRecorder, Recorder, Span};
 
 use crate::batch::{Batch, BatchPolicy, Batcher};
 use crate::clock::{Clock, MonotonicClock};
 use crate::error::ServeError;
-use crate::model::{ModelRegistry, ServableModel};
+use crate::model::{CompiledLane, ModelRegistry, ServableModel};
 use crate::stats::{ServeSnapshot, ServeStats};
+
+/// Which execution engine worker lanes run.
+///
+/// The simulator is the default and preserves the original contract:
+/// cycle-accurate hardware modeling with per-request cycle and energy
+/// figures. The engine backends trade the hardware model for real
+/// host-native kernels from [`cs_compress::engine`]; they report
+/// `cycles = 0` / `energy_pj = 0.0` and instead time every layer into
+/// the `serve_layer_kernel_us{model, layer, kernel}` histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// Cycle-accurate accelerator simulator (cycles + energy modeled).
+    #[default]
+    Simulator,
+    /// Compiled block-CSR sparse engine (host-native kernels).
+    Sparse,
+    /// Dense reference kernels over the decoded twin weights — the
+    /// ground-truth lane the sparse engine must match bit-for-bit.
+    Dense,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +78,8 @@ pub struct ServeConfig {
     /// Accelerator clock in GHz (service-time emulation and the
     /// hardware-side throughput figures).
     pub freq_ghz: f64,
+    /// Execution engine worker lanes run (default: the simulator).
+    pub backend: ExecBackend,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +91,7 @@ impl Default for ServeConfig {
             max_wait_us: 200,
             emulate_hw_time: false,
             freq_ghz: 1.0,
+            backend: ExecBackend::Simulator,
         }
     }
 }
@@ -184,6 +207,30 @@ impl Ticket {
     }
 }
 
+/// Runs one request through an engine lane, timing every layer's
+/// kernel into its histogram. Activation is applied outside the span:
+/// the histograms compare dense vs sparse kernel cost, and the
+/// element-wise epilogue is identical on both lanes.
+fn run_lane(
+    lane: &CompiledLane,
+    hists: &[Histogram],
+    clock: &Arc<dyn Clock>,
+    input: Vec<f32>,
+) -> Result<Vec<f32>, ServeError> {
+    let mut x = input;
+    for (layer, hist) in lane.layers.iter().zip(hists) {
+        let span = Span::start(Arc::clone(clock), hist.clone());
+        let result = layer.kernel.forward(&x);
+        span.finish();
+        let mut out = result?;
+        for v in &mut out {
+            *v = layer.activation.apply(*v);
+        }
+        x = out;
+    }
+    Ok(x)
+}
+
 /// The running server. Shareable across client threads by reference;
 /// dropped or [`Server::shutdown`] joins all internal threads.
 pub struct Server {
@@ -287,6 +334,8 @@ impl Server {
                 Arc::clone(&registry),
                 &cfg,
                 Arc::clone(&stats),
+                Arc::clone(&clock),
+                recorder.as_ref(),
             ));
         }
 
@@ -366,12 +415,15 @@ impl Server {
             .unwrap_or_else(|e| panic!("spawning batcher thread failed: {e}"))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn spawn_worker(
         worker_id: usize,
         batch_rx: Receiver<Batch<Job>>,
         registry: Arc<ModelRegistry>,
         cfg: &ServeConfig,
         stats: Arc<ServeStats>,
+        clock: Arc<dyn Clock>,
+        recorder: &dyn Recorder,
     ) -> JoinHandle<()> {
         // Each worker owns its models and accelerator: the Arc clones
         // are taken once here, never through the registry lock on the
@@ -384,6 +436,44 @@ impl Server {
         let energy_model = EnergyModel::default_65nm();
         let emulate = cfg.emulate_hw_time;
         let freq_ghz = cfg.freq_ghz;
+        // Engine backends lower every model once at spawn (weights
+        // decoded, strips built, histograms registered) so the request
+        // path only runs kernels and observes spans.
+        let lanes: Option<Vec<(CompiledLane, Vec<Histogram>)>> = match cfg.backend {
+            ExecBackend::Simulator => None,
+            backend => {
+                let bounds = buckets::duration_us();
+                Some(
+                    models
+                        .iter()
+                        .map(|m| {
+                            let lane = match backend {
+                                ExecBackend::Dense => m.dense_lane(),
+                                _ => m.sparse_lane(),
+                            };
+                            let hists = lane
+                                .layers
+                                .iter()
+                                .map(|layer| {
+                                    recorder.histogram(
+                                        "serve_layer_kernel_us",
+                                        "Per-layer kernel time on engine-backed \
+                                         worker lanes (µs)",
+                                        vec![
+                                            ("model".to_string(), m.name.clone()),
+                                            ("layer".to_string(), layer.name.clone()),
+                                            ("kernel".to_string(), layer.kernel.kind().to_string()),
+                                        ],
+                                        &bounds,
+                                    )
+                                })
+                                .collect();
+                            (lane, hists)
+                        })
+                        .collect(),
+                )
+            }
+        };
         std::thread::Builder::new()
             .name(format!("cs-serve-worker-{worker_id}"))
             .spawn(move || {
@@ -416,17 +506,38 @@ impl Server {
                     };
                     let mut results = Vec::with_capacity(batch_size);
                     let mut batch_cycles = 0u64;
-                    for job in batch.items {
-                        match accel.run_network(&model.layers, &job.input) {
-                            Ok(run) => {
-                                let cycles = run.stats.cycles;
-                                let energy_pj =
-                                    energy_cambricon_s(&run.stats, &energy_model).total_pj();
-                                batch_cycles += cycles;
-                                stats.record_request_hw(&run.stats);
-                                results.push((job, Ok((run.outputs, cycles, energy_pj))));
+                    match &lanes {
+                        None => {
+                            for job in batch.items {
+                                match accel.run_network(&model.layers, &job.input) {
+                                    Ok(run) => {
+                                        let cycles = run.stats.cycles;
+                                        let energy_pj =
+                                            energy_cambricon_s(&run.stats, &energy_model)
+                                                .total_pj();
+                                        batch_cycles += cycles;
+                                        stats.record_request_hw(&run.stats);
+                                        results.push((job, Ok((run.outputs, cycles, energy_pj))));
+                                    }
+                                    Err(e) => results.push((job, Err(ServeError::Accel(e)))),
+                                }
                             }
-                            Err(e) => results.push((job, Err(ServeError::Accel(e)))),
+                        }
+                        Some(lanes) => {
+                            // Engine lanes run real host kernels: no
+                            // simulated hardware cost to report, but
+                            // every layer's wall time lands in its
+                            // `serve_layer_kernel_us` histogram.
+                            let (lane, hists) = &lanes[batch.model];
+                            for mut job in batch.items {
+                                let input = std::mem::take(&mut job.input);
+                                match run_lane(lane, hists, &clock, input) {
+                                    Ok(outputs) => {
+                                        results.push((job, Ok((outputs, 0u64, 0.0f64))));
+                                    }
+                                    Err(e) => results.push((job, Err(e))),
+                                }
+                            }
                         }
                     }
                     if emulate && batch_cycles > 0 {
@@ -787,6 +898,90 @@ mod tests {
 
         assert!(text.contains("serve_requests_completed_total 6"));
         assert!(jsonl.contains("serve_request_latency_us"));
+    }
+
+    #[test]
+    fn engine_lanes_serve_bit_identical_outputs_across_backends() {
+        let (_, model) = mlp_registry();
+        let inputs: Vec<Vec<f32>> = (0..4).map(|i| input_for(&model, i)).collect();
+        let run = |backend: ExecBackend| {
+            let (reg, _) = mlp_registry();
+            let cfg = ServeConfig {
+                backend,
+                workers: 1,
+                ..ServeConfig::default()
+            };
+            let server = Server::start(reg, cfg).expect("start");
+            let outs: Vec<Vec<f32>> = inputs
+                .iter()
+                .map(|input| {
+                    let resp = server
+                        .infer(InferRequest::new("mlp", input.clone()))
+                        .expect("infer");
+                    // Engine lanes run real kernels; there is no
+                    // simulated hardware cost to report.
+                    assert_eq!(resp.cycles, 0);
+                    assert_eq!(resp.energy_pj, 0.0);
+                    resp.outputs
+                })
+                .collect();
+            server.shutdown();
+            outs
+        };
+        let sparse = run(ExecBackend::Sparse);
+        let dense = run(ExecBackend::Dense);
+        let bits = |outs: &[Vec<f32>]| {
+            outs.iter()
+                .flatten()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&sparse), bits(&dense));
+        // And both match direct lane execution outside the server.
+        let direct = model.sparse_lane().forward(&inputs[0]).expect("forward");
+        assert_eq!(bits(&sparse[..1]), bits(std::slice::from_ref(&direct)));
+    }
+
+    #[test]
+    fn engine_lane_populates_per_layer_kernel_histograms() {
+        use crate::clock::ManualClock;
+        use cs_telemetry::Registry;
+        let (reg, model) = mlp_registry();
+        let registry = Arc::new(Registry::new());
+        let clock = Arc::new(ManualClock::new(0));
+        let cfg = ServeConfig {
+            backend: ExecBackend::Sparse,
+            workers: 1,
+            max_wait_us: 0,
+            ..ServeConfig::default()
+        };
+        let server = Server::start_with_recorder(reg, cfg, clock, registry.clone()).expect("start");
+        for i in 0..4 {
+            server
+                .infer(InferRequest::new("mlp", input_for(&model, i)))
+                .expect("infer");
+        }
+        server.shutdown();
+        for (sil, _) in &model.layers {
+            let h = registry
+                .find_histogram(
+                    "serve_layer_kernel_us",
+                    &[("model", "mlp"), ("layer", &sil.name), ("kernel", "sparse")],
+                )
+                .expect("per-layer histogram registered");
+            assert_eq!(h.count(), 4);
+        }
+        // A sparse-backend server never registers dense-kernel series.
+        assert!(registry
+            .find_histogram(
+                "serve_layer_kernel_us",
+                &[
+                    ("model", "mlp"),
+                    ("layer", &model.layers[0].0.name),
+                    ("kernel", "dense"),
+                ],
+            )
+            .is_none());
     }
 
     #[test]

@@ -39,6 +39,55 @@ proptest! {
                         (mask.ones() + si.placeholders()) * usize::from(width));
     }
 
+    /// Round-trip over the full supported field-width range, including
+    /// the extremes 1 (every gap > 1 saturates) and 16.
+    #[test]
+    fn step_index_roundtrip_all_widths(bits_vec in proptest::collection::vec(any::<bool>(), 1..300),
+                                       width in 1u8..=16) {
+        let n = bits_vec.len();
+        let mask = Mask::from_bits(Shape::d1(n), bits_vec.clone()).unwrap();
+        let si = StepIndex::encode(&mask, width);
+        let want: Vec<usize> = bits_vec.iter().enumerate()
+            .filter(|(_, b)| **b).map(|(i, _)| i).collect();
+        prop_assert_eq!(si.positions(), want);
+        prop_assert_eq!(si.len, n);
+    }
+
+    /// Gap-driven masks stress saturated placeholder chains: survivors sit
+    /// at arbitrary cumulative gaps (including a survivor at position 0
+    /// when the first gap is 1) followed by a trailing pruned run. The
+    /// placeholder and size accounting must match an independent count:
+    /// a survivor whose gap is `g` costs `(g - 1) / max_gap` placeholders.
+    #[test]
+    fn step_index_saturated_chains_account_exactly(
+        gaps in proptest::collection::vec(1usize..2000, 1..30),
+        trailing in 0usize..400,
+        width in 1u8..=16)
+    {
+        let mut positions = Vec::new();
+        let mut pos = 0usize;
+        for g in &gaps {
+            pos += g;
+            positions.push(pos - 1);
+        }
+        let n = pos + trailing;
+        let mut bits = vec![false; n];
+        for p in &positions {
+            bits[*p] = true;
+        }
+        let mask = Mask::from_bits(Shape::d1(n), bits).unwrap();
+        let si = StepIndex::encode(&mask, width);
+        prop_assert_eq!(si.positions(), positions);
+        // Trailing pruned positions still count toward the span but never
+        // produce entries.
+        prop_assert_eq!(si.len, n);
+        let max_gap = (1usize << width) - 1;
+        let want_ph: usize = gaps.iter().map(|g| (g - 1) / max_gap).sum();
+        prop_assert_eq!(si.placeholders(), want_ph);
+        prop_assert_eq!(si.stored_entries(), gaps.len() + want_ph);
+        prop_assert_eq!(si.size_bits(), (gaps.len() + want_ph) * usize::from(width));
+    }
+
     /// `best_encoding` never returns something bigger than direct.
     #[test]
     fn best_encoding_is_at_most_direct(bits_vec in proptest::collection::vec(any::<bool>(), 1..1000)) {

@@ -117,6 +117,7 @@ fn full_queue_rejects_with_overloaded() {
             queue_depth: 2,
             emulate_hw_time: true,
             freq_ghz: 0.001,
+            ..ServeConfig::default()
         },
         std::sync::Arc::new(cs_serve::MonotonicClock::new()),
         metrics.clone(),
