@@ -26,6 +26,7 @@
 
 use std::time::Instant;
 
+use cs_bench::kernels_jsonl;
 use cs_compress::engine::{CompiledConvLayer, CompiledFcLayer};
 use cs_parallel::ThreadPool;
 use cs_sparsity::coarse::{prune_to_density, CoarseConfig};
@@ -164,9 +165,13 @@ fn main() {
         dense_ns / 1e3,
         sparse_ns / 1e3,
     );
-    jsonl.push_str(&format!(
-        "{{\"experiment\":\"fc\",\"n_in\":{n_in},\"n_out\":{n_out},\"density\":{:.4},\"dense_ns\":{dense_ns:.0},\"sparse_ns\":{sparse_ns:.0},\"speedup\":{fc_speedup:.3}}}\n",
-        compiled.density()
+    jsonl.push_str(&kernels_jsonl::fc_line(
+        n_in,
+        n_out,
+        compiled.density(),
+        dense_ns,
+        sparse_ns,
+        fc_speedup,
     ));
     if fc_speedup < 2.0 {
         failures.push(format!(
@@ -217,8 +222,13 @@ fn main() {
         conv_dense_ns / 1e3,
         conv_sparse_ns / 1e3,
     );
-    jsonl.push_str(&format!(
-        "{{\"experiment\":\"conv\",\"fin\":{fin},\"fout\":{fout},\"hw\":{hw},\"dense_ns\":{conv_dense_ns:.0},\"sparse_ns\":{conv_sparse_ns:.0},\"speedup\":{conv_speedup:.3}}}\n"
+    jsonl.push_str(&kernels_jsonl::conv_line(
+        fin,
+        fout,
+        hw,
+        conv_dense_ns,
+        conv_sparse_ns,
+        conv_speedup,
     ));
 
     // ---- 3. Parallel matmul scaling -----------------------------------
@@ -257,8 +267,8 @@ fn main() {
             "matmul {mm}^3 @ {threads} threads: {:.2} ms, speedup {speedup:.2}x",
             pooled_ns / 1e6
         );
-        jsonl.push_str(&format!(
-            "{{\"experiment\":\"matmul_scaling\",\"n\":{mm},\"threads\":{threads},\"serial_ns\":{serial_ns:.0},\"pooled_ns\":{pooled_ns:.0},\"speedup\":{speedup:.3}}}\n"
+        jsonl.push_str(&kernels_jsonl::matmul_line(
+            mm, threads, serial_ns, pooled_ns, speedup,
         ));
     }
     match speedup_at_4 {

@@ -10,6 +10,8 @@
 
 use cambricon_s::prelude::Scale;
 
+pub mod kernels_jsonl;
+
 /// Parses `--scale N` from process arguments (default `Reduced(4)`,
 /// `--scale 1` = `Full`).
 pub fn scale_from_args() -> Scale {

@@ -1,0 +1,115 @@
+//! Checked-in regression corpus.
+//!
+//! Each entry pins a `(seed, case)` pair that once exercised an
+//! interesting edge (or regressed an actual bug) so tier-1 CI replays it
+//! forever. Entries are *generated*, not stored: the deterministic
+//! generator recreates the exact model from the pair, which keeps the
+//! corpus immune to serialization drift.
+//!
+//! Add entries by running `conformance run`, picking the failing (or
+//! newly interesting) index from the report, and appending a line here
+//! with a note saying why it earns a slot.
+
+use cs_parallel::ThreadPool;
+
+use crate::runner;
+use crate::{Fault, Mismatch};
+
+/// One pinned regression case.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusEntry {
+    /// Run seed the case was discovered under.
+    pub seed: u64,
+    /// Case index within that run.
+    pub case: u64,
+    /// Why this entry is pinned.
+    pub note: &'static str,
+}
+
+/// The pinned regression corpus, replayed by tier-1 tests and CI.
+pub const CORPUS: &[CorpusEntry] = &[
+    CorpusEntry {
+        seed: 42,
+        case: 0,
+        note: "first case of the default sweep; canary for generator drift",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 2,
+        note: "LSTM timing lowering and monotonicity invariants (seq 7)",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 4,
+        note: "3-layer FC chain with odd widths (5/48/17) and zeroed input stripes",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 6,
+        note: "fully dense (density 1.0) edge through the compressed path",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 7,
+        note: "oversized pruning block (100 > matrix) with zeroed input stripes",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 11,
+        note: "padded k3 conv; pooled conv kernel vs dense conv2d",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 19,
+        note: "near-zero density edge (only the best block survives)",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 22,
+        note: "all-zero weight layer (codebook collapses to [0.0])",
+    },
+];
+
+/// Replays every corpus entry; returns the entries that now fail.
+pub fn replay_corpus(pools: &[ThreadPool]) -> Vec<(CorpusEntry, Vec<Mismatch>)> {
+    CORPUS
+        .iter()
+        .filter_map(|e| {
+            let (_case, mismatches) = runner::check_one(e.seed, e.case, Fault::None, pools);
+            (!mismatches.is_empty()).then_some((*e, mismatches))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_replays_green() {
+        let pools = runner::make_pools();
+        let failures = replay_corpus(&pools);
+        assert!(
+            failures.is_empty(),
+            "corpus regressions: {:#?}",
+            failures
+                .iter()
+                .map(|(e, m)| format!("seed {} case {} ({}): {m:?}", e.seed, e.case, e.note))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corpus_entries_are_unique() {
+        for (i, a) in CORPUS.iter().enumerate() {
+            for b in &CORPUS[i + 1..] {
+                assert!(
+                    (a.seed, a.case) != (b.seed, b.case),
+                    "duplicate corpus entry seed {} case {}",
+                    a.seed,
+                    a.case
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Differential executor: one generated case, every backend, one
+//! verdict.
+//!
+//! Each case is materialized once into [`FcArtifacts`] / conv artifacts
+//! (weights → coarse mask → shared-index layer → compiled engine layer →
+//! densified twin) and then pushed through every execution path the repo
+//! has. The equivalence contract (`DESIGN.md` §9):
+//!
+//! * dense reference vs sparse engine (serial): **bit-identical** on
+//!   finite inputs — the engine accumulates surviving terms in the same
+//!   ascending order and skipped terms are exact `±0.0`;
+//! * serial vs pooled engine at any thread count: **bit-identical** —
+//!   strips write disjoint windows with unchanged per-strip arithmetic;
+//! * dense conv2d vs sparse conv (serial and pooled): **bit-identical**;
+//! * functional simulator vs dense chain: **tolerance-bounded** — the
+//!   simulator accumulates per (tile, group) in hardware order, which is
+//!   a different (still deterministic) float summation order.
+//!
+//! [`Fault::ReverseAccumulation`] swaps the serial engine kernel for
+//! [`forward_reversed`], which adds the same terms in *descending* input
+//! order — a deliberately planted defect the harness must catch.
+
+use cs_accel::config::AccelConfig;
+use cs_accel::exec::Accelerator;
+use cs_accel::pe::Activation;
+use cs_compress::engine::{CompiledConvLayer, CompiledFcLayer};
+use cs_compress::format::SharedIndexLayer;
+use cs_parallel::ThreadPool;
+use cs_sparsity::coarse::{self, CoarseConfig};
+use cs_sparsity::Mask;
+use cs_tensor::ops::{self, Conv2dGeometry};
+use cs_tensor::{Shape, Tensor};
+
+use crate::gen::{Case, CaseKind, ConvCase, FcLayerCase, FcNetCase};
+use crate::rng::CaseRng;
+use crate::{Fault, Mismatch};
+
+/// Everything built for one FC layer of a case.
+#[derive(Debug, Clone)]
+pub struct FcLayerArtifacts {
+    /// The compact storage format (simulator + serving input).
+    pub shared: SharedIndexLayer,
+    /// The compiled block-CSR engine layer, bias attached.
+    pub engine: CompiledFcLayer,
+    /// Densified twin of the engine layer (the dense-reference operand).
+    pub dense: Tensor,
+    /// The coarse pruning mask.
+    pub mask: Mask,
+    /// Per-output bias, when the case carries one.
+    pub bias: Option<Vec<f32>>,
+    /// Activation after this layer (ReLU between layers, None last).
+    pub activation: Activation,
+}
+
+/// A whole FC case materialized for execution.
+#[derive(Debug, Clone)]
+pub struct FcArtifacts {
+    /// The layers in execution order.
+    pub layers: Vec<FcLayerArtifacts>,
+    /// The case's input vector.
+    pub input: Vec<f32>,
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn first_diff(a: &[f32], b: &[f32]) -> Option<(usize, f32, f32)> {
+    a.iter()
+        .zip(b)
+        .enumerate()
+        .find(|(_, (x, y))| x.to_bits() != y.to_bits())
+        .map(|(i, (x, y))| (i, *x, *y))
+}
+
+/// Seed offset separating bias fills from weight fills.
+const BIAS_SALT: u64 = 0xB1A5_B1A5_B1A5_B1A5;
+
+/// Materializes one FC layer case.
+///
+/// # Errors
+///
+/// Any build failure (pruner rejection, non-shared mask) is itself a
+/// conformance finding and comes back as a [`Mismatch`].
+pub fn build_fc_layer(
+    case: &FcLayerCase,
+    li: usize,
+    last: bool,
+) -> Result<FcLayerArtifacts, Mismatch> {
+    let n = case.n_in * case.n_out;
+    let data = if case.zero_weights {
+        vec![0.0f32; n]
+    } else {
+        CaseRng::from_seed(case.weight_seed).fill_f32(n, 0)
+    };
+    let w = Tensor::from_vec(Shape::d2(case.n_in, case.n_out), data)
+        .map_err(|e| Mismatch::new("build-weights", format!("layer {li}: {e:?}")))?;
+    let cfg = CoarseConfig::fc(case.block_in, case.block_out, case.metric);
+    let mask = coarse::prune_to_density(&w, &cfg, case.density)
+        .map_err(|e| Mismatch::new("build-prune", format!("layer {li}: {e:?}")))?;
+    // The shared-index group width must match the (clamped) pruning
+    // block along the output dimension, or the mask is not shared.
+    let group_size = case.block_out.min(case.n_out).max(1);
+    let shared =
+        SharedIndexLayer::from_fc(format!("fc{li}"), &w, &mask, group_size, case.quant_bits)
+            .map_err(|e| {
+                Mismatch::new(
+                    "build-shared-index",
+                    format!("layer {li}: coarse mask rejected by the format: {e:?}"),
+                )
+            })?;
+    let mut engine = CompiledFcLayer::from_shared(&shared);
+    let bias = case
+        .bias
+        .then(|| CaseRng::from_seed(case.weight_seed ^ BIAS_SALT).fill_f32(case.n_out, 0));
+    if let Some(b) = &bias {
+        engine = engine.with_bias(b.clone());
+    }
+    let dense = engine.to_dense();
+    Ok(FcLayerArtifacts {
+        shared,
+        engine,
+        dense,
+        mask,
+        bias,
+        activation: if last {
+            Activation::None
+        } else {
+            Activation::Relu
+        },
+    })
+}
+
+/// Materializes a whole FC case.
+///
+/// # Errors
+///
+/// Propagates the first layer build failure as a [`Mismatch`].
+pub fn build_fc(case: &FcNetCase) -> Result<FcArtifacts, Mismatch> {
+    let count = case.layers.len();
+    let layers = case
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(li, l)| build_fc_layer(l, li, li + 1 == count))
+        .collect::<Result<Vec<_>, _>>()?;
+    let input =
+        CaseRng::from_seed(case.input_seed).fill_f32(layers[0].engine.n_in, case.zero_every);
+    Ok(FcArtifacts { layers, input })
+}
+
+/// The planted [`Fault::ReverseAccumulation`] kernel: same strips, same
+/// terms, but each strip accumulates in *descending* input order, so the
+/// float rounding disagrees with the dense reference on almost any case
+/// with two or more surviving inputs per strip.
+pub fn forward_reversed(layer: &CompiledFcLayer, input: &[f32], out: &mut [f32]) {
+    assert_eq!(input.len(), layer.n_in, "input length mismatch");
+    assert_eq!(out.len(), layer.n_out, "output length mismatch");
+    out.fill(0.0);
+    for strip in &layer.strips {
+        let width = strip.out_end - strip.out_start;
+        let window = &mut out[strip.out_start..strip.out_end];
+        let mut pos = strip.survivors;
+        for &(s, e) in strip.runs.iter().rev() {
+            for i in (s..e).rev() {
+                pos -= 1;
+                let xi = input[i as usize];
+                let row = &strip.values[pos * width..(pos + 1) * width];
+                for (o, &wv) in window.iter_mut().zip(row) {
+                    *o += xi * wv;
+                }
+            }
+        }
+    }
+    if let Some(b) = &layer.bias {
+        for (o, bv) in out.iter_mut().zip(b) {
+            *o += *bv;
+        }
+    }
+}
+
+/// Runs an FC case through every backend and collects contract
+/// violations. `pools` is the set of thread pools the pooled engine leg
+/// is exercised at (the runner passes 1/2/4 threads).
+pub fn check_fc(art: &FcArtifacts, fault: Fault, pools: &[ThreadPool]) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let accel = Accelerator::new(AccelConfig::paper_default());
+    let mut x = art.input.clone();
+    for (li, la) in art.layers.iter().enumerate() {
+        let n_out = la.engine.n_out;
+        // Dense reference: matmul + element-wise bias, the exact op
+        // sequence of the serving dense lane.
+        let dense_out = match dense_forward(&la.dense, la.bias.as_deref(), &x) {
+            Ok(v) => v,
+            Err(m) => {
+                out.push(m);
+                return out;
+            }
+        };
+
+        let mut sparse = vec![0.0f32; n_out];
+        match fault {
+            Fault::None => la.engine.forward(&x, &mut sparse),
+            Fault::ReverseAccumulation => forward_reversed(&la.engine, &x, &mut sparse),
+        }
+        if let Some((i, s, d)) = first_diff(&sparse, &dense_out) {
+            out.push(Mismatch::new(
+                "fc-dense-vs-sparse-bits",
+                format!(
+                    "layer {li} output {i}: sparse {s:e} ({:#010x}) vs dense {d:e} ({:#010x})",
+                    s.to_bits(),
+                    d.to_bits()
+                ),
+            ));
+        }
+
+        for pool in pools {
+            let mut pooled = vec![0.0f32; n_out];
+            la.engine.forward_pooled(&x, &mut pooled, pool);
+            if let Some((i, p, d)) = first_diff(&pooled, &dense_out) {
+                out.push(Mismatch::new(
+                    "fc-dense-vs-pooled-bits",
+                    format!(
+                        "layer {li} output {i} at {} threads: pooled {p:e} vs dense {d:e}",
+                        pool.threads()
+                    ),
+                ));
+            }
+        }
+
+        // Next layer's input on every leg: activation over the dense
+        // reference.
+        let next: Vec<f32> = dense_out.iter().map(|v| la.activation.apply(*v)).collect();
+
+        // Simulator leg: tolerance-bounded, and only for bias-free
+        // layers (the datapath has no bias instruction).
+        if la.bias.is_none() {
+            match accel.run_layer(&la.shared, &x, la.activation) {
+                Ok(run) => {
+                    let scale = next.iter().fold(1.0f32, |m, v| m.max(v.abs()));
+                    let tol = 1e-3 * scale;
+                    if let Some((i, s, d)) = run
+                        .outputs
+                        .iter()
+                        .zip(&next)
+                        .enumerate()
+                        .find(|(_, (s, d))| (*s - *d).abs() > tol)
+                        .map(|(i, (s, d))| (i, *s, *d))
+                    {
+                        out.push(Mismatch::new(
+                            "fc-sim-vs-dense-tolerance",
+                            format!("layer {li} output {i}: sim {s} vs dense {d} (tol {tol:e})"),
+                        ));
+                    }
+                }
+                Err(e) => out.push(Mismatch::new("fc-sim-error", format!("layer {li}: {e:?}"))),
+            }
+        }
+
+        x = next;
+    }
+    out
+}
+
+fn dense_forward(weights: &Tensor, bias: Option<&[f32]>, x: &[f32]) -> Result<Vec<f32>, Mismatch> {
+    let xt = Tensor::from_vec(Shape::d2(1, x.len()), x.to_vec())
+        .map_err(|e| Mismatch::new("dense-ref-error", format!("{e:?}")))?;
+    let mm = ops::matmul(&xt, weights)
+        .map_err(|e| Mismatch::new("dense-ref-error", format!("{e:?}")))?;
+    let mut out = mm.as_slice().to_vec();
+    if let Some(b) = bias {
+        for (o, bv) in out.iter_mut().zip(b) {
+            *o += *bv;
+        }
+    }
+    Ok(out)
+}
+
+/// Artifacts for one conv case.
+#[derive(Debug, Clone)]
+pub struct ConvArtifacts {
+    /// The compiled sparse conv layer, bias attached.
+    pub layer: CompiledConvLayer,
+    /// The coarse pruning mask over `(n_fin, n_fout, kx, ky)`.
+    pub mask: Mask,
+    /// Per-output-map bias, when the case carries one.
+    pub bias: Option<Vec<f32>>,
+    /// The `(n_fin, h, w)` input tensor.
+    pub input: Tensor,
+    /// Convolution geometry.
+    pub geom: Conv2dGeometry,
+}
+
+/// Materializes a conv case.
+///
+/// # Errors
+///
+/// Build failures come back as [`Mismatch`] findings.
+pub fn build_conv(case: &ConvCase) -> Result<ConvArtifacts, Mismatch> {
+    let n = case.n_fin * case.n_fout * case.k * case.k;
+    let data = CaseRng::from_seed(case.weight_seed).fill_f32(n, 0);
+    let w = Tensor::from_vec(Shape::d4(case.n_fin, case.n_fout, case.k, case.k), data)
+        .map_err(|e| Mismatch::new("build-weights", format!("{e:?}")))?;
+    let (bf, bo, bx, by) = case.block;
+    let cfg = CoarseConfig::conv(bf, bo, bx, by, case.metric);
+    let mask = coarse::prune_to_density(&w, &cfg, case.density)
+        .map_err(|e| Mismatch::new("build-prune", format!("{e:?}")))?;
+    let geom = Conv2dGeometry::square(case.k, 1, case.pad);
+    let group_size = bo.min(case.n_fout).max(1);
+    let mut layer =
+        CompiledConvLayer::compile_conv("conv", &w, &mask, group_size, case.quant_bits, geom)
+            .map_err(|e| {
+                Mismatch::new(
+                    "build-shared-index",
+                    format!("coarse conv mask rejected by the format: {e:?}"),
+                )
+            })?;
+    let bias = case
+        .bias
+        .then(|| CaseRng::from_seed(case.weight_seed ^ BIAS_SALT).fill_f32(case.n_fout, 0));
+    if let Some(b) = &bias {
+        layer = layer.with_bias(b.clone());
+    }
+    let input = Tensor::from_vec(
+        Shape::d3(case.n_fin, case.h, case.w),
+        CaseRng::from_seed(case.input_seed).fill_f32(case.n_fin * case.h * case.w, 3),
+    )
+    .map_err(|e| Mismatch::new("build-input", format!("{e:?}")))?;
+    Ok(ConvArtifacts {
+        layer,
+        mask,
+        bias,
+        input,
+        geom,
+    })
+}
+
+/// Runs a conv case: dense `conv2d` vs the sparse conv engine, serial
+/// and pooled, all bit-identical. (The planted fault targets the FC
+/// serial kernel, so conv cases always run the production kernels.)
+pub fn check_conv(art: &ConvArtifacts, pools: &[ThreadPool]) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let dense4 = art.layer.to_dense();
+    let want = match ops::conv2d(&art.input, &dense4, art.bias.as_deref(), &art.geom) {
+        Ok(t) => t,
+        Err(e) => {
+            out.push(Mismatch::new("dense-ref-error", format!("{e:?}")));
+            return out;
+        }
+    };
+    match art.layer.forward(&art.input) {
+        Ok(got) => {
+            if got.shape() != want.shape() {
+                out.push(Mismatch::new(
+                    "conv-shape",
+                    format!("sparse {:?} vs dense {:?}", got.shape(), want.shape()),
+                ));
+            } else if let Some((i, s, d)) = first_diff(got.as_slice(), want.as_slice()) {
+                out.push(Mismatch::new(
+                    "conv-dense-vs-sparse-bits",
+                    format!("element {i}: sparse {s:e} vs dense {d:e}"),
+                ));
+            }
+        }
+        Err(e) => out.push(Mismatch::new("conv-engine-error", format!("{e:?}"))),
+    }
+    for pool in pools {
+        match art.layer.forward_pooled(&art.input, pool) {
+            Ok(got) => {
+                if bits(got.as_slice()) != bits(want.as_slice()) {
+                    out.push(Mismatch::new(
+                        "conv-dense-vs-pooled-bits",
+                        format!("mismatch at {} threads", pool.threads()),
+                    ));
+                }
+            }
+            Err(e) => out.push(Mismatch::new(
+                "conv-engine-error",
+                format!("pooled at {} threads: {e:?}", pool.threads()),
+            )),
+        }
+    }
+    out
+}
+
+/// Runs every check that applies to `case` — differential legs plus the
+/// structural invariants — and returns all violations found. This is the
+/// single predicate the runner, the shrinker, and `replay` share.
+pub fn check_case(case: &Case, fault: Fault, pools: &[ThreadPool]) -> Vec<Mismatch> {
+    match &case.kind {
+        CaseKind::FcNet(c) => match build_fc(c) {
+            Ok(art) => {
+                let mut m = check_fc(&art, fault, pools);
+                m.extend(crate::invariants::check_fc(c, &art));
+                m
+            }
+            Err(m) => vec![m],
+        },
+        CaseKind::Conv(c) => match build_conv(c) {
+            Ok(art) => {
+                let mut m = check_conv(&art, pools);
+                m.extend(crate::invariants::check_conv(c, &art));
+                m
+            }
+            Err(m) => vec![m],
+        },
+        CaseKind::LstmTiming(c) => crate::invariants::check_lstm(c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn pools() -> Vec<ThreadPool> {
+        vec![ThreadPool::new(1), ThreadPool::new(2)]
+    }
+
+    #[test]
+    fn production_kernels_pass_a_case_batch() {
+        let pools = pools();
+        for k in 0..24 {
+            let case = gen::generate(20180601, k);
+            let m = check_case(&case, Fault::None, &pools);
+            assert!(
+                m.is_empty(),
+                "case {k} ({}) failed: {:?}",
+                case.kind.summary(),
+                m
+            );
+        }
+    }
+
+    #[test]
+    fn reversed_accumulation_differs_from_forward() {
+        // A case with enough survivors per strip for summation order to
+        // matter.
+        let case = FcLayerCase {
+            n_in: 32,
+            n_out: 16,
+            block_in: 4,
+            block_out: 16,
+            metric: cs_sparsity::coarse::PruneMetric::Average,
+            density: 0.8,
+            quant_bits: 8,
+            bias: false,
+            zero_weights: false,
+            weight_seed: 7,
+        };
+        let la = build_fc_layer(&case, 0, true).unwrap();
+        let x = CaseRng::from_seed(11).fill_f32(32, 0);
+        let fwd = la.engine.forward_alloc(&x);
+        let mut rev = vec![0.0f32; 16];
+        forward_reversed(&la.engine, &x, &mut rev);
+        // Same value to float tolerance, different bits somewhere.
+        for (a, b) in fwd.iter().zip(&rev) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert_ne!(bits(&fwd), bits(&rev), "reversal changed no rounding");
+    }
+}

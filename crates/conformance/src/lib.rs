@@ -1,0 +1,116 @@
+//! Cross-backend differential conformance harness (the correctness
+//! backbone for the execution stack).
+//!
+//! The repo has three ways to execute the same compressed model — the
+//! dense reference kernels, the block-CSR sparse engine, and the
+//! cycle-approximate Cambricon-S simulator — plus six baseline
+//! accelerator models. This crate cross-checks them continuously with
+//! generator-driven cases instead of hand-picked examples:
+//!
+//! * [`gen`] — a deterministic model/config generator: every `(seed,
+//!   case-index)` pair expands to one random FC / conv / LSTM case with
+//!   coarse-pruning settings (block shapes, max/avg metric, densities
+//!   including the ~0% and 100% edges) and quantization widths.
+//! * [`diff`] — the differential executor: runs each case through the
+//!   Dense reference, the sparse engine (serial and pooled at 1/2/4
+//!   threads), and the simulator, asserting bit-identity where the
+//!   equivalence contract promises it and bounded error where it
+//!   doesn't (see `DESIGN.md` §9 for the contract table).
+//! * [`invariants`] — structural checks over simulator and baseline
+//!   outputs: cycles are positive and monotone in work, sparse DRAM
+//!   traffic stays under the dense bound, EIE / Cambricon-X MAC counts
+//!   are consistent with survivor counts, and `StepIndex` round-trips
+//!   on every compiled layer's mask.
+//! * [`shrink`] — a built-in shrinker that minimizes a failing case
+//!   (fewer layers → smaller shapes → denser mask) and prints a
+//!   one-line `conformance replay --seed N --case K` reproduction.
+//! * [`serve_check`] — backend-agreement check on *served* outputs: the
+//!   same inputs through `cs-serve` workers on the Sparse and Dense
+//!   backends must come back bit-identical.
+//! * [`runner`] — the orchestrator behind the `conformance` bin
+//!   (`run` / `replay` / `corpus` subcommands), with cs-telemetry
+//!   counters for cases run, mismatches, and shrink steps.
+//! * [`corpus`] — the checked-in regression corpus of previously-shrunk
+//!   or edge-rich `(seed, case)` pairs, replayed in tier-1 tests.
+//!
+//! # Example
+//!
+//! ```
+//! use cs_conformance::runner::{self, RunConfig};
+//!
+//! let report = runner::run(&RunConfig {
+//!     cases: 8,
+//!     seed: 42,
+//!     ..RunConfig::default()
+//! });
+//! assert_eq!(report.failures.len(), 0);
+//! ```
+
+pub mod corpus;
+pub mod diff;
+pub mod gen;
+pub mod invariants;
+pub mod rng;
+pub mod runner;
+pub mod serve_check;
+pub mod shrink;
+
+/// A deliberately-injected engine defect, used to exercise the harness
+/// itself: the acceptance test flips the sparse kernel's accumulation
+/// order and demands that the harness catches it, shrinks it, and
+/// prints a replay command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// No fault: production kernels as shipped.
+    #[default]
+    None,
+    /// Accumulate each strip's surviving terms in *descending* input
+    /// order. The dense reference adds them ascending, so the float
+    /// rounding differs and bit-identity breaks on almost every case.
+    ReverseAccumulation,
+}
+
+impl Fault {
+    /// Parses the `--inject` CLI spelling.
+    pub fn parse(s: &str) -> Option<Fault> {
+        match s {
+            "none" => Some(Fault::None),
+            "reverse-accumulation" => Some(Fault::ReverseAccumulation),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::ReverseAccumulation => "reverse-accumulation",
+        }
+    }
+}
+
+/// One contract violation found by a check, with enough detail to
+/// diagnose without re-running.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// Which check failed (e.g. `fc-dense-vs-sparse-bits`).
+    pub check: String,
+    /// Human-readable specifics: indices, expected vs actual values.
+    pub detail: String,
+}
+
+impl Mismatch {
+    /// Creates a mismatch record.
+    pub fn new(check: impl Into<String>, detail: impl Into<String>) -> Self {
+        Mismatch {
+            check: check.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}

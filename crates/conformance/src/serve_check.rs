@@ -1,0 +1,154 @@
+//! Backend-agreement check on *served* outputs.
+//!
+//! The differential executor exercises the kernels directly; this module
+//! closes the loop through `cs-serve`: the same shared-index layers are
+//! registered as a [`ServableModel`], started under the Sparse and Dense
+//! engine backends, and queried with identical inputs. The contract:
+//!
+//! * Sparse-served and Dense-served outputs are **bit-identical** to
+//!   each other and to a direct (unserved) lane forward — batching,
+//!   queuing, and worker scheduling must never perturb arithmetic;
+//! * engine-lane responses report `cycles == 0` (no hardware model ran),
+//!   which is exactly why `ServeStats` must keep them out of the
+//!   hardware-side throughput figures.
+
+use cs_serve::{ExecBackend, InferRequest, ModelRegistry, ServableModel, ServeConfig, Server};
+
+use crate::diff::FcArtifacts;
+use crate::rng::CaseRng;
+use crate::Mismatch;
+
+const MODEL: &str = "conformance";
+const PROBES: usize = 4;
+
+fn model_from(art: &FcArtifacts) -> ServableModel {
+    let layers: Vec<_> = art
+        .layers
+        .iter()
+        .map(|la| (la.shared.clone(), la.activation))
+        .collect();
+    let n_in = layers[0].0.n_in;
+    let n_out = layers[layers.len() - 1].0.n_out;
+    ServableModel {
+        name: MODEL.to_string(),
+        layers,
+        n_in,
+        n_out,
+    }
+}
+
+fn serve_outputs(
+    art: &FcArtifacts,
+    backend: ExecBackend,
+    probes: &[Vec<f32>],
+) -> Result<Vec<(Vec<f32>, u64)>, Mismatch> {
+    let mut registry = ModelRegistry::new();
+    registry.register(model_from(art)).map_err(|e| {
+        Mismatch::new(
+            "serve-admission",
+            format!("registry rejected the case's layers: {e:?}"),
+        )
+    })?;
+    let cfg = ServeConfig {
+        workers: 2,
+        backend,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, cfg)
+        .map_err(|e| Mismatch::new("serve-start", format!("{backend:?}: {e:?}")))?;
+    let mut out = Vec::with_capacity(probes.len());
+    for p in probes {
+        let resp = server
+            .infer(InferRequest::new(MODEL, p.clone()))
+            .map_err(|e| Mismatch::new("serve-infer", format!("{backend:?}: {e:?}")))?;
+        out.push((resp.outputs, resp.cycles));
+    }
+    server.shutdown();
+    Ok(out)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Serves the case's layers under both engine backends and checks
+/// agreement (note the artifacts' biases are engine-side only and are
+/// deliberately not part of the served model — `ServableModel` carries
+/// none).
+pub fn check_serve(art: &FcArtifacts, probe_seed: u64) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let n_in = art.layers[0].shared.n_in;
+    let mut rng = CaseRng::from_seed(probe_seed);
+    let mut probes: Vec<Vec<f32>> = (0..PROBES - 1)
+        .map(|i| rng.fill_f32(n_in, i + 1)) // varying dynamic sparsity
+        .collect();
+    probes.push(art.input.clone());
+
+    let sparse = match serve_outputs(art, ExecBackend::Sparse, &probes) {
+        Ok(v) => v,
+        Err(m) => return vec![m],
+    };
+    let dense = match serve_outputs(art, ExecBackend::Dense, &probes) {
+        Ok(v) => v,
+        Err(m) => return vec![m],
+    };
+
+    // Unserved reference: the sparse lane run directly on this thread.
+    let lane = model_from(art).sparse_lane();
+    for (pi, probe) in probes.iter().enumerate() {
+        let want = match lane.forward(probe) {
+            Ok(v) => v,
+            Err(e) => {
+                out.push(Mismatch::new("serve-lane-error", format!("{e:?}")));
+                return out;
+            }
+        };
+        let (sp, sp_cycles) = &sparse[pi];
+        let (de, de_cycles) = &dense[pi];
+        if bits(sp) != bits(de) {
+            out.push(Mismatch::new(
+                "serve-sparse-vs-dense-bits",
+                format!("probe {pi}: served sparse and dense outputs differ"),
+            ));
+        }
+        if bits(sp) != bits(&want) {
+            out.push(Mismatch::new(
+                "serve-vs-direct-bits",
+                format!("probe {pi}: served output differs from direct lane forward"),
+            ));
+        }
+        if *sp_cycles != 0 || *de_cycles != 0 {
+            out.push(Mismatch::new(
+                "serve-engine-cycles",
+                format!(
+                    "probe {pi}: engine lanes must report 0 cycles, got sparse {sp_cycles} / dense {de_cycles}"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::build_fc;
+    use crate::gen::{self, CaseKind};
+
+    #[test]
+    fn served_backends_agree_on_generated_cases() {
+        let mut checked = 0;
+        for k in 0..32 {
+            if let CaseKind::FcNet(c) = gen::generate(20180601, k).kind {
+                let art = build_fc(&c).unwrap();
+                let m = check_serve(&art, 0xC0FFEE ^ k);
+                assert!(m.is_empty(), "case {k}: {m:?}");
+                checked += 1;
+                if checked == 3 {
+                    break; // three cases keep the test fast
+                }
+            }
+        }
+        assert_eq!(checked, 3);
+    }
+}

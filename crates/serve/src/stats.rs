@@ -40,6 +40,7 @@ struct StatsInner {
     submitted: u64,
     rejected: u64,
     completed: u64,
+    hw_completed: u64,
     failed: u64,
     queue_depth: usize,
     max_queue_depth: usize,
@@ -305,10 +306,19 @@ impl ServeStats {
     }
 
     /// Records one completed request.
+    ///
+    /// Requests with `cycles == 0` ran on an engine lane with no
+    /// hardware model attached (see [`crate::ExecBackend`]); they count
+    /// toward wall-clock throughput but are excluded from the
+    /// hardware-side accounting (`cycles_per_req`, `energy_pj_per_req`,
+    /// `hw_rps`), which would otherwise be diluted toward zero.
     pub fn record_done(&self, worker: usize, latency_us: u64, cycles: u64, energy_pj: f64) {
         {
             let mut g = lock_or_recover(&self.inner);
             g.completed += 1;
+            if cycles > 0 {
+                g.hw_completed += 1;
+            }
             g.total_cycles += cycles;
             g.total_energy_pj += energy_pj;
             if let Some(busy) = g.worker_busy_cycles.get_mut(worker) {
@@ -405,16 +415,17 @@ impl ServeStats {
             } else {
                 batched_reqs as f64 / batches as f64
             },
+            hw_completed: g.hw_completed,
             total_cycles: g.total_cycles,
-            cycles_per_req: if completed == 0 {
+            cycles_per_req: if g.hw_completed == 0 {
                 0.0
             } else {
-                g.total_cycles as f64 / completed as f64
+                g.total_cycles as f64 / g.hw_completed as f64
             },
-            energy_pj_per_req: if completed == 0 {
+            energy_pj_per_req: if g.hw_completed == 0 {
                 0.0
             } else {
-                g.total_energy_pj / completed as f64
+                g.total_energy_pj / g.hw_completed as f64
             },
             worker_busy_cycles: g.worker_busy_cycles.clone(),
         }
@@ -432,6 +443,10 @@ pub struct ServeSnapshot {
     pub rejected: u64,
     /// Requests answered successfully.
     pub completed: u64,
+    /// Completed requests that ran a hardware model (`cycles > 0`).
+    /// Engine-lane requests complete with zero cycles and are excluded
+    /// from the per-request hardware figures below.
+    pub hw_completed: u64,
     /// Requests answered with an error.
     pub failed: u64,
     /// Requests currently queued (admitted, not yet batched).
@@ -454,9 +469,11 @@ pub struct ServeSnapshot {
     pub mean_batch: f64,
     /// Total simulated accelerator cycles across all requests.
     pub total_cycles: u64,
-    /// Mean simulated cycles per completed request.
+    /// Mean simulated cycles per hardware-modeled request
+    /// (zero-cycle engine-lane completions excluded).
     pub cycles_per_req: f64,
-    /// Mean simulated energy per completed request (picojoules).
+    /// Mean simulated energy per hardware-modeled request (picojoules,
+    /// zero-cycle engine-lane completions excluded).
     pub energy_pj_per_req: f64,
     /// Simulated busy cycles per worker (one accelerator each).
     pub worker_busy_cycles: Vec<u64>,
@@ -471,14 +488,16 @@ impl ServeSnapshot {
     }
 
     /// Requests per second the simulated hardware sustains at
-    /// `freq_ghz`: completed requests over the busiest accelerator's
-    /// busy time.
+    /// `freq_ghz`: hardware-modeled completions over the busiest
+    /// accelerator's busy time. Zero-cycle engine-lane completions
+    /// never touched the hardware model, so counting them would inflate
+    /// the figure.
     pub fn hw_rps(&self, freq_ghz: f64) -> f64 {
         let makespan = self.makespan_cycles();
         if makespan == 0 {
             return 0.0;
         }
-        self.completed as f64 * freq_ghz * 1e9 / makespan as f64
+        self.hw_completed as f64 * freq_ghz * 1e9 / makespan as f64
     }
 
     /// Multi-line human-readable rendering.
@@ -573,6 +592,45 @@ mod tests {
         // 2 requests / (3000 cycles / 1 GHz) = 2 / 3 µs.
         let rps = snap.hw_rps(1.0);
         assert!((rps - 2.0 / 3e-6).abs() / rps < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycle_engine_completions_stay_out_of_hw_accounting() {
+        // Regression: engine-lane requests (ExecBackend::Sparse/Dense)
+        // complete with cycles == 0. They used to be counted in the
+        // cycles_per_req / hw_rps denominators, diluting the hardware
+        // throughput figures whenever engine and simulator traffic
+        // mixed.
+        let clock = Arc::new(ManualClock::new(0));
+        let stats = ServeStats::new(clock.clone(), 1);
+        stats.record_done(0, 10, 2_000, 100.0); // simulator-backed
+        stats.record_done(0, 10, 4_000, 200.0); // simulator-backed
+        stats.record_done(0, 10, 0, 0.0); // engine lane, no hw model
+        stats.record_done(0, 10, 0, 0.0); // engine lane, no hw model
+        clock.advance(1_000_000);
+        let snap = stats.snapshot();
+        // Wall-clock throughput still counts every completion...
+        assert_eq!(snap.completed, 4);
+        assert_eq!(snap.throughput_rps, 4.0);
+        // ...but the hardware figures only average hw-modeled requests.
+        assert_eq!(snap.hw_completed, 2);
+        assert_eq!(snap.cycles_per_req, 3_000.0);
+        assert_eq!(snap.energy_pj_per_req, 150.0);
+        // hw_rps: 2 hw requests over a 6000-cycle makespan at 1 GHz.
+        let rps = snap.hw_rps(1.0);
+        assert!((rps - 2.0 * 1e9 / 6_000.0).abs() / rps < 1e-9);
+    }
+
+    #[test]
+    fn all_engine_traffic_yields_zero_hw_figures() {
+        let stats = ServeStats::new(Arc::new(ManualClock::new(0)), 1);
+        stats.record_done(0, 10, 0, 0.0);
+        stats.record_done(0, 10, 0, 0.0);
+        let snap = stats.snapshot();
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.hw_completed, 0);
+        assert_eq!(snap.cycles_per_req, 0.0);
+        assert_eq!(snap.hw_rps(1.0), 0.0);
     }
 
     #[test]

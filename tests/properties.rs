@@ -56,6 +56,75 @@ proptest! {
                      "density {} vs target {}", mask.density(), density);
     }
 
+    /// Coarse pruning with a block larger than the matrix degenerates to
+    /// all-or-one: the block clamps to the whole tensor, so the mask is
+    /// either full or exactly the single guaranteed block.
+    #[test]
+    fn oversized_block_keeps_all_or_one(rows in 2usize..24, cols in 2usize..24,
+                                        block in 50usize..200,
+                                        density in 0.05f64..1.0,
+                                        seed in 0u64..1000) {
+        let w = cs_nn::init::gaussian(Shape::d2(rows, cols), 0.1, seed);
+        let cfg = CoarseConfig::fc(block, block, PruneMetric::Max);
+        let mask = coarse::prune_to_density(&w, &cfg, density).unwrap();
+        // One clamped block covers everything, and the best block is
+        // never pruned — so the mask must be completely full.
+        prop_assert_eq!(mask.ones(), rows * cols);
+        prop_assert!(coarse::is_block_aligned(&mask, &cfg));
+    }
+
+    /// Non-divisible blocks: ragged edge blocks are still legal, the
+    /// mask stays block-aligned, and the compiled engine stays
+    /// bit-identical to its own dense rendering.
+    #[test]
+    fn ragged_blocks_compile_and_match_dense(n_in in 5usize..40, n_out in 5usize..40,
+                                             block_in in 2usize..7, block_out in 2usize..7,
+                                             density in 0.1f64..1.0,
+                                             seed in 0u64..500) {
+        // Force the blocks to NOT divide the shape.
+        prop_assume!(n_in % block_in != 0 || n_out % block_out != 0);
+        let w = cs_nn::init::gaussian(Shape::d2(n_in, n_out), 0.1, seed);
+        let cfg = CoarseConfig::fc(block_in, block_out, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, density).unwrap();
+        prop_assert!(coarse::is_block_aligned(&mask, &cfg));
+        let group = block_out.min(n_out).max(1);
+        let sil = SharedIndexLayer::from_fc("ragged", &w, &mask, group, 8).unwrap();
+        let engine = cs_compress::engine::CompiledFcLayer::from_shared(&sil);
+        let dense = engine.to_dense();
+        let input: Vec<f32> = (0..n_in)
+            .map(|i| ((seed as usize + i * 7) % 13) as f32 * 0.1 - 0.6)
+            .collect();
+        let got = engine.forward_alloc(&input);
+        let xt = cs_tensor::Tensor::from_vec(Shape::d2(1, n_in), input.clone()).unwrap();
+        let want = cs_tensor::ops::matmul(&xt, &dense).unwrap();
+        let want = want.as_slice();
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits(),
+                            "engine not bit-identical to dense: {} vs {}", g, w);
+        }
+    }
+
+    /// An all-zero layer survives the whole compressed pipeline: the
+    /// pruner still keeps its guaranteed block, the codebook collapses,
+    /// and the engine output is exactly zero everywhere.
+    #[test]
+    fn all_zero_layer_compresses_to_zero_outputs(n_in in 4usize..32, n_out in 4usize..32,
+                                                 block in 1usize..8,
+                                                 density in 0.05f64..1.0) {
+        let w = cs_tensor::Tensor::zeros(Shape::d2(n_in, n_out));
+        let cfg = CoarseConfig::fc(block, block, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, density).unwrap();
+        prop_assert!(mask.ones() > 0, "everything pruned");
+        let group = block.min(n_out).max(1);
+        let sil = SharedIndexLayer::from_fc("zeros", &w, &mask, group, 4).unwrap();
+        let engine = cs_compress::engine::CompiledFcLayer::from_shared(&sil);
+        let input: Vec<f32> = (0..n_in).map(|i| i as f32 * 0.25 - 1.0).collect();
+        for v in engine.forward_alloc(&input) {
+            prop_assert_eq!(v.to_bits(), 0.0f32.to_bits());
+        }
+    }
+
     /// Fine-grained pruning keeps exactly the requested count and always
     /// keeps a superset of larger magnitudes.
     #[test]
