@@ -1,10 +1,11 @@
 //! Conformance harness CLI.
 //!
 //! ```text
-//! conformance run    --cases N --seed S [--inject FAULT] [--serve-every N]
-//!                    [--no-shrink] [--max-failures N] [--report-out PATH]
-//! conformance replay --seed S --case K [--inject FAULT]
+//! conformance run      --cases N --seed S [--inject FAULT] [--serve-every N]
+//!                      [--no-shrink] [--max-failures N] [--report-out PATH]
+//! conformance replay   --seed S --case K [--inject FAULT]
 //! conformance corpus
+//! conformance net-fuzz [--cases N] [--seed S]
 //! ```
 //!
 //! Exit codes: 0 = all checks green, 1 = usage error, 2 = mismatches.
@@ -20,7 +21,8 @@ fn usage() -> ExitCode {
          conformance run --cases N --seed S [--inject reverse-accumulation]\n      \
          [--serve-every N] [--no-shrink] [--max-failures N] [--report-out PATH]\n  \
          conformance replay --seed S --case K [--inject reverse-accumulation]\n  \
-         conformance corpus"
+         conformance corpus\n  \
+         conformance net-fuzz [--cases N] [--seed S]"
     );
     ExitCode::from(1)
 }
@@ -162,6 +164,34 @@ fn cmd_corpus() -> ExitCode {
     }
 }
 
+fn cmd_net_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    let mut cases = 500u64;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cases" => cases = parse_u64(args, &mut i, "--cases")?,
+            "--seed" => seed = parse_u64(args, &mut i, "--seed")?,
+            other => return Err(format!("net-fuzz: unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    let mismatches = cs_conformance::net_check::fuzz_codec(seed, cases);
+    println!(
+        "net-fuzz: {cases} cases, seed {seed}, {} violations",
+        mismatches.len()
+    );
+    for m in &mismatches {
+        println!("  {m}");
+    }
+    if mismatches.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("  replay: conformance net-fuzz --cases {cases} --seed {seed}");
+        Ok(ExitCode::from(2))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -177,6 +207,7 @@ fn main() -> ExitCode {
             }
             Ok(cmd_corpus())
         }
+        "net-fuzz" => cmd_net_fuzz(rest),
         _ => return usage(),
     };
     match result {

@@ -12,8 +12,9 @@
 
 use cs_parallel::ThreadPool;
 
+use crate::gen::{self, CaseKind};
 use crate::runner;
-use crate::{Fault, Mismatch};
+use crate::{diff, net_check, Fault, Mismatch};
 
 /// One pinned regression case.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +23,11 @@ pub struct CorpusEntry {
     pub seed: u64,
     /// Case index within that run.
     pub case: u64,
+    /// Additionally replay the case through a loopback TCP
+    /// [`cs_net::NetServer`] and check socket-path bit-identity
+    /// ([`net_check::check_serve_socket`]). Only meaningful for FC
+    /// cases — the serving runtime registers FC layers.
+    pub socket: bool,
     /// Why this entry is pinned.
     pub note: &'static str,
 }
@@ -31,42 +37,56 @@ pub const CORPUS: &[CorpusEntry] = &[
     CorpusEntry {
         seed: 42,
         case: 0,
+        socket: false,
         note: "first case of the default sweep; canary for generator drift",
     },
     CorpusEntry {
         seed: 42,
         case: 2,
+        socket: false,
         note: "LSTM timing lowering and monotonicity invariants (seq 7)",
     },
     CorpusEntry {
         seed: 42,
         case: 4,
+        socket: false,
         note: "3-layer FC chain with odd widths (5/48/17) and zeroed input stripes",
     },
     CorpusEntry {
         seed: 42,
         case: 6,
+        socket: false,
         note: "fully dense (density 1.0) edge through the compressed path",
     },
     CorpusEntry {
         seed: 42,
         case: 7,
+        socket: false,
         note: "oversized pruning block (100 > matrix) with zeroed input stripes",
     },
     CorpusEntry {
         seed: 42,
         case: 11,
+        socket: false,
         note: "padded k3 conv; pooled conv kernel vs dense conv2d",
     },
     CorpusEntry {
         seed: 42,
         case: 19,
+        socket: false,
         note: "near-zero density edge (only the best block survives)",
     },
     CorpusEntry {
         seed: 42,
         case: 22,
+        socket: false,
         note: "all-zero weight layer (codebook collapses to [0.0])",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 9,
+        socket: true,
+        note: "FC 16x48x8 served over loopback TCP; socket path must stay bit-identical",
     },
 ];
 
@@ -75,10 +95,32 @@ pub fn replay_corpus(pools: &[ThreadPool]) -> Vec<(CorpusEntry, Vec<Mismatch>)> 
     CORPUS
         .iter()
         .filter_map(|e| {
-            let (_case, mismatches) = runner::check_one(e.seed, e.case, Fault::None, pools);
+            let (case, mut mismatches) = runner::check_one(e.seed, e.case, Fault::None, pools);
+            if e.socket {
+                mismatches.extend(socket_leg(e, &case));
+            }
             (!mismatches.is_empty()).then_some((*e, mismatches))
         })
         .collect()
+}
+
+/// The loopback-TCP differential leg for `socket: true` entries.
+fn socket_leg(e: &CorpusEntry, case: &gen::Case) -> Vec<Mismatch> {
+    match &case.kind {
+        CaseKind::FcNet(fc) => match diff::build_fc(fc) {
+            Ok(art) => net_check::check_serve_socket(&art, e.seed ^ e.case),
+            Err(m) => vec![m],
+        },
+        other => vec![Mismatch::new(
+            "corpus-socket-kind",
+            format!(
+                "socket entry seed {} case {} is a {} case; only FC cases can be served",
+                e.seed,
+                e.case,
+                other.name()
+            ),
+        )],
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,11 @@
 //! * [`serve_check`] — backend-agreement check on *served* outputs: the
 //!   same inputs through `cs-serve` workers on the Sparse and Dense
 //!   backends must come back bit-identical.
+//! * [`net_check`] — the network-path extension of the same contract:
+//!   a seed-replayable fuzz sweep over the `cs-net` frame codec
+//!   (`conformance net-fuzz`), plus a socket differential that serves a
+//!   case over loopback TCP and demands bit-identity with a direct
+//!   in-process lane forward.
 //! * [`runner`] — the orchestrator behind the `conformance` bin
 //!   (`run` / `replay` / `corpus` subcommands), with cs-telemetry
 //!   counters for cases run, mismatches, and shrink steps.
@@ -50,6 +55,7 @@ pub mod corpus;
 pub mod diff;
 pub mod gen;
 pub mod invariants;
+pub mod net_check;
 pub mod rng;
 pub mod runner;
 pub mod serve_check;

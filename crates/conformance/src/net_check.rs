@@ -1,0 +1,352 @@
+//! Network-path conformance: codec fuzzing and the socket differential.
+//!
+//! Two checks close the loop through `cs-net`:
+//!
+//! * [`fuzz_codec`] — a seed-replayable sweep over the frame codec.
+//!   Every case builds a random valid frame (ids across the u64 range,
+//!   model names with multi-byte UTF-8, f32 payloads drawn from raw bit
+//!   patterns so NaNs, infinities and both zeros appear) and demands a
+//!   byte-exact `encode → decode → encode` round trip (byte-level, so
+//!   NaN payloads cannot hide behind `PartialEq`). It then mutates the
+//!   encoding — truncations, bit flips, hostile length prefixes,
+//!   appended junk — and demands the decoder returns a value (`Ok` or a
+//!   typed [`WireError`]) without panicking and without allocating past
+//!   the payload cap.
+//! * [`check_serve_socket`] — the served-output differential of
+//!   [`crate::serve_check`] run over real loopback TCP: the same probes
+//!   through a [`cs_net::NetServer`] on the Sparse and Dense backends
+//!   must be bit-identical to a direct in-process lane forward. The
+//!   wire format's f32-bits encoding makes this exact, and the corpus
+//!   pins one such case forever.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use cs_net::wire::{ErrorCode, Frame, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use cs_net::{Client, NetConfig, NetServer};
+use cs_serve::{ExecBackend, ModelRegistry, ServeConfig, Server};
+use cs_telemetry::{MonotonicClock, Registry};
+
+use crate::diff::FcArtifacts;
+use crate::rng::CaseRng;
+use crate::serve_check::{model_from, MODEL};
+use crate::Mismatch;
+
+/// Probes per backend for the socket differential.
+const SOCKET_PROBES: usize = 4;
+
+/// Builds a random valid frame from the case's RNG stream.
+fn gen_frame(rng: &mut CaseRng) -> Frame {
+    let id = rng.next_u64();
+    fn gen_string(rng: &mut CaseRng) -> String {
+        const ALPHABET: [&str; 12] = [
+            "a", "z", "0", "_", "-", ".", "µ", "Ω", "日", "🦀", " ", "\"",
+        ];
+        let len = rng.range(0, 24);
+        (0..len).map(|_| *rng.pick(&ALPHABET)).collect()
+    }
+    fn gen_f32s(rng: &mut CaseRng) -> Vec<f32> {
+        let len = rng.range(0, 64) as usize;
+        (0..len)
+            .map(|_| {
+                if rng.chance(0.25) {
+                    // Special values from raw bit patterns: NaN payloads,
+                    // infinities, subnormals, negative zero.
+                    f32::from_bits(rng.next_u64() as u32)
+                } else {
+                    (rng.f64() - 0.5) as f32
+                }
+            })
+            .collect()
+    }
+    match rng.range(0, 9) {
+        0 => Frame::Request {
+            id,
+            model: gen_string(rng),
+            input: gen_f32s(rng),
+        },
+        1 => Frame::Response {
+            id,
+            model: gen_string(rng),
+            outputs: gen_f32s(rng),
+            cycles: rng.next_u64(),
+            energy_pj: rng.f64() * 1e12,
+            batch_size: rng.next_u64() as u32,
+            worker: rng.next_u64() as u32,
+            latency_us: rng.next_u64(),
+        },
+        2 => Frame::Error {
+            id,
+            code: *rng.pick(&[
+                ErrorCode::UnknownModel,
+                ErrorCode::ShapeMismatch,
+                ErrorCode::Overloaded,
+                ErrorCode::ShuttingDown,
+                ErrorCode::WorkerLost,
+                ErrorCode::Internal,
+                ErrorCode::Malformed,
+                ErrorCode::ConnectionLimit,
+            ]),
+            detail: gen_string(rng),
+        },
+        3 => Frame::Ping { id },
+        4 => Frame::Pong { id },
+        5 => Frame::Shutdown { id },
+        6 => Frame::ShutdownAck { id },
+        7 => Frame::Query {
+            id,
+            model: gen_string(rng),
+        },
+        _ => Frame::Info {
+            id,
+            model: gen_string(rng),
+            n_in: rng.next_u64() as u32,
+            n_out: rng.next_u64() as u32,
+        },
+    }
+}
+
+/// Applies one random mutation to an encoded frame.
+fn mutate(rng: &mut CaseRng, bytes: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match rng.range(0, 5) {
+        // Truncate at a random point (header or payload).
+        0 => {
+            let cut = rng.range(0, out.len() as u64 + 1) as usize;
+            out.truncate(cut);
+        }
+        // Flip one random byte.
+        1 => {
+            if !out.is_empty() {
+                let i = rng.range(0, out.len() as u64) as usize;
+                out[i] ^= (rng.next_u64() as u8) | 1;
+            }
+        }
+        // Hostile length prefix, up to u32::MAX.
+        2 => {
+            if out.len() >= HEADER_LEN {
+                let hostile = rng.next_u64() as u32;
+                out[12..16].copy_from_slice(&hostile.to_le_bytes());
+            }
+        }
+        // Append random junk after a valid frame.
+        3 => {
+            let extra = rng.range(1, 32) as usize;
+            for _ in 0..extra {
+                out.push(rng.next_u64() as u8);
+            }
+        }
+        // Replace with pure random bytes of random length.
+        _ => {
+            let len = rng.range(0, 96) as usize;
+            out = (0..len).map(|_| rng.next_u64() as u8).collect();
+        }
+    }
+    out
+}
+
+fn check_decode_total(bytes: &[u8], what: &str, index: u64, out: &mut Vec<Mismatch>) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Frame::decode_with_limit(bytes, DEFAULT_MAX_PAYLOAD)
+    }));
+    match result {
+        Err(_) => out.push(Mismatch::new(
+            "net-codec-panic",
+            format!(
+                "case {index}: decode panicked on {what} input ({} bytes)",
+                bytes.len()
+            ),
+        )),
+        Ok(Err(WireError::Oversized { len, max })) if len <= max => out.push(Mismatch::new(
+            "net-codec-oversized-lie",
+            format!("case {index}: {what}: Oversized reported for {len} <= cap {max}"),
+        )),
+        Ok(_) => {}
+    }
+}
+
+/// Fuzzes the frame codec with `cases` seed-replayable cases; returns
+/// every contract violation found (empty = clean sweep).
+pub fn fuzz_codec(seed: u64, cases: u64) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    for index in 0..cases {
+        let mut rng = CaseRng::new(seed, index);
+        let frame = gen_frame(&mut rng);
+        let bytes = frame.encode();
+
+        // Byte-exact round trip (works for NaN payloads, which are
+        // never equal structurally).
+        match Frame::decode_exact(&bytes, DEFAULT_MAX_PAYLOAD) {
+            Ok(decoded) => {
+                let re = decoded.encode();
+                if re != bytes {
+                    out.push(Mismatch::new(
+                        "net-codec-roundtrip-bytes",
+                        format!(
+                            "case {index}: re-encoding changed {} -> {} bytes ({:?})",
+                            bytes.len(),
+                            re.len(),
+                            frame.frame_type()
+                        ),
+                    ));
+                }
+                if decoded.id() != frame.id() || decoded.frame_type() != frame.frame_type() {
+                    out.push(Mismatch::new(
+                        "net-codec-roundtrip-identity",
+                        format!("case {index}: id or type changed across the round trip"),
+                    ));
+                }
+            }
+            Err(e) => out.push(Mismatch::new(
+                "net-codec-valid-rejected",
+                format!(
+                    "case {index}: valid {:?} frame rejected: {e}",
+                    frame.frame_type()
+                ),
+            )),
+        }
+
+        // Every streaming prefix either waits for more bytes or reports
+        // a typed error — never panics, never returns a frame early.
+        for cut in 0..bytes.len() {
+            if let Ok(Some(_)) = Frame::decode_with_limit(&bytes[..cut], DEFAULT_MAX_PAYLOAD) {
+                out.push(Mismatch::new(
+                    "net-codec-prefix-phantom",
+                    format!(
+                        "case {index}: {cut}-byte prefix of a {}-byte frame decoded",
+                        bytes.len()
+                    ),
+                ));
+                break;
+            }
+        }
+
+        // Mutations decode totally (no panic, no over-allocation).
+        for _ in 0..4 {
+            let mutated = mutate(&mut rng, &bytes);
+            check_decode_total(&mutated, "mutated", index, &mut out);
+        }
+
+        if out.len() > 16 {
+            break; // a broken codec fails every case; don't flood
+        }
+    }
+    out
+}
+
+/// Serves the case's layers through a loopback [`NetServer`] under both
+/// engine backends and checks that the socket path is bit-identical to
+/// a direct in-process lane forward.
+pub fn check_serve_socket(art: &FcArtifacts, probe_seed: u64) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let n_in = art.layers[0].shared.n_in;
+    let mut rng = CaseRng::from_seed(probe_seed);
+    let mut probes: Vec<Vec<f32>> = (0..SOCKET_PROBES - 1)
+        .map(|i| rng.fill_f32(n_in, i + 1))
+        .collect();
+    probes.push(art.input.clone());
+
+    let lane = model_from(art).sparse_lane();
+    for backend in [ExecBackend::Sparse, ExecBackend::Dense] {
+        let mut registry = ModelRegistry::new();
+        if let Err(e) = registry.register(model_from(art)) {
+            return vec![Mismatch::new(
+                "net-socket-admission",
+                format!("registry rejected the case's layers: {e:?}"),
+            )];
+        }
+        let serve = match Server::start_with_recorder(
+            registry,
+            ServeConfig {
+                workers: 2,
+                backend,
+                ..ServeConfig::default()
+            },
+            Arc::new(MonotonicClock::new()),
+            Arc::new(Registry::new()),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                return vec![Mismatch::new(
+                    "net-socket-serve-start",
+                    format!("{backend:?}: {e:?}"),
+                )]
+            }
+        };
+        let net = match NetServer::start(serve, NetConfig::default()) {
+            Ok(n) => n,
+            Err(e) => {
+                return vec![Mismatch::new(
+                    "net-socket-start",
+                    format!("{backend:?}: {e}"),
+                )]
+            }
+        };
+        let mut client = match Client::connect(&net.local_addr().to_string()) {
+            Ok(c) => c,
+            Err(e) => {
+                return vec![Mismatch::new(
+                    "net-socket-connect",
+                    format!("{backend:?}: {e}"),
+                )]
+            }
+        };
+        for (pi, probe) in probes.iter().enumerate() {
+            let want = match lane.forward(probe) {
+                Ok(v) => v,
+                Err(e) => {
+                    out.push(Mismatch::new("net-socket-lane-error", format!("{e:?}")));
+                    return out;
+                }
+            };
+            match client.request(MODEL, probe) {
+                Ok(resp) => {
+                    let got: Vec<u32> = resp.outputs.iter().map(|v| v.to_bits()).collect();
+                    let exp: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                    if got != exp {
+                        out.push(Mismatch::new(
+                            "net-socket-vs-direct-bits",
+                            format!(
+                                "{backend:?} probe {pi}: socket-served output differs from direct lane forward"
+                            ),
+                        ));
+                    }
+                }
+                Err(e) => out.push(Mismatch::new(
+                    "net-socket-request",
+                    format!("{backend:?} probe {pi}: {e}"),
+                )),
+            }
+        }
+        net.shutdown();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::build_fc;
+    use crate::gen::{self, CaseKind};
+
+    #[test]
+    fn codec_fuzz_sweep_is_clean_and_deterministic() {
+        let a = fuzz_codec(0xF00D, 64);
+        assert!(a.is_empty(), "{a:?}");
+        let b = fuzz_codec(0xF00D, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn socket_differential_agrees_on_a_generated_case() {
+        let fc = (0..32)
+            .find_map(|k| match gen::generate(20180601, k).kind {
+                CaseKind::FcNet(c) => Some(c),
+                _ => None,
+            })
+            .expect("no FC case in 32 draws");
+        let art = build_fc(&fc).unwrap();
+        let m = check_serve_socket(&art, 0xBEEF);
+        assert!(m.is_empty(), "{m:?}");
+    }
+}

@@ -18,10 +18,10 @@ use crate::diff::FcArtifacts;
 use crate::rng::CaseRng;
 use crate::Mismatch;
 
-const MODEL: &str = "conformance";
+pub(crate) const MODEL: &str = "conformance";
 const PROBES: usize = 4;
 
-fn model_from(art: &FcArtifacts) -> ServableModel {
+pub(crate) fn model_from(art: &FcArtifacts) -> ServableModel {
     let layers: Vec<_> = art
         .layers
         .iter()

@@ -1,0 +1,275 @@
+//! `cs-netload` — closed-loop multi-connection load generator.
+//!
+//! Opens `--conns` TCP connections to a running `cs-netserve`, asks the
+//! server for the model's input width, then drives `--requests`
+//! inferences per connection closed-loop (each connection keeps exactly
+//! one request in flight), reusing the deterministic request shapes the
+//! in-process load generator uses (`cs_serve::loadgen::request_input`),
+//! so a network sweep is replayable by seed. Overload rejections are
+//! retried with backoff and counted, not failed.
+//!
+//! Prints client-observed p50/p95/p99 socket latency and, with
+//! `--out PATH`, writes one JSON line per connection plus an aggregate
+//! line. `--shutdown` sends the shutdown control frame afterwards and
+//! waits for the drain ack — the CI smoke job uses that to stop the
+//! server cleanly.
+//!
+//! ```text
+//! cs-netload --addr 127.0.0.1:4885 --conns 4 --requests 64 --shutdown
+//! ```
+//!
+//! Exit codes: `0` success, `1` bad usage or connect failure, `2` any
+//! request failed with a non-overload error.
+
+use std::time::Instant;
+
+use cs_net::Client;
+use cs_serve::loadgen::request_input;
+
+struct Args {
+    addr: String,
+    conns: usize,
+    requests: u64,
+    seed: u64,
+    model: String,
+    out: Option<String>,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cs-netload --addr HOST:PORT [--conns N] [--requests N] [--seed N]\n\
+         \x20                [--model NAME] [--out PATH] [--shutdown]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: String::new(),
+        conns: 4,
+        requests: 64,
+        seed: 7,
+        model: "mlp".to_string(),
+        out: None,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {flag} requires a value");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--addr" => out.addr = value("--addr"),
+            "--conns" => out.conns = parse_num(&value("--conns"), "--conns") as usize,
+            "--requests" => out.requests = parse_num(&value("--requests"), "--requests"),
+            "--seed" => out.seed = parse_num(&value("--seed"), "--seed"),
+            "--model" => out.model = value("--model"),
+            "--out" => out.out = Some(value("--out")),
+            "--shutdown" => out.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if out.addr.is_empty() {
+        eprintln!("error: --addr is required");
+        usage();
+    }
+    if out.conns == 0 || out.requests == 0 {
+        eprintln!("error: --conns and --requests must be at least 1");
+        usage();
+    }
+    out
+}
+
+fn parse_num(s: &str, flag: &str) -> u64 {
+    match s.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: {flag} expects a number, got {s:?}");
+            usage();
+        }
+    }
+}
+
+/// Per-connection sweep outcome.
+struct ConnResult {
+    conn: usize,
+    completed: u64,
+    overload_retries: u64,
+    latencies_us: Vec<u64>,
+    error: Option<String>,
+}
+
+fn run_connection(args: &Args, conn: usize) -> ConnResult {
+    let mut result = ConnResult {
+        conn,
+        completed: 0,
+        overload_retries: 0,
+        latencies_us: Vec::with_capacity(args.requests as usize),
+        error: None,
+    };
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            result.error = Some(format!("connect: {e}"));
+            return result;
+        }
+    };
+    let n_in = match client.model_info(&args.model) {
+        Ok((n_in, _)) => n_in as usize,
+        Err(e) => {
+            result.error = Some(format!("model query: {e}"));
+            return result;
+        }
+    };
+    for i in 0..args.requests {
+        // Globally unique request id -> unique deterministic input,
+        // exactly as the in-process loadgen shapes its traffic.
+        let request_id = (conn as u64) * args.requests + i;
+        let input = request_input(n_in, request_id, args.seed);
+        let mut backoff_us = 50u64;
+        loop {
+            let t0 = Instant::now();
+            match client.request(&args.model, &input) {
+                Ok(_) => {
+                    result.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    result.completed += 1;
+                    break;
+                }
+                Err(e) if e.is_overloaded() => {
+                    // Closed-loop backoff: the server said try later.
+                    result.overload_retries += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+                    backoff_us = (backoff_us * 2).min(20_000);
+                }
+                Err(e) => {
+                    result.error = Some(format!("request {request_id}: {e}"));
+                    return result;
+                }
+            }
+        }
+    }
+    result
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn jsonl_line(r: &ConnResult) -> String {
+    let mut sorted = r.latencies_us.clone();
+    sorted.sort_unstable();
+    format!(
+        "{{\"conn\":{},\"completed\":{},\"overload_retries\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"error\":{}}}",
+        r.conn,
+        r.completed,
+        r.overload_retries,
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.95),
+        percentile(&sorted, 0.99),
+        match &r.error {
+            Some(e) => format!("{:?}", e),
+            None => "null".to_string(),
+        }
+    )
+}
+
+fn main() {
+    let args = parse_args();
+
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.conns)
+            .map(|conn| {
+                scope.spawn({
+                    let args = &args;
+                    move || run_connection(args, conn)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(conn, h)| {
+                h.join().unwrap_or_else(|_| ConnResult {
+                    conn,
+                    completed: 0,
+                    overload_retries: 0,
+                    latencies_us: Vec::new(),
+                    error: Some("connection thread panicked".to_string()),
+                })
+            })
+            .collect()
+    });
+
+    let mut all: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    all.sort_unstable();
+    let completed: u64 = results.iter().map(|r| r.completed).sum();
+    let retries: u64 = results.iter().map(|r| r.overload_retries).sum();
+    let failed: Vec<&ConnResult> = results.iter().filter(|r| r.error.is_some()).collect();
+
+    println!(
+        "cs-netload: {} conns x {} requests against {} (model \"{}\", seed {})",
+        args.conns, args.requests, args.addr, args.model, args.seed
+    );
+    println!(
+        "completed {completed}, overload retries {retries}, socket latency p50 {} us, p95 {} us, p99 {} us",
+        percentile(&all, 0.50),
+        percentile(&all, 0.95),
+        percentile(&all, 0.99),
+    );
+    for r in &failed {
+        eprintln!(
+            "conn {} failed: {}",
+            r.conn,
+            r.error.as_deref().unwrap_or("")
+        );
+    }
+
+    if let Some(path) = &args.out {
+        let mut lines: Vec<String> = results.iter().map(jsonl_line).collect();
+        lines.push(format!(
+            "{{\"aggregate\":true,\"conns\":{},\"completed\":{},\"overload_retries\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            args.conns,
+            completed,
+            retries,
+            percentile(&all, 0.50),
+            percentile(&all, 0.95),
+            percentile(&all, 0.99),
+        ));
+        let body = lines.join("\n") + "\n";
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("writing {path} failed: {e}");
+            std::process::exit(2);
+        }
+        println!("results written to {path}");
+    }
+
+    if args.shutdown {
+        match Client::connect(&args.addr).and_then(|mut c| c.shutdown_server()) {
+            Ok(()) => println!("server drained and stopped"),
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if !failed.is_empty() {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,197 @@
+//! `cs-netserve` — stand up a TCP serving endpoint.
+//!
+//! Starts a `cs_serve::Server` over the paper's compressed MLP, wraps
+//! it in a `cs_net::NetServer`, prints the bound address, and blocks
+//! until a client sends the shutdown control frame (which drains every
+//! in-flight request before the listener stops). No signal handling:
+//! termination is part of the protocol, so CI can stop the server the
+//! same way production would.
+//!
+//! ```text
+//! cs-netserve --addr 127.0.0.1:0 --workers 2 --backend sparse \
+//!             --addr-file /tmp/addr --metrics-out /tmp/net.jsonl
+//! ```
+//!
+//! Exit codes: `0` clean shutdown, `1` startup/config failure,
+//! `3` clean shutdown but the decode-error counter was nonzero (the CI
+//! smoke job fails on any malformed traffic).
+
+use std::sync::Arc;
+
+use cs_net::{NetConfig, NetServer};
+use cs_nn::spec::Scale;
+use cs_serve::{
+    ExecBackend, ModelRegistry, Recorder, Registry, ServableModel, ServeConfig, Server,
+};
+use cs_telemetry::MonotonicClock;
+
+struct Args {
+    addr: String,
+    addr_file: Option<String>,
+    metrics_out: Option<String>,
+    workers: usize,
+    scale: usize,
+    seed: u64,
+    backend: ExecBackend,
+    max_connections: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cs-netserve [--addr HOST:PORT] [--addr-file PATH] [--metrics-out PATH]\n\
+         \x20                 [--workers N] [--scale N] [--seed N]\n\
+         \x20                 [--backend simulator|sparse|dense] [--max-connections N]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: "127.0.0.1:0".to_string(),
+        addr_file: None,
+        metrics_out: None,
+        workers: 2,
+        scale: 8,
+        seed: 7,
+        backend: ExecBackend::Sparse,
+        max_connections: 64,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {flag} requires a value");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--addr" => out.addr = value("--addr"),
+            "--addr-file" => out.addr_file = Some(value("--addr-file")),
+            "--metrics-out" => out.metrics_out = Some(value("--metrics-out")),
+            "--workers" => out.workers = parse_num(&value("--workers"), "--workers"),
+            "--scale" => out.scale = parse_num(&value("--scale"), "--scale"),
+            "--seed" => out.seed = parse_num(&value("--seed"), "--seed") as u64,
+            "--max-connections" => {
+                out.max_connections = parse_num(&value("--max-connections"), "--max-connections")
+            }
+            "--backend" => {
+                out.backend = match value("--backend").as_str() {
+                    "simulator" | "sim" => ExecBackend::Simulator,
+                    "sparse" => ExecBackend::Sparse,
+                    "dense" => ExecBackend::Dense,
+                    other => {
+                        eprintln!("error: unknown backend {other:?}");
+                        usage();
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    out
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    match s.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: {flag} expects a number, got {s:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let registry = Arc::new(Registry::new());
+
+    let model = match ServableModel::mlp(Scale::Reduced(args.scale), args.seed) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("building model failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let n_in = model.n_in;
+    let mut models = ModelRegistry::new();
+    if let Err(e) = models.register(model) {
+        eprintln!("registering model failed: {e}");
+        std::process::exit(1);
+    }
+    let serve_cfg = ServeConfig {
+        workers: args.workers,
+        backend: args.backend,
+        ..ServeConfig::default()
+    };
+    let serve = match Server::start_with_recorder(
+        models,
+        serve_cfg,
+        Arc::new(MonotonicClock::new()),
+        registry.clone(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("starting server failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let net_cfg = NetConfig {
+        addr: args.addr.clone(),
+        max_connections: args.max_connections,
+        ..NetConfig::default()
+    };
+    let net = match NetServer::start_with_recorder(serve, net_cfg, registry.clone()) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("starting network frontend failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let addr = net.local_addr();
+    println!(
+        "cs-netserve listening on {addr} (model \"mlp\", n_in {n_in}, {} workers)",
+        args.workers
+    );
+    if let Some(path) = &args.addr_file {
+        // The load generator discovers the ephemeral port through this
+        // file, so write it atomically (write tmp, rename).
+        let tmp = format!("{path}.tmp");
+        let write =
+            std::fs::write(&tmp, addr.to_string()).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    net.wait_for_shutdown();
+    let snapshot = net.shutdown();
+    println!(
+        "shutdown: {} submitted, {} completed, {} rejected",
+        snapshot.submitted, snapshot.completed, snapshot.rejected
+    );
+
+    if let Some(path) = &args.metrics_out {
+        let jsonl = registry.jsonl().unwrap_or_default();
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+        println!("telemetry written to {path}");
+    }
+
+    let decode_errors = registry
+        .find_counter("net_decode_errors_total", &[])
+        .map(|c| c.get())
+        .unwrap_or(0);
+    if decode_errors > 0 {
+        eprintln!("error: {decode_errors} decode errors observed");
+        std::process::exit(3);
+    }
+}

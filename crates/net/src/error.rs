@@ -1,0 +1,164 @@
+//! Typed errors for the network layer.
+//!
+//! [`NetError`] is what the [`crate::Client`] and [`crate::NetServer`]
+//! surface: codec failures ([`WireError`]), transport failures (I/O,
+//! timeouts, a peer that went away), server-side failures relayed as
+//! [`crate::wire::ErrorCode`]s, and protocol violations (a reply whose
+//! id or type contradicts the request). Everything is a value — the
+//! request path never panics.
+
+use std::fmt;
+
+use crate::wire::{ErrorCode, WireError};
+
+/// Error raised by the network layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// An OS-level I/O failure (connect, read, write).
+    Io {
+        /// What was being attempted.
+        context: &'static str,
+        /// The `std::io::ErrorKind` observed.
+        kind: std::io::ErrorKind,
+        /// The OS error text.
+        detail: String,
+    },
+    /// The peer's bytes violated the wire protocol.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Remote {
+        /// Typed failure code.
+        code: ErrorCode,
+        /// Human-readable specifics from the server.
+        detail: String,
+    },
+    /// An I/O deadline elapsed.
+    Timeout {
+        /// What was being attempted.
+        context: &'static str,
+    },
+    /// The connection closed at a frame boundary.
+    ConnectionClosed,
+    /// The peer spoke valid frames in an invalid order (wrong reply
+    /// type, mismatched id).
+    Protocol(String),
+    /// A configuration parameter is out of range.
+    InvalidConfig(String),
+}
+
+impl NetError {
+    /// Wraps an `std::io::Error`, folding timeout kinds into
+    /// [`NetError::Timeout`] so callers can match on one variant.
+    pub fn from_io(context: &'static str, e: &std::io::Error) -> NetError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                NetError::Timeout { context }
+            }
+            kind => NetError::Io {
+                context,
+                kind,
+                detail: e.to_string(),
+            },
+        }
+    }
+
+    /// Whether this error is the server's backpressure signal (the
+    /// client should back off and retry).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            NetError::Remote {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io {
+                context,
+                kind,
+                detail,
+            } => write!(f, "{context}: i/o error ({kind:?}): {detail}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Remote { code, detail } => write!(f, "server error [{code}]: {detail}"),
+            NetError::Timeout { context } => write!(f, "{context}: timed out"),
+            NetError::ConnectionClosed => write!(f, "connection closed by peer"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_timeouts_fold_into_the_timeout_variant() {
+        let e = std::io::Error::new(std::io::ErrorKind::TimedOut, "deadline");
+        assert_eq!(
+            NetError::from_io("read frame", &e),
+            NetError::Timeout {
+                context: "read frame"
+            }
+        );
+        let e = std::io::Error::new(std::io::ErrorKind::WouldBlock, "deadline");
+        assert!(matches!(
+            NetError::from_io("read frame", &e),
+            NetError::Timeout { .. }
+        ));
+        let e = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone");
+        assert!(matches!(
+            NetError::from_io("write frame", &e),
+            NetError::Io {
+                kind: std::io::ErrorKind::BrokenPipe,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn overload_detection_matches_only_the_backpressure_code() {
+        let over = NetError::Remote {
+            code: ErrorCode::Overloaded,
+            detail: "full".to_string(),
+        };
+        assert!(over.is_overloaded());
+        let other = NetError::Remote {
+            code: ErrorCode::UnknownModel,
+            detail: "x".to_string(),
+        };
+        assert!(!other.is_overloaded());
+        assert!(!NetError::ConnectionClosed.is_overloaded());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::Remote {
+            code: ErrorCode::ShapeMismatch,
+            detail: "expects 98".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("shape-mismatch"));
+        assert!(s.contains("expects 98"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # cs-net — TCP wire protocol and network frontend for cs-serve
+//!
+//! The serving runtime ([`cs_serve::Server`]) batches and executes
+//! inference in-process; this crate puts it on the network. It is
+//! dependency-free (std only) and splits into:
+//!
+//! * [`wire`] — the versioned, length-prefixed binary frame codec.
+//!   Pure functions over byte slices; every length is validated before
+//!   any allocation, so hostile prefixes cost 16 bytes, not 4 GiB.
+//! * [`transport`] — blocking frame I/O over any `Read`/`Write` pair.
+//! * [`server`] — [`NetServer`]: a TCP listener with thread-per-
+//!   connection readers and writers, per-connection FIFO reply order,
+//!   a connection cap, read/write deadlines, and telemetry.
+//! * [`client`] — [`Client`]: a blocking caller with typed errors.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cs_net::{Client, NetConfig, NetServer};
+//! use cs_nn::spec::Scale;
+//! use cs_serve::{ExecBackend, ModelRegistry, ServableModel, ServeConfig, Server};
+//!
+//! let model = ServableModel::mlp(Scale::Reduced(8), 7).unwrap();
+//! let n_in = model.n_in;
+//! let mut registry = ModelRegistry::new();
+//! registry.register(model).unwrap();
+//! let serve = Server::start(
+//!     registry,
+//!     ServeConfig { workers: 1, backend: ExecBackend::Sparse, ..ServeConfig::default() },
+//! )
+//! .unwrap();
+//! let net = NetServer::start(serve, NetConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(&net.local_addr().to_string()).unwrap();
+//! let out = client.request("mlp", &vec![0.5; n_in]).unwrap();
+//! assert!(!out.outputs.is_empty());
+//! net.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod error;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{Client, ClientConfig, NetResponse};
+pub use error::NetError;
+pub use server::{NetConfig, NetServer};
+pub use wire::{ErrorCode, Frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD, WIRE_VERSION};

@@ -1,0 +1,586 @@
+//! The TCP frontend for the serving runtime.
+//!
+//! ```text
+//! clients ──TCP──▶ accept thread ──▶ per-connection reader ──submit──▶ cs_serve::Server
+//!    ▲              (conn cap)        (decode, dispatch)                  │
+//!    │                                      │ FIFO queue                  │
+//!    └───────────── per-connection writer ◀─┴──── tickets ◀───────────────┘
+//! ```
+//!
+//! Each accepted connection gets a reader thread (decodes frames,
+//! submits requests) and a writer thread (resolves tickets **in
+//! submission order** and writes replies), so a client may pipeline
+//! requests and responses come back in per-connection FIFO order while
+//! the server still batches across connections. Admission backpressure
+//! ([`cs_serve::ServeError::Overloaded`]) travels to the client as a
+//! typed error frame rather than blocking the socket.
+//!
+//! A [`crate::wire::Frame::Shutdown`] control frame drains the serving
+//! runtime through [`cs_serve::DrainHandle`] — every in-flight request
+//! is answered first — then acks and stops the listener, which is how
+//! `cs-netserve` terminates without signal handling.
+//!
+//! The whole path is metered through `cs-telemetry`: a connections
+//! gauge, frames in/out and decode-error counters, and a
+//! socket-to-response latency histogram (decode of the request frame to
+//! the response frame fully written).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cs_serve::{DrainHandle, InferRequest, ServeSnapshot, Server, Ticket};
+use cs_telemetry::{
+    buckets, Clock, Counter, Gauge, Histogram, Labels, MonotonicClock, NoopRecorder, Recorder,
+};
+
+use crate::error::NetError;
+use crate::transport::{read_frame, write_frame};
+use crate::wire::{ErrorCode, Frame, DEFAULT_MAX_PAYLOAD};
+
+/// Outstanding replies a single connection may have queued before the
+/// reader stops decoding further frames (pipelining backpressure).
+const PIPELINE_DEPTH: usize = 64;
+
+/// Network frontend configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Concurrent-connection cap; excess connections are answered with
+    /// a [`ErrorCode::ConnectionLimit`] error frame and closed.
+    pub max_connections: usize,
+    /// Per-connection read deadline; an idle connection is closed when
+    /// it elapses. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline (a stuck client cannot wedge a
+    /// writer thread forever).
+    pub write_timeout: Option<Duration>,
+    /// Payload-length cap enforced before any allocation.
+    pub max_payload: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), NetError> {
+        if self.max_connections == 0 {
+            return Err(NetError::InvalidConfig(
+                "max_connections must be at least 1".to_string(),
+            ));
+        }
+        if self.max_payload < 64 {
+            return Err(NetError::InvalidConfig(format!(
+                "max_payload {} is too small to carry any request",
+                self.max_payload
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The network-path metric handles, fetched once at startup.
+struct NetMetrics {
+    connections: Gauge,
+    accepted: Counter,
+    rejected: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    decode_errors: Counter,
+    requests: Counter,
+    latency: Histogram,
+}
+
+impl NetMetrics {
+    fn new(recorder: &dyn Recorder) -> Self {
+        NetMetrics {
+            connections: recorder.gauge(
+                "net_connections",
+                "Currently open client connections",
+                Labels::new(),
+            ),
+            accepted: recorder.counter(
+                "net_connections_accepted_total",
+                "Connections accepted",
+                Labels::new(),
+            ),
+            rejected: recorder.counter(
+                "net_connections_rejected_total",
+                "Connections refused at the connection cap",
+                Labels::new(),
+            ),
+            frames_in: recorder.counter(
+                "net_frames_in_total",
+                "Frames decoded from clients",
+                Labels::new(),
+            ),
+            frames_out: recorder.counter(
+                "net_frames_out_total",
+                "Frames written to clients",
+                Labels::new(),
+            ),
+            decode_errors: recorder.counter(
+                "net_decode_errors_total",
+                "Malformed or protocol-violating client frames",
+                Labels::new(),
+            ),
+            requests: recorder.counter(
+                "net_requests_total",
+                "Inference requests received over the network",
+                Labels::new(),
+            ),
+            latency: recorder.histogram(
+                "net_request_latency_us",
+                "Socket-to-response latency: request frame decoded to \
+                 response frame fully written (µs)",
+                Labels::new(),
+                &buckets::duration_us(),
+            ),
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection thread, and the
+/// owning [`NetServer`] handle.
+struct Shared {
+    serve: Server,
+    drain: DrainHandle,
+    cfg: NetConfig,
+    clock: Arc<dyn Clock>,
+    metrics: NetMetrics,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    /// Streams of open connections (for force-close at shutdown).
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Reader/writer thread handles, joined at shutdown.
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Signalled when a remote shutdown control frame has drained the
+    /// server ([`NetServer::wait_for_shutdown`] blocks on it).
+    shutdown_signal: (Mutex<bool>, Condvar),
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    /// Marks the frontend as stopping, wakes the accept loop, and
+    /// signals [`NetServer::wait_for_shutdown`] waiters. Idempotent.
+    fn begin_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag on its next wakeup; a
+        // throwaway local connection provides one.
+        let _ = TcpStream::connect(self.local_addr);
+        let (lock, cv) = &self.shutdown_signal;
+        let mut stopped = lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        *stopped = true;
+        cv.notify_all();
+    }
+}
+
+/// A message queued for a connection's writer thread, in the order the
+/// reader produced it — which is what makes replies per-connection FIFO.
+enum Outgoing {
+    /// A frame that is ready to write as-is.
+    Ready(Frame),
+    /// An in-flight inference; the writer blocks on the ticket so the
+    /// reply goes out in submission order even when batches reorder
+    /// completion across workers.
+    Pending { id: u64, t0_us: u64, ticket: Ticket },
+}
+
+/// The running TCP frontend. Owns the wrapped [`Server`]; dropping or
+/// [`NetServer::shutdown`] stops the listener, closes connections,
+/// drains the serving runtime and joins every thread.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.shared.local_addr)
+            .field("cfg", &self.shared.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Starts the frontend around an already-running server, without
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Invalid configs and bind failures.
+    pub fn start(serve: Server, cfg: NetConfig) -> Result<NetServer, NetError> {
+        NetServer::start_with_recorder(serve, cfg, Arc::new(NoopRecorder))
+    }
+
+    /// Starts the frontend with a telemetry recorder. Pass the same
+    /// [`cs_telemetry::Registry`] the wrapped server records to and the
+    /// JSONL/Prometheus dump carries the serving and network series
+    /// side by side.
+    ///
+    /// # Errors
+    ///
+    /// Invalid configs and bind failures.
+    pub fn start_with_recorder(
+        serve: Server,
+        cfg: NetConfig,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<NetServer, NetError> {
+        cfg.validate()?;
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| NetError::from_io("bind listener", &e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| NetError::from_io("resolve bound address", &e))?;
+        let drain = serve.drain_handle();
+        let shared = Arc::new(Shared {
+            serve,
+            drain,
+            cfg,
+            clock: Arc::new(MonotonicClock::new()),
+            metrics: NetMetrics::new(recorder.as_ref()),
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            local_addr,
+        });
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cs-net-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener))
+                .map_err(|e| NetError::InvalidConfig(format!("spawning accept thread: {e}")))?
+        };
+        Ok(NetServer {
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The wrapped serving runtime — the in-process lane differential
+    /// tests submit to directly.
+    pub fn server(&self) -> &Server {
+        &self.shared.serve
+    }
+
+    /// Blocks until a client's shutdown control frame has drained the
+    /// server (or [`NetServer::shutdown`] was called from elsewhere).
+    pub fn wait_for_shutdown(&self) {
+        let (lock, cv) = &self.shared.shutdown_signal;
+        let mut stopped = lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        while !*stopped {
+            stopped = cv
+                .wait(stopped)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Stops accepting, closes every connection, drains the serving
+    /// runtime, joins all threads and returns the final snapshot.
+    pub fn shutdown(mut self) -> ServeSnapshot {
+        self.stop_and_join();
+        self.shared.serve.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.begin_stop();
+        // Force-close open connections so their reader threads unblock.
+        {
+            let conns = self
+                .shared
+                .conns
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for (_, stream) in conns.iter() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        loop {
+            // Connection threads can spawn while we join (an accept
+            // racing the stop flag), so drain the list until empty.
+            let threads: Vec<JoinHandle<()>> = {
+                let mut guard = self
+                    .shared
+                    .conn_threads
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                guard.drain(..).collect()
+            };
+            if threads.is_empty() {
+                break;
+            }
+            for t in threads {
+                let _ = t.join();
+            }
+        }
+        self.shared.drain.shutdown_and_drain();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut conn_id = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(shared.cfg.read_timeout);
+        let _ = stream.set_write_timeout(shared.cfg.write_timeout);
+        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            shared.metrics.rejected.inc();
+            let mut stream = stream;
+            let frame = Frame::Error {
+                id: 0,
+                code: ErrorCode::ConnectionLimit,
+                detail: format!(
+                    "connection cap {} reached, try later",
+                    shared.cfg.max_connections
+                ),
+            };
+            if write_frame(&mut stream, &frame).is_ok() {
+                shared.metrics.frames_out.inc();
+            }
+            continue;
+        }
+        conn_id += 1;
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.accepted.inc();
+        shared.metrics.connections.add(1);
+        {
+            if let Ok(clone) = stream.try_clone() {
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .push((conn_id, clone));
+            }
+        }
+        let handle = {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("cs-net-conn-{conn_id}"))
+                .spawn(move || {
+                    run_connection(&shared, stream, conn_id);
+                    // Connection bookkeeping lives with the thread so
+                    // every exit path (EOF, timeout, decode error,
+                    // force-close) unwinds it exactly once.
+                    shared
+                        .conns
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .retain(|(id, _)| *id != conn_id);
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                    shared.metrics.connections.sub(1);
+                })
+        };
+        match handle {
+            Ok(h) => shared
+                .conn_threads
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .push(h),
+            Err(_) => {
+                // Spawn failed: roll the bookkeeping back; the stream
+                // drops and the client sees a closed connection.
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .retain(|(id, _)| *id != conn_id);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.metrics.connections.sub(1);
+            }
+        }
+    }
+}
+
+/// Spawns the writer and runs the reader loop until the connection
+/// ends. The writer owns reply ordering; the reader owns decode and
+/// dispatch.
+fn run_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (out_tx, out_rx) = mpsc::sync_channel::<Outgoing>(PIPELINE_DEPTH);
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("cs-net-conn-{conn_id}-writer"))
+            .spawn(move || writer_loop(&shared, writer_stream, &out_rx))
+    };
+    let writer = match writer {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+
+    let initiated_shutdown = reader_loop(shared, stream, &out_tx);
+
+    // Dropping the sender lets the writer drain the queued replies and
+    // exit; joining it guarantees nothing is written after this
+    // connection's bookkeeping unwinds.
+    drop(out_tx);
+    let _ = writer.join();
+
+    // Only signal the stop once the writer has flushed everything —
+    // including the shutdown ack — so the owner's force-close cannot
+    // race the ack off the wire.
+    if initiated_shutdown {
+        shared.begin_stop();
+    }
+}
+
+/// Returns `true` when the connection carried a shutdown control frame
+/// (the caller signals the stop after the writer flushes the ack).
+fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_tx: &SyncSender<Outgoing>) -> bool {
+    loop {
+        let frame = match read_frame(&mut stream, shared.cfg.max_payload) {
+            Ok(Some(frame)) => frame,
+            // Clean close at a frame boundary, or an idle/broken
+            // connection: just unwind.
+            Ok(None) => break,
+            Err(NetError::Wire(e)) => {
+                shared.metrics.decode_errors.inc();
+                let _ = out_tx.send(Outgoing::Ready(Frame::Error {
+                    id: 0,
+                    code: ErrorCode::Malformed,
+                    detail: e.to_string(),
+                }));
+                break;
+            }
+            Err(_) => break,
+        };
+        shared.metrics.frames_in.inc();
+        match frame {
+            Frame::Request { id, model, input } => {
+                let t0_us = shared.clock.now_us();
+                shared.metrics.requests.inc();
+                let msg = match shared.serve.submit(InferRequest::new(model, input)) {
+                    Ok(ticket) => Outgoing::Pending { id, t0_us, ticket },
+                    Err(e) => Outgoing::Ready(Frame::from_serve_error(id, &e)),
+                };
+                if out_tx.send(msg).is_err() {
+                    break; // writer gone (write failure closed the stream)
+                }
+            }
+            Frame::Ping { id } => {
+                if out_tx.send(Outgoing::Ready(Frame::Pong { id })).is_err() {
+                    break;
+                }
+            }
+            Frame::Query { id, model } => {
+                let reply = match shared.serve.registry().get(&model) {
+                    Some((_, m)) => Frame::Info {
+                        id,
+                        model,
+                        n_in: m.n_in as u32,
+                        n_out: m.n_out as u32,
+                    },
+                    None => Frame::Error {
+                        id,
+                        code: ErrorCode::UnknownModel,
+                        detail: format!("unknown model {model:?}"),
+                    },
+                };
+                if out_tx.send(Outgoing::Ready(reply)).is_err() {
+                    break;
+                }
+            }
+            Frame::Shutdown { id } => {
+                // Drain first: every in-flight request (on every
+                // connection) is answered before the ack goes out.
+                shared.drain.shutdown_and_drain();
+                let _ = out_tx.send(Outgoing::Ready(Frame::ShutdownAck { id }));
+                return true;
+            }
+            // Server-to-client frame types arriving at the server are a
+            // protocol violation; answer once and cut the connection.
+            Frame::Response { id, .. }
+            | Frame::Error { id, .. }
+            | Frame::Pong { id }
+            | Frame::ShutdownAck { id }
+            | Frame::Info { id, .. } => {
+                shared.metrics.decode_errors.inc();
+                let _ = out_tx.send(Outgoing::Ready(Frame::Error {
+                    id,
+                    code: ErrorCode::Malformed,
+                    detail: "frame type is server-to-client only".to_string(),
+                }));
+                break;
+            }
+        }
+    }
+    false
+}
+
+fn writer_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_rx: &Receiver<Outgoing>) {
+    while let Ok(msg) = out_rx.recv() {
+        let (frame, t0_us) = match msg {
+            Outgoing::Ready(frame) => (frame, None),
+            Outgoing::Pending { id, t0_us, ticket } => match ticket.wait() {
+                Ok(resp) => (Frame::from_response(id, &resp), Some(t0_us)),
+                Err(e) => (Frame::from_serve_error(id, &e), None),
+            },
+        };
+        if write_frame(&mut stream, &frame).is_err() {
+            // Unblock the reader (it may be mid-read on a dead peer)
+            // and stop; queued tickets unwind as WorkerLost client-side
+            // because nothing will be written for them.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            break;
+        }
+        shared.metrics.frames_out.inc();
+        if let Some(t0) = t0_us {
+            shared
+                .metrics
+                .latency
+                .observe(shared.clock.now_us().saturating_sub(t0));
+        }
+    }
+}

@@ -1,0 +1,964 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every message is one [`Frame`], encoded as a fixed 16-byte header
+//! followed by a type-specific payload (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic        0xCA 0x5E
+//!      2     1  version      1
+//!      3     1  frame type   (see FrameType)
+//!      4     8  request id   u64, echoed verbatim in the reply
+//!     12     4  payload len  u32, bytes after the header
+//! ```
+//!
+//! The codec is pure functions over byte slices — no I/O, no global
+//! state — so it is fuzzable and exactly testable. Decoding is strict:
+//! a hostile length prefix is rejected against [`DEFAULT_MAX_PAYLOAD`]
+//! (or a caller-supplied cap) *before* any payload allocation, inner
+//! lengths (strings, f32 arrays) are validated against the remaining
+//! payload before their buffers are reserved, and a payload that is
+//! not fully consumed is a [`WireError::BadPayload`]. Every valid
+//! frame round-trips: `decode(encode(f)) == f` and
+//! `encode(decode(bytes)) == bytes`.
+//!
+//! Strings are `u16 length + UTF-8 bytes`; f32 arrays are `u32 count +
+//! 4 bytes per element (IEEE-754 bit pattern)`, which preserves NaN
+//! payloads and signed zeros so served outputs stay bit-identical
+//! across the wire.
+
+use std::fmt;
+
+use cs_serve::{InferResponse, ServeError};
+
+/// Two-byte frame preamble (`0xCA5E`).
+pub const MAGIC: [u8; 2] = [0xCA, 0x5E];
+
+/// Protocol version this build speaks. Decoders reject anything else
+/// with [`WireError::UnsupportedVersion`]; version bumps are additive
+/// (new frame types) and never reuse retired type codes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Default payload-length cap. The served models take a few thousand
+/// f32 inputs at most, so 1 MiB leaves two orders of magnitude of
+/// headroom while bounding what a hostile length prefix can make the
+/// decoder allocate.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Frame type codes (header byte 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client → server inference request.
+    Request = 1,
+    /// Server → client inference response.
+    Response = 2,
+    /// Server → client typed failure.
+    Error = 3,
+    /// Client → server liveness probe.
+    Ping = 4,
+    /// Server → client liveness reply.
+    Pong = 5,
+    /// Client → server graceful-shutdown control frame.
+    Shutdown = 6,
+    /// Server → client acknowledgement that the drain completed.
+    ShutdownAck = 7,
+    /// Client → server model-shape query.
+    Query = 8,
+    /// Server → client model-shape reply.
+    Info = 9,
+}
+
+impl FrameType {
+    fn from_u8(v: u8) -> Option<FrameType> {
+        Some(match v {
+            1 => FrameType::Request,
+            2 => FrameType::Response,
+            3 => FrameType::Error,
+            4 => FrameType::Ping,
+            5 => FrameType::Pong,
+            6 => FrameType::Shutdown,
+            7 => FrameType::ShutdownAck,
+            8 => FrameType::Query,
+            9 => FrameType::Info,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed failure codes carried by [`Frame::Error`], mapped one-to-one
+/// from [`ServeError`] plus the network-only conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request named a model the registry does not hold.
+    UnknownModel = 1,
+    /// The input length does not match the model's input width.
+    ShapeMismatch = 2,
+    /// The admission queue is full; back off and retry.
+    Overloaded = 3,
+    /// The server is draining and no longer admits requests.
+    ShuttingDown = 4,
+    /// The worker processing the request died before answering.
+    WorkerLost = 5,
+    /// A server-side failure outside the request contract.
+    Internal = 6,
+    /// The server could not decode the client's frame.
+    Malformed = 7,
+    /// The per-server connection cap was reached.
+    ConnectionLimit = 8,
+}
+
+impl ErrorCode {
+    /// Decodes the u16 wire value.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::UnknownModel,
+            2 => ErrorCode::ShapeMismatch,
+            3 => ErrorCode::Overloaded,
+            4 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::WorkerLost,
+            6 => ErrorCode::Internal,
+            7 => ErrorCode::Malformed,
+            8 => ErrorCode::ConnectionLimit,
+            _ => return None,
+        })
+    }
+
+    /// The code a [`ServeError`] maps to on the wire.
+    pub fn from_serve(e: &ServeError) -> ErrorCode {
+        match e {
+            ServeError::UnknownModel(_) => ErrorCode::UnknownModel,
+            ServeError::ShapeMismatch { .. } => ErrorCode::ShapeMismatch,
+            ServeError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+            ServeError::WorkerLost => ErrorCode::WorkerLost,
+            ServeError::InvalidConfig(_) | ServeError::Accel(_) | ServeError::Compress(_) => {
+                ErrorCode::Internal
+            }
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::UnknownModel => "unknown-model",
+            ErrorCode::ShapeMismatch => "shape-mismatch",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::WorkerLost => "worker-lost",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::ConnectionLimit => "connection-limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything that can be wrong with bytes on the wire. Header-level
+/// variants ([`WireError::BadMagic`], [`WireError::UnsupportedVersion`],
+/// [`WireError::UnknownFrameType`], [`WireError::Oversized`]) mean the
+/// stream cannot be resynchronized and the connection must close;
+/// [`WireError::Truncated`] on a finished stream means the peer died
+/// mid-frame; [`WireError::BadPayload`] means the header was sane but
+/// the payload contradicts itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic {
+        /// The bytes received instead.
+        got: [u8; 2],
+    },
+    /// The version byte names a protocol this build does not speak.
+    UnsupportedVersion {
+        /// The version received.
+        got: u8,
+    },
+    /// The frame-type byte is not a known [`FrameType`].
+    UnknownFrameType {
+        /// The type byte received.
+        got: u8,
+    },
+    /// The length prefix exceeds the payload cap; rejected before any
+    /// allocation.
+    Oversized {
+        /// Length the header claimed.
+        len: u32,
+        /// Cap it was checked against.
+        max: u32,
+    },
+    /// The buffer ends mid-frame (only raised by whole-message decodes;
+    /// the streaming decoder reports "need more bytes" instead).
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes the frame needs in total.
+        need: usize,
+    },
+    /// The header was valid but the payload is inconsistent with it.
+    BadPayload {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic { got } => {
+                write!(f, "bad magic {:02x}{:02x} (want ca5e)", got[0], got[1])
+            }
+            WireError::UnsupportedVersion { got } => {
+                write!(f, "unsupported wire version {got} (speak {WIRE_VERSION})")
+            }
+            WireError::UnknownFrameType { got } => write!(f, "unknown frame type {got}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds the {max}-byte cap")
+            }
+            WireError::Truncated { have, need } => {
+                write!(f, "frame truncated: have {have} of {need} bytes")
+            }
+            WireError::BadPayload { reason } => write!(f, "bad payload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Frame type (already validated).
+    pub frame_type: FrameType,
+    /// Request id echoed between request and reply.
+    pub id: u64,
+    /// Payload length in bytes (already bounded by the cap).
+    pub payload_len: u32,
+}
+
+/// Validates a full 16-byte header. The payload cap is enforced here,
+/// before the caller allocates anything for the payload.
+///
+/// # Errors
+///
+/// Header-level [`WireError`]s only (magic, version, type, cap).
+pub fn parse_header(bytes: &[u8; HEADER_LEN], max_payload: u32) -> Result<Header, WireError> {
+    if bytes[0..2] != MAGIC {
+        return Err(WireError::BadMagic {
+            got: [bytes[0], bytes[1]],
+        });
+    }
+    if bytes[2] != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { got: bytes[2] });
+    }
+    let frame_type =
+        FrameType::from_u8(bytes[3]).ok_or(WireError::UnknownFrameType { got: bytes[3] })?;
+    let id = u64::from_le_bytes([
+        bytes[4], bytes[5], bytes[6], bytes[7], bytes[8], bytes[9], bytes[10], bytes[11],
+    ]);
+    let payload_len = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    if payload_len > max_payload {
+        return Err(WireError::Oversized {
+            len: payload_len,
+            max: max_payload,
+        });
+    }
+    Ok(Header {
+        frame_type,
+        id,
+        payload_len,
+    })
+}
+
+/// One protocol message. `id` pairs replies with requests; the server
+/// echoes it verbatim and preserves per-connection FIFO order, so a
+/// client may pipeline requests and match responses by position or id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Run `input` through `model`.
+    Request {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// Registry name of the model.
+        model: String,
+        /// Input activations.
+        input: Vec<f32>,
+    },
+    /// The completed inference with its simulated hardware cost (the
+    /// wire twin of [`cs_serve::InferResponse`]).
+    Response {
+        /// Id of the request this answers.
+        id: u64,
+        /// Model that produced the outputs.
+        model: String,
+        /// Output neuron values, bit-exact.
+        outputs: Vec<f32>,
+        /// Simulated accelerator cycles (0 on engine backends).
+        cycles: u64,
+        /// Simulated energy in picojoules (0.0 on engine backends).
+        energy_pj: f64,
+        /// Size of the batch the request rode in.
+        batch_size: u32,
+        /// Worker lane that executed it.
+        worker: u32,
+        /// Server-side end-to-end latency (µs).
+        latency_us: u64,
+    },
+    /// A typed failure answering the frame with the same id (or id 0
+    /// for connection-level failures such as a decode error).
+    Error {
+        /// Id of the request this answers (0 = connection-level).
+        id: u64,
+        /// Typed failure code.
+        code: ErrorCode,
+        /// Human-readable specifics.
+        detail: String,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed in the pong.
+        id: u64,
+    },
+    /// Liveness reply.
+    Pong {
+        /// Id of the ping this answers.
+        id: u64,
+    },
+    /// Graceful-shutdown control frame: the server stops admitting,
+    /// drains in-flight work, acks, and stops accepting connections.
+    Shutdown {
+        /// Echoed in the ack.
+        id: u64,
+    },
+    /// The drain completed; the server is going away.
+    ShutdownAck {
+        /// Id of the shutdown frame this answers.
+        id: u64,
+    },
+    /// Ask for a model's input/output widths (so a load generator can
+    /// shape requests without out-of-band configuration).
+    Query {
+        /// Echoed in the info reply.
+        id: u64,
+        /// Registry name of the model.
+        model: String,
+    },
+    /// Reply to [`Frame::Query`].
+    Info {
+        /// Id of the query this answers.
+        id: u64,
+        /// Registry name of the model.
+        model: String,
+        /// Input width of the model.
+        n_in: u32,
+        /// Output width of the model.
+        n_out: u32,
+    },
+}
+
+impl Frame {
+    /// The frame's type code.
+    pub fn frame_type(&self) -> FrameType {
+        match self {
+            Frame::Request { .. } => FrameType::Request,
+            Frame::Response { .. } => FrameType::Response,
+            Frame::Error { .. } => FrameType::Error,
+            Frame::Ping { .. } => FrameType::Ping,
+            Frame::Pong { .. } => FrameType::Pong,
+            Frame::Shutdown { .. } => FrameType::Shutdown,
+            Frame::ShutdownAck { .. } => FrameType::ShutdownAck,
+            Frame::Query { .. } => FrameType::Query,
+            Frame::Info { .. } => FrameType::Info,
+        }
+    }
+
+    /// The frame's request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Frame::Request { id, .. }
+            | Frame::Response { id, .. }
+            | Frame::Error { id, .. }
+            | Frame::Ping { id }
+            | Frame::Pong { id }
+            | Frame::Shutdown { id }
+            | Frame::ShutdownAck { id }
+            | Frame::Query { id, .. }
+            | Frame::Info { id, .. } => *id,
+        }
+    }
+
+    /// Builds the response frame for a completed inference.
+    pub fn from_response(id: u64, resp: &InferResponse) -> Frame {
+        Frame::Response {
+            id,
+            model: resp.model.clone(),
+            outputs: resp.outputs.clone(),
+            cycles: resp.cycles,
+            energy_pj: resp.energy_pj,
+            batch_size: resp.batch_size as u32,
+            worker: resp.worker as u32,
+            latency_us: resp.latency_us,
+        }
+    }
+
+    /// Builds the error frame for a server-side failure.
+    pub fn from_serve_error(id: u64, e: &ServeError) -> Frame {
+        Frame::Error {
+            id,
+            code: ErrorCode::from_serve(e),
+            detail: e.to_string(),
+        }
+    }
+
+    /// Encodes the frame: header plus payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(WIRE_VERSION);
+        out.push(self.frame_type() as u8);
+        out.extend_from_slice(&self.id().to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Frame::Request { model, input, .. } => {
+                put_str(&mut p, model);
+                put_f32s(&mut p, input);
+            }
+            Frame::Response {
+                model,
+                outputs,
+                cycles,
+                energy_pj,
+                batch_size,
+                worker,
+                latency_us,
+                ..
+            } => {
+                put_str(&mut p, model);
+                put_f32s(&mut p, outputs);
+                p.extend_from_slice(&cycles.to_le_bytes());
+                p.extend_from_slice(&energy_pj.to_bits().to_le_bytes());
+                p.extend_from_slice(&batch_size.to_le_bytes());
+                p.extend_from_slice(&worker.to_le_bytes());
+                p.extend_from_slice(&latency_us.to_le_bytes());
+            }
+            Frame::Error { code, detail, .. } => {
+                p.extend_from_slice(&(*code as u16).to_le_bytes());
+                put_str(&mut p, detail);
+            }
+            Frame::Ping { .. }
+            | Frame::Pong { .. }
+            | Frame::Shutdown { .. }
+            | Frame::ShutdownAck { .. } => {}
+            Frame::Query { model, .. } => {
+                put_str(&mut p, model);
+            }
+            Frame::Info {
+                model, n_in, n_out, ..
+            } => {
+                put_str(&mut p, model);
+                p.extend_from_slice(&n_in.to_le_bytes());
+                p.extend_from_slice(&n_out.to_le_bytes());
+            }
+        }
+        p
+    }
+
+    /// Streaming decode against [`DEFAULT_MAX_PAYLOAD`]: `Ok(None)`
+    /// means the buffer holds a valid prefix but not yet a whole frame.
+    ///
+    /// # Errors
+    ///
+    /// Malformed bytes (see [`Frame::decode_with_limit`]).
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+        Frame::decode_with_limit(buf, DEFAULT_MAX_PAYLOAD)
+    }
+
+    /// Streaming decode with an explicit payload cap. Returns the frame
+    /// and the number of bytes it consumed, or `Ok(None)` when more
+    /// bytes are needed. Header fields are validated as soon as their
+    /// bytes are present, so garbage fails fast even on a slow stream,
+    /// and an oversized length prefix is rejected while only the
+    /// 16-byte header has been read.
+    ///
+    /// # Errors
+    ///
+    /// Header-level errors close the connection (the stream cannot be
+    /// resynchronized); [`WireError::BadPayload`] covers payloads that
+    /// contradict their header.
+    pub fn decode_with_limit(
+        buf: &[u8],
+        max_payload: u32,
+    ) -> Result<Option<(Frame, usize)>, WireError> {
+        // Validate the prefix we do have before asking for more bytes:
+        // a client that opens with garbage is cut off immediately.
+        if buf.len() >= 2 && buf[0..2] != MAGIC {
+            return Err(WireError::BadMagic {
+                got: [buf[0], buf[1]],
+            });
+        }
+        if buf.len() >= 3 && buf[2] != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion { got: buf[2] });
+        }
+        if buf.len() >= 4 && FrameType::from_u8(buf[3]).is_none() {
+            return Err(WireError::UnknownFrameType { got: buf[3] });
+        }
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let mut header_bytes = [0u8; HEADER_LEN];
+        header_bytes.copy_from_slice(&buf[..HEADER_LEN]);
+        let header = parse_header(&header_bytes, max_payload)?;
+        let total = HEADER_LEN + header.payload_len as usize;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let payload = &buf[HEADER_LEN..total];
+        let frame = decode_payload(&header, payload)?;
+        Ok(Some((frame, total)))
+    }
+
+    /// Decodes a buffer that must hold exactly one whole frame.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Frame::decode_with_limit`] raises, plus
+    /// [`WireError::Truncated`] for an incomplete buffer and
+    /// [`WireError::BadPayload`] for trailing bytes.
+    pub fn decode_exact(buf: &[u8], max_payload: u32) -> Result<Frame, WireError> {
+        match Frame::decode_with_limit(buf, max_payload)? {
+            None => {
+                let need = if buf.len() >= HEADER_LEN {
+                    let mut header_bytes = [0u8; HEADER_LEN];
+                    header_bytes.copy_from_slice(&buf[..HEADER_LEN]);
+                    // The header parsed once already; default on the
+                    // unreachable error path instead of panicking.
+                    parse_header(&header_bytes, max_payload)
+                        .map(|h| HEADER_LEN + h.payload_len as usize)
+                        .unwrap_or(HEADER_LEN)
+                } else {
+                    HEADER_LEN
+                };
+                Err(WireError::Truncated {
+                    have: buf.len(),
+                    need,
+                })
+            }
+            Some((_, consumed)) if consumed != buf.len() => Err(WireError::BadPayload {
+                reason: format!(
+                    "frame consumed {consumed} bytes but the buffer holds {}",
+                    buf.len()
+                ),
+            }),
+            Some((frame, _)) => Ok(frame),
+        }
+    }
+}
+
+fn put_str(p: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    p.extend_from_slice(&(len as u16).to_le_bytes());
+    p.extend_from_slice(&bytes[..len]);
+}
+
+fn put_f32s(p: &mut Vec<u8>, xs: &[f32]) {
+    let len = xs.len().min(u32::MAX as usize);
+    p.extend_from_slice(&(len as u32).to_le_bytes());
+    for x in &xs[..len] {
+        p.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+/// Cursor over a payload; every getter checks the remaining length
+/// before touching (or allocating for) the bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::BadPayload {
+                reason: format!(
+                    "{what} needs {n} bytes, payload has {} left",
+                    self.remaining()
+                ),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadPayload {
+            reason: format!("{what} is not valid UTF-8"),
+        })
+    }
+
+    fn f32s(&mut self, what: &str) -> Result<Vec<f32>, WireError> {
+        let count = self.u32(what)? as usize;
+        // The length is validated against the remaining payload BEFORE
+        // the vector is allocated: a hostile count cannot over-allocate.
+        let bytes = self.take(count.saturating_mul(4), what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect())
+    }
+
+    fn finish(self, what: &str) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::BadPayload {
+                reason: format!("{what} leaves {} trailing payload bytes", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn decode_payload(header: &Header, payload: &[u8]) -> Result<Frame, WireError> {
+    let id = header.id;
+    let mut c = Cursor::new(payload);
+    let frame = match header.frame_type {
+        FrameType::Request => Frame::Request {
+            id,
+            model: c.string("request model")?,
+            input: c.f32s("request input")?,
+        },
+        FrameType::Response => Frame::Response {
+            id,
+            model: c.string("response model")?,
+            outputs: c.f32s("response outputs")?,
+            cycles: c.u64("response cycles")?,
+            energy_pj: f64::from_bits(c.u64("response energy")?),
+            batch_size: c.u32("response batch size")?,
+            worker: c.u32("response worker")?,
+            latency_us: c.u64("response latency")?,
+        },
+        FrameType::Error => {
+            let raw = c.u16("error code")?;
+            let code = ErrorCode::from_u16(raw).ok_or_else(|| WireError::BadPayload {
+                reason: format!("unknown error code {raw}"),
+            })?;
+            Frame::Error {
+                id,
+                code,
+                detail: c.string("error detail")?,
+            }
+        }
+        FrameType::Ping => Frame::Ping { id },
+        FrameType::Pong => Frame::Pong { id },
+        FrameType::Shutdown => Frame::Shutdown { id },
+        FrameType::ShutdownAck => Frame::ShutdownAck { id },
+        FrameType::Query => Frame::Query {
+            id,
+            model: c.string("query model")?,
+        },
+        FrameType::Info => Frame::Info {
+            id,
+            model: c.string("info model")?,
+            n_in: c.u32("info n_in")?,
+            n_out: c.u32("info n_out")?,
+        },
+    };
+    c.finish("frame")?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Request {
+                id: 7,
+                model: "mlp".to_string(),
+                input: vec![0.0, -0.5, 1.25, f32::MIN_POSITIVE],
+            },
+            Frame::Response {
+                id: 7,
+                model: "mlp".to_string(),
+                outputs: vec![1.0, -2.5, 0.0],
+                cycles: 123_456,
+                energy_pj: 98.5,
+                batch_size: 4,
+                worker: 1,
+                latency_us: 250,
+            },
+            Frame::Error {
+                id: 9,
+                code: ErrorCode::Overloaded,
+                detail: "admission queue full (64 slots)".to_string(),
+            },
+            Frame::Ping { id: 1 },
+            Frame::Pong { id: 1 },
+            Frame::Shutdown { id: 2 },
+            Frame::ShutdownAck { id: 2 },
+            Frame::Query {
+                id: 3,
+                model: "mlp".to_string(),
+            },
+            Frame::Info {
+                id: 3,
+                model: "mlp".to_string(),
+                n_in: 98,
+                n_out: 10,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_type_round_trips() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            let (decoded, consumed) = Frame::decode(&bytes).expect("valid").expect("complete");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame);
+            assert_eq!(decoded.encode(), bytes, "byte-level round trip");
+            assert_eq!(
+                Frame::decode_exact(&bytes, DEFAULT_MAX_PAYLOAD).expect("exact"),
+                frame
+            );
+        }
+    }
+
+    #[test]
+    fn nan_and_negative_zero_survive_the_wire_bit_exactly() {
+        let frame = Frame::Request {
+            id: 1,
+            model: "m".to_string(),
+            input: vec![f32::NAN, -0.0, f32::INFINITY, f32::NEG_INFINITY],
+        };
+        let bytes = frame.encode();
+        let (decoded, _) = Frame::decode(&bytes).unwrap().unwrap();
+        match decoded {
+            Frame::Request { input, .. } => {
+                let want: Vec<u32> = [f32::NAN, -0.0, f32::INFINITY, f32::NEG_INFINITY]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let got: Vec<u32> = input.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_decode_waits_for_a_whole_frame() {
+        let bytes = sample_frames()[0].encode();
+        for cut in 0..bytes.len() {
+            let r = Frame::decode(&bytes[..cut]).expect("prefix of a valid frame");
+            assert!(r.is_none(), "cut {cut} decoded early");
+        }
+        // Two frames back to back: the first decodes, reporting its
+        // length so the caller can resynchronize on the second.
+        let mut two = bytes.clone();
+        let second = Frame::Ping { id: 42 }.encode();
+        two.extend_from_slice(&second);
+        let (f, n) = Frame::decode(&two).unwrap().unwrap();
+        assert_eq!(f, sample_frames()[0]);
+        assert_eq!(n, bytes.len());
+        let (f2, n2) = Frame::decode(&two[n..]).unwrap().unwrap();
+        assert_eq!(f2, Frame::Ping { id: 42 });
+        assert_eq!(n2, second.len());
+    }
+
+    #[test]
+    fn short_header_is_truncated_not_misparsed() {
+        let bytes = Frame::Ping { id: 5 }.encode();
+        let err = Frame::decode_exact(&bytes[..10], DEFAULT_MAX_PAYLOAD).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                have: 10,
+                need: HEADER_LEN
+            }
+        );
+    }
+
+    #[test]
+    fn short_payload_is_truncated_with_the_real_need() {
+        let bytes = sample_frames()[0].encode();
+        let err = Frame::decode_exact(&bytes[..bytes.len() - 3], DEFAULT_MAX_PAYLOAD).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                have: bytes.len() - 3,
+                need: bytes.len()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_magic_fails_fast_even_on_a_two_byte_prefix() {
+        let mut bytes = Frame::Ping { id: 5 }.encode();
+        bytes[0] = 0x00;
+        assert_eq!(
+            Frame::decode(&bytes[..2]).unwrap_err(),
+            WireError::BadMagic { got: [0x00, 0x5E] }
+        );
+        assert_eq!(
+            Frame::decode(&bytes).unwrap_err(),
+            WireError::BadMagic { got: [0x00, 0x5E] }
+        );
+    }
+
+    #[test]
+    fn unsupported_version_and_unknown_type_are_rejected() {
+        let mut v = Frame::Ping { id: 5 }.encode();
+        v[2] = 9;
+        assert_eq!(
+            Frame::decode(&v).unwrap_err(),
+            WireError::UnsupportedVersion { got: 9 }
+        );
+        let mut t = Frame::Ping { id: 5 }.encode();
+        t[3] = 200;
+        assert_eq!(
+            Frame::decode(&t).unwrap_err(),
+            WireError::UnknownFrameType { got: 200 }
+        );
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = Frame::Ping { id: 5 }.encode();
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes).unwrap_err(),
+            WireError::Oversized {
+                len: u32::MAX,
+                max: DEFAULT_MAX_PAYLOAD
+            }
+        );
+        // A tighter caller-supplied cap wins.
+        let req = sample_frames()[0].encode();
+        assert!(matches!(
+            Frame::decode_with_limit(&req, 4).unwrap_err(),
+            WireError::Oversized { max: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn inner_length_cannot_exceed_the_payload() {
+        // Request with an input count claiming more floats than the
+        // payload carries: must be BadPayload, not an allocation.
+        let mut bytes = Frame::Request {
+            id: 1,
+            model: "m".to_string(),
+            input: vec![1.0, 2.0],
+        }
+        .encode();
+        // input count lives right after the 2-byte len + 1-byte "m".
+        let count_off = HEADER_LEN + 2 + 1;
+        bytes[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes).unwrap_err(),
+            WireError::BadPayload { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        let mut bytes = Frame::Ping { id: 5 }.encode();
+        bytes[12..16].copy_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            Frame::decode(&bytes).unwrap_err(),
+            WireError::BadPayload { .. }
+        ));
+        // And decode_exact rejects a valid frame followed by garbage.
+        let mut ok = Frame::Ping { id: 5 }.encode();
+        ok.push(0xFF);
+        assert!(matches!(
+            Frame::decode_exact(&ok, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+            WireError::BadPayload { .. }
+        ));
+    }
+
+    #[test]
+    fn non_utf8_model_name_is_bad_payload() {
+        let mut bytes = Frame::Query {
+            id: 1,
+            model: "ab".to_string(),
+        }
+        .encode();
+        bytes[HEADER_LEN + 2] = 0xFF;
+        bytes[HEADER_LEN + 3] = 0xFE;
+        assert!(matches!(
+            Frame::decode(&bytes).unwrap_err(),
+            WireError::BadPayload { .. }
+        ));
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_map_from_serve_errors() {
+        for code in [
+            ErrorCode::UnknownModel,
+            ErrorCode::ShapeMismatch,
+            ErrorCode::Overloaded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::WorkerLost,
+            ErrorCode::Internal,
+            ErrorCode::Malformed,
+            ErrorCode::ConnectionLimit,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(999), None);
+        assert_eq!(
+            ErrorCode::from_serve(&ServeError::Overloaded { capacity: 64 }),
+            ErrorCode::Overloaded
+        );
+        assert_eq!(
+            ErrorCode::from_serve(&ServeError::UnknownModel("x".into())),
+            ErrorCode::UnknownModel
+        );
+        assert_eq!(
+            ErrorCode::from_serve(&ServeError::ShuttingDown),
+            ErrorCode::ShuttingDown
+        );
+    }
+}

@@ -55,5 +55,7 @@ pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use cs_telemetry::{NoopRecorder, Recorder, Registry};
 pub use error::ServeError;
 pub use model::{CompiledLane, LaneKernel, LaneLayer, ModelRegistry, ServableModel};
-pub use server::{ExecBackend, InferRequest, InferResponse, ServeConfig, Server, Ticket};
+pub use server::{
+    DrainHandle, ExecBackend, InferRequest, InferResponse, ServeConfig, Server, Ticket,
+};
 pub use stats::{ServeSnapshot, ServeStats};

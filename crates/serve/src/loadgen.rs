@@ -22,8 +22,10 @@ use crate::model::{ModelRegistry, ServableModel};
 use crate::server::{InferRequest, ServeConfig, Server};
 
 /// Deterministic input generator (SplitMix64 over the request id), so a
-/// sweep is reproducible without an external RNG dependency.
-fn request_input(n_in: usize, request_id: u64, seed: u64) -> Vec<f32> {
+/// sweep is reproducible without an external RNG dependency. Public so
+/// other load drivers (e.g. `cs-net`'s `cs-netload`) offer exactly the
+/// same request shapes as the in-process sweep.
+pub fn request_input(n_in: usize, request_id: u64, seed: u64) -> Vec<f32> {
     let mut state = seed ^ request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut next = move || {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -23,7 +23,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -231,6 +231,95 @@ fn run_lane(
     Ok(x)
 }
 
+/// Counts live worker threads; [`DrainHandle::shutdown_and_drain`]
+/// blocks on it until every in-flight batch has been answered.
+#[derive(Debug)]
+struct WorkerLatch {
+    remaining: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl WorkerLatch {
+    fn new(count: usize) -> Self {
+        WorkerLatch {
+            remaining: Mutex::new(count),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self
+            .remaining
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self
+            .remaining
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while *remaining > 0 {
+            remaining = self
+                .zero
+                .wait(remaining)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// The admission queue's sender slot, shared between the owning
+/// [`Server`] and every [`DrainHandle`]. Submission takes the read
+/// lock (uncontended on the hot path); shutdown takes the write lock
+/// once to drop the sender, which disconnects the batcher after the
+/// buffered jobs drain.
+type QueueSlot = Arc<RwLock<Option<SyncSender<Job>>>>;
+
+/// A cloneable handle that can shut the server down from any thread.
+///
+/// [`Server::shutdown`] consumes the owning handle, which a component
+/// embedding the server (e.g. a network frontend reacting to a control
+/// frame on a connection thread) cannot do. A `DrainHandle` performs
+/// the same graceful sequence — stop admitting, drain the queue, wait
+/// for workers to answer every in-flight request — without ownership;
+/// the final [`Server::shutdown`] (or drop) then merely joins the
+/// already-exited threads.
+#[derive(Debug, Clone)]
+pub struct DrainHandle {
+    shutting_down: Arc<AtomicBool>,
+    queue: QueueSlot,
+    latch: Arc<WorkerLatch>,
+}
+
+impl DrainHandle {
+    /// Stops admission, drains queued work through the batcher, and
+    /// blocks until every worker thread has answered its in-flight
+    /// batches and exited. Idempotent: concurrent calls all return
+    /// once the drain completes.
+    pub fn shutdown_and_drain(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Dropping the sender disconnects the batcher once the buffered
+        // jobs drain; the batcher then drops the dispatch lanes, which
+        // stops the workers after their in-flight batches.
+        drop(
+            self.queue
+                .write()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .take(),
+        );
+        self.latch.wait();
+    }
+
+    /// Whether a shutdown (from any handle) has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+}
+
 /// The running server. Shareable across client threads by reference;
 /// dropped or [`Server::shutdown`] joins all internal threads.
 pub struct Server {
@@ -238,8 +327,9 @@ pub struct Server {
     cfg: ServeConfig,
     stats: Arc<ServeStats>,
     recorder: Arc<dyn Recorder>,
-    queue: Option<SyncSender<Job>>,
+    queue: QueueSlot,
     shutting_down: Arc<AtomicBool>,
+    latch: Arc<WorkerLatch>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -306,6 +396,7 @@ impl Server {
             cfg.max_batch,
         ));
         let shutting_down = Arc::new(AtomicBool::new(false));
+        let latch = Arc::new(WorkerLatch::new(cfg.workers));
 
         let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
         // One bounded dispatch lane per worker, filled round-robin by
@@ -336,6 +427,7 @@ impl Server {
                 Arc::clone(&stats),
                 Arc::clone(&clock),
                 recorder.as_ref(),
+                Arc::clone(&latch),
             ));
         }
 
@@ -344,8 +436,9 @@ impl Server {
             cfg,
             stats,
             recorder,
-            queue: Some(queue_tx),
+            queue: Arc::new(RwLock::new(Some(queue_tx))),
             shutting_down,
+            latch,
             threads,
         })
     }
@@ -424,6 +517,7 @@ impl Server {
         stats: Arc<ServeStats>,
         clock: Arc<dyn Clock>,
         recorder: &dyn Recorder,
+        latch: Arc<WorkerLatch>,
     ) -> JoinHandle<()> {
         // Each worker owns its models and accelerator: the Arc clones
         // are taken once here, never through the registry lock on the
@@ -474,9 +568,18 @@ impl Server {
                 )
             }
         };
+        // Releases the latch even if the worker unwinds, so a drain
+        // never deadlocks on a dead thread.
+        struct LatchGuard(Arc<WorkerLatch>);
+        impl Drop for LatchGuard {
+            fn drop(&mut self) {
+                self.0.count_down();
+            }
+        }
         std::thread::Builder::new()
             .name(format!("cs-serve-worker-{worker_id}"))
             .spawn(move || {
+                let _latch_guard = LatchGuard(latch);
                 // Lane accounting: time between batches is idle, time
                 // spent executing one is busy; both accumulate into
                 // the per-worker telemetry counters.
@@ -606,7 +709,11 @@ impl Server {
                 actual: req.input.len(),
             });
         }
-        let queue = match &self.queue {
+        let slot = self
+            .queue
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let queue = match slot.as_ref() {
             Some(q) => q,
             None => return Err(ServeError::ShuttingDown),
         };
@@ -669,6 +776,18 @@ impl Server {
         &self.registry
     }
 
+    /// A cloneable handle that can gracefully shut this server down
+    /// from any thread (see [`DrainHandle`]). The owning handle keeps
+    /// working afterwards: [`Server::shutdown`] returns the final
+    /// snapshot once the drain (wherever it was initiated) completes.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            shutting_down: Arc::clone(&self.shutting_down),
+            queue: Arc::clone(&self.queue),
+            latch: Arc::clone(&self.latch),
+        }
+    }
+
     /// Stops admitting, drains in-flight work, joins all threads and
     /// returns the final snapshot.
     pub fn shutdown(mut self) -> ServeSnapshot {
@@ -681,7 +800,12 @@ impl Server {
         // Dropping the queue sender disconnects the batcher once the
         // buffered jobs drain; the batcher then drops the dispatch
         // sender, which stops the workers after in-flight batches.
-        self.queue = None;
+        drop(
+            self.queue
+                .write()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .take(),
+        );
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -982,6 +1106,68 @@ mod tests {
                 ],
             )
             .is_none());
+    }
+
+    #[test]
+    fn drain_handle_shuts_down_from_another_thread() {
+        let (reg, model) = mlp_registry();
+        let cfg = ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait_us: 2_000,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(reg, cfg).expect("start");
+        let tickets: Vec<Ticket> = (0..10)
+            .map(|i| {
+                server
+                    .submit(InferRequest::new("mlp", input_for(&model, i)))
+                    .expect("submit")
+            })
+            .collect();
+        let handle = server.drain_handle();
+        assert!(!handle.is_shutting_down());
+        let drainer = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.shutdown_and_drain())
+        };
+        drainer.join().expect("drain thread");
+        assert!(handle.is_shutting_down());
+        // The drain answered every in-flight request before returning.
+        for t in tickets {
+            t.wait().expect("in-flight request answered");
+        }
+        // Admission is closed from the owning handle's point of view too.
+        assert!(matches!(
+            server.submit(InferRequest::new("mlp", input_for(&model, 99))),
+            Err(ServeError::ShuttingDown)
+        ));
+        // The owning handle still works and reports the final stats.
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 10);
+        assert_eq!(snap.failed, 0);
+    }
+
+    #[test]
+    fn drain_handle_is_idempotent_across_threads() {
+        let (reg, model) = mlp_registry();
+        let server = Server::start(reg, ServeConfig::default()).expect("start");
+        server
+            .infer(InferRequest::new("mlp", input_for(&model, 0)))
+            .expect("infer");
+        let handle = server.drain_handle();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = handle.clone();
+                std::thread::spawn(move || h.shutdown_and_drain())
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("concurrent drains all return");
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 1);
     }
 
     #[test]
