@@ -1,0 +1,433 @@
+//! `cs-netload` — closed-loop load generator for single servers and
+//! clusters.
+//!
+//! **Server mode** (default): opens `--conns` TCP connections to a
+//! running `cs-netserve` *or* `cs-orchestrate` endpoint (they speak the
+//! same protocol), asks for the model's input width, then drives
+//! `--requests` inferences per connection closed-loop, reusing the
+//! deterministic request shapes the in-process load generator uses
+//! (`cs_serve::loadgen::request_input`), so a network sweep is
+//! replayable by seed. Overload rejections are retried through
+//! `cs-net`'s seeded exponential-backoff policy and counted, not
+//! failed.
+//!
+//! **Cluster mode** (`--cluster`): ignores `--addr` and instead stands
+//! up fresh in-process clusters at each `--nodes` count (orchestrator +
+//! N full worker nodes on loopback), drives the same seeded load
+//! through the orchestrator, and reports aggregate hw-throughput
+//! scaling as JSONL. `--min-scaling F` turns the scaling factor into an
+//! exit-code gate for CI.
+//!
+//! ```text
+//! cs-netload --addr 127.0.0.1:4885 --conns 4 --requests 64 --shutdown
+//! cs-netload --cluster --nodes 1,2,4 --out sweep.jsonl --min-scaling 3.0
+//! ```
+//!
+//! Exit codes: `0` success, `1` bad usage or connect failure, `2` any
+//! request failed with a non-overload error (or the scaling gate
+//! failed).
+
+use std::time::Instant;
+
+use cs_cluster::{run_cluster_sweep, ClusterSweepConfig};
+use cs_net::{Client, RetryPolicy};
+use cs_serve::loadgen::request_input;
+use cs_serve::ExecBackend;
+
+struct Args {
+    addr: String,
+    conns: usize,
+    requests: u64,
+    seed: u64,
+    model: String,
+    out: Option<String>,
+    shutdown: bool,
+    wait_ready_secs: u64,
+    cluster: bool,
+    nodes: Vec<usize>,
+    scale: usize,
+    workers_per_node: usize,
+    backend: ExecBackend,
+    min_scaling: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cs-netload --addr HOST:PORT [--conns N] [--requests N] [--seed N]\n\
+         \x20                [--model NAME] [--out PATH] [--shutdown]\n\
+         \x20                [--wait-ready SECS]\n\
+         \x20      cs-netload --cluster [--nodes N,N,..] [--conns N] [--requests N]\n\
+         \x20                [--seed N] [--scale N] [--workers N]\n\
+         \x20                [--backend simulator|sparse|dense] [--out PATH]\n\
+         \x20                [--min-scaling F]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: String::new(),
+        conns: 4,
+        requests: 64,
+        seed: 7,
+        model: "mlp".to_string(),
+        out: None,
+        shutdown: false,
+        wait_ready_secs: 0,
+        cluster: false,
+        nodes: vec![1, 2, 4],
+        scale: 8,
+        workers_per_node: 2,
+        backend: ExecBackend::Simulator,
+        min_scaling: 0.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {flag} requires a value");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--addr" => out.addr = value("--addr"),
+            "--conns" => out.conns = parse_num(&value("--conns"), "--conns") as usize,
+            "--requests" => out.requests = parse_num(&value("--requests"), "--requests"),
+            "--seed" => out.seed = parse_num(&value("--seed"), "--seed"),
+            "--model" => out.model = value("--model"),
+            "--out" => out.out = Some(value("--out")),
+            "--shutdown" => out.shutdown = true,
+            "--wait-ready" => {
+                out.wait_ready_secs = parse_num(&value("--wait-ready"), "--wait-ready")
+            }
+            "--cluster" => out.cluster = true,
+            "--nodes" => {
+                out.nodes = value("--nodes")
+                    .split(',')
+                    .map(|s| parse_num(s, "--nodes") as usize)
+                    .collect();
+            }
+            "--scale" => out.scale = parse_num(&value("--scale"), "--scale") as usize,
+            "--workers" => {
+                out.workers_per_node = parse_num(&value("--workers"), "--workers") as usize
+            }
+            "--backend" => {
+                out.backend = match value("--backend").as_str() {
+                    "simulator" | "sim" => ExecBackend::Simulator,
+                    "sparse" => ExecBackend::Sparse,
+                    "dense" => ExecBackend::Dense,
+                    other => {
+                        eprintln!("error: unknown backend {other:?}");
+                        usage();
+                    }
+                }
+            }
+            "--min-scaling" => {
+                out.min_scaling = match value("--min-scaling").parse() {
+                    Ok(f) => f,
+                    Err(_) => {
+                        eprintln!("error: --min-scaling expects a number");
+                        usage();
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if !out.cluster && out.addr.is_empty() {
+        eprintln!("error: --addr is required (or use --cluster)");
+        usage();
+    }
+    if out.conns == 0 || out.requests == 0 {
+        eprintln!("error: --conns and --requests must be at least 1");
+        usage();
+    }
+    if out.cluster && (out.nodes.is_empty() || out.nodes.contains(&0)) {
+        eprintln!("error: --nodes needs positive counts");
+        usage();
+    }
+    out
+}
+
+fn parse_num(s: &str, flag: &str) -> u64 {
+    match s.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: {flag} expects a number, got {s:?}");
+            usage();
+        }
+    }
+}
+
+/// Per-connection sweep outcome.
+struct ConnResult {
+    conn: usize,
+    completed: u64,
+    overload_rounds: u64,
+    latencies_us: Vec<u64>,
+    error: Option<String>,
+}
+
+fn run_connection(args: &Args, conn: usize) -> ConnResult {
+    let mut result = ConnResult {
+        conn,
+        completed: 0,
+        overload_rounds: 0,
+        latencies_us: Vec::with_capacity(args.requests as usize),
+        error: None,
+    };
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            result.error = Some(format!("connect: {e}"));
+            return result;
+        }
+    };
+    let n_in = match client.model_info(&args.model) {
+        Ok((n_in, _)) => n_in as usize,
+        Err(e) => {
+            result.error = Some(format!("model query: {e}"));
+            return result;
+        }
+    };
+    let policy = RetryPolicy {
+        seed: args.seed ^ conn as u64,
+        ..RetryPolicy::default()
+    };
+    for i in 0..args.requests {
+        // Globally unique request id -> unique deterministic input,
+        // exactly as the in-process loadgen shapes its traffic.
+        let request_id = (conn as u64) * args.requests + i;
+        let input = request_input(n_in, request_id, args.seed);
+        loop {
+            let t0 = Instant::now();
+            match client.request_with_retry(&args.model, &input, &policy) {
+                Ok(_) => {
+                    result.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    result.completed += 1;
+                    break;
+                }
+                Err(e) if e.is_overloaded() => {
+                    // The whole retry budget drained and the server is
+                    // still shedding: stay closed-loop and go again.
+                    result.overload_rounds += 1;
+                }
+                Err(e) => {
+                    result.error = Some(format!("request {request_id}: {e}"));
+                    return result;
+                }
+            }
+        }
+    }
+    result
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn jsonl_line(r: &ConnResult) -> String {
+    let mut sorted = r.latencies_us.clone();
+    sorted.sort_unstable();
+    format!(
+        "{{\"conn\":{},\"completed\":{},\"overload_rounds\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"error\":{}}}",
+        r.conn,
+        r.completed,
+        r.overload_rounds,
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.95),
+        percentile(&sorted, 0.99),
+        match &r.error {
+            Some(e) => format!("{:?}", e),
+            None => "null".to_string(),
+        }
+    )
+}
+
+fn run_cluster_mode(args: &Args) -> ! {
+    let cfg = ClusterSweepConfig {
+        node_counts: args.nodes.clone(),
+        conns: args.conns,
+        requests_per_conn: args.requests as usize,
+        seed: args.seed,
+        scale: args.scale,
+        workers_per_node: args.workers_per_node,
+        backend: args.backend,
+    };
+    println!(
+        "cs-netload --cluster: nodes {:?}, {} conns x {} requests, seed {}",
+        cfg.node_counts, cfg.conns, cfg.requests_per_conn, cfg.seed
+    );
+    let report = match run_cluster_sweep(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for p in &report.points {
+        let per_node: Vec<String> = p
+            .per_node_completed
+            .iter()
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect();
+        println!(
+            "  {} node(s): {} completed, {} errors, aggregate hw {:.0} req/s ({})",
+            p.nodes,
+            p.completed,
+            p.errors,
+            p.aggregate_hw_rps,
+            per_node.join(", ")
+        );
+    }
+    let scaling = report.scaling();
+    println!(
+        "scaling {:.2}x across {} -> {} nodes",
+        scaling,
+        report.points.first().map_or(0, |p| p.nodes),
+        report.points.last().map_or(0, |p| p.nodes)
+    );
+    if let Some(path) = &args.out {
+        let body = report.jsonl_lines().join("\n") + "\n";
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("writing {path} failed: {e}");
+            std::process::exit(2);
+        }
+        println!("results written to {path}");
+    }
+    if args.min_scaling > 0.0 && scaling < args.min_scaling {
+        eprintln!(
+            "error: scaling {scaling:.2}x is below the required {:.2}x",
+            args.min_scaling
+        );
+        std::process::exit(2);
+    }
+    std::process::exit(0);
+}
+
+/// Polls the endpoint until the target model resolves (or the deadline
+/// passes). Against an orchestrator this waits out the window between
+/// "listener up" and "first worker registered", so scripted multi-process
+/// bring-up doesn't race worker registration.
+fn wait_ready(args: &Args) {
+    let deadline = Instant::now() + std::time::Duration::from_secs(args.wait_ready_secs);
+    loop {
+        let ready = Client::connect(&args.addr)
+            .and_then(|mut c| c.model_info(&args.model))
+            .is_ok();
+        if ready {
+            return;
+        }
+        if Instant::now() >= deadline {
+            eprintln!(
+                "error: {} did not serve model {:?} within {}s",
+                args.addr, args.model, args.wait_ready_secs
+            );
+            std::process::exit(1);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.cluster {
+        run_cluster_mode(&args);
+    }
+    if args.wait_ready_secs > 0 {
+        wait_ready(&args);
+    }
+
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.conns)
+            .map(|conn| {
+                scope.spawn({
+                    let args = &args;
+                    move || run_connection(args, conn)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(conn, h)| {
+                h.join().unwrap_or_else(|_| ConnResult {
+                    conn,
+                    completed: 0,
+                    overload_rounds: 0,
+                    latencies_us: Vec::new(),
+                    error: Some("connection thread panicked".to_string()),
+                })
+            })
+            .collect()
+    });
+
+    let mut all: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    all.sort_unstable();
+    let completed: u64 = results.iter().map(|r| r.completed).sum();
+    let retries: u64 = results.iter().map(|r| r.overload_rounds).sum();
+    let failed: Vec<&ConnResult> = results.iter().filter(|r| r.error.is_some()).collect();
+
+    println!(
+        "cs-netload: {} conns x {} requests against {} (model \"{}\", seed {})",
+        args.conns, args.requests, args.addr, args.model, args.seed
+    );
+    println!(
+        "completed {completed}, overload rounds {retries}, socket latency p50 {} us, p95 {} us, p99 {} us",
+        percentile(&all, 0.50),
+        percentile(&all, 0.95),
+        percentile(&all, 0.99),
+    );
+    for r in &failed {
+        eprintln!(
+            "conn {} failed: {}",
+            r.conn,
+            r.error.as_deref().unwrap_or("")
+        );
+    }
+
+    if let Some(path) = &args.out {
+        let mut lines: Vec<String> = results.iter().map(jsonl_line).collect();
+        lines.push(format!(
+            "{{\"aggregate\":true,\"conns\":{},\"completed\":{},\"overload_rounds\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            args.conns,
+            completed,
+            retries,
+            percentile(&all, 0.50),
+            percentile(&all, 0.95),
+            percentile(&all, 0.99),
+        ));
+        let body = lines.join("\n") + "\n";
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("writing {path} failed: {e}");
+            std::process::exit(2);
+        }
+        println!("results written to {path}");
+    }
+
+    if args.shutdown {
+        match Client::connect(&args.addr).and_then(|mut c| c.shutdown_server()) {
+            Ok(()) => println!("server drained and stopped"),
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if !failed.is_empty() {
+        std::process::exit(2);
+    }
+}

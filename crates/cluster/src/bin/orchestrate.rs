@@ -1,0 +1,134 @@
+//! `cs-orchestrate` — stand up a cluster orchestrator.
+//!
+//! Binds the control/client listener, prints the bound address (and
+//! writes it atomically to `--addr-file` for CI discovery), then blocks
+//! until a client sends the shutdown control frame — which cascades to
+//! every registered worker, drains each one, and only then acks. No
+//! signal handling: termination is part of the protocol, exactly like
+//! `cs-netserve`.
+//!
+//! ```text
+//! cs-orchestrate --addr 127.0.0.1:0 --addr-file /tmp/orch.addr \
+//!                --heartbeat-ms 100 --metrics-out /tmp/cluster.jsonl
+//! ```
+//!
+//! Exit codes: `0` clean shutdown, `1` startup/config failure.
+
+use std::sync::Arc;
+
+use cs_cluster::{Orchestrator, OrchestratorConfig};
+use cs_telemetry::{Recorder, Registry};
+
+struct Args {
+    addr: String,
+    addr_file: Option<String>,
+    metrics_out: Option<String>,
+    heartbeat_ms: u32,
+    heartbeat_timeout_ms: u32,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cs-orchestrate [--addr HOST:PORT] [--addr-file PATH] [--metrics-out PATH]\n\
+         \x20                    [--heartbeat-ms N] [--heartbeat-timeout-ms N]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: "127.0.0.1:0".to_string(),
+        addr_file: None,
+        metrics_out: None,
+        heartbeat_ms: 100,
+        heartbeat_timeout_ms: 350,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {flag} requires a value");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--addr" => out.addr = value("--addr"),
+            "--addr-file" => out.addr_file = Some(value("--addr-file")),
+            "--metrics-out" => out.metrics_out = Some(value("--metrics-out")),
+            "--heartbeat-ms" => {
+                out.heartbeat_ms = parse_num(&value("--heartbeat-ms"), "--heartbeat-ms")
+            }
+            "--heartbeat-timeout-ms" => {
+                out.heartbeat_timeout_ms =
+                    parse_num(&value("--heartbeat-timeout-ms"), "--heartbeat-timeout-ms")
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    out
+}
+
+fn parse_num(s: &str, flag: &str) -> u32 {
+    match s.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: {flag} expects a number, got {s:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let registry = Arc::new(Registry::new());
+    let orch = match Orchestrator::start_with_recorder(
+        OrchestratorConfig {
+            addr: args.addr.clone(),
+            heartbeat_ms: args.heartbeat_ms,
+            heartbeat_timeout_ms: args.heartbeat_timeout_ms,
+            ..OrchestratorConfig::default()
+        },
+        registry.clone(),
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("starting orchestrator failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let addr = orch.local_addr();
+    println!(
+        "cs-orchestrate listening on {addr} (heartbeat {} ms, eviction {} ms)",
+        args.heartbeat_ms, args.heartbeat_timeout_ms
+    );
+    if let Some(path) = &args.addr_file {
+        // Workers and the load generator discover the ephemeral port
+        // through this file, so write it atomically (write tmp, rename).
+        let tmp = format!("{path}.tmp");
+        let write =
+            std::fs::write(&tmp, addr.to_string()).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    orch.wait_for_shutdown();
+    orch.shutdown();
+    println!("orchestrator stopped");
+
+    if let Some(path) = &args.metrics_out {
+        let jsonl = registry.jsonl().unwrap_or_default();
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+        println!("telemetry written to {path}");
+    }
+}

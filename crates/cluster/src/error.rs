@@ -1,0 +1,49 @@
+//! Typed failures for the cluster control plane.
+
+use std::fmt;
+
+use cs_net::NetError;
+
+/// Everything that can go wrong standing up or running a cluster.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A configuration field failed validation.
+    InvalidConfig(String),
+    /// A worker tried to register under a name a healthy worker holds.
+    DuplicateWorker(String),
+    /// An operation named a worker the membership does not hold.
+    UnknownWorker(String),
+    /// A network-layer failure (dialing a worker, a broken control
+    /// connection, a wire violation).
+    Net(NetError),
+    /// A serving-runtime failure while standing up an in-process node.
+    Serve(cs_serve::ServeError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidConfig(s) => write!(f, "invalid config: {s}"),
+            ClusterError::DuplicateWorker(w) => {
+                write!(f, "worker {w:?} is already registered and healthy")
+            }
+            ClusterError::UnknownWorker(w) => write!(f, "unknown worker {w:?}"),
+            ClusterError::Net(e) => write!(f, "network: {e}"),
+            ClusterError::Serve(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<NetError> for ClusterError {
+    fn from(e: NetError) -> Self {
+        ClusterError::Net(e)
+    }
+}
+
+impl From<cs_serve::ServeError> for ClusterError {
+    fn from(e: cs_serve::ServeError) -> Self {
+        ClusterError::Serve(e)
+    }
+}

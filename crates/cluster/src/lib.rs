@@ -1,0 +1,71 @@
+//! # cs-cluster — distributed sharded serving for the Cambricon-S stack
+//!
+//! `cs-serve` batches and executes on one node; `cs-net` puts one node
+//! on the wire. This crate scales out: an [`Orchestrator`] control
+//! plane that workers join over the same versioned frame protocol, a
+//! router that spreads client requests across healthy replicas, and
+//! failover that survives a node dying mid-stream. Everything is std
+//! plus the workspace crates — no external dependencies.
+//!
+//! * [`orchestrator`] — the control plane: registration, heartbeat
+//!   deadlines, least-outstanding routing with round-robin tie-break,
+//!   exactly-once failover retry, typed `NoReplica`/`WorkerLost`
+//!   errors, and the cluster-wide drain cascade.
+//! * [`membership`] — the worker roster ([`Membership`]): states,
+//!   injected-clock eviction, [`Lease`] guards feeding per-worker
+//!   outstanding gauges.
+//! * [`pool`] — pooled request-plane connections to workers.
+//! * [`local`] — [`LocalCluster`]: a full in-process N-node cluster on
+//!   loopback (real TCP, real threads) for tests, conformance, and
+//!   sweeps.
+//! * [`sweep`] — the 1→N node scaling sweep behind
+//!   `cs-netload --cluster`.
+//!
+//! Placement falls out of registration: every worker announces the
+//! models it serves, so "replicate one model N ways" and "shard
+//! distinct models across nodes" are the same mechanism.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cs_cluster::{LocalCluster, LocalClusterConfig};
+//! use cs_net::Client;
+//! use cs_nn::spec::Scale;
+//! use cs_serve::{ModelRegistry, ServableModel};
+//!
+//! let cluster = LocalCluster::start(
+//!     &LocalClusterConfig { nodes: 2, ..LocalClusterConfig::default() },
+//!     Arc::new(cs_telemetry::NoopRecorder),
+//!     &|_node| {
+//!         let mut registry = ModelRegistry::new();
+//!         registry.register(ServableModel::mlp(Scale::Reduced(8), 7)?)?;
+//!         Ok(registry)
+//!     },
+//! )
+//! .unwrap();
+//! let mut client = Client::connect(&cluster.orch_addr()).unwrap();
+//! let model = ServableModel::mlp(Scale::Reduced(8), 7).unwrap();
+//! let out = client.request("mlp", &vec![0.5; model.n_in]).unwrap();
+//! assert!(out.node.starts_with("node-"));
+//! cluster.stop().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+// A panic in the control plane would orphan every worker; `unwrap`/
+// `expect` stay banned outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
+pub mod local;
+pub mod membership;
+pub mod orchestrator;
+pub mod pool;
+pub mod sweep;
+
+pub use error::ClusterError;
+pub use local::{LocalCluster, LocalClusterConfig};
+pub use membership::{Lease, Membership, WorkerState};
+pub use orchestrator::{Orchestrator, OrchestratorConfig};
+pub use pool::ClientPool;
+pub use sweep::{run_cluster_sweep, ClusterSweepConfig, ClusterSweepPoint, ClusterSweepReport};

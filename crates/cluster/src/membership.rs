@@ -1,0 +1,425 @@
+//! Worker membership: registration, heartbeat deadlines, and replica
+//! selection.
+//!
+//! [`Membership`] is the orchestrator's source of truth for which
+//! workers exist, which are healthy, and which replica should take the
+//! next request. Placement falls out of registration: every worker
+//! announces the models it serves, so replicating one model across N
+//! nodes and placing distinct models on distinct nodes are the same
+//! mechanism — [`Membership::pick`] selects among the healthy workers
+//! whose model list contains the requested name.
+//!
+//! Selection is **least-outstanding with round-robin tie-break**: the
+//! healthy replica with the fewest in-flight requests wins, and ties
+//! rotate so equally-loaded replicas share work instead of the map
+//! order deciding. The in-flight count is tracked by [`Lease`] guards
+//! (decrement on drop), which is also what feeds the per-worker
+//! `cluster_worker_outstanding` gauges.
+//!
+//! Time is injected through [`cs_telemetry::Clock`], so the
+//! heartbeat-deadline eviction ([`Membership::evict_expired`]) is
+//! tested with a [`cs_telemetry::ManualClock`] rather than sleeps.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use cs_telemetry::{label, Clock, Gauge, Labels, Recorder};
+
+use crate::error::ClusterError;
+
+/// Lifecycle state of a registered worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Heartbeating within its deadline; eligible for routing.
+    Healthy,
+    /// Evicted (missed heartbeats, transport failure, or graceful
+    /// deregister); kept for the record, never routed to. A worker may
+    /// re-register under the same name from this state.
+    Dead,
+}
+
+/// One registered worker.
+struct Entry {
+    addr: String,
+    models: Vec<String>,
+    state: WorkerState,
+    last_seen_us: u64,
+    outstanding: Arc<AtomicUsize>,
+    outstanding_gauge: Gauge,
+}
+
+/// A routing decision: the chosen worker plus a guard holding its
+/// in-flight slot. Dropping the lease releases the slot, so the
+/// outstanding count survives every exit path of a forward.
+pub struct Lease {
+    /// Name the worker registered under.
+    pub worker: String,
+    /// Request-plane address to forward to.
+    pub addr: String,
+    outstanding: Arc<AtomicUsize>,
+    gauge: Gauge,
+}
+
+impl std::fmt::Debug for Lease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lease")
+            .field("worker", &self.worker)
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        self.gauge.sub(1);
+    }
+}
+
+/// The worker roster. Interior-mutexed: the orchestrator's accept
+/// threads, control threads, and the eviction sweeper share one
+/// instance.
+pub struct Membership {
+    inner: Mutex<HashMap<String, Entry>>,
+    clock: Arc<dyn Clock>,
+    timeout_us: u64,
+    rr: AtomicU64,
+    recorder: Arc<dyn Recorder>,
+    registered: Gauge,
+    healthy: Gauge,
+}
+
+impl std::fmt::Debug for Membership {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Membership")
+            .field("timeout_us", &self.timeout_us)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Membership {
+    /// An empty roster. `timeout_us` is the heartbeat deadline: a
+    /// healthy worker not seen for longer is evicted by
+    /// [`Membership::evict_expired`].
+    pub fn new(clock: Arc<dyn Clock>, timeout_us: u64, recorder: Arc<dyn Recorder>) -> Membership {
+        let registered = recorder.gauge(
+            "cluster_workers_registered",
+            "Workers the orchestrator knows about (healthy or dead)",
+            Labels::new(),
+        );
+        let healthy = recorder.gauge(
+            "cluster_workers_healthy",
+            "Workers within their heartbeat deadline",
+            Labels::new(),
+        );
+        Membership {
+            inner: Mutex::new(HashMap::new()),
+            clock,
+            timeout_us,
+            rr: AtomicU64::new(0),
+            recorder,
+            registered,
+            healthy,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Entry>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Enrolls a worker. A dead entry under the same name is replaced
+    /// (a restarted worker re-registers); a healthy one is a
+    /// [`ClusterError::DuplicateWorker`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::DuplicateWorker`] as above,
+    /// [`ClusterError::InvalidConfig`] for an empty name or model list.
+    pub fn register(
+        &self,
+        name: &str,
+        addr: &str,
+        models: Vec<String>,
+    ) -> Result<(), ClusterError> {
+        if name.is_empty() {
+            return Err(ClusterError::InvalidConfig(
+                "worker name must be non-empty".to_string(),
+            ));
+        }
+        if models.is_empty() {
+            return Err(ClusterError::InvalidConfig(format!(
+                "worker {name:?} registered no models"
+            )));
+        }
+        let now = self.clock.now_us();
+        let mut map = self.lock();
+        if let Some(existing) = map.get(name) {
+            if existing.state == WorkerState::Healthy {
+                return Err(ClusterError::DuplicateWorker(name.to_string()));
+            }
+        }
+        let outstanding_gauge = self.recorder.gauge(
+            "cluster_worker_outstanding",
+            "Requests currently routed to this worker and not yet answered",
+            label("worker", name),
+        );
+        let replaced = map.insert(
+            name.to_string(),
+            Entry {
+                addr: addr.to_string(),
+                models,
+                state: WorkerState::Healthy,
+                last_seen_us: now,
+                outstanding: Arc::new(AtomicUsize::new(0)),
+                outstanding_gauge,
+            },
+        );
+        if replaced.is_none() {
+            self.registered.add(1);
+        }
+        self.healthy.add(1);
+        Ok(())
+    }
+
+    /// Records a liveness beacon. Returns `false` for a worker that is
+    /// unknown or already evicted (it should re-register).
+    pub fn heartbeat(&self, name: &str) -> bool {
+        let now = self.clock.now_us();
+        let mut map = self.lock();
+        match map.get_mut(name) {
+            Some(e) if e.state == WorkerState::Healthy => {
+                e.last_seen_us = now;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks a worker dead (transport failure, control-connection loss,
+    /// or graceful deregister). Returns `true` if the worker was
+    /// healthy — i.e. this call is the one that evicted it.
+    pub fn mark_dead(&self, name: &str) -> bool {
+        let mut map = self.lock();
+        match map.get_mut(name) {
+            Some(e) if e.state == WorkerState::Healthy => {
+                e.state = WorkerState::Dead;
+                self.healthy.sub(1);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Evicts every healthy worker whose last heartbeat is older than
+    /// the deadline; returns their names.
+    pub fn evict_expired(&self) -> Vec<String> {
+        let now = self.clock.now_us();
+        let mut evicted = Vec::new();
+        let mut map = self.lock();
+        for (name, e) in map.iter_mut() {
+            if e.state == WorkerState::Healthy
+                && now.saturating_sub(e.last_seen_us) > self.timeout_us
+            {
+                e.state = WorkerState::Dead;
+                self.healthy.sub(1);
+                evicted.push(name.clone());
+            }
+        }
+        evicted
+    }
+
+    /// Least-outstanding healthy replica serving `model`, round-robin
+    /// among ties, skipping `exclude` (the replica a failover already
+    /// tried). `None` means no healthy replica holds the model.
+    pub fn pick(&self, model: &str, exclude: Option<&str>) -> Option<Lease> {
+        let map = self.lock();
+        let mut min = usize::MAX;
+        let mut candidates: Vec<(&String, &Entry)> = Vec::new();
+        for (name, e) in map.iter() {
+            if e.state != WorkerState::Healthy
+                || Some(name.as_str()) == exclude
+                || !e.models.iter().any(|m| m == model)
+            {
+                continue;
+            }
+            let load = e.outstanding.load(Ordering::SeqCst);
+            match load.cmp(&min) {
+                std::cmp::Ordering::Less => {
+                    min = load;
+                    candidates.clear();
+                    candidates.push((name, e));
+                }
+                std::cmp::Ordering::Equal => candidates.push((name, e)),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        // HashMap iteration order is arbitrary; sort so the rotation is
+        // deterministic, then rotate so ties share work.
+        candidates.sort_by(|a, b| a.0.cmp(b.0));
+        let idx = (self.rr.fetch_add(1, Ordering::SeqCst) as usize) % candidates.len();
+        let (name, e) = candidates[idx];
+        e.outstanding.fetch_add(1, Ordering::SeqCst);
+        e.outstanding_gauge.add(1);
+        Some(Lease {
+            worker: name.clone(),
+            addr: e.addr.clone(),
+            outstanding: Arc::clone(&e.outstanding),
+            gauge: e.outstanding_gauge.clone(),
+        })
+    }
+
+    /// The state of a worker, if registered.
+    pub fn state_of(&self, name: &str) -> Option<WorkerState> {
+        self.lock().get(name).map(|e| e.state)
+    }
+
+    /// Names of the currently healthy workers (sorted, for determinism).
+    pub fn healthy_workers(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .lock()
+            .iter()
+            .filter(|(_, e)| e.state == WorkerState::Healthy)
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Healthy worker count.
+    pub fn healthy_count(&self) -> usize {
+        self.lock()
+            .values()
+            .filter(|e| e.state == WorkerState::Healthy)
+            .count()
+    }
+
+    /// Total registered (healthy + dead) worker count.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the roster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_telemetry::{ManualClock, NoopRecorder, Registry};
+
+    fn membership_with(clock: Arc<ManualClock>) -> Membership {
+        Membership::new(clock, 300_000, Arc::new(NoopRecorder))
+    }
+
+    #[test]
+    fn register_heartbeat_and_deadline_eviction_with_a_manual_clock() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = membership_with(Arc::clone(&clock));
+        m.register("a", "127.0.0.1:1", vec!["mlp".into()])
+            .expect("register a");
+        m.register("b", "127.0.0.1:2", vec!["mlp".into()])
+            .expect("register b");
+        assert_eq!(m.healthy_count(), 2);
+
+        // b heartbeats inside the deadline, a goes silent.
+        clock.advance(200_000);
+        assert!(m.heartbeat("b"));
+        clock.advance(200_000);
+        let evicted = m.evict_expired();
+        assert_eq!(evicted, vec!["a".to_string()]);
+        assert_eq!(m.state_of("a"), Some(WorkerState::Dead));
+        assert_eq!(m.state_of("b"), Some(WorkerState::Healthy));
+
+        // An evicted worker's beacon is refused; it must re-register —
+        // which is allowed from the dead state.
+        assert!(!m.heartbeat("a"));
+        m.register("a", "127.0.0.1:1", vec!["mlp".into()])
+            .expect("re-register");
+        assert_eq!(m.healthy_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_healthy_names_are_refused() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = membership_with(clock);
+        m.register("a", "x", vec!["mlp".into()]).expect("first");
+        assert!(matches!(
+            m.register("a", "y", vec!["mlp".into()]),
+            Err(ClusterError::DuplicateWorker(_))
+        ));
+    }
+
+    #[test]
+    fn pick_prefers_least_outstanding_and_rotates_ties() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = membership_with(clock);
+        m.register("a", "x", vec!["mlp".into()]).expect("a");
+        m.register("b", "y", vec!["mlp".into()]).expect("b");
+
+        // Equal load: successive picks rotate across both replicas.
+        let l1 = m.pick("mlp", None).expect("pick 1");
+        let l2 = m.pick("mlp", None).expect("pick 2");
+        assert_ne!(l1.worker, l2.worker, "ties must rotate");
+
+        // a now holds 1 outstanding (l1) and so does b (l2); release b
+        // and the next pick must prefer it.
+        let b_name = l2.worker.clone();
+        drop(l2);
+        let l3 = m.pick("mlp", None).expect("pick 3");
+        assert_eq!(l3.worker, b_name, "least-outstanding replica wins");
+    }
+
+    #[test]
+    fn pick_honors_exclusion_and_model_placement() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = membership_with(clock);
+        m.register("a", "x", vec!["mlp".into()]).expect("a");
+        m.register("b", "y", vec!["other".into()]).expect("b");
+
+        // Only a serves mlp; excluding it leaves no replica.
+        assert!(m.pick("mlp", Some("a")).is_none());
+        assert!(m.pick("nope", None).is_none());
+        let lease = m.pick("other", None).expect("b serves other");
+        assert_eq!(lease.worker, "b");
+    }
+
+    #[test]
+    fn dead_workers_are_never_picked() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = membership_with(clock);
+        m.register("a", "x", vec!["mlp".into()]).expect("a");
+        assert!(m.mark_dead("a"));
+        assert!(!m.mark_dead("a"), "second eviction is a no-op");
+        assert!(m.pick("mlp", None).is_none());
+    }
+
+    #[test]
+    fn lease_guards_feed_the_outstanding_gauge() {
+        let clock = Arc::new(ManualClock::new(0));
+        let registry = Arc::new(Registry::new());
+        let m = Membership::new(clock, 300_000, registry.clone());
+        m.register("a", "x", vec!["mlp".into()]).expect("a");
+        let gauge = registry
+            .find_gauge("cluster_worker_outstanding", &[("worker", "a")])
+            .expect("gauge registered");
+        let lease = m.pick("mlp", None).expect("pick");
+        assert_eq!(gauge.get(), 1);
+        drop(lease);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(
+            registry
+                .find_gauge("cluster_workers_healthy", &[])
+                .expect("healthy gauge")
+                .get(),
+            1
+        );
+    }
+}

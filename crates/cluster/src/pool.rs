@@ -1,0 +1,73 @@
+//! Pooled request-plane connections from the orchestrator to workers.
+//!
+//! Forwarding borrows a [`Client`] per request: [`ClientPool::checkout`]
+//! reuses an idle connection to that worker or dials a fresh one, and
+//! [`ClientPool::checkin`] returns it after a clean round trip. A
+//! connection that saw a transport error is simply dropped (never
+//! checked back in), and [`ClientPool::purge`] empties a dead worker's
+//! slot so failover never retries a broken socket.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use cs_net::{Client, ClientConfig, NetError};
+
+/// Per-worker stash of idle connections.
+pub struct ClientPool {
+    inner: Mutex<HashMap<String, Vec<Client>>>,
+    cfg: ClientConfig,
+}
+
+impl std::fmt::Debug for ClientPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientPool").finish_non_exhaustive()
+    }
+}
+
+impl ClientPool {
+    /// An empty pool dialing with `cfg`.
+    pub fn new(cfg: ClientConfig) -> ClientPool {
+        ClientPool {
+            inner: Mutex::new(HashMap::new()),
+            cfg,
+        }
+    }
+
+    /// An idle connection to `worker`, or a fresh dial to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Dial failures ([`NetError::Io`] / [`NetError::Timeout`]) — the
+    /// caller treats them as the worker being unreachable.
+    pub fn checkout(&self, worker: &str, addr: &str) -> Result<Client, NetError> {
+        let pooled = {
+            let mut map = self
+                .inner
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            map.get_mut(worker).and_then(Vec::pop)
+        };
+        match pooled {
+            Some(client) => Ok(client),
+            None => Client::connect_with(addr, self.cfg.clone()),
+        }
+    }
+
+    /// Returns a connection after a clean round trip.
+    pub fn checkin(&self, worker: &str, client: Client) {
+        let mut map = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        map.entry(worker.to_string()).or_default().push(client);
+    }
+
+    /// Drops every idle connection to `worker` (it died or left).
+    pub fn purge(&self, worker: &str) {
+        let mut map = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        map.remove(worker);
+    }
+}

@@ -14,7 +14,7 @@ use cs_parallel::ThreadPool;
 
 use crate::gen::{self, CaseKind};
 use crate::runner;
-use crate::{diff, net_check, Fault, Mismatch};
+use crate::{cluster_check, diff, net_check, Fault, Mismatch};
 
 /// One pinned regression case.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +28,12 @@ pub struct CorpusEntry {
     /// ([`net_check::check_serve_socket`]). Only meaningful for FC
     /// cases — the serving runtime registers FC layers.
     pub socket: bool,
+    /// Additionally replay the case through a two-node in-process
+    /// cluster and check that orchestrator-routed outputs stay
+    /// bit-identical to direct execution
+    /// ([`cluster_check::check_serve_cluster`]). FC cases only, like
+    /// `socket`.
+    pub cluster: bool,
     /// Why this entry is pinned.
     pub note: &'static str,
 }
@@ -38,55 +44,65 @@ pub const CORPUS: &[CorpusEntry] = &[
         seed: 42,
         case: 0,
         socket: false,
+        cluster: false,
         note: "first case of the default sweep; canary for generator drift",
     },
     CorpusEntry {
         seed: 42,
         case: 2,
         socket: false,
+        cluster: false,
         note: "LSTM timing lowering and monotonicity invariants (seq 7)",
     },
     CorpusEntry {
         seed: 42,
         case: 4,
         socket: false,
+        cluster: false,
         note: "3-layer FC chain with odd widths (5/48/17) and zeroed input stripes",
     },
     CorpusEntry {
         seed: 42,
         case: 6,
         socket: false,
+        cluster: false,
         note: "fully dense (density 1.0) edge through the compressed path",
     },
     CorpusEntry {
         seed: 42,
         case: 7,
         socket: false,
+        cluster: false,
         note: "oversized pruning block (100 > matrix) with zeroed input stripes",
     },
     CorpusEntry {
         seed: 42,
         case: 11,
         socket: false,
+        cluster: false,
         note: "padded k3 conv; pooled conv kernel vs dense conv2d",
     },
     CorpusEntry {
         seed: 42,
         case: 19,
         socket: false,
+        cluster: false,
         note: "near-zero density edge (only the best block survives)",
     },
     CorpusEntry {
         seed: 42,
         case: 22,
         socket: false,
+        cluster: false,
         note: "all-zero weight layer (codebook collapses to [0.0])",
     },
     CorpusEntry {
         seed: 42,
         case: 9,
         socket: true,
-        note: "FC 16x48x8 served over loopback TCP; socket path must stay bit-identical",
+        cluster: true,
+        note: "FC 16x48x8 served over loopback TCP and routed through a two-node \
+               cluster; both paths must stay bit-identical to direct execution",
     },
 ];
 
@@ -98,6 +114,9 @@ pub fn replay_corpus(pools: &[ThreadPool]) -> Vec<(CorpusEntry, Vec<Mismatch>)> 
             let (case, mut mismatches) = runner::check_one(e.seed, e.case, Fault::None, pools);
             if e.socket {
                 mismatches.extend(socket_leg(e, &case));
+            }
+            if e.cluster {
+                mismatches.extend(cluster_leg(e, &case));
             }
             (!mismatches.is_empty()).then_some((*e, mismatches))
         })
@@ -115,6 +134,26 @@ fn socket_leg(e: &CorpusEntry, case: &gen::Case) -> Vec<Mismatch> {
             "corpus-socket-kind",
             format!(
                 "socket entry seed {} case {} is a {} case; only FC cases can be served",
+                e.seed,
+                e.case,
+                other.name()
+            ),
+        )],
+    }
+}
+
+/// The orchestrator-routed differential leg for `cluster: true`
+/// entries.
+fn cluster_leg(e: &CorpusEntry, case: &gen::Case) -> Vec<Mismatch> {
+    match &case.kind {
+        CaseKind::FcNet(fc) => match diff::build_fc(fc) {
+            Ok(art) => cluster_check::check_serve_cluster(&art, e.seed ^ e.case),
+            Err(m) => vec![m],
+        },
+        other => vec![Mismatch::new(
+            "corpus-cluster-kind",
+            format!(
+                "cluster entry seed {} case {} is a {} case; only FC cases can be served",
                 e.seed,
                 e.case,
                 other.name()

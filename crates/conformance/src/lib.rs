@@ -32,6 +32,10 @@
 //!   (`conformance net-fuzz`), plus a socket differential that serves a
 //!   case over loopback TCP and demands bit-identity with a direct
 //!   in-process lane forward.
+//! * [`cluster_check`] — one hop further out: the case replicated
+//!   across a two-node in-process cluster, probed through the
+//!   `cs-cluster` orchestrator, with the same bit-identity demand on
+//!   the routed outputs.
 //! * [`runner`] — the orchestrator behind the `conformance` bin
 //!   (`run` / `replay` / `corpus` subcommands), with cs-telemetry
 //!   counters for cases run, mismatches, and shrink steps.
@@ -51,6 +55,7 @@
 //! assert_eq!(report.failures.len(), 0);
 //! ```
 
+pub mod cluster_check;
 pub mod corpus;
 pub mod diff;
 pub mod gen;

@@ -59,7 +59,19 @@ fn gen_frame(rng: &mut CaseRng) -> Frame {
             })
             .collect()
     }
-    match rng.range(0, 9) {
+    fn gen_strings(rng: &mut CaseRng) -> Vec<String> {
+        let len = rng.range(0, 5);
+        (0..len)
+            .map(|_| {
+                const ALPHABET: [&str; 12] = [
+                    "a", "z", "0", "_", "-", ".", "µ", "Ω", "日", "🦀", " ", "\"",
+                ];
+                let len = rng.range(0, 24);
+                (0..len).map(|_| *rng.pick(&ALPHABET)).collect()
+            })
+            .collect()
+    }
+    match rng.range(0, 14) {
         0 => Frame::Request {
             id,
             model: gen_string(rng),
@@ -74,6 +86,7 @@ fn gen_frame(rng: &mut CaseRng) -> Frame {
             batch_size: rng.next_u64() as u32,
             worker: rng.next_u64() as u32,
             latency_us: rng.next_u64(),
+            node: gen_string(rng),
         },
         2 => Frame::Error {
             id,
@@ -86,6 +99,7 @@ fn gen_frame(rng: &mut CaseRng) -> Frame {
                 ErrorCode::Internal,
                 ErrorCode::Malformed,
                 ErrorCode::ConnectionLimit,
+                ErrorCode::NoReplica,
             ]),
             detail: gen_string(rng),
         },
@@ -97,12 +111,32 @@ fn gen_frame(rng: &mut CaseRng) -> Frame {
             id,
             model: gen_string(rng),
         },
-        _ => Frame::Info {
+        8 => Frame::Info {
             id,
             model: gen_string(rng),
             n_in: rng.next_u64() as u32,
             n_out: rng.next_u64() as u32,
         },
+        9 => Frame::Register {
+            id,
+            worker: gen_string(rng),
+            addr: gen_string(rng),
+            models: gen_strings(rng),
+        },
+        10 => Frame::RegisterAck {
+            id,
+            heartbeat_ms: rng.next_u64() as u32,
+        },
+        11 => Frame::Heartbeat {
+            id,
+            worker: gen_string(rng),
+            outstanding: rng.next_u64() as u32,
+        },
+        12 => Frame::Deregister {
+            id,
+            worker: gen_string(rng),
+        },
+        _ => Frame::DeregisterAck { id },
     }
 }
 

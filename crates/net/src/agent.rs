@@ -1,0 +1,264 @@
+//! The worker-side cluster agent.
+//!
+//! A worker node is an ordinary [`crate::NetServer`] (the request
+//! plane) plus a [`WorkerAgent`] (the control plane): one long-lived
+//! TCP connection to the orchestrator that carries the
+//! [`Frame::Register`] handshake, periodic [`Frame::Heartbeat`]
+//! beacons, and orchestrator-initiated shutdown. The agent joins
+//! synchronously — [`WorkerAgent::join`] returns only after the
+//! orchestrator acked the registration — then heartbeats from a
+//! background thread.
+//!
+//! When the orchestrator sends [`Frame::Shutdown`] down the control
+//! connection, the agent drains the local serving runtime through the
+//! [`crate::NetShutdownHandle`] (every admitted request is answered
+//! first), acks, and unblocks
+//! [`crate::NetServer::wait_for_shutdown`] — the cascade that lets one
+//! `cs-netload --shutdown` wind down a whole cluster.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::error::NetError;
+use crate::server::NetShutdownHandle;
+use crate::transport::{read_frame, write_frame};
+use crate::wire::{Frame, DEFAULT_MAX_PAYLOAD};
+
+/// How a worker enrolls with its orchestrator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentConfig {
+    /// Orchestrator control address (`host:port`).
+    pub orchestrator: String,
+    /// Unique worker name to register under.
+    pub worker: String,
+    /// Address where this worker's request plane listens (what the
+    /// orchestrator routes client requests to).
+    pub serve_addr: String,
+    /// Registry names of the models this worker serves.
+    pub models: Vec<String>,
+    /// TCP connect deadline for the control connection.
+    pub connect_timeout: Duration,
+}
+
+impl AgentConfig {
+    /// Config with the default connect timeout.
+    pub fn new(
+        orchestrator: impl Into<String>,
+        worker: impl Into<String>,
+        serve_addr: impl Into<String>,
+        models: Vec<String>,
+    ) -> Self {
+        AgentConfig {
+            orchestrator: orchestrator.into(),
+            worker: worker.into(),
+            serve_addr: serve_addr.into(),
+            models,
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The running control-plane agent. Dropping it (or calling
+/// [`WorkerAgent::leave`]) deregisters best-effort and stops the
+/// heartbeat thread.
+pub struct WorkerAgent {
+    stop: Arc<AtomicBool>,
+    stream: TcpStream,
+    thread: Option<JoinHandle<()>>,
+    worker: String,
+}
+
+impl std::fmt::Debug for WorkerAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerAgent")
+            .field("worker", &self.worker)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerAgent {
+    /// Dials the orchestrator, registers, and starts heartbeating.
+    /// Returns once the orchestrator acked the registration, so a
+    /// worker that comes back from this call is routable.
+    ///
+    /// `shutdown` is the local frontend's handle: an
+    /// orchestrator-initiated shutdown drains the serving runtime
+    /// through it before acking.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors reaching the orchestrator,
+    /// [`NetError::Remote`] when it refuses the registration (e.g. a
+    /// duplicate worker name), [`NetError::Protocol`] for a
+    /// non-protocol reply.
+    pub fn join(cfg: AgentConfig, shutdown: NetShutdownHandle) -> Result<WorkerAgent, NetError> {
+        let resolved: Vec<SocketAddr> = cfg
+            .orchestrator
+            .to_socket_addrs()
+            .map_err(|e| {
+                NetError::InvalidConfig(format!("bad address {:?}: {e}", cfg.orchestrator))
+            })?
+            .collect();
+        let first = resolved.first().ok_or_else(|| {
+            NetError::InvalidConfig(format!(
+                "address {:?} resolves to nothing",
+                cfg.orchestrator
+            ))
+        })?;
+        let mut stream = TcpStream::connect_timeout(first, cfg.connect_timeout)
+            .map_err(|e| NetError::from_io("connect to orchestrator", &e))?;
+        let _ = stream.set_nodelay(true);
+        write_frame(
+            &mut stream,
+            &Frame::Register {
+                id: 1,
+                worker: cfg.worker.clone(),
+                addr: cfg.serve_addr.clone(),
+                models: cfg.models.clone(),
+            },
+        )?;
+        let heartbeat_ms = match read_frame(&mut stream, DEFAULT_MAX_PAYLOAD)? {
+            Some(Frame::RegisterAck { heartbeat_ms, .. }) => heartbeat_ms.max(1),
+            Some(Frame::Error { code, detail, .. }) => {
+                return Err(NetError::Remote { code, detail })
+            }
+            Some(other) => {
+                return Err(NetError::Protocol(format!(
+                    "expected register ack, got {:?}",
+                    other.frame_type()
+                )))
+            }
+            None => return Err(NetError::ConnectionClosed),
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let control = stream
+            .try_clone()
+            .map_err(|e| NetError::from_io("clone control stream", &e))?;
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let worker = cfg.worker.clone();
+            std::thread::Builder::new()
+                .name(format!("cs-net-agent-{worker}"))
+                .spawn(move || control_loop(control, &worker, heartbeat_ms, &stop, &shutdown))
+                .map_err(|e| NetError::InvalidConfig(format!("spawning agent thread: {e}")))?
+        };
+        Ok(WorkerAgent {
+            stop,
+            stream,
+            thread: Some(thread),
+            worker: cfg.worker,
+        })
+    }
+
+    /// Deregisters best-effort and stops the heartbeat thread. Safe to
+    /// call after an orchestrator-initiated shutdown already ended the
+    /// control loop.
+    pub fn leave(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Kills the control connection abruptly — no deregister, no
+    /// goodbye — so the orchestrator sees this worker exactly as it
+    /// would see a crashed process. Failover tests use this to
+    /// simulate node death in-process.
+    pub fn crash(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Best-effort goodbye so the orchestrator can evict immediately
+        // instead of waiting out the heartbeat deadline.
+        let mut stream = self.stream.try_clone().ok();
+        if let Some(s) = stream.as_mut() {
+            let _ = write_frame(
+                s,
+                &Frame::Deregister {
+                    id: 0,
+                    worker: self.worker.clone(),
+                },
+            );
+        }
+        // Unblock a reader stuck in a long read.
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkerAgent {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Heartbeats on schedule and services orchestrator-initiated control
+/// frames until the connection ends or the owner stops the agent.
+fn control_loop(
+    mut stream: TcpStream,
+    worker: &str,
+    heartbeat_ms: u32,
+    stop: &AtomicBool,
+    shutdown: &NetShutdownHandle,
+) {
+    let interval = Duration::from_millis(u64::from(heartbeat_ms));
+    // Short read timeout: each wakeup interleaves "is it time to
+    // heartbeat" with "did the orchestrator say anything".
+    let _ = stream.set_read_timeout(Some(
+        interval
+            .min(Duration::from_millis(50))
+            .max(Duration::from_millis(1)),
+    ));
+    let mut seq = 1u64;
+    let mut last_beat = Instant::now();
+    // Register counts as the first liveness proof; the first beat goes
+    // out one interval later.
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if last_beat.elapsed() >= interval {
+            seq += 1;
+            let beat = Frame::Heartbeat {
+                id: seq,
+                worker: worker.to_string(),
+                outstanding: 0,
+            };
+            if write_frame(&mut stream, &beat).is_err() {
+                break; // orchestrator gone; keep serving standalone
+            }
+            last_beat = Instant::now();
+        }
+        match read_frame(&mut stream, DEFAULT_MAX_PAYLOAD) {
+            Ok(Some(Frame::Shutdown { id })) => {
+                // Drain every admitted request locally, ack so the
+                // orchestrator knows the drain finished, and unblock
+                // the frontend owner's wait_for_shutdown.
+                shutdown.initiate();
+                let _ = write_frame(&mut stream, &Frame::ShutdownAck { id });
+                break;
+            }
+            Ok(Some(Frame::DeregisterAck { .. })) => break,
+            Ok(Some(Frame::Ping { id })) => {
+                if write_frame(&mut stream, &Frame::Pong { id }).is_err() {
+                    break;
+                }
+            }
+            // Anything else from the orchestrator is ignorable chatter.
+            Ok(Some(_)) => {}
+            Ok(None) => break, // orchestrator closed the control plane
+            Err(NetError::Timeout { .. }) => {}
+            Err(_) => break,
+        }
+    }
+}

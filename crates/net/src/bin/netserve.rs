@@ -12,13 +12,20 @@
 //!             --addr-file /tmp/addr --metrics-out /tmp/net.jsonl
 //! ```
 //!
+//! **Worker mode** (`--join ORCH_ADDR`): after the listener is up, the
+//! process registers with a `cs-orchestrate` control plane under
+//! `--worker-id` (responses it serves are stamped with that identity),
+//! heartbeats on the orchestrator's schedule, and drains when the
+//! orchestrator cascades a cluster shutdown — so stopping the cluster
+//! stops every worker through the same protocol.
+//!
 //! Exit codes: `0` clean shutdown, `1` startup/config failure,
 //! `3` clean shutdown but the decode-error counter was nonzero (the CI
 //! smoke job fails on any malformed traffic).
 
 use std::sync::Arc;
 
-use cs_net::{NetConfig, NetServer};
+use cs_net::{AgentConfig, NetConfig, NetServer, WorkerAgent};
 use cs_nn::spec::Scale;
 use cs_serve::{
     ExecBackend, ModelRegistry, Recorder, Registry, ServableModel, ServeConfig, Server,
@@ -34,13 +41,16 @@ struct Args {
     seed: u64,
     backend: ExecBackend,
     max_connections: usize,
+    join: Option<String>,
+    worker_id: String,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: cs-netserve [--addr HOST:PORT] [--addr-file PATH] [--metrics-out PATH]\n\
          \x20                 [--workers N] [--scale N] [--seed N]\n\
-         \x20                 [--backend simulator|sparse|dense] [--max-connections N]"
+         \x20                 [--backend simulator|sparse|dense] [--max-connections N]\n\
+         \x20                 [--join ORCH_ADDR] [--worker-id NAME]"
     );
     std::process::exit(1);
 }
@@ -55,6 +65,8 @@ fn parse_args() -> Args {
         seed: 7,
         backend: ExecBackend::Sparse,
         max_connections: 64,
+        join: None,
+        worker_id: "local".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -75,6 +87,8 @@ fn parse_args() -> Args {
             "--max-connections" => {
                 out.max_connections = parse_num(&value("--max-connections"), "--max-connections")
             }
+            "--join" => out.join = Some(value("--join")),
+            "--worker-id" => out.worker_id = value("--worker-id"),
             "--backend" => {
                 out.backend = match value("--backend").as_str() {
                     "simulator" | "sim" => ExecBackend::Simulator,
@@ -126,6 +140,7 @@ fn main() {
     let serve_cfg = ServeConfig {
         workers: args.workers,
         backend: args.backend,
+        node: args.worker_id.clone(),
         ..ServeConfig::default()
     };
     let serve = match Server::start_with_recorder(
@@ -169,6 +184,34 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    // Worker mode: enroll with the orchestrator. The agent owns the
+    // control connection; an orchestrator-cascaded shutdown drains the
+    // local runtime and unblocks wait_for_shutdown below, exactly like
+    // a direct client shutdown frame.
+    let _agent = match &args.join {
+        Some(orch_addr) => {
+            match WorkerAgent::join(
+                AgentConfig::new(
+                    orch_addr.clone(),
+                    args.worker_id.clone(),
+                    addr.to_string(),
+                    vec!["mlp".to_string()],
+                ),
+                net.shutdown_handle(),
+            ) {
+                Ok(agent) => {
+                    println!("joined orchestrator {orch_addr} as {:?}", args.worker_id);
+                    Some(agent)
+                }
+                Err(e) => {
+                    eprintln!("joining orchestrator {orch_addr} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => None,
+    };
 
     net.wait_for_shutdown();
     let snapshot = net.shutdown();

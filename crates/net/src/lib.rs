@@ -11,7 +11,11 @@
 //! * [`server`] — [`NetServer`]: a TCP listener with thread-per-
 //!   connection readers and writers, per-connection FIFO reply order,
 //!   a connection cap, read/write deadlines, and telemetry.
-//! * [`client`] — [`Client`]: a blocking caller with typed errors.
+//! * [`client`] — [`Client`]: a blocking caller with typed errors and
+//!   an opt-in seeded-backoff retry for overload.
+//! * [`agent`] — [`WorkerAgent`]: the worker-side cluster control
+//!   plane (register/heartbeat/drain against a `cs-cluster`
+//!   orchestrator).
 //!
 //! ## Quickstart
 //!
@@ -40,13 +44,15 @@
 #![deny(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod agent;
 pub mod client;
 pub mod error;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use client::{Client, ClientConfig, NetResponse};
+pub use agent::{AgentConfig, WorkerAgent};
+pub use client::{Client, ClientConfig, NetResponse, RetryPolicy};
 pub use error::NetError;
-pub use server::{NetConfig, NetServer};
+pub use server::{NetConfig, NetServer, NetShutdownHandle};
 pub use wire::{ErrorCode, Frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD, WIRE_VERSION};

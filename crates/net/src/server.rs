@@ -308,6 +308,18 @@ impl NetServer {
         self.shared.serve.stats()
     }
 
+    /// A cloneable handle that can initiate this frontend's shutdown
+    /// from another thread (the worker agent uses it when the
+    /// orchestrator commands a drain). After
+    /// [`NetShutdownHandle::initiate`] returns,
+    /// [`NetServer::wait_for_shutdown`] unblocks and the owner should
+    /// call [`NetServer::shutdown`] to join the threads.
+    pub fn shutdown_handle(&self) -> NetShutdownHandle {
+        NetShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     fn stop_and_join(&mut self) {
         self.shared.begin_stop();
         // Force-close open connections so their reader threads unblock.
@@ -351,6 +363,32 @@ impl Drop for NetServer {
         if self.accept_thread.is_some() {
             self.stop_and_join();
         }
+    }
+}
+
+/// Remote-control handle for a running [`NetServer`]: drains the
+/// serving runtime and signals the frontend to stop, without owning it.
+#[derive(Clone)]
+pub struct NetShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for NetShutdownHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetShutdownHandle")
+            .field("addr", &self.shared.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetShutdownHandle {
+    /// Drains every in-flight request, then marks the frontend as
+    /// stopping and wakes [`NetServer::wait_for_shutdown`] waiters.
+    /// Idempotent; the owner still calls [`NetServer::shutdown`] to
+    /// join threads.
+    pub fn initiate(&self) {
+        self.shared.drain.shutdown_and_drain();
+        self.shared.begin_stop();
     }
 }
 
@@ -540,17 +578,24 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_tx: &SyncSender<
                 return true;
             }
             // Server-to-client frame types arriving at the server are a
-            // protocol violation; answer once and cut the connection.
+            // protocol violation, as are the cluster control frames
+            // (only an orchestrator accepts registrations); answer once
+            // and cut the connection.
             Frame::Response { id, .. }
             | Frame::Error { id, .. }
             | Frame::Pong { id }
             | Frame::ShutdownAck { id }
-            | Frame::Info { id, .. } => {
+            | Frame::Info { id, .. }
+            | Frame::Register { id, .. }
+            | Frame::RegisterAck { id, .. }
+            | Frame::Heartbeat { id, .. }
+            | Frame::Deregister { id, .. }
+            | Frame::DeregisterAck { id } => {
                 shared.metrics.decode_errors.inc();
                 let _ = out_tx.send(Outgoing::Ready(Frame::Error {
                     id,
                     code: ErrorCode::Malformed,
-                    detail: "frame type is server-to-client only".to_string(),
+                    detail: "frame type is not client-to-server".to_string(),
                 }));
                 break;
             }

@@ -36,8 +36,11 @@ pub const MAGIC: [u8; 2] = [0xCA, 0x5E];
 
 /// Protocol version this build speaks. Decoders reject anything else
 /// with [`WireError::UnsupportedVersion`]; version bumps are additive
-/// (new frame types) and never reuse retired type codes.
-pub const WIRE_VERSION: u8 = 1;
+/// (new frame types) and never reuse retired type codes. Version 2
+/// added the cluster control frames ([`Frame::Register`] through
+/// [`Frame::DeregisterAck`]) and the `node` field on
+/// [`Frame::Response`].
+pub const WIRE_VERSION: u8 = 2;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 16;
@@ -70,6 +73,16 @@ pub enum FrameType {
     Query = 8,
     /// Server → client model-shape reply.
     Info = 9,
+    /// Worker → orchestrator enrollment announcement.
+    Register = 10,
+    /// Orchestrator → worker enrollment acknowledgement.
+    RegisterAck = 11,
+    /// Worker → orchestrator liveness beacon.
+    Heartbeat = 12,
+    /// Worker → orchestrator graceful leave announcement.
+    Deregister = 13,
+    /// Orchestrator → worker leave acknowledgement.
+    DeregisterAck = 14,
 }
 
 impl FrameType {
@@ -84,6 +97,11 @@ impl FrameType {
             7 => FrameType::ShutdownAck,
             8 => FrameType::Query,
             9 => FrameType::Info,
+            10 => FrameType::Register,
+            11 => FrameType::RegisterAck,
+            12 => FrameType::Heartbeat,
+            13 => FrameType::Deregister,
+            14 => FrameType::DeregisterAck,
             _ => return None,
         })
     }
@@ -110,6 +128,8 @@ pub enum ErrorCode {
     Malformed = 7,
     /// The per-server connection cap was reached.
     ConnectionLimit = 8,
+    /// No healthy replica holds the requested model.
+    NoReplica = 9,
 }
 
 impl ErrorCode {
@@ -124,6 +144,7 @@ impl ErrorCode {
             6 => ErrorCode::Internal,
             7 => ErrorCode::Malformed,
             8 => ErrorCode::ConnectionLimit,
+            9 => ErrorCode::NoReplica,
             _ => return None,
         })
     }
@@ -154,6 +175,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::Malformed => "malformed",
             ErrorCode::ConnectionLimit => "connection-limit",
+            ErrorCode::NoReplica => "no-replica",
         };
         f.write_str(s)
     }
@@ -307,6 +329,10 @@ pub enum Frame {
         worker: u32,
         /// Server-side end-to-end latency (µs).
         latency_us: u64,
+        /// Identity of the serving node that executed the request
+        /// ("local" for a standalone server); lets cluster clients
+        /// attribute responses to replicas.
+        node: String,
     },
     /// A typed failure answering the frame with the same id (or id 0
     /// for connection-level failures such as a decode error).
@@ -358,6 +384,52 @@ pub enum Frame {
         /// Output width of the model.
         n_out: u32,
     },
+    /// Worker → orchestrator: enroll this node and the models it
+    /// serves. Sent once, immediately after the worker dials the
+    /// orchestrator; the connection it arrives on becomes that
+    /// worker's control channel.
+    Register {
+        /// Echoed in the ack.
+        id: u64,
+        /// Unique worker name (the orchestrator rejects duplicates).
+        worker: String,
+        /// Address (host:port) where the worker serves requests.
+        addr: String,
+        /// Registry names of the models this worker can execute.
+        models: Vec<String>,
+    },
+    /// Orchestrator → worker: enrollment accepted.
+    RegisterAck {
+        /// Id of the register frame this answers.
+        id: u64,
+        /// Interval at which the worker must heartbeat; missing
+        /// roughly three in a row gets the worker evicted.
+        heartbeat_ms: u32,
+    },
+    /// Worker → orchestrator: liveness beacon, resets the eviction
+    /// deadline.
+    Heartbeat {
+        /// Beacon sequence number (not echoed).
+        id: u64,
+        /// Name the worker registered under.
+        worker: String,
+        /// Requests currently in flight on the worker (advisory).
+        outstanding: u32,
+    },
+    /// Worker → orchestrator: graceful leave; the orchestrator stops
+    /// routing to this worker before acking.
+    Deregister {
+        /// Echoed in the ack.
+        id: u64,
+        /// Name the worker registered under.
+        worker: String,
+    },
+    /// Orchestrator → worker: leave acknowledged, no new requests
+    /// will arrive.
+    DeregisterAck {
+        /// Id of the deregister frame this answers.
+        id: u64,
+    },
 }
 
 impl Frame {
@@ -373,6 +445,11 @@ impl Frame {
             Frame::ShutdownAck { .. } => FrameType::ShutdownAck,
             Frame::Query { .. } => FrameType::Query,
             Frame::Info { .. } => FrameType::Info,
+            Frame::Register { .. } => FrameType::Register,
+            Frame::RegisterAck { .. } => FrameType::RegisterAck,
+            Frame::Heartbeat { .. } => FrameType::Heartbeat,
+            Frame::Deregister { .. } => FrameType::Deregister,
+            Frame::DeregisterAck { .. } => FrameType::DeregisterAck,
         }
     }
 
@@ -387,7 +464,12 @@ impl Frame {
             | Frame::Shutdown { id }
             | Frame::ShutdownAck { id }
             | Frame::Query { id, .. }
-            | Frame::Info { id, .. } => *id,
+            | Frame::Info { id, .. }
+            | Frame::Register { id, .. }
+            | Frame::RegisterAck { id, .. }
+            | Frame::Heartbeat { id, .. }
+            | Frame::Deregister { id, .. }
+            | Frame::DeregisterAck { id } => *id,
         }
     }
 
@@ -402,6 +484,7 @@ impl Frame {
             batch_size: resp.batch_size as u32,
             worker: resp.worker as u32,
             latency_us: resp.latency_us,
+            node: resp.node.clone(),
         }
     }
 
@@ -442,6 +525,7 @@ impl Frame {
                 batch_size,
                 worker,
                 latency_us,
+                node,
                 ..
             } => {
                 put_str(&mut p, model);
@@ -451,6 +535,7 @@ impl Frame {
                 p.extend_from_slice(&batch_size.to_le_bytes());
                 p.extend_from_slice(&worker.to_le_bytes());
                 p.extend_from_slice(&latency_us.to_le_bytes());
+                put_str(&mut p, node);
             }
             Frame::Error { code, detail, .. } => {
                 p.extend_from_slice(&(*code as u16).to_le_bytes());
@@ -470,6 +555,31 @@ impl Frame {
                 p.extend_from_slice(&n_in.to_le_bytes());
                 p.extend_from_slice(&n_out.to_le_bytes());
             }
+            Frame::Register {
+                worker,
+                addr,
+                models,
+                ..
+            } => {
+                put_str(&mut p, worker);
+                put_str(&mut p, addr);
+                put_strs(&mut p, models);
+            }
+            Frame::RegisterAck { heartbeat_ms, .. } => {
+                p.extend_from_slice(&heartbeat_ms.to_le_bytes());
+            }
+            Frame::Heartbeat {
+                worker,
+                outstanding,
+                ..
+            } => {
+                put_str(&mut p, worker);
+                p.extend_from_slice(&outstanding.to_le_bytes());
+            }
+            Frame::Deregister { worker, .. } => {
+                put_str(&mut p, worker);
+            }
+            Frame::DeregisterAck { .. } => {}
         }
         p
     }
@@ -572,6 +682,14 @@ fn put_str(p: &mut Vec<u8>, s: &str) {
     p.extend_from_slice(&bytes[..len]);
 }
 
+fn put_strs(p: &mut Vec<u8>, xs: &[String]) {
+    let len = xs.len().min(u16::MAX as usize);
+    p.extend_from_slice(&(len as u16).to_le_bytes());
+    for s in &xs[..len] {
+        put_str(p, s);
+    }
+}
+
 fn put_f32s(p: &mut Vec<u8>, xs: &[f32]) {
     let len = xs.len().min(u32::MAX as usize);
     p.extend_from_slice(&(len as u32).to_le_bytes());
@@ -635,6 +753,25 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    fn strings(&mut self, what: &str) -> Result<Vec<String>, WireError> {
+        let count = self.u16(what)? as usize;
+        // Each entry costs at least its 2-byte length prefix, so the
+        // count is bounded by the remaining payload before allocating.
+        if count.saturating_mul(2) > self.remaining() {
+            return Err(WireError::BadPayload {
+                reason: format!(
+                    "{what} claims {count} strings, payload has {} bytes left",
+                    self.remaining()
+                ),
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.string(what)?);
+        }
+        Ok(out)
+    }
+
     fn f32s(&mut self, what: &str) -> Result<Vec<f32>, WireError> {
         let count = self.u32(what)? as usize;
         // The length is validated against the remaining payload BEFORE
@@ -674,6 +811,7 @@ pub(crate) fn decode_payload(header: &Header, payload: &[u8]) -> Result<Frame, W
             batch_size: c.u32("response batch size")?,
             worker: c.u32("response worker")?,
             latency_us: c.u64("response latency")?,
+            node: c.string("response node")?,
         },
         FrameType::Error => {
             let raw = c.u16("error code")?;
@@ -700,6 +838,26 @@ pub(crate) fn decode_payload(header: &Header, payload: &[u8]) -> Result<Frame, W
             n_in: c.u32("info n_in")?,
             n_out: c.u32("info n_out")?,
         },
+        FrameType::Register => Frame::Register {
+            id,
+            worker: c.string("register worker")?,
+            addr: c.string("register addr")?,
+            models: c.strings("register models")?,
+        },
+        FrameType::RegisterAck => Frame::RegisterAck {
+            id,
+            heartbeat_ms: c.u32("register-ack heartbeat")?,
+        },
+        FrameType::Heartbeat => Frame::Heartbeat {
+            id,
+            worker: c.string("heartbeat worker")?,
+            outstanding: c.u32("heartbeat outstanding")?,
+        },
+        FrameType::Deregister => Frame::Deregister {
+            id,
+            worker: c.string("deregister worker")?,
+        },
+        FrameType::DeregisterAck => Frame::DeregisterAck { id },
     };
     c.finish("frame")?;
     Ok(frame)
@@ -725,6 +883,7 @@ mod tests {
                 batch_size: 4,
                 worker: 1,
                 latency_us: 250,
+                node: "node-a".to_string(),
             },
             Frame::Error {
                 id: 9,
@@ -745,6 +904,26 @@ mod tests {
                 n_in: 98,
                 n_out: 10,
             },
+            Frame::Register {
+                id: 4,
+                worker: "node-a".to_string(),
+                addr: "127.0.0.1:9001".to_string(),
+                models: vec!["mlp".to_string(), "mlp-big".to_string()],
+            },
+            Frame::RegisterAck {
+                id: 4,
+                heartbeat_ms: 500,
+            },
+            Frame::Heartbeat {
+                id: 11,
+                worker: "node-a".to_string(),
+                outstanding: 3,
+            },
+            Frame::Deregister {
+                id: 5,
+                worker: "node-a".to_string(),
+            },
+            Frame::DeregisterAck { id: 5 },
         ]
     }
 
@@ -900,6 +1079,24 @@ mod tests {
     }
 
     #[test]
+    fn hostile_string_count_is_rejected_before_allocation() {
+        let mut bytes = Frame::Register {
+            id: 1,
+            worker: "w".to_string(),
+            addr: "a".to_string(),
+            models: vec![],
+        }
+        .encode();
+        // models count lives after "w" (2+1 bytes) and "a" (2+1 bytes).
+        let off = HEADER_LEN + 3 + 3;
+        bytes[off..off + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes).unwrap_err(),
+            WireError::BadPayload { .. }
+        ));
+    }
+
+    #[test]
     fn trailing_payload_bytes_are_rejected() {
         let mut bytes = Frame::Ping { id: 5 }.encode();
         bytes[12..16].copy_from_slice(&4u32.to_le_bytes());
@@ -943,6 +1140,7 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::Malformed,
             ErrorCode::ConnectionLimit,
+            ErrorCode::NoReplica,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
         }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use cs_net::transport::{read_frame, write_frame};
 use cs_net::wire::{ErrorCode, Frame};
-use cs_net::{Client, ClientConfig, NetConfig, NetError, NetServer};
+use cs_net::{Client, ClientConfig, NetConfig, NetError, NetServer, RetryPolicy};
 use cs_nn::spec::Scale;
 use cs_serve::loadgen::request_input;
 use cs_serve::{ExecBackend, InferRequest, ModelRegistry, ServableModel, ServeConfig, Server};
@@ -190,6 +190,17 @@ fn connection_cap_rejects_with_a_typed_frame() {
         .expect("metric")
         .get();
     assert_eq!(rejected, 1);
+    // A capped-out connection must count ONLY as rejected: the accepted
+    // counter stays at the two admitted connections, so accepted -
+    // rejected is always the number of connections actually served.
+    let accepted = registry
+        .find_counter("net_connections_accepted_total", &[])
+        .expect("accepted metric")
+        .get();
+    assert_eq!(
+        accepted, 2,
+        "cap rejection leaked into net_connections_accepted_total"
+    );
     net.shutdown();
 }
 
@@ -458,4 +469,85 @@ fn telemetry_counts_frames_and_latency() {
             >= 1
     );
     net.shutdown();
+}
+
+/// A stub endpoint that sheds the first `shed` requests with
+/// `Overloaded`, then answers; returns how many requests it saw.
+fn overload_stub(shed: u32) -> (std::net::SocketAddr, std::thread::JoinHandle<u32>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || -> u32 {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut attempts = 0u32;
+        while let Ok(Some(frame)) = read_frame(&mut stream, cs_net::DEFAULT_MAX_PAYLOAD) {
+            let Frame::Request { id, model, input } = frame else {
+                break;
+            };
+            attempts += 1;
+            let reply = if attempts <= shed {
+                Frame::Error {
+                    id,
+                    code: ErrorCode::Overloaded,
+                    detail: "backpressure".to_string(),
+                }
+            } else {
+                Frame::Response {
+                    id,
+                    model,
+                    outputs: input,
+                    cycles: 1,
+                    energy_pj: 0.0,
+                    batch_size: 1,
+                    worker: 0,
+                    latency_us: 1,
+                    node: "stub".to_string(),
+                }
+            };
+            write_frame(&mut stream, &reply).expect("reply");
+            if attempts > shed {
+                break;
+            }
+        }
+        attempts
+    });
+    (addr, handle)
+}
+
+#[test]
+fn request_with_retry_backs_off_through_overload() {
+    let (addr, server) = overload_stub(2);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let policy = RetryPolicy {
+        max_retries: 5,
+        base_us: 10,
+        max_us: 200,
+        seed: 1,
+    };
+    let resp = client
+        .request_with_retry("mlp", &[1.0, 2.0], &policy)
+        .expect("retried through overload");
+    assert_eq!(resp.node, "stub");
+    assert_eq!(resp.outputs, vec![1.0, 2.0]);
+    // Two sheds plus the success: the policy retried exactly as needed.
+    assert_eq!(server.join().expect("stub"), 3);
+}
+
+#[test]
+fn request_with_retry_budget_is_bounded() {
+    // The stub sheds more than the budget allows: the last Overloaded
+    // error must surface, after exactly 1 + max_retries attempts.
+    let (addr, server) = overload_stub(100);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let policy = RetryPolicy {
+        max_retries: 2,
+        base_us: 10,
+        max_us: 200,
+        seed: 9,
+    };
+    let err = client
+        .request_with_retry("mlp", &[0.5], &policy)
+        .expect_err("budget exhausted");
+    assert!(err.is_overloaded());
+    drop(client); // closes the stream so the stub's read loop ends
+    assert_eq!(server.join().expect("stub"), 3);
 }

@@ -327,6 +327,7 @@ pub fn run_sweep_with_recorder(
                     emulate_hw_time: cfg.emulate_hw_time,
                     freq_ghz: cfg.freq_ghz,
                     backend: crate::server::ExecBackend::Simulator,
+                    node: "local".to_string(),
                 };
                 points.push(run_point_with_recorder(
                     &model,

@@ -80,6 +80,11 @@ pub struct ServeConfig {
     pub freq_ghz: f64,
     /// Execution engine worker lanes run (default: the simulator).
     pub backend: ExecBackend,
+    /// Identity of this serving node, stamped on every response
+    /// (`"local"` for a standalone server). Cluster workers set their
+    /// registered worker name here so routed responses attribute to
+    /// the replica that executed them.
+    pub node: String,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +97,7 @@ impl Default for ServeConfig {
             emulate_hw_time: false,
             freq_ghz: 1.0,
             backend: ExecBackend::Simulator,
+            node: "local".to_string(),
         }
     }
 }
@@ -166,6 +172,9 @@ pub struct InferResponse {
     pub worker: usize,
     /// End-to-end latency on the server's clock (µs).
     pub latency_us: u64,
+    /// Identity of the serving node that executed the request (from
+    /// [`ServeConfig::node`]).
+    pub node: String,
 }
 
 /// A queued request: resolved model index, input, admission timestamp
@@ -530,6 +539,7 @@ impl Server {
         let energy_model = EnergyModel::default_65nm();
         let emulate = cfg.emulate_hw_time;
         let freq_ghz = cfg.freq_ghz;
+        let node = cfg.node.clone();
         // Engine backends lower every model once at spawn (weights
         // decoded, strips built, histograms registered) so the request
         // path only runs kernels and observes spans.
@@ -673,6 +683,7 @@ impl Server {
                                     batch_size,
                                     worker: worker_id,
                                     latency_us,
+                                    node: node.clone(),
                                 }));
                             }
                             Err(e) => {
