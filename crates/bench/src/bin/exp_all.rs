@@ -73,5 +73,16 @@ fn main() {
     save("exp_ext_dse", &ext_dse::run(scale, seed).render());
     save("exp_ext_table1", &ext_table1::run().render());
     save("exp_ext_scaling", &ext_scaling::run().render());
+    let ext_structured_params = if quick {
+        ext_structured::ExtStructuredParams::smoke()
+    } else {
+        ext_structured::ExtStructuredParams::full()
+    };
+    save(
+        "exp_ext_structured",
+        &ext_structured::run(&ext_structured_params)
+            .expect("ext_structured")
+            .render(),
+    );
     println!("all artifacts regenerated");
 }

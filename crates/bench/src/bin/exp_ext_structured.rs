@@ -1,0 +1,13 @@
+//! Regenerates the structured-pattern accuracy-vs-density table.
+use cambricon_s::experiments::ext_structured::{self, ExtStructuredParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let p = if quick {
+        ExtStructuredParams::smoke()
+    } else {
+        ExtStructuredParams::full()
+    };
+    let r = ext_structured::run(&p).expect("training succeeds");
+    println!("{}", r.render());
+}

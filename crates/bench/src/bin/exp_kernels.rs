@@ -7,10 +7,14 @@
 //!    25% density): [`cs_compress::engine::CompiledFcLayer`] against a
 //!    dense matmul over its decoded twin weights. Acceptance floor:
 //!    sparse ≥ 2× dense.
-//! 2. **Conv dense vs sparse** at the paper's conv setting
+//! 2. **Structured FC kernels at 50%**: the branch-free 2:4 and
+//!    bank-balanced (8-of-16) kernels against a dense matmul over each
+//!    kernel's densified twin. Acceptance floors: 2:4 ≥ 2× dense,
+//!    bank-balanced ≥ 1× (parity).
+//! 3. **Conv dense vs sparse** at the paper's conv setting
 //!    (`(1,16,1,1)` blocks): [`cs_compress::engine::CompiledConvLayer`]
 //!    against `ops::conv2d` on the twin weights (informational).
-//! 3. **Parallel matmul scaling**: `ops::matmul_pooled` at 1/2/4
+//! 4. **Parallel matmul scaling**: `ops::matmul_pooled` at 1/2/4
 //!    threads vs the serial kernel. Acceptance floor: ≥ 2× at 4
 //!    threads — checked only when the host actually has ≥ 4 cores,
 //!    otherwise reported as a warning (CI containers are often
@@ -27,9 +31,11 @@
 use std::time::Instant;
 
 use cs_bench::kernels_jsonl;
-use cs_compress::engine::{CompiledConvLayer, CompiledFcLayer};
+use cs_compress::engine::{CompiledConvLayer, CompiledFcLayer, FcKernel};
+use cs_compress::format::{BankBalancedFcLayer, FcLayerFormat, TwoFourFcLayer};
 use cs_parallel::ThreadPool;
 use cs_sparsity::coarse::{prune_to_density, CoarseConfig};
+use cs_sparsity::{structured, PruneMode};
 use cs_tensor::ops::{self, Conv2dGeometry};
 use cs_tensor::{Shape, Tensor};
 
@@ -92,11 +98,17 @@ fn fill(seed: u64, n: usize) -> Vec<f32> {
         .collect()
 }
 
-/// Median-of-runs wall time for `f`, in nanoseconds per call.
+/// Minimum-of-runs wall time for `f`, in nanoseconds per call.
+///
+/// The minimum is the noise-floor estimator: scheduler preemption and
+/// frequency throttling only ever *add* time, and the speedup gates
+/// compare two separately-timed kernels, so taking each one's fastest
+/// window keeps the ratio stable on noisy shared hosts where a median
+/// still lets one side eat a throttled window.
 fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
     // One warm-up call keeps first-touch page faults out of the figure.
     f();
-    let mut samples: Vec<f64> = (0..5)
+    (0..5)
         .map(|_| {
             let t0 = Instant::now();
             for _ in 0..reps {
@@ -104,9 +116,7 @@ fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
             }
             t0.elapsed().as_nanos() as f64 / reps as f64
         })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn bits(v: &[f32]) -> Vec<u32> {
@@ -177,6 +187,95 @@ fn main() {
         failures.push(format!(
             "sparse FC kernel speedup {fc_speedup:.2}x is below the 2x acceptance floor"
         ));
+    }
+
+    // ---- 1b. Structured FC kernels at 50% density ---------------------
+    // Both patterns prune the same-shaped weights to exactly 50%: 2:4
+    // by construction, bank-balanced as 8-of-16 per bank. The dense
+    // reference is a matmul over each kernel's densified twin, so the
+    // MAC counts differ only by the pattern's 2x skip rate.
+    //
+    // The structured arms use 512x512 in full mode, not the fc arm's
+    // 1024x1024: at 50% density the sparse side still streams 9/16 of
+    // the dense bytes (full-width f32 values keep the bit-identity
+    // contract), so once a matvec spills to L3 *any* 50%-density kernel
+    // is bandwidth-capped below 2x no matter how good its inner loop
+    // is. 512x512 keeps the working set cache-resident and measures the
+    // kernels themselves.
+    let (s_in, s_out) = if args.quick { (256, 256) } else { (512, 512) };
+    let sweights = Tensor::from_vec(Shape::d2(s_in, s_out), fill(1, s_in * s_out))
+        .unwrap_or_else(|e| panic!("structured weights: {e}"));
+    let sx = fill(2, s_in);
+    let sxt = Tensor::from_vec(Shape::d2(1, s_in), sx.clone())
+        .unwrap_or_else(|e| panic!("structured input: {e}"));
+    for mode in [
+        PruneMode::TwoFour,
+        PruneMode::BankBalanced { bank: 16, k: 8 },
+    ] {
+        let smask = structured::structured_mask(&sweights, &mode)
+            .unwrap_or_else(|e| panic!("{} prune: {e}", mode.name()));
+        let format = match mode {
+            PruneMode::TwoFour => FcLayerFormat::TwoFour(
+                TwoFourFcLayer::from_fc("fc24", &sweights, &smask)
+                    .unwrap_or_else(|e| panic!("2:4 pack: {e}")),
+            ),
+            PruneMode::BankBalanced { bank, k } => FcLayerFormat::BankBalanced(
+                BankBalancedFcLayer::from_fc("fcbb", &sweights, &smask, bank, k)
+                    .unwrap_or_else(|e| panic!("bank pack: {e}")),
+            ),
+            PruneMode::Coarse => unreachable!("coarse is benched above"),
+        };
+        let kernel = FcKernel::compile(&format);
+        let stwin = kernel.to_dense();
+        let sdense =
+            ops::matmul(&sxt, &stwin).unwrap_or_else(|e| panic!("{} dense: {e}", mode.name()));
+        let ssparse = kernel.forward_alloc(&sx);
+        assert_eq!(
+            bits(sdense.as_slice()),
+            bits(&ssparse),
+            "{} output must be bit-identical to the dense reference",
+            mode.name()
+        );
+        let sdense_ns = time_ns(fc_reps, || {
+            let r =
+                ops::matmul(&sxt, &stwin).unwrap_or_else(|e| panic!("{} dense: {e}", mode.name()));
+            std::hint::black_box(r);
+        });
+        let mut sout = vec![0.0f32; s_out];
+        let ssparse_ns = time_ns(fc_reps, || {
+            kernel.forward(&sx, &mut sout);
+            std::hint::black_box(&sout);
+        });
+        let s_speedup = sdense_ns / ssparse_ns;
+        println!(
+            "{} {s_in}x{s_out} @ density {:.2}: dense {:.1} µs, sparse {:.1} µs, speedup {s_speedup:.2}x",
+            mode.name(),
+            kernel.density(),
+            sdense_ns / 1e3,
+            ssparse_ns / 1e3,
+        );
+        jsonl.push_str(&kernels_jsonl::structured_line(
+            mode.name(),
+            s_in,
+            s_out,
+            kernel.density(),
+            sdense_ns,
+            ssparse_ns,
+            s_speedup,
+        ));
+        // 2:4 halves the MACs and its metadata decodes branch-free, so
+        // it carries the hard 2x floor; bank-balanced gathers through
+        // byte offsets and is floored at parity with dense.
+        let floor = match mode {
+            PruneMode::TwoFour => 2.0,
+            _ => 1.0,
+        };
+        if s_speedup < floor {
+            failures.push(format!(
+                "{} kernel speedup {s_speedup:.2}x is below the {floor}x acceptance floor",
+                mode.name()
+            ));
+        }
     }
 
     // ---- 2. Conv dense vs sparse --------------------------------------

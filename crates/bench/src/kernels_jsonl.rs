@@ -20,6 +20,22 @@ pub fn fc_line(
     )
 }
 
+/// The `experiment:"structured"` line: dense vs structured-sparse FC
+/// kernel timing for one pattern (`"two_four"` or `"bank_balanced"`).
+pub fn structured_line(
+    pattern: &str,
+    n_in: usize,
+    n_out: usize,
+    density: f64,
+    dense_ns: f64,
+    sparse_ns: f64,
+    speedup: f64,
+) -> String {
+    format!(
+        "{{\"experiment\":\"structured\",\"pattern\":\"{pattern}\",\"n_in\":{n_in},\"n_out\":{n_out},\"density\":{density:.4},\"dense_ns\":{dense_ns:.0},\"sparse_ns\":{sparse_ns:.0},\"speedup\":{speedup:.3}}}\n"
+    )
+}
+
 /// The `experiment:"conv"` line: dense vs sparse conv kernel timing.
 pub fn conv_line(
     fin: usize,
@@ -121,14 +137,23 @@ mod tests {
     }
 
     #[test]
-    fn all_three_lines_are_flat_parseable_objects() {
+    fn all_line_kinds_are_flat_parseable_objects() {
         for line in [
             fc_line(1, 2, 0.5, 1.0, 1.0, 1.0),
+            structured_line("two_four", 1, 2, 0.5, 1.0, 1.0, 1.0),
             conv_line(1, 2, 3, 1.0, 1.0, 1.0),
             matmul_line(1, 2, 1.0, 1.0, 1.0),
         ] {
             let schema = field_schema(&line).unwrap();
             assert!(schema.len() >= 5);
         }
+    }
+
+    #[test]
+    fn structured_lines_share_one_schema_across_patterns() {
+        let a = field_schema(&structured_line("two_four", 256, 256, 0.5, 9.0, 3.0, 3.0)).unwrap();
+        let b = field_schema(&structured_line("bank_balanced", 8, 8, 0.1, 1.0, 1.0, 1.0)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[1], ("pattern".to_string(), "string"));
     }
 }

@@ -16,7 +16,7 @@
 //! and commit the updated `tests/golden/kernels_schema.txt` together
 //! with the downstream consumers.
 
-use cs_bench::kernels_jsonl::{conv_line, fc_line, field_schema, matmul_line};
+use cs_bench::kernels_jsonl::{conv_line, fc_line, field_schema, matmul_line, structured_line};
 
 const GOLDEN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -30,6 +30,10 @@ fn current_schema() -> String {
     // unit tests already guarantees.
     let lines = [
         ("fc", fc_line(256, 256, 0.25, 10_000.0, 2_000.0, 5.0)),
+        (
+            "structured",
+            structured_line("two_four", 256, 256, 0.5, 9_000.0, 4_000.0, 2.2),
+        ),
         ("conv", conv_line(16, 32, 14, 9_000.0, 3_000.0, 3.0)),
         ("matmul_scaling", matmul_line(160, 4, 8_000.0, 2_500.0, 3.2)),
     ];
@@ -68,6 +72,7 @@ fn every_line_declares_its_experiment_first() {
     // streaming consumers can route lines without full parses.
     for line in [
         fc_line(1, 1, 0.1, 1.0, 1.0, 1.0),
+        structured_line("bank_balanced", 1, 1, 0.1, 1.0, 1.0, 1.0),
         conv_line(1, 1, 1, 1.0, 1.0, 1.0),
         matmul_line(1, 1, 1.0, 1.0, 1.0),
     ] {

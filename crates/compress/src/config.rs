@@ -2,6 +2,7 @@
 
 use cs_nn::spec::{LayerClass, LayerSpec, Model};
 use cs_sparsity::coarse::{CoarseConfig, PruneMetric};
+use cs_sparsity::PruneMode;
 
 /// Which entropy coder the final stage uses (the paper discusses both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -16,6 +17,11 @@ pub enum EntropyCoder {
 /// Settings applied to one layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerCompressionConfig {
+    /// Pruning pattern: the paper's coarse blocks (default), or one of
+    /// the structured fixed-fan-in modes (FC layers only). Structured
+    /// modes ignore `coarse` and `target_density` — their density is
+    /// fixed by the pattern geometry.
+    pub mode: PruneMode,
     /// Coarse-grained pruning block and metric.
     pub coarse: CoarseConfig,
     /// Target post-pruning density (the paper's "sparsity": remaining /
@@ -35,6 +41,7 @@ impl LayerCompressionConfig {
     /// average pruning, 8-bit local quantization.
     pub fn paper_conv(density: f64) -> Self {
         LayerCompressionConfig {
+            mode: PruneMode::Coarse,
             coarse: CoarseConfig::conv(1, 16, 1, 1, PruneMetric::Average),
             target_density: density,
             quant_bits: 8,
@@ -47,6 +54,7 @@ impl LayerCompressionConfig {
     /// pruning, 4-bit local quantization.
     pub fn paper_fc(density: f64, block: usize) -> Self {
         LayerCompressionConfig {
+            mode: PruneMode::Coarse,
             coarse: CoarseConfig::fc(block, block, PruneMetric::Average),
             target_density: density,
             quant_bits: 4,
@@ -71,6 +79,24 @@ impl LayerCompressionConfig {
     pub fn with_density(mut self, density: f64) -> Self {
         self.target_density = density;
         self
+    }
+
+    /// Overrides the pruning mode.
+    pub fn with_mode(mut self, mode: PruneMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// 2:4 semi-structured pruning (FC layers): top-2 of every group of
+    /// 4 inputs per output lane, 2-bit position metadata.
+    pub fn two_four(self) -> Self {
+        self.with_mode(PruneMode::TwoFour)
+    }
+
+    /// Bank-balanced pruning (FC layers): exactly `k` survivors per bank
+    /// of `bank` inputs in every output lane.
+    pub fn bank_balanced(self, bank: usize, k: usize) -> Self {
+        self.with_mode(PruneMode::BankBalanced { bank, k })
     }
 }
 
@@ -106,6 +132,7 @@ impl ModelCompressionConfig {
     /// Section III block sizes, Section V quantization bit widths).
     pub fn paper(model: Model) -> Self {
         let lstm_default = LayerCompressionConfig {
+            mode: PruneMode::Coarse,
             coarse: CoarseConfig::fc(16, 16, PruneMetric::Average),
             target_density: 0.1256,
             quant_bits: 4,

@@ -38,7 +38,7 @@ use cs_sparsity::Mask;
 use cs_tensor::ops::{self, Conv2dGeometry};
 use cs_tensor::{Shape, Tensor, TensorError};
 
-use crate::format::SharedIndexLayer;
+use crate::format::{BankBalancedFcLayer, FcLayerFormat, SharedIndexLayer, TwoFourFcLayer};
 use crate::CompressError;
 
 /// One strip of `strip_width` (or fewer, at the edge) output lanes
@@ -442,6 +442,687 @@ impl CompiledConvLayer {
     }
 }
 
+/// Shared layout of the two structured kernels, **group-major**: for
+/// every full bank of inputs, one planar row of in-bank byte offsets
+/// and one of values per survivor slot, both indexed `[g][j][o]`. Fixed
+/// fan-in makes the inner loops branch-free (no run decoding, no
+/// per-lane survivor counts), and the group-major order turns the hot
+/// loop into sequential streams over `offsets`/`values`/`out` with the
+/// bank's input window held in registers.
+///
+/// Per lane the accumulation order is banks ascending, offsets
+/// ascending within a bank — exactly the ascending dense k-order, so
+/// outputs are bit-identical to a dense matmul over [`Self::to_dense`]
+/// on finite inputs. On x86-64 with AVX2 the per-bank select runs
+/// through `vpermvar8x32` lane shuffles (plain `mul`+`add`, never FMA,
+/// and the same per-lane term order), so the vector path produces the
+/// same bits as the scalar fallback.
+#[derive(Debug, Clone, PartialEq)]
+struct StructuredLanes {
+    n_in: usize,
+    n_out: usize,
+    /// Bank (group) width along the input dimension; 4 for 2:4.
+    bank: usize,
+    /// Survivors per full bank per lane; 2 for 2:4.
+    k: usize,
+    /// Full banks (`n_in / bank`).
+    full_groups: usize,
+    /// In-bank survivor offsets, planar `[g][j][o]`, `full_groups * k *
+    /// n_out` entries. `offsets[(g*k + j)*n_out + o]` is lane `o`'s
+    /// `j`-th survivor within bank `g`, offsets ascending in `j`.
+    offsets: Vec<u8>,
+    /// Survivor values, same `[g][j][o]` layout.
+    values: Vec<f32>,
+    /// Inputs in the ragged tail bank (`n_in % bank`).
+    tail_len: usize,
+    /// Survivors in the tail bank (`min(k, tail_len)`).
+    tail_spg: usize,
+    /// Tail offsets, planar `[j][o]`, `tail_spg * n_out` entries.
+    tail_offsets: Vec<u8>,
+    /// Tail values, same layout.
+    tail_values: Vec<f32>,
+    /// 2:4 only (`bank == 4`, `k == 2`): both survivor offsets of a
+    /// group re-packed into one byte per lane (`off0 | off1 << 2`, the
+    /// storage format's 2-bit metadata), planar `[g][o]`. Halves the
+    /// hot loop's index traffic: one byte load feeds both shuffles.
+    packed24: Option<Vec<u8>>,
+    bias: Option<Vec<f32>>,
+}
+
+impl StructuredLanes {
+    fn from_lanes(
+        n_in: usize,
+        n_out: usize,
+        bank: usize,
+        k: usize,
+        lane_positions: impl Fn(usize) -> Vec<u32>,
+        lane_values: impl Fn(usize) -> Vec<f32>,
+    ) -> Self {
+        let full_groups = n_in / bank;
+        let tail_len = n_in % bank;
+        let tail_spg = tail_len.min(k);
+        let mut offsets = vec![0u8; full_groups * k * n_out];
+        let mut values = vec![0.0f32; full_groups * k * n_out];
+        let mut tail_offsets = vec![0u8; tail_spg * n_out];
+        let mut tail_values = vec![0.0f32; tail_spg * n_out];
+        for o in 0..n_out {
+            // Ascending lane positions land group-major: each full bank
+            // contributes exactly `k` survivors, then the tail.
+            let pos = lane_positions(o);
+            let vals = lane_values(o);
+            for g in 0..full_groups {
+                for j in 0..k {
+                    let s = g * k + j;
+                    let e = s * n_out + o;
+                    offsets[e] = (pos[s] as usize - g * bank) as u8;
+                    values[e] = vals[s];
+                }
+            }
+            for j in 0..tail_spg {
+                let s = full_groups * k + j;
+                let e = j * n_out + o;
+                tail_offsets[e] = (pos[s] as usize - full_groups * bank) as u8;
+                tail_values[e] = vals[s];
+            }
+        }
+        let packed24 = (bank == 4 && k == 2 && full_groups > 0).then(|| {
+            (0..full_groups * n_out)
+                .map(|e| {
+                    let (g, o) = (e / n_out, e % n_out);
+                    offsets[(g * 2) * n_out + o] | (offsets[(g * 2 + 1) * n_out + o] << 2)
+                })
+                .collect()
+        });
+        StructuredLanes {
+            n_in,
+            n_out,
+            bank,
+            k,
+            full_groups,
+            offsets,
+            values,
+            tail_len,
+            tail_spg,
+            tail_offsets,
+            tail_values,
+            packed24,
+            bias: None,
+        }
+    }
+
+    /// Survivors per lane.
+    fn stride(&self) -> usize {
+        self.full_groups * self.k + self.tail_spg
+    }
+
+    /// Accumulates one planar survivor row (`k_row` of bank `g`, or the
+    /// tail row) into the output window: `out[oi] += window[off] * v`.
+    #[inline]
+    fn accumulate_row(window: &[f32], offs: &[u8], vals: &[f32], out: &mut [f32]) {
+        for ((slot, off), v) in out.iter_mut().zip(offs).zip(vals) {
+            *slot += window[*off as usize] * *v;
+        }
+    }
+
+    /// Portable forward over `out_start..out_start + out.len()`.
+    fn forward_range_scalar(&self, input: &[f32], out: &mut [f32], out_start: usize) {
+        let len = out.len();
+        out.fill(0.0);
+        for g in 0..self.full_groups {
+            let window = &input[g * self.bank..(g + 1) * self.bank];
+            for j in 0..self.k {
+                let row = (g * self.k + j) * self.n_out + out_start;
+                Self::accumulate_row(
+                    window,
+                    &self.offsets[row..row + len],
+                    &self.values[row..row + len],
+                    out,
+                );
+            }
+        }
+        let tail_base = self.full_groups * self.bank;
+        for j in 0..self.tail_spg {
+            let row = j * self.n_out + out_start;
+            Self::accumulate_row(
+                &input[tail_base..],
+                &self.tail_offsets[row..row + len],
+                &self.tail_values[row..row + len],
+                out,
+            );
+        }
+    }
+
+    /// AVX2 forward: eight output lanes ride one register accumulator
+    /// across *every* bank, selecting survivor inputs with `vpermps`
+    /// shuffles of the bank's register-held window. Same per-lane term
+    /// order (banks ascending, survivor slots ascending, then the tail)
+    /// and the same separate `mul`/`add` arithmetic as the scalar path,
+    /// so the output bits are identical.
+    ///
+    /// Safety: caller must have verified AVX2 support and
+    /// `BANK == self.bank` with `BANK` one of 4, 8, or 16 (so window
+    /// loads of full banks stay in bounds and offsets fit the shuffle).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn forward_range_avx2<const BANK: usize>(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        out_start: usize,
+    ) {
+        let chunks = out.len() / 8;
+        // Strips of four 8-lane chunks: 32 accumulator lanes stay in
+        // registers across every bank, and each survivor row is read as
+        // 128 consecutive bytes (two cache lines) per visit.
+        let strips = chunks / 4;
+        for s in 0..strips {
+            self.avx2_strip::<BANK, 4>(input, out, out_start, s * 4);
+        }
+        for c in strips * 4..chunks {
+            self.avx2_strip::<BANK, 1>(input, out, out_start, c);
+        }
+        // Remainder lanes (< 8) run the scalar kernel on their window:
+        // identical per-lane term order, so the mix stays bit-identical.
+        if chunks * 8 < out.len() {
+            self.forward_range_scalar(input, &mut out[chunks * 8..], out_start + chunks * 8);
+        }
+    }
+
+    /// One `U`-chunk strip of the AVX2 forward: chunks
+    /// `c0..c0 + U` of the window accumulate across all banks in `U`
+    /// register accumulators.
+    ///
+    /// Safety: same contract as [`Self::forward_range_avx2`], plus
+    /// `(c0 + U) * 8 <= out.len()`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_strip<const BANK: usize, const U: usize>(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        out_start: usize,
+        c0: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let seven = _mm256_set1_epi32(7);
+        let col = out_start + c0 * 8;
+        // `vpermps` indexes mod 8; a 16-wide bank blends in the upper
+        // half by the offset's bit 3.
+        let select = |lo: __m256, hi: __m256, idx: __m256i| {
+            let mut sel = _mm256_permutevar8x32_ps(lo, idx);
+            if BANK == 16 {
+                let sel_hi = _mm256_permutevar8x32_ps(hi, idx);
+                let high = _mm256_cmpgt_epi32(idx, seven);
+                sel = _mm256_blendv_ps(sel, sel_hi, _mm256_castsi256_ps(high));
+            }
+            sel
+        };
+        let mut acc = [_mm256_setzero_ps(); U];
+        if let (4, Some(packed)) = (BANK, &self.packed24) {
+            // 2:4 fast path: one packed byte per (group, lane) feeds
+            // both shuffles — `off0` in bits 0-1, `off1` in bits 2-3 —
+            // and both survivor terms add in slot order, exactly like
+            // the generic loop below.
+            let three = _mm256_set1_epi32(3);
+            for g in 0..self.full_groups {
+                let lo = _mm256_castps128_ps256(_mm_loadu_ps(input.as_ptr().add(g * 4)));
+                let pbase = g * self.n_out + col;
+                let row0 = (g * 2) * self.n_out + col;
+                for (u, a) in acc.iter_mut().enumerate() {
+                    let b = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                        packed.as_ptr().add(pbase + u * 8) as *const __m128i,
+                    ));
+                    let idx0 = _mm256_and_si256(b, three);
+                    let idx1 = _mm256_and_si256(_mm256_srli_epi32(b, 2), three);
+                    let v0 = _mm256_loadu_ps(self.values.as_ptr().add(row0 + u * 8));
+                    let v1 = _mm256_loadu_ps(self.values.as_ptr().add(row0 + self.n_out + u * 8));
+                    *a = _mm256_add_ps(*a, _mm256_mul_ps(_mm256_permutevar8x32_ps(lo, idx0), v0));
+                    *a = _mm256_add_ps(*a, _mm256_mul_ps(_mm256_permutevar8x32_ps(lo, idx1), v1));
+                }
+            }
+        } else {
+            for g in 0..self.full_groups {
+                // Full banks load straight from the input — a 4-float
+                // load fills the shuffle's low lanes, wider banks fill
+                // one or both 8-float halves exactly.
+                let wp = input.as_ptr().add(g * BANK);
+                let lo = if BANK == 4 {
+                    _mm256_castps128_ps256(_mm_loadu_ps(wp))
+                } else {
+                    _mm256_loadu_ps(wp)
+                };
+                let hi = if BANK == 16 {
+                    _mm256_loadu_ps(wp.add(8))
+                } else {
+                    lo
+                };
+                for j in 0..self.k {
+                    let row = (g * self.k + j) * self.n_out + col;
+                    for (u, a) in acc.iter_mut().enumerate() {
+                        let idx = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                            self.offsets.as_ptr().add(row + u * 8) as *const __m128i,
+                        ));
+                        let v = _mm256_loadu_ps(self.values.as_ptr().add(row + u * 8));
+                        *a = _mm256_add_ps(*a, _mm256_mul_ps(select(lo, hi, idx), v));
+                    }
+                }
+            }
+        }
+        if self.tail_spg > 0 {
+            // Tail offsets are < tail_len < BANK; zero padding past the
+            // tail is never selected.
+            let mut tail_pad = [0.0f32; 16];
+            tail_pad[..self.tail_len].copy_from_slice(&input[self.full_groups * BANK..]);
+            let lo = _mm256_loadu_ps(tail_pad.as_ptr());
+            let hi = _mm256_loadu_ps(tail_pad.as_ptr().add(8));
+            for j in 0..self.tail_spg {
+                let row = j * self.n_out + col;
+                for (u, a) in acc.iter_mut().enumerate() {
+                    let idx = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                        self.tail_offsets.as_ptr().add(row + u * 8) as *const __m128i,
+                    ));
+                    let v = _mm256_loadu_ps(self.tail_values.as_ptr().add(row + u * 8));
+                    *a = _mm256_add_ps(*a, _mm256_mul_ps(select(lo, hi, idx), v));
+                }
+            }
+        }
+        for (u, a) in acc.iter().enumerate() {
+            _mm256_storeu_ps(out.as_mut_ptr().add((c0 + u) * 8), *a);
+        }
+    }
+
+    fn forward_range(&self, input: &[f32], out: &mut [f32], out_start: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // Safety: AVX2 verified at runtime; the const bank
+                // matches self.bank and is a supported shuffle width.
+                match self.bank {
+                    4 => {
+                        unsafe { self.forward_range_avx2::<4>(input, out, out_start) };
+                        self.add_bias(out, out_start);
+                        return;
+                    }
+                    8 => {
+                        unsafe { self.forward_range_avx2::<8>(input, out, out_start) };
+                        self.add_bias(out, out_start);
+                        return;
+                    }
+                    16 => {
+                        unsafe { self.forward_range_avx2::<16>(input, out, out_start) };
+                        self.add_bias(out, out_start);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.forward_range_scalar(input, out, out_start);
+        self.add_bias(out, out_start);
+    }
+
+    fn add_bias(&self, out: &mut [f32], out_start: usize) {
+        if let Some(bias) = &self.bias {
+            let window = &bias[out_start..out_start + out.len()];
+            for (o, b) in out.iter_mut().zip(window) {
+                *o += *b;
+            }
+        }
+    }
+
+    fn forward(&self, input: &[f32], out: &mut [f32]) {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        assert_eq!(out.len(), self.n_out, "output length mismatch");
+        self.forward_range(input, out, 0);
+    }
+
+    /// Parallel forward: lanes are independent pure functions of the
+    /// input, so chunking the output is bit-identical at any thread
+    /// count.
+    fn forward_pooled(&self, input: &[f32], out: &mut [f32], pool: &cs_parallel::ThreadPool) {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        assert_eq!(out.len(), self.n_out, "output length mismatch");
+        let chunk = pool.default_chunk(self.n_out).max(1);
+        pool.parallel_chunks_mut(out, chunk, |ci, window| {
+            self.forward_range(input, window, ci * chunk);
+        });
+    }
+
+    fn to_dense(&self) -> Tensor {
+        let mut dense = vec![0.0f32; self.n_in * self.n_out];
+        for o in 0..self.n_out {
+            for g in 0..self.full_groups {
+                for j in 0..self.k {
+                    let e = (g * self.k + j) * self.n_out + o;
+                    let i = g * self.bank + self.offsets[e] as usize;
+                    dense[i * self.n_out + o] = self.values[e];
+                }
+            }
+            for j in 0..self.tail_spg {
+                let e = j * self.n_out + o;
+                let i = self.full_groups * self.bank + self.tail_offsets[e] as usize;
+                dense[i * self.n_out + o] = self.tail_values[e];
+            }
+        }
+        Tensor::from_vec(Shape::d2(self.n_in, self.n_out), dense)
+            .unwrap_or_else(|_| Tensor::zeros(Shape::d2(self.n_in, self.n_out)))
+    }
+}
+
+/// The 2:4 layer compiled for execution: every lane reads exactly
+/// `n_in / 2` (position, value) pairs, unpacked once from the 2-bit
+/// metadata at compile time. The hot loop is a flat gather over that
+/// fixed fan-in — no branches, no run decoding, no per-lane counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTwoFourFc {
+    /// Layer name.
+    pub name: String,
+    lanes: StructuredLanes,
+}
+
+impl CompiledTwoFourFc {
+    /// Compiles the packed storage format.
+    pub fn from_format(layer: &TwoFourFcLayer) -> Self {
+        CompiledTwoFourFc {
+            name: layer.name.clone(),
+            lanes: StructuredLanes::from_lanes(
+                layer.n_in,
+                layer.n_out,
+                4,
+                2,
+                |o| layer.lane_positions(o),
+                |o| layer.lane_values(o).to_vec(),
+            ),
+        }
+    }
+
+    /// Input width.
+    pub fn n_in(&self) -> usize {
+        self.lanes.n_in
+    }
+
+    /// Output width.
+    pub fn n_out(&self) -> usize {
+        self.lanes.n_out
+    }
+
+    /// Exact pattern density.
+    pub fn density(&self) -> f64 {
+        if self.lanes.n_in == 0 {
+            return 0.0;
+        }
+        self.lanes.stride() as f64 / self.lanes.n_in as f64
+    }
+
+    /// Attaches a per-output bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bias.len() != n_out`.
+    #[must_use]
+    pub fn with_bias(mut self, bias: Vec<f32>) -> Self {
+        assert_eq!(bias.len(), self.lanes.n_out, "bias length mismatch");
+        self.lanes.bias = Some(bias);
+        self
+    }
+
+    /// Branch-free sparse forward, bit-identical to `ops::matmul`
+    /// against [`Self::to_dense`] on finite inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths disagree with `n_in` / `n_out`.
+    pub fn forward(&self, input: &[f32], out: &mut [f32]) {
+        self.lanes.forward(input, out);
+    }
+
+    /// Allocating convenience wrapper around [`Self::forward`].
+    pub fn forward_alloc(&self, input: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.lanes.n_out];
+        self.forward(input, &mut out);
+        out
+    }
+
+    /// Parallel [`Self::forward`], bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_pooled(&self, input: &[f32], out: &mut [f32], pool: &cs_parallel::ThreadPool) {
+        self.lanes.forward_pooled(input, out, pool);
+    }
+
+    /// The dense `(n_in, n_out)` twin of the equivalence contract.
+    pub fn to_dense(&self) -> Tensor {
+        self.lanes.to_dense()
+    }
+}
+
+/// The bank-balanced layer compiled for execution: every lane reads the
+/// same fixed number of (position, value) pairs per bank, so the inner
+/// loop is a flat branch-free gather exactly like the 2:4 kernel, with
+/// the fan-in determined by `(bank, k)` instead of `(4, 2)`. Banks of
+/// 4, 8, or 16 take the AVX2 shuffle path; other widths fall back to
+/// the portable scalar kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledBankBalancedFc {
+    /// Layer name.
+    pub name: String,
+    /// Bank width.
+    pub bank: usize,
+    /// Survivors per bank.
+    pub k: usize,
+    lanes: StructuredLanes,
+}
+
+impl CompiledBankBalancedFc {
+    /// Compiles the offset-based storage format.
+    pub fn from_format(layer: &BankBalancedFcLayer) -> Self {
+        CompiledBankBalancedFc {
+            name: layer.name.clone(),
+            bank: layer.bank,
+            k: layer.k,
+            lanes: StructuredLanes::from_lanes(
+                layer.n_in,
+                layer.n_out,
+                layer.bank,
+                layer.k,
+                |o| layer.lane_positions(o),
+                |o| layer.lane_values(o).to_vec(),
+            ),
+        }
+    }
+
+    /// Input width.
+    pub fn n_in(&self) -> usize {
+        self.lanes.n_in
+    }
+
+    /// Output width.
+    pub fn n_out(&self) -> usize {
+        self.lanes.n_out
+    }
+
+    /// Exact pattern density.
+    pub fn density(&self) -> f64 {
+        if self.lanes.n_in == 0 {
+            return 0.0;
+        }
+        self.lanes.stride() as f64 / self.lanes.n_in as f64
+    }
+
+    /// Attaches a per-output bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bias.len() != n_out`.
+    #[must_use]
+    pub fn with_bias(mut self, bias: Vec<f32>) -> Self {
+        assert_eq!(bias.len(), self.lanes.n_out, "bias length mismatch");
+        self.lanes.bias = Some(bias);
+        self
+    }
+
+    /// Branch-free sparse forward, bit-identical to `ops::matmul`
+    /// against [`Self::to_dense`] on finite inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths disagree with `n_in` / `n_out`.
+    pub fn forward(&self, input: &[f32], out: &mut [f32]) {
+        self.lanes.forward(input, out);
+    }
+
+    /// Allocating convenience wrapper around [`Self::forward`].
+    pub fn forward_alloc(&self, input: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.lanes.n_out];
+        self.forward(input, &mut out);
+        out
+    }
+
+    /// Parallel [`Self::forward`], bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_pooled(&self, input: &[f32], out: &mut [f32], pool: &cs_parallel::ThreadPool) {
+        self.lanes.forward_pooled(input, out, pool);
+    }
+
+    /// The dense `(n_in, n_out)` twin of the equivalence contract.
+    pub fn to_dense(&self) -> Tensor {
+        self.lanes.to_dense()
+    }
+}
+
+/// Any compiled FC kernel: block-CSR for coarse layers, or one of the
+/// structured fixed-fan-in kernels. This is the dispatch point the
+/// serving lanes and the conformance harness execute through; every
+/// variant honors the same dense-equivalence contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FcKernel {
+    /// Block-CSR strips over a shared index ([`CompiledFcLayer`]).
+    BlockCsr(CompiledFcLayer),
+    /// 2:4 semi-structured kernel.
+    TwoFour(CompiledTwoFourFc),
+    /// Bank-balanced kernel.
+    BankBalanced(CompiledBankBalancedFc),
+}
+
+impl FcKernel {
+    /// Compiles any storage format to its specialized kernel.
+    pub fn compile(format: &FcLayerFormat) -> Self {
+        match format {
+            FcLayerFormat::Shared(l) => FcKernel::BlockCsr(CompiledFcLayer::from_shared(l)),
+            FcLayerFormat::TwoFour(l) => FcKernel::TwoFour(CompiledTwoFourFc::from_format(l)),
+            FcLayerFormat::BankBalanced(l) => {
+                FcKernel::BankBalanced(CompiledBankBalancedFc::from_format(l))
+            }
+        }
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        match self {
+            FcKernel::BlockCsr(l) => &l.name,
+            FcKernel::TwoFour(l) => &l.name,
+            FcKernel::BankBalanced(l) => &l.name,
+        }
+    }
+
+    /// The telemetry label of the kernel specialization.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FcKernel::BlockCsr(_) => "sparse",
+            FcKernel::TwoFour(_) => "two_four",
+            FcKernel::BankBalanced(_) => "bank_balanced",
+        }
+    }
+
+    /// Input width.
+    pub fn n_in(&self) -> usize {
+        match self {
+            FcKernel::BlockCsr(l) => l.n_in,
+            FcKernel::TwoFour(l) => l.n_in(),
+            FcKernel::BankBalanced(l) => l.n_in(),
+        }
+    }
+
+    /// Output width.
+    pub fn n_out(&self) -> usize {
+        match self {
+            FcKernel::BlockCsr(l) => l.n_out,
+            FcKernel::TwoFour(l) => l.n_out(),
+            FcKernel::BankBalanced(l) => l.n_out(),
+        }
+    }
+
+    /// Fraction of surviving synapses.
+    pub fn density(&self) -> f64 {
+        match self {
+            FcKernel::BlockCsr(l) => l.density(),
+            FcKernel::TwoFour(l) => l.density(),
+            FcKernel::BankBalanced(l) => l.density(),
+        }
+    }
+
+    /// Attaches a per-output bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bias.len() != n_out`.
+    #[must_use]
+    pub fn with_bias(self, bias: Vec<f32>) -> Self {
+        match self {
+            FcKernel::BlockCsr(l) => FcKernel::BlockCsr(l.with_bias(bias)),
+            FcKernel::TwoFour(l) => FcKernel::TwoFour(l.with_bias(bias)),
+            FcKernel::BankBalanced(l) => FcKernel::BankBalanced(l.with_bias(bias)),
+        }
+    }
+
+    /// Sparse forward through the specialized kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths disagree with `n_in` / `n_out`.
+    pub fn forward(&self, input: &[f32], out: &mut [f32]) {
+        match self {
+            FcKernel::BlockCsr(l) => l.forward(input, out),
+            FcKernel::TwoFour(l) => l.forward(input, out),
+            FcKernel::BankBalanced(l) => l.forward(input, out),
+        }
+    }
+
+    /// Allocating convenience wrapper around [`Self::forward`].
+    pub fn forward_alloc(&self, input: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n_out()];
+        self.forward(input, &mut out);
+        out
+    }
+
+    /// Parallel [`Self::forward`], bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_pooled(&self, input: &[f32], out: &mut [f32], pool: &cs_parallel::ThreadPool) {
+        match self {
+            FcKernel::BlockCsr(l) => l.forward_pooled(input, out, pool),
+            FcKernel::TwoFour(l) => l.forward_pooled(input, out, pool),
+            FcKernel::BankBalanced(l) => l.forward_pooled(input, out, pool),
+        }
+    }
+
+    /// The dense `(n_in, n_out)` twin of the equivalence contract.
+    pub fn to_dense(&self) -> Tensor {
+        match self {
+            FcKernel::BlockCsr(l) => l.to_dense(),
+            FcKernel::TwoFour(l) => l.to_dense(),
+            FcKernel::BankBalanced(l) => l.to_dense(),
+        }
+    }
+}
+
 /// Collapses a boolean survival index into ascending `[start, end)` runs.
 fn runs_from_index(index: &[bool]) -> Vec<(u32, u32)> {
     let mut runs = Vec::new();
@@ -622,6 +1303,105 @@ mod tests {
         assert_eq!(runs_from_index(&[]), vec![]);
         assert_eq!(runs_from_index(&[true]), vec![(0, 1)]);
         assert_eq!(runs_from_index(&[false]), vec![]);
+    }
+
+    fn rand_w(n_in: usize, n_out: usize, seed: u64) -> Tensor {
+        let mut x = seed | 1;
+        Tensor::from_fn(Shape::d2(n_in, n_out), |_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn two_four_forward_is_bit_identical_to_dense_reference() {
+        for n_in in [16usize, 17, 64, 7] {
+            let w = rand_w(n_in, 24, n_in as u64 * 3);
+            let mask = cs_sparsity::structured::two_four_mask(&w).unwrap();
+            let fmt = crate::format::TwoFourFcLayer::from_fc("tf", &w, &mask).unwrap();
+            let bias: Vec<f32> = (0..24).map(|i| (i as f32) * 0.01 - 0.1).collect();
+            let layer = CompiledTwoFourFc::from_format(&fmt).with_bias(bias.clone());
+            let dense = layer.to_dense();
+            let input: Vec<f32> = (0..n_in).map(|i| (i as f32 * 0.7).sin()).collect();
+            let x = Tensor::from_vec(Shape::d2(1, n_in), input.clone()).unwrap();
+            let mm = ops::matmul(&x, &dense).unwrap();
+            let bt = Tensor::from_vec(Shape::d2(1, 24), bias.clone()).unwrap();
+            let want = ops::add(&mm, &bt).unwrap();
+            let got = layer.forward_alloc(&input);
+            assert_eq!(bits_of(&got), bits_of(want.as_slice()), "n_in {n_in}");
+        }
+    }
+
+    #[test]
+    fn bank_balanced_forward_is_bit_identical_to_dense_reference() {
+        for (bank, k) in [(8usize, 2usize), (3, 1), (16, 7), (5, 5)] {
+            let w = rand_w(29, 12, (bank * 13 + k) as u64);
+            let mask = cs_sparsity::structured::bank_balanced_mask(&w, bank, k).unwrap();
+            let fmt =
+                crate::format::BankBalancedFcLayer::from_fc("bb", &w, &mask, bank, k).unwrap();
+            let layer = CompiledBankBalancedFc::from_format(&fmt);
+            let dense = layer.to_dense();
+            let input: Vec<f32> = (0..29).map(|i| (i as f32 * 0.31).cos()).collect();
+            let x = Tensor::from_vec(Shape::d2(1, 29), input.clone()).unwrap();
+            let want = ops::matmul(&x, &dense).unwrap();
+            let got = layer.forward_alloc(&input);
+            assert_eq!(bits_of(&got), bits_of(want.as_slice()), "bank {bank} k {k}");
+        }
+    }
+
+    #[test]
+    fn structured_pooled_forward_is_bit_identical() {
+        for threads in [1usize, 2, 4] {
+            let pool = cs_parallel::ThreadPool::new(threads);
+            let w = rand_w(33, 21, 5);
+            let mask = cs_sparsity::structured::two_four_mask(&w).unwrap();
+            let fmt = crate::format::TwoFourFcLayer::from_fc("tf", &w, &mask).unwrap();
+            let bias: Vec<f32> = (0..21).map(|i| (i as f32) * 0.002).collect();
+            let layer = CompiledTwoFourFc::from_format(&fmt).with_bias(bias);
+            let input: Vec<f32> = (0..33).map(|i| (i as f32 * 0.13).sin()).collect();
+            let serial = layer.forward_alloc(&input);
+            let mut pooled = vec![0.0f32; 21];
+            layer.forward_pooled(&input, &mut pooled, &pool);
+            assert_eq!(bits_of(&serial), bits_of(&pooled), "threads {threads}");
+
+            let bmask = cs_sparsity::structured::bank_balanced_mask(&w, 6, 2).unwrap();
+            let bfmt = crate::format::BankBalancedFcLayer::from_fc("bb", &w, &bmask, 6, 2).unwrap();
+            let blayer = CompiledBankBalancedFc::from_format(&bfmt);
+            let bserial = blayer.forward_alloc(&input);
+            let mut bpooled = vec![0.0f32; 21];
+            blayer.forward_pooled(&input, &mut bpooled, &pool);
+            assert_eq!(bits_of(&bserial), bits_of(&bpooled), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn fc_kernel_dispatch_is_consistent() {
+        let w = rand_w(16, 8, 9);
+        let mask = cs_sparsity::structured::two_four_mask(&w).unwrap();
+        let fmt = crate::format::FcLayerFormat::TwoFour(
+            crate::format::TwoFourFcLayer::from_fc("tf", &w, &mask).unwrap(),
+        );
+        let kernel = FcKernel::compile(&fmt);
+        assert_eq!(kernel.kind(), "two_four");
+        assert_eq!(kernel.kind(), fmt.kind());
+        assert_eq!(kernel.n_in(), 16);
+        assert_eq!(kernel.n_out(), 8);
+        assert_eq!(kernel.density(), 0.5);
+        let input: Vec<f32> = (0..16).map(|i| (i as f32 * 0.3).cos()).collect();
+        // The kernel and the format densify to the same matrix, and the
+        // shared-index bridge decodes the same values.
+        let kd = kernel.to_dense();
+        let fd = match &fmt {
+            crate::format::FcLayerFormat::TwoFour(l) => l.to_dense(),
+            _ => unreachable!(),
+        };
+        assert_eq!(bits_of(kd.as_slice()), bits_of(fd.as_slice()));
+        let shared = fmt.to_shared();
+        let bridge = CompiledFcLayer::from_shared(&shared);
+        assert_eq!(
+            bits_of(&kernel.forward_alloc(&input)),
+            bits_of(&bridge.forward_alloc(&input))
+        );
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! position (exactly how the accelerator time-shares its PEs).
 
 use cs_quant::{kmeans_1d, Codebook};
+use cs_sparsity::structured::{satisfies_pattern, survivors_per_lane};
 use cs_sparsity::Mask;
-use cs_tensor::{Tensor, TensorError};
+use cs_tensor::{Shape, Tensor, TensorError};
 
 use crate::CompressError;
 
@@ -283,12 +284,487 @@ impl SharedIndexLayer {
     }
 }
 
+/// Validates a 2-D FC weight/mask pair against a `(bank, k)` structured
+/// pattern and returns `(n_in, n_out)`.
+fn check_structured_fc(
+    weights: &Tensor,
+    mask: &Mask,
+    bank: usize,
+    k: usize,
+    what: &str,
+) -> Result<(usize, usize), CompressError> {
+    if weights.shape().rank() != 2 {
+        return Err(CompressError::Tensor(TensorError::RankMismatch {
+            expected: 2,
+            actual: weights.shape().rank(),
+            op: "structured fc",
+        }));
+    }
+    if mask.shape() != weights.shape() {
+        return Err(CompressError::Tensor(TensorError::ShapeMismatch {
+            left: mask.shape().clone(),
+            right: weights.shape().clone(),
+            op: "structured fc",
+        }));
+    }
+    if !satisfies_pattern(mask, bank, k) {
+        return Err(CompressError::Coding(cs_coding::CodingError::InvalidInput(
+            format!("mask does not satisfy the {what} pattern (bank {bank}, k {k})"),
+        )));
+    }
+    Ok((weights.shape().dim(0), weights.shape().dim(1)))
+}
+
+/// Gathers the surviving `(offset-in-bank, value)` pairs of one output
+/// lane, ascending by input position.
+fn gather_lane(
+    weights: &Tensor,
+    mask: &Mask,
+    o: usize,
+    bank: usize,
+    offsets: &mut Vec<u8>,
+    values: &mut Vec<f32>,
+) {
+    let (n_in, n_out) = (weights.shape().dim(0), weights.shape().dim(1));
+    let (w, bits) = (weights.as_slice(), mask.bits());
+    for i in 0..n_in {
+        if bits[i * n_out + o] {
+            offsets.push((i % bank) as u8);
+            values.push(w[i * n_out + o]);
+        }
+    }
+}
+
+/// Exact-codebook group-size-1 [`SharedIndexLayer`] bridge shared by the
+/// structured formats: one group per output lane whose codebook *is* the
+/// lane's surviving values (identity dictionary, no quantization loss),
+/// so the simulator path executes the same weights the engine does.
+fn shared_from_lanes(
+    name: &str,
+    n_in: usize,
+    n_out: usize,
+    lane_index: impl Fn(usize) -> Vec<bool>,
+    lane_values: impl Fn(usize) -> Vec<f32>,
+) -> SharedIndexLayer {
+    let groups = (0..n_out)
+        .map(|o| {
+            let vals = lane_values(o);
+            let lane: Vec<u16> = (0..vals.len() as u16).collect();
+            OutputGroup {
+                index: lane_index(o),
+                weights: vec![lane],
+                codebook: if vals.is_empty() {
+                    Codebook::new(vec![0.0])
+                } else {
+                    Codebook::new(vals)
+                },
+            }
+        })
+        .collect();
+    SharedIndexLayer {
+        name: name.to_string(),
+        n_in,
+        n_out,
+        group_size: 1,
+        quant_bits: 16,
+        groups,
+    }
+}
+
+/// A layer stored in the 2:4 semi-structured format: every group of 4
+/// input positions keeps exactly 2 survivors per output lane, so the
+/// value array is exactly half the dense width and each survivor's
+/// position fits in a 2-bit in-group offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoFourFcLayer {
+    /// Layer name.
+    pub name: String,
+    /// Input width.
+    pub n_in: usize,
+    /// Output width.
+    pub n_out: usize,
+    /// Packed 2-bit offsets: byte `o * n_groups + g` holds the group's
+    /// two in-group positions as `off0 | off1 << 2` (a ragged tail
+    /// keeping one survivor uses only `off0`).
+    pub meta: Vec<u8>,
+    /// Surviving values, lane-major in ascending input order; each lane
+    /// has exactly [`TwoFourFcLayer::stride`] entries.
+    pub values: Vec<f32>,
+}
+
+impl TwoFourFcLayer {
+    /// Builds the format from a weight matrix `(n_in, n_out)` and a mask
+    /// produced by [`cs_sparsity::structured::two_four_mask`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when shapes disagree or the mask does not keep
+    /// exactly `min(2, group)` survivors in every group of 4.
+    pub fn from_fc(
+        name: impl Into<String>,
+        weights: &Tensor,
+        mask: &Mask,
+    ) -> Result<Self, CompressError> {
+        let (n_in, n_out) = check_structured_fc(weights, mask, 4, 2, "2:4")?;
+        let n_groups = n_in.div_ceil(4);
+        let stride = survivors_per_lane(n_in, 4, 2);
+        let mut meta = vec![0u8; n_out * n_groups];
+        let mut values = Vec::with_capacity(n_out * stride);
+        let mut offsets = Vec::with_capacity(stride);
+        for o in 0..n_out {
+            offsets.clear();
+            gather_lane(weights, mask, o, 4, &mut offsets, &mut values);
+            // Two consecutive survivors per full group; the ragged tail
+            // may contribute a single trailing offset.
+            for (g, pair) in offsets.chunks(2).enumerate() {
+                let packed = match pair {
+                    [a, b] => a | (b << 2),
+                    [a] => *a,
+                    _ => 0,
+                };
+                meta[o * n_groups + g] = packed;
+            }
+        }
+        Ok(TwoFourFcLayer {
+            name: name.into(),
+            n_in,
+            n_out,
+            meta,
+            values,
+        })
+    }
+
+    /// Survivors per output lane (exactly `n_in / 2` when `n_in % 4 == 0`).
+    pub fn stride(&self) -> usize {
+        survivors_per_lane(self.n_in, 4, 2)
+    }
+
+    /// Number of 4-wide input groups (the tail may be ragged).
+    pub fn n_groups(&self) -> usize {
+        self.n_in.div_ceil(4)
+    }
+
+    /// Absolute surviving input positions of lane `o`, ascending —
+    /// unpacked from the 2-bit metadata.
+    pub fn lane_positions(&self, o: usize) -> Vec<u32> {
+        let n_groups = self.n_groups();
+        let mut pos = Vec::with_capacity(self.stride());
+        for g in 0..n_groups {
+            let base = (g * 4) as u32;
+            let keep = (self.n_in - g * 4).min(2);
+            let byte = self.meta[o * n_groups + g];
+            pos.push(base + u32::from(byte & 0b11));
+            if keep == 2 {
+                pos.push(base + u32::from((byte >> 2) & 0b11));
+            }
+        }
+        pos
+    }
+
+    /// Surviving values of lane `o`, ascending by input position.
+    pub fn lane_values(&self, o: usize) -> &[f32] {
+        let s = self.stride();
+        &self.values[o * s..(o + 1) * s]
+    }
+
+    /// Total surviving synapses.
+    pub fn surviving(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Exact pattern density (0.5 when `n_in % 4 == 0`).
+    pub fn density(&self) -> f64 {
+        if self.n_in == 0 {
+            return 0.0;
+        }
+        self.stride() as f64 / self.n_in as f64
+    }
+
+    /// Position metadata in bits: 2 per survivor.
+    pub fn index_bits(&self) -> usize {
+        self.surviving() * 2
+    }
+
+    /// Compact weight storage in bytes (fp32 values + packed metadata).
+    pub fn weight_bytes(&self) -> usize {
+        self.values.len() * 4 + self.index_bits().div_ceil(8)
+    }
+
+    /// Densifies back to `(n_in, n_out)` — zeros at pruned positions.
+    pub fn to_dense(&self) -> Tensor {
+        let mut dense = vec![0.0f32; self.n_in * self.n_out];
+        for o in 0..self.n_out {
+            for (p, v) in self.lane_positions(o).iter().zip(self.lane_values(o)) {
+                dense[*p as usize * self.n_out + o] = *v;
+            }
+        }
+        Tensor::from_vec(Shape::d2(self.n_in, self.n_out), dense)
+            .unwrap_or_else(|_| Tensor::zeros(Shape::d2(self.n_in, self.n_out)))
+    }
+
+    /// Exact-codebook simulator bridge (see [`FcLayerFormat::to_shared`]).
+    pub fn to_shared(&self) -> SharedIndexLayer {
+        shared_from_lanes(
+            &self.name,
+            self.n_in,
+            self.n_out,
+            |o| {
+                let mut index = vec![false; self.n_in];
+                for p in self.lane_positions(o) {
+                    index[p as usize] = true;
+                }
+                index
+            },
+            |o| self.lane_values(o).to_vec(),
+        )
+    }
+}
+
+/// A layer stored in the bank-balanced format: every bank of `bank`
+/// input positions keeps exactly `k` survivors per lane (micro-range
+/// balanced sparsity), giving every lane the same fixed fan-in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankBalancedFcLayer {
+    /// Layer name.
+    pub name: String,
+    /// Input width.
+    pub n_in: usize,
+    /// Output width.
+    pub n_out: usize,
+    /// Bank width along the input dimension (≤ 256 so offsets fit a byte).
+    pub bank: usize,
+    /// Survivors per bank.
+    pub k: usize,
+    /// In-bank offsets, one byte per survivor, lane-major ascending.
+    pub offsets: Vec<u8>,
+    /// Surviving values, same layout as `offsets`.
+    pub values: Vec<f32>,
+}
+
+impl BankBalancedFcLayer {
+    /// Builds the format from a weight matrix `(n_in, n_out)` and a mask
+    /// produced by [`cs_sparsity::structured::bank_balanced_mask`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when shapes disagree, `bank > 256`, or the mask
+    /// does not keep exactly `min(k, bank_len)` survivors in every bank.
+    pub fn from_fc(
+        name: impl Into<String>,
+        weights: &Tensor,
+        mask: &Mask,
+        bank: usize,
+        k: usize,
+    ) -> Result<Self, CompressError> {
+        if bank > 256 {
+            return Err(CompressError::Tensor(TensorError::InvalidGeometry(
+                format!("bank {bank} exceeds the byte-offset limit of 256"),
+            )));
+        }
+        let (n_in, n_out) = check_structured_fc(weights, mask, bank, k, "bank-balanced")?;
+        let stride = survivors_per_lane(n_in, bank, k);
+        let mut offsets = Vec::with_capacity(n_out * stride);
+        let mut values = Vec::with_capacity(n_out * stride);
+        for o in 0..n_out {
+            gather_lane(weights, mask, o, bank, &mut offsets, &mut values);
+        }
+        Ok(BankBalancedFcLayer {
+            name: name.into(),
+            n_in,
+            n_out,
+            bank,
+            k,
+            offsets,
+            values,
+        })
+    }
+
+    /// Survivors per output lane (`k` per full bank, `min(k, tail)` for
+    /// the ragged tail).
+    pub fn stride(&self) -> usize {
+        survivors_per_lane(self.n_in, self.bank, self.k)
+    }
+
+    /// Absolute surviving input positions of lane `o`, ascending.
+    pub fn lane_positions(&self, o: usize) -> Vec<u32> {
+        let s = self.stride();
+        let lane = &self.offsets[o * s..(o + 1) * s];
+        let mut pos = Vec::with_capacity(s);
+        let mut bank_idx = 0usize;
+        let mut taken = 0usize;
+        for &off in lane {
+            // Fixed fan-in: `min(k, bank_len)` offsets belong to each
+            // bank in order.
+            let bank_len = (self.n_in - bank_idx * self.bank).min(self.bank);
+            pos.push((bank_idx * self.bank) as u32 + u32::from(off));
+            taken += 1;
+            if taken == self.k.min(bank_len) {
+                bank_idx += 1;
+                taken = 0;
+            }
+        }
+        pos
+    }
+
+    /// Surviving values of lane `o`, ascending by input position.
+    pub fn lane_values(&self, o: usize) -> &[f32] {
+        let s = self.stride();
+        &self.values[o * s..(o + 1) * s]
+    }
+
+    /// Total surviving synapses.
+    pub fn surviving(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Exact pattern density (`k / bank` on bank-aligned widths).
+    pub fn density(&self) -> f64 {
+        if self.n_in == 0 {
+            return 0.0;
+        }
+        self.stride() as f64 / self.n_in as f64
+    }
+
+    /// Position metadata in bits: `ceil(log2(bank))` per survivor.
+    pub fn index_bits(&self) -> usize {
+        let offset_bits = usize::BITS as usize - (self.bank - 1).leading_zeros() as usize;
+        self.surviving() * offset_bits
+    }
+
+    /// Compact weight storage in bytes (fp32 values + offset metadata).
+    pub fn weight_bytes(&self) -> usize {
+        self.values.len() * 4 + self.index_bits().div_ceil(8)
+    }
+
+    /// Densifies back to `(n_in, n_out)` — zeros at pruned positions.
+    pub fn to_dense(&self) -> Tensor {
+        let mut dense = vec![0.0f32; self.n_in * self.n_out];
+        for o in 0..self.n_out {
+            for (p, v) in self.lane_positions(o).iter().zip(self.lane_values(o)) {
+                dense[*p as usize * self.n_out + o] = *v;
+            }
+        }
+        Tensor::from_vec(Shape::d2(self.n_in, self.n_out), dense)
+            .unwrap_or_else(|_| Tensor::zeros(Shape::d2(self.n_in, self.n_out)))
+    }
+
+    /// Exact-codebook simulator bridge (see [`FcLayerFormat::to_shared`]).
+    pub fn to_shared(&self) -> SharedIndexLayer {
+        shared_from_lanes(
+            &self.name,
+            self.n_in,
+            self.n_out,
+            |o| {
+                let mut index = vec![false; self.n_in];
+                for p in self.lane_positions(o) {
+                    index[p as usize] = true;
+                }
+                index
+            },
+            |o| self.lane_values(o).to_vec(),
+        )
+    }
+}
+
+/// Any of the compiled FC storage formats, as the serving stack carries
+/// them: the paper's shared-index format for coarse pruning, or one of
+/// the structured fixed-fan-in formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FcLayerFormat {
+    /// Coarse shared-index storage ([`SharedIndexLayer`]).
+    Shared(SharedIndexLayer),
+    /// 2:4 semi-structured storage.
+    TwoFour(TwoFourFcLayer),
+    /// Bank-balanced storage.
+    BankBalanced(BankBalancedFcLayer),
+}
+
+impl FcLayerFormat {
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        match self {
+            FcLayerFormat::Shared(l) => &l.name,
+            FcLayerFormat::TwoFour(l) => &l.name,
+            FcLayerFormat::BankBalanced(l) => &l.name,
+        }
+    }
+
+    /// Input width.
+    pub fn n_in(&self) -> usize {
+        match self {
+            FcLayerFormat::Shared(l) => l.n_in,
+            FcLayerFormat::TwoFour(l) => l.n_in,
+            FcLayerFormat::BankBalanced(l) => l.n_in,
+        }
+    }
+
+    /// Output width.
+    pub fn n_out(&self) -> usize {
+        match self {
+            FcLayerFormat::Shared(l) => l.n_out,
+            FcLayerFormat::TwoFour(l) => l.n_out,
+            FcLayerFormat::BankBalanced(l) => l.n_out,
+        }
+    }
+
+    /// Fraction of surviving synapses (exact pattern densities for the
+    /// structured formats).
+    pub fn density(&self) -> f64 {
+        match self {
+            FcLayerFormat::Shared(l) => l.density(),
+            FcLayerFormat::TwoFour(l) => l.density(),
+            FcLayerFormat::BankBalanced(l) => l.density(),
+        }
+    }
+
+    /// Total surviving synapses.
+    pub fn surviving(&self) -> usize {
+        match self {
+            FcLayerFormat::Shared(l) => l.surviving(),
+            FcLayerFormat::TwoFour(l) => l.surviving(),
+            FcLayerFormat::BankBalanced(l) => l.surviving(),
+        }
+    }
+
+    /// Index/metadata storage in bits.
+    pub fn index_bits(&self) -> usize {
+        match self {
+            FcLayerFormat::Shared(l) => l.index_bits(),
+            FcLayerFormat::TwoFour(l) => l.index_bits(),
+            FcLayerFormat::BankBalanced(l) => l.index_bits(),
+        }
+    }
+
+    /// The short pattern label used in telemetry and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FcLayerFormat::Shared(_) => "sparse",
+            FcLayerFormat::TwoFour(_) => "two_four",
+            FcLayerFormat::BankBalanced(_) => "bank_balanced",
+        }
+    }
+
+    /// A [`SharedIndexLayer`] view for the accelerator simulator, which
+    /// only speaks the shared-index format. `Shared` layers are returned
+    /// as-is; structured layers convert to group-size-1 layers whose
+    /// per-lane codebook is the lane's surviving values verbatim (a
+    /// 1-wide group trivially satisfies index sharing, and the identity
+    /// dictionary adds no quantization error).
+    pub fn to_shared(&self) -> SharedIndexLayer {
+        match self {
+            FcLayerFormat::Shared(l) => l.clone(),
+            FcLayerFormat::TwoFour(l) => l.to_shared(),
+            FcLayerFormat::BankBalanced(l) => l.to_shared(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cs_nn::init::{local_convergence, ConvergenceProfile};
     use cs_sparsity::coarse::{self, CoarseConfig, PruneMetric};
-    use cs_tensor::Shape;
+    use cs_sparsity::structured;
 
     fn fc_layer(n_in: usize, n_out: usize, group: usize, density: f64) -> (Tensor, Mask) {
         let w = local_convergence(
@@ -380,5 +856,130 @@ mod tests {
         assert_eq!(sil.surviving(), 0);
         let out = sil.output(&[1.0; 4]);
         assert_eq!(out, vec![0.0; 4]);
+    }
+
+    fn rand_w(n_in: usize, n_out: usize, seed: u64) -> Tensor {
+        let mut x = seed | 1;
+        Tensor::from_fn(Shape::d2(n_in, n_out), |_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn two_four_roundtrips_through_packed_metadata() {
+        for n_in in [16usize, 17, 5, 7] {
+            let w = rand_w(n_in, 6, n_in as u64);
+            let mask = structured::two_four_mask(&w).unwrap();
+            let tf = TwoFourFcLayer::from_fc("tf", &w, &mask).unwrap();
+            // Densify: survivors carry original values, everything else 0.
+            let dense = tf.to_dense();
+            for i in 0..n_in {
+                for o in 0..6 {
+                    let want = if mask.bits()[i * 6 + o] {
+                        w.as_slice()[i * 6 + o]
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(dense.as_slice()[i * 6 + o], want, "n_in {n_in} ({i},{o})");
+                }
+            }
+            assert_eq!(tf.surviving(), mask.ones());
+            assert_eq!(tf.index_bits(), mask.ones() * 2);
+            assert!((tf.density() - mask.density()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bank_balanced_roundtrips_through_offsets() {
+        for (bank, k) in [(8usize, 2usize), (3, 2), (16, 5), (1, 1)] {
+            let w = rand_w(21, 5, (bank * 7 + k) as u64);
+            let mask = structured::bank_balanced_mask(&w, bank, k).unwrap();
+            let bb = BankBalancedFcLayer::from_fc("bb", &w, &mask, bank, k).unwrap();
+            let dense = bb.to_dense();
+            for i in 0..21 {
+                for o in 0..5 {
+                    let want = if mask.bits()[i * 5 + o] {
+                        w.as_slice()[i * 5 + o]
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(dense.as_slice()[i * 5 + o], want, "bank {bank} k {k}");
+                }
+            }
+            assert_eq!(bb.surviving(), mask.ones());
+        }
+    }
+
+    #[test]
+    fn structured_formats_reject_wrong_masks() {
+        let w = rand_w(16, 4, 3);
+        // A coarse mask is (generically) not 2:4.
+        let cfg = CoarseConfig::fc(4, 4, PruneMetric::Average);
+        let coarse_mask = coarse::prune_to_density(&w, &cfg, 0.5).unwrap();
+        assert!(TwoFourFcLayer::from_fc("bad", &w, &coarse_mask).is_err());
+        assert!(BankBalancedFcLayer::from_fc("bad", &w, &coarse_mask, 8, 3).is_err());
+        // Bank too wide for byte offsets.
+        let m = structured::bank_balanced_mask(&w, 16, 4).unwrap();
+        assert!(BankBalancedFcLayer::from_fc("bad", &w, &m, 512, 4).is_err());
+    }
+
+    #[test]
+    fn to_shared_bridge_is_exact() {
+        let w = rand_w(20, 8, 11);
+        let mask = structured::two_four_mask(&w).unwrap();
+        let tf = TwoFourFcLayer::from_fc("tf", &w, &mask).unwrap();
+        let sil = tf.to_shared();
+        assert_eq!(sil.group_size, 1);
+        assert_eq!(sil.groups.len(), 8);
+        // The identity codebook decodes the original values exactly, so
+        // the shared-index reference output equals a dense product with
+        // the densified weights (up to its own accumulation order).
+        let input: Vec<f32> = (0..20).map(|i| (i as f32 * 0.3).sin()).collect();
+        let got = sil.output(&input);
+        let dense = tf.to_dense();
+        for (o, g) in got.iter().enumerate() {
+            let mut want = 0.0f32;
+            for (i, x) in input.iter().enumerate() {
+                // Skipped terms are exact zeros, so serial accumulation
+                // in ascending order matches the bridge's gather.
+                if mask.bits()[i * 8 + o] {
+                    want += dense.as_slice()[i * 8 + o] * x;
+                }
+            }
+            assert_eq!(*g, want, "lane {o}");
+        }
+
+        let bb_mask = structured::bank_balanced_mask(&w, 5, 2).unwrap();
+        let bb = BankBalancedFcLayer::from_fc("bb", &w, &bb_mask, 5, 2).unwrap();
+        let sb = bb.to_shared();
+        assert_eq!(sb.group_size, 1);
+        assert!((sb.density() - bb.density()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn format_enum_delegates() {
+        let w = rand_w(16, 4, 21);
+        let mask = structured::two_four_mask(&w).unwrap();
+        let tf = FcLayerFormat::TwoFour(TwoFourFcLayer::from_fc("tf", &w, &mask).unwrap());
+        assert_eq!(tf.kind(), "two_four");
+        assert_eq!(tf.n_in(), 16);
+        assert_eq!(tf.n_out(), 4);
+        assert_eq!(tf.density(), 0.5);
+        assert_eq!(tf.surviving(), 32);
+        assert_eq!(tf.index_bits(), 64);
+
+        let bbm = structured::bank_balanced_mask(&w, 8, 2).unwrap();
+        let bb = FcLayerFormat::BankBalanced(
+            BankBalancedFcLayer::from_fc("bb", &w, &bbm, 8, 2).unwrap(),
+        );
+        assert_eq!(bb.kind(), "bank_balanced");
+        assert_eq!(bb.density(), 0.25);
+
+        let (cw, cmask) = fc_layer(64, 32, 16, 0.25);
+        let sil = SharedIndexLayer::from_fc("fc", &cw, &cmask, 16, 8).unwrap();
+        let sh = FcLayerFormat::Shared(sil.clone());
+        assert_eq!(sh.kind(), "sparse");
+        assert_eq!(sh.to_shared(), sil);
     }
 }

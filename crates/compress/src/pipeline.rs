@@ -10,7 +10,7 @@ use cs_nn::init::{self, ConvergenceProfile};
 use cs_nn::spec::{LayerClass, LayerSpec, Model, NetworkSpec};
 use cs_quant::{quantize_local, QuantizedLayer};
 use cs_sparsity::coarse::{self, CoarseConfig};
-use cs_sparsity::{fine, stats, Mask};
+use cs_sparsity::{fine, stats, structured, Mask};
 use cs_tensor::Tensor;
 
 use crate::config::{EntropyCoder, LayerCompressionConfig, ModelCompressionConfig};
@@ -149,12 +149,18 @@ impl ModelReport {
     }
 }
 
-/// Prunes a layer with the configured coarse block to the target density.
+/// Prunes a layer according to `cfg.mode`: the configured coarse block
+/// to the target density, or a structured fixed-fan-in pattern (2:4 /
+/// bank-balanced, FC layers only) whose density is set by its geometry.
 ///
 /// # Errors
 ///
-/// Propagates invalid-density errors.
+/// Propagates invalid-density errors, and rank/geometry errors for
+/// structured modes on non-FC weights.
 pub fn prune_layer(weights: &Tensor, cfg: &LayerCompressionConfig) -> Result<Mask, CompressError> {
+    if cfg.mode.is_structured() {
+        return Ok(structured::structured_mask(weights, &cfg.mode)?);
+    }
     if cfg.target_density >= 1.0 {
         return Ok(Mask::ones_like(weights.shape().clone()));
     }
@@ -165,8 +171,8 @@ pub fn prune_layer(weights: &Tensor, cfg: &LayerCompressionConfig) -> Result<Mas
     )?)
 }
 
-/// Parallel [`prune_layer`]: block scoring fans out over the pool and
-/// the result is bit-identical to the serial version.
+/// Parallel [`prune_layer`]: block (or lane) scoring fans out over the
+/// pool and the result is bit-identical to the serial version.
 ///
 /// # Errors
 ///
@@ -176,6 +182,11 @@ pub fn prune_layer_pooled(
     cfg: &LayerCompressionConfig,
     pool: &cs_parallel::ThreadPool,
 ) -> Result<Mask, CompressError> {
+    if cfg.mode.is_structured() {
+        return Ok(structured::structured_mask_pooled(
+            weights, &cfg.mode, pool,
+        )?);
+    }
     if cfg.target_density >= 1.0 {
         return Ok(Mask::ones_like(weights.shape().clone()));
     }
@@ -250,10 +261,20 @@ fn finish_layer(
     };
     let wc_bytes = dict_bytes + quant.codebook_bytes();
 
-    let bk = coarse::block_keep(&mask, &cfg.coarse);
-    let (_rows, cols) = bk.as_2d();
-    let coarse_img = bilevel::BiLevelImage::from_bits(&bk.keep, cols.max(1))?;
-    let ic_bytes = bilevel::compressed_size(&coarse_img);
+    // Index accounting. Coarse mode carries a block-level keep bitmap
+    // that goes through the bilevel coder; structured modes carry packed
+    // position metadata (2-bit offsets for 2:4, ceil(log2(bank))-bit
+    // offsets for bank-balanced) that already *is* the index — there is
+    // no entropy stage to run on it.
+    let (coarse_index_bits, ic_bytes) = if let Some((bank, k)) = cfg.mode.geometry() {
+        let bits = structured::metadata_bits(weights.shape(), bank, k);
+        (bits, bits.div_ceil(8))
+    } else {
+        let bk = coarse::block_keep(&mask, &cfg.coarse);
+        let (_rows, cols) = bk.as_2d();
+        let coarse_img = bilevel::BiLevelImage::from_bits(&bk.keep, cols.max(1))?;
+        (bk.keep.len(), bilevel::compressed_size(&coarse_img))
+    };
 
     // Fine-grained comparison mask at the same density.
     let fine_mask = fine::prune_to_density(weights, mask.density().max(1e-6))?;
@@ -266,11 +287,11 @@ fn finish_layer(
         class: layer.class(),
         weight_count: weights.len(),
         surviving: surviving_values.len(),
-        density: mask.density(),
+        density: stats::mode_synapse_sparsity(&cfg.mode, &mask),
         sns: stats::static_neuron_sparsity(&mask),
         dense_bytes: weights.len() * DENSE_WEIGHT_BYTES,
         wp_bytes: surviving_values.len() * PRUNED_WEIGHT_BYTES,
-        coarse_index_bits: bk.keep.len(),
+        coarse_index_bits,
         fine_index_bits: weights.len(),
         wq_bytes: quant.byte_size(),
         wc_bytes,
@@ -296,7 +317,7 @@ pub fn compress_model(
     let mut layers = Vec::new();
     for layer in spec.weighted_layers() {
         let lc = cfg.for_layer(layer);
-        let profile = ConvergenceProfile::with_target_density(lc.target_density)
+        let profile = ConvergenceProfile::with_target_density(profile_density(lc))
             .with_block(dominant_block(&lc.coarse));
         let weights = init::materialize(layer, &profile, seed);
         let (report, _, _) = compress_layer(layer, &weights, lc)?;
@@ -324,7 +345,7 @@ pub fn compress_model_pooled(
     let mut layers = Vec::new();
     for layer in spec.weighted_layers() {
         let lc = cfg.for_layer(layer);
-        let profile = ConvergenceProfile::with_target_density(lc.target_density)
+        let profile = ConvergenceProfile::with_target_density(profile_density(lc))
             .with_block(dominant_block(&lc.coarse));
         let weights = init::materialize(layer, &profile, seed);
         let (report, _, _) = compress_layer_pooled(layer, &weights, lc, pool)?;
@@ -343,6 +364,15 @@ fn mask_2d_dims(weights: &Tensor) -> (usize, usize) {
         2 => (s.dim(0), s.dim(1)),
         4 => (s.dim(0) * s.dim(2) * s.dim(3), s.dim(1)),
         _ => (1, weights.len()),
+    }
+}
+
+/// Density the weight generator should assume: the geometric pattern
+/// density for structured modes, the configured target otherwise.
+fn profile_density(cfg: &LayerCompressionConfig) -> f64 {
+    match cfg.mode.geometry() {
+        Some((bank, k)) => k as f64 / bank as f64,
+        None => cfg.target_density,
     }
 }
 
@@ -445,6 +475,72 @@ mod tests {
         assert_eq!(sr, pr);
         assert_eq!(sm, pm);
         assert_eq!(sq, pq);
+    }
+
+    #[test]
+    fn two_four_mode_flows_end_to_end() {
+        use cs_sparsity::structured;
+
+        let spec = NetworkSpec::model(Model::Mlp, Scale::Reduced(4));
+        let cfg = ModelCompressionConfig::paper(Model::Mlp);
+        let layer = spec.weighted_layers().next().unwrap();
+        // target_density 1.0 would disable coarse pruning; structured
+        // modes ignore it and prune to the pattern anyway.
+        let lc = cfg.for_layer(layer).clone().with_density(1.0).two_four();
+        let w = init::materialize(layer, &ConvergenceProfile::with_target_density(0.5), 5);
+        let (report, mask, quant) = compress_layer(layer, &w, &lc).unwrap();
+        assert!(structured::satisfies_pattern(&mask, 4, 2));
+        assert_eq!(
+            report.coarse_index_bits,
+            structured::metadata_bits(w.shape(), 4, 2)
+        );
+        assert_eq!(report.ic_bytes, report.coarse_index_bits.div_ceil(8));
+        assert_eq!(
+            report.density,
+            stats::pattern_density(&lc.mode, w.shape()).unwrap()
+        );
+        assert_eq!(quant.len(), report.surviving);
+
+        let pool = cs_parallel::ThreadPool::new(4);
+        let (pr, pm, pq) = compress_layer_pooled(layer, &w, &lc, &pool).unwrap();
+        assert_eq!(report, pr);
+        assert_eq!(mask, pm);
+        assert_eq!(quant, pq);
+    }
+
+    #[test]
+    fn bank_balanced_mode_flows_end_to_end() {
+        use cs_sparsity::structured;
+
+        let spec = NetworkSpec::model(Model::Mlp, Scale::Reduced(4));
+        let cfg = ModelCompressionConfig::paper(Model::Mlp);
+        let layer = spec.weighted_layers().next().unwrap();
+        let lc = cfg.for_layer(layer).clone().bank_balanced(8, 2);
+        let w = init::materialize(layer, &ConvergenceProfile::with_target_density(0.25), 11);
+        let (report, mask, _) = compress_layer(layer, &w, &lc).unwrap();
+        assert!(structured::satisfies_pattern(&mask, 8, 2));
+        assert_eq!(
+            report.coarse_index_bits,
+            structured::metadata_bits(w.shape(), 8, 2)
+        );
+        assert_eq!(report.ic_bytes, report.coarse_index_bits.div_ceil(8));
+        assert_eq!(
+            report.density,
+            stats::pattern_density(&lc.mode, w.shape()).unwrap()
+        );
+    }
+
+    #[test]
+    fn structured_modes_reject_conv_weights() {
+        let spec = NetworkSpec::model(Model::LeNet5, Scale::Reduced(4));
+        let cfg = ModelCompressionConfig::paper(Model::LeNet5);
+        let layer = spec
+            .weighted_layers()
+            .find(|l| l.class() == LayerClass::Convolutional)
+            .unwrap();
+        let lc = cfg.for_layer(layer).clone().two_four();
+        let w = init::materialize(layer, &ConvergenceProfile::with_target_density(0.5), 3);
+        assert!(compress_layer(layer, &w, &lc).is_err());
     }
 
     #[test]

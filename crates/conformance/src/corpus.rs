@@ -56,10 +56,19 @@ pub const CORPUS: &[CorpusEntry] = &[
     },
     CorpusEntry {
         seed: 42,
+        case: 3,
+        socket: false,
+        cluster: false,
+        note: "oversized coarse pruning block (100 > matrix) on a 5x32 layer",
+    },
+    CorpusEntry {
+        seed: 42,
         case: 4,
         socket: false,
         cluster: false,
-        note: "3-layer FC chain with odd widths (5/48/17) and zeroed input stripes",
+        note: "3-layer FC chain with odd widths (5/48/17), zeroed input stripes, \
+               and a bank-balanced first layer whose single ragged bank \
+               (n_in 5 < bank 16) stays fully dense",
     },
     CorpusEntry {
         seed: 42,
@@ -73,7 +82,8 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 7,
         socket: false,
         cluster: false,
-        note: "oversized pruning block (100 > matrix) with zeroed input stripes",
+        note: "all-zero 2:4 layer with zeroed input stripes; tie-ranked groups \
+               must keep the lowest-index pair",
     },
     CorpusEntry {
         seed: 42,
@@ -94,7 +104,17 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 22,
         socket: false,
         cluster: false,
-        note: "all-zero weight layer (codebook collapses to [0.0])",
+        note: "all-zero weights under both structured patterns (2:4 then \
+               bank 4:3); deterministic tie ranking picks the lowest-index \
+               survivors in every group",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 28,
+        socket: false,
+        cluster: false,
+        note: "all-zero coarse layer (codebook collapses to [0.0]) and a \
+               bank-balanced 16:6 mid-layer in a 5-layer chain",
     },
     CorpusEntry {
         seed: 42,
@@ -103,6 +123,15 @@ pub const CORPUS: &[CorpusEntry] = &[
         cluster: true,
         note: "FC 16x48x8 served over loopback TCP and routed through a two-node \
                cluster; both paths must stay bit-identical to direct execution",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 23,
+        socket: true,
+        cluster: true,
+        note: "both structured patterns in one chain (ragged bank 8:1 then a \
+               fully-dense 2:4 layer) served over loopback TCP and a two-node \
+               cluster; structured kernels must stay bit-identical end to end",
     },
 ];
 

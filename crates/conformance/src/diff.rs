@@ -18,16 +18,18 @@
 //!
 //! [`Fault::ReverseAccumulation`] swaps the serial engine kernel for
 //! [`forward_reversed`], which adds the same terms in *descending* input
-//! order — a deliberately planted defect the harness must catch.
+//! order — a deliberately planted defect the harness must catch. The
+//! planted kernel targets coarse block-CSR layers; structured 2:4 and
+//! bank-balanced layers always run their production kernels.
 
 use cs_accel::config::AccelConfig;
 use cs_accel::exec::Accelerator;
 use cs_accel::pe::Activation;
-use cs_compress::engine::{CompiledConvLayer, CompiledFcLayer};
-use cs_compress::format::SharedIndexLayer;
+use cs_compress::engine::{CompiledConvLayer, CompiledFcLayer, FcKernel};
+use cs_compress::format::{BankBalancedFcLayer, FcLayerFormat, SharedIndexLayer, TwoFourFcLayer};
 use cs_parallel::ThreadPool;
 use cs_sparsity::coarse::{self, CoarseConfig};
-use cs_sparsity::Mask;
+use cs_sparsity::{structured, Mask, PruneMode};
 use cs_tensor::ops::{self, Conv2dGeometry};
 use cs_tensor::{Shape, Tensor};
 
@@ -38,13 +40,17 @@ use crate::{Fault, Mismatch};
 /// Everything built for one FC layer of a case.
 #[derive(Debug, Clone)]
 pub struct FcLayerArtifacts {
-    /// The compact storage format (simulator + serving input).
+    /// The compiled storage format (coarse shared-index, packed 2:4, or
+    /// bank-balanced) — what the serving registry ingests.
+    pub format: FcLayerFormat,
+    /// Shared-index view of `format` (simulator input; for structured
+    /// patterns this is the exact identity-codebook bridge).
     pub shared: SharedIndexLayer,
-    /// The compiled block-CSR engine layer, bias attached.
-    pub engine: CompiledFcLayer,
+    /// The compiled engine kernel for the pattern, bias attached.
+    pub engine: FcKernel,
     /// Densified twin of the engine layer (the dense-reference operand).
     pub dense: Tensor,
-    /// The coarse pruning mask.
+    /// The pruning mask.
     pub mask: Mask,
     /// Per-output bias, when the case carries one.
     pub bias: Option<Vec<f32>>,
@@ -95,21 +101,52 @@ pub fn build_fc_layer(
     };
     let w = Tensor::from_vec(Shape::d2(case.n_in, case.n_out), data)
         .map_err(|e| Mismatch::new("build-weights", format!("layer {li}: {e:?}")))?;
-    let cfg = CoarseConfig::fc(case.block_in, case.block_out, case.metric);
-    let mask = coarse::prune_to_density(&w, &cfg, case.density)
-        .map_err(|e| Mismatch::new("build-prune", format!("layer {li}: {e:?}")))?;
-    // The shared-index group width must match the (clamped) pruning
-    // block along the output dimension, or the mask is not shared.
-    let group_size = case.block_out.min(case.n_out).max(1);
-    let shared =
-        SharedIndexLayer::from_fc(format!("fc{li}"), &w, &mask, group_size, case.quant_bits)
-            .map_err(|e| {
+    let name = format!("fc{li}");
+    let (mask, format) = match case.pattern {
+        PruneMode::Coarse => {
+            let cfg = CoarseConfig::fc(case.block_in, case.block_out, case.metric);
+            let mask = coarse::prune_to_density(&w, &cfg, case.density)
+                .map_err(|e| Mismatch::new("build-prune", format!("layer {li}: {e:?}")))?;
+            // The shared-index group width must match the (clamped)
+            // pruning block along the output dimension, or the mask is
+            // not shared.
+            let group_size = case.block_out.min(case.n_out).max(1);
+            let shared =
+                SharedIndexLayer::from_fc(name.as_str(), &w, &mask, group_size, case.quant_bits)
+                    .map_err(|e| {
+                        Mismatch::new(
+                            "build-shared-index",
+                            format!("layer {li}: coarse mask rejected by the format: {e:?}"),
+                        )
+                    })?;
+            (mask, FcLayerFormat::Shared(shared))
+        }
+        PruneMode::TwoFour => {
+            let mask = structured::two_four_mask(&w)
+                .map_err(|e| Mismatch::new("build-prune", format!("layer {li}: {e:?}")))?;
+            let layer = TwoFourFcLayer::from_fc(name.as_str(), &w, &mask).map_err(|e| {
                 Mismatch::new(
-                    "build-shared-index",
-                    format!("layer {li}: coarse mask rejected by the format: {e:?}"),
+                    "build-two-four",
+                    format!("layer {li}: 2:4 mask rejected by the format: {e:?}"),
                 )
             })?;
-    let mut engine = CompiledFcLayer::from_shared(&shared);
+            (mask, FcLayerFormat::TwoFour(layer))
+        }
+        PruneMode::BankBalanced { bank, k } => {
+            let mask = structured::bank_balanced_mask(&w, bank, k)
+                .map_err(|e| Mismatch::new("build-prune", format!("layer {li}: {e:?}")))?;
+            let layer =
+                BankBalancedFcLayer::from_fc(name.as_str(), &w, &mask, bank, k).map_err(|e| {
+                    Mismatch::new(
+                        "build-bank-balanced",
+                        format!("layer {li}: bank-balanced mask rejected by the format: {e:?}"),
+                    )
+                })?;
+            (mask, FcLayerFormat::BankBalanced(layer))
+        }
+    };
+    let shared = format.to_shared();
+    let mut engine = FcKernel::compile(&format);
     let bias = case
         .bias
         .then(|| CaseRng::from_seed(case.weight_seed ^ BIAS_SALT).fill_f32(case.n_out, 0));
@@ -118,6 +155,7 @@ pub fn build_fc_layer(
     }
     let dense = engine.to_dense();
     Ok(FcLayerArtifacts {
+        format,
         shared,
         engine,
         dense,
@@ -145,7 +183,7 @@ pub fn build_fc(case: &FcNetCase) -> Result<FcArtifacts, Mismatch> {
         .map(|(li, l)| build_fc_layer(l, li, li + 1 == count))
         .collect::<Result<Vec<_>, _>>()?;
     let input =
-        CaseRng::from_seed(case.input_seed).fill_f32(layers[0].engine.n_in, case.zero_every);
+        CaseRng::from_seed(case.input_seed).fill_f32(layers[0].engine.n_in(), case.zero_every);
     Ok(FcArtifacts { layers, input })
 }
 
@@ -187,7 +225,7 @@ pub fn check_fc(art: &FcArtifacts, fault: Fault, pools: &[ThreadPool]) -> Vec<Mi
     let accel = Accelerator::new(AccelConfig::paper_default());
     let mut x = art.input.clone();
     for (li, la) in art.layers.iter().enumerate() {
-        let n_out = la.engine.n_out;
+        let n_out = la.engine.n_out();
         // Dense reference: matmul + element-wise bias, the exact op
         // sequence of the serving dense lane.
         let dense_out = match dense_forward(&la.dense, la.bias.as_deref(), &x) {
@@ -199,9 +237,11 @@ pub fn check_fc(art: &FcArtifacts, fault: Fault, pools: &[ThreadPool]) -> Vec<Mi
         };
 
         let mut sparse = vec![0.0f32; n_out];
-        match fault {
-            Fault::None => la.engine.forward(&x, &mut sparse),
-            Fault::ReverseAccumulation => forward_reversed(&la.engine, &x, &mut sparse),
+        match (fault, &la.engine) {
+            (Fault::ReverseAccumulation, FcKernel::BlockCsr(l)) => {
+                forward_reversed(l, &x, &mut sparse);
+            }
+            _ => la.engine.forward(&x, &mut sparse),
         }
         if let Some((i, s, d)) = first_diff(&sparse, &dense_out) {
             out.push(Mismatch::new(
@@ -447,16 +487,70 @@ mod tests {
             bias: false,
             zero_weights: false,
             weight_seed: 7,
+            pattern: PruneMode::Coarse,
         };
         let la = build_fc_layer(&case, 0, true).unwrap();
         let x = CaseRng::from_seed(11).fill_f32(32, 0);
         let fwd = la.engine.forward_alloc(&x);
+        let FcKernel::BlockCsr(csr) = &la.engine else {
+            panic!("coarse case compiled to a non-block-CSR kernel");
+        };
         let mut rev = vec![0.0f32; 16];
-        forward_reversed(&la.engine, &x, &mut rev);
+        forward_reversed(csr, &x, &mut rev);
         // Same value to float tolerance, different bits somewhere.
         for (a, b) in fwd.iter().zip(&rev) {
             assert!((a - b).abs() < 1e-4);
         }
         assert_ne!(bits(&fwd), bits(&rev), "reversal changed no rounding");
+    }
+
+    #[test]
+    fn structured_patterns_pass_every_differential_leg() {
+        // Hand-built nets covering both structured patterns on ragged
+        // widths, with an all-zero layer and a biased layer mixed in.
+        let pools = pools();
+        for (pattern, bias, zero) in [
+            (PruneMode::TwoFour, false, false),
+            (PruneMode::TwoFour, true, true),
+            (PruneMode::BankBalanced { bank: 8, k: 3 }, false, false),
+            (PruneMode::BankBalanced { bank: 4, k: 1 }, true, false),
+        ] {
+            let net = FcNetCase {
+                layers: vec![
+                    FcLayerCase {
+                        n_in: 17,
+                        n_out: 24,
+                        block_in: 4,
+                        block_out: 8,
+                        metric: cs_sparsity::coarse::PruneMetric::Average,
+                        density: 0.5,
+                        quant_bits: 8,
+                        bias,
+                        zero_weights: zero,
+                        weight_seed: 19,
+                        pattern,
+                    },
+                    FcLayerCase {
+                        n_in: 24,
+                        n_out: 5,
+                        block_in: 2,
+                        block_out: 2,
+                        metric: cs_sparsity::coarse::PruneMetric::Max,
+                        density: 0.4,
+                        quant_bits: 4,
+                        bias: false,
+                        zero_weights: false,
+                        weight_seed: 23,
+                        pattern: PruneMode::Coarse,
+                    },
+                ],
+                input_seed: 31,
+                zero_every: 3,
+            };
+            let art = build_fc(&net).unwrap();
+            assert_eq!(art.layers[0].engine.kind(), pattern.name());
+            let m = check_fc(&art, Fault::None, &pools);
+            assert!(m.is_empty(), "{pattern:?} bias {bias} zero {zero}: {m:?}");
+        }
     }
 }

@@ -18,6 +18,7 @@
 //!   with exact-zero stripes (dynamic sparsity for the NSM path).
 
 use cs_sparsity::coarse::PruneMetric;
+use cs_sparsity::PruneMode;
 
 use crate::rng::CaseRng;
 
@@ -52,6 +53,10 @@ pub struct FcLayerCase {
     pub zero_weights: bool,
     /// Seed for the weight (and bias) fill.
     pub weight_seed: u64,
+    /// Pruning pattern. `Coarse` uses `block_in`/`block_out`/`metric`/
+    /// `density` above; the structured patterns ignore those fields and
+    /// prune to their fixed geometry instead.
+    pub pattern: PruneMode,
 }
 
 /// A generated FC network: layers chained `n_out[i] == n_in[i+1]`,
@@ -166,14 +171,17 @@ impl CaseKind {
                     .iter()
                     .map(|l| format!("{:.3}", l.density))
                     .collect();
+                let pats: Vec<String> =
+                    c.layers.iter().map(|l| pattern_label(&l.pattern)).collect();
                 format!(
-                    "fc net {} densities [{}] blocks {:?} zero_every {}",
+                    "fc net {} densities [{}] blocks {:?} patterns [{}] zero_every {}",
                     dims.join("x"),
                     dens.join(" "),
                     c.layers
                         .iter()
                         .map(|l| (l.block_in, l.block_out))
                         .collect::<Vec<_>>(),
+                    pats.join(" "),
                     c.zero_every
                 )
             }
@@ -186,6 +194,14 @@ impl CaseKind {
                 c.n_in, c.n_hidden, c.seq_len, c.static_density, c.dynamic_density, c.weight_bits
             ),
         }
+    }
+}
+
+/// Short label for a pruning pattern in case summaries.
+fn pattern_label(p: &PruneMode) -> String {
+    match p {
+        PruneMode::BankBalanced { bank, k } => format!("bank{bank}:{k}"),
+        other => other.name().to_string(),
     }
 }
 
@@ -242,7 +258,7 @@ fn gen_fc(rng: &mut CaseRng) -> FcNetCase {
     let depth = rng.range(1, 5) as usize;
     // Boundary widths: n_in of the first layer plus each layer's n_out.
     let widths: Vec<usize> = (0..=depth).map(|_| *rng.pick(&WIDTHS)).collect();
-    let layers = (0..depth)
+    let mut layers: Vec<FcLayerCase> = (0..depth)
         .map(|i| FcLayerCase {
             n_in: widths[i],
             n_out: widths[i + 1],
@@ -254,16 +270,41 @@ fn gen_fc(rng: &mut CaseRng) -> FcNetCase {
             bias: rng.chance(0.2),
             zero_weights: rng.chance(0.07),
             weight_seed: rng.next_u64(),
+            pattern: PruneMode::Coarse,
         })
         .collect();
+    let input_seed = rng.next_u64();
+    let zero_every = if rng.chance(0.4) {
+        rng.range(2, 6) as usize
+    } else {
+        0
+    };
+    // Pattern draws come after every legacy draw so historical
+    // `(seed, index)` pairs keep their width/block/density/seed values.
+    for l in &mut layers {
+        l.pattern = pattern(rng);
+    }
     FcNetCase {
         layers,
-        input_seed: rng.next_u64(),
-        zero_every: if rng.chance(0.4) {
-            rng.range(2, 6) as usize
-        } else {
-            0
-        },
+        input_seed,
+        zero_every,
+    }
+}
+
+/// Bank pool for bank-balanced cases: divides some widths (8, 16),
+/// leaves ragged tail banks on the odd ones (5, 12, 17, 24).
+const BANKS: [usize; 3] = [4, 8, 16];
+
+fn pattern(rng: &mut CaseRng) -> PruneMode {
+    let roll = rng.f64();
+    if roll < 0.6 {
+        PruneMode::Coarse
+    } else if roll < 0.8 {
+        PruneMode::TwoFour
+    } else {
+        let bank = *rng.pick(&BANKS);
+        let k = rng.range(1, bank as u64) as usize;
+        PruneMode::BankBalanced { bank, k }
     }
 }
 
@@ -338,6 +379,10 @@ mod tests {
         let mut full = 0usize;
         let mut oversize_block = 0usize;
         let mut zero_weights = 0usize;
+        let mut two_four = 0usize;
+        let mut bank_balanced = 0usize;
+        let mut ragged_structured = 0usize;
+        let mut zero_structured = 0usize;
         let mut kinds = [0usize; 3];
         for k in 0..512 {
             match generate(42, k).kind {
@@ -356,6 +401,25 @@ mod tests {
                         if l.zero_weights {
                             zero_weights += 1;
                         }
+                        let bank = match l.pattern {
+                            PruneMode::TwoFour => {
+                                two_four += 1;
+                                Some(4)
+                            }
+                            PruneMode::BankBalanced { bank, .. } => {
+                                bank_balanced += 1;
+                                Some(bank)
+                            }
+                            PruneMode::Coarse => None,
+                        };
+                        if let Some(bank) = bank {
+                            if l.n_in % bank != 0 {
+                                ragged_structured += 1;
+                            }
+                            if l.zero_weights {
+                                zero_structured += 1;
+                            }
+                        }
                     }
                 }
                 CaseKind::Conv(_) => kinds[1] += 1,
@@ -366,6 +430,16 @@ mod tests {
         assert!(full > 20, "full densities: {full}");
         assert!(oversize_block > 50, "oversize blocks: {oversize_block}");
         assert!(zero_weights > 5, "all-zero layers: {zero_weights}");
+        assert!(two_four > 40, "2:4 layers: {two_four}");
+        assert!(bank_balanced > 40, "bank-balanced layers: {bank_balanced}");
+        assert!(
+            ragged_structured > 20,
+            "structured layers with ragged widths: {ragged_structured}"
+        );
+        assert!(
+            zero_structured > 1,
+            "structured layers with all-zero weights: {zero_structured}"
+        );
         assert!(kinds.iter().all(|c| *c > 20), "kind mix: {kinds:?}");
     }
 

@@ -1,9 +1,10 @@
 //! Backend-agreement check on *served* outputs.
 //!
 //! The differential executor exercises the kernels directly; this module
-//! closes the loop through `cs-serve`: the same shared-index layers are
-//! registered as a [`ServableModel`], started under the Sparse and Dense
-//! engine backends, and queried with identical inputs. The contract:
+//! closes the loop through `cs-serve`: the same compiled layer formats
+//! (coarse shared-index, packed 2:4, or bank-balanced) are registered as
+//! a [`ServableModel`], started under the Sparse and Dense engine
+//! backends, and queried with identical inputs. The contract:
 //!
 //! * Sparse-served and Dense-served outputs are **bit-identical** to
 //!   each other and to a direct (unserved) lane forward — batching,
@@ -25,10 +26,10 @@ pub(crate) fn model_from(art: &FcArtifacts) -> ServableModel {
     let layers: Vec<_> = art
         .layers
         .iter()
-        .map(|la| (la.shared.clone(), la.activation))
+        .map(|la| (la.format.clone(), la.activation))
         .collect();
-    let n_in = layers[0].0.n_in;
-    let n_out = layers[layers.len() - 1].0.n_out;
+    let n_in = layers[0].0.n_in();
+    let n_out = layers[layers.len() - 1].0.n_out();
     ServableModel {
         name: MODEL.to_string(),
         layers,

@@ -14,6 +14,8 @@
 //! Shrinking is deterministic — `conformance replay` reruns it from the
 //! regenerated case and arrives at the same minimum.
 
+use cs_sparsity::PruneMode;
+
 use crate::gen::{Case, CaseKind, ConvCase, FcNetCase, LstmTimingCase};
 
 /// Result of shrinking one failing case.
@@ -115,6 +117,11 @@ fn fc_candidates(c: &FcNetCase) -> Vec<FcNetCase> {
     }
     // 3. Denser masks, then simpler settings, one layer at a time.
     for (li, l) in c.layers.iter().enumerate() {
+        if l.pattern != PruneMode::Coarse {
+            let mut cand = c.clone();
+            cand.layers[li].pattern = PruneMode::Coarse;
+            out.push(cand);
+        }
         if l.density != 1.0 {
             let mut cand = c.clone();
             cand.layers[li].density = 1.0;
@@ -239,6 +246,7 @@ mod tests {
                 assert!(n.layers[0].n_in <= 8);
                 assert!(n.layers[0].n_out <= 8);
                 assert_eq!(n.layers[0].density, 1.0);
+                assert_eq!(n.layers[0].pattern, PruneMode::Coarse);
             }
             other => panic!("kind changed: {other:?}"),
         }

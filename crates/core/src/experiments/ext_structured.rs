@@ -1,0 +1,269 @@
+//! Extension — accuracy vs. density across sparsity patterns.
+//!
+//! The paper prunes coarse blocks only; ROADMAP item 3 adds the two
+//! hardware-native structured patterns (2:4 semi-structured and
+//! bank-balanced). This experiment asks what those patterns *cost in
+//! accuracy* at matched density: the same trained CNN is pruned under
+//! each pattern, fine-tuned with mask-preserving SGD, and re-evaluated.
+//! Coarse pruning picks the globally best blocks for a density target;
+//! 2:4 and bank-balanced must keep survivors evenly spread across
+//! every input group, so they trade selection freedom for the
+//! branch-free kernels benchmarked in `exp_kernels`.
+//!
+//! Only the FC layers are pattern-pruned (the structured formats and
+//! kernels are FC-side); conv layers stay dense so the comparison
+//! isolates the pattern effect.
+
+use cs_nn::data::{self, Dataset};
+use cs_nn::network::{LayerKind, Network};
+use cs_nn::train::{accuracy, LayerMasks, TrainConfig, Trainer};
+use cs_sparsity::coarse::{self, CoarseConfig, PruneMetric};
+use cs_sparsity::{structured, PruneMode};
+use cs_tensor::TensorError;
+
+use crate::render_table;
+
+/// How the FC layers of one experiment arm are pruned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternArm {
+    /// Coarse 4x4 block pruning to the given density (the baseline the
+    /// structured patterns are judged against).
+    Coarse(f64),
+    /// A structured pattern; its density is fixed by the pattern.
+    Structured(PruneMode),
+}
+
+impl PatternArm {
+    /// Human-readable arm label.
+    pub fn label(&self) -> String {
+        match self {
+            PatternArm::Coarse(d) => format!("coarse@{:.2}", d),
+            PatternArm::Structured(PruneMode::BankBalanced { bank, k }) => {
+                format!("bank{bank}:{k}")
+            }
+            PatternArm::Structured(m) => m.name().to_string(),
+        }
+    }
+}
+
+/// One pattern's data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternPoint {
+    /// Arm label (`coarse@0.50`, `two_four`, `bank16:8`, ...).
+    pub label: String,
+    /// Exact FC density actually kept (counted from the masks).
+    pub density: f64,
+    /// Accuracy after pruning + mask-preserving fine-tuning.
+    pub accuracy: f64,
+}
+
+/// Result of the structured-pattern accuracy experiment.
+#[derive(Debug, Clone)]
+pub struct ExtStructuredResult {
+    /// Accuracy of the unpruned trained model.
+    pub base_accuracy: f64,
+    /// One point per arm, in the order run.
+    pub points: Vec<PatternPoint>,
+}
+
+impl ExtStructuredResult {
+    /// Renders the pattern/density/accuracy table.
+    pub fn render(&self) -> String {
+        let header = ["pattern", "fc density%", "accuracy", "delta vs base"];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.label.clone(),
+                    format!("{:.2}", 100.0 * p.density),
+                    format!("{:.3}", p.accuracy),
+                    format!("{:+.3}", p.accuracy - self.base_accuracy),
+                ]
+            })
+            .collect();
+        format!(
+            "Ext: accuracy vs density across sparsity patterns (base accuracy {:.3})\n{}",
+            self.base_accuracy,
+            render_table(&header, &rows)
+        )
+    }
+}
+
+/// Experiment parameters (shrink for smoke tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtStructuredParams {
+    /// Training-set size.
+    pub samples: usize,
+    /// Image side (single channel).
+    pub image_side: usize,
+    /// Classes.
+    pub classes: usize,
+    /// Base-training epochs.
+    pub train_epochs: usize,
+    /// Fine-tuning epochs after each pruning.
+    pub finetune_epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExtStructuredParams {
+    /// Full-size run (minutes in release builds).
+    pub fn full() -> Self {
+        ExtStructuredParams {
+            samples: 240,
+            image_side: 12,
+            classes: 4,
+            train_epochs: 15,
+            finetune_epochs: 8,
+            seed: 11,
+        }
+    }
+
+    /// Tiny smoke-test configuration.
+    pub fn smoke() -> Self {
+        ExtStructuredParams {
+            samples: 48,
+            image_side: 8,
+            classes: 2,
+            train_epochs: 5,
+            finetune_epochs: 2,
+            seed: 11,
+        }
+    }
+}
+
+/// The arms every run compares: each structured pattern next to a
+/// coarse baseline at the same density (2:4 and bank 16:8 both keep
+/// 50%; bank 16:4 keeps 25%).
+pub fn arms() -> Vec<PatternArm> {
+    vec![
+        PatternArm::Coarse(0.50),
+        PatternArm::Structured(PruneMode::TwoFour),
+        PatternArm::Structured(PruneMode::BankBalanced { bank: 16, k: 8 }),
+        PatternArm::Coarse(0.25),
+        PatternArm::Structured(PruneMode::BankBalanced { bank: 16, k: 4 }),
+    ]
+}
+
+/// Prunes the FC layers under one arm; returns the per-layer masks and
+/// the exact FC density kept.
+fn prune_fc(net: &mut Network, arm: &PatternArm) -> Result<(LayerMasks, f64), TensorError> {
+    let mut masks: LayerMasks = Vec::with_capacity(net.layers().len());
+    let (mut kept, mut total) = (0usize, 0usize);
+    for layer in net.layers_mut() {
+        let is_fc = matches!(layer.kind, LayerKind::FullyConnected { .. });
+        match (is_fc, layer.weights_mut()) {
+            (true, Some(w)) => {
+                let mask = match arm {
+                    PatternArm::Coarse(d) => coarse::prune_to_density(
+                        w,
+                        &CoarseConfig::fc(4, 4, PruneMetric::Average),
+                        *d,
+                    )?,
+                    PatternArm::Structured(mode) => structured::structured_mask(w, mode)?,
+                };
+                mask.apply(w);
+                kept += mask.bits().iter().filter(|b| **b).count();
+                total += mask.bits().len();
+                masks.push(Some(mask.bits().to_vec()));
+            }
+            _ => masks.push(None),
+        }
+    }
+    let density = if total == 0 {
+        0.0
+    } else {
+        kept as f64 / total as f64
+    };
+    Ok((masks, density))
+}
+
+fn finetune(
+    net: &mut Network,
+    data: &Dataset,
+    masks: &LayerMasks,
+    epochs: usize,
+) -> Result<(), TensorError> {
+    let mut tr = Trainer::new(
+        net,
+        TrainConfig {
+            lr: 0.02,
+            ..TrainConfig::default()
+        },
+    );
+    for _ in 0..epochs {
+        tr.epoch(net, data, Some(masks))?;
+    }
+    Ok(())
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates training/shape errors.
+pub fn run(p: &ExtStructuredParams) -> Result<ExtStructuredResult, TensorError> {
+    let ds = data::images(
+        p.samples,
+        (1, p.image_side, p.image_side),
+        p.classes,
+        0.25,
+        p.seed,
+    );
+    let mut base = Network::small_cnn("ext-s", (1, p.image_side, p.image_side), p.classes, p.seed);
+    let mut tr = Trainer::new(
+        &base,
+        TrainConfig {
+            lr: 0.05,
+            ..TrainConfig::default()
+        },
+    );
+    for _ in 0..p.train_epochs {
+        tr.epoch(&mut base, &ds, None)?;
+    }
+    let base_accuracy = accuracy(&base, &ds)?;
+
+    let mut points = Vec::new();
+    for arm in arms() {
+        let mut net = base.clone();
+        let (masks, density) = prune_fc(&mut net, &arm)?;
+        finetune(&mut net, &ds, &masks, p.finetune_epochs)?;
+        points.push(PatternPoint {
+            label: arm.label(),
+            density,
+            accuracy: accuracy(&net, &ds)?,
+        });
+    }
+    Ok(ExtStructuredResult {
+        base_accuracy,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_reports_exact_pattern_densities() {
+        let r = run(&ExtStructuredParams::smoke()).unwrap();
+        assert!(r.base_accuracy > 0.6, "base {}", r.base_accuracy);
+        assert_eq!(r.points.len(), arms().len());
+        for p in &r.points {
+            assert!((0.0..=1.0).contains(&p.accuracy), "{p:?}");
+        }
+        // The smoke CNN's FC widths divide evenly by 4 and 16, so the
+        // structured arms keep *exactly* their pattern density.
+        let by_label = |l: &str| {
+            r.points
+                .iter()
+                .find(|p| p.label == l)
+                .unwrap_or_else(|| panic!("missing arm {l}"))
+        };
+        assert_eq!(by_label("two_four").density, 0.5);
+        assert_eq!(by_label("bank16:8").density, 0.5);
+        assert_eq!(by_label("bank16:4").density, 0.25);
+        assert!(r.render().contains("accuracy vs density"));
+    }
+}

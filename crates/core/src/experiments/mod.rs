@@ -24,11 +24,13 @@
 //! | Extension: compression DSE | [`ext_dse`] |
 //! | Extension: measured Table I capability matrix | [`ext_table1`] |
 //! | Extension: PE-array scaling | [`ext_scaling`] |
+//! | Extension: structured-pattern accuracy | [`ext_structured`] |
 
 pub mod disc;
 pub mod ext_dse;
 pub mod ext_entropy;
 pub mod ext_scaling;
+pub mod ext_structured;
 pub mod ext_table1;
 pub mod fig01;
 pub mod fig04;

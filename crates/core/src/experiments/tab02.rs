@@ -12,6 +12,7 @@ use cs_compress::config::{EntropyCoder, LayerCompressionConfig, ModelCompression
 use cs_compress::pipeline::{compress_model, ModelReport};
 use cs_nn::spec::{LayerClass, Model, NetworkSpec, Scale};
 use cs_sparsity::coarse::{CoarseConfig, PruneMetric};
+use cs_sparsity::PruneMode;
 
 use crate::render_table;
 
@@ -103,6 +104,7 @@ pub fn run(scale: Scale, seed: u64) -> Result<Tab02Result, cs_compress::Compress
         let (cd, fd) = density_schedule(n);
         let cfg = ModelCompressionConfig {
             conv: LayerCompressionConfig {
+                mode: PruneMode::Coarse,
                 coarse: CoarseConfig::conv(1, n, 1, 1, PruneMetric::Average),
                 target_density: cd,
                 quant_bits: 8,
@@ -110,6 +112,7 @@ pub fn run(scale: Scale, seed: u64) -> Result<Tab02Result, cs_compress::Compress
                 entropy: EntropyCoder::Huffman,
             },
             fc: LayerCompressionConfig {
+                mode: PruneMode::Coarse,
                 coarse: CoarseConfig::fc(n, n, PruneMetric::Average),
                 target_density: fd,
                 quant_bits: 4,

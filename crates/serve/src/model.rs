@@ -14,12 +14,13 @@ use std::sync::Arc;
 use cs_accel::exec::validate_layer;
 use cs_accel::pe::Activation;
 use cs_compress::config::ModelCompressionConfig;
-use cs_compress::engine::CompiledFcLayer;
-use cs_compress::format::SharedIndexLayer;
+use cs_compress::engine::FcKernel;
+use cs_compress::format::{BankBalancedFcLayer, FcLayerFormat, SharedIndexLayer, TwoFourFcLayer};
 use cs_compress::pipeline::prune_layer;
 use cs_compress::CompressError;
 use cs_nn::init::{self, ConvergenceProfile};
 use cs_nn::spec::{LayerSpecKind, Model, NetworkSpec, Scale};
+use cs_sparsity::PruneMode;
 use cs_tensor::{ops, Shape, Tensor};
 
 use crate::error::ServeError;
@@ -34,7 +35,10 @@ pub struct ServableModel {
     /// Registry name clients address requests to.
     pub name: String,
     /// Compressed layers in execution order, each with its activation.
-    pub layers: Vec<(SharedIndexLayer, Activation)>,
+    /// The format follows the layer's pruning mode: shared-index for
+    /// coarse pruning, packed 2:4 or bank-balanced metadata for the
+    /// structured modes.
+    pub layers: Vec<(FcLayerFormat, Activation)>,
     /// Input width of the first layer.
     pub n_in: usize,
     /// Output width of the last layer.
@@ -62,7 +66,7 @@ impl ServableModel {
         seed: u64,
     ) -> Result<Self, ServeError> {
         let name = name.into();
-        let mut layers: Vec<(SharedIndexLayer, Activation)> = Vec::new();
+        let mut layers: Vec<(FcLayerFormat, Activation)> = Vec::new();
         let weighted: Vec<_> = spec.weighted_layers().collect();
         let count = weighted.len();
         for (i, layer) in weighted.into_iter().enumerate() {
@@ -76,12 +80,12 @@ impl ServableModel {
                 }
             };
             if let Some((prev, _)) = layers.last() {
-                if prev.n_out != n_in {
+                if prev.n_out() != n_in {
                     return Err(ServeError::InvalidConfig(format!(
                         "layer {:?} expects {} inputs but previous layer produces {}",
                         layer.name(),
                         n_in,
-                        prev.n_out
+                        prev.n_out()
                     )));
                 }
             }
@@ -89,22 +93,30 @@ impl ServableModel {
             let profile = ConvergenceProfile::with_target_density(lc.target_density);
             let weights = init::materialize(layer, &profile, seed.wrapping_add(i as u64));
             let mask = prune_layer(&weights, lc)?;
-            let sil = SharedIndexLayer::from_fc(
-                layer.name(),
-                &weights,
-                &mask,
-                GROUP_SIZE,
-                lc.quant_bits,
-            )?;
+            let format = match lc.mode {
+                PruneMode::Coarse => FcLayerFormat::Shared(SharedIndexLayer::from_fc(
+                    layer.name(),
+                    &weights,
+                    &mask,
+                    GROUP_SIZE,
+                    lc.quant_bits,
+                )?),
+                PruneMode::TwoFour => {
+                    FcLayerFormat::TwoFour(TwoFourFcLayer::from_fc(layer.name(), &weights, &mask)?)
+                }
+                PruneMode::BankBalanced { bank, k } => FcLayerFormat::BankBalanced(
+                    BankBalancedFcLayer::from_fc(layer.name(), &weights, &mask, bank, k)?,
+                ),
+            };
             let activation = if i + 1 == count {
                 Activation::None
             } else {
                 Activation::Relu
             };
-            layers.push((sil, activation));
+            layers.push((format, activation));
         }
         let (n_in, n_out) = match (layers.first(), layers.last()) {
-            (Some((first, _)), Some((last, _))) => (first.n_in, last.n_out),
+            (Some((first, _)), Some((last, _))) => (first.n_in(), last.n_out()),
             _ => {
                 return Err(ServeError::InvalidConfig(format!(
                     "network {:?} has no weighted layers",
@@ -132,16 +144,41 @@ impl ServableModel {
         ServableModel::from_spec("mlp", &spec, &cfg, seed)
     }
 
-    /// Lowers the model onto the block-CSR sparse engine: one
-    /// [`CompiledFcLayer`] per shared-index layer, surviving weights
-    /// only.
+    /// The stock MLP pruned with a structured mode on every FC layer
+    /// instead of the paper's coarse blocks. The registry name carries
+    /// the mode (`"mlp-two_four"`, `"mlp-bank_balanced"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compression failures (e.g. invalid bank geometry).
+    pub fn mlp_with_mode(mode: PruneMode, scale: Scale, seed: u64) -> Result<Self, ServeError> {
+        let spec = NetworkSpec::model(Model::Mlp, scale);
+        let mut cfg = ModelCompressionConfig::paper(Model::Mlp);
+        cfg.fc.mode = mode;
+        ServableModel::from_spec(format!("mlp-{}", mode.name()), &spec, &cfg, seed)
+    }
+
+    /// The layers bridged to the shared-index view the accelerator
+    /// simulator executes (exact for structured formats — identity
+    /// codebooks, no quantization loss). Simulator-backed workers build
+    /// this once at spawn.
+    pub fn shared_layers(&self) -> Vec<(SharedIndexLayer, Activation)> {
+        self.layers
+            .iter()
+            .map(|(format, act)| (format.to_shared(), *act))
+            .collect()
+    }
+
+    /// Lowers the model onto the specialized sparse engines: one
+    /// [`FcKernel`] per layer — block-CSR for shared-index layers,
+    /// branch-free fixed-fan-in kernels for the structured formats.
     pub fn sparse_lane(&self) -> CompiledLane {
         let layers = self
             .layers
             .iter()
-            .map(|(sil, act)| LaneLayer {
-                name: sil.name.clone(),
-                kernel: LaneKernel::Sparse(CompiledFcLayer::from_shared(sil)),
+            .map(|(format, act)| LaneLayer {
+                name: format.name().to_string(),
+                kernel: LaneKernel::Sparse(FcKernel::compile(format)),
                 activation: *act,
             })
             .collect();
@@ -151,15 +188,15 @@ impl ServableModel {
     /// The dense reference twin of [`ServableModel::sparse_lane`]: each
     /// layer's weights decoded to a full `n_in × n_out` tensor with
     /// pruned positions stored as explicit zeros. Because both lanes
-    /// decode the same codebooks, their outputs are bit-identical on
+    /// decode the same values, their outputs are bit-identical on
     /// finite inputs (see [`cs_compress::engine`] for the argument).
     pub fn dense_lane(&self) -> CompiledLane {
         let layers = self
             .layers
             .iter()
-            .map(|(sil, act)| LaneLayer {
-                name: sil.name.clone(),
-                kernel: LaneKernel::Dense(CompiledFcLayer::from_shared(sil).to_dense()),
+            .map(|(format, act)| LaneLayer {
+                name: format.name().to_string(),
+                kernel: LaneKernel::Dense(FcKernel::compile(format).to_dense()),
                 activation: *act,
             })
             .collect();
@@ -170,17 +207,19 @@ impl ServableModel {
 /// A kernel an engine-backed worker lane runs for one layer.
 #[derive(Debug, Clone)]
 pub enum LaneKernel {
-    /// Block-CSR sparse kernel over the surviving weights.
-    Sparse(CompiledFcLayer),
+    /// A sparse kernel over the surviving weights: block-CSR or one of
+    /// the specialized structured kernels, per the layer's format.
+    Sparse(FcKernel),
     /// Dense matmul over the decoded twin weights (`n_in × n_out`).
     Dense(Tensor),
 }
 
 impl LaneKernel {
-    /// `"sparse"` or `"dense"` — the telemetry `kernel` label.
+    /// The telemetry `kernel` label: `"sparse"`, `"two_four"` or
+    /// `"bank_balanced"` for sparse kernels, `"dense"` for the twin.
     pub fn kind(&self) -> &'static str {
         match self {
-            LaneKernel::Sparse(_) => "sparse",
+            LaneKernel::Sparse(kernel) => kernel.kind(),
             LaneKernel::Dense(_) => "dense",
         }
     }
@@ -281,7 +320,9 @@ impl ModelRegistry {
             )));
         }
         for (layer, _) in &model.layers {
-            validate_layer(layer)?;
+            // Structured formats validate through their exact shared-index
+            // bridge, so one structural contract covers every format.
+            validate_layer(&layer.to_shared())?;
         }
         let idx = self.models.len();
         self.by_name.insert(model.name.clone(), idx);
@@ -332,13 +373,54 @@ mod tests {
     fn mlp_compiles_and_runs_end_to_end() {
         let m = ServableModel::mlp(Scale::Reduced(8), 7).unwrap();
         assert_eq!(m.layers.len(), 3);
-        assert_eq!(m.n_in, m.layers[0].0.n_in);
-        assert_eq!(m.n_out, m.layers.last().unwrap().0.n_out);
+        assert_eq!(m.n_in, m.layers[0].0.n_in());
+        assert_eq!(m.n_out, m.layers.last().unwrap().0.n_out());
         let accel = Accelerator::new(AccelConfig::paper_default());
         let input = vec![0.5f32; m.n_in];
-        let run = accel.run_network(&m.layers, &input).unwrap();
+        let run = accel.run_network(&m.shared_layers(), &input).unwrap();
         assert_eq!(run.outputs.len(), m.n_out);
         assert!(run.stats.cycles > 0);
+    }
+
+    #[test]
+    fn structured_mlps_compile_serve_lanes_and_register() {
+        for mode in [
+            PruneMode::TwoFour,
+            PruneMode::BankBalanced { bank: 8, k: 2 },
+        ] {
+            let m = ServableModel::mlp_with_mode(mode, Scale::Reduced(8), 7).unwrap();
+            assert_eq!(m.name, format!("mlp-{}", mode.name()));
+            for (format, _) in &m.layers {
+                assert_eq!(format.kind(), mode.name());
+            }
+            let sparse = m.sparse_lane();
+            assert!(sparse.layers.iter().all(|l| l.kernel.kind() == mode.name()));
+            let dense = m.dense_lane();
+            let input: Vec<f32> = (0..m.n_in)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        0.0
+                    } else {
+                        i as f32 * 0.01 - 0.4
+                    }
+                })
+                .collect();
+            let a = sparse.forward(&input).unwrap();
+            let b = dense.forward(&input).unwrap();
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "mode {:?}", mode);
+            // The shared-index bridge is exact (identity codebooks), so
+            // the simulator path admits structured models and agrees
+            // with the lanes up to accumulation-order rounding.
+            let mut reg = ModelRegistry::new();
+            reg.register(m.clone()).unwrap();
+            let accel = Accelerator::new(AccelConfig::paper_default());
+            let run = accel.run_network(&m.shared_layers(), &input).unwrap();
+            assert_eq!(run.outputs.len(), a.len());
+            for (x, y) in run.outputs.iter().zip(&a) {
+                assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0), "mode {:?}", mode);
+            }
+        }
     }
 
     #[test]
@@ -369,8 +451,8 @@ mod tests {
         let sparse = m.sparse_lane();
         let dense = m.dense_lane();
         assert_eq!(sparse.layers.len(), m.layers.len());
-        for (lane_layer, (sil, act)) in sparse.layers.iter().zip(&m.layers) {
-            assert_eq!(lane_layer.name, sil.name);
+        for (lane_layer, (format, act)) in sparse.layers.iter().zip(&m.layers) {
+            assert_eq!(lane_layer.name, format.name());
             assert_eq!(lane_layer.kernel.kind(), "sparse");
             assert_eq!(lane_layer.activation, *act);
         }
@@ -398,7 +480,12 @@ mod tests {
     fn registration_runs_structural_validation() {
         let mut m = ServableModel::mlp(Scale::Reduced(8), 7).unwrap();
         // Corrupt a group's shared index so validation must trip.
-        m.layers[0].0.groups[0].index.pop();
+        match &mut m.layers[0].0 {
+            FcLayerFormat::Shared(sil) => {
+                sil.groups[0].index.pop();
+            }
+            other => panic!("coarse MLP should compile to Shared, got {}", other.kind()),
+        }
         let mut reg = ModelRegistry::new();
         assert!(matches!(reg.register(m), Err(ServeError::Accel(_))));
     }

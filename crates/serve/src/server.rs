@@ -540,6 +540,15 @@ impl Server {
         let emulate = cfg.emulate_hw_time;
         let freq_ghz = cfg.freq_ghz;
         let node = cfg.node.clone();
+        // Simulator workers execute the shared-index bridge view of
+        // each model (exact for structured formats); build it once at
+        // spawn so the request path never re-derives it.
+        let sim_layers = match cfg.backend {
+            ExecBackend::Simulator => {
+                Some(models.iter().map(|m| m.shared_layers()).collect::<Vec<_>>())
+            }
+            _ => None,
+        };
         // Engine backends lower every model once at spawn (weights
         // decoded, strips built, histograms registered) so the request
         // path only runs kernels and observes spans.
@@ -619,10 +628,24 @@ impl Server {
                     };
                     let mut results = Vec::with_capacity(batch_size);
                     let mut batch_cycles = 0u64;
-                    match &lanes {
-                        None => {
+                    match (&lanes, &sim_layers) {
+                        (None, None) => {
+                            // Spawn builds simulator layers whenever no
+                            // engine lanes exist, so this is
+                            // unreachable; answer rather than assert.
                             for job in batch.items {
-                                match accel.run_network(&model.layers, &job.input) {
+                                let _ = job.reply.send(Err(ServeError::UnknownModel(format!(
+                                    "#{} (no execution backend)",
+                                    batch.model
+                                ))));
+                                stats.record_failure();
+                            }
+                            continue;
+                        }
+                        (None, Some(sim_layers)) => {
+                            let layers = &sim_layers[batch.model];
+                            for job in batch.items {
+                                match accel.run_network(layers, &job.input) {
                                     Ok(run) => {
                                         let cycles = run.stats.cycles;
                                         let energy_pj =
@@ -636,7 +659,7 @@ impl Server {
                                 }
                             }
                         }
-                        Some(lanes) => {
+                        (Some(lanes), _) => {
                             // Engine lanes run real host kernels: no
                             // simulated hardware cost to report, but
                             // every layer's wall time lands in its
@@ -864,7 +887,9 @@ mod tests {
             .infer(InferRequest::new("mlp", input.clone()))
             .expect("infer");
         let accel = Accelerator::new(AccelConfig::paper_default());
-        let direct = accel.run_network(&model.layers, &input).expect("direct");
+        let direct = accel
+            .run_network(&model.shared_layers(), &input)
+            .expect("direct");
         assert_eq!(resp.outputs, direct.outputs);
         assert_eq!(resp.cycles, direct.stats.cycles);
         assert!(resp.energy_pj > 0.0);
@@ -1078,6 +1103,53 @@ mod tests {
     }
 
     #[test]
+    fn structured_models_serve_with_mode_labeled_kernel_telemetry() {
+        use crate::clock::ManualClock;
+        use cs_nn::spec::Scale;
+        use cs_sparsity::PruneMode;
+        use cs_telemetry::Registry;
+        for mode in [
+            PruneMode::TwoFour,
+            PruneMode::BankBalanced { bank: 8, k: 2 },
+        ] {
+            let model = ServableModel::mlp_with_mode(mode, Scale::Reduced(8), 7).expect("model");
+            let name = model.name.clone();
+            let mut reg = ModelRegistry::new();
+            reg.register(model.clone()).expect("register");
+            let registry = Arc::new(Registry::new());
+            let clock = Arc::new(ManualClock::new(0));
+            let cfg = ServeConfig {
+                backend: ExecBackend::Sparse,
+                workers: 1,
+                max_wait_us: 0,
+                ..ServeConfig::default()
+            };
+            let server =
+                Server::start_with_recorder(reg, cfg, clock, registry.clone()).expect("start");
+            let resp = server
+                .infer(InferRequest::new(&name, input_for(&model, 3)))
+                .expect("infer");
+            assert_eq!(resp.outputs.len(), model.n_out);
+            assert_eq!(resp.cycles, 0);
+            server.shutdown();
+            // Every layer's histogram carries the structured kernel label.
+            for (format, _) in &model.layers {
+                let h = registry
+                    .find_histogram(
+                        "serve_layer_kernel_us",
+                        &[
+                            ("model", &name),
+                            ("layer", format.name()),
+                            ("kernel", mode.name()),
+                        ],
+                    )
+                    .expect("structured per-layer histogram registered");
+                assert_eq!(h.count(), 1);
+            }
+        }
+    }
+
+    #[test]
     fn engine_lane_populates_per_layer_kernel_histograms() {
         use crate::clock::ManualClock;
         use cs_telemetry::Registry;
@@ -1097,11 +1169,15 @@ mod tests {
                 .expect("infer");
         }
         server.shutdown();
-        for (sil, _) in &model.layers {
+        for (format, _) in &model.layers {
             let h = registry
                 .find_histogram(
                     "serve_layer_kernel_us",
-                    &[("model", "mlp"), ("layer", &sil.name), ("kernel", "sparse")],
+                    &[
+                        ("model", "mlp"),
+                        ("layer", format.name()),
+                        ("kernel", "sparse"),
+                    ],
                 )
                 .expect("per-layer histogram registered");
             assert_eq!(h.count(), 4);
@@ -1112,7 +1188,7 @@ mod tests {
                 "serve_layer_kernel_us",
                 &[
                     ("model", "mlp"),
-                    ("layer", &model.layers[0].0.name),
+                    ("layer", model.layers[0].0.name()),
                     ("kernel", "dense"),
                 ],
             )

@@ -9,6 +9,9 @@
 //!   of synapses are pruned together under a *max* or *average* metric,
 //!   which is what makes the surviving indexes regular enough to share
 //!   across processing elements.
+//! * [`structured`] — hardware-native structured patterns beyond the
+//!   paper: 2:4 semi-structured and bank-balanced selection with fixed
+//!   fan-in per micro-range ([`PruneMode`]).
 //! * [`stats`] — static synapse/neuron sparsity and dynamic neuron
 //!   sparsity (the paper's SSS / SNS / DNS, Table III).
 //! * [`convergence`] — the local-convergence analysis behind Fig. 1 and
@@ -32,6 +35,8 @@ pub mod fine;
 pub mod indexing;
 pub mod mask;
 pub mod stats;
+pub mod structured;
 
 pub use coarse::{CoarseConfig, PruneMetric};
 pub use mask::Mask;
+pub use structured::PruneMode;

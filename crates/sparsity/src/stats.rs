@@ -10,9 +10,10 @@
 //!
 //! The paper reports all three as "ratio of remaining to total".
 
-use cs_tensor::Tensor;
+use cs_tensor::{Shape, Tensor};
 
 use crate::mask::Mask;
+use crate::structured::{self, PruneMode};
 
 /// Per-layer sparsity report.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +73,24 @@ pub fn report(mask: &Mask, activations: Option<&[Tensor]>) -> SparsityReport {
     }
 }
 
+/// Exact density a pruning mode yields over `shape`.
+///
+/// Structured modes have geometry-determined densities — exactly 0.5 for
+/// 2:4 on widths divisible by 4, `k/bank` for full banks, closed-form
+/// ragged-tail corrections otherwise — so they are reported from the
+/// pattern itself, never estimated from block counts. `Coarse` has no
+/// geometric density; callers fall back to the mask's measured density.
+pub fn pattern_density(mode: &PruneMode, shape: &Shape) -> Option<f64> {
+    structured::expected_density(mode, shape)
+}
+
+/// SSS for a mode-pruned mask: the exact pattern density for structured
+/// modes (which [`pattern_density`] derives from geometry alone), the
+/// measured mask density for `Coarse`.
+pub fn mode_synapse_sparsity(mode: &PruneMode, mask: &Mask) -> f64 {
+    pattern_density(mode, mask.shape()).unwrap_or_else(|| synapse_sparsity(mask))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +131,48 @@ mod tests {
     #[test]
     fn dns_empty_is_zero() {
         assert_eq!(dynamic_neuron_sparsity(&[]), 0.0);
+    }
+
+    #[test]
+    fn structured_densities_are_exact_not_estimated() {
+        // Regression: structured modes must report closed-form pattern
+        // densities, not block-derived estimates.
+        assert_eq!(
+            pattern_density(&PruneMode::TwoFour, &Shape::d2(1024, 256)),
+            Some(0.5)
+        );
+        assert_eq!(
+            pattern_density(
+                &PruneMode::BankBalanced { bank: 8, k: 2 },
+                &Shape::d2(64, 16)
+            ),
+            Some(0.25)
+        );
+        assert_eq!(
+            pattern_density(
+                &PruneMode::BankBalanced { bank: 16, k: 4 },
+                &Shape::d2(32, 8)
+            ),
+            Some(0.25)
+        );
+        // Ragged 2:4 tail: 17 inputs -> 4 full groups * 2 + min(2, 1).
+        assert_eq!(
+            pattern_density(&PruneMode::TwoFour, &Shape::d2(17, 4)),
+            Some(9.0 / 17.0)
+        );
+        // Coarse has no geometric density.
+        assert_eq!(
+            pattern_density(&PruneMode::Coarse, &Shape::d2(16, 16)),
+            None
+        );
+
+        // And the exact value agrees with an actually pruned mask.
+        let w = Tensor::from_fn(Shape::d2(20, 6), |i| ((i * 37) % 101) as f32 / 101.0 - 0.5);
+        let m = crate::structured::two_four_mask(&w).unwrap();
+        assert_eq!(mode_synapse_sparsity(&PruneMode::TwoFour, &m), 0.5);
+        assert_eq!(mode_synapse_sparsity(&PruneMode::TwoFour, &m), m.density());
+        // Coarse falls back to the measured density.
+        assert_eq!(mode_synapse_sparsity(&PruneMode::Coarse, &m), m.density());
     }
 
     #[test]

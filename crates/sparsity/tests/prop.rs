@@ -2,7 +2,7 @@
 
 use cs_sparsity::coarse::{self, CoarseConfig, PruneMetric};
 use cs_sparsity::indexing::{self, StepIndex};
-use cs_sparsity::{fine, stats, Mask};
+use cs_sparsity::{fine, stats, structured, Mask, PruneMode};
 use cs_tensor::{Shape, Tensor};
 use proptest::prelude::*;
 
@@ -167,5 +167,85 @@ proptest! {
         let filtered: Vec<f32> = w.as_slice().iter().zip(mask.bits())
             .filter(|(_, b)| **b).map(|(v, _)| *v).collect();
         prop_assert_eq!(compact, filtered);
+    }
+
+    /// 2:4 keeps exactly min(2, group length) survivors in every group of
+    /// 4 inputs of every output lane — even with tied magnitudes and
+    /// all-zero groups, where the deterministic (|w| desc, index asc)
+    /// ranking must still pick a unique pair.
+    #[test]
+    fn two_four_keeps_exactly_two_per_group(
+        rows in 1usize..40, cols in 1usize..12,
+        levels in proptest::collection::vec(0u8..4, 1..64))
+    {
+        // Tie-prone weights: only four distinct magnitudes, zeros common.
+        let w = Tensor::from_fn(Shape::d2(rows, cols), |i| {
+            (f32::from(levels[i % levels.len()]) - 1.0) * 0.25
+        });
+        let mask = structured::two_four_mask(&w).unwrap();
+        prop_assert!(structured::satisfies_pattern(&mask, 4, 2));
+        for o in 0..cols {
+            for g0 in (0..rows).step_by(4) {
+                let glen = (rows - g0).min(4);
+                let kept = (g0..g0 + glen).filter(|i| mask.bits()[i * cols + o]).count();
+                prop_assert_eq!(kept, glen.min(2), "lane {} group {}", o, g0);
+            }
+        }
+    }
+
+    /// Bank-balanced pruning keeps exactly min(k, bank length) survivors
+    /// in every bank of every lane, for any geometry.
+    #[test]
+    fn bank_balanced_keeps_exactly_k_per_bank(
+        rows in 1usize..40, cols in 1usize..10,
+        bank in 2usize..12, k in 1usize..12, seed in 0u64..200)
+    {
+        prop_assume!(k <= bank);
+        let w = weights(rows, cols, seed);
+        let mask = structured::bank_balanced_mask(&w, bank, k).unwrap();
+        prop_assert!(structured::satisfies_pattern(&mask, bank, k));
+        for o in 0..cols {
+            for b0 in (0..rows).step_by(bank) {
+                let blen = (rows - b0).min(bank);
+                let kept = (b0..b0 + blen).filter(|i| mask.bits()[i * cols + o]).count();
+                prop_assert_eq!(kept, blen.min(k), "lane {} bank {}", o, b0);
+            }
+        }
+    }
+
+    /// Structured pruning is idempotent: zeroing the pruned weights and
+    /// re-pruning reproduces the same mask (survivors outrank the zeros
+    /// they displaced, and kept zeros stay the lowest-index zeros).
+    #[test]
+    fn structured_prune_is_idempotent(
+        rows in 1usize..32, cols in 1usize..8, seed in 0u64..200,
+        bank in 2usize..9, k in 1usize..9)
+    {
+        prop_assume!(k <= bank);
+        for mode in [PruneMode::TwoFour, PruneMode::BankBalanced { bank, k }] {
+            let w = weights(rows, cols, seed);
+            let mask = structured::structured_mask(&w, &mode).unwrap();
+            let densified = Tensor::from_fn(w.shape().clone(), |i| {
+                if mask.bits()[i] { w.as_slice()[i] } else { 0.0 }
+            });
+            let again = structured::structured_mask(&densified, &mode).unwrap();
+            prop_assert_eq!(&again, &mask);
+        }
+    }
+
+    /// Geometric pattern density matches the measured density of an
+    /// actually pruned mask, for every shape.
+    #[test]
+    fn pattern_density_matches_measured(
+        rows in 1usize..48, cols in 1usize..10, seed in 0u64..100,
+        bank in 2usize..9, k in 1usize..9)
+    {
+        prop_assume!(k <= bank);
+        for mode in [PruneMode::TwoFour, PruneMode::BankBalanced { bank, k }] {
+            let w = weights(rows, cols, seed);
+            let mask = structured::structured_mask(&w, &mode).unwrap();
+            let geo = stats::pattern_density(&mode, w.shape()).unwrap();
+            prop_assert!((geo - mask.density()).abs() < 1e-12);
+        }
     }
 }

@@ -31,7 +31,7 @@ fn concurrent_clients_get_exactly_one_bit_identical_response_each() {
     const PER_CLIENT: usize = 12;
 
     let model = ServableModel::mlp(Scale::Reduced(8), SEED).expect("mlp compiles");
-    let layers = model.layers.clone();
+    let layers = model.shared_layers();
     let n_in = model.n_in;
     let mut registry = ModelRegistry::new();
     registry.register(model).expect("register");
@@ -170,8 +170,8 @@ fn multi_model_batches_route_responses_to_the_right_client() {
     let mlp_a = ServableModel::mlp(Scale::Reduced(8), SEED).expect("mlp a");
     let mut spec_b = ServableModel::mlp(Scale::Reduced(8), SEED ^ 0xABCD).expect("mlp b");
     spec_b.name = "mlp-b".to_string();
-    let layers_a = mlp_a.layers.clone();
-    let layers_b = spec_b.layers.clone();
+    let layers_a = mlp_a.shared_layers();
+    let layers_b = spec_b.shared_layers();
     let n_in = mlp_a.n_in;
     let mut registry = ModelRegistry::new();
     registry.register(mlp_a).expect("register a");
