@@ -1,0 +1,17 @@
+//! Regenerates the dynamic-activation-sparsity gate sweep.
+use cambricon_s::experiments::ext_actsparsity::{self, ExtActSparsityParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let p = if quick {
+        ExtActSparsityParams::smoke()
+    } else {
+        ExtActSparsityParams::full()
+    };
+    let r = ext_actsparsity::run(&p).expect("sweep succeeds");
+    println!("{}", r.render());
+    if r.total_mismatches() > 0 {
+        eprintln!("FAIL: gated kernel diverged from the dense reference");
+        std::process::exit(2);
+    }
+}

@@ -36,6 +36,25 @@ pub fn structured_line(
     )
 }
 
+/// The `experiment:"gated"` line: the sparse FC kernel with and
+/// without the activation gate on one input kind (`"spiking"` for LIF
+/// frames, `"dense"` for fully-occupied inputs).
+#[allow(clippy::too_many_arguments)]
+pub fn gated_line(
+    input: &str,
+    n_in: usize,
+    n_out: usize,
+    block: usize,
+    skip_fraction: f64,
+    ungated_ns: f64,
+    gated_ns: f64,
+    speedup: f64,
+) -> String {
+    format!(
+        "{{\"experiment\":\"gated\",\"input\":\"{input}\",\"n_in\":{n_in},\"n_out\":{n_out},\"block\":{block},\"skip_fraction\":{skip_fraction:.4},\"ungated_ns\":{ungated_ns:.0},\"gated_ns\":{gated_ns:.0},\"speedup\":{speedup:.3}}}\n"
+    )
+}
+
 /// The `experiment:"conv"` line: dense vs sparse conv kernel timing.
 pub fn conv_line(
     fin: usize,
@@ -141,6 +160,7 @@ mod tests {
         for line in [
             fc_line(1, 2, 0.5, 1.0, 1.0, 1.0),
             structured_line("two_four", 1, 2, 0.5, 1.0, 1.0, 1.0),
+            gated_line("spiking", 1, 2, 8, 0.9, 1.0, 1.0, 1.0),
             conv_line(1, 2, 3, 1.0, 1.0, 1.0),
             matmul_line(1, 2, 1.0, 1.0, 1.0),
         ] {

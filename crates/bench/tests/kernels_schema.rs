@@ -16,7 +16,9 @@
 //! and commit the updated `tests/golden/kernels_schema.txt` together
 //! with the downstream consumers.
 
-use cs_bench::kernels_jsonl::{conv_line, fc_line, field_schema, matmul_line, structured_line};
+use cs_bench::kernels_jsonl::{
+    conv_line, fc_line, field_schema, gated_line, matmul_line, structured_line,
+};
 
 const GOLDEN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -33,6 +35,10 @@ fn current_schema() -> String {
         (
             "structured",
             structured_line("two_four", 256, 256, 0.5, 9_000.0, 4_000.0, 2.2),
+        ),
+        (
+            "gated",
+            gated_line("spiking", 1024, 1024, 8, 0.94, 8_000.0, 1_500.0, 5.3),
         ),
         ("conv", conv_line(16, 32, 14, 9_000.0, 3_000.0, 3.0)),
         ("matmul_scaling", matmul_line(160, 4, 8_000.0, 2_500.0, 3.2)),
@@ -73,6 +79,7 @@ fn every_line_declares_its_experiment_first() {
     for line in [
         fc_line(1, 1, 0.1, 1.0, 1.0, 1.0),
         structured_line("bank_balanced", 1, 1, 0.1, 1.0, 1.0, 1.0),
+        gated_line("dense", 1, 1, 8, 0.0, 1.0, 1.0, 1.0),
         conv_line(1, 1, 1, 1.0, 1.0, 1.0),
         matmul_line(1, 1, 1.0, 1.0, 1.0),
     ] {

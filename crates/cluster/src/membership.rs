@@ -161,11 +161,22 @@ impl Membership {
                 return Err(ClusterError::DuplicateWorker(name.to_string()));
             }
         }
-        let outstanding_gauge = self.recorder.gauge(
-            "cluster_worker_outstanding",
-            "Requests currently routed to this worker and not yet answered",
-            label("worker", name),
-        );
+        // A dead entry may still have live RAII leases (the sweeper can
+        // evict a worker mid-request). Carry its counter and gauge into
+        // the replacement so those leases' drops keep decrementing the
+        // pair the router now reads — a fresh counter would restart at
+        // zero and the stragglers would drive the shared gauge negative.
+        let (outstanding, outstanding_gauge) = match map.get(name) {
+            Some(old) => (Arc::clone(&old.outstanding), old.outstanding_gauge.clone()),
+            None => (
+                Arc::new(AtomicUsize::new(0)),
+                self.recorder.gauge(
+                    "cluster_worker_outstanding",
+                    "Requests currently routed to this worker and not yet answered",
+                    label("worker", name),
+                ),
+            ),
+        };
         let replaced = map.insert(
             name.to_string(),
             Entry {
@@ -173,7 +184,7 @@ impl Membership {
                 models,
                 state: WorkerState::Healthy,
                 last_seen_us: now,
-                outstanding: Arc::new(AtomicUsize::new(0)),
+                outstanding,
                 outstanding_gauge,
             },
         );
@@ -399,6 +410,58 @@ mod tests {
         assert!(m.mark_dead("a"));
         assert!(!m.mark_dead("a"), "second eviction is a no-op");
         assert!(m.pick("mlp", None).is_none());
+    }
+
+    #[test]
+    fn sweeper_eviction_with_a_live_lease_keeps_counters_consistent() {
+        let clock = Arc::new(ManualClock::new(0));
+        let registry = Arc::new(Registry::new());
+        let m = Membership::new(clock.clone(), 300_000, registry.clone());
+        m.register("a", "x", vec!["mlp".into()]).expect("a");
+        m.register("b", "y", vec!["mlp".into()]).expect("b");
+        let gauge = registry
+            .find_gauge("cluster_worker_outstanding", &[("worker", "a")])
+            .expect("gauge registered");
+
+        // Route a request to a, then let the sweeper mark a dead while
+        // the lease is still outstanding.
+        let lease = loop {
+            let l = m.pick("mlp", None).expect("pick");
+            if l.worker == "a" {
+                break l;
+            }
+        };
+        assert_eq!(gauge.get(), 1);
+        clock.advance(400_000);
+        assert!(m.heartbeat("b"));
+        assert_eq!(m.evict_expired(), vec!["a".to_string()]);
+
+        // The dead worker must never be routed to, even though its
+        // outstanding count (1) is the lowest after b takes traffic.
+        for _ in 0..4 {
+            let l = m.pick("mlp", None).expect("b still serves");
+            assert_eq!(l.worker, "b", "dead worker must not be picked");
+        }
+        // A failover retry that excludes the survivor finds no replica
+        // rather than falling back to the dead worker.
+        assert!(m.pick("mlp", Some("b")).is_none());
+
+        // The restarted worker re-registers while the old lease is
+        // still live: the replacement entry must inherit the counter
+        // and gauge so the straggler's drop reconciles against it.
+        m.register("a", "x2", vec!["mlp".into()]).expect("restart");
+        assert_eq!(gauge.get(), 1, "live lease still counts after restart");
+        drop(lease);
+        assert_eq!(gauge.get(), 0, "straggler drop reconciles");
+        let l = loop {
+            let l = m.pick("mlp", None).expect("pick");
+            if l.worker == "a" {
+                break l;
+            }
+        };
+        assert_eq!(gauge.get(), 1);
+        drop(l);
+        assert_eq!(gauge.get(), 0, "gauge never goes negative");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Compression configuration with the paper's published settings.
 
+use crate::gate::GatePolicy;
 use cs_nn::spec::{LayerClass, LayerSpec, Model};
 use cs_sparsity::coarse::{CoarseConfig, PruneMetric};
 use cs_sparsity::PruneMode;
@@ -34,6 +35,11 @@ pub struct LayerCompressionConfig {
     pub region_values: usize,
     /// Entropy coder used on the quantized dictionary.
     pub entropy: EntropyCoder,
+    /// Dynamic activation gating for the compiled execution engine:
+    /// whether the forward kernels prescan the input and skip
+    /// all-`+0.0` blocks (see [`crate::gate`]). `Auto` (the default)
+    /// lets the per-layer benefit model decide.
+    pub gate: GatePolicy,
 }
 
 impl LayerCompressionConfig {
@@ -47,6 +53,7 @@ impl LayerCompressionConfig {
             quant_bits: 8,
             region_values: 16_384,
             entropy: EntropyCoder::Huffman,
+            gate: GatePolicy::Auto,
         }
     }
 
@@ -60,6 +67,7 @@ impl LayerCompressionConfig {
             quant_bits: 4,
             region_values: 16_384,
             entropy: EntropyCoder::Huffman,
+            gate: GatePolicy::Auto,
         }
     }
 
@@ -84,6 +92,12 @@ impl LayerCompressionConfig {
     /// Overrides the pruning mode.
     pub fn with_mode(mut self, mode: PruneMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Overrides the activation-gating policy.
+    pub fn with_gate(mut self, gate: GatePolicy) -> Self {
+        self.gate = gate;
         self
     }
 
@@ -138,6 +152,7 @@ impl ModelCompressionConfig {
             quant_bits: 4,
             region_values: 16_384,
             entropy: EntropyCoder::Huffman,
+            gate: GatePolicy::Auto,
         };
         match model {
             Model::AlexNet => ModelCompressionConfig {

@@ -32,6 +32,19 @@
 //! Non-finite inputs void the contract — `0.0 * NaN` is `NaN` in the
 //! dense kernel and silently dropped by the sparse one — which is why
 //! the dense reference kernel in `cs-tensor` must never zero-skip.
+//!
+//! # Activation gating
+//!
+//! Every kernel also has a *gated* twin (`forward_gated*`) that skips
+//! work across the **input** dimension: a [`PrescanBitmap`] proves
+//! which input blocks are entirely bit-exact `+0.0`, and the gated
+//! inner loops skip whole block-CSR run segments, im2col patch rows,
+//! or structured survivor groups covered by a proven-zero block. The
+//! skipped terms are exactly `+0.0 * w = ±0.0` for the engine's finite
+//! weights, which is bit-neutral by the same argument as fact 2 above
+//! — so the gated kernels stay inside the bit-identity contract.
+//! `-0.0`, NaN, and inf inputs are never skipped (see the
+//! [`crate::gate`] module docs for the eligibility rule).
 
 use cs_quant::Codebook;
 use cs_sparsity::Mask;
@@ -39,6 +52,7 @@ use cs_tensor::ops::{self, Conv2dGeometry};
 use cs_tensor::{Shape, Tensor, TensorError};
 
 use crate::format::{BankBalancedFcLayer, FcLayerFormat, SharedIndexLayer, TwoFourFcLayer};
+use crate::gate::{self, GatePlan, GatePolicy, GateStats, PrescanBitmap};
 use crate::CompressError;
 
 /// One strip of `strip_width` (or fewer, at the edge) output lanes
@@ -80,6 +94,37 @@ impl FcStrip {
                     *o += xi * wv;
                 }
                 pos += 1;
+            }
+        }
+    }
+
+    /// Gated [`Self::accumulate`]: run segments covered by a prescan
+    /// block proven all-`+0.0` advance `pos` without touching `out`.
+    /// The dropped terms are exactly `+0.0 * w = ±0.0` into
+    /// accumulators that can never be `-0.0`, so the output bits match
+    /// the ungated kernel.
+    fn accumulate_gated(&self, input: &[f32], out: &mut [f32], gate: &PrescanBitmap) {
+        let width = self.width();
+        let block = gate.block().max(1);
+        let mut pos = 0usize;
+        for &(s, e) in &self.runs {
+            let (s, e) = (s as usize, e as usize);
+            let mut i = s;
+            while i < e {
+                let g = i / block;
+                let seg_end = e.min((g + 1) * block);
+                if gate.occupied(g) {
+                    for &xi in &input[i..seg_end] {
+                        let row = &self.values[pos * width..(pos + 1) * width];
+                        for (o, &wv) in out.iter_mut().zip(row) {
+                            *o += xi * wv;
+                        }
+                        pos += 1;
+                    }
+                } else {
+                    pos += seg_end - i;
+                }
+                i = seg_end;
             }
         }
     }
@@ -243,6 +288,78 @@ impl CompiledFcLayer {
         });
     }
 
+    /// Gated [`Self::forward`]: prescans the input at `plan.block`
+    /// elements per occupancy bit and skips run segments whose block is
+    /// entirely bit-exact `+0.0`. Bit-identical to the ungated kernel
+    /// (and therefore to the dense reference) — see the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_gated(&self, input: &[f32], out: &mut [f32], plan: &GatePlan) -> GateStats {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        assert_eq!(out.len(), self.n_out, "output length mismatch");
+        let bm = PrescanBitmap::scan(input, plan.block);
+        let stats = bm.stats();
+        out.fill(0.0);
+        if bm.all_occupied() {
+            for strip in &self.strips {
+                strip.accumulate(input, &mut out[strip.out_start..strip.out_end]);
+            }
+        } else {
+            for strip in &self.strips {
+                strip.accumulate_gated(input, &mut out[strip.out_start..strip.out_end], &bm);
+            }
+        }
+        if let Some(bias) = &self.bias {
+            for (o, b) in out.iter_mut().zip(bias) {
+                *o += *b;
+            }
+        }
+        stats
+    }
+
+    /// Parallel [`Self::forward_gated`]: one serial prescan, then the
+    /// strips fan out exactly like [`Self::forward_pooled`]. The stats
+    /// come from the bitmap alone, so they are identical at any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_gated_pooled(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        plan: &GatePlan,
+        pool: &cs_parallel::ThreadPool,
+    ) -> GateStats {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        assert_eq!(out.len(), self.n_out, "output length mismatch");
+        let bm = PrescanBitmap::scan(input, plan.block);
+        let stats = bm.stats();
+        if self.strips.is_empty() {
+            out.fill(0.0);
+            return stats;
+        }
+        let gated = !bm.all_occupied();
+        pool.parallel_chunks_mut(out, self.strip_width.max(1), |si, window| {
+            window.fill(0.0);
+            let strip = &self.strips[si];
+            if gated {
+                strip.accumulate_gated(input, window, &bm);
+            } else {
+                strip.accumulate(input, window);
+            }
+            if let Some(bias) = &self.bias {
+                for (o, b) in window.iter_mut().zip(&bias[strip.out_start..strip.out_end]) {
+                    *o += *b;
+                }
+            }
+        });
+        stats
+    }
+
     /// Reconstructs the dense `(n_in, n_out)` weight matrix the engine
     /// executes: decoded codebook values at surviving positions, zeros
     /// elsewhere. This is the dense-reference operand of the equivalence
@@ -354,7 +471,7 @@ impl CompiledConvLayer {
     /// Returns shape/geometry errors when the input is inconsistent.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
         let cols = ops::im2col(input, &self.geom)?;
-        self.finish_forward(input, &cols, None)
+        self.finish_forward(input, &cols, None, None)
     }
 
     /// Parallel [`Self::forward`], bit-identical to the serial version.
@@ -368,7 +485,68 @@ impl CompiledConvLayer {
         pool: &cs_parallel::ThreadPool,
     ) -> Result<Tensor, TensorError> {
         let cols = ops::im2col_pooled(input, &self.geom, pool)?;
-        self.finish_forward(input, &cols, Some(pool))
+        self.finish_forward(input, &cols, Some(pool), None)
+    }
+
+    /// Gated [`Self::forward`]: every im2col patch row is prescanned
+    /// (with early exit on the first non-`+0.0` element) and rows
+    /// proven entirely zero skip the inner FC kernel, leaving the
+    /// pre-zeroed product row — exactly the bits the ungated kernel
+    /// would have produced, since its accumulators would only ever add
+    /// `+0.0 * w` terms. The gate granularity is the conv patch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_gated(&self, input: &Tensor) -> Result<(Tensor, GateStats), TensorError> {
+        let cols = ops::im2col(input, &self.geom)?;
+        let (occ, stats) = self.scan_patches(&cols);
+        let out = self.finish_forward(input, &cols, None, Some(&occ))?;
+        Ok((out, stats))
+    }
+
+    /// Parallel [`Self::forward_gated`]: the patch prescan runs
+    /// serially (it is one early-exit sweep over the im2col buffer),
+    /// then the product rows fan out like [`Self::forward_pooled`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_gated_pooled(
+        &self,
+        input: &Tensor,
+        pool: &cs_parallel::ThreadPool,
+    ) -> Result<(Tensor, GateStats), TensorError> {
+        let cols = ops::im2col_pooled(input, &self.geom, pool)?;
+        let (occ, stats) = self.scan_patches(&cols);
+        let out = self.finish_forward(input, &cols, Some(pool), Some(&occ))?;
+        Ok((out, stats))
+    }
+
+    /// Per-patch occupancy over the lowered input: row `r` is occupied
+    /// iff any element of patch `r` is not bit-exact `+0.0`.
+    fn scan_patches(&self, cols: &Tensor) -> (Vec<bool>, GateStats) {
+        let n_in = self.inner.n_in;
+        let cv = cols.as_slice();
+        let positions = cv.len().checked_div(n_in).unwrap_or(0);
+        let mut occ = Vec::with_capacity(positions);
+        let mut zero_blocks = 0usize;
+        for r in 0..positions {
+            let occupied = cv[r * n_in..(r + 1) * n_in]
+                .iter()
+                .any(|v| v.to_bits() != 0);
+            if !occupied {
+                zero_blocks += 1;
+            }
+            occ.push(occupied);
+        }
+        (
+            occ,
+            GateStats {
+                blocks: positions,
+                zero_blocks,
+            },
+        )
     }
 
     fn finish_forward(
@@ -376,6 +554,7 @@ impl CompiledConvLayer {
         input: &Tensor,
         cols: &Tensor,
         pool: Option<&cs_parallel::ThreadPool>,
+        occupancy: Option<&[bool]>,
     ) -> Result<Tensor, TensorError> {
         if input.shape().dim(0) != self.n_fin {
             return Err(TensorError::ShapeMismatch {
@@ -391,6 +570,10 @@ impl CompiledConvLayer {
         let n_in = self.inner.n_in;
         let cv = cols.as_slice();
         let mut prod = vec![0.0f32; positions * n_fout];
+        // A patch row gated off stays all-zero from the `prod`
+        // initialization above — bit-identical to running the inner
+        // kernel over an all-`+0.0` patch.
+        let run_row = |r: usize| occupancy.is_none_or(|occ| occ[r]);
         match pool {
             Some(p) => {
                 let rows_per = p.default_chunk(positions);
@@ -398,13 +581,17 @@ impl CompiledConvLayer {
                     let row0 = ci * rows_per;
                     for (ri, orow) in window.chunks_mut(n_fout).enumerate() {
                         let r = row0 + ri;
-                        self.inner.forward(&cv[r * n_in..(r + 1) * n_in], orow);
+                        if run_row(r) {
+                            self.inner.forward(&cv[r * n_in..(r + 1) * n_in], orow);
+                        }
                     }
                 });
             }
             None => {
                 for (r, orow) in prod.chunks_mut(n_fout).enumerate() {
-                    self.inner.forward(&cv[r * n_in..(r + 1) * n_in], orow);
+                    if run_row(r) {
+                        self.inner.forward(&cv[r * n_in..(r + 1) * n_in], orow);
+                    }
                 }
             }
         }
@@ -564,11 +751,26 @@ impl StructuredLanes {
         }
     }
 
-    /// Portable forward over `out_start..out_start + out.len()`.
-    fn forward_range_scalar(&self, input: &[f32], out: &mut [f32], out_start: usize) {
+    /// Portable forward over `out_start..out_start + out.len()`. With a
+    /// gate, survivor groups whose input bank the prescan proved
+    /// all-`+0.0` are skipped — bit-neutral for the accumulators (the
+    /// dropped terms are `+0.0 * w = ±0.0`), so gated and ungated
+    /// outputs are identical.
+    fn forward_range_scalar(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        out_start: usize,
+        gate: Option<&PrescanBitmap>,
+    ) {
         let len = out.len();
         out.fill(0.0);
         for g in 0..self.full_groups {
+            if let Some(bm) = gate {
+                if !bm.occupied(g) {
+                    continue;
+                }
+            }
             let window = &input[g * self.bank..(g + 1) * self.bank];
             for j in 0..self.k {
                 let row = (g * self.k + j) * self.n_out + out_start;
@@ -581,14 +783,16 @@ impl StructuredLanes {
             }
         }
         let tail_base = self.full_groups * self.bank;
-        for j in 0..self.tail_spg {
-            let row = j * self.n_out + out_start;
-            Self::accumulate_row(
-                &input[tail_base..],
-                &self.tail_offsets[row..row + len],
-                &self.tail_values[row..row + len],
-                out,
-            );
+        if gate.is_none_or(|bm| bm.occupied(self.full_groups)) {
+            for j in 0..self.tail_spg {
+                let row = j * self.n_out + out_start;
+                Self::accumulate_row(
+                    &input[tail_base..],
+                    &self.tail_offsets[row..row + len],
+                    &self.tail_values[row..row + len],
+                    out,
+                );
+            }
         }
     }
 
@@ -609,6 +813,7 @@ impl StructuredLanes {
         input: &[f32],
         out: &mut [f32],
         out_start: usize,
+        gate: Option<&PrescanBitmap>,
     ) {
         let chunks = out.len() / 8;
         // Strips of four 8-lane chunks: 32 accumulator lanes stay in
@@ -616,15 +821,15 @@ impl StructuredLanes {
         // 128 consecutive bytes (two cache lines) per visit.
         let strips = chunks / 4;
         for s in 0..strips {
-            self.avx2_strip::<BANK, 4>(input, out, out_start, s * 4);
+            self.avx2_strip::<BANK, 4>(input, out, out_start, s * 4, gate);
         }
         for c in strips * 4..chunks {
-            self.avx2_strip::<BANK, 1>(input, out, out_start, c);
+            self.avx2_strip::<BANK, 1>(input, out, out_start, c, gate);
         }
         // Remainder lanes (< 8) run the scalar kernel on their window:
         // identical per-lane term order, so the mix stays bit-identical.
         if chunks * 8 < out.len() {
-            self.forward_range_scalar(input, &mut out[chunks * 8..], out_start + chunks * 8);
+            self.forward_range_scalar(input, &mut out[chunks * 8..], out_start + chunks * 8, gate);
         }
     }
 
@@ -642,6 +847,7 @@ impl StructuredLanes {
         out: &mut [f32],
         out_start: usize,
         c0: usize,
+        gate: Option<&PrescanBitmap>,
     ) {
         use std::arch::x86_64::*;
         let seven = _mm256_set1_epi32(7);
@@ -665,6 +871,11 @@ impl StructuredLanes {
             // the generic loop below.
             let three = _mm256_set1_epi32(3);
             for g in 0..self.full_groups {
+                if let Some(bm) = gate {
+                    if !bm.occupied(g) {
+                        continue;
+                    }
+                }
                 let lo = _mm256_castps128_ps256(_mm_loadu_ps(input.as_ptr().add(g * 4)));
                 let pbase = g * self.n_out + col;
                 let row0 = (g * 2) * self.n_out + col;
@@ -682,6 +893,11 @@ impl StructuredLanes {
             }
         } else {
             for g in 0..self.full_groups {
+                if let Some(bm) = gate {
+                    if !bm.occupied(g) {
+                        continue;
+                    }
+                }
                 // Full banks load straight from the input — a 4-float
                 // load fills the shuffle's low lanes, wider banks fill
                 // one or both 8-float halves exactly.
@@ -708,7 +924,7 @@ impl StructuredLanes {
                 }
             }
         }
-        if self.tail_spg > 0 {
+        if self.tail_spg > 0 && gate.is_none_or(|bm| bm.occupied(self.full_groups)) {
             // Tail offsets are < tail_len < BANK; zero padding past the
             // tail is never selected.
             let mut tail_pad = [0.0f32; 16];
@@ -731,7 +947,13 @@ impl StructuredLanes {
         }
     }
 
-    fn forward_range(&self, input: &[f32], out: &mut [f32], out_start: usize) {
+    fn forward_range(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        out_start: usize,
+        gate: Option<&PrescanBitmap>,
+    ) {
         #[cfg(target_arch = "x86_64")]
         {
             if std::arch::is_x86_feature_detected!("avx2") {
@@ -739,17 +961,17 @@ impl StructuredLanes {
                 // matches self.bank and is a supported shuffle width.
                 match self.bank {
                     4 => {
-                        unsafe { self.forward_range_avx2::<4>(input, out, out_start) };
+                        unsafe { self.forward_range_avx2::<4>(input, out, out_start, gate) };
                         self.add_bias(out, out_start);
                         return;
                     }
                     8 => {
-                        unsafe { self.forward_range_avx2::<8>(input, out, out_start) };
+                        unsafe { self.forward_range_avx2::<8>(input, out, out_start, gate) };
                         self.add_bias(out, out_start);
                         return;
                     }
                     16 => {
-                        unsafe { self.forward_range_avx2::<16>(input, out, out_start) };
+                        unsafe { self.forward_range_avx2::<16>(input, out, out_start, gate) };
                         self.add_bias(out, out_start);
                         return;
                     }
@@ -757,7 +979,7 @@ impl StructuredLanes {
                 }
             }
         }
-        self.forward_range_scalar(input, out, out_start);
+        self.forward_range_scalar(input, out, out_start, gate);
         self.add_bias(out, out_start);
     }
 
@@ -773,7 +995,7 @@ impl StructuredLanes {
     fn forward(&self, input: &[f32], out: &mut [f32]) {
         assert_eq!(input.len(), self.n_in, "input length mismatch");
         assert_eq!(out.len(), self.n_out, "output length mismatch");
-        self.forward_range(input, out, 0);
+        self.forward_range(input, out, 0, None);
     }
 
     /// Parallel forward: lanes are independent pure functions of the
@@ -784,8 +1006,43 @@ impl StructuredLanes {
         assert_eq!(out.len(), self.n_out, "output length mismatch");
         let chunk = pool.default_chunk(self.n_out).max(1);
         pool.parallel_chunks_mut(out, chunk, |ci, window| {
-            self.forward_range(input, window, ci * chunk);
+            self.forward_range(input, window, ci * chunk, None);
         });
+    }
+
+    /// Gated forward: one prescan at the pattern's bank width, then
+    /// survivor groups of proven-zero banks are skipped (the tail bank
+    /// is block `full_groups`). Falls through to the ungated loops when
+    /// no bank is skippable.
+    fn forward_gated(&self, input: &[f32], out: &mut [f32]) -> GateStats {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        assert_eq!(out.len(), self.n_out, "output length mismatch");
+        let bm = PrescanBitmap::scan(input, self.bank.max(1));
+        let stats = bm.stats();
+        let gate = (!bm.all_occupied()).then_some(&bm);
+        self.forward_range(input, out, 0, gate);
+        stats
+    }
+
+    /// Parallel [`Self::forward_gated`]: serial prescan, pooled lanes;
+    /// bit-identical at any thread count and the stats come from the
+    /// bitmap alone.
+    fn forward_gated_pooled(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        pool: &cs_parallel::ThreadPool,
+    ) -> GateStats {
+        assert_eq!(input.len(), self.n_in, "input length mismatch");
+        assert_eq!(out.len(), self.n_out, "output length mismatch");
+        let bm = PrescanBitmap::scan(input, self.bank.max(1));
+        let stats = bm.stats();
+        let gate = (!bm.all_occupied()).then_some(&bm);
+        let chunk = pool.default_chunk(self.n_out).max(1);
+        pool.parallel_chunks_mut(out, chunk, |ci, window| {
+            self.forward_range(input, window, ci * chunk, gate);
+        });
+        stats
     }
 
     fn to_dense(&self) -> Tensor {
@@ -892,6 +1149,32 @@ impl CompiledTwoFourFc {
         self.lanes.forward_pooled(input, out, pool);
     }
 
+    /// Gated [`Self::forward`]: prescans the input at the pattern bank
+    /// width (4) and skips survivor groups whose bank is all `+0.0`.
+    /// Bit-identical to the ungated path on any input.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_gated(&self, input: &[f32], out: &mut [f32]) -> GateStats {
+        self.lanes.forward_gated(input, out)
+    }
+
+    /// Parallel [`Self::forward_gated`], bit-identical at any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_gated_pooled(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        pool: &cs_parallel::ThreadPool,
+    ) -> GateStats {
+        self.lanes.forward_gated_pooled(input, out, pool)
+    }
+
     /// The dense `(n_in, n_out)` twin of the equivalence contract.
     pub fn to_dense(&self) -> Tensor {
         self.lanes.to_dense()
@@ -987,6 +1270,32 @@ impl CompiledBankBalancedFc {
     /// Same conditions as [`Self::forward`].
     pub fn forward_pooled(&self, input: &[f32], out: &mut [f32], pool: &cs_parallel::ThreadPool) {
         self.lanes.forward_pooled(input, out, pool);
+    }
+
+    /// Gated [`Self::forward`]: prescans the input at the pattern bank
+    /// width and skips survivor groups whose bank is all `+0.0`.
+    /// Bit-identical to the ungated path on any input.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_gated(&self, input: &[f32], out: &mut [f32]) -> GateStats {
+        self.lanes.forward_gated(input, out)
+    }
+
+    /// Parallel [`Self::forward_gated`], bit-identical at any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_gated_pooled(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        pool: &cs_parallel::ThreadPool,
+    ) -> GateStats {
+        self.lanes.forward_gated_pooled(input, out, pool)
     }
 
     /// The dense `(n_in, n_out)` twin of the equivalence contract.
@@ -1110,6 +1419,59 @@ impl FcKernel {
             FcKernel::BlockCsr(l) => l.forward_pooled(input, out, pool),
             FcKernel::TwoFour(l) => l.forward_pooled(input, out, pool),
             FcKernel::BankBalanced(l) => l.forward_pooled(input, out, pool),
+        }
+    }
+
+    /// Runs the benefit model for this kernel's geometry: `Some(plan)`
+    /// when activation gating is expected to pay for its prescan,
+    /// `None` when the layer should stay on the ungated path.
+    ///
+    /// Structured kernels gate at their pattern bank width; block-CSR
+    /// picks a block size from the candidate ladder (see
+    /// [`crate::gate`]).
+    pub fn plan_gate(&self, policy: GatePolicy) -> Option<GatePlan> {
+        match self {
+            FcKernel::BlockCsr(l) => gate::plan_fc(policy, l.n_in, l.n_out, l.density()),
+            FcKernel::TwoFour(l) => gate::plan_structured(policy, l.n_in(), l.n_out(), 4, 2),
+            FcKernel::BankBalanced(l) => {
+                gate::plan_structured(policy, l.n_in(), l.n_out(), l.bank, l.k)
+            }
+        }
+    }
+
+    /// Gated [`Self::forward`]: prescan-and-skip over input blocks,
+    /// bit-identical to the ungated path on any input. Structured
+    /// kernels always gate at the pattern bank width and ignore
+    /// `plan.block`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_gated(&self, input: &[f32], out: &mut [f32], plan: &GatePlan) -> GateStats {
+        match self {
+            FcKernel::BlockCsr(l) => l.forward_gated(input, out, plan),
+            FcKernel::TwoFour(l) => l.forward_gated(input, out),
+            FcKernel::BankBalanced(l) => l.forward_gated(input, out),
+        }
+    }
+
+    /// Parallel [`Self::forward_gated`], bit-identical at any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn forward_gated_pooled(
+        &self,
+        input: &[f32],
+        out: &mut [f32],
+        plan: &GatePlan,
+        pool: &cs_parallel::ThreadPool,
+    ) -> GateStats {
+        match self {
+            FcKernel::BlockCsr(l) => l.forward_gated_pooled(input, out, plan, pool),
+            FcKernel::TwoFour(l) => l.forward_gated_pooled(input, out, pool),
+            FcKernel::BankBalanced(l) => l.forward_gated_pooled(input, out, pool),
         }
     }
 
@@ -1428,6 +1790,237 @@ mod tests {
                         assert_eq!(dense4.get(&[f, fo, x, y]), lv[p * 16 + fo]);
                     }
                 }
+            }
+        }
+    }
+
+    /// Inputs exercising every skip-eligibility edge: whole blocks of
+    /// exact `+0.0`, plus `-0.0` / NaN / inf poison that must defeat
+    /// the gate without changing the output bits.
+    fn gate_test_inputs(n: usize) -> Vec<(&'static str, Vec<f32>)> {
+        let striped: Vec<f32> = (0..n)
+            .map(|i| {
+                if (i / 8) % 2 == 0 {
+                    0.0
+                } else {
+                    (i as f32 * 0.29).sin()
+                }
+            })
+            .collect();
+        let mut neg_zero = striped.clone();
+        neg_zero[0] = -0.0;
+        let mut nan = striped.clone();
+        nan[3] = f32::NAN;
+        let mut inf = striped.clone();
+        inf[5] = f32::NEG_INFINITY;
+        let all_zero = vec![0.0f32; n];
+        vec![
+            ("zero_striped", striped),
+            ("neg_zero_poison", neg_zero),
+            ("nan_poison", nan),
+            ("inf_poison", inf),
+            ("all_zero", all_zero),
+        ]
+    }
+
+    #[test]
+    fn gated_fc_is_bit_identical_across_block_sizes_and_poisons() {
+        let (w, mask) = fc_layer(64, 32, 16, 0.25);
+        let bias: Vec<f32> = (0..32).map(|i| (i as f32) * 0.01 - 0.2).collect();
+        let layer = CompiledFcLayer::compile_fc("fc", &w, &mask, 16, 8)
+            .unwrap()
+            .with_bias(bias);
+        for (name, input) in gate_test_inputs(64) {
+            let ungated = layer.forward_alloc(&input);
+            for block in [1usize, 4, 8, 16, 64, 100] {
+                let plan = GatePlan { block };
+                let mut gated = vec![0.0f32; 32];
+                let stats = layer.forward_gated(&input, &mut gated, &plan);
+                assert_eq!(bits_of(&gated), bits_of(&ungated), "{name} block {block}");
+                assert_eq!(
+                    stats.blocks,
+                    64usize.div_ceil(block),
+                    "{name} block {block}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gated_fc_pooled_matches_serial_at_multiple_thread_counts() {
+        let (w, mask) = fc_layer(96, 48, 16, 0.3);
+        let layer = CompiledFcLayer::compile_fc("fc", &w, &mask, 16, 8).unwrap();
+        let plan = GatePlan { block: 8 };
+        for threads in [1usize, 2, 4] {
+            let pool = cs_parallel::ThreadPool::new(threads);
+            for (name, input) in gate_test_inputs(96) {
+                let mut serial = vec![0.0f32; 48];
+                let s_stats = layer.forward_gated(&input, &mut serial, &plan);
+                let mut pooled = vec![0.0f32; 48];
+                let p_stats = layer.forward_gated_pooled(&input, &mut pooled, &plan, &pool);
+                assert_eq!(
+                    bits_of(&serial),
+                    bits_of(&pooled),
+                    "{name} threads {threads}"
+                );
+                // Stats come from the bitmap alone, so they are
+                // deterministic at any thread count.
+                assert_eq!(s_stats, p_stats, "{name} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn gated_fc_skips_only_exact_zero_blocks() {
+        let (w, mask) = fc_layer(64, 32, 16, 0.5);
+        let layer = CompiledFcLayer::compile_fc("fc", &w, &mask, 16, 8).unwrap();
+        let plan = GatePlan { block: 8 };
+        let mut out = vec![0.0f32; 32];
+
+        let inputs = gate_test_inputs(64);
+        let striped = &inputs[0].1;
+        let stats = layer.forward_gated(striped, &mut out, &plan);
+        assert_eq!(stats.zero_blocks, 4, "every even-indexed block skips");
+
+        // -0.0 / NaN / inf in an otherwise-zero block keep it occupied.
+        for idx in [1usize, 2, 3] {
+            let stats = layer.forward_gated(&inputs[idx].1, &mut out, &plan);
+            assert_eq!(stats.zero_blocks, 3, "{} defeats the gate", inputs[idx].0);
+        }
+
+        let all_zero = &inputs[4].1;
+        let stats = layer.forward_gated(all_zero, &mut out, &plan);
+        assert_eq!(stats.zero_blocks, 8);
+        assert!((stats.skip_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gated_conv_is_bit_identical_and_counts_skipped_patches() {
+        let pool = cs_parallel::ThreadPool::new(3);
+        let w = local_convergence(
+            Shape::d4(2, 32, 3, 3),
+            &ConvergenceProfile::with_target_density(0.3),
+            13,
+        );
+        let cfg = CoarseConfig::conv(1, 16, 1, 1, PruneMetric::Average);
+        let mask = coarse::prune_to_density(&w, &cfg, 0.3).unwrap();
+        let geom = Conv2dGeometry::square(3, 1, 1);
+        let layer = CompiledConvLayer::compile_conv("conv", &w, &mask, 16, 8, geom).unwrap();
+        // Zero out one channel-row stripe so several im2col patches are
+        // all-zero, and poison one pixel with -0.0 and another with NaN.
+        let mut input = Tensor::from_fn(Shape::d3(2, 8, 8), |i| {
+            if (i / 16) % 2 == 0 {
+                0.0
+            } else {
+                ((i * 17) % 31) as f32 * 0.06 - 0.9
+            }
+        });
+        let s = input.as_mut_slice();
+        s[0] = -0.0;
+        s[33] = f32::NAN;
+        let ungated = layer.forward(&input).unwrap();
+        let (gated, stats) = layer.forward_gated(&input).unwrap();
+        assert_eq!(bits_of(ungated.as_slice()), bits_of(gated.as_slice()));
+        assert!(stats.zero_blocks > 0, "striped input must skip patches");
+        assert_eq!(stats.blocks, 64, "one block per output position");
+        let (gated_pooled, pooled_stats) = layer.forward_gated_pooled(&input, &pool).unwrap();
+        assert_eq!(
+            bits_of(ungated.as_slice()),
+            bits_of(gated_pooled.as_slice())
+        );
+        assert_eq!(stats, pooled_stats);
+    }
+
+    #[test]
+    fn gated_structured_is_bit_identical_for_avx2_and_scalar_banks() {
+        let pool = cs_parallel::ThreadPool::new(2);
+        // Banks 4/8/16 hit the AVX2 shuffle path on x86_64; 6 and the
+        // 2:4 tail exercise the scalar kernel.
+        let w = rand_w(67, 21, 7);
+        let tf_mask = cs_sparsity::structured::two_four_mask(&w).unwrap();
+        let tf_fmt = crate::format::TwoFourFcLayer::from_fc("tf", &w, &tf_mask).unwrap();
+        let bias: Vec<f32> = (0..21).map(|i| (i as f32) * 0.002 - 0.01).collect();
+        let tf = CompiledTwoFourFc::from_format(&tf_fmt).with_bias(bias);
+        for (name, input) in gate_test_inputs(67) {
+            let ungated = tf.forward_alloc(&input);
+            let mut gated = vec![0.0f32; 21];
+            let stats = tf.forward_gated(&input, &mut gated);
+            assert_eq!(bits_of(&ungated), bits_of(&gated), "two_four {name}");
+            assert_eq!(stats.blocks, 67usize.div_ceil(4), "two_four {name}");
+            let mut pooled = vec![0.0f32; 21];
+            let p_stats = tf.forward_gated_pooled(&input, &mut pooled, &pool);
+            assert_eq!(
+                bits_of(&ungated),
+                bits_of(&pooled),
+                "two_four pooled {name}"
+            );
+            assert_eq!(stats, p_stats, "two_four {name}");
+        }
+        for bank in [4usize, 6, 8, 16] {
+            let k = bank / 2;
+            let mask = cs_sparsity::structured::bank_balanced_mask(&w, bank, k).unwrap();
+            let fmt =
+                crate::format::BankBalancedFcLayer::from_fc("bb", &w, &mask, bank, k).unwrap();
+            let layer = CompiledBankBalancedFc::from_format(&fmt);
+            for (name, input) in gate_test_inputs(67) {
+                let ungated = layer.forward_alloc(&input);
+                let mut gated = vec![0.0f32; 21];
+                layer.forward_gated(&input, &mut gated);
+                assert_eq!(bits_of(&ungated), bits_of(&gated), "bank {bank} {name}");
+                let mut pooled = vec![0.0f32; 21];
+                layer.forward_gated_pooled(&input, &mut pooled, &pool);
+                assert_eq!(
+                    bits_of(&ungated),
+                    bits_of(&pooled),
+                    "bank {bank} pooled {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fc_kernel_gated_dispatch_and_planning() {
+        let w = rand_w(128, 64, 11);
+        let tf_mask = cs_sparsity::structured::two_four_mask(&w).unwrap();
+        let tf = FcKernel::compile(&crate::format::FcLayerFormat::TwoFour(
+            crate::format::TwoFourFcLayer::from_fc("tf", &w, &tf_mask).unwrap(),
+        ));
+        let bb_mask = cs_sparsity::structured::bank_balanced_mask(&w, 8, 2).unwrap();
+        let bb = FcKernel::compile(&crate::format::FcLayerFormat::BankBalanced(
+            crate::format::BankBalancedFcLayer::from_fc("bb", &w, &bb_mask, 8, 2).unwrap(),
+        ));
+        let (cw, cmask) = fc_layer(128, 64, 16, 0.25);
+        let csr =
+            FcKernel::BlockCsr(CompiledFcLayer::compile_fc("fc", &cw, &cmask, 16, 8).unwrap());
+        let pool = cs_parallel::ThreadPool::new(2);
+        for kernel in [&tf, &bb, &csr] {
+            assert!(
+                kernel.plan_gate(GatePolicy::Off).is_none(),
+                "{}",
+                kernel.kind()
+            );
+            let forced = kernel
+                .plan_gate(GatePolicy::Force { block: 16 })
+                .unwrap_or_else(|| panic!("force must gate {}", kernel.kind()));
+            let plan = kernel.plan_gate(GatePolicy::Auto).unwrap_or(forced);
+            for (name, input) in gate_test_inputs(128) {
+                let ungated = kernel.forward_alloc(&input);
+                let mut gated = vec![0.0f32; 64];
+                kernel.forward_gated(&input, &mut gated, &plan);
+                assert_eq!(
+                    bits_of(&ungated),
+                    bits_of(&gated),
+                    "{} {name}",
+                    kernel.kind()
+                );
+                let mut pooled = vec![0.0f32; 64];
+                kernel.forward_gated_pooled(&input, &mut pooled, &plan, &pool);
+                assert_eq!(
+                    bits_of(&ungated),
+                    bits_of(&pooled),
+                    "{} pooled {name}",
+                    kernel.kind()
+                );
             }
         }
     }

@@ -545,10 +545,16 @@ impl BankBalancedFcLayer {
     /// Builds the format from a weight matrix `(n_in, n_out)` and a mask
     /// produced by [`cs_sparsity::structured::bank_balanced_mask`].
     ///
+    /// Degenerate geometry is normalized first: a bank wider than the
+    /// row clamps to the row width and `k` clamps to the (effective)
+    /// bank, which selects exactly the same mask — the stored `bank`/`k`
+    /// are the effective values.
+    ///
     /// # Errors
     ///
-    /// Returns an error when shapes disagree, `bank > 256`, or the mask
-    /// does not keep exactly `min(k, bank_len)` survivors in every bank.
+    /// Returns an error when shapes disagree, the effective bank exceeds
+    /// 256, or the mask does not keep exactly `min(k, bank_len)`
+    /// survivors in every bank.
     pub fn from_fc(
         name: impl Into<String>,
         weights: &Tensor,
@@ -556,6 +562,13 @@ impl BankBalancedFcLayer {
         bank: usize,
         k: usize,
     ) -> Result<Self, CompressError> {
+        let rows = if weights.shape().rank() == 2 {
+            weights.shape().dim(0)
+        } else {
+            0
+        };
+        let bank = if rows > 0 { bank.min(rows) } else { bank };
+        let k = k.min(bank.max(1));
         if bank > 256 {
             return Err(CompressError::Tensor(TensorError::InvalidGeometry(
                 format!("bank {bank} exceeds the byte-offset limit of 256"),
@@ -919,9 +932,38 @@ mod tests {
         let coarse_mask = coarse::prune_to_density(&w, &cfg, 0.5).unwrap();
         assert!(TwoFourFcLayer::from_fc("bad", &w, &coarse_mask).is_err());
         assert!(BankBalancedFcLayer::from_fc("bad", &w, &coarse_mask, 8, 3).is_err());
-        // Bank too wide for byte offsets.
-        let m = structured::bank_balanced_mask(&w, 16, 4).unwrap();
-        assert!(BankBalancedFcLayer::from_fc("bad", &w, &m, 512, 4).is_err());
+        // Bank too wide for byte offsets even after clamping to the row.
+        let tall = rand_w(300, 2, 5);
+        let m = structured::bank_balanced_mask(&tall, 300, 4).unwrap();
+        assert!(BankBalancedFcLayer::from_fc("bad", &tall, &m, 300, 4).is_err());
+    }
+
+    #[test]
+    fn bank_balanced_degenerate_geometry_normalizes() {
+        let w = rand_w(8, 3, 11);
+        // k >= bank keeps everything; bank wider than the row collapses
+        // to one ragged bank. The stored geometry is the effective one.
+        for (bank, k) in [(4usize, 9usize), (100, 100), (100, 3)] {
+            let mask = structured::bank_balanced_mask(&w, bank, k).unwrap();
+            let bb = BankBalancedFcLayer::from_fc("bb", &w, &mask, bank, k).unwrap();
+            assert!(bb.bank <= 8, "bank {bank} k {k}");
+            assert!(bb.k <= bb.bank, "bank {bank} k {k}");
+            assert_eq!(bb.surviving(), mask.ones(), "bank {bank} k {k}");
+            let dense = bb.to_dense();
+            for i in 0..8 {
+                for o in 0..3 {
+                    let want = if mask.bits()[i * 3 + o] {
+                        w.as_slice()[i * 3 + o]
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(dense.as_slice()[i * 3 + o], want, "bank {bank} k {k}");
+                }
+            }
+        }
+        // Fully-degenerate geometry is a full mask end to end.
+        let mask = structured::bank_balanced_mask(&w, 100, 100).unwrap();
+        assert_eq!(mask.ones(), 8 * 3);
     }
 
     #[test]

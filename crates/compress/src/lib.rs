@@ -15,6 +15,10 @@
 //!   storage format lowered into run-length strips with pre-decoded
 //!   weights, with FC and conv kernels bit-identical to the dense
 //!   reference on finite inputs.
+//! * [`gate`] — dynamic activation sparsity: the prescan-and-skip
+//!   occupancy bitmap, the `bits == +0.0` skip-eligibility rule, and
+//!   the per-layer benefit model behind the gated kernels in
+//!   [`engine`].
 //!
 //! # Example
 //!
@@ -32,6 +36,7 @@
 pub mod config;
 pub mod engine;
 pub mod format;
+pub mod gate;
 pub mod irregularity;
 pub mod pipeline;
 

@@ -105,8 +105,36 @@ pub const CORPUS: &[CorpusEntry] = &[
         socket: false,
         cluster: false,
         note: "all-zero weights under both structured patterns (2:4 then \
-               bank 4:3); deterministic tie ranking picks the lowest-index \
-               survivors in every group",
+               bank 4:3) with a NaN/inf-poisoned input; the engine paths \
+               must stay bit-identical to each other with the dense legs \
+               voided",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 41,
+        socket: false,
+        cluster: false,
+        note: "-0.0-poisoned input (finite: every leg still runs, and the \
+               gate must treat the block as occupied) over two degenerate \
+               bank 4:4 layers whose masks degrade to fully dense",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 56,
+        socket: false,
+        cluster: false,
+        note: "NaN/inf-poisoned input into a degenerate bank 16:16 chain; \
+               gated kernels must never skip non-finite blocks and the \
+               degenerate bank keeps the full mask",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 63,
+        socket: false,
+        cluster: false,
+        note: "degenerate bank 16:16 on a 5x5 layer: one ragged bank \
+               (n_in 5 < bank 16) and a vacuous k = bank constraint at \
+               near-zero density — the mask must normalize to fully dense",
     },
     CorpusEntry {
         seed: 42,
@@ -132,6 +160,17 @@ pub const CORPUS: &[CorpusEntry] = &[
         note: "both structured patterns in one chain (ragged bank 8:1 then a \
                fully-dense 2:4 layer) served over loopback TCP and a two-node \
                cluster; structured kernels must stay bit-identical end to end",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 396,
+        socket: false,
+        cluster: false,
+        note: "NaN/inf poison into a 2:4 layer whose survivors carry exact-zero \
+               quantized weights: inf * 0.0 mints a second NaN payload, and the \
+               AVX2 strip vs scalar-remainder path split may legally keep \
+               different NaN bits — the engine-vs-engine legs must identify \
+               all NaN encodings instead of comparing payload bits",
     },
 ];
 

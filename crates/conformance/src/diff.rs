@@ -11,6 +11,9 @@
 //!   ascending order and skipped terms are exact `±0.0`;
 //! * serial vs pooled engine at any thread count: **bit-identical** —
 //!   strips write disjoint windows with unchanged per-strip arithmetic;
+//!   on non-finite (poisoned) inputs the comparison identifies all NaN
+//!   encodings, since NaN payload propagation across distinct kernel
+//!   paths is unspecified by IEEE 754 and LLVM alike;
 //! * dense conv2d vs sparse conv (serial and pooled): **bit-identical**;
 //! * functional simulator vs dense chain: **tolerance-bounded** — the
 //!   simulator accumulates per (tile, group) in hardware order, which is
@@ -27,13 +30,14 @@ use cs_accel::exec::Accelerator;
 use cs_accel::pe::Activation;
 use cs_compress::engine::{CompiledConvLayer, CompiledFcLayer, FcKernel};
 use cs_compress::format::{BankBalancedFcLayer, FcLayerFormat, SharedIndexLayer, TwoFourFcLayer};
+use cs_compress::gate::{GatePlan, GatePolicy};
 use cs_parallel::ThreadPool;
 use cs_sparsity::coarse::{self, CoarseConfig};
 use cs_sparsity::{structured, Mask, PruneMode};
 use cs_tensor::ops::{self, Conv2dGeometry};
 use cs_tensor::{Shape, Tensor};
 
-use crate::gen::{Case, CaseKind, ConvCase, FcLayerCase, FcNetCase};
+use crate::gen::{Case, CaseKind, ConvCase, FcLayerCase, FcNetCase, InputPoison};
 use crate::rng::CaseRng;
 use crate::{Fault, Mismatch};
 
@@ -76,6 +80,22 @@ fn first_diff(a: &[f32], b: &[f32]) -> Option<(usize, f32, f32)> {
         .zip(b)
         .enumerate()
         .find(|(_, (x, y))| x.to_bits() != y.to_bits())
+        .map(|(i, (x, y))| (i, *x, *y))
+}
+
+/// Bit equality with every NaN encoding identified. IEEE 754 leaves NaN
+/// payload/sign propagation unspecified and LLVM exploits that freedom
+/// (commuting `fadd`/`fmul` operands, whose order decides which NaN x86
+/// keeps), so two kernel paths adding the *same terms in the same
+/// order* — say the AVX2 strip and the scalar remainder — can return
+/// different NaN bits when two distinct NaNs meet in one add (an input
+/// NaN and the 0xFFC00000 indefinite from `inf * 0.0`). NaN-ness must
+/// still match positionally, and every non-NaN value stays exact-bit.
+fn first_diff_nan_canonical(a: &[f32], b: &[f32]) -> Option<(usize, f32, f32)> {
+    a.iter()
+        .zip(b)
+        .enumerate()
+        .find(|(_, (x, y))| x.to_bits() != y.to_bits() && !(x.is_nan() && y.is_nan()))
         .map(|(i, (x, y))| (i, *x, *y))
 }
 
@@ -182,8 +202,18 @@ pub fn build_fc(case: &FcNetCase) -> Result<FcArtifacts, Mismatch> {
         .enumerate()
         .map(|(li, l)| build_fc_layer(l, li, li + 1 == count))
         .collect::<Result<Vec<_>, _>>()?;
-    let input =
+    let mut input =
         CaseRng::from_seed(case.input_seed).fill_f32(layers[0].engine.n_in(), case.zero_every);
+    match case.poison {
+        InputPoison::None => {}
+        InputPoison::NegZero => input[0] = -0.0,
+        InputPoison::NonFinite => {
+            input[0] = f32::NAN;
+            if let Some(v) = input.get_mut(1) {
+                *v = f32::INFINITY;
+            }
+        }
+    }
     Ok(FcArtifacts { layers, input })
 }
 
@@ -226,6 +256,13 @@ pub fn check_fc(art: &FcArtifacts, fault: Fault, pools: &[ThreadPool]) -> Vec<Mi
     let mut x = art.input.clone();
     for (li, la) in art.layers.iter().enumerate() {
         let n_out = la.engine.n_out();
+        // Non-finite inputs void the dense bit contract (the dense twin
+        // multiplies poison through explicitly-zeroed pruned weights the
+        // sparse kernels never touch), so poisoned layers drop the
+        // dense and simulator legs and hold the engine paths —
+        // serial, pooled, gated — bit-identical to each other instead
+        // (up to NaN encoding across serial/pooled path splits).
+        let finite = x.iter().all(|v| v.is_finite());
         // Dense reference: matmul + element-wise bias, the exact op
         // sequence of the serving dense lane.
         let dense_out = match dense_forward(&la.dense, la.bias.as_deref(), &x) {
@@ -243,25 +280,104 @@ pub fn check_fc(art: &FcArtifacts, fault: Fault, pools: &[ThreadPool]) -> Vec<Mi
             }
             _ => la.engine.forward(&x, &mut sparse),
         }
-        if let Some((i, s, d)) = first_diff(&sparse, &dense_out) {
-            out.push(Mismatch::new(
-                "fc-dense-vs-sparse-bits",
-                format!(
-                    "layer {li} output {i}: sparse {s:e} ({:#010x}) vs dense {d:e} ({:#010x})",
-                    s.to_bits(),
-                    d.to_bits()
-                ),
-            ));
+        if finite {
+            if let Some((i, s, d)) = first_diff(&sparse, &dense_out) {
+                out.push(Mismatch::new(
+                    "fc-dense-vs-sparse-bits",
+                    format!(
+                        "layer {li} output {i}: sparse {s:e} ({:#010x}) vs dense {d:e} ({:#010x})",
+                        s.to_bits(),
+                        d.to_bits()
+                    ),
+                ));
+            }
         }
 
         for pool in pools {
             let mut pooled = vec![0.0f32; n_out];
             la.engine.forward_pooled(&x, &mut pooled, pool);
-            if let Some((i, p, d)) = first_diff(&pooled, &dense_out) {
+            if finite {
+                if let Some((i, p, d)) = first_diff(&pooled, &dense_out) {
+                    out.push(Mismatch::new(
+                        "fc-dense-vs-pooled-bits",
+                        format!(
+                            "layer {li} output {i} at {} threads: pooled {p:e} vs dense {d:e}",
+                            pool.threads()
+                        ),
+                    ));
+                }
+            } else if let Some((i, p, s)) = first_diff_nan_canonical(&pooled, &sparse) {
                 out.push(Mismatch::new(
-                    "fc-dense-vs-pooled-bits",
+                    "fc-pooled-vs-engine-bits",
                     format!(
-                        "layer {li} output {i} at {} threads: pooled {p:e} vs dense {d:e}",
+                        "layer {li} output {i} at {} threads on poisoned input: \
+                         pooled {p:e} vs serial {s:e}",
+                        pool.threads()
+                    ),
+                ));
+            }
+        }
+
+        // Gated engine legs: the prescan gate is a pure scheduling
+        // decision, so the gated kernel must match the dense reference
+        // bit-for-bit on finite inputs and the (production) serial
+        // engine on poisoned ones — `-0.0`/NaN/inf blocks are never
+        // skipped. The benefit model may decline these toy geometries;
+        // a forced small block keeps the gated path exercised anyway.
+        let plan = la
+            .engine
+            .plan_gate(GatePolicy::Auto)
+            .unwrap_or(GatePlan { block: 4 });
+        let mut gated = vec![0.0f32; n_out];
+        let gstats = la.engine.forward_gated(&x, &mut gated, &plan);
+        let ungated;
+        let (gate_ref, gate_leg): (&[f32], &str) = if finite {
+            (&dense_out, "fc-gated-vs-dense-bits")
+        } else {
+            ungated = la.engine.forward_alloc(&x);
+            (&ungated, "fc-gated-vs-engine-bits")
+        };
+        if let Some((i, g, r)) = first_diff(&gated, gate_ref) {
+            out.push(Mismatch::new(
+                gate_leg,
+                format!(
+                    "layer {li} output {i} at gate block {}: gated {g:e} ({:#010x}) \
+                     vs reference {r:e} ({:#010x})",
+                    plan.block,
+                    g.to_bits(),
+                    r.to_bits()
+                ),
+            ));
+        }
+        for pool in pools {
+            let mut gp = vec![0.0f32; n_out];
+            let pstats = la.engine.forward_gated_pooled(&x, &mut gp, &plan, pool);
+            // Pooled chunk widths pick different kernel paths than the
+            // full-width serial call, so poisoned layers compare up to
+            // NaN encoding (see `first_diff_nan_canonical`).
+            let gp_diff = if finite {
+                first_diff(&gp, &gated)
+            } else {
+                first_diff_nan_canonical(&gp, &gated)
+            };
+            if let Some((i, p, g)) = gp_diff {
+                out.push(Mismatch::new(
+                    "fc-gated-pooled-bits",
+                    format!(
+                        "layer {li} output {i} at {} threads: gated pooled {p:e} \
+                         vs gated serial {g:e}",
+                        pool.threads()
+                    ),
+                ));
+            }
+            // The stats come from the prescan bitmap alone, so they
+            // are thread-count independent by construction.
+            if pstats != gstats {
+                out.push(Mismatch::new(
+                    "fc-gated-stats",
+                    format!(
+                        "layer {li} at {} threads: pooled gate stats {pstats:?} \
+                         vs serial {gstats:?}",
                         pool.threads()
                     ),
                 ));
@@ -269,12 +385,18 @@ pub fn check_fc(art: &FcArtifacts, fault: Fault, pools: &[ThreadPool]) -> Vec<Mi
         }
 
         // Next layer's input on every leg: activation over the dense
-        // reference.
-        let next: Vec<f32> = dense_out.iter().map(|v| la.activation.apply(*v)).collect();
+        // reference when the contract holds, over the engine output on
+        // poisoned layers (ReLU then washes the poison out downstream).
+        let next: Vec<f32> = if finite {
+            dense_out.iter().map(|v| la.activation.apply(*v)).collect()
+        } else {
+            sparse.iter().map(|v| la.activation.apply(*v)).collect()
+        };
 
         // Simulator leg: tolerance-bounded, and only for bias-free
-        // layers (the datapath has no bias instruction).
-        if la.bias.is_none() {
+        // layers on finite inputs (the datapath has no bias
+        // instruction, and the tolerance is meaningless against NaN).
+        if la.bias.is_none() && finite {
             match accel.run_layer(&la.shared, &x, la.activation) {
                 Ok(run) => {
                     let scale = next.iter().fold(1.0f32, |m, v| m.max(v.abs()));
@@ -546,11 +668,94 @@ mod tests {
                 ],
                 input_seed: 31,
                 zero_every: 3,
+                poison: InputPoison::None,
             };
             let art = build_fc(&net).unwrap();
             assert_eq!(art.layers[0].engine.kind(), pattern.name());
             let m = check_fc(&art, Fault::None, &pools);
             assert!(m.is_empty(), "{pattern:?} bias {bias} zero {zero}: {m:?}");
         }
+    }
+
+    #[test]
+    fn poisoned_inputs_pass_the_engine_only_legs() {
+        // NaN/inf inputs void the dense contract; the executor must
+        // fall back to engine-vs-engine legs (serial/pooled/gated) and
+        // still come back green — and the planted fault must still be
+        // caught on the poisoned path.
+        let pools = pools();
+        for poison in [InputPoison::NegZero, InputPoison::NonFinite] {
+            let net = FcNetCase {
+                layers: vec![FcLayerCase {
+                    n_in: 24,
+                    n_out: 16,
+                    block_in: 4,
+                    block_out: 16,
+                    metric: cs_sparsity::coarse::PruneMetric::Average,
+                    density: 0.6,
+                    quant_bits: 8,
+                    bias: false,
+                    zero_weights: false,
+                    weight_seed: 41,
+                    pattern: PruneMode::Coarse,
+                }],
+                input_seed: 43,
+                zero_every: 2,
+                poison,
+            };
+            let art = build_fc(&net).unwrap();
+            match poison {
+                InputPoison::NegZero => {
+                    assert_eq!(art.input[0].to_bits(), (-0.0f32).to_bits());
+                }
+                _ => assert!(art.input[0].is_nan() && art.input[1].is_infinite()),
+            }
+            let m = check_fc(&art, Fault::None, &pools);
+            assert!(m.is_empty(), "{poison:?}: {m:?}");
+            // The planted fault must still be caught on the finite
+            // poison. (NaN/inf can saturate every output with the same
+            // poison bits, where reversal legitimately has nothing to
+            // change — so NonFinite makes no catch promise.)
+            if poison == InputPoison::NegZero {
+                let caught = check_fc(&art, Fault::ReverseAccumulation, &pools);
+                assert!(
+                    !caught.is_empty(),
+                    "planted fault escaped on {poison:?} input"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_nan_payloads_across_kernel_paths_are_identified() {
+        // Regression (seed 42 case 396): a 2:4 layer whose survivors
+        // all carry exact-zero weights turns the poisoned input's inf
+        // into a second NaN payload (`inf * 0.0` = 0xFFC00000 vs the
+        // input's 0x7FC00000), and the serial call's AVX2 strip may
+        // keep a different payload than the narrower pooled chunks'
+        // scalar kernel. The engine-vs-engine legs must treat every
+        // NaN encoding as equal rather than comparing payload bits.
+        let pools = pools();
+        let net = FcNetCase {
+            layers: vec![FcLayerCase {
+                n_in: 4,
+                n_out: 8,
+                block_in: 16,
+                block_out: 16,
+                metric: cs_sparsity::coarse::PruneMetric::Average,
+                density: 1.0,
+                quant_bits: 8,
+                bias: false,
+                zero_weights: true,
+                weight_seed: 3,
+                pattern: PruneMode::TwoFour,
+            }],
+            input_seed: 5,
+            zero_every: 0,
+            poison: InputPoison::NonFinite,
+        };
+        let art = build_fc(&net).unwrap();
+        let m = check_fc(&art, Fault::None, &pools);
+        assert!(m.is_empty(), "{m:?}");
     }
 }

@@ -59,6 +59,22 @@ pub struct FcLayerCase {
     pub pattern: PruneMode,
 }
 
+/// Deliberate poison written over the first input elements, aimed at
+/// the activation gate's skip-eligibility rule (`+0.0` bits only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputPoison {
+    /// Plain generated input.
+    None,
+    /// `input[0] = -0.0`: finite (every differential leg still runs),
+    /// but the gate must treat it as occupied, never skippable.
+    NegZero,
+    /// `input[0] = NaN`, `input[1] = +inf`: voids the dense-reference
+    /// bit contract, so the executor drops the dense and simulator
+    /// legs and instead holds the engine paths (serial, pooled, gated)
+    /// bit-identical to each other.
+    NonFinite,
+}
+
 /// A generated FC network: layers chained `n_out[i] == n_in[i+1]`,
 /// ReLU between layers, pass-through after the last.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +85,8 @@ pub struct FcNetCase {
     pub input_seed: u64,
     /// Every `zero_every`-th input is exactly `0.0` (0 = dense input).
     pub zero_every: usize,
+    /// Poison written over the input after the fill.
+    pub poison: InputPoison,
 }
 
 impl FcNetCase {
@@ -173,8 +191,13 @@ impl CaseKind {
                     .collect();
                 let pats: Vec<String> =
                     c.layers.iter().map(|l| pattern_label(&l.pattern)).collect();
+                let poison = match c.poison {
+                    InputPoison::None => "",
+                    InputPoison::NegZero => " poison -0.0",
+                    InputPoison::NonFinite => " poison nan/inf",
+                };
                 format!(
-                    "fc net {} densities [{}] blocks {:?} patterns [{}] zero_every {}",
+                    "fc net {} densities [{}] blocks {:?} patterns [{}] zero_every {}{poison}",
                     dims.join("x"),
                     dens.join(" "),
                     c.layers
@@ -284,10 +307,27 @@ fn gen_fc(rng: &mut CaseRng) -> FcNetCase {
     for l in &mut layers {
         l.pattern = pattern(rng);
     }
+    // Gate edge draws, again strictly after everything above.
+    let poison = match rng.range(0, 10) {
+        0 => InputPoison::NonFinite,
+        1 => InputPoison::NegZero,
+        _ => InputPoison::None,
+    };
+    // Degenerate-bank draw: sometimes force `k = bank`, so the
+    // bank-balanced constraint is vacuous and the mask degrades to
+    // fully dense (the format must normalize, not reject).
+    if rng.chance(0.2) {
+        for l in &mut layers {
+            if let PruneMode::BankBalanced { bank, .. } = l.pattern {
+                l.pattern = PruneMode::BankBalanced { bank, k: bank };
+            }
+        }
+    }
     FcNetCase {
         layers,
         input_seed,
         zero_every,
+        poison,
     }
 }
 
@@ -383,11 +423,19 @@ mod tests {
         let mut bank_balanced = 0usize;
         let mut ragged_structured = 0usize;
         let mut zero_structured = 0usize;
+        let mut degenerate_bank = 0usize;
+        let mut neg_zero = 0usize;
+        let mut non_finite = 0usize;
         let mut kinds = [0usize; 3];
         for k in 0..512 {
             match generate(42, k).kind {
                 CaseKind::FcNet(c) => {
                     kinds[0] += 1;
+                    match c.poison {
+                        InputPoison::None => {}
+                        InputPoison::NegZero => neg_zero += 1,
+                        InputPoison::NonFinite => non_finite += 1,
+                    }
                     for l in &c.layers {
                         if l.density == NEAR_ZERO_DENSITY {
                             near_zero += 1;
@@ -406,8 +454,11 @@ mod tests {
                                 two_four += 1;
                                 Some(4)
                             }
-                            PruneMode::BankBalanced { bank, .. } => {
+                            PruneMode::BankBalanced { bank, k } => {
                                 bank_balanced += 1;
+                                if k == bank {
+                                    degenerate_bank += 1;
+                                }
                                 Some(bank)
                             }
                             PruneMode::Coarse => None,
@@ -440,6 +491,12 @@ mod tests {
             zero_structured > 1,
             "structured layers with all-zero weights: {zero_structured}"
         );
+        assert!(
+            degenerate_bank > 5,
+            "degenerate k=bank layers: {degenerate_bank}"
+        );
+        assert!(neg_zero > 10, "-0.0-poisoned nets: {neg_zero}");
+        assert!(non_finite > 10, "nan/inf-poisoned nets: {non_finite}");
         assert!(kinds.iter().all(|c| *c > 20), "kind mix: {kinds:?}");
     }
 

@@ -7,8 +7,10 @@
 //! backends, and queried with identical inputs. The contract:
 //!
 //! * Sparse-served and Dense-served outputs are **bit-identical** to
-//!   each other and to a direct (unserved) lane forward — batching,
-//!   queuing, and worker scheduling must never perturb arithmetic;
+//!   each other (on finite probes — a poisoned case input voids the
+//!   dense contract, as in the direct legs) and to a direct (unserved)
+//!   lane forward — batching, queuing, and worker scheduling must
+//!   never perturb arithmetic;
 //! * engine-lane responses report `cycles == 0` (no hardware model ran),
 //!   which is exactly why `ServeStats` must keep them out of the
 //!   hardware-side throughput figures.
@@ -106,7 +108,11 @@ pub fn check_serve(art: &FcArtifacts, probe_seed: u64) -> Vec<Mismatch> {
         };
         let (sp, sp_cycles) = &sparse[pi];
         let (de, de_cycles) = &dense[pi];
-        if bits(sp) != bits(de) {
+        // A non-finite probe (the case's poisoned input) voids the
+        // dense contract — the dense lane multiplies NaN/inf through
+        // explicitly-zeroed pruned weights the sparse kernels never
+        // touch — exactly like the direct dense leg in `diff`.
+        if probe.iter().all(|v| v.is_finite()) && bits(sp) != bits(de) {
             out.push(Mismatch::new(
                 "serve-sparse-vs-dense-bits",
                 format!("probe {pi}: served sparse and dense outputs differ"),
@@ -151,5 +157,37 @@ mod tests {
             }
         }
         assert_eq!(checked, 3);
+    }
+
+    #[test]
+    fn poisoned_case_input_voids_only_the_dense_probe() {
+        // Regression (seed 777 case 100): the last probe is the case's
+        // own input, which may be NaN/inf-poisoned — the served
+        // sparse-vs-dense comparison must skip it (dense-contract
+        // void), while serve-vs-direct stays exact on every probe.
+        use crate::gen::{FcLayerCase, FcNetCase, InputPoison};
+        use cs_sparsity::PruneMode;
+        let net = FcNetCase {
+            layers: vec![FcLayerCase {
+                n_in: 16,
+                n_out: 8,
+                block_in: 4,
+                block_out: 8,
+                metric: cs_sparsity::coarse::PruneMetric::Average,
+                density: 0.5,
+                quant_bits: 8,
+                bias: false,
+                zero_weights: false,
+                weight_seed: 9,
+                pattern: PruneMode::Coarse,
+            }],
+            input_seed: 17,
+            zero_every: 0,
+            poison: InputPoison::NonFinite,
+        };
+        let art = build_fc(&net).unwrap();
+        assert!(art.input[0].is_nan());
+        let m = check_serve(&art, 0xBAD_F00D);
+        assert!(m.is_empty(), "{m:?}");
     }
 }

@@ -155,6 +155,12 @@ fn fc_candidates(c: &FcNetCase) -> Vec<FcNetCase> {
         cand.zero_every = 0;
         out.push(cand);
     }
+    // 5. Unpoisoned input.
+    if c.poison != crate::gen::InputPoison::None {
+        let mut cand = c.clone();
+        cand.poison = crate::gen::InputPoison::None;
+        out.push(cand);
+    }
     out
 }
 

@@ -25,8 +25,10 @@
 //! | Extension: measured Table I capability matrix | [`ext_table1`] |
 //! | Extension: PE-array scaling | [`ext_scaling`] |
 //! | Extension: structured-pattern accuracy | [`ext_structured`] |
+//! | Extension: dynamic activation sparsity | [`ext_actsparsity`] |
 
 pub mod disc;
+pub mod ext_actsparsity;
 pub mod ext_dse;
 pub mod ext_entropy;
 pub mod ext_scaling;

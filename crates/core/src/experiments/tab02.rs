@@ -9,6 +9,7 @@
 //! sizes and compression ratio for each `N`.
 
 use cs_compress::config::{EntropyCoder, LayerCompressionConfig, ModelCompressionConfig};
+use cs_compress::gate::GatePolicy;
 use cs_compress::pipeline::{compress_model, ModelReport};
 use cs_nn::spec::{LayerClass, Model, NetworkSpec, Scale};
 use cs_sparsity::coarse::{CoarseConfig, PruneMetric};
@@ -110,6 +111,7 @@ pub fn run(scale: Scale, seed: u64) -> Result<Tab02Result, cs_compress::Compress
                 quant_bits: 8,
                 region_values: 16_384,
                 entropy: EntropyCoder::Huffman,
+                gate: GatePolicy::Auto,
             },
             fc: LayerCompressionConfig {
                 mode: PruneMode::Coarse,
@@ -118,6 +120,7 @@ pub fn run(scale: Scale, seed: u64) -> Result<Tab02Result, cs_compress::Compress
                 quant_bits: 4,
                 region_values: 16_384,
                 entropy: EntropyCoder::Huffman,
+                gate: GatePolicy::Auto,
             },
             lstm: ModelCompressionConfig::paper(Model::AlexNet).lstm,
             overrides: Vec::new(),

@@ -134,6 +134,35 @@ pub fn sparse_activations(len: usize, zero_fraction: f64, seed: u64) -> Tensor {
     })
 }
 
+/// A LIF-style spike frame: every position is a leaky integrate-and-fire
+/// neuron driven by its own constant input current for `steps` ticks,
+/// and the frame reports the membrane reading at the final tick — the
+/// pre-reset potential when the neuron fires on that tick, exact `+0.0`
+/// when it stays silent. Neurons whose drive cannot overcome the leak
+/// never fire, and firing neurons only cross threshold on a fraction of
+/// ticks, so low `drive` yields the naturally sparse activation frames
+/// the gated kernels exploit. Deterministic in `seed`.
+pub fn lif_spike_train(len: usize, steps: usize, drive: f64, seed: u64) -> Tensor {
+    const LEAK: f32 = 0.2;
+    const THRESHOLD: f32 = 1.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(Shape::d1(len), |_| {
+        let current = rng.gen_range(0.0..drive.max(f64::EPSILON)) as f32;
+        let mut v = 0.0f32;
+        let mut frame = 0.0f32;
+        for _ in 0..steps.max(1) {
+            v = v * (1.0 - LEAK) + current;
+            if v >= THRESHOLD {
+                frame = v;
+                v = 0.0;
+            } else {
+                frame = 0.0;
+            }
+        }
+        frame
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +202,31 @@ mod tests {
         let t = sparse_activations(10_000, 0.6, 3);
         let zf = t.count_zeros() as f64 / t.len() as f64;
         assert!((zf - 0.6).abs() < 0.03, "zero fraction {zf}");
+    }
+
+    #[test]
+    fn lif_spike_train_is_sparse_and_deterministic() {
+        let a = lif_spike_train(10_000, 20, 0.25, 11);
+        let b = lif_spike_train(10_000, 20, 0.25, 11);
+        assert_eq!(a, b);
+        let active = a.as_slice().iter().filter(|v| **v != 0.0).count();
+        // Drive 0.25 with leak 0.2: only currents >= ~0.2 ever fire, and
+        // firing neurons spike on a minority of ticks — the frame is
+        // mostly silent but never fully dead.
+        assert!(active > 0, "no neuron fired");
+        assert!(
+            active < 10_000 / 5,
+            "frame too dense: {active}/10000 active"
+        );
+        // Silent neurons are exact +0.0 — the only value the gate skips.
+        assert!(a
+            .as_slice()
+            .iter()
+            .all(|v| v.to_bits() != (-0.0f32).to_bits()));
+        // More drive, more spikes.
+        let hot = lif_spike_train(10_000, 20, 2.0, 11);
+        let hot_active = hot.as_slice().iter().filter(|v| **v != 0.0).count();
+        assert!(hot_active > active);
     }
 
     #[test]

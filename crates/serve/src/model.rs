@@ -16,6 +16,7 @@ use cs_accel::pe::Activation;
 use cs_compress::config::ModelCompressionConfig;
 use cs_compress::engine::FcKernel;
 use cs_compress::format::{BankBalancedFcLayer, FcLayerFormat, SharedIndexLayer, TwoFourFcLayer};
+use cs_compress::gate::{GatePlan, GatePolicy, GateStats};
 use cs_compress::pipeline::prune_layer;
 use cs_compress::CompressError;
 use cs_nn::init::{self, ConvergenceProfile};
@@ -158,6 +159,25 @@ impl ServableModel {
         ServableModel::from_spec(format!("mlp-{}", mode.name()), &spec, &cfg, seed)
     }
 
+    /// The spiking twin of [`ServableModel::mlp`]: the same ReLU-chained
+    /// MLP compressed with the paper settings, registered as
+    /// `"mlp-spiking"` and intended to be driven with LIF-style spike
+    /// frames ([`cs_nn::data::lif_spike_train`]) whose natural
+    /// activation sparsity the gated backend converts into skipped
+    /// input blocks. The weights are identical in distribution to the
+    /// stock MLP — spiking is a property of the workload, not the
+    /// network — so dense/sparse/gated lanes stay mutually
+    /// bit-identical on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compression failures (none occur for the stock spec).
+    pub fn spiking_mlp(scale: Scale, seed: u64) -> Result<Self, ServeError> {
+        let spec = NetworkSpec::model(Model::Mlp, scale);
+        let cfg = ModelCompressionConfig::paper(Model::Mlp);
+        ServableModel::from_spec("mlp-spiking", &spec, &cfg, seed)
+    }
+
     /// The layers bridged to the shared-index view the accelerator
     /// simulator executes (exact for structured formats — identity
     /// codebooks, no quantization loss). Simulator-backed workers build
@@ -180,6 +200,34 @@ impl ServableModel {
                 name: format.name().to_string(),
                 kernel: LaneKernel::Sparse(FcKernel::compile(format)),
                 activation: *act,
+            })
+            .collect();
+        CompiledLane { layers }
+    }
+
+    /// [`ServableModel::sparse_lane`] behind the activation gate: each
+    /// layer prescans its input for all-zero blocks and skips the
+    /// corresponding weight runs. Layers where the benefit model opts
+    /// out (tiny layers, unprofitable geometry) fall back to the plain
+    /// sparse kernel, so a gated lane is never slower by construction.
+    /// Outputs stay bit-identical to [`ServableModel::dense_lane`] on
+    /// every input: only exact `+0.0` blocks are skipped, and a skipped
+    /// term contributes `+0.0 * w` to a `+0.0`-seeded accumulator.
+    pub fn gated_lane(&self) -> CompiledLane {
+        let layers = self
+            .layers
+            .iter()
+            .map(|(format, act)| {
+                let kernel = FcKernel::compile(format);
+                let kernel = match kernel.plan_gate(GatePolicy::Auto) {
+                    Some(plan) => LaneKernel::Gated(kernel, plan),
+                    None => LaneKernel::Sparse(kernel),
+                };
+                LaneLayer {
+                    name: format.name().to_string(),
+                    kernel,
+                    activation: *act,
+                }
             })
             .collect();
         CompiledLane { layers }
@@ -210,16 +258,22 @@ pub enum LaneKernel {
     /// A sparse kernel over the surviving weights: block-CSR or one of
     /// the specialized structured kernels, per the layer's format.
     Sparse(FcKernel),
+    /// A sparse kernel behind a prescan-and-skip gate: zero input
+    /// blocks skip their weight runs, and every forward reports how
+    /// many blocks the gate skipped.
+    Gated(FcKernel, GatePlan),
     /// Dense matmul over the decoded twin weights (`n_in × n_out`).
     Dense(Tensor),
 }
 
 impl LaneKernel {
     /// The telemetry `kernel` label: `"sparse"`, `"two_four"` or
-    /// `"bank_balanced"` for sparse kernels, `"dense"` for the twin.
+    /// `"bank_balanced"` for sparse kernels, `"gated"` for gated
+    /// kernels, `"dense"` for the twin.
     pub fn kind(&self) -> &'static str {
         match self {
             LaneKernel::Sparse(kernel) => kernel.kind(),
+            LaneKernel::Gated(..) => "gated",
             LaneKernel::Dense(_) => "dense",
         }
     }
@@ -231,13 +285,33 @@ impl LaneKernel {
     /// Propagates tensor shape errors from the dense path; the sparse
     /// path cannot fail once the input length matches.
     pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, ServeError> {
+        self.forward_counted(input).map(|(out, _)| out)
+    }
+
+    /// [`Self::forward`] plus the gate occupancy stats when this layer
+    /// is gated (`None` for ungated kernels). Worker lanes use this to
+    /// feed the `serve_gate_blocks_total` hit/skip counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors from the dense path; the sparse
+    /// and gated paths cannot fail once the input length matches.
+    pub fn forward_counted(
+        &self,
+        input: &[f32],
+    ) -> Result<(Vec<f32>, Option<GateStats>), ServeError> {
         match self {
-            LaneKernel::Sparse(layer) => Ok(layer.forward_alloc(input)),
+            LaneKernel::Sparse(layer) => Ok((layer.forward_alloc(input), None)),
+            LaneKernel::Gated(layer, plan) => {
+                let mut out = vec![0.0f32; layer.n_out()];
+                let stats = layer.forward_gated(input, &mut out, plan);
+                Ok((out, Some(stats)))
+            }
             LaneKernel::Dense(weights) => {
                 let x = Tensor::from_vec(Shape::d2(1, input.len()), input.to_vec())
                     .map_err(CompressError::from)?;
                 let out = ops::matmul(&x, weights).map_err(CompressError::from)?;
-                Ok(out.as_slice().to_vec())
+                Ok((out.as_slice().to_vec(), None))
             }
         }
     }

@@ -31,12 +31,12 @@ use cs_accel::exec::Accelerator;
 use cs_accel::AccelConfig;
 use cs_energy::energy::energy_cambricon_s;
 use cs_energy::EnergyModel;
-use cs_telemetry::{buckets, Histogram, NoopRecorder, Recorder, Span};
+use cs_telemetry::{buckets, Counter, Histogram, NoopRecorder, Recorder, Span};
 
 use crate::batch::{Batch, BatchPolicy, Batcher};
 use crate::clock::{Clock, MonotonicClock};
 use crate::error::ServeError;
-use crate::model::{CompiledLane, ModelRegistry, ServableModel};
+use crate::model::{CompiledLane, LaneKernel, ModelRegistry, ServableModel};
 use crate::stats::{ServeSnapshot, ServeStats};
 
 /// Which execution engine worker lanes run.
@@ -54,6 +54,13 @@ pub enum ExecBackend {
     Simulator,
     /// Compiled block-CSR sparse engine (host-native kernels).
     Sparse,
+    /// The sparse engine behind the activation gate: inputs are
+    /// prescanned for all-zero blocks and the matching weight runs are
+    /// skipped. Bit-identical to [`ExecBackend::Sparse`] and
+    /// [`ExecBackend::Dense`] on every input; additionally reports
+    /// per-layer gate hit/skip block counts through the
+    /// `serve_gate_blocks_total{model, layer, outcome}` counters.
+    Gated,
     /// Dense reference kernels over the decoded twin weights — the
     /// ground-truth lane the sparse engine must match bit-for-bit.
     Dense,
@@ -220,18 +227,31 @@ impl Ticket {
 /// kernel into its histogram. Activation is applied outside the span:
 /// the histograms compare dense vs sparse kernel cost, and the
 /// element-wise epilogue is identical on both lanes.
+/// Per-layer telemetry handles an engine-backed worker lane records
+/// into: the kernel-time span plus the activation-gate block counters
+/// (no-op handles on ungated layers).
+struct LayerTelemetry {
+    kernel_us: Histogram,
+    gate_hits: Counter,
+    gate_skips: Counter,
+}
+
 fn run_lane(
     lane: &CompiledLane,
-    hists: &[Histogram],
+    telemetry: &[LayerTelemetry],
     clock: &Arc<dyn Clock>,
     input: Vec<f32>,
 ) -> Result<Vec<f32>, ServeError> {
     let mut x = input;
-    for (layer, hist) in lane.layers.iter().zip(hists) {
-        let span = Span::start(Arc::clone(clock), hist.clone());
-        let result = layer.kernel.forward(&x);
+    for (layer, tele) in lane.layers.iter().zip(telemetry) {
+        let span = Span::start(Arc::clone(clock), tele.kernel_us.clone());
+        let result = layer.kernel.forward_counted(&x);
         span.finish();
-        let mut out = result?;
+        let (mut out, gate) = result?;
+        if let Some(stats) = gate {
+            tele.gate_hits.add(stats.occupied_blocks() as u64);
+            tele.gate_skips.add(stats.zero_blocks as u64);
+        }
         for v in &mut out {
             *v = layer.activation.apply(*v);
         }
@@ -481,11 +501,21 @@ impl Server {
                 };
                 loop {
                     // Wait until the open batch's deadline (or idle
-                    // indefinitely when nothing is pending).
-                    let wait = batcher
-                        .deadline_us()
-                        .map(|d| Duration::from_micros(d.saturating_sub(stats.now_us())))
-                        .unwrap_or(Duration::from_secs(3600));
+                    // indefinitely when nothing is pending). Deadlines
+                    // advance on the injected clock but `recv_timeout`
+                    // parks in wall time, so while a batch is open the
+                    // park is capped at 1 ms: on an otherwise idle
+                    // server the batcher keeps re-reading the clock and
+                    // a lone request closes within `max_wait_us` plus
+                    // one cap instead of sleeping until the next
+                    // arrival.
+                    let wait = match batcher.deadline_us() {
+                        Some(d) => {
+                            let remaining = d.saturating_sub(stats.now_us());
+                            Duration::from_micros(remaining.clamp(1, 1_000))
+                        }
+                        None => Duration::from_secs(3600),
+                    };
                     match queue_rx.recv_timeout(wait) {
                         Ok(job) => {
                             let now = stats.now_us();
@@ -552,7 +582,7 @@ impl Server {
         // Engine backends lower every model once at spawn (weights
         // decoded, strips built, histograms registered) so the request
         // path only runs kernels and observes spans.
-        let lanes: Option<Vec<(CompiledLane, Vec<Histogram>)>> = match cfg.backend {
+        let lanes: Option<Vec<(CompiledLane, Vec<LayerTelemetry>)>> = match cfg.backend {
             ExecBackend::Simulator => None,
             backend => {
                 let bounds = buckets::duration_us();
@@ -562,13 +592,14 @@ impl Server {
                         .map(|m| {
                             let lane = match backend {
                                 ExecBackend::Dense => m.dense_lane(),
+                                ExecBackend::Gated => m.gated_lane(),
                                 _ => m.sparse_lane(),
                             };
-                            let hists = lane
+                            let telemetry = lane
                                 .layers
                                 .iter()
                                 .map(|layer| {
-                                    recorder.histogram(
+                                    let kernel_us = recorder.histogram(
                                         "serve_layer_kernel_us",
                                         "Per-layer kernel time on engine-backed \
                                          worker lanes (µs)",
@@ -578,10 +609,39 @@ impl Server {
                                             ("kernel".to_string(), layer.kernel.kind().to_string()),
                                         ],
                                         &bounds,
-                                    )
+                                    );
+                                    // Gate counters exist only where a
+                                    // gate runs; ungated layers get
+                                    // no-op handles so the series never
+                                    // appear for them.
+                                    let gate_counter = |outcome: &str| {
+                                        recorder.counter(
+                                            "serve_gate_blocks_total",
+                                            "Input blocks the activation gate \
+                                             inspected, by outcome (`hit` = \
+                                             occupied and computed, `skip` = \
+                                             all-zero and skipped)",
+                                            vec![
+                                                ("model".to_string(), m.name.clone()),
+                                                ("layer".to_string(), layer.name.clone()),
+                                                ("outcome".to_string(), outcome.to_string()),
+                                            ],
+                                        )
+                                    };
+                                    let (gate_hits, gate_skips) =
+                                        if matches!(layer.kernel, LaneKernel::Gated(..)) {
+                                            (gate_counter("hit"), gate_counter("skip"))
+                                        } else {
+                                            (Counter::noop(), Counter::noop())
+                                        };
+                                    LayerTelemetry {
+                                        kernel_us,
+                                        gate_hits,
+                                        gate_skips,
+                                    }
                                 })
                                 .collect();
-                            (lane, hists)
+                            (lane, telemetry)
                         })
                         .collect(),
                 )
@@ -664,10 +724,10 @@ impl Server {
                             // simulated hardware cost to report, but
                             // every layer's wall time lands in its
                             // `serve_layer_kernel_us` histogram.
-                            let (lane, hists) = &lanes[batch.model];
+                            let (lane, telemetry) = &lanes[batch.model];
                             for mut job in batch.items {
                                 let input = std::mem::take(&mut job.input);
-                                match run_lane(lane, hists, &clock, input) {
+                                match run_lane(lane, telemetry, &clock, input) {
                                     Ok(outputs) => {
                                         results.push((job, Ok((outputs, 0u64, 0.0f64))));
                                     }
@@ -1061,6 +1121,63 @@ mod tests {
     }
 
     #[test]
+    fn idle_batcher_closes_a_lone_request_at_the_deadline() {
+        use crate::clock::ManualClock;
+        use cs_telemetry::Registry;
+        let (reg, model) = mlp_registry();
+        let registry = Arc::new(Registry::new());
+        let clock = Arc::new(ManualClock::new(0));
+        // The deadline is far beyond the wall time this test runs for:
+        // only the capped, deadline-aware park lets the batcher see the
+        // manual clock pass it. Before the fix the batcher slept out
+        // the whole remaining wait in wall time, so the lone request
+        // sat until the next arrival.
+        const MAX_WAIT_US: u64 = 60_000_000;
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 64,
+            max_wait_us: MAX_WAIT_US,
+            ..ServeConfig::default()
+        };
+        let server =
+            Server::start_with_recorder(reg, cfg, clock.clone(), registry.clone()).expect("start");
+        let started = std::time::Instant::now();
+        let ticket = server
+            .submit(InferRequest::new("mlp", input_for(&model, 1)))
+            .expect("submit");
+        // Let the parked batcher pick the job up and open the batch,
+        // then jump the clock just past the deadline with the queue
+        // still idle.
+        std::thread::sleep(Duration::from_millis(50));
+        clock.advance(MAX_WAIT_US + 100);
+        ticket.wait().expect("response");
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "lone request waited for the next arrival instead of its deadline"
+        );
+        let deadline_closes = registry
+            .find_counter("serve_batch_close_total", &[("reason", "deadline")])
+            .expect("close counter registered")
+            .get();
+        assert_eq!(deadline_closes, 1, "the batch must close on the deadline");
+        // p99 queue wait stays pinned at max_wait_us plus the overshoot
+        // slack the test itself introduced. With exactly one sample the
+        // sum is the sample, so this reads the exact wait instead of a
+        // coarse bucket bound.
+        let wait = registry
+            .find_histogram("serve_queue_wait_us", &[])
+            .expect("wait histogram registered");
+        assert_eq!(wait.count(), 1);
+        assert!(
+            wait.sum() <= MAX_WAIT_US + 1_000,
+            "p99 queue wait {} exceeds max_wait_us {} + slack",
+            wait.sum(),
+            MAX_WAIT_US
+        );
+        server.shutdown();
+    }
+
+    #[test]
     fn engine_lanes_serve_bit_identical_outputs_across_backends() {
         let (_, model) = mlp_registry();
         let inputs: Vec<Vec<f32>> = (0..4).map(|i| input_for(&model, i)).collect();
@@ -1089,6 +1206,7 @@ mod tests {
             outs
         };
         let sparse = run(ExecBackend::Sparse);
+        let gated = run(ExecBackend::Gated);
         let dense = run(ExecBackend::Dense);
         let bits = |outs: &[Vec<f32>]| {
             outs.iter()
@@ -1097,9 +1215,108 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(bits(&sparse), bits(&dense));
+        assert_eq!(bits(&gated), bits(&dense));
         // And both match direct lane execution outside the server.
         let direct = model.sparse_lane().forward(&inputs[0]).expect("forward");
         assert_eq!(bits(&sparse[..1]), bits(std::slice::from_ref(&direct)));
+    }
+
+    #[test]
+    fn gated_backend_counts_gate_blocks_and_matches_dense_on_spikes() {
+        use crate::clock::ManualClock;
+        use cs_nn::data::lif_spike_train;
+        use cs_nn::spec::Scale;
+        use cs_telemetry::Registry;
+        let model = ServableModel::spiking_mlp(Scale::Reduced(2), 7).expect("model");
+        let name = model.name.clone();
+        assert_eq!(name, "mlp-spiking");
+        // LIF frames mix exact zeros with spike amplitudes; poison a few
+        // positions so the never-skip rule is exercised end to end.
+        let mut frames: Vec<Vec<f32>> = (0..3)
+            .map(|i| {
+                lif_spike_train(model.n_in, 20, 0.25, 11 + i)
+                    .as_slice()
+                    .to_vec()
+            })
+            .collect();
+        frames[1][0] = -0.0;
+        frames[2][0] = f32::NAN;
+        frames[2][1] = f32::INFINITY;
+        let mut reg = ModelRegistry::new();
+        reg.register(model.clone()).expect("register");
+        let registry = Arc::new(Registry::new());
+        let clock = Arc::new(ManualClock::new(0));
+        let cfg = ServeConfig {
+            backend: ExecBackend::Gated,
+            workers: 1,
+            max_wait_us: 0,
+            ..ServeConfig::default()
+        };
+        let server = Server::start_with_recorder(reg, cfg, clock, registry.clone()).expect("start");
+        let sparse = model.sparse_lane();
+        let dense = model.dense_lane();
+        for (i, frame) in frames.iter().enumerate() {
+            let resp = server
+                .infer(InferRequest::new(&name, frame.clone()))
+                .expect("infer");
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            // The gate never changes what the sparse engine computes.
+            let want = sparse.forward(frame).expect("sparse forward");
+            assert_eq!(bits(&resp.outputs), bits(&want), "frame {i} vs sparse");
+            if frame.iter().all(|v| v.is_finite()) {
+                // On finite inputs (exact zeros and -0.0 included) the
+                // dense twin agrees bit-for-bit too. NaN/inf frames are
+                // excluded by contract: the dense twin propagates
+                // poison through pruned positions (NaN * 0.0 = NaN) the
+                // sparse kernels never touch.
+                let want = dense.forward(frame).expect("dense forward");
+                assert_eq!(bits(&resp.outputs), bits(&want), "frame {i} vs dense");
+            }
+        }
+        server.shutdown();
+        // The gated backend registers hit/skip counters per gated layer
+        // and the first layer must have skipped blocks on LIF frames.
+        let gated_lane = model.gated_lane();
+        let gated_layers: Vec<&str> = gated_lane
+            .layers
+            .iter()
+            .filter(|l| l.kernel.kind() == "gated")
+            .map(|l| l.name.as_str())
+            .collect();
+        assert!(
+            !gated_layers.is_empty(),
+            "benefit model gated no layer of the spiking MLP"
+        );
+        let mut total_skips = 0;
+        for layer in &gated_layers {
+            let hits = registry
+                .find_counter(
+                    "serve_gate_blocks_total",
+                    &[("model", &name), ("layer", layer), ("outcome", "hit")],
+                )
+                .expect("hit counter registered");
+            let skips = registry
+                .find_counter(
+                    "serve_gate_blocks_total",
+                    &[("model", &name), ("layer", layer), ("outcome", "skip")],
+                )
+                .expect("skip counter registered");
+            assert!(hits.get() > 0, "layer {layer} never computed a block");
+            total_skips += skips.get();
+        }
+        assert!(total_skips > 0, "LIF frames produced no skipped blocks");
+        // Histogram spans carry the gated kernel label.
+        let h = registry
+            .find_histogram(
+                "serve_layer_kernel_us",
+                &[
+                    ("model", &name),
+                    ("layer", gated_layers[0]),
+                    ("kernel", "gated"),
+                ],
+            )
+            .expect("gated per-layer histogram registered");
+        assert_eq!(h.count(), frames.len() as u64);
     }
 
     #[test]

@@ -82,11 +82,14 @@ impl PruneMode {
     }
 }
 
-/// Validates a `(bank, k)` geometry.
+/// Validates a `(bank, k)` geometry. Degenerate-but-meaningful shapes
+/// are allowed: `k >= bank` keeps every position in the bank (a full
+/// mask), and `bank` wider than the row collapses to one ragged bank.
+/// Only the zero-sized geometries are rejected.
 fn check_geometry(bank: usize, k: usize) -> Result<(), TensorError> {
-    if bank == 0 || k == 0 || k > bank {
+    if bank == 0 || k == 0 {
         return Err(TensorError::InvalidGeometry(format!(
-            "bank-balanced geometry requires 1 <= k <= bank, got bank {bank} k {k}"
+            "bank-balanced geometry requires bank >= 1 and k >= 1, got bank {bank} k {k}"
         )));
     }
     Ok(())
@@ -103,12 +106,13 @@ fn check_fc_shape(shape: &Shape) -> Result<(usize, usize), TensorError> {
     Ok((shape.dim(0), shape.dim(1)))
 }
 
-/// Exact survivor count per output lane: full banks keep `k`, the ragged
-/// tail keeps `min(k, tail)`.
+/// Exact survivor count per output lane: full banks keep `min(k, bank)`
+/// (degenerate `k >= bank` keeps every position), the ragged tail keeps
+/// `min(k, tail)`.
 pub fn survivors_per_lane(n_in: usize, bank: usize, k: usize) -> usize {
     let full = n_in / bank;
     let tail = n_in % bank;
-    full * k + tail.min(k)
+    full * k.min(bank) + tail.min(k)
 }
 
 /// Exact density of a structured mode over `shape`, or `None` for
@@ -243,13 +247,15 @@ pub fn two_four_mask_pooled(
 }
 
 /// Bank-balanced pruning: every bank of `bank` inputs keeps exactly its
-/// top `k` by magnitude (ties toward the lower index; ragged tails keep
-/// `min(k, tail)`).
+/// top `min(k, bank)` by magnitude (ties toward the lower index; ragged
+/// tails keep `min(k, tail)`). Degenerate geometries — `k >= bank`, or
+/// `bank` wider than the row — degrade to a full mask rather than
+/// failing.
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::InvalidGeometry`] when `w` is not 2-D or the
-/// geometry violates `1 <= k <= bank`.
+/// Returns [`TensorError::InvalidGeometry`] when `w` is not 2-D or
+/// `bank`/`k` is zero.
 pub fn bank_balanced_mask(w: &Tensor, bank: usize, k: usize) -> Result<Mask, TensorError> {
     banked_mask(w, bank, k)
 }
@@ -303,8 +309,8 @@ pub fn structured_mask_pooled(
 }
 
 /// Checks that a mask satisfies a `(bank, k)` structured pattern: every
-/// full bank of every lane has exactly `k` survivors and every ragged
-/// tail has `min(k, tail)`.
+/// full bank of every lane has exactly `min(k, bank)` survivors and
+/// every ragged tail has `min(k, tail)`.
 pub fn satisfies_pattern(mask: &Mask, bank: usize, k: usize) -> bool {
     let Ok((n_in, n_out)) = check_fc_shape(mask.shape()) else {
         return false;
@@ -429,11 +435,32 @@ mod tests {
     #[test]
     fn rejects_bad_geometry_and_rank() {
         assert!(bank_balanced_mask(&w(8, 8, 1), 0, 1).is_err());
-        assert!(bank_balanced_mask(&w(8, 8, 1), 4, 5).is_err());
         assert!(bank_balanced_mask(&w(8, 8, 1), 4, 0).is_err());
         let conv = Tensor::full(Shape::d4(2, 2, 3, 3), 1.0);
         assert!(two_four_mask(&conv).is_err());
         assert!(structured_mask(&w(8, 8, 1), &PruneMode::Coarse).is_err());
+    }
+
+    #[test]
+    fn degenerate_geometry_degrades_to_full_mask() {
+        // k >= bank keeps every position, bank wider than the row
+        // collapses to a single ragged bank; neither may panic or
+        // over-select.
+        let t = w(8, 3, 4);
+        for (bank, k) in [(4usize, 5usize), (4, 4), (16, 16), (100, 7)] {
+            let m = bank_balanced_mask(&t, bank, k).unwrap();
+            assert!(satisfies_pattern(&m, bank, k), "bank {bank} k {k}");
+            let per_lane = survivors_per_lane(8, bank, k);
+            assert_eq!(m.ones(), 3 * per_lane, "bank {bank} k {k}");
+            if k >= bank || k >= 8 {
+                assert_eq!(m.ones(), 8 * 3, "bank {bank} k {k} must keep all");
+            }
+        }
+        // bank wider than the row but k below the row width: keeps the
+        // top k of the single ragged bank.
+        let m = bank_balanced_mask(&t, 100, 5).unwrap();
+        assert_eq!(m.ones(), 3 * 5);
+        assert!(satisfies_pattern(&m, 100, 5));
     }
 
     #[test]

@@ -194,13 +194,14 @@ proptest! {
     }
 
     /// Bank-balanced pruning keeps exactly min(k, bank length) survivors
-    /// in every bank of every lane, for any geometry.
+    /// in every bank of every lane, for any geometry — including the
+    /// degenerate shapes `k > bank` and `bank > rows`, which must
+    /// degrade gracefully instead of panicking or over-selecting.
     #[test]
     fn bank_balanced_keeps_exactly_k_per_bank(
         rows in 1usize..40, cols in 1usize..10,
         bank in 2usize..12, k in 1usize..12, seed in 0u64..200)
     {
-        prop_assume!(k <= bank);
         let w = weights(rows, cols, seed);
         let mask = structured::bank_balanced_mask(&w, bank, k).unwrap();
         prop_assert!(structured::satisfies_pattern(&mask, bank, k));
@@ -221,7 +222,6 @@ proptest! {
         rows in 1usize..32, cols in 1usize..8, seed in 0u64..200,
         bank in 2usize..9, k in 1usize..9)
     {
-        prop_assume!(k <= bank);
         for mode in [PruneMode::TwoFour, PruneMode::BankBalanced { bank, k }] {
             let w = weights(rows, cols, seed);
             let mask = structured::structured_mask(&w, &mode).unwrap();
@@ -240,12 +240,35 @@ proptest! {
         rows in 1usize..48, cols in 1usize..10, seed in 0u64..100,
         bank in 2usize..9, k in 1usize..9)
     {
-        prop_assume!(k <= bank);
         for mode in [PruneMode::TwoFour, PruneMode::BankBalanced { bank, k }] {
             let w = weights(rows, cols, seed);
             let mask = structured::structured_mask(&w, &mode).unwrap();
             let geo = stats::pattern_density(&mode, w.shape()).unwrap();
             prop_assert!((geo - mask.density()).abs() < 1e-12);
         }
+    }
+
+    /// Degenerate bank-balanced geometry: `k >= bank` is a full mask,
+    /// and a bank wider than the row selects exactly the top `min(k,
+    /// rows)` of the single ragged bank.
+    #[test]
+    fn bank_balanced_degenerate_geometry_degrades_to_full_mask(
+        rows in 1usize..32, cols in 1usize..8,
+        bank in 1usize..64, extra in 0usize..16, seed in 0u64..200)
+    {
+        let w = weights(rows, cols, seed);
+        // k >= bank: every bank keeps everything.
+        let k = bank + extra;
+        let mask = structured::bank_balanced_mask(&w, bank, k).unwrap();
+        prop_assert_eq!(mask.ones(), rows * cols);
+        prop_assert!(structured::satisfies_pattern(&mask, bank, k));
+        // bank wider than the row: one ragged bank keeping min(k, rows).
+        let wide = rows + 1 + extra;
+        let k2 = (bank).min(wide);
+        let mask2 = structured::bank_balanced_mask(&w, wide, k2).unwrap();
+        prop_assert_eq!(mask2.ones(), rows.min(k2) * cols);
+        prop_assert!(structured::satisfies_pattern(&mask2, wide, k2));
+        prop_assert_eq!(
+            structured::survivors_per_lane(rows, wide, k2), rows.min(k2));
     }
 }
