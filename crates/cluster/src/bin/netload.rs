@@ -9,56 +9,84 @@
 //! (`cs_serve::loadgen::request_input`), so a network sweep is
 //! replayable by seed. Overload rejections are retried through
 //! `cs-net`'s seeded exponential-backoff policy and counted, not
-//! failed.
+//! failed. `--think-ms` inserts pacing between a connection's requests
+//! so high connection counts measure concurrency, not queueing from a
+//! saturating closed loop; the pause is jittered per connection from
+//! the seed (uniform in `[0.5, 1.5] × think`, plus a random initial
+//! offset), because a thousand connections pacing in lock-step would
+//! arrive as synchronized waves and measure the wave, not the server.
+//!
+//! **Connection sweep** (`--conns-sweep N1,N2,..`): repeats the server
+//! mode run at each connection count against the same endpoint and
+//! emits one `conn_sweep_point` JSONL record per count. On Linux the
+//! sweep client is itself event-driven: one thread multiplexes every
+//! connection through the same `cs_net::poll` epoll shim and
+//! `FrameAssembler` the reactor uses, because a thousand loadgen
+//! *threads* would swamp the scheduler of a small CI host and the tail
+//! latency would measure the client's own run queue, not the server
+//! (non-Linux falls back to thread-per-connection). The gated latency
+//! is the **server-reported** `latency_us` stamped in every response
+//! (decode→reply time on the server). `--max-p99-ratio F` turns the
+//! sweep into a CI gate: the last point's server-side p99 must stay
+//! within `F ×` the first point's.
 //!
 //! **Cluster mode** (`--cluster`): ignores `--addr` and instead stands
 //! up fresh in-process clusters at each `--nodes` count (orchestrator +
-//! N full worker nodes on loopback), drives the same seeded load
-//! through the orchestrator, and reports aggregate hw-throughput
-//! scaling as JSONL. `--min-scaling F` turns the scaling factor into an
-//! exit-code gate for CI.
+//! N full worker nodes on loopback, node frontends on `--transport`),
+//! drives the same seeded load through the orchestrator, and reports
+//! aggregate hw-throughput scaling as JSONL. `--min-scaling F` turns
+//! the scaling factor into an exit-code gate for CI.
 //!
 //! ```text
 //! cs-netload --addr 127.0.0.1:4885 --conns 4 --requests 64 --shutdown
+//! cs-netload --addr 127.0.0.1:4885 --conns-sweep 64,1000 --requests 10 \
+//!            --think-ms 50 --max-p99-ratio 2.0 --out sweep.jsonl
 //! cs-netload --cluster --nodes 1,2,4 --out sweep.jsonl --min-scaling 3.0
 //! ```
 //!
 //! Exit codes: `0` success, `1` bad usage or connect failure, `2` any
-//! request failed with a non-overload error (or the scaling gate
+//! request failed with a non-overload error (or a scaling / p99 gate
 //! failed).
 
 use std::time::Instant;
 
 use cs_cluster::{run_cluster_sweep, ClusterSweepConfig};
-use cs_net::{Client, RetryPolicy};
+use cs_net::{Client, RetryPolicy, Transport};
 use cs_serve::loadgen::request_input;
 use cs_serve::ExecBackend;
 
 struct Args {
     addr: String,
     conns: usize,
+    conns_sweep: Vec<usize>,
     requests: u64,
     seed: u64,
     model: String,
     out: Option<String>,
     shutdown: bool,
     wait_ready_secs: u64,
+    think_ms: u64,
+    warmup: u64,
+    max_p99_ratio: f64,
     cluster: bool,
     nodes: Vec<usize>,
     scale: usize,
     workers_per_node: usize,
     backend: ExecBackend,
+    transport: Transport,
     min_scaling: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cs-netload --addr HOST:PORT [--conns N] [--requests N] [--seed N]\n\
-         \x20                [--model NAME] [--out PATH] [--shutdown]\n\
+        "usage: cs-netload --addr HOST:PORT [--conns N | --conns-sweep N,N,..]\n\
+         \x20                [--requests N] [--seed N] [--model NAME] [--out PATH]\n\
+         \x20                [--think-ms N] [--warmup N] [--max-p99-ratio F] [--shutdown]\n\
          \x20                [--wait-ready SECS]\n\
          \x20      cs-netload --cluster [--nodes N,N,..] [--conns N] [--requests N]\n\
          \x20                [--seed N] [--scale N] [--workers N]\n\
-         \x20                [--backend simulator|sparse|dense] [--out PATH]\n\
+         \x20                [--backend simulator|sparse|dense]\n\
+         \x20                [--transport threaded|reactor] [--out PATH]\n\
          \x20                [--min-scaling F]"
     );
     std::process::exit(1);
@@ -68,17 +96,22 @@ fn parse_args() -> Args {
     let mut out = Args {
         addr: String::new(),
         conns: 4,
+        conns_sweep: Vec::new(),
         requests: 64,
         seed: 7,
         model: "mlp".to_string(),
         out: None,
         shutdown: false,
         wait_ready_secs: 0,
+        think_ms: 0,
+        warmup: 0,
+        max_p99_ratio: 0.0,
         cluster: false,
         nodes: vec![1, 2, 4],
         scale: 8,
         workers_per_node: 2,
         backend: ExecBackend::Simulator,
+        transport: Transport::default(),
         min_scaling: 0.0,
     };
     let mut args = std::env::args().skip(1);
@@ -93,6 +126,12 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--addr" => out.addr = value("--addr"),
             "--conns" => out.conns = parse_num(&value("--conns"), "--conns") as usize,
+            "--conns-sweep" => {
+                out.conns_sweep = value("--conns-sweep")
+                    .split(',')
+                    .map(|s| parse_num(s, "--conns-sweep") as usize)
+                    .collect();
+            }
             "--requests" => out.requests = parse_num(&value("--requests"), "--requests"),
             "--seed" => out.seed = parse_num(&value("--seed"), "--seed"),
             "--model" => out.model = value("--model"),
@@ -100,6 +139,17 @@ fn parse_args() -> Args {
             "--shutdown" => out.shutdown = true,
             "--wait-ready" => {
                 out.wait_ready_secs = parse_num(&value("--wait-ready"), "--wait-ready")
+            }
+            "--think-ms" => out.think_ms = parse_num(&value("--think-ms"), "--think-ms"),
+            "--warmup" => out.warmup = parse_num(&value("--warmup"), "--warmup"),
+            "--max-p99-ratio" => {
+                out.max_p99_ratio = match value("--max-p99-ratio").parse() {
+                    Ok(f) => f,
+                    Err(_) => {
+                        eprintln!("error: --max-p99-ratio expects a number");
+                        usage();
+                    }
+                }
             }
             "--cluster" => out.cluster = true,
             "--nodes" => {
@@ -119,6 +169,15 @@ fn parse_args() -> Args {
                     "dense" => ExecBackend::Dense,
                     other => {
                         eprintln!("error: unknown backend {other:?}");
+                        usage();
+                    }
+                }
+            }
+            "--transport" => {
+                out.transport = match value("--transport").parse() {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: {e}");
                         usage();
                     }
                 }
@@ -147,6 +206,10 @@ fn parse_args() -> Args {
         eprintln!("error: --conns and --requests must be at least 1");
         usage();
     }
+    if out.conns_sweep.contains(&0) {
+        eprintln!("error: --conns-sweep needs positive counts");
+        usage();
+    }
     if out.cluster && (out.nodes.is_empty() || out.nodes.contains(&0)) {
         eprintln!("error: --nodes needs positive counts");
         usage();
@@ -164,12 +227,31 @@ fn parse_num(s: &str, flag: &str) -> u64 {
     }
 }
 
+/// SplitMix64 for think-time jitter: deterministic per seed, so a
+/// sweep's arrival process replays exactly.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
 /// Per-connection sweep outcome.
 struct ConnResult {
     conn: usize,
     completed: u64,
     overload_rounds: u64,
+    /// Client-observed round-trip latencies.
     latencies_us: Vec<u64>,
+    /// Server-reported per-request latencies (`latency_us` in each
+    /// response frame): decode→reply time on the server, free of
+    /// client-side scheduling noise.
+    server_latencies_us: Vec<u64>,
     error: Option<String>,
 }
 
@@ -179,6 +261,7 @@ fn run_connection(args: &Args, conn: usize) -> ConnResult {
         completed: 0,
         overload_rounds: 0,
         latencies_us: Vec::with_capacity(args.requests as usize),
+        server_latencies_us: Vec::with_capacity(args.requests as usize),
         error: None,
     };
     let mut client = match Client::connect(&args.addr) {
@@ -199,6 +282,14 @@ fn run_connection(args: &Args, conn: usize) -> ConnResult {
         seed: args.seed ^ conn as u64,
         ..RetryPolicy::default()
     };
+    let mut jitter = SplitMix64(args.seed.wrapping_mul(0x9E37).wrapping_add(conn as u64));
+    if args.think_ms > 0 {
+        // Random initial offset in [0, think): without it every
+        // connection fires its first request at the same instant and
+        // the opening wave dominates a short run's tail latency.
+        let offset = jitter.next() % (args.think_ms * 1000);
+        std::thread::sleep(std::time::Duration::from_micros(offset));
+    }
     for i in 0..args.requests {
         // Globally unique request id -> unique deterministic input,
         // exactly as the in-process loadgen shapes its traffic.
@@ -207,8 +298,15 @@ fn run_connection(args: &Args, conn: usize) -> ConnResult {
         loop {
             let t0 = Instant::now();
             match client.request_with_retry(&args.model, &input, &policy) {
-                Ok(_) => {
-                    result.latencies_us.push(t0.elapsed().as_micros() as u64);
+                Ok(resp) => {
+                    // Warmup requests complete but don't enter the
+                    // latency stats: the opening connect storm (every
+                    // connection dials at t=0) is a start transient,
+                    // not the steady state the percentiles describe.
+                    if i >= args.warmup {
+                        result.latencies_us.push(t0.elapsed().as_micros() as u64);
+                        result.server_latencies_us.push(resp.latency_us);
+                    }
                     result.completed += 1;
                     break;
                 }
@@ -223,8 +321,369 @@ fn run_connection(args: &Args, conn: usize) -> ConnResult {
                 }
             }
         }
+        if args.think_ms > 0 {
+            // Uniform in [0.5, 1.5] × think: same mean rate, no waves.
+            let us = args.think_ms * 500 + jitter.next() % (args.think_ms * 1000);
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
     }
     result
+}
+
+/// Drives `conns` concurrent closed-loop connections to completion.
+fn run_load(args: &Args, conns: usize) -> Vec<ConnResult> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|conn| {
+                scope.spawn({
+                    let args = &args;
+                    move || run_connection(args, conn)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(conn, h)| {
+                h.join().unwrap_or_else(|_| ConnResult {
+                    conn,
+                    completed: 0,
+                    overload_rounds: 0,
+                    latencies_us: Vec::new(),
+                    server_latencies_us: Vec::new(),
+                    error: Some("connection thread panicked".to_string()),
+                })
+            })
+            .collect()
+    })
+}
+
+/// Event-driven sweep client (Linux only): one thread multiplexes every
+/// connection through the reactor's own readiness shim
+/// ([`cs_net::poll`]) and incremental codec ([`cs_net::FrameAssembler`]
+/// / [`cs_net::WriteBuffer`]). A thousand closed-loop connections cost
+/// one runnable thread instead of a thousand, so on a small host the
+/// measured tail belongs to the server under test, not to the load
+/// generator's own scheduler queue.
+#[cfg(target_os = "linux")]
+mod evloop {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use std::io::Read;
+    use std::net::TcpStream;
+    use std::os::unix::io::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    use cs_net::poll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+    use cs_net::{ErrorCode, Frame, FrameAssembler, WriteBuffer, DEFAULT_MAX_PAYLOAD};
+    use cs_serve::loadgen::request_input;
+
+    use super::{Args, ConnResult, SplitMix64};
+
+    /// Closed-loop state of one multiplexed connection.
+    enum Phase {
+        /// Waiting out a pacing pause before (re)issuing request `index`.
+        Thinking,
+        /// Request `index` is on the wire awaiting its reply.
+        InFlight,
+        /// All requests answered, or the connection errored out.
+        Done,
+    }
+
+    struct Conn {
+        stream: TcpStream,
+        asm: FrameAssembler,
+        wbuf: WriteBuffer,
+        jitter: SplitMix64,
+        phase: Phase,
+        /// When `Thinking` ends and the next request goes out.
+        next_send_at: Instant,
+        /// Current request number in `0..requests`; overload retries
+        /// reuse it, so the request id and input replay deterministically.
+        index: u64,
+        /// Send instant of the in-flight request (client-side latency).
+        sent_at: Instant,
+        /// Whether `EPOLLOUT` interest is currently registered.
+        want_write: bool,
+        result: ConnResult,
+    }
+
+    fn failed_result(conn: usize, err: String) -> ConnResult {
+        ConnResult {
+            conn,
+            completed: 0,
+            overload_rounds: 0,
+            latencies_us: Vec::new(),
+            server_latencies_us: Vec::new(),
+            error: Some(err),
+        }
+    }
+
+    /// Drives `conns` closed-loop connections to completion on one
+    /// thread. A setup failure (epoll, connect, register) fails the
+    /// whole point: every connection reports the error.
+    pub fn run_load_event(args: &Args, conns: usize, n_in: usize) -> Vec<ConnResult> {
+        match drive(args, conns, n_in) {
+            Ok(results) => results,
+            Err(e) => (0..conns)
+                .map(|conn| failed_result(conn, format!("event loop: {e}")))
+                .collect(),
+        }
+    }
+
+    fn drive(args: &Args, conns: usize, n_in: usize) -> std::io::Result<Vec<ConnResult>> {
+        let epoll = Epoll::new()?;
+        let start = Instant::now();
+        let mut heap: BinaryHeap<Reverse<(Instant, usize)>> = BinaryHeap::new();
+        let mut table: Vec<Conn> = Vec::with_capacity(conns);
+        for conn in 0..conns {
+            let mut jitter = SplitMix64(args.seed.wrapping_mul(0x9E37).wrapping_add(conn as u64));
+            // Random initial offset in [0, think): same de-synchronized
+            // arrival process as the threaded path.
+            let offset_us = if args.think_ms > 0 {
+                jitter.next() % (args.think_ms * 1000)
+            } else {
+                0
+            };
+            let stream = TcpStream::connect(&args.addr)?;
+            let _ = stream.set_nodelay(true);
+            stream.set_nonblocking(true)?;
+            epoll.add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, conn as u64)?;
+            let next_send_at = start + Duration::from_micros(offset_us);
+            heap.push(Reverse((next_send_at, conn)));
+            table.push(Conn {
+                stream,
+                asm: FrameAssembler::new(DEFAULT_MAX_PAYLOAD),
+                wbuf: WriteBuffer::new(),
+                jitter,
+                phase: Phase::Thinking,
+                next_send_at,
+                index: 0,
+                sent_at: start,
+                want_write: false,
+                result: ConnResult {
+                    conn,
+                    completed: 0,
+                    overload_rounds: 0,
+                    latencies_us: Vec::with_capacity(args.requests as usize),
+                    server_latencies_us: Vec::with_capacity(args.requests as usize),
+                    error: None,
+                },
+            });
+        }
+        let mut active = conns;
+        let mut events = vec![EpollEvent::zeroed(); 256];
+        let mut scratch = vec![0u8; 64 * 1024];
+        while active > 0 {
+            let now = Instant::now();
+            while let Some(&Reverse((t, id))) = heap.peek() {
+                if t > now {
+                    break;
+                }
+                heap.pop();
+                let c = &mut table[id];
+                // Stale entries (the conn advanced past this deadline)
+                // just fall out of the heap.
+                if !matches!(c.phase, Phase::Thinking) || c.next_send_at != t {
+                    continue;
+                }
+                if let Err(e) = send_request(c, id, args, n_in, &epoll) {
+                    fail(c, e, &epoll, &mut active);
+                }
+            }
+            let timeout_ms = match heap.peek() {
+                Some(&Reverse((t, _))) => {
+                    let dur = t.saturating_duration_since(Instant::now());
+                    (dur.as_millis() as i64 + 1).min(1_000) as i32
+                }
+                None => 1_000,
+            };
+            let n = epoll.wait(&mut events, timeout_ms)?;
+            for ev in events.iter().take(n) {
+                let id = ev.token() as usize;
+                let mask = ev.events();
+                if matches!(table[id].phase, Phase::Done) {
+                    continue;
+                }
+                if mask & (EPOLLERR | EPOLLHUP) != 0 {
+                    let err = "socket error/hangup".to_string();
+                    fail(&mut table[id], err, &epoll, &mut active);
+                    continue;
+                }
+                if mask & (EPOLLIN | EPOLLRDHUP) != 0 {
+                    match on_readable(&mut table[id], id, args, &mut scratch, &mut heap) {
+                        Ok(()) => {
+                            if matches!(table[id].phase, Phase::Done) {
+                                let _ = epoll.delete(table[id].stream.as_raw_fd());
+                                active -= 1;
+                            }
+                        }
+                        Err(e) => fail(&mut table[id], e, &epoll, &mut active),
+                    }
+                }
+                if mask & EPOLLOUT != 0 && !matches!(table[id].phase, Phase::Done) {
+                    if let Err(e) = flush(&mut table[id], id, &epoll) {
+                        fail(&mut table[id], e, &epoll, &mut active);
+                    }
+                }
+            }
+        }
+        Ok(table.into_iter().map(|c| c.result).collect())
+    }
+
+    /// Marks a connection failed and drops it from the loop.
+    fn fail(c: &mut Conn, err: String, epoll: &Epoll, active: &mut usize) {
+        if !matches!(c.phase, Phase::Done) {
+            let _ = epoll.delete(c.stream.as_raw_fd());
+            *active -= 1;
+        }
+        c.phase = Phase::Done;
+        if c.result.error.is_none() {
+            c.result.error = Some(err);
+        }
+    }
+
+    /// Issues request `index` for connection `id` and flushes.
+    fn send_request(
+        c: &mut Conn,
+        id: usize,
+        args: &Args,
+        n_in: usize,
+        epoll: &Epoll,
+    ) -> Result<(), String> {
+        let rid = (id as u64) * args.requests + c.index;
+        let input = request_input(n_in, rid, args.seed);
+        let frame = Frame::Request {
+            id: rid,
+            model: args.model.clone(),
+            input,
+        };
+        c.wbuf.push(&frame.encode());
+        c.sent_at = Instant::now();
+        c.phase = Phase::InFlight;
+        flush(c, id, epoll)
+    }
+
+    /// Flushes as much as the socket accepts and keeps `EPOLLOUT`
+    /// interest in sync with whether bytes remain.
+    fn flush(c: &mut Conn, id: usize, epoll: &Epoll) -> Result<(), String> {
+        let mut w = &c.stream;
+        if let Err(e) = c.wbuf.flush_to(&mut w) {
+            return Err(format!("write: {e}"));
+        }
+        let pending = !c.wbuf.is_empty();
+        if pending != c.want_write {
+            let interest = if pending {
+                EPOLLIN | EPOLLOUT | EPOLLRDHUP
+            } else {
+                EPOLLIN | EPOLLRDHUP
+            };
+            epoll
+                .modify(c.stream.as_raw_fd(), interest, id as u64)
+                .map_err(|e| format!("epoll: {e}"))?;
+            c.want_write = pending;
+        }
+        Ok(())
+    }
+
+    /// Reads until `WouldBlock`, feeding the assembler and handling
+    /// every completed frame.
+    fn on_readable(
+        c: &mut Conn,
+        id: usize,
+        args: &Args,
+        scratch: &mut [u8],
+        heap: &mut BinaryHeap<Reverse<(Instant, usize)>>,
+    ) -> Result<(), String> {
+        loop {
+            let n = {
+                let mut r = &c.stream;
+                match r.read(scratch) {
+                    Ok(0) => return Err("server closed the connection".to_string()),
+                    Ok(n) => n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(format!("read: {e}")),
+                }
+            };
+            c.asm.push(&scratch[..n]);
+            loop {
+                match c.asm.next_frame() {
+                    Ok(Some(frame)) => on_frame(c, id, frame, args, heap)?,
+                    Ok(None) => break,
+                    Err(e) => return Err(format!("decode: {e}")),
+                }
+            }
+            if matches!(c.phase, Phase::Done) {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the closed loop on one reply frame.
+    fn on_frame(
+        c: &mut Conn,
+        id: usize,
+        frame: Frame,
+        args: &Args,
+        heap: &mut BinaryHeap<Reverse<(Instant, usize)>>,
+    ) -> Result<(), String> {
+        let rid = (id as u64) * args.requests + c.index;
+        match frame {
+            Frame::Response {
+                id: got,
+                latency_us,
+                ..
+            } => {
+                if !matches!(c.phase, Phase::InFlight) || got != rid {
+                    return Err(format!("unexpected response id {got} (expected {rid})"));
+                }
+                let now = Instant::now();
+                // Warmup requests complete but stay out of the stats
+                // (start transient, not steady state).
+                if c.index >= args.warmup {
+                    c.result
+                        .latencies_us
+                        .push(now.duration_since(c.sent_at).as_micros() as u64);
+                    c.result.server_latencies_us.push(latency_us);
+                }
+                c.result.completed += 1;
+                c.index += 1;
+                if c.index == args.requests {
+                    c.phase = Phase::Done;
+                } else {
+                    // Uniform in [0.5, 1.5] × think: the same pacing law
+                    // as the threaded path, so sweeps are comparable.
+                    let pause_us = if args.think_ms > 0 {
+                        args.think_ms * 500 + c.jitter.next() % (args.think_ms * 1000)
+                    } else {
+                        0
+                    };
+                    c.phase = Phase::Thinking;
+                    c.next_send_at = now + Duration::from_micros(pause_us);
+                    heap.push(Reverse((c.next_send_at, id)));
+                }
+                Ok(())
+            }
+            Frame::Error {
+                id: got,
+                code: ErrorCode::Overloaded,
+                ..
+            } if got == rid => {
+                // Stay closed-loop: jittered backoff, then reissue the
+                // same request (the blocking client's retry, event-shaped).
+                c.result.overload_rounds += 1;
+                c.phase = Phase::Thinking;
+                c.next_send_at =
+                    Instant::now() + Duration::from_micros(1_000 + c.jitter.next() % 4_000);
+                heap.push(Reverse((c.next_send_at, id)));
+                Ok(())
+            }
+            Frame::Error { code, detail, .. } => Err(format!("server error {code:?}: {detail}")),
+            other => Err(format!("unexpected frame {other:?}")),
+        }
+    }
 }
 
 fn percentile(sorted: &[u64], q: f64) -> u64 {
@@ -233,6 +692,15 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     }
     let rank = ((sorted.len() as f64) * q).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn sorted_all(results: &[ConnResult], pick: impl Fn(&ConnResult) -> &[u64]) -> Vec<u64> {
+    let mut all: Vec<u64> = results
+        .iter()
+        .flat_map(|r| pick(r).iter().copied())
+        .collect();
+    all.sort_unstable();
+    all
 }
 
 fn jsonl_line(r: &ConnResult) -> String {
@@ -262,10 +730,11 @@ fn run_cluster_mode(args: &Args) -> ! {
         scale: args.scale,
         workers_per_node: args.workers_per_node,
         backend: args.backend,
+        transport: args.transport,
     };
     println!(
-        "cs-netload --cluster: nodes {:?}, {} conns x {} requests, seed {}",
-        cfg.node_counts, cfg.conns, cfg.requests_per_conn, cfg.seed
+        "cs-netload --cluster: nodes {:?}, {} conns x {} requests, seed {}, {} transport",
+        cfg.node_counts, cfg.conns, cfg.requests_per_conn, cfg.seed, cfg.transport
     );
     let report = match run_cluster_sweep(&cfg) {
         Ok(r) => r,
@@ -314,6 +783,151 @@ fn run_cluster_mode(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// One measured connection count in a `--conns-sweep` run.
+struct ConnSweepPoint {
+    conns: usize,
+    completed: u64,
+    overload_rounds: u64,
+    errors: u64,
+    client_p99_us: u64,
+    server_p50_us: u64,
+    server_p95_us: u64,
+    server_p99_us: u64,
+}
+
+impl ConnSweepPoint {
+    fn jsonl(&self) -> String {
+        format!(
+            "{{\"type\":\"conn_sweep_point\",\"conns\":{},\"completed\":{},\
+             \"overload_rounds\":{},\"errors\":{},\"client_p99_us\":{},\
+             \"server_p50_us\":{},\"server_p95_us\":{},\"server_p99_us\":{}}}",
+            self.conns,
+            self.completed,
+            self.overload_rounds,
+            self.errors,
+            self.client_p99_us,
+            self.server_p50_us,
+            self.server_p95_us,
+            self.server_p99_us,
+        )
+    }
+}
+
+/// One sweep point's load run: event-driven single-threaded client on
+/// Linux, thread-per-connection elsewhere.
+#[cfg(target_os = "linux")]
+fn run_load_sweep(args: &Args, conns: usize, n_in: usize) -> Vec<ConnResult> {
+    evloop::run_load_event(args, conns, n_in)
+}
+
+/// One sweep point's load run (portable fallback).
+#[cfg(not(target_os = "linux"))]
+fn run_load_sweep(args: &Args, conns: usize, _n_in: usize) -> Vec<ConnResult> {
+    run_load(args, conns)
+}
+
+/// Repeats the closed-loop run at each `--conns-sweep` count and gates
+/// on the server-side p99 growth from the first point to the last.
+fn run_conn_sweep(args: &Args) -> ! {
+    println!(
+        "cs-netload: sweeping {:?} conns x {} requests against {} (model \"{}\", seed {}, think {} ms)",
+        args.conns_sweep, args.requests, args.addr, args.model, args.seed, args.think_ms
+    );
+    // Probe the model shape once; every connection reuses it.
+    let n_in = match Client::connect(&args.addr).and_then(|mut c| c.model_info(&args.model)) {
+        Ok((n_in, _)) => n_in as usize,
+        Err(e) => {
+            eprintln!("error: model query against {} failed: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    let mut points: Vec<ConnSweepPoint> = Vec::new();
+    let mut failed = 0u64;
+    for &conns in &args.conns_sweep {
+        let results = run_load_sweep(args, conns, n_in);
+        let client_all = sorted_all(&results, |r| &r.latencies_us);
+        let server_all = sorted_all(&results, |r| &r.server_latencies_us);
+        let point = ConnSweepPoint {
+            conns,
+            completed: results.iter().map(|r| r.completed).sum(),
+            overload_rounds: results.iter().map(|r| r.overload_rounds).sum(),
+            errors: results.iter().filter(|r| r.error.is_some()).count() as u64,
+            client_p99_us: percentile(&client_all, 0.99),
+            server_p50_us: percentile(&server_all, 0.50),
+            server_p95_us: percentile(&server_all, 0.95),
+            server_p99_us: percentile(&server_all, 0.99),
+        };
+        for r in results.iter().filter(|r| r.error.is_some()) {
+            eprintln!(
+                "  conns={conns} conn {} failed: {}",
+                r.conn,
+                r.error.as_deref().unwrap_or("")
+            );
+        }
+        println!(
+            "  {} conns: {} completed, {} errors, server p50 {} us / p95 {} us / p99 {} us, client p99 {} us",
+            point.conns,
+            point.completed,
+            point.errors,
+            point.server_p50_us,
+            point.server_p95_us,
+            point.server_p99_us,
+            point.client_p99_us,
+        );
+        failed += point.errors;
+        points.push(point);
+    }
+
+    if let Some(path) = &args.out {
+        let body = points
+            .iter()
+            .map(ConnSweepPoint::jsonl)
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("writing {path} failed: {e}");
+            std::process::exit(2);
+        }
+        println!("results written to {path}");
+    }
+
+    let mut gate_failed = false;
+    if args.max_p99_ratio > 0.0 {
+        if let (Some(first), Some(last)) = (points.first(), points.last()) {
+            let base = first.server_p99_us.max(1);
+            let ratio = last.server_p99_us as f64 / base as f64;
+            println!(
+                "server p99 growth {} -> {} conns: {:.2}x (gate {:.2}x)",
+                first.conns, last.conns, ratio, args.max_p99_ratio
+            );
+            if ratio > args.max_p99_ratio {
+                eprintln!(
+                    "error: server-side p99 grew {ratio:.2}x across the sweep, \
+                     above the allowed {:.2}x",
+                    args.max_p99_ratio
+                );
+                gate_failed = true;
+            }
+        }
+    }
+
+    if args.shutdown {
+        match Client::connect(&args.addr).and_then(|mut c| c.shutdown_server()) {
+            Ok(()) => println!("server drained and stopped"),
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if failed > 0 || gate_failed {
+        std::process::exit(2);
+    }
+    std::process::exit(0);
+}
+
 /// Polls the endpoint until the target model resolves (or the deadline
 /// passes). Against an orchestrator this waits out the window between
 /// "listener up" and "first worker registered", so scripted multi-process
@@ -346,36 +960,13 @@ fn main() {
     if args.wait_ready_secs > 0 {
         wait_ready(&args);
     }
+    if !args.conns_sweep.is_empty() {
+        run_conn_sweep(&args);
+    }
 
-    let results: Vec<ConnResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..args.conns)
-            .map(|conn| {
-                scope.spawn({
-                    let args = &args;
-                    move || run_connection(args, conn)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(conn, h)| {
-                h.join().unwrap_or_else(|_| ConnResult {
-                    conn,
-                    completed: 0,
-                    overload_rounds: 0,
-                    latencies_us: Vec::new(),
-                    error: Some("connection thread panicked".to_string()),
-                })
-            })
-            .collect()
-    });
+    let results = run_load(&args, args.conns);
 
-    let mut all: Vec<u64> = results
-        .iter()
-        .flat_map(|r| r.latencies_us.iter().copied())
-        .collect();
-    all.sort_unstable();
+    let all = sorted_all(&results, |r| &r.latencies_us);
     let completed: u64 = results.iter().map(|r| r.completed).sum();
     let retries: u64 = results.iter().map(|r| r.overload_rounds).sum();
     let failed: Vec<&ConnResult> = results.iter().filter(|r| r.error.is_some()).collect();

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use cs_net::{AgentConfig, Client, NetConfig, NetServer, WorkerAgent};
+use cs_net::{AgentConfig, Client, NetConfig, NetServer, Transport, WorkerAgent};
 use cs_serve::{ExecBackend, ModelRegistry, ServeConfig, ServeSnapshot, Server};
 use cs_telemetry::{MonotonicClock, Recorder, Registry};
 
@@ -40,6 +40,10 @@ pub struct LocalClusterConfig {
     pub heartbeat_ms: u32,
     /// Heartbeat eviction deadline.
     pub heartbeat_timeout_ms: u32,
+    /// Network data plane for every node's request frontend (the
+    /// orchestrator's control plane stays threaded — it holds a few
+    /// long-lived agent connections, not a fan-in of clients).
+    pub transport: Transport,
 }
 
 impl Default for LocalClusterConfig {
@@ -51,6 +55,7 @@ impl Default for LocalClusterConfig {
             emulate_hw_time: false,
             heartbeat_ms: 50,
             heartbeat_timeout_ms: 200,
+            transport: Transport::default(),
         }
     }
 }
@@ -128,7 +133,14 @@ impl LocalCluster {
                 Arc::new(MonotonicClock::new()),
                 node_registry.clone(),
             )?;
-            let net = NetServer::start_with_recorder(serve, NetConfig::default(), node_registry)?;
+            let net = NetServer::start_with_recorder(
+                serve,
+                NetConfig {
+                    transport: cfg.transport,
+                    ..NetConfig::default()
+                },
+                node_registry,
+            )?;
             let agent = WorkerAgent::join(
                 AgentConfig::new(
                     orch_addr.clone(),

@@ -11,19 +11,24 @@
 //!   encoding — truncations, bit flips, hostile length prefixes,
 //!   appended junk — and demands the decoder returns a value (`Ok` or a
 //!   typed [`WireError`]) without panicking and without allocating past
-//!   the payload cap.
+//!   the payload cap. Every byte stream — valid and mutated — is
+//!   additionally replayed through the reactor's incremental
+//!   [`FrameAssembler`] under seeded random chunking: same frames, the
+//!   same typed error, no panic, and buffering bounded by one maximal
+//!   frame, so the two data planes agree even on hostile input.
 //! * [`check_serve_socket`] — the served-output differential of
 //!   [`crate::serve_check`] run over real loopback TCP: the same probes
-//!   through a [`cs_net::NetServer`] on the Sparse and Dense backends
-//!   must be bit-identical to a direct in-process lane forward. The
-//!   wire format's f32-bits encoding makes this exact, and the corpus
-//!   pins one such case forever.
+//!   through a [`cs_net::NetServer`] on the Sparse and Dense backends,
+//!   over both the threaded and reactor transports, must be
+//!   bit-identical to a direct in-process lane forward. The wire
+//!   format's f32-bits encoding makes this exact, and the corpus pins
+//!   one such case forever.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use cs_net::wire::{ErrorCode, Frame, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
-use cs_net::{Client, NetConfig, NetServer};
+use cs_net::{Client, FrameAssembler, NetConfig, NetServer, Transport};
 use cs_serve::{ExecBackend, ModelRegistry, ServeConfig, Server};
 use cs_telemetry::{MonotonicClock, Registry};
 
@@ -179,6 +184,123 @@ fn mutate(rng: &mut CaseRng, bytes: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Decodes `bytes` as a whole buffer with the blocking entry point:
+/// the oracle the incremental assembler is checked against. Frames are
+/// compared by their re-encoding (byte-exact, NaN-proof).
+fn oracle_decode_stream(bytes: &[u8]) -> Result<Vec<Vec<u8>>, WireError> {
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    loop {
+        match Frame::decode_with_limit(&bytes[offset..], DEFAULT_MAX_PAYLOAD)? {
+            Some((frame, used)) => {
+                frames.push(frame.encode());
+                offset += used;
+            }
+            None => return Ok(frames),
+        }
+    }
+}
+
+/// Replays `bytes` through the reactor's [`FrameAssembler`] in seeded
+/// random chunks and demands agreement with whole-buffer decoding:
+/// identical frames, an identical typed error, no panic, and buffering
+/// never past one maximal in-flight frame (`HEADER_LEN + payload cap`).
+fn check_assembler_differential(
+    rng: &mut CaseRng,
+    bytes: &[u8],
+    what: &str,
+    index: u64,
+    out: &mut Vec<Mismatch>,
+) {
+    // Draw chunk boundaries up front so the RNG stream is identical
+    // whether or not the assembler panics mid-replay.
+    let mut cuts = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        offset = (offset + 1 + rng.range(0, 48) as usize).min(bytes.len());
+        cuts.push(offset);
+    }
+
+    let replay = catch_unwind(AssertUnwindSafe(|| {
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_PAYLOAD);
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut error = None;
+        let mut max_buffered = 0usize;
+        let bound = asm.buffered_bound();
+        let mut prev = 0usize;
+        'chunks: for &cut in &cuts {
+            asm.push(&bytes[prev..cut]);
+            prev = cut;
+            loop {
+                match asm.next_frame() {
+                    Ok(Some(f)) => frames.push(f.encode()),
+                    Ok(None) => break,
+                    Err(e) => {
+                        error = Some(e);
+                        break 'chunks;
+                    }
+                }
+            }
+            max_buffered = max_buffered.max(asm.buffered());
+        }
+        (frames, error, max_buffered, bound)
+    }));
+
+    let (frames, error, max_buffered, bound) = match replay {
+        Ok(r) => r,
+        Err(_) => {
+            out.push(Mismatch::new(
+                "net-assembler-panic",
+                format!(
+                    "case {index}: chunked assembly panicked on {what} input ({} bytes)",
+                    bytes.len()
+                ),
+            ));
+            return;
+        }
+    };
+    if max_buffered > bound {
+        out.push(Mismatch::new(
+            "net-assembler-overallocation",
+            format!(
+                "case {index}: {what}: assembler buffered {max_buffered} bytes, \
+                 cap is {bound}"
+            ),
+        ));
+    }
+    match (oracle_decode_stream(bytes), error) {
+        (Ok(want), None) => {
+            if frames != want {
+                out.push(Mismatch::new(
+                    "net-assembler-vs-oracle-frames",
+                    format!(
+                        "case {index}: {what}: chunked assembly yielded {} frames, \
+                         whole-buffer decode {}  (or differing bytes)",
+                        frames.len(),
+                        want.len()
+                    ),
+                ));
+            }
+        }
+        (Err(want), Some(got)) => {
+            if got != want {
+                out.push(Mismatch::new(
+                    "net-assembler-vs-oracle-error",
+                    format!("case {index}: {what}: chunked error {got:?}, whole-buffer {want:?}"),
+                ));
+            }
+        }
+        (Ok(_), Some(got)) => out.push(Mismatch::new(
+            "net-assembler-spurious-error",
+            format!("case {index}: {what}: assembler rejected ({got:?}) what the oracle accepts"),
+        )),
+        (Err(want), None) => out.push(Mismatch::new(
+            "net-assembler-missed-error",
+            format!("case {index}: {what}: assembler accepted what the oracle rejects ({want:?})"),
+        )),
+    }
+}
+
 fn check_decode_total(bytes: &[u8], what: &str, index: u64, out: &mut Vec<Mismatch>) {
     let result = catch_unwind(AssertUnwindSafe(|| {
         Frame::decode_with_limit(bytes, DEFAULT_MAX_PAYLOAD)
@@ -255,10 +377,16 @@ pub fn fuzz_codec(seed: u64, cases: u64) -> Vec<Mismatch> {
             }
         }
 
-        // Mutations decode totally (no panic, no over-allocation).
+        // The incremental assembler agrees with whole-buffer decoding
+        // on the valid stream under random chunking.
+        check_assembler_differential(&mut rng, &bytes, "valid", index, &mut out);
+
+        // Mutations decode totally (no panic, no over-allocation) and
+        // identically on both data planes.
         for _ in 0..4 {
             let mutated = mutate(&mut rng, &bytes);
             check_decode_total(&mutated, "mutated", index, &mut out);
+            check_assembler_differential(&mut rng, &mutated, "mutated", index, &mut out);
         }
 
         if out.len() > 16 {
@@ -281,78 +409,87 @@ pub fn check_serve_socket(art: &FcArtifacts, probe_seed: u64) -> Vec<Mismatch> {
     probes.push(art.input.clone());
 
     let lane = model_from(art).sparse_lane();
-    for backend in [ExecBackend::Sparse, ExecBackend::Dense] {
-        let mut registry = ModelRegistry::new();
-        if let Err(e) = registry.register(model_from(art)) {
-            return vec![Mismatch::new(
-                "net-socket-admission",
-                format!("registry rejected the case's layers: {e:?}"),
-            )];
-        }
-        let serve = match Server::start_with_recorder(
-            registry,
-            ServeConfig {
-                workers: 2,
-                backend,
-                ..ServeConfig::default()
-            },
-            Arc::new(MonotonicClock::new()),
-            Arc::new(Registry::new()),
-        ) {
-            Ok(s) => s,
-            Err(e) => {
+    for transport in [Transport::Threaded, Transport::Reactor] {
+        for backend in [ExecBackend::Sparse, ExecBackend::Dense] {
+            let mut registry = ModelRegistry::new();
+            if let Err(e) = registry.register(model_from(art)) {
                 return vec![Mismatch::new(
-                    "net-socket-serve-start",
-                    format!("{backend:?}: {e:?}"),
-                )]
+                    "net-socket-admission",
+                    format!("registry rejected the case's layers: {e:?}"),
+                )];
             }
-        };
-        let net = match NetServer::start(serve, NetConfig::default()) {
-            Ok(n) => n,
-            Err(e) => {
-                return vec![Mismatch::new(
-                    "net-socket-start",
-                    format!("{backend:?}: {e}"),
-                )]
-            }
-        };
-        let mut client = match Client::connect(&net.local_addr().to_string()) {
-            Ok(c) => c,
-            Err(e) => {
-                return vec![Mismatch::new(
-                    "net-socket-connect",
-                    format!("{backend:?}: {e}"),
-                )]
-            }
-        };
-        for (pi, probe) in probes.iter().enumerate() {
-            let want = match lane.forward(probe) {
-                Ok(v) => v,
+            let serve = match Server::start_with_recorder(
+                registry,
+                ServeConfig {
+                    workers: 2,
+                    backend,
+                    ..ServeConfig::default()
+                },
+                Arc::new(MonotonicClock::new()),
+                Arc::new(Registry::new()),
+            ) {
+                Ok(s) => s,
                 Err(e) => {
-                    out.push(Mismatch::new("net-socket-lane-error", format!("{e:?}")));
-                    return out;
+                    return vec![Mismatch::new(
+                        "net-socket-serve-start",
+                        format!("{transport} {backend:?}: {e:?}"),
+                    )]
                 }
             };
-            match client.request(MODEL, probe) {
-                Ok(resp) => {
-                    let got: Vec<u32> = resp.outputs.iter().map(|v| v.to_bits()).collect();
-                    let exp: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
-                    if got != exp {
-                        out.push(Mismatch::new(
-                            "net-socket-vs-direct-bits",
-                            format!(
-                                "{backend:?} probe {pi}: socket-served output differs from direct lane forward"
-                            ),
-                        ));
-                    }
+            let net = match NetServer::start(
+                serve,
+                NetConfig {
+                    transport,
+                    ..NetConfig::default()
+                },
+            ) {
+                Ok(n) => n,
+                Err(e) => {
+                    return vec![Mismatch::new(
+                        "net-socket-start",
+                        format!("{transport} {backend:?}: {e}"),
+                    )]
                 }
-                Err(e) => out.push(Mismatch::new(
-                    "net-socket-request",
-                    format!("{backend:?} probe {pi}: {e}"),
-                )),
+            };
+            let mut client = match Client::connect(&net.local_addr().to_string()) {
+                Ok(c) => c,
+                Err(e) => {
+                    return vec![Mismatch::new(
+                        "net-socket-connect",
+                        format!("{transport} {backend:?}: {e}"),
+                    )]
+                }
+            };
+            for (pi, probe) in probes.iter().enumerate() {
+                let want = match lane.forward(probe) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        out.push(Mismatch::new("net-socket-lane-error", format!("{e:?}")));
+                        return out;
+                    }
+                };
+                match client.request(MODEL, probe) {
+                    Ok(resp) => {
+                        let got: Vec<u32> = resp.outputs.iter().map(|v| v.to_bits()).collect();
+                        let exp: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                        if got != exp {
+                            out.push(Mismatch::new(
+                                "net-socket-vs-direct-bits",
+                                format!(
+                                    "{transport} {backend:?} probe {pi}: socket-served output \
+                                     differs from direct lane forward"
+                                ),
+                            ));
+                        }
+                    }
+                    Err(e) => out.push(Mismatch::new(
+                        "net-socket-request",
+                        format!("{transport} {backend:?} probe {pi}: {e}"),
+                    )),
+                }
             }
+            net.shutdown();
         }
-        net.shutdown();
     }
     out
 }

@@ -25,7 +25,7 @@
 
 use std::sync::Arc;
 
-use cs_net::{AgentConfig, NetConfig, NetServer, WorkerAgent};
+use cs_net::{AgentConfig, NetConfig, NetServer, Transport, WorkerAgent};
 use cs_nn::spec::Scale;
 use cs_serve::{
     ExecBackend, ModelRegistry, Recorder, Registry, ServableModel, ServeConfig, Server,
@@ -41,6 +41,9 @@ struct Args {
     seed: u64,
     backend: ExecBackend,
     max_connections: usize,
+    transport: Transport,
+    queue_depth: usize,
+    max_batch: usize,
     join: Option<String>,
     worker_id: String,
 }
@@ -50,7 +53,8 @@ fn usage() -> ! {
         "usage: cs-netserve [--addr HOST:PORT] [--addr-file PATH] [--metrics-out PATH]\n\
          \x20                 [--workers N] [--scale N] [--seed N]\n\
          \x20                 [--backend simulator|sparse|dense] [--max-connections N]\n\
-         \x20                 [--join ORCH_ADDR] [--worker-id NAME]"
+         \x20                 [--transport threaded|reactor] [--queue-depth N]\n\
+         \x20                 [--max-batch N] [--join ORCH_ADDR] [--worker-id NAME]"
     );
     std::process::exit(1);
 }
@@ -65,6 +69,9 @@ fn parse_args() -> Args {
         seed: 7,
         backend: ExecBackend::Sparse,
         max_connections: 64,
+        transport: Transport::default(),
+        queue_depth: 64,
+        max_batch: 8,
         join: None,
         worker_id: "local".to_string(),
     };
@@ -87,6 +94,19 @@ fn parse_args() -> Args {
             "--max-connections" => {
                 out.max_connections = parse_num(&value("--max-connections"), "--max-connections")
             }
+            "--transport" => {
+                out.transport = match value("--transport").parse() {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        usage();
+                    }
+                }
+            }
+            "--queue-depth" => {
+                out.queue_depth = parse_num(&value("--queue-depth"), "--queue-depth")
+            }
+            "--max-batch" => out.max_batch = parse_num(&value("--max-batch"), "--max-batch"),
             "--join" => out.join = Some(value("--join")),
             "--worker-id" => out.worker_id = value("--worker-id"),
             "--backend" => {
@@ -141,6 +161,8 @@ fn main() {
         workers: args.workers,
         backend: args.backend,
         node: args.worker_id.clone(),
+        queue_depth: args.queue_depth,
+        max_batch: args.max_batch,
         ..ServeConfig::default()
     };
     let serve = match Server::start_with_recorder(
@@ -158,6 +180,7 @@ fn main() {
     let net_cfg = NetConfig {
         addr: args.addr.clone(),
         max_connections: args.max_connections,
+        transport: args.transport,
         ..NetConfig::default()
     };
     let net = match NetServer::start_with_recorder(serve, net_cfg, registry.clone()) {
@@ -170,8 +193,9 @@ fn main() {
 
     let addr = net.local_addr();
     println!(
-        "cs-netserve listening on {addr} (model \"mlp\", n_in {n_in}, {} workers)",
-        args.workers
+        "cs-netserve listening on {addr} (model \"mlp\", n_in {n_in}, {} workers, {} transport)",
+        args.workers,
+        net.transport()
     );
     if let Some(path) = &args.addr_file {
         // The load generator discovers the ephemeral port through this

@@ -8,9 +8,21 @@
 //!   Pure functions over byte slices; every length is validated before
 //!   any allocation, so hostile prefixes cost 16 bytes, not 4 GiB.
 //! * [`transport`] — blocking frame I/O over any `Read`/`Write` pair.
-//! * [`server`] — [`NetServer`]: a TCP listener with thread-per-
-//!   connection readers and writers, per-connection FIFO reply order,
-//!   a connection cap, read/write deadlines, and telemetry.
+//! * [`assembler`] — [`FrameAssembler`] / [`WriteBuffer`]: resumable
+//!   incremental decode and coalesced nonblocking encode, the state
+//!   machines behind the reactor (fuzzed differentially against the
+//!   blocking decoder).
+//! * [`poll`] — a zero-dependency epoll binding (Linux only). The
+//!   reactor is built on it, and it is public so event-driven clients
+//!   (the `cs-netload` connection sweep drives a thousand sockets from
+//!   one thread) can share the same readiness primitive.
+//! * [`server`] — [`NetServer`]: a TCP frontend with two data planes
+//!   behind one API ([`Transport`]): portable thread-per-connection
+//!   readers/writers, or a Linux epoll reactor (`reactor`, a private
+//!   module over [`poll`]) scaling to thousands of sockets. Both offer
+//!   per-connection FIFO reply order, a connection cap, read/write
+//!   deadlines, bounded reply queues with slow-consumer disconnects,
+//!   and telemetry.
 //! * [`client`] — [`Client`]: a blocking caller with typed errors and
 //!   an opt-in seeded-backoff retry for overload.
 //! * [`agent`] — [`WorkerAgent`]: the worker-side cluster control
@@ -45,14 +57,20 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod agent;
+pub mod assembler;
 pub mod client;
 pub mod error;
+#[cfg(target_os = "linux")]
+pub mod poll;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use agent::{AgentConfig, WorkerAgent};
+pub use assembler::{FrameAssembler, WriteBuffer};
 pub use client::{Client, ClientConfig, NetResponse, RetryPolicy};
 pub use error::NetError;
-pub use server::{NetConfig, NetServer, NetShutdownHandle};
+pub use server::{NetConfig, NetServer, NetShutdownHandle, Transport};
 pub use wire::{ErrorCode, Frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD, WIRE_VERSION};

@@ -1,0 +1,843 @@
+//! The event-driven network frontend (Linux only).
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!  clients ──TCP──▶  │ event loop: epoll { listener, wake pipe,   │
+//!                    │   N nonblocking conns }                    │
+//!                    │  · FrameAssembler per conn (incremental    │
+//!                    │    decode)                                 │
+//!                    │  · pending VecDeque per conn (FIFO reply   │
+//!                    │    order under pipelining)                 │
+//!                    │  · WriteBuffer per conn (coalesced,        │
+//!                    │    backpressure-aware flush)               │
+//!                    └───────▲────────────────────┬───────────────┘
+//!                            │ wake byte          │ submit → Ticket
+//!                    ┌───────┴────────┐   ┌───────▼───────────────┐
+//!                    │ completion     │◀──│ cs_serve worker lanes │
+//!                    │ pump threads   │   └───────────────────────┘
+//!                    │ (ticket.wait)  │
+//!                    └────────────────┘
+//! ```
+//!
+//! One loop thread owns every socket; a small fixed pool of completion
+//! threads (O(workers), not O(connections)) blocks on serve tickets
+//! and posts finished replies back through a mutex-guarded queue plus
+//! a [`crate::poll::WakePipe`] byte. Per-connection reply order is a
+//! `pending` queue of slots — `Waiting(seq)` placeholders flip to
+//! `Done(frame)` as completions land, and the flush side only encodes
+//! while the queue's *front* is done, so pipelined replies leave in
+//! submission order even when batches complete out of order.
+//!
+//! Semantics are deliberately identical to the threaded transport
+//! (which doubles as its conformance oracle — see `tests/loopback.rs`):
+//! the same connection cap, read/write deadlines, typed error frames,
+//! drain-then-ack shutdown, slow-consumer disconnects, and metric
+//! increment points.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cs_serve::{DrainHandle, InferRequest, Server, Ticket};
+use cs_telemetry::Clock;
+
+use crate::assembler::{FrameAssembler, WriteBuffer};
+use crate::error::NetError;
+use crate::poll::{
+    Epoll, EpollEvent, WakePipe, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use crate::server::{NetConfig, NetMetrics};
+use crate::wire::{ErrorCode, Frame};
+
+/// epoll token for the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// epoll token for the wake pipe's read end.
+const TOKEN_WAKE: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_BASE: u64 = 2;
+
+/// Loop tick: upper bound on deadline-check latency.
+const TICK_MS: i32 = 25;
+/// Read chunk size per `read(2)` call.
+const READ_CHUNK: usize = 64 * 1024;
+/// Events drained per `epoll_wait`.
+const EVENTS_CAP: usize = 256;
+/// Completion pump threads: sized to the serve runtime's worker
+/// parallelism, not the connection count.
+const COMPLETERS: usize = 4;
+
+/// A finished reply travelling from a completion thread to the loop.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    frame: Frame,
+    t0_us: Option<u64>,
+}
+
+/// An in-flight request a completion thread is waiting on.
+struct CompJob {
+    conn: u64,
+    seq: u64,
+    id: u64,
+    t0_us: u64,
+    ticket: Ticket,
+}
+
+/// One slot in a connection's FIFO reply queue.
+enum Slot {
+    /// Submitted to the serve runtime; a completion will fill it.
+    Waiting { seq: u64 },
+    /// Ready to encode and flush.
+    Done { frame: Frame, t0_us: Option<u64> },
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum ConnState {
+    /// Reading and serving.
+    Open,
+    /// No further reads; flush outstanding replies, then close. Entered
+    /// on clean EOF, decode errors, protocol violations, read
+    /// deadlines, and the shutdown control frame.
+    Draining,
+}
+
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    asm: FrameAssembler,
+    out: WriteBuffer,
+    /// `(cumulative out-stream offset where a frame ends, request t0)`;
+    /// popped as `total_flushed` passes each end — the exact moment the
+    /// frames-out counter and the latency histogram observe.
+    frame_ends: VecDeque<(u64, Option<u64>)>,
+    pending: VecDeque<Slot>,
+    next_seq: u64,
+    state: ConnState,
+    /// Reply queue at capacity: reads are paused (backpressure) until
+    /// completions free a slot — or the slow-consumer grace expires.
+    reads_paused: bool,
+    paused_since_us: Option<u64>,
+    last_in_us: u64,
+    last_write_progress_us: u64,
+    /// The currently registered epoll interest mask.
+    interest: u32,
+    /// This connection carried the shutdown control frame; once its ack
+    /// flushes (or it dies), the whole frontend stops.
+    carried_shutdown: bool,
+}
+
+impl Conn {
+    fn desired_interest(&self) -> u32 {
+        let mut mask = 0;
+        if self.state == ConnState::Open && !self.reads_paused {
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if !self.out.is_empty() {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    fn done_draining(&self) -> bool {
+        self.state == ConnState::Draining && self.pending.is_empty() && self.out.is_empty()
+    }
+}
+
+/// State shared by the event loop, the completion pump, and the owning
+/// [`crate::server::NetServer`] handle — the reactor twin of the
+/// threaded transport's `Shared`.
+pub(crate) struct ReactorShared {
+    pub(crate) serve: Server,
+    pub(crate) drain: DrainHandle,
+    pub(crate) cfg: NetConfig,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) metrics: NetMetrics,
+    pub(crate) stop: AtomicBool,
+    /// Wake handle for the loop's pipe; `None` once the loop exits.
+    waker: Mutex<Option<Waker>>,
+    completions: Mutex<Vec<Completion>>,
+    pub(crate) shutdown_signal: (Mutex<bool>, Condvar),
+    pub(crate) local_addr: SocketAddr,
+}
+
+impl ReactorShared {
+    pub(crate) fn new(
+        serve: Server,
+        cfg: NetConfig,
+        clock: Arc<dyn Clock>,
+        metrics: NetMetrics,
+        local_addr: SocketAddr,
+    ) -> ReactorShared {
+        let drain = serve.drain_handle();
+        ReactorShared {
+            serve,
+            drain,
+            cfg,
+            clock,
+            metrics,
+            stop: AtomicBool::new(false),
+            waker: Mutex::new(None),
+            completions: Mutex::new(Vec::new()),
+            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            local_addr,
+        }
+    }
+
+    /// Marks the frontend as stopping, wakes the event loop, and
+    /// signals `wait_for_shutdown` waiters. Idempotent.
+    pub(crate) fn begin_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake();
+        let (lock, cv) = &self.shutdown_signal;
+        let mut stopped = lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        *stopped = true;
+        cv.notify_all();
+    }
+
+    fn wake(&self) {
+        let waker = self
+            .waker
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(w) = waker.as_ref() {
+            w.wake();
+        }
+    }
+}
+
+/// The running reactor frontend: the loop thread, its completion pump,
+/// and the state shared with [`crate::server::NetServer`].
+pub(crate) struct ReactorServer {
+    shared: Arc<ReactorShared>,
+    loop_thread: Option<JoinHandle<()>>,
+    completers: Vec<JoinHandle<()>>,
+}
+
+impl ReactorServer {
+    /// Registers the listener with a fresh epoll instance and spawns
+    /// the loop + completion threads.
+    pub(crate) fn start(
+        shared: Arc<ReactorShared>,
+        listener: TcpListener,
+    ) -> Result<ReactorServer, NetError> {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::from_io("set listener nonblocking", &e))?;
+        let epoll = Epoll::new().map_err(|e| NetError::from_io("epoll_create1", &e))?;
+        let pipe = WakePipe::new().map_err(|e| NetError::from_io("create wake pipe", &e))?;
+        epoll
+            .add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+            .map_err(|e| NetError::from_io("register listener", &e))?;
+        epoll
+            .add(pipe.read_fd(), EPOLLIN, TOKEN_WAKE)
+            .map_err(|e| NetError::from_io("register wake pipe", &e))?;
+        {
+            let mut waker = shared
+                .waker
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            *waker = Some(pipe.waker());
+        }
+        let (comp_tx, comp_rx) = mpsc::channel::<CompJob>();
+        let comp_rx = Arc::new(Mutex::new(comp_rx));
+        let mut completers = Vec::with_capacity(COMPLETERS);
+        for i in 0..COMPLETERS {
+            let shared = Arc::clone(&shared);
+            let comp_rx = Arc::clone(&comp_rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("cs-net-completer-{i}"))
+                .spawn(move || completer_loop(&shared, &comp_rx))
+                .map_err(|e| NetError::InvalidConfig(format!("spawning completer: {e}")))?;
+            completers.push(handle);
+        }
+        let loop_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cs-net-reactor".to_string())
+                .spawn(move || {
+                    let mut lp = EventLoop {
+                        shared,
+                        listener,
+                        epoll,
+                        pipe,
+                        comp_tx,
+                        conns: HashMap::new(),
+                        next_token: TOKEN_BASE,
+                        stop_when_flushed: None,
+                    };
+                    lp.run();
+                })
+                .map_err(|e| NetError::InvalidConfig(format!("spawning reactor thread: {e}")))?
+        };
+        Ok(ReactorServer {
+            shared,
+            loop_thread: Some(loop_thread),
+            completers,
+        })
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<ReactorShared> {
+        &self.shared
+    }
+
+    /// Stops the loop, drains the serving runtime, joins every thread.
+    pub(crate) fn stop_and_join(&mut self) {
+        self.shared.begin_stop();
+        if let Some(t) = self.loop_thread.take() {
+            let _ = t.join();
+        }
+        // Resolve any still-pending tickets so completion threads
+        // unblock, then join them (the loop thread dropping its job
+        // sender closed their queue).
+        self.shared.drain.shutdown_and_drain();
+        for t in self.completers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        if self.loop_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn completer_loop(shared: &Arc<ReactorShared>, rx: &Arc<Mutex<Receiver<CompJob>>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => return, // loop thread gone
+            }
+        };
+        // Deadline waits interleave a stop check so a force-stop cannot
+        // strand a completer on a ticket nobody will resolve. (Graceful
+        // shutdown drains *before* the stop flag flips, so no reply is
+        // ever discarded on that path.)
+        let result = loop {
+            match job.ticket.wait_deadline(Duration::from_millis(100)) {
+                Some(r) => break Some(r),
+                None => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                }
+            }
+        };
+        let Some(result) = result else { continue };
+        let (frame, t0_us) = match result {
+            Ok(resp) => (Frame::from_response(job.id, &resp), Some(job.t0_us)),
+            Err(e) => (Frame::from_serve_error(job.id, &e), None),
+        };
+        shared
+            .completions
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(Completion {
+                conn: job.conn,
+                seq: job.seq,
+                frame,
+                t0_us,
+            });
+        shared.wake();
+    }
+}
+
+struct EventLoop {
+    shared: Arc<ReactorShared>,
+    listener: TcpListener,
+    epoll: Epoll,
+    pipe: WakePipe,
+    comp_tx: Sender<CompJob>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Set when a shutdown ack is queued: the frontend stops as soon as
+    /// that connection finishes flushing (or dies).
+    stop_when_flushed: Option<u64>,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events = [EpollEvent::zeroed(); EVENTS_CAP];
+        let mut scratch = vec![0u8; READ_CHUNK];
+        while let Ok(n) = self.epoll.wait(&mut events, TICK_MS) {
+            for ev in &events[..n] {
+                match ev.token() {
+                    TOKEN_LISTENER => self.accept_burst(),
+                    TOKEN_WAKE => self.pipe.drain(),
+                    token => self.handle_conn_event(token, ev.events(), &mut scratch),
+                }
+            }
+            self.apply_completions();
+            self.check_deadlines();
+            self.check_stop_when_flushed();
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        // Best-effort final flush so replies already serialized (e.g. a
+        // shutdown ack racing a force-stop) reach the wire.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.service_conn(token);
+        }
+        for (_, conn) in self.conns.drain() {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.shared.metrics.connections.sub(1);
+        }
+        {
+            let mut waker = self
+                .shared
+                .waker
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            *waker = None;
+        }
+        self.shared.begin_stop();
+    }
+
+    fn now_us(&self) -> u64 {
+        self.shared.clock.now_us()
+    }
+
+    fn accept_burst(&mut self) {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            };
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let _ = stream.set_nodelay(true);
+            if self.conns.len() >= self.shared.cfg.max_connections {
+                self.shared.metrics.rejected.inc();
+                let mut stream = stream;
+                // The accepted socket is still blocking here; bound the
+                // courtesy write so a hostile peer cannot wedge the
+                // loop.
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let frame = Frame::Error {
+                    id: 0,
+                    code: ErrorCode::ConnectionLimit,
+                    detail: format!(
+                        "connection cap {} reached, try later",
+                        self.shared.cfg.max_connections
+                    ),
+                };
+                if stream.write_all(&frame.encode()).is_ok() {
+                    self.shared.metrics.frames_out.inc();
+                }
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            let now = self.now_us();
+            let interest = EPOLLIN | EPOLLRDHUP;
+            if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+                continue;
+            }
+            self.shared.metrics.accepted.inc();
+            self.shared.metrics.connections.add(1);
+            self.conns.insert(
+                token,
+                Conn {
+                    stream,
+                    token,
+                    asm: FrameAssembler::new(self.shared.cfg.max_payload),
+                    out: WriteBuffer::new(),
+                    frame_ends: VecDeque::new(),
+                    pending: VecDeque::new(),
+                    next_seq: 0,
+                    state: ConnState::Open,
+                    reads_paused: false,
+                    paused_since_us: None,
+                    last_in_us: now,
+                    last_write_progress_us: now,
+                    interest,
+                    carried_shutdown: false,
+                },
+            );
+        }
+    }
+
+    fn handle_conn_event(&mut self, token: u64, events: u32, scratch: &mut [u8]) {
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        // Hangups and errors surface as EOF / errors on the read path;
+        // pure write readiness skips the read attempt.
+        if events & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 {
+            self.read_conn(token, scratch);
+        }
+        self.service_conn(token);
+    }
+
+    fn read_conn(&mut self, token: u64, scratch: &mut [u8]) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.state != ConnState::Open || conn.reads_paused {
+                return;
+            }
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    // Clean close (or half-close): stop reading, flush
+                    // what is owed, then drop — the threaded reader
+                    // breaking and its writer draining, in one state.
+                    conn.state = ConnState::Draining;
+                    return;
+                }
+                Ok(n) => {
+                    conn.last_in_us = self.shared.clock.now_us();
+                    conn.asm.push(&scratch[..n]);
+                    self.drain_frames(token);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes every complete frame buffered in the connection's
+    /// assembler, dispatching each; pauses reads at the pipelining cap.
+    fn drain_frames(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.state != ConnState::Open {
+                return;
+            }
+            if conn.pending.len() >= self.shared.cfg.max_pending_replies {
+                if !conn.reads_paused {
+                    conn.reads_paused = true;
+                    conn.paused_since_us = Some(self.shared.clock.now_us());
+                }
+                return;
+            }
+            match conn.asm.next_frame() {
+                Ok(Some(frame)) => {
+                    self.shared.metrics.frames_in.inc();
+                    self.dispatch_frame(token, frame);
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    self.shared.metrics.decode_errors.inc();
+                    conn.state = ConnState::Draining;
+                    conn.pending.push_back(Slot::Done {
+                        frame: Frame::Error {
+                            id: 0,
+                            code: ErrorCode::Malformed,
+                            detail: e.to_string(),
+                        },
+                        t0_us: None,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+
+    fn dispatch_frame(&mut self, token: u64, frame: Frame) {
+        match frame {
+            Frame::Request { id, model, input } => {
+                let t0_us = self.now_us();
+                self.shared.metrics.requests.inc();
+                let submitted = self.shared.serve.submit(InferRequest::new(model, input));
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                match submitted {
+                    Ok(ticket) => {
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        conn.pending.push_back(Slot::Waiting { seq });
+                        let _ = self.comp_tx.send(CompJob {
+                            conn: token,
+                            seq,
+                            id,
+                            t0_us,
+                            ticket,
+                        });
+                    }
+                    Err(e) => conn.pending.push_back(Slot::Done {
+                        frame: Frame::from_serve_error(id, &e),
+                        t0_us: None,
+                    }),
+                }
+            }
+            Frame::Ping { id } => self.push_done(token, Frame::Pong { id }),
+            Frame::Query { id, model } => {
+                let reply = match self.shared.serve.registry().get(&model) {
+                    Some((_, m)) => Frame::Info {
+                        id,
+                        model,
+                        n_in: m.n_in as u32,
+                        n_out: m.n_out as u32,
+                    },
+                    None => Frame::Error {
+                        id,
+                        code: ErrorCode::UnknownModel,
+                        detail: format!("unknown model {model:?}"),
+                    },
+                };
+                self.push_done(token, reply);
+            }
+            Frame::Shutdown { id } => {
+                // Drain first — every in-flight request on every
+                // connection is answered before the ack goes out. The
+                // loop blocks here by design; completion threads keep
+                // resolving tickets meanwhile, and the pending queue
+                // preserves per-connection FIFO, so the ack cannot
+                // overtake this connection's earlier replies.
+                self.shared.drain.shutdown_and_drain();
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.state = ConnState::Draining;
+                    conn.carried_shutdown = true;
+                    conn.pending.push_back(Slot::Done {
+                        frame: Frame::ShutdownAck { id },
+                        t0_us: None,
+                    });
+                    self.stop_when_flushed = Some(token);
+                }
+            }
+            // Server-to-client frame types arriving at the server are a
+            // protocol violation, as are the cluster control frames;
+            // answer once and cut the connection.
+            Frame::Response { id, .. }
+            | Frame::Error { id, .. }
+            | Frame::Pong { id }
+            | Frame::ShutdownAck { id }
+            | Frame::Info { id, .. }
+            | Frame::Register { id, .. }
+            | Frame::RegisterAck { id, .. }
+            | Frame::Heartbeat { id, .. }
+            | Frame::Deregister { id, .. }
+            | Frame::DeregisterAck { id } => {
+                self.shared.metrics.decode_errors.inc();
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.state = ConnState::Draining;
+                    conn.pending.push_back(Slot::Done {
+                        frame: Frame::Error {
+                            id,
+                            code: ErrorCode::Malformed,
+                            detail: "frame type is not client-to-server".to_string(),
+                        },
+                        t0_us: None,
+                    });
+                }
+            }
+        }
+    }
+
+    fn push_done(&mut self, token: u64, frame: Frame) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.pending.push_back(Slot::Done { frame, t0_us: None });
+        }
+    }
+
+    /// Serializes ready replies, flushes, updates epoll interest, and
+    /// closes the connection if it is done draining. The single
+    /// maintenance entry point after any state change.
+    fn service_conn(&mut self, token: u64) {
+        loop {
+            let now = self.now_us();
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            // Encode from the front of the FIFO while replies are ready.
+            let was_empty = conn.out.is_empty();
+            let mut pushed = false;
+            while matches!(conn.pending.front(), Some(Slot::Done { .. })) {
+                let Some(Slot::Done { frame, t0_us }) = conn.pending.pop_front() else {
+                    break;
+                };
+                conn.out.push(&frame.encode());
+                conn.frame_ends.push_back((conn.out.total_pushed(), t0_us));
+                pushed = true;
+            }
+            if was_empty && pushed {
+                // The stall clock measures lack of progress on a
+                // non-empty buffer; restart it on the empty→non-empty
+                // transition.
+                conn.last_write_progress_us = now;
+            }
+            match conn.out.flush_to(&mut conn.stream) {
+                Ok(wrote) => {
+                    if wrote {
+                        conn.last_write_progress_us = now;
+                    }
+                    while let Some(&(end, t0)) = conn.frame_ends.front() {
+                        if end > conn.out.total_flushed() {
+                            break;
+                        }
+                        conn.frame_ends.pop_front();
+                        self.shared.metrics.frames_out.inc();
+                        if let Some(t0) = t0 {
+                            self.shared.metrics.latency.observe(now.saturating_sub(t0));
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            // A freed reply slot resumes reading — and whole frames may
+            // already sit in the assembler from before the pause; loop
+            // so they are served and flushed in this same pass.
+            if conn.reads_paused
+                && conn.state == ConnState::Open
+                && conn.pending.len() < self.shared.cfg.max_pending_replies
+            {
+                conn.reads_paused = false;
+                conn.paused_since_us = None;
+                self.drain_frames(token);
+                continue;
+            }
+            if conn.done_draining() {
+                self.close_conn(token);
+                return;
+            }
+            let desired = conn.desired_interest();
+            if desired != conn.interest {
+                conn.interest = desired;
+                let _ = self
+                    .epoll
+                    .modify(conn.stream.as_raw_fd(), desired, conn.token);
+            }
+            return;
+        }
+    }
+
+    fn apply_completions(&mut self) {
+        let completions: Vec<Completion> = {
+            let mut guard = self
+                .shared
+                .completions
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        let mut touched: Vec<u64> = Vec::new();
+        for c in completions {
+            let Some(conn) = self.conns.get_mut(&c.conn) else {
+                continue; // connection closed while the request ran
+            };
+            if let Some(slot) = conn
+                .pending
+                .iter_mut()
+                .find(|s| matches!(s, Slot::Waiting { seq } if *seq == c.seq))
+            {
+                *slot = Slot::Done {
+                    frame: c.frame,
+                    t0_us: c.t0_us,
+                };
+            }
+            if !touched.contains(&c.conn) {
+                touched.push(c.conn);
+            }
+        }
+        for token in touched {
+            self.service_conn(token);
+        }
+    }
+
+    fn check_deadlines(&mut self) {
+        let now = self.now_us();
+        let read_us = self.shared.cfg.read_timeout.map(|d| d.as_micros() as u64);
+        let write_us = self.shared.cfg.write_timeout.map(|d| d.as_micros() as u64);
+        let grace_us = self
+            .shared
+            .cfg
+            .slow_consumer_grace
+            .map(|d| d.as_micros() as u64);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            // Idle read deadline — only while we actually want bytes.
+            if conn.state == ConnState::Open && !conn.reads_paused {
+                if let Some(limit) = read_us {
+                    if now.saturating_sub(conn.last_in_us) > limit {
+                        conn.state = ConnState::Draining;
+                        self.service_conn(token);
+                        continue;
+                    }
+                }
+            }
+            // Slow consumer, flavor 1: the reply queue has been full
+            // past the grace period (the threaded reader's bounded
+            // push timing out).
+            if let (Some(since), Some(limit)) = (conn.paused_since_us, grace_us) {
+                if now.saturating_sub(since) > limit {
+                    self.shared.metrics.slow_consumer.inc();
+                    self.close_conn(token);
+                    continue;
+                }
+            }
+            // Slow consumer, flavor 2: bytes owed but no write progress
+            // past the write deadline (the threaded writer's socket
+            // write timeout).
+            if !conn.out.is_empty() {
+                if let Some(limit) = write_us {
+                    if now.saturating_sub(conn.last_write_progress_us) > limit {
+                        self.shared.metrics.slow_consumer.inc();
+                        self.close_conn(token);
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_stop_when_flushed(&mut self) {
+        let Some(token) = self.stop_when_flushed else {
+            return;
+        };
+        let flushed = match self.conns.get(&token) {
+            Some(conn) => conn.pending.is_empty() && conn.out.is_empty(),
+            None => true, // died before the ack left; stop regardless
+        };
+        if flushed {
+            self.stop_when_flushed = None;
+            self.shared.begin_stop();
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let carried = conn.carried_shutdown;
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.shared.metrics.connections.sub(1);
+            drop(conn);
+            if carried {
+                self.shared.begin_stop();
+            }
+        }
+    }
+}

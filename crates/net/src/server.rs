@@ -1,5 +1,13 @@
 //! The TCP frontend for the serving runtime.
 //!
+//! Two interchangeable transports sit behind one [`NetServer`] API,
+//! selected by [`NetConfig::transport`]:
+//!
+//! * [`Transport::Threaded`] — the portable oracle. Each accepted
+//!   connection gets a reader thread (decodes frames, submits
+//!   requests) and a writer thread (resolves tickets **in submission
+//!   order** and writes replies):
+//!
 //! ```text
 //! clients ──TCP──▶ accept thread ──▶ per-connection reader ──submit──▶ cs_serve::Server
 //!    ▲              (conn cap)        (decode, dispatch)                  │
@@ -7,13 +15,22 @@
 //!    └───────────── per-connection writer ◀─┴──── tickets ◀───────────────┘
 //! ```
 //!
-//! Each accepted connection gets a reader thread (decodes frames,
-//! submits requests) and a writer thread (resolves tickets **in
-//! submission order** and writes replies), so a client may pipeline
-//! requests and responses come back in per-connection FIFO order while
-//! the server still batches across connections. Admission backpressure
+//! * [`Transport::Reactor`] — a single epoll event loop owning every
+//!   nonblocking socket plus a fixed completion-thread pool (see
+//!   [`crate::reactor`]); Linux only, and the scalable choice for
+//!   thousands of connections. On other platforms it falls back to
+//!   the threaded transport.
+//!
+//! Both transports share semantics exactly — the loopback suite runs
+//! every test against each: a client may pipeline requests and
+//! responses come back in per-connection FIFO order while the server
+//! batches across connections; admission backpressure
 //! ([`cs_serve::ServeError::Overloaded`]) travels to the client as a
-//! typed error frame rather than blocking the socket.
+//! typed error frame rather than blocking the socket; a client that
+//! stops draining replies is disconnected once the bounded
+//! per-connection reply queue has been full past
+//! [`NetConfig::slow_consumer_grace`] (counted in
+//! `net_slow_consumer_disconnects_total`).
 //!
 //! A [`crate::wire::Frame::Shutdown`] control frame drains the serving
 //! runtime through [`cs_serve::DrainHandle`] — every in-flight request
@@ -25,12 +42,12 @@
 //! socket-to-response latency histogram (decode of the request frame to
 //! the response frame fully written).
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cs_serve::{DrainHandle, InferRequest, ServeSnapshot, Server, Ticket};
 use cs_telemetry::{
@@ -41,9 +58,43 @@ use crate::error::NetError;
 use crate::transport::{read_frame, write_frame};
 use crate::wire::{ErrorCode, Frame, DEFAULT_MAX_PAYLOAD};
 
-/// Outstanding replies a single connection may have queued before the
-/// reader stops decoding further frames (pipelining backpressure).
-const PIPELINE_DEPTH: usize = 64;
+/// Which network data plane serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Thread-per-connection reader/writer pairs. Portable, simple,
+    /// and the conformance oracle the reactor is verified against;
+    /// caps out at a few hundred realistic connections.
+    #[default]
+    Threaded,
+    /// One epoll event loop plus a fixed completion pool (Linux).
+    /// Scales to thousands of connections with flat tail latency. On
+    /// non-Linux platforms this silently falls back to `Threaded`
+    /// (check [`NetServer::transport`] for the effective choice).
+    Reactor,
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Threaded => write!(f, "threaded"),
+            Transport::Reactor => write!(f, "reactor"),
+        }
+    }
+}
+
+impl std::str::FromStr for Transport {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Transport, NetError> {
+        match s.to_ascii_lowercase().as_str() {
+            "threaded" => Ok(Transport::Threaded),
+            "reactor" => Ok(Transport::Reactor),
+            other => Err(NetError::InvalidConfig(format!(
+                "unknown transport {other:?} (expected \"threaded\" or \"reactor\")"
+            ))),
+        }
+    }
+}
 
 /// Network frontend configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +112,16 @@ pub struct NetConfig {
     pub write_timeout: Option<Duration>,
     /// Payload-length cap enforced before any allocation.
     pub max_payload: u32,
+    /// Which data plane serves connections.
+    pub transport: Transport,
+    /// Outstanding replies a single connection may have queued before
+    /// the server stops decoding further frames from it (pipelining
+    /// backpressure) — the bound on per-connection reply buffering.
+    pub max_pending_replies: usize,
+    /// How long a connection's reply queue may stay full (the client
+    /// not draining responses) before the server disconnects it as a
+    /// slow consumer. `None` waits forever.
+    pub slow_consumer_grace: Option<Duration>,
 }
 
 impl Default for NetConfig {
@@ -71,6 +132,9 @@ impl Default for NetConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             max_payload: DEFAULT_MAX_PAYLOAD,
+            transport: Transport::Threaded,
+            max_pending_replies: 64,
+            slow_consumer_grace: Some(Duration::from_secs(5)),
         }
     }
 }
@@ -93,20 +157,28 @@ impl NetConfig {
                 self.max_payload
             )));
         }
+        if self.max_pending_replies == 0 {
+            return Err(NetError::InvalidConfig(
+                "max_pending_replies must be at least 1".to_string(),
+            ));
+        }
         Ok(())
     }
 }
 
-/// The network-path metric handles, fetched once at startup.
-struct NetMetrics {
-    connections: Gauge,
-    accepted: Counter,
-    rejected: Counter,
-    frames_in: Counter,
-    frames_out: Counter,
-    decode_errors: Counter,
-    requests: Counter,
-    latency: Histogram,
+/// The network-path metric handles, fetched once at startup. Shared by
+/// both transports so the series (and the exact increment points) are
+/// identical whichever data plane is serving.
+pub(crate) struct NetMetrics {
+    pub(crate) connections: Gauge,
+    pub(crate) accepted: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) frames_in: Counter,
+    pub(crate) frames_out: Counter,
+    pub(crate) decode_errors: Counter,
+    pub(crate) requests: Counter,
+    pub(crate) slow_consumer: Counter,
+    pub(crate) latency: Histogram,
 }
 
 impl NetMetrics {
@@ -147,6 +219,12 @@ impl NetMetrics {
                 "Inference requests received over the network",
                 Labels::new(),
             ),
+            slow_consumer: recorder.counter(
+                "net_slow_consumer_disconnects_total",
+                "Connections cut because the client stopped draining \
+                 replies past the slow-consumer grace period",
+                Labels::new(),
+            ),
             latency: recorder.histogram(
                 "net_request_latency_us",
                 "Socket-to-response latency: request frame decoded to \
@@ -159,7 +237,7 @@ impl NetMetrics {
 }
 
 /// State shared by the accept loop, every connection thread, and the
-/// owning [`NetServer`] handle.
+/// owning [`NetServer`] handle (threaded transport).
 struct Shared {
     serve: Server,
     drain: DrainHandle,
@@ -204,20 +282,151 @@ enum Outgoing {
     Pending { id: u64, t0_us: u64, ticket: Ticket },
 }
 
+/// Why a [`ReplyQueue::push`] did not enqueue.
+enum PushError {
+    /// The queue stayed full past the grace deadline: the client is a
+    /// slow consumer.
+    TimedOut,
+    /// The writer side is gone (write failure closed the stream).
+    Closed,
+}
+
+/// The bounded per-connection reply queue between reader and writer.
+///
+/// `std::sync::mpsc::SyncSender` blocks forever on a full channel; this
+/// queue instead supports a push *deadline*, which is what turns an
+/// unbounded reply pile-up against a non-reading client into a typed
+/// slow-consumer disconnect.
+struct ReplyQueue {
+    inner: Mutex<ReplyQueueInner>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+struct ReplyQueueInner {
+    q: VecDeque<Outgoing>,
+    closed: bool,
+}
+
+impl ReplyQueue {
+    fn new(cap: usize) -> ReplyQueue {
+        ReplyQueue {
+            inner: Mutex::new(ReplyQueueInner {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues, blocking while full — up to `grace` (`None` waits
+    /// forever, matching the old unbounded-patience behavior).
+    fn push(&self, msg: Outgoing, grace: Option<Duration>) -> Result<(), PushError> {
+        let deadline = grace.map(|d| Instant::now() + d);
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.q.len() < self.cap {
+                inner.q.push_back(msg);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            match deadline {
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return Err(PushError::TimedOut);
+                    }
+                    let (guard, _) = self
+                        .not_full
+                        .wait_timeout(inner, dl - now)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    inner = guard;
+                }
+                None => {
+                    inner = self
+                        .not_full
+                        .wait(inner)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Dequeues; `None` once the queue is closed *and* drained.
+    fn pop(&self) -> Option<Outgoing> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            if let Some(msg) = inner.q.pop_front() {
+                self.not_full.notify_one();
+                return Some(msg);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Marks the queue closed and wakes both sides. Queued messages
+    /// remain poppable (the writer drains them before exiting).
+    fn close(&self) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        inner.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// The transport actually running behind a [`NetServer`].
+enum Frontend {
+    Threaded {
+        shared: Arc<Shared>,
+        accept_thread: Option<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::ReactorServer),
+}
+
 /// The running TCP frontend. Owns the wrapped [`Server`]; dropping or
 /// [`NetServer::shutdown`] stops the listener, closes connections,
 /// drains the serving runtime and joins every thread.
 pub struct NetServer {
-    shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    inner: Frontend,
 }
 
 impl std::fmt::Debug for NetServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetServer")
-            .field("addr", &self.shared.local_addr)
-            .field("cfg", &self.shared.cfg)
+            .field("addr", &self.local_addr())
+            .field("transport", &self.transport())
             .finish_non_exhaustive()
+    }
+}
+
+/// The transport actually used after platform fallback.
+fn effective_transport(requested: Transport) -> Transport {
+    if cfg!(target_os = "linux") {
+        requested
+    } else {
+        Transport::Threaded
     }
 }
 
@@ -251,13 +460,32 @@ impl NetServer {
         let local_addr = listener
             .local_addr()
             .map_err(|e| NetError::from_io("resolve bound address", &e))?;
+        let metrics = NetMetrics::new(recorder.as_ref());
+
+        if effective_transport(cfg.transport) == Transport::Reactor {
+            #[cfg(target_os = "linux")]
+            {
+                let shared = Arc::new(crate::reactor::ReactorShared::new(
+                    serve,
+                    cfg,
+                    Arc::new(MonotonicClock::new()),
+                    metrics,
+                    local_addr,
+                ));
+                let reactor = crate::reactor::ReactorServer::start(shared, listener)?;
+                return Ok(NetServer {
+                    inner: Frontend::Reactor(reactor),
+                });
+            }
+        }
+
         let drain = serve.drain_handle();
         let shared = Arc::new(Shared {
             serve,
             drain,
             cfg,
             clock: Arc::new(MonotonicClock::new()),
-            metrics: NetMetrics::new(recorder.as_ref()),
+            metrics,
             stop: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
@@ -273,26 +501,56 @@ impl NetServer {
                 .map_err(|e| NetError::InvalidConfig(format!("spawning accept thread: {e}")))?
         };
         Ok(NetServer {
-            shared,
-            accept_thread: Some(accept_thread),
+            inner: Frontend::Threaded {
+                shared,
+                accept_thread: Some(accept_thread),
+            },
         })
     }
 
     /// The bound address (resolves the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.local_addr
+        match &self.inner {
+            Frontend::Threaded { shared, .. } => shared.local_addr,
+            #[cfg(target_os = "linux")]
+            Frontend::Reactor(r) => r.shared().local_addr,
+        }
+    }
+
+    /// The transport actually serving (after platform fallback:
+    /// requesting [`Transport::Reactor`] off-Linux yields `Threaded`).
+    pub fn transport(&self) -> Transport {
+        match &self.inner {
+            Frontend::Threaded { .. } => Transport::Threaded,
+            #[cfg(target_os = "linux")]
+            Frontend::Reactor(_) => Transport::Reactor,
+        }
     }
 
     /// The wrapped serving runtime — the in-process lane differential
     /// tests submit to directly.
     pub fn server(&self) -> &Server {
-        &self.shared.serve
+        match &self.inner {
+            Frontend::Threaded { shared, .. } => &shared.serve,
+            #[cfg(target_os = "linux")]
+            Frontend::Reactor(r) => &r.shared().serve,
+        }
     }
 
     /// Blocks until a client's shutdown control frame has drained the
     /// server (or [`NetServer::shutdown`] was called from elsewhere).
     pub fn wait_for_shutdown(&self) {
-        let (lock, cv) = &self.shared.shutdown_signal;
+        let (lock, cv) = match &self.inner {
+            Frontend::Threaded { shared, .. } => {
+                let (l, c) = &shared.shutdown_signal;
+                (l, c)
+            }
+            #[cfg(target_os = "linux")]
+            Frontend::Reactor(r) => {
+                let (l, c) = &r.shared().shutdown_signal;
+                (l, c)
+            }
+        };
         let mut stopped = lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         while !*stopped {
             stopped = cv
@@ -304,8 +562,20 @@ impl NetServer {
     /// Stops accepting, closes every connection, drains the serving
     /// runtime, joins all threads and returns the final snapshot.
     pub fn shutdown(mut self) -> ServeSnapshot {
-        self.stop_and_join();
-        self.shared.serve.stats()
+        match &mut self.inner {
+            Frontend::Threaded {
+                shared,
+                accept_thread,
+            } => {
+                stop_and_join_threaded(shared, accept_thread);
+                shared.serve.stats()
+            }
+            #[cfg(target_os = "linux")]
+            Frontend::Reactor(r) => {
+                r.stop_and_join();
+                r.shared().serve.stats()
+            }
+        }
     }
 
     /// A cloneable handle that can initiate this frontend's shutdown
@@ -315,80 +585,120 @@ impl NetServer {
     /// [`NetServer::wait_for_shutdown`] unblocks and the owner should
     /// call [`NetServer::shutdown`] to join the threads.
     pub fn shutdown_handle(&self) -> NetShutdownHandle {
-        NetShutdownHandle {
-            shared: Arc::clone(&self.shared),
+        match &self.inner {
+            Frontend::Threaded { shared, .. } => {
+                NetShutdownHandle::new(HandleInner::Threaded(Arc::clone(shared)))
+            }
+            #[cfg(target_os = "linux")]
+            Frontend::Reactor(r) => {
+                NetShutdownHandle::new(HandleInner::Reactor(Arc::clone(r.shared())))
+            }
         }
     }
+}
 
-    fn stop_and_join(&mut self) {
-        self.shared.begin_stop();
-        // Force-close open connections so their reader threads unblock.
-        {
-            let conns = self
-                .shared
-                .conns
+fn stop_and_join_threaded(shared: &Arc<Shared>, accept_thread: &mut Option<JoinHandle<()>>) {
+    shared.begin_stop();
+    // Force-close open connections so their reader threads unblock.
+    {
+        let conns = shared
+            .conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for (_, stream) in conns.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+    if let Some(t) = accept_thread.take() {
+        let _ = t.join();
+    }
+    loop {
+        // Connection threads can spawn while we join (an accept racing
+        // the stop flag), so drain the list until empty.
+        let threads: Vec<JoinHandle<()>> = {
+            let mut guard = shared
+                .conn_threads
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
-            for (_, stream) in conns.iter() {
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-            }
+            guard.drain(..).collect()
+        };
+        if threads.is_empty() {
+            break;
         }
-        if let Some(t) = self.accept_thread.take() {
+        for t in threads {
             let _ = t.join();
         }
-        loop {
-            // Connection threads can spawn while we join (an accept
-            // racing the stop flag), so drain the list until empty.
-            let threads: Vec<JoinHandle<()>> = {
-                let mut guard = self
-                    .shared
-                    .conn_threads
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
-                guard.drain(..).collect()
-            };
-            if threads.is_empty() {
-                break;
-            }
-            for t in threads {
-                let _ = t.join();
-            }
-        }
-        self.shared.drain.shutdown_and_drain();
     }
+    shared.drain.shutdown_and_drain();
 }
 
 impl Drop for NetServer {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
-            self.stop_and_join();
+        match &mut self.inner {
+            Frontend::Threaded {
+                shared,
+                accept_thread,
+            } => {
+                if accept_thread.is_some() {
+                    stop_and_join_threaded(shared, accept_thread);
+                }
+            }
+            // The reactor's own Drop stops and joins its threads.
+            #[cfg(target_os = "linux")]
+            Frontend::Reactor(_) => {}
         }
     }
+}
+
+enum HandleInner {
+    Threaded(Arc<Shared>),
+    #[cfg(target_os = "linux")]
+    Reactor(Arc<crate::reactor::ReactorShared>),
 }
 
 /// Remote-control handle for a running [`NetServer`]: drains the
 /// serving runtime and signals the frontend to stop, without owning it.
 #[derive(Clone)]
 pub struct NetShutdownHandle {
-    shared: Arc<Shared>,
+    inner: Arc<HandleInner>,
 }
 
 impl std::fmt::Debug for NetShutdownHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let addr = match self.inner.as_ref() {
+            HandleInner::Threaded(s) => s.local_addr,
+            #[cfg(target_os = "linux")]
+            HandleInner::Reactor(s) => s.local_addr,
+        };
         f.debug_struct("NetShutdownHandle")
-            .field("addr", &self.shared.local_addr)
+            .field("addr", &addr)
             .finish_non_exhaustive()
     }
 }
 
 impl NetShutdownHandle {
+    fn new(inner: HandleInner) -> NetShutdownHandle {
+        NetShutdownHandle {
+            inner: Arc::new(inner),
+        }
+    }
+
     /// Drains every in-flight request, then marks the frontend as
     /// stopping and wakes [`NetServer::wait_for_shutdown`] waiters.
     /// Idempotent; the owner still calls [`NetServer::shutdown`] to
     /// join threads.
     pub fn initiate(&self) {
-        self.shared.drain.shutdown_and_drain();
-        self.shared.begin_stop();
+        match self.inner.as_ref() {
+            HandleInner::Threaded(s) => {
+                s.drain.shutdown_and_drain();
+                s.begin_stop();
+            }
+            #[cfg(target_os = "linux")]
+            HandleInner::Reactor(s) => {
+                s.drain.shutdown_and_drain();
+                s.begin_stop();
+            }
+        }
     }
 }
 
@@ -486,24 +796,25 @@ fn run_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
         Ok(s) => s,
         Err(_) => return,
     };
-    let (out_tx, out_rx) = mpsc::sync_channel::<Outgoing>(PIPELINE_DEPTH);
+    let queue = Arc::new(ReplyQueue::new(shared.cfg.max_pending_replies));
     let writer = {
         let shared = Arc::clone(shared);
+        let queue = Arc::clone(&queue);
         std::thread::Builder::new()
             .name(format!("cs-net-conn-{conn_id}-writer"))
-            .spawn(move || writer_loop(&shared, writer_stream, &out_rx))
+            .spawn(move || writer_loop(&shared, writer_stream, &queue))
     };
     let writer = match writer {
         Ok(w) => w,
         Err(_) => return,
     };
 
-    let initiated_shutdown = reader_loop(shared, stream, &out_tx);
+    let initiated_shutdown = reader_loop(shared, stream, &queue);
 
-    // Dropping the sender lets the writer drain the queued replies and
+    // Closing the queue lets the writer drain the queued replies and
     // exit; joining it guarantees nothing is written after this
     // connection's bookkeeping unwinds.
-    drop(out_tx);
+    queue.close();
     let _ = writer.join();
 
     // Only signal the stop once the writer has flushed everything —
@@ -516,7 +827,24 @@ fn run_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
 
 /// Returns `true` when the connection carried a shutdown control frame
 /// (the caller signals the stop after the writer flushes the ack).
-fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_tx: &SyncSender<Outgoing>) -> bool {
+fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, queue: &ReplyQueue) -> bool {
+    let mut stream = stream;
+    let grace = shared.cfg.slow_consumer_grace;
+    // Pushes the next reply in FIFO position, converting a full-driven
+    // timeout into a typed slow-consumer disconnect.
+    macro_rules! push_or_break {
+        ($msg:expr) => {
+            match queue.push($msg, grace) {
+                Ok(()) => {}
+                Err(PushError::TimedOut) => {
+                    shared.metrics.slow_consumer.inc();
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    break;
+                }
+                Err(PushError::Closed) => break,
+            }
+        };
+    }
     loop {
         let frame = match read_frame(&mut stream, shared.cfg.max_payload) {
             Ok(Some(frame)) => frame,
@@ -525,11 +853,14 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_tx: &SyncSender<
             Ok(None) => break,
             Err(NetError::Wire(e)) => {
                 shared.metrics.decode_errors.inc();
-                let _ = out_tx.send(Outgoing::Ready(Frame::Error {
-                    id: 0,
-                    code: ErrorCode::Malformed,
-                    detail: e.to_string(),
-                }));
+                let _ = queue.push(
+                    Outgoing::Ready(Frame::Error {
+                        id: 0,
+                        code: ErrorCode::Malformed,
+                        detail: e.to_string(),
+                    }),
+                    grace,
+                );
                 break;
             }
             Err(_) => break,
@@ -543,14 +874,10 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_tx: &SyncSender<
                     Ok(ticket) => Outgoing::Pending { id, t0_us, ticket },
                     Err(e) => Outgoing::Ready(Frame::from_serve_error(id, &e)),
                 };
-                if out_tx.send(msg).is_err() {
-                    break; // writer gone (write failure closed the stream)
-                }
+                push_or_break!(msg);
             }
             Frame::Ping { id } => {
-                if out_tx.send(Outgoing::Ready(Frame::Pong { id })).is_err() {
-                    break;
-                }
+                push_or_break!(Outgoing::Ready(Frame::Pong { id }));
             }
             Frame::Query { id, model } => {
                 let reply = match shared.serve.registry().get(&model) {
@@ -566,15 +893,13 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_tx: &SyncSender<
                         detail: format!("unknown model {model:?}"),
                     },
                 };
-                if out_tx.send(Outgoing::Ready(reply)).is_err() {
-                    break;
-                }
+                push_or_break!(Outgoing::Ready(reply));
             }
             Frame::Shutdown { id } => {
                 // Drain first: every in-flight request (on every
                 // connection) is answered before the ack goes out.
                 shared.drain.shutdown_and_drain();
-                let _ = out_tx.send(Outgoing::Ready(Frame::ShutdownAck { id }));
+                let _ = queue.push(Outgoing::Ready(Frame::ShutdownAck { id }), grace);
                 return true;
             }
             // Server-to-client frame types arriving at the server are a
@@ -592,11 +917,14 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_tx: &SyncSender<
             | Frame::Deregister { id, .. }
             | Frame::DeregisterAck { id } => {
                 shared.metrics.decode_errors.inc();
-                let _ = out_tx.send(Outgoing::Ready(Frame::Error {
-                    id,
-                    code: ErrorCode::Malformed,
-                    detail: "frame type is not client-to-server".to_string(),
-                }));
+                let _ = queue.push(
+                    Outgoing::Ready(Frame::Error {
+                        id,
+                        code: ErrorCode::Malformed,
+                        detail: "frame type is not client-to-server".to_string(),
+                    }),
+                    grace,
+                );
                 break;
             }
         }
@@ -604,8 +932,8 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_tx: &SyncSender<
     false
 }
 
-fn writer_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_rx: &Receiver<Outgoing>) {
-    while let Ok(msg) = out_rx.recv() {
+fn writer_loop(shared: &Arc<Shared>, mut stream: TcpStream, queue: &ReplyQueue) {
+    while let Some(msg) = queue.pop() {
         let (frame, t0_us) = match msg {
             Outgoing::Ready(frame) => (frame, None),
             Outgoing::Pending { id, t0_us, ticket } => match ticket.wait() {
@@ -613,12 +941,22 @@ fn writer_loop(shared: &Arc<Shared>, mut stream: TcpStream, out_rx: &Receiver<Ou
                 Err(e) => (Frame::from_serve_error(id, &e), None),
             },
         };
-        if write_frame(&mut stream, &frame).is_err() {
-            // Unblock the reader (it may be mid-read on a dead peer)
-            // and stop; queued tickets unwind as WorkerLost client-side
-            // because nothing will be written for them.
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            break;
+        match write_frame(&mut stream, &frame) {
+            Ok(()) => {}
+            Err(e) => {
+                // A write deadline expiring means the client stopped
+                // draining while bytes were owed: a slow consumer.
+                if matches!(e, NetError::Timeout { .. }) {
+                    shared.metrics.slow_consumer.inc();
+                }
+                // Unblock the reader (it may be mid-read on a dead
+                // peer, or blocked pushing into a full queue) and stop;
+                // queued tickets unwind as WorkerLost client-side
+                // because nothing will be written for them.
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                queue.close();
+                break;
+            }
         }
         shared.metrics.frames_out.inc();
         if let Some(t0) = t0_us {

@@ -1,0 +1,260 @@
+//! Chunk-boundary torture tests for [`FrameAssembler`]: the reactor's
+//! incremental decoder must be byte-for-byte equivalent to whole-buffer
+//! decoding no matter where the socket splits the stream — every single
+//! boundary, byte-at-a-time trickles, seeded random chunkings, splits
+//! inside the 16-byte header, and frames far larger than any one chunk.
+//!
+//! The differential oracle is [`Frame::decode_with_limit`] over the
+//! complete byte stream — the exact entry point the blocking transport
+//! uses — so agreement here is agreement between the two data planes.
+
+use cs_net::wire::{ErrorCode, Frame, WireError, HEADER_LEN};
+use cs_net::{FrameAssembler, DEFAULT_MAX_PAYLOAD};
+
+/// SplitMix64 — the repo-standard deterministic generator (seeded, no
+/// dependency on the conformance crate, which depends on this one).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// A representative multi-frame stream: every payload shape the wire
+/// carries (empty, strings, float vectors, NaN bit patterns).
+fn sample_stream() -> (Vec<Frame>, Vec<u8>) {
+    let frames = vec![
+        Frame::Ping { id: 1 },
+        Frame::Request {
+            id: 2,
+            model: "mlp".to_string(),
+            input: vec![1.5, f32::NAN, -0.0, 3.25, f32::INFINITY],
+        },
+        Frame::Query {
+            id: 3,
+            model: "worker-7".to_string(),
+        },
+        Frame::Error {
+            id: 4,
+            code: ErrorCode::Overloaded,
+            detail: "queue full".to_string(),
+        },
+        Frame::Response {
+            id: 5,
+            model: "mlp".to_string(),
+            outputs: vec![0.0; 17],
+            cycles: 12_345,
+            energy_pj: 6.5,
+            batch_size: 3,
+            worker: 2,
+            latency_us: 250,
+            node: "node-a".to_string(),
+        },
+        Frame::Shutdown { id: 6 },
+    ];
+    let mut bytes = Vec::new();
+    for f in &frames {
+        bytes.extend_from_slice(&f.encode());
+    }
+    (frames, bytes)
+}
+
+/// Whole-buffer oracle: decode `bytes` with the blocking entry point.
+fn oracle_decode(bytes: &[u8], max_payload: u32) -> Result<Vec<Frame>, WireError> {
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    loop {
+        match Frame::decode_with_limit(&bytes[offset..], max_payload)? {
+            Some((frame, used)) => {
+                frames.push(frame);
+                offset += used;
+            }
+            None => return Ok(frames),
+        }
+    }
+}
+
+/// Feeds `bytes` to a fresh assembler in the given chunks, draining
+/// after every push; also asserts the buffered-bytes invariant at each
+/// step.
+fn assemble_chunked(chunks: &[&[u8]], max_payload: u32) -> Result<Vec<Frame>, WireError> {
+    let mut asm = FrameAssembler::new(max_payload);
+    let mut frames = Vec::new();
+    for chunk in chunks {
+        asm.push(chunk);
+        while let Some(f) = asm.next_frame()? {
+            frames.push(f);
+        }
+        assert!(
+            asm.buffered() <= asm.buffered_bound(),
+            "buffered {} exceeds bound {}",
+            asm.buffered(),
+            asm.buffered_bound()
+        );
+    }
+    Ok(frames)
+}
+
+fn assert_frames_eq(got: &[Frame], want: &[Frame], context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: frame count");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        // Compare re-encoded bytes: exact, including NaN bit patterns.
+        assert_eq!(g.encode(), w.encode(), "{context}: frame {i} differs");
+    }
+}
+
+#[test]
+fn every_single_split_point_reassembles_identically() {
+    let (frames, bytes) = sample_stream();
+    for split in 1..bytes.len() {
+        let chunks = [&bytes[..split], &bytes[split..]];
+        let got = assemble_chunked(&chunks, DEFAULT_MAX_PAYLOAD).expect("assemble");
+        assert_frames_eq(&got, &frames, &format!("split at {split}"));
+    }
+}
+
+#[test]
+fn byte_at_a_time_trickle_reassembles_identically() {
+    let (frames, bytes) = sample_stream();
+    let chunks: Vec<&[u8]> = bytes.chunks(1).collect();
+    let got = assemble_chunked(&chunks, DEFAULT_MAX_PAYLOAD).expect("assemble");
+    assert_frames_eq(&got, &frames, "byte-at-a-time");
+}
+
+#[test]
+fn header_straddling_chunks_reassemble_identically() {
+    // 7 does not divide 16: every frame header gets split across chunks
+    // somewhere in the stream.
+    let (frames, bytes) = sample_stream();
+    for width in [2usize, 3, 5, 7, 11, 13] {
+        let chunks: Vec<&[u8]> = bytes.chunks(width).collect();
+        let got = assemble_chunked(&chunks, DEFAULT_MAX_PAYLOAD).expect("assemble");
+        assert_frames_eq(&got, &frames, &format!("chunk width {width}"));
+    }
+}
+
+#[test]
+fn seeded_random_chunkings_reassemble_identically() {
+    let (frames, bytes) = sample_stream();
+    let mut rng = SplitMix64(0xC0FF_EE00_2026_0808);
+    for round in 0..200 {
+        let mut chunks: Vec<&[u8]> = Vec::new();
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let take = 1 + rng.below(48) as usize;
+            let end = (offset + take).min(bytes.len());
+            chunks.push(&bytes[offset..end]);
+            offset = end;
+        }
+        let got = assemble_chunked(&chunks, DEFAULT_MAX_PAYLOAD).expect("assemble");
+        assert_frames_eq(&got, &frames, &format!("random round {round}"));
+    }
+}
+
+#[test]
+fn large_frame_spans_many_chunks_without_overbuffering() {
+    // A 40 KiB request crossed by 4097-byte chunks (odd size, never
+    // aligned with the frame): the assembler holds at most one partial
+    // frame and releases the buffer once the frame completes.
+    let frame = Frame::Request {
+        id: 99,
+        model: "big".to_string(),
+        input: vec![0.125; 10_000],
+    };
+    let mut bytes = frame.encode();
+    bytes.extend_from_slice(&Frame::Ping { id: 100 }.encode());
+    let chunks: Vec<&[u8]> = bytes.chunks(4097).collect();
+    let got = assemble_chunked(&chunks, DEFAULT_MAX_PAYLOAD).expect("assemble");
+    assert_frames_eq(&got, &[frame, Frame::Ping { id: 100 }], "4097-byte chunks");
+}
+
+#[test]
+fn partial_header_stall_buffers_a_bounded_sliver() {
+    // The slow-loris shape: a client sends half a header and stops.
+    // The assembler must neither error nor grow — it just holds the
+    // sliver until the read deadline (enforced by the server) closes
+    // the connection.
+    let bytes = Frame::Ping { id: 7 }.encode();
+    let mut asm = FrameAssembler::new(DEFAULT_MAX_PAYLOAD);
+    asm.push(&bytes[..HEADER_LEN / 2]);
+    assert!(matches!(asm.next_frame(), Ok(None)));
+    assert_eq!(asm.buffered(), HEADER_LEN / 2);
+    assert!(asm.failure().is_none());
+    // Completing the header+frame later still decodes cleanly.
+    asm.push(&bytes[HEADER_LEN / 2..]);
+    let frame = asm.next_frame().expect("decode").expect("frame");
+    assert_eq!(frame.encode(), bytes);
+    assert_eq!(asm.buffered(), 0);
+}
+
+#[test]
+fn error_taxonomy_matches_whole_buffer_decode_under_chunking() {
+    let good = sample_stream().1;
+    // One corrupt stream per WireError variant reachable from bytes.
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0xFF;
+    let mut bad_version = good.clone();
+    bad_version[2] = 0xEE;
+    let mut unknown_type = good.clone();
+    unknown_type[3] = 0x7F;
+    let mut oversized = good.clone();
+    oversized[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    // Corruption mid-stream, after one valid frame.
+    let ping_len = Frame::Ping { id: 1 }.encode().len();
+    let mut mid_stream = good.clone();
+    mid_stream[ping_len] ^= 0xFF;
+
+    for (name, stream) in [
+        ("bad magic", bad_magic),
+        ("bad version", bad_version),
+        ("unknown type", unknown_type),
+        ("oversized", oversized),
+        ("mid-stream corruption", mid_stream),
+    ] {
+        let want = oracle_decode(&stream, DEFAULT_MAX_PAYLOAD)
+            .expect_err(&format!("{name}: oracle must reject"));
+        for width in [1usize, 3, 16, 64] {
+            let chunks: Vec<&[u8]> = stream.chunks(width).collect();
+            let got = assemble_chunked(&chunks, DEFAULT_MAX_PAYLOAD)
+                .expect_err(&format!("{name}: assembler must reject (width {width})"));
+            assert_eq!(
+                got, want,
+                "{name}: chunked error differs from whole-buffer error (width {width})"
+            );
+        }
+    }
+}
+
+#[test]
+fn payload_cap_rejects_from_the_header_before_buffering_the_body() {
+    // A frame whose declared length exceeds the cap is rejected the
+    // moment the 16-byte header is complete — the (hostile, huge)
+    // payload is never buffered, even when it trickles in afterwards.
+    let frame = Frame::Request {
+        id: 1,
+        model: "m".to_string(),
+        input: vec![1.0; 512],
+    };
+    let bytes = frame.encode();
+    let cap = 128u32;
+    let want = oracle_decode(&bytes, cap).expect_err("oracle must reject");
+    assert!(matches!(want, WireError::Oversized { .. }), "{want:?}");
+
+    let mut asm = FrameAssembler::new(cap);
+    asm.push(&bytes[..HEADER_LEN]);
+    let got = asm.next_frame().expect_err("reject from header");
+    assert_eq!(got, want);
+    // Later pushes of the oversized body are discarded, not buffered.
+    asm.push(&bytes[HEADER_LEN..]);
+    assert_eq!(asm.buffered(), 0, "condemned stream must not buffer");
+    assert_eq!(asm.next_frame().expect_err("latched"), want);
+}

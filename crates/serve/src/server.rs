@@ -221,6 +221,21 @@ impl Ticket {
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::WorkerLost)),
         }
     }
+
+    /// Blocks up to `timeout` for the response; `None` if it has not
+    /// arrived yet. Unlike [`Ticket::wait`] the ticket stays usable, so
+    /// a completion pump can interleave deadline waits with shutdown
+    /// checks instead of parking forever on one request.
+    pub fn wait_deadline(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Option<Result<InferResponse, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+        }
+    }
 }
 
 /// Runs one request through an engine lane, timing every layer's
