@@ -44,10 +44,20 @@
 //! cs-netload --cluster --nodes 1,2,4 --out sweep.jsonl --min-scaling 3.0
 //! ```
 //!
+//! **Lifecycle driving**: `--load NAME@VERSION[:PCT]` (repeatable)
+//! sends `LoadModel` control frames before the sweep starts — how a
+//! registry-backed server started `--empty` gets its models, and how a
+//! canary is opened (`:25` routes 25% of the model's traffic to the
+//! new version). `--mid-load NAME@VERSION[:PCT]` (repeatable, plain
+//! server mode only) fires its loads from a side connection once half
+//! the sweep's requests have completed, so promotion, budget-driven
+//! eviction and reload all land *under* live traffic.
+//!
 //! Exit codes: `0` success, `1` bad usage or connect failure, `2` any
 //! request failed with a non-overload error (or a scaling / p99 gate
 //! failed).
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use cs_cluster::{run_cluster_sweep, ClusterSweepConfig};
@@ -75,6 +85,71 @@ struct Args {
     backend: ExecBackend,
     transport: Transport,
     min_scaling: f64,
+    /// Number of synthetic tenants to spread connections across
+    /// (`tenant-0..tenant-N-1`); 0 sends untenanted traffic.
+    tenants: usize,
+    /// Relative connection share per tenant; empty means equal shares.
+    tenant_weights: Vec<u64>,
+    /// Lifecycle loads applied before the sweep starts.
+    loads: Vec<LoadSpec>,
+    /// Lifecycle loads fired once half the sweep's requests completed.
+    mid_loads: Vec<LoadSpec>,
+}
+
+/// One `--load`/`--mid-load` directive: `name@version[:canary_pct]`.
+#[derive(Clone)]
+struct LoadSpec {
+    model: String,
+    version: u32,
+    canary_pct: u8,
+}
+
+fn parse_load_spec(s: &str, flag: &str) -> LoadSpec {
+    let bad = || -> ! {
+        eprintln!("error: {flag} expects NAME@VERSION[:PCT], got {s:?}");
+        usage();
+    };
+    let (model, rest) = match s.split_once('@') {
+        Some((m, r)) if !m.is_empty() => (m.to_string(), r),
+        _ => bad(),
+    };
+    let (version, pct) = match rest.split_once(':') {
+        Some((v, p)) => (v, p.parse().unwrap_or_else(|_| bad())),
+        None => (rest, 0u8),
+    };
+    if pct > 100 {
+        bad();
+    }
+    LoadSpec {
+        model,
+        version: version.parse().unwrap_or_else(|_| bad()),
+        canary_pct: pct,
+    }
+}
+
+/// Completed requests across every connection thread; the mid-sweep
+/// loader watches it to fire at the halfway mark.
+static PROGRESS: AtomicU64 = AtomicU64::new(0);
+/// Set when the sweep finishes, so the mid-sweep loader can never hang
+/// waiting for a halfway mark that errors prevented.
+static SWEEP_DONE: AtomicBool = AtomicBool::new(false);
+
+/// Tenant label for one connection. Connections are dealt round-robin
+/// across a weight-expanded pattern (weights `2,1` → `t0,t0,t1`
+/// repeating), so the traffic mix tracks the weights at any connection
+/// count with no randomness to un-replay.
+fn tenant_of(args: &Args, conn: usize) -> String {
+    if args.tenants == 0 {
+        return String::new();
+    }
+    let mut pattern: Vec<usize> = Vec::new();
+    for (t, &w) in args.tenant_weights.iter().enumerate() {
+        pattern.extend(std::iter::repeat_n(t, w as usize));
+    }
+    if pattern.is_empty() {
+        pattern = (0..args.tenants).collect();
+    }
+    format!("tenant-{}", pattern[conn % pattern.len()])
 }
 
 fn usage() -> ! {
@@ -82,7 +157,8 @@ fn usage() -> ! {
         "usage: cs-netload --addr HOST:PORT [--conns N | --conns-sweep N,N,..]\n\
          \x20                [--requests N] [--seed N] [--model NAME] [--out PATH]\n\
          \x20                [--think-ms N] [--warmup N] [--max-p99-ratio F] [--shutdown]\n\
-         \x20                [--wait-ready SECS]\n\
+         \x20                [--wait-ready SECS] [--tenants N] [--tenant-weights W,W,..]\n\
+         \x20                [--load NAME@VER[:PCT]]... [--mid-load NAME@VER[:PCT]]...\n\
          \x20      cs-netload --cluster [--nodes N,N,..] [--conns N] [--requests N]\n\
          \x20                [--seed N] [--scale N] [--workers N]\n\
          \x20                [--backend simulator|sparse|dense]\n\
@@ -113,6 +189,10 @@ fn parse_args() -> Args {
         backend: ExecBackend::Simulator,
         transport: Transport::default(),
         min_scaling: 0.0,
+        tenants: 0,
+        tenant_weights: Vec::new(),
+        loads: Vec::new(),
+        mid_loads: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -125,6 +205,10 @@ fn parse_args() -> Args {
         };
         match a.as_str() {
             "--addr" => out.addr = value("--addr"),
+            "--load" => out.loads.push(parse_load_spec(&value("--load"), "--load")),
+            "--mid-load" => out
+                .mid_loads
+                .push(parse_load_spec(&value("--mid-load"), "--mid-load")),
             "--conns" => out.conns = parse_num(&value("--conns"), "--conns") as usize,
             "--conns-sweep" => {
                 out.conns_sweep = value("--conns-sweep")
@@ -182,6 +266,13 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--tenants" => out.tenants = parse_num(&value("--tenants"), "--tenants") as usize,
+            "--tenant-weights" => {
+                out.tenant_weights = value("--tenant-weights")
+                    .split(',')
+                    .map(|s| parse_num(s, "--tenant-weights"))
+                    .collect();
+            }
             "--min-scaling" => {
                 out.min_scaling = match value("--min-scaling").parse() {
                     Ok(f) => f,
@@ -214,6 +305,16 @@ fn parse_args() -> Args {
         eprintln!("error: --nodes needs positive counts");
         usage();
     }
+    if !out.tenant_weights.is_empty() {
+        if out.tenant_weights.len() != out.tenants {
+            eprintln!("error: --tenant-weights needs one weight per tenant");
+            usage();
+        }
+        if out.tenant_weights.contains(&0) {
+            eprintln!("error: --tenant-weights needs positive weights");
+            usage();
+        }
+    }
     out
 }
 
@@ -244,8 +345,15 @@ impl SplitMix64 {
 /// Per-connection sweep outcome.
 struct ConnResult {
     conn: usize,
+    /// Tenant this connection billed its traffic to (empty when
+    /// `--tenants` is off).
+    tenant: String,
     completed: u64,
     overload_rounds: u64,
+    /// Overload rejections whose error frame echoed a different tenant
+    /// than this connection sent — any nonzero count means the tenant
+    /// label was lost somewhere between admission and the wire.
+    mislabeled_overloads: u64,
     /// Client-observed round-trip latencies.
     latencies_us: Vec<u64>,
     /// Server-reported per-request latencies (`latency_us` in each
@@ -258,8 +366,10 @@ struct ConnResult {
 fn run_connection(args: &Args, conn: usize) -> ConnResult {
     let mut result = ConnResult {
         conn,
+        tenant: tenant_of(args, conn),
         completed: 0,
         overload_rounds: 0,
+        mislabeled_overloads: 0,
         latencies_us: Vec::with_capacity(args.requests as usize),
         server_latencies_us: Vec::with_capacity(args.requests as usize),
         error: None,
@@ -297,7 +407,7 @@ fn run_connection(args: &Args, conn: usize) -> ConnResult {
         let input = request_input(n_in, request_id, args.seed);
         loop {
             let t0 = Instant::now();
-            match client.request_with_retry(&args.model, &input, &policy) {
+            match client.request_with_retry_as(&args.model, &result.tenant, &input, &policy) {
                 Ok(resp) => {
                     // Warmup requests complete but don't enter the
                     // latency stats: the opening connect storm (every
@@ -308,11 +418,17 @@ fn run_connection(args: &Args, conn: usize) -> ConnResult {
                         result.server_latencies_us.push(resp.latency_us);
                     }
                     result.completed += 1;
+                    PROGRESS.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
                 Err(e) if e.is_overloaded() => {
                     // The whole retry budget drained and the server is
                     // still shedding: stay closed-loop and go again.
+                    if let cs_net::NetError::Remote { tenant, .. } = &e {
+                        if !result.tenant.is_empty() && *tenant != result.tenant {
+                            result.mislabeled_overloads += 1;
+                        }
+                    }
                     result.overload_rounds += 1;
                 }
                 Err(e) => {
@@ -347,8 +463,10 @@ fn run_load(args: &Args, conns: usize) -> Vec<ConnResult> {
             .map(|(conn, h)| {
                 h.join().unwrap_or_else(|_| ConnResult {
                     conn,
+                    tenant: tenant_of(args, conn),
                     completed: 0,
                     overload_rounds: 0,
+                    mislabeled_overloads: 0,
                     latencies_us: Vec::new(),
                     server_latencies_us: Vec::new(),
                     error: Some("connection thread panicked".to_string()),
@@ -408,11 +526,13 @@ mod evloop {
         result: ConnResult,
     }
 
-    fn failed_result(conn: usize, err: String) -> ConnResult {
+    fn failed_result(args: &Args, conn: usize, err: String) -> ConnResult {
         ConnResult {
             conn,
+            tenant: super::tenant_of(args, conn),
             completed: 0,
             overload_rounds: 0,
+            mislabeled_overloads: 0,
             latencies_us: Vec::new(),
             server_latencies_us: Vec::new(),
             error: Some(err),
@@ -426,7 +546,7 @@ mod evloop {
         match drive(args, conns, n_in) {
             Ok(results) => results,
             Err(e) => (0..conns)
-                .map(|conn| failed_result(conn, format!("event loop: {e}")))
+                .map(|conn| failed_result(args, conn, format!("event loop: {e}")))
                 .collect(),
         }
     }
@@ -463,8 +583,10 @@ mod evloop {
                 want_write: false,
                 result: ConnResult {
                     conn,
+                    tenant: super::tenant_of(args, conn),
                     completed: 0,
                     overload_rounds: 0,
+                    mislabeled_overloads: 0,
                     latencies_us: Vec::with_capacity(args.requests as usize),
                     server_latencies_us: Vec::with_capacity(args.requests as usize),
                     error: None,
@@ -556,6 +678,7 @@ mod evloop {
         let frame = Frame::Request {
             id: rid,
             model: args.model.clone(),
+            tenant: c.result.tenant.clone(),
             input,
         };
         c.wbuf.push(&frame.encode());
@@ -669,10 +792,14 @@ mod evloop {
             Frame::Error {
                 id: got,
                 code: ErrorCode::Overloaded,
+                tenant,
                 ..
             } if got == rid => {
                 // Stay closed-loop: jittered backoff, then reissue the
                 // same request (the blocking client's retry, event-shaped).
+                if !c.result.tenant.is_empty() && tenant != c.result.tenant {
+                    c.result.mislabeled_overloads += 1;
+                }
                 c.result.overload_rounds += 1;
                 c.phase = Phase::Thinking;
                 c.next_send_at =
@@ -707,10 +834,12 @@ fn jsonl_line(r: &ConnResult) -> String {
     let mut sorted = r.latencies_us.clone();
     sorted.sort_unstable();
     format!(
-        "{{\"conn\":{},\"completed\":{},\"overload_rounds\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"error\":{}}}",
+        "{{\"conn\":{},\"tenant\":{:?},\"completed\":{},\"overload_rounds\":{},\"mislabeled_overloads\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"error\":{}}}",
         r.conn,
+        r.tenant,
         r.completed,
         r.overload_rounds,
+        r.mislabeled_overloads,
         percentile(&sorted, 0.50),
         percentile(&sorted, 0.95),
         percentile(&sorted, 0.99),
@@ -719,6 +848,39 @@ fn jsonl_line(r: &ConnResult) -> String {
             None => "null".to_string(),
         }
     )
+}
+
+/// One `tenant_aggregate` JSONL record per tenant: completions,
+/// shedding, and latency percentiles pooled over that tenant's
+/// connections — the record the registry-smoke job reconciles against
+/// the server's per-tenant telemetry.
+fn tenant_aggregate_lines(results: &[ConnResult]) -> Vec<String> {
+    let mut tenants: Vec<&str> = results.iter().map(|r| r.tenant.as_str()).collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    tenants
+        .iter()
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            let of_tenant: Vec<&ConnResult> =
+                results.iter().filter(|r| r.tenant == *t).collect();
+            let mut all: Vec<u64> = of_tenant
+                .iter()
+                .flat_map(|r| r.latencies_us.iter().copied())
+                .collect();
+            all.sort_unstable();
+            format!(
+                "{{\"type\":\"tenant_aggregate\",\"tenant\":{:?},\"conns\":{},\"completed\":{},\"overload_rounds\":{},\"mislabeled_overloads\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                t,
+                of_tenant.len(),
+                of_tenant.iter().map(|r| r.completed).sum::<u64>(),
+                of_tenant.iter().map(|r| r.overload_rounds).sum::<u64>(),
+                of_tenant.iter().map(|r| r.mislabeled_overloads).sum::<u64>(),
+                percentile(&all, 0.50),
+                percentile(&all, 0.99),
+            )
+        })
+        .collect()
 }
 
 fn run_cluster_mode(args: &Args) -> ! {
@@ -952,10 +1114,62 @@ fn wait_ready(args: &Args) {
     }
 }
 
+/// Sends one `LoadModel` per spec over a fresh control connection,
+/// retrying the connect until `deadline` (the server may still be
+/// binding); a load *rejection* is fatal immediately — a typed
+/// registry error is an answer, not a bring-up race.
+fn apply_loads(addr: &str, specs: &[LoadSpec], what: &str, deadline: Instant) {
+    let mut client = loop {
+        match Client::connect(addr) {
+            Ok(c) => break c,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    eprintln!("error: {what} connect to {addr} failed: {e}");
+                    std::process::exit(1);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    };
+    for spec in specs {
+        match client.load_model(&spec.model, spec.version, spec.canary_pct) {
+            Ok(models) => {
+                let canary = if spec.canary_pct > 0 {
+                    format!(" (canary {}%)", spec.canary_pct)
+                } else {
+                    String::new()
+                };
+                println!(
+                    "{what}: loaded {}@v{}{canary}; {} version(s) resident",
+                    spec.model,
+                    spec.version,
+                    models.len()
+                );
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: {what} of {}@v{} failed: {e}",
+                    spec.model, spec.version
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.cluster {
         run_cluster_mode(&args);
+    }
+    if !args.mid_loads.is_empty() && (args.cluster || !args.conns_sweep.is_empty()) {
+        eprintln!("error: --mid-load is only meaningful in plain server mode");
+        usage();
+    }
+    let bringup_deadline =
+        Instant::now() + std::time::Duration::from_secs(args.wait_ready_secs.max(5));
+    if !args.loads.is_empty() {
+        apply_loads(&args.addr, &args.loads, "load", bringup_deadline);
     }
     if args.wait_ready_secs > 0 {
         wait_ready(&args);
@@ -964,11 +1178,42 @@ fn main() {
         run_conn_sweep(&args);
     }
 
+    // The mid-sweep loader: fire the lifecycle frames from a side
+    // connection once half the expected requests have completed, so
+    // promotion/eviction/reload land under live traffic. The done flag
+    // guarantees it still fires (and the run still checks the loads
+    // succeed) even if errors kept the halfway mark out of reach.
+    let halfway = (args.conns as u64).saturating_mul(args.requests) / 2;
+    let mid_loader = (!args.mid_loads.is_empty()).then(|| {
+        let addr = args.addr.clone();
+        let specs = args.mid_loads.clone();
+        std::thread::spawn(move || {
+            while PROGRESS.load(Ordering::Relaxed) < halfway && !SWEEP_DONE.load(Ordering::Relaxed)
+            {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            apply_loads(
+                &addr,
+                &specs,
+                "mid-sweep load",
+                Instant::now() + std::time::Duration::from_secs(5),
+            );
+        })
+    });
+
     let results = run_load(&args, args.conns);
+    SWEEP_DONE.store(true, Ordering::Relaxed);
+    if let Some(h) = mid_loader {
+        if h.join().is_err() {
+            eprintln!("error: mid-sweep loader panicked");
+            std::process::exit(2);
+        }
+    }
 
     let all = sorted_all(&results, |r| &r.latencies_us);
     let completed: u64 = results.iter().map(|r| r.completed).sum();
     let retries: u64 = results.iter().map(|r| r.overload_rounds).sum();
+    let mislabeled: u64 = results.iter().map(|r| r.mislabeled_overloads).sum();
     let failed: Vec<&ConnResult> = results.iter().filter(|r| r.error.is_some()).collect();
 
     println!(
@@ -981,6 +1226,14 @@ fn main() {
         percentile(&all, 0.95),
         percentile(&all, 0.99),
     );
+    if args.tenants > 0 {
+        for line in tenant_aggregate_lines(&results) {
+            println!("  {line}");
+        }
+        if mislabeled > 0 {
+            eprintln!("error: {mislabeled} overload rejections echoed the wrong tenant label");
+        }
+    }
     for r in &failed {
         eprintln!(
             "conn {} failed: {}",
@@ -991,6 +1244,7 @@ fn main() {
 
     if let Some(path) = &args.out {
         let mut lines: Vec<String> = results.iter().map(jsonl_line).collect();
+        lines.extend(tenant_aggregate_lines(&results));
         lines.push(format!(
             "{{\"aggregate\":true,\"conns\":{},\"completed\":{},\"overload_rounds\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
             args.conns,
@@ -1018,7 +1272,7 @@ fn main() {
         }
     }
 
-    if !failed.is_empty() {
+    if !failed.is_empty() || mislabeled > 0 {
         std::process::exit(2);
     }
 }

@@ -285,6 +285,29 @@ impl Membership {
         })
     }
 
+    /// Leases on every healthy worker, sorted by name — for control
+    /// operations (model-lifecycle frames) that address the whole
+    /// fleet rather than one replica.
+    pub fn lease_all(&self) -> Vec<Lease> {
+        let map = self.lock();
+        let mut leases: Vec<Lease> = map
+            .iter()
+            .filter(|(_, e)| e.state == WorkerState::Healthy)
+            .map(|(name, e)| {
+                e.outstanding.fetch_add(1, Ordering::SeqCst);
+                e.outstanding_gauge.add(1);
+                Lease {
+                    worker: name.clone(),
+                    addr: e.addr.clone(),
+                    outstanding: Arc::clone(&e.outstanding),
+                    gauge: e.outstanding_gauge.clone(),
+                }
+            })
+            .collect();
+        leases.sort_by(|a, b| a.worker.cmp(&b.worker));
+        leases
+    }
+
     /// The state of a worker, if registered.
     pub fn state_of(&self, name: &str) -> Option<WorkerState> {
         self.lock().get(name).map(|e| e.state)

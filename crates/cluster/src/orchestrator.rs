@@ -37,7 +37,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use cs_net::transport::{read_frame, write_frame};
-use cs_net::{Client, ClientConfig, ErrorCode, Frame, NetError, DEFAULT_MAX_PAYLOAD};
+use cs_net::{
+    Client, ClientConfig, ErrorCode, Frame, NetError, WireModelStatus, DEFAULT_MAX_PAYLOAD,
+};
 use cs_telemetry::{
     buckets, Clock, Counter, Histogram, Labels, MonotonicClock, NoopRecorder, Recorder,
 };
@@ -471,6 +473,7 @@ fn run_conn(shared: &Arc<OrchShared>, mut stream: TcpStream, _conn_id: u64) {
                     &Frame::Error {
                         id: 0,
                         code: ErrorCode::Malformed,
+                        tenant: String::new(),
                         detail: e.to_string(),
                     },
                 );
@@ -491,6 +494,7 @@ fn run_conn(shared: &Arc<OrchShared>, mut stream: TcpStream, _conn_id: u64) {
                         &Frame::Error {
                             id,
                             code: ErrorCode::ShuttingDown,
+                            tenant: String::new(),
                             detail: "cluster is draining".to_string(),
                         },
                     );
@@ -531,6 +535,7 @@ fn run_conn(shared: &Arc<OrchShared>, mut stream: TcpStream, _conn_id: u64) {
                             &Frame::Error {
                                 id,
                                 code: ErrorCode::Internal,
+                                tenant: String::new(),
                                 detail: e.to_string(),
                             },
                         );
@@ -556,18 +561,24 @@ fn run_conn(shared: &Arc<OrchShared>, mut stream: TcpStream, _conn_id: u64) {
                 }
                 let _ = write_frame(&mut stream, &Frame::DeregisterAck { id });
             }
-            Frame::Request { id, model, input } => {
+            Frame::Request {
+                id,
+                model,
+                tenant,
+                input,
+            } => {
                 shared.metrics.routed.inc();
                 let t0 = shared.clock.now_us();
                 let reply = if shared.draining.load(Ordering::SeqCst) {
                     Frame::Error {
                         id,
                         code: ErrorCode::ShuttingDown,
+                        tenant: String::new(),
                         detail: "cluster is draining".to_string(),
                     }
                 } else {
                     route_any(shared, id, &model, &|c: &mut Client| {
-                        c.request(&model, &input)
+                        c.request_as(&model, &tenant, &input)
                             .map(|resp| response_frame(id, resp))
                     })
                 };
@@ -584,6 +595,7 @@ fn run_conn(shared: &Arc<OrchShared>, mut stream: TcpStream, _conn_id: u64) {
                     Frame::Error {
                         id,
                         code: ErrorCode::ShuttingDown,
+                        tenant: String::new(),
                         detail: "cluster is draining".to_string(),
                     }
                 } else {
@@ -619,6 +631,65 @@ fn run_conn(shared: &Arc<OrchShared>, mut stream: TcpStream, _conn_id: u64) {
                 Some(r) => signal_ack(&r.acked),
                 None => break,
             },
+            Frame::LoadModel {
+                id,
+                model,
+                version,
+                canary_pct,
+            } => {
+                let reply = if shared.draining.load(Ordering::SeqCst) {
+                    Frame::Error {
+                        id,
+                        code: ErrorCode::ShuttingDown,
+                        tenant: String::new(),
+                        detail: "cluster is draining".to_string(),
+                    }
+                } else {
+                    // A load targets a worker that already serves some
+                    // version of the model; its local registry supplies
+                    // the bytes, so nothing heavy crosses this hop.
+                    route_any(shared, id, &model, &|c: &mut Client| {
+                        c.load_model(&model, version, canary_pct)
+                            .map(|models| Frame::ModelList { id, models })
+                    })
+                };
+                if write_frame(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
+            Frame::UnloadModel { id, model, version } => {
+                let reply = if shared.draining.load(Ordering::SeqCst) {
+                    Frame::Error {
+                        id,
+                        code: ErrorCode::ShuttingDown,
+                        tenant: String::new(),
+                        detail: "cluster is draining".to_string(),
+                    }
+                } else {
+                    route_any(shared, id, &model, &|c: &mut Client| {
+                        c.unload_model(&model, version)
+                            .map(|models| Frame::ModelList { id, models })
+                    })
+                };
+                if write_frame(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
+            Frame::ListModels { id } => {
+                let reply = if shared.draining.load(Ordering::SeqCst) {
+                    Frame::Error {
+                        id,
+                        code: ErrorCode::ShuttingDown,
+                        tenant: String::new(),
+                        detail: "cluster is draining".to_string(),
+                    }
+                } else {
+                    list_cluster_models(shared, id)
+                };
+                if write_frame(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
             // Anything else is a protocol violation at the orchestrator.
             other => {
                 let _ = write_frame(
@@ -626,6 +697,7 @@ fn run_conn(shared: &Arc<OrchShared>, mut stream: TcpStream, _conn_id: u64) {
                     &Frame::Error {
                         id: other.id(),
                         code: ErrorCode::Malformed,
+                        tenant: String::new(),
                         detail: "frame type is not valid at the orchestrator".to_string(),
                     },
                 );
@@ -678,6 +750,7 @@ fn route_any(
                 return Frame::Error {
                     id,
                     code: ErrorCode::NoReplica,
+                    tenant: String::new(),
                     detail: format!("no healthy replica serves model {model:?}"),
                 };
             }
@@ -700,6 +773,7 @@ fn route_any(
                 return Frame::Error {
                     id,
                     code: ErrorCode::WorkerLost,
+                    tenant: String::new(),
                     detail: format!("replica {worker:?} failed mid-request: {e}"),
                 };
             }
@@ -710,8 +784,53 @@ fn route_any(
     Frame::Error {
         id,
         code: ErrorCode::NoReplica,
+        tenant: String::new(),
         detail: "routing exhausted".to_string(),
     }
+}
+
+/// Fans a `ListModels` out to every healthy worker and merges the
+/// answers: one entry per `(name, version)` pair, `in_flight` and
+/// `resident_bytes` summed across replicas, flags taken from the first
+/// replica that reported the pair. Workers that fail mid-query are
+/// skipped — a fleet listing is a snapshot, not a transaction.
+fn list_cluster_models(shared: &OrchShared, id: u64) -> Frame {
+    let mut merged: Vec<WireModelStatus> = Vec::new();
+    for lease in shared.membership.lease_all() {
+        let listed = forward_once(shared, &lease, id, &|c: &mut Client| {
+            c.list_models()
+                .map(|models| Frame::ModelList { id, models })
+        });
+        let worker = lease.worker.clone();
+        drop(lease);
+        match listed {
+            Ok(Frame::ModelList { models, .. }) => {
+                for status in models {
+                    match merged
+                        .iter_mut()
+                        .find(|m| m.name == status.name && m.version == status.version)
+                    {
+                        Some(m) => {
+                            m.in_flight += status.in_flight;
+                            m.resident_bytes += status.resident_bytes;
+                        }
+                        None => merged.push(status),
+                    }
+                }
+            }
+            // A worker-side typed error on a fleet listing is not
+            // fatal to the merge; skip that worker's contribution.
+            Ok(_) => {}
+            Err(_) => {
+                if shared.membership.mark_dead(&worker) {
+                    shared.metrics.failovers.inc();
+                }
+                fail_worker_cleanup(shared, &worker);
+            }
+        }
+    }
+    merged.sort_by(|a, b| a.name.cmp(&b.name).then(a.version.cmp(&b.version)));
+    Frame::ModelList { id, models: merged }
 }
 
 /// One forward on a pooled connection. `Ok` is a reply to relay (the
@@ -730,11 +849,20 @@ fn forward_once(
             shared.pool.checkin(&lease.worker, client);
             Ok(frame)
         }
-        Err(NetError::Remote { code, detail }) => {
+        Err(NetError::Remote {
+            code,
+            tenant,
+            detail,
+        }) => {
             // The replica answered; the connection is healthy and the
             // typed error is the client's business, not a failover.
             shared.pool.checkin(&lease.worker, client);
-            Ok(Frame::Error { id, code, detail })
+            Ok(Frame::Error {
+                id,
+                code,
+                tenant,
+                detail,
+            })
         }
         Err(e) => Err(e),
     }

@@ -748,6 +748,16 @@ impl FcLayerFormat {
         }
     }
 
+    /// Compact weight storage in bytes (values plus per-format metadata;
+    /// the resident-memory figure the serving registry budgets against).
+    pub fn weight_bytes(&self) -> usize {
+        match self {
+            FcLayerFormat::Shared(l) => l.weight_bytes() + l.index_bits().div_ceil(8),
+            FcLayerFormat::TwoFour(l) => l.weight_bytes(),
+            FcLayerFormat::BankBalanced(l) => l.weight_bytes(),
+        }
+    }
+
     /// The short pattern label used in telemetry and reports.
     pub fn kind(&self) -> &'static str {
         match self {

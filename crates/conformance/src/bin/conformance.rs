@@ -6,6 +6,7 @@
 //! conformance replay   --seed S --case K [--inject FAULT]
 //! conformance corpus
 //! conformance net-fuzz [--cases N] [--seed S]
+//! conformance registry-fuzz [--cases N] [--seed S]
 //! ```
 //!
 //! Exit codes: 0 = all checks green, 1 = usage error, 2 = mismatches.
@@ -22,7 +23,8 @@ fn usage() -> ExitCode {
          [--serve-every N] [--no-shrink] [--max-failures N] [--report-out PATH]\n  \
          conformance replay --seed S --case K [--inject reverse-accumulation]\n  \
          conformance corpus\n  \
-         conformance net-fuzz [--cases N] [--seed S]"
+         conformance net-fuzz [--cases N] [--seed S]\n  \
+         conformance registry-fuzz [--cases N] [--seed S]"
     );
     ExitCode::from(1)
 }
@@ -192,6 +194,34 @@ fn cmd_net_fuzz(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_registry_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    let mut cases = 500u64;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cases" => cases = parse_u64(args, &mut i, "--cases")?,
+            "--seed" => seed = parse_u64(args, &mut i, "--seed")?,
+            other => return Err(format!("registry-fuzz: unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    let mismatches = cs_conformance::registry_check::fuzz_container(seed, cases);
+    println!(
+        "registry-fuzz: {cases} cases, seed {seed}, {} violations",
+        mismatches.len()
+    );
+    for m in &mismatches {
+        println!("  {m}");
+    }
+    if mismatches.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("  replay: conformance registry-fuzz --cases {cases} --seed {seed}");
+        Ok(ExitCode::from(2))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -208,6 +238,7 @@ fn main() -> ExitCode {
             Ok(cmd_corpus())
         }
         "net-fuzz" => cmd_net_fuzz(rest),
+        "registry-fuzz" => cmd_registry_fuzz(rest),
         _ => return usage(),
     };
     match result {

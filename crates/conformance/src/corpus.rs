@@ -14,7 +14,7 @@ use cs_parallel::ThreadPool;
 
 use crate::gen::{self, CaseKind};
 use crate::runner;
-use crate::{cluster_check, diff, net_check, Fault, Mismatch};
+use crate::{cluster_check, diff, net_check, registry_check, Fault, Mismatch};
 
 /// One pinned regression case.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +34,11 @@ pub struct CorpusEntry {
     /// ([`cluster_check::check_serve_cluster`]). FC cases only, like
     /// `socket`.
     pub cluster: bool,
+    /// Additionally push the case's compiled layers through the
+    /// `cs-registry` CSMR container and a real on-disk store,
+    /// demanding byte-exact save → load → save round trips
+    /// ([`registry_check::check_store_roundtrip`]). FC cases only.
+    pub registry: bool,
     /// Why this entry is pinned.
     pub note: &'static str,
 }
@@ -45,6 +50,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 0,
         socket: false,
         cluster: false,
+        registry: false,
         note: "first case of the default sweep; canary for generator drift",
     },
     CorpusEntry {
@@ -52,6 +58,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 2,
         socket: false,
         cluster: false,
+        registry: false,
         note: "LSTM timing lowering and monotonicity invariants (seq 7)",
     },
     CorpusEntry {
@@ -59,6 +66,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 3,
         socket: false,
         cluster: false,
+        registry: false,
         note: "oversized coarse pruning block (100 > matrix) on a 5x32 layer",
     },
     CorpusEntry {
@@ -66,6 +74,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 4,
         socket: false,
         cluster: false,
+        registry: false,
         note: "3-layer FC chain with odd widths (5/48/17), zeroed input stripes, \
                and a bank-balanced first layer whose single ragged bank \
                (n_in 5 < bank 16) stays fully dense",
@@ -75,6 +84,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 6,
         socket: false,
         cluster: false,
+        registry: false,
         note: "fully dense (density 1.0) edge through the compressed path",
     },
     CorpusEntry {
@@ -82,6 +92,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 7,
         socket: false,
         cluster: false,
+        registry: false,
         note: "all-zero 2:4 layer with zeroed input stripes; tie-ranked groups \
                must keep the lowest-index pair",
     },
@@ -90,6 +101,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 11,
         socket: false,
         cluster: false,
+        registry: false,
         note: "padded k3 conv; pooled conv kernel vs dense conv2d",
     },
     CorpusEntry {
@@ -97,6 +109,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 19,
         socket: false,
         cluster: false,
+        registry: false,
         note: "near-zero density edge (only the best block survives)",
     },
     CorpusEntry {
@@ -104,6 +117,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 22,
         socket: false,
         cluster: false,
+        registry: false,
         note: "all-zero weights under both structured patterns (2:4 then \
                bank 4:3) with a NaN/inf-poisoned input; the engine paths \
                must stay bit-identical to each other with the dense legs \
@@ -114,6 +128,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 41,
         socket: false,
         cluster: false,
+        registry: false,
         note: "-0.0-poisoned input (finite: every leg still runs, and the \
                gate must treat the block as occupied) over two degenerate \
                bank 4:4 layers whose masks degrade to fully dense",
@@ -123,6 +138,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 56,
         socket: false,
         cluster: false,
+        registry: false,
         note: "NaN/inf-poisoned input into a degenerate bank 16:16 chain; \
                gated kernels must never skip non-finite blocks and the \
                degenerate bank keeps the full mask",
@@ -132,6 +148,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 63,
         socket: false,
         cluster: false,
+        registry: false,
         note: "degenerate bank 16:16 on a 5x5 layer: one ragged bank \
                (n_in 5 < bank 16) and a vacuous k = bank constraint at \
                near-zero density — the mask must normalize to fully dense",
@@ -141,6 +158,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 28,
         socket: false,
         cluster: false,
+        registry: false,
         note: "all-zero coarse layer (codebook collapses to [0.0]) and a \
                bank-balanced 16:6 mid-layer in a 5-layer chain",
     },
@@ -149,6 +167,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 9,
         socket: true,
         cluster: true,
+        registry: false,
         note: "FC 16x48x8 served over loopback TCP and routed through a two-node \
                cluster; both paths must stay bit-identical to direct execution",
     },
@@ -157,6 +176,7 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 23,
         socket: true,
         cluster: true,
+        registry: false,
         note: "both structured patterns in one chain (ragged bank 8:1 then a \
                fully-dense 2:4 layer) served over loopback TCP and a two-node \
                cluster; structured kernels must stay bit-identical end to end",
@@ -166,11 +186,34 @@ pub const CORPUS: &[CorpusEntry] = &[
         case: 396,
         socket: false,
         cluster: false,
+        registry: false,
         note: "NaN/inf poison into a 2:4 layer whose survivors carry exact-zero \
                quantized weights: inf * 0.0 mints a second NaN payload, and the \
                AVX2 strip vs scalar-remainder path split may legally keep \
                different NaN bits — the engine-vs-engine legs must identify \
                all NaN encodings instead of comparing payload bits",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 59,
+        socket: false,
+        cluster: false,
+        registry: true,
+        note: "all three container bodies in one chain (coarse, 2:4, bank \
+               4:3) over ragged 17x48x24x17 widths with a NaN/inf-poisoned \
+               input; the CSMR save->load->save round trip must be byte-\
+               exact on every packed-survivor layout at once",
+    },
+    CorpusEntry {
+        seed: 42,
+        case: 34,
+        socket: false,
+        cluster: false,
+        registry: true,
+        note: "a 0.000-density coarse layer (fully-pruned groups with empty \
+               codebooks) chained between 2:4 layers over width-5 raggedness, \
+               with a -0.0-poisoned input; the empty-codebook and empty-row \
+               container encodings must round trip byte-exactly",
     },
 ];
 
@@ -185,6 +228,9 @@ pub fn replay_corpus(pools: &[ThreadPool]) -> Vec<(CorpusEntry, Vec<Mismatch>)> 
             }
             if e.cluster {
                 mismatches.extend(cluster_leg(e, &case));
+            }
+            if e.registry {
+                mismatches.extend(registry_leg(e, &case));
             }
             (!mismatches.is_empty()).then_some((*e, mismatches))
         })
@@ -202,6 +248,26 @@ fn socket_leg(e: &CorpusEntry, case: &gen::Case) -> Vec<Mismatch> {
             "corpus-socket-kind",
             format!(
                 "socket entry seed {} case {} is a {} case; only FC cases can be served",
+                e.seed,
+                e.case,
+                other.name()
+            ),
+        )],
+    }
+}
+
+/// The CSMR container round-trip leg for `registry: true` entries.
+fn registry_leg(e: &CorpusEntry, case: &gen::Case) -> Vec<Mismatch> {
+    match &case.kind {
+        CaseKind::FcNet(fc) => match diff::build_fc(fc) {
+            Ok(art) => registry_check::check_store_roundtrip(&art, e.seed, e.case),
+            Err(m) => vec![m],
+        },
+        other => vec![Mismatch::new(
+            "corpus-registry-kind",
+            format!(
+                "registry entry seed {} case {} is a {} case; only FC layers \
+                 have a container encoding",
                 e.seed,
                 e.case,
                 other.name()

@@ -32,6 +32,12 @@
 //!   (`conformance net-fuzz`), plus a socket differential that serves a
 //!   case over loopback TCP and demands bit-identity with a direct
 //!   in-process lane forward.
+//! * [`registry_check`] — the storage-path extension: a seed-replayable
+//!   fuzz sweep over the `cs-registry` CSMR container codec
+//!   (`conformance registry-fuzz`) — byte-exact round trips including
+//!   NaN/±0.0 codebook payloads, plus hostile mutations that must fail
+//!   with typed errors — and an on-disk save→load→save leg for
+//!   `registry: true` corpus entries.
 //! * [`cluster_check`] — one hop further out: the case replicated
 //!   across a two-node in-process cluster, probed through the
 //!   `cs-cluster` orchestrator, with the same bit-identity demand on
@@ -61,6 +67,7 @@ pub mod diff;
 pub mod gen;
 pub mod invariants;
 pub mod net_check;
+pub mod registry_check;
 pub mod rng;
 pub mod runner;
 pub mod serve_check;

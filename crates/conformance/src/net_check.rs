@@ -76,10 +76,11 @@ fn gen_frame(rng: &mut CaseRng) -> Frame {
             })
             .collect()
     }
-    match rng.range(0, 14) {
+    match rng.range(0, 18) {
         0 => Frame::Request {
             id,
             model: gen_string(rng),
+            tenant: gen_string(rng),
             input: gen_f32s(rng),
         },
         1 => Frame::Response {
@@ -105,7 +106,11 @@ fn gen_frame(rng: &mut CaseRng) -> Frame {
                 ErrorCode::Malformed,
                 ErrorCode::ConnectionLimit,
                 ErrorCode::NoReplica,
+                ErrorCode::ModelNotFound,
+                ErrorCode::VersionMismatch,
+                ErrorCode::RegistryFull,
             ]),
+            tenant: gen_string(rng),
             detail: gen_string(rng),
         },
         3 => Frame::Ping { id },
@@ -141,7 +146,37 @@ fn gen_frame(rng: &mut CaseRng) -> Frame {
             id,
             worker: gen_string(rng),
         },
-        _ => Frame::DeregisterAck { id },
+        13 => Frame::DeregisterAck { id },
+        14 => Frame::LoadModel {
+            id,
+            model: gen_string(rng),
+            version: rng.next_u64() as u32,
+            canary_pct: rng.range(0, 101) as u8,
+        },
+        15 => Frame::UnloadModel {
+            id,
+            model: gen_string(rng),
+            version: rng.next_u64() as u32,
+        },
+        16 => Frame::ListModels { id },
+        _ => Frame::ModelList {
+            id,
+            models: (0..rng.range(0, 4))
+                .map(|_| cs_net::WireModelStatus {
+                    name: gen_string(rng),
+                    version: rng.next_u64() as u32,
+                    primary: rng.chance(0.5),
+                    canary_pct: if rng.chance(0.5) {
+                        Some(rng.range(0, 101) as u8)
+                    } else {
+                        None
+                    },
+                    demoted: rng.chance(0.5),
+                    resident_bytes: rng.next_u64(),
+                    in_flight: rng.next_u64(),
+                })
+                .collect(),
+        },
     }
 }
 

@@ -122,8 +122,17 @@ impl WorkerAgent {
         )?;
         let heartbeat_ms = match read_frame(&mut stream, DEFAULT_MAX_PAYLOAD)? {
             Some(Frame::RegisterAck { heartbeat_ms, .. }) => heartbeat_ms.max(1),
-            Some(Frame::Error { code, detail, .. }) => {
-                return Err(NetError::Remote { code, detail })
+            Some(Frame::Error {
+                code,
+                tenant,
+                detail,
+                ..
+            }) => {
+                return Err(NetError::Remote {
+                    code,
+                    tenant,
+                    detail,
+                })
             }
             Some(other) => {
                 return Err(NetError::Protocol(format!(

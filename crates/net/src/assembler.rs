@@ -223,11 +223,13 @@ mod tests {
             Frame::Request {
                 id: 2,
                 model: "mlp".to_string(),
+                tenant: "acme".to_string(),
                 input: vec![1.0, f32::NAN, -0.0, 3.5],
             },
             Frame::Error {
                 id: 3,
                 code: ErrorCode::Overloaded,
+                tenant: "acme".to_string(),
                 detail: "queue full".to_string(),
             },
         ]
@@ -312,6 +314,7 @@ mod tests {
         let frame = Frame::Request {
             id: 7,
             model: "m".to_string(),
+            tenant: String::new(),
             input: vec![0.25; 64],
         }
         .encode();

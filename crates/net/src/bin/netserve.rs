@@ -19,6 +19,15 @@
 //! orchestrator cascades a cluster shutdown — so stopping the cluster
 //! stops every worker through the same protocol.
 //!
+//! **Model lifecycle** (`--registry DIR`): points the server at an
+//! on-disk `cs-registry` store so clients can hot-load versions over
+//! the wire (`LoadModel` frames). `--empty` skips the built-in MLP —
+//! the server starts with nothing resident and serves only what is
+//! loaded at runtime, which is how the registry-smoke job proves cold
+//! bring-up. `--memory-budget` bounds resident model bytes (LRU
+//! eviction of drained idle versions), `--tenant-quota` caps any one
+//! tenant's share of the admission queue.
+//!
 //! Exit codes: `0` clean shutdown, `1` startup/config failure,
 //! `3` clean shutdown but the decode-error counter was nonzero (the CI
 //! smoke job fails on any malformed traffic).
@@ -46,6 +55,10 @@ struct Args {
     max_batch: usize,
     join: Option<String>,
     worker_id: String,
+    registry_dir: Option<String>,
+    empty: bool,
+    memory_budget: usize,
+    tenant_quota: usize,
 }
 
 fn usage() -> ! {
@@ -54,7 +67,9 @@ fn usage() -> ! {
          \x20                 [--workers N] [--scale N] [--seed N]\n\
          \x20                 [--backend simulator|sparse|dense] [--max-connections N]\n\
          \x20                 [--transport threaded|reactor] [--queue-depth N]\n\
-         \x20                 [--max-batch N] [--join ORCH_ADDR] [--worker-id NAME]"
+         \x20                 [--max-batch N] [--join ORCH_ADDR] [--worker-id NAME]\n\
+         \x20                 [--registry DIR] [--empty] [--memory-budget BYTES]\n\
+         \x20                 [--tenant-quota N]"
     );
     std::process::exit(1);
 }
@@ -74,6 +89,10 @@ fn parse_args() -> Args {
         max_batch: 8,
         join: None,
         worker_id: "local".to_string(),
+        registry_dir: None,
+        empty: false,
+        memory_budget: 0,
+        tenant_quota: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -109,6 +128,14 @@ fn parse_args() -> Args {
             "--max-batch" => out.max_batch = parse_num(&value("--max-batch"), "--max-batch"),
             "--join" => out.join = Some(value("--join")),
             "--worker-id" => out.worker_id = value("--worker-id"),
+            "--registry" => out.registry_dir = Some(value("--registry")),
+            "--empty" => out.empty = true,
+            "--memory-budget" => {
+                out.memory_budget = parse_num(&value("--memory-budget"), "--memory-budget")
+            }
+            "--tenant-quota" => {
+                out.tenant_quota = parse_num(&value("--tenant-quota"), "--tenant-quota")
+            }
             "--backend" => {
                 out.backend = match value("--backend").as_str() {
                     "simulator" | "sim" => ExecBackend::Simulator,
@@ -144,18 +171,26 @@ fn main() {
     let args = parse_args();
     let registry = Arc::new(Registry::new());
 
-    let model = match ServableModel::mlp(Scale::Reduced(args.scale), args.seed) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("building model failed: {e}");
+    let mut models = ModelRegistry::new();
+    if args.empty {
+        // Cold bring-up: nothing resident until a client hot-loads a
+        // version out of the on-disk registry over the wire.
+        if args.registry_dir.is_none() {
+            eprintln!("error: --empty without --registry serves nothing forever");
             std::process::exit(1);
         }
-    };
-    let n_in = model.n_in;
-    let mut models = ModelRegistry::new();
-    if let Err(e) = models.register(model) {
-        eprintln!("registering model failed: {e}");
-        std::process::exit(1);
+    } else {
+        let model = match ServableModel::mlp(Scale::Reduced(args.scale), args.seed) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("building model failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = models.register(model) {
+            eprintln!("registering model failed: {e}");
+            std::process::exit(1);
+        }
     }
     let serve_cfg = ServeConfig {
         workers: args.workers,
@@ -163,6 +198,8 @@ fn main() {
         node: args.worker_id.clone(),
         queue_depth: args.queue_depth,
         max_batch: args.max_batch,
+        memory_budget_bytes: args.memory_budget as u64,
+        tenant_quota: args.tenant_quota,
         ..ServeConfig::default()
     };
     let serve = match Server::start_with_recorder(
@@ -177,10 +214,12 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let served = serve.model_names();
     let net_cfg = NetConfig {
         addr: args.addr.clone(),
         max_connections: args.max_connections,
         transport: args.transport,
+        registry_dir: args.registry_dir.clone(),
         ..NetConfig::default()
     };
     let net = match NetServer::start_with_recorder(serve, net_cfg, registry.clone()) {
@@ -193,7 +232,7 @@ fn main() {
 
     let addr = net.local_addr();
     println!(
-        "cs-netserve listening on {addr} (model \"mlp\", n_in {n_in}, {} workers, {} transport)",
+        "cs-netserve listening on {addr} (models {served:?}, {} workers, {} transport)",
         args.workers,
         net.transport()
     );
@@ -220,7 +259,7 @@ fn main() {
                     orch_addr.clone(),
                     args.worker_id.clone(),
                     addr.to_string(),
-                    vec!["mlp".to_string()],
+                    served.clone(),
                 ),
                 net.shutdown_handle(),
             ) {

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use crate::error::NetError;
 use crate::transport::{read_frame, write_frame};
-use crate::wire::{Frame, DEFAULT_MAX_PAYLOAD};
+use crate::wire::{Frame, WireModelStatus, DEFAULT_MAX_PAYLOAD};
 
 /// Client-side connection settings.
 #[derive(Debug, Clone, PartialEq)]
@@ -202,10 +202,28 @@ impl Client {
     /// [`NetError::Remote`] for server-side failures (unknown model,
     /// shape mismatch, overload, shutdown), transport errors otherwise.
     pub fn request(&mut self, model: &str, input: &[f32]) -> Result<NetResponse, NetError> {
+        self.request_as(model, "", input)
+    }
+
+    /// Runs one inference billed against `tenant` and blocks for the
+    /// reply. An empty tenant is the server's "default" lane.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; additionally, a tenant whose quota is
+    /// exhausted gets [`crate::wire::ErrorCode::Overloaded`] with the
+    /// tenant echoed in the error frame.
+    pub fn request_as(
+        &mut self,
+        model: &str,
+        tenant: &str,
+        input: &[f32],
+    ) -> Result<NetResponse, NetError> {
         let id = self.take_id();
         let reply = self.round_trip(&Frame::Request {
             id,
             model: model.to_string(),
+            tenant: tenant.to_string(),
             input: input.to_vec(),
         })?;
         match reply {
@@ -235,10 +253,15 @@ impl Client {
             Frame::Error {
                 id: rid,
                 code,
+                tenant,
                 detail,
             } => {
                 Self::check_id(id, rid, "error")?;
-                Err(NetError::Remote { code, detail })
+                Err(NetError::Remote {
+                    code,
+                    tenant,
+                    detail,
+                })
             }
             other => Err(NetError::Protocol(format!(
                 "expected response or error, got {:?}",
@@ -262,10 +285,28 @@ impl Client {
         input: &[f32],
         policy: &RetryPolicy,
     ) -> Result<NetResponse, NetError> {
+        self.request_with_retry_as(model, "", input, policy)
+    }
+
+    /// [`Client::request_with_retry`] billed against `tenant`: a tenant
+    /// over quota draws the same `Overloaded` backoff as a full
+    /// admission queue, so per-tenant shedding and global shedding are
+    /// retried identically.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_as`].
+    pub fn request_with_retry_as(
+        &mut self,
+        model: &str,
+        tenant: &str,
+        input: &[f32],
+        policy: &RetryPolicy,
+    ) -> Result<NetResponse, NetError> {
         let mut jitter = RetryJitter::new(policy.seed);
         let mut attempt = 0u32;
         loop {
-            match self.request(model, input) {
+            match self.request_as(model, tenant, input) {
                 Err(e) if e.is_overloaded() && attempt < policy.max_retries => {
                     let shift = attempt.min(63);
                     let sleep = policy
@@ -323,16 +364,115 @@ impl Client {
             Frame::Error {
                 id: rid,
                 code,
+                tenant,
                 detail,
             } => {
                 Self::check_id(id, rid, "error")?;
-                Err(NetError::Remote { code, detail })
+                Err(NetError::Remote {
+                    code,
+                    tenant,
+                    detail,
+                })
             }
             other => Err(NetError::Protocol(format!(
                 "expected info, got {:?}",
                 other.frame_type()
             ))),
         }
+    }
+
+    /// Parses a ModelList/Error reply shared by the lifecycle calls.
+    fn expect_model_list(
+        id: u64,
+        reply: Frame,
+        what: &str,
+    ) -> Result<Vec<WireModelStatus>, NetError> {
+        match reply {
+            Frame::ModelList { id: rid, models } => {
+                Self::check_id(id, rid, what)?;
+                Ok(models)
+            }
+            Frame::Error {
+                id: rid,
+                code,
+                tenant,
+                detail,
+            } => {
+                Self::check_id(id, rid, "error")?;
+                Err(NetError::Remote {
+                    code,
+                    tenant,
+                    detail,
+                })
+            }
+            other => Err(NetError::Protocol(format!(
+                "expected model list, got {:?}",
+                other.frame_type()
+            ))),
+        }
+    }
+
+    /// Hot-loads `model@version` from the server's on-disk registry —
+    /// as the new primary when `canary_pct` is 0, as a canary taking
+    /// `canary_pct`% of the model's traffic otherwise. Returns the
+    /// post-load resident set.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with
+    /// [`crate::wire::ErrorCode::ModelNotFound`] when the registry has
+    /// no such container, `VersionMismatch` for shape or promotion
+    /// inconsistencies, `RegistryFull` when the memory budget cannot
+    /// fit it; transport errors otherwise.
+    pub fn load_model(
+        &mut self,
+        model: &str,
+        version: u32,
+        canary_pct: u8,
+    ) -> Result<Vec<WireModelStatus>, NetError> {
+        let id = self.take_id();
+        let reply = self.round_trip(&Frame::LoadModel {
+            id,
+            model: model.to_string(),
+            version,
+            canary_pct,
+        })?;
+        Self::expect_model_list(id, reply, "load-model ack")
+    }
+
+    /// Unloads a resident `model@version` (drains its in-flight
+    /// requests first). Returns the post-unload resident set.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with
+    /// [`crate::wire::ErrorCode::ModelNotFound`] when the version is
+    /// not resident, `VersionMismatch` when it is the primary of a
+    /// multi-version model; transport errors otherwise.
+    pub fn unload_model(
+        &mut self,
+        model: &str,
+        version: u32,
+    ) -> Result<Vec<WireModelStatus>, NetError> {
+        let id = self.take_id();
+        let reply = self.round_trip(&Frame::UnloadModel {
+            id,
+            model: model.to_string(),
+            version,
+        })?;
+        Self::expect_model_list(id, reply, "unload-model ack")
+    }
+
+    /// Lists the server's resident model versions, sorted by
+    /// `(name, version)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`NetError::Protocol`] for a wrong reply.
+    pub fn list_models(&mut self) -> Result<Vec<WireModelStatus>, NetError> {
+        let id = self.take_id();
+        let reply = self.round_trip(&Frame::ListModels { id })?;
+        Self::expect_model_list(id, reply, "model list")
     }
 
     /// Tells the server to drain all in-flight work and stop. The ack

@@ -29,6 +29,9 @@ pub enum NetError {
     Remote {
         /// Typed failure code.
         code: ErrorCode,
+        /// Tenant the failed request belonged to, as reported by the
+        /// server (empty when the failure is not tenant-attributable).
+        tenant: String,
         /// Human-readable specifics from the server.
         detail: String,
     },
@@ -84,7 +87,7 @@ impl fmt::Display for NetError {
                 detail,
             } => write!(f, "{context}: i/o error ({kind:?}): {detail}"),
             NetError::Wire(e) => write!(f, "wire error: {e}"),
-            NetError::Remote { code, detail } => write!(f, "server error [{code}]: {detail}"),
+            NetError::Remote { code, detail, .. } => write!(f, "server error [{code}]: {detail}"),
             NetError::Timeout { context } => write!(f, "{context}: timed out"),
             NetError::ConnectionClosed => write!(f, "connection closed by peer"),
             NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
@@ -140,11 +143,13 @@ mod tests {
     fn overload_detection_matches_only_the_backpressure_code() {
         let over = NetError::Remote {
             code: ErrorCode::Overloaded,
+            tenant: "acme".to_string(),
             detail: "full".to_string(),
         };
         assert!(over.is_overloaded());
         let other = NetError::Remote {
             code: ErrorCode::UnknownModel,
+            tenant: String::new(),
             detail: "x".to_string(),
         };
         assert!(!other.is_overloaded());
@@ -155,6 +160,7 @@ mod tests {
     fn display_is_informative() {
         let e = NetError::Remote {
             code: ErrorCode::ShapeMismatch,
+            tenant: String::new(),
             detail: "expects 98".to_string(),
         };
         let s = e.to_string();

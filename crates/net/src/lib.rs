@@ -73,4 +73,6 @@ pub use assembler::{FrameAssembler, WriteBuffer};
 pub use client::{Client, ClientConfig, NetResponse, RetryPolicy};
 pub use error::NetError;
 pub use server::{NetConfig, NetServer, NetShutdownHandle, Transport};
-pub use wire::{ErrorCode, Frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD, WIRE_VERSION};
+pub use wire::{
+    ErrorCode, Frame, FrameType, WireError, WireModelStatus, DEFAULT_MAX_PAYLOAD, WIRE_VERSION,
+};

@@ -44,6 +44,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use cs_registry::RegistryStore;
 use cs_serve::{DrainHandle, InferRequest, Server, Ticket};
 use cs_telemetry::Clock;
 
@@ -52,7 +53,7 @@ use crate::error::NetError;
 use crate::poll::{
     Epoll, EpollEvent, WakePipe, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
-use crate::server::{NetConfig, NetMetrics};
+use crate::server::{lifecycle_reply, query_reply, NetConfig, NetMetrics};
 use crate::wire::{ErrorCode, Frame};
 
 /// epoll token for the listening socket.
@@ -155,6 +156,8 @@ impl Conn {
 pub(crate) struct ReactorShared {
     pub(crate) serve: Server,
     pub(crate) drain: DrainHandle,
+    /// On-disk model store backing `LoadModel` control frames.
+    pub(crate) registry: Option<RegistryStore>,
     pub(crate) cfg: NetConfig,
     pub(crate) clock: Arc<dyn Clock>,
     pub(crate) metrics: NetMetrics,
@@ -169,6 +172,7 @@ pub(crate) struct ReactorShared {
 impl ReactorShared {
     pub(crate) fn new(
         serve: Server,
+        registry: Option<RegistryStore>,
         cfg: NetConfig,
         clock: Arc<dyn Clock>,
         metrics: NetMetrics,
@@ -178,6 +182,7 @@ impl ReactorShared {
         ReactorShared {
             serve,
             drain,
+            registry,
             cfg,
             clock,
             metrics,
@@ -431,6 +436,7 @@ impl EventLoop {
                 let frame = Frame::Error {
                     id: 0,
                     code: ErrorCode::ConnectionLimit,
+                    tenant: String::new(),
                     detail: format!(
                         "connection cap {} reached, try later",
                         self.shared.cfg.max_connections
@@ -548,6 +554,7 @@ impl EventLoop {
                         frame: Frame::Error {
                             id: 0,
                             code: ErrorCode::Malformed,
+                            tenant: String::new(),
                             detail: e.to_string(),
                         },
                         t0_us: None,
@@ -560,10 +567,18 @@ impl EventLoop {
 
     fn dispatch_frame(&mut self, token: u64, frame: Frame) {
         match frame {
-            Frame::Request { id, model, input } => {
+            Frame::Request {
+                id,
+                model,
+                tenant,
+                input,
+            } => {
                 let t0_us = self.now_us();
                 self.shared.metrics.requests.inc();
-                let submitted = self.shared.serve.submit(InferRequest::new(model, input));
+                let submitted = self
+                    .shared
+                    .serve
+                    .submit(InferRequest::new(model, input).with_tenant(tenant));
                 let Some(conn) = self.conns.get_mut(&token) else {
                     return;
                 };
@@ -588,19 +603,18 @@ impl EventLoop {
             }
             Frame::Ping { id } => self.push_done(token, Frame::Pong { id }),
             Frame::Query { id, model } => {
-                let reply = match self.shared.serve.registry().get(&model) {
-                    Some((_, m)) => Frame::Info {
-                        id,
-                        model,
-                        n_in: m.n_in as u32,
-                        n_out: m.n_out as u32,
-                    },
-                    None => Frame::Error {
-                        id,
-                        code: ErrorCode::UnknownModel,
-                        detail: format!("unknown model {model:?}"),
-                    },
-                };
+                let reply = query_reply(&self.shared.serve, id, model);
+                self.push_done(token, reply);
+            }
+            frame @ (Frame::LoadModel { .. }
+            | Frame::UnloadModel { .. }
+            | Frame::ListModels { .. }) => {
+                // Lifecycle work (container decode, kernel builds,
+                // victim drains) runs on the loop thread; completion
+                // threads keep resolving in-flight tickets meanwhile,
+                // so a drain inside the load cannot deadlock.
+                let reply =
+                    lifecycle_reply(&self.shared.serve, self.shared.registry.as_ref(), &frame);
                 self.push_done(token, reply);
             }
             Frame::Shutdown { id } => {
@@ -633,7 +647,8 @@ impl EventLoop {
             | Frame::RegisterAck { id, .. }
             | Frame::Heartbeat { id, .. }
             | Frame::Deregister { id, .. }
-            | Frame::DeregisterAck { id } => {
+            | Frame::DeregisterAck { id }
+            | Frame::ModelList { id, .. } => {
                 self.shared.metrics.decode_errors.inc();
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.state = ConnState::Draining;
@@ -641,6 +656,7 @@ impl EventLoop {
                         frame: Frame::Error {
                             id,
                             code: ErrorCode::Malformed,
+                            tenant: String::new(),
                             detail: "frame type is not client-to-server".to_string(),
                         },
                         t0_us: None,

@@ -49,6 +49,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cs_registry::{RegistryError, RegistryStore};
 use cs_serve::{DrainHandle, InferRequest, ServeSnapshot, Server, Ticket};
 use cs_telemetry::{
     buckets, Clock, Counter, Gauge, Histogram, Labels, MonotonicClock, NoopRecorder, Recorder,
@@ -122,6 +123,12 @@ pub struct NetConfig {
     /// not draining responses) before the server disconnects it as a
     /// slow consumer. `None` waits forever.
     pub slow_consumer_grace: Option<Duration>,
+    /// Directory of an on-disk `CSMR` model registry (see
+    /// [`cs_registry::RegistryStore`]). When set, `LoadModel` control
+    /// frames hot-load `(model, version)` containers from it; when
+    /// `None`, loads are refused with an [`ErrorCode::Internal`]
+    /// error frame.
+    pub registry_dir: Option<String>,
 }
 
 impl Default for NetConfig {
@@ -135,6 +142,7 @@ impl Default for NetConfig {
             transport: Transport::Threaded,
             max_pending_replies: 64,
             slow_consumer_grace: Some(Duration::from_secs(5)),
+            registry_dir: None,
         }
     }
 }
@@ -241,6 +249,8 @@ impl NetMetrics {
 struct Shared {
     serve: Server,
     drain: DrainHandle,
+    /// On-disk model store backing `LoadModel` control frames.
+    registry: Option<RegistryStore>,
     cfg: NetConfig,
     clock: Arc<dyn Clock>,
     metrics: NetMetrics,
@@ -455,6 +465,12 @@ impl NetServer {
         recorder: Arc<dyn Recorder>,
     ) -> Result<NetServer, NetError> {
         cfg.validate()?;
+        let registry = match &cfg.registry_dir {
+            Some(dir) => Some(RegistryStore::open(dir).map_err(|e| {
+                NetError::InvalidConfig(format!("opening model registry {dir:?}: {e}"))
+            })?),
+            None => None,
+        };
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| NetError::from_io("bind listener", &e))?;
         let local_addr = listener
@@ -467,6 +483,7 @@ impl NetServer {
             {
                 let shared = Arc::new(crate::reactor::ReactorShared::new(
                     serve,
+                    registry,
                     cfg,
                     Arc::new(MonotonicClock::new()),
                     metrics,
@@ -483,6 +500,7 @@ impl NetServer {
         let shared = Arc::new(Shared {
             serve,
             drain,
+            registry,
             cfg,
             clock: Arc::new(MonotonicClock::new()),
             metrics,
@@ -726,6 +744,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
             let frame = Frame::Error {
                 id: 0,
                 code: ErrorCode::ConnectionLimit,
+                tenant: String::new(),
                 detail: format!(
                     "connection cap {} reached, try later",
                     shared.cfg.max_connections
@@ -857,6 +876,7 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, queue: &ReplyQueue) -> b
                     Outgoing::Ready(Frame::Error {
                         id: 0,
                         code: ErrorCode::Malformed,
+                        tenant: String::new(),
                         detail: e.to_string(),
                     }),
                     grace,
@@ -867,10 +887,16 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, queue: &ReplyQueue) -> b
         };
         shared.metrics.frames_in.inc();
         match frame {
-            Frame::Request { id, model, input } => {
+            Frame::Request {
+                id,
+                model,
+                tenant,
+                input,
+            } => {
                 let t0_us = shared.clock.now_us();
                 shared.metrics.requests.inc();
-                let msg = match shared.serve.submit(InferRequest::new(model, input)) {
+                let req = InferRequest::new(model, input).with_tenant(tenant);
+                let msg = match shared.serve.submit(req) {
                     Ok(ticket) => Outgoing::Pending { id, t0_us, ticket },
                     Err(e) => Outgoing::Ready(Frame::from_serve_error(id, &e)),
                 };
@@ -880,19 +906,13 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, queue: &ReplyQueue) -> b
                 push_or_break!(Outgoing::Ready(Frame::Pong { id }));
             }
             Frame::Query { id, model } => {
-                let reply = match shared.serve.registry().get(&model) {
-                    Some((_, m)) => Frame::Info {
-                        id,
-                        model,
-                        n_in: m.n_in as u32,
-                        n_out: m.n_out as u32,
-                    },
-                    None => Frame::Error {
-                        id,
-                        code: ErrorCode::UnknownModel,
-                        detail: format!("unknown model {model:?}"),
-                    },
-                };
+                let reply = query_reply(&shared.serve, id, model);
+                push_or_break!(Outgoing::Ready(reply));
+            }
+            frame @ (Frame::LoadModel { .. }
+            | Frame::UnloadModel { .. }
+            | Frame::ListModels { .. }) => {
+                let reply = lifecycle_reply(&shared.serve, shared.registry.as_ref(), &frame);
                 push_or_break!(Outgoing::Ready(reply));
             }
             Frame::Shutdown { id } => {
@@ -915,12 +935,14 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, queue: &ReplyQueue) -> b
             | Frame::RegisterAck { id, .. }
             | Frame::Heartbeat { id, .. }
             | Frame::Deregister { id, .. }
-            | Frame::DeregisterAck { id } => {
+            | Frame::DeregisterAck { id }
+            | Frame::ModelList { id, .. } => {
                 shared.metrics.decode_errors.inc();
                 let _ = queue.push(
                     Outgoing::Ready(Frame::Error {
                         id,
                         code: ErrorCode::Malformed,
+                        tenant: String::new(),
                         detail: "frame type is not client-to-server".to_string(),
                     }),
                     grace,
@@ -930,6 +952,90 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, queue: &ReplyQueue) -> b
         }
     }
     false
+}
+
+/// Builds the reply to a [`Frame::Query`]. Shared by both transports
+/// so the model-shape contract is identical whichever data plane
+/// answers.
+pub(crate) fn query_reply(serve: &Server, id: u64, model: String) -> Frame {
+    match serve.lookup(&model) {
+        Some(m) => Frame::Info {
+            id,
+            model,
+            n_in: m.n_in as u32,
+            n_out: m.n_out as u32,
+        },
+        None => Frame::Error {
+            id,
+            code: ErrorCode::UnknownModel,
+            tenant: String::new(),
+            detail: format!("unknown model {model:?}"),
+        },
+    }
+}
+
+/// Answers a model-lifecycle control frame (`LoadModel` /
+/// `UnloadModel` / `ListModels`) against the serving runtime and the
+/// optional on-disk registry. Shared by both transports.
+///
+/// Loads resolve `(model, version)` in the on-disk store, decode the
+/// `CSMR` container, and hand the artifact to the runtime, which
+/// builds kernels outside its locks so serving never stalls on a
+/// load. Successful loads and unloads ack with the post-operation
+/// [`Frame::ModelList`], so the client observes the state it just
+/// created without a follow-up round trip.
+pub(crate) fn lifecycle_reply(
+    serve: &Server,
+    registry: Option<&RegistryStore>,
+    frame: &Frame,
+) -> Frame {
+    match frame {
+        Frame::LoadModel {
+            id,
+            model,
+            version,
+            canary_pct,
+        } => {
+            let id = *id;
+            match registry {
+                None => Frame::Error {
+                    id,
+                    code: ErrorCode::Internal,
+                    tenant: String::new(),
+                    detail: "server has no on-disk model registry configured".to_string(),
+                },
+                Some(store) => match store.load(model, *version) {
+                    Ok(artifact) => match serve.load_artifact(&artifact, *canary_pct) {
+                        Ok(()) => Frame::from_model_list(id, &serve.list_models()),
+                        Err(e) => Frame::from_serve_error(id, &e),
+                    },
+                    Err(RegistryError::NotFound { .. }) => Frame::Error {
+                        id,
+                        code: ErrorCode::ModelNotFound,
+                        tenant: String::new(),
+                        detail: format!("model {model}@v{version} is not in the registry"),
+                    },
+                    Err(e) => Frame::Error {
+                        id,
+                        code: ErrorCode::Internal,
+                        tenant: String::new(),
+                        detail: format!("loading {model}@v{version}: {e}"),
+                    },
+                },
+            }
+        }
+        Frame::UnloadModel { id, model, version } => match serve.unload_model(model, *version) {
+            Ok(()) => Frame::from_model_list(*id, &serve.list_models()),
+            Err(e) => Frame::from_serve_error(*id, &e),
+        },
+        Frame::ListModels { id } => Frame::from_model_list(*id, &serve.list_models()),
+        other => Frame::Error {
+            id: other.id(),
+            code: ErrorCode::Internal,
+            tenant: String::new(),
+            detail: "not a lifecycle control frame".to_string(),
+        },
+    }
 }
 
 fn writer_loop(shared: &Arc<Shared>, mut stream: TcpStream, queue: &ReplyQueue) {

@@ -88,6 +88,7 @@ mod tests {
             Frame::Request {
                 id: 2,
                 model: "mlp".to_string(),
+                tenant: "t0".to_string(),
                 input: vec![0.5, -0.5],
             },
             Frame::Shutdown { id: 3 },
@@ -111,6 +112,7 @@ mod tests {
         let bytes = Frame::Request {
             id: 2,
             model: "mlp".to_string(),
+            tenant: String::new(),
             input: vec![0.5, -0.5],
         }
         .encode();

@@ -39,8 +39,12 @@ pub const MAGIC: [u8; 2] = [0xCA, 0x5E];
 /// (new frame types) and never reuse retired type codes. Version 2
 /// added the cluster control frames ([`Frame::Register`] through
 /// [`Frame::DeregisterAck`]) and the `node` field on
-/// [`Frame::Response`].
-pub const WIRE_VERSION: u8 = 2;
+/// [`Frame::Response`]. Version 3 added the model-lifecycle control
+/// frames ([`Frame::LoadModel`] through [`Frame::ModelList`]), the
+/// `tenant` field on [`Frame::Request`] and [`Frame::Error`], and the
+/// lifecycle error codes ([`ErrorCode::ModelNotFound`],
+/// [`ErrorCode::VersionMismatch`], [`ErrorCode::RegistryFull`]).
+pub const WIRE_VERSION: u8 = 3;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 16;
@@ -83,6 +87,16 @@ pub enum FrameType {
     Deregister = 13,
     /// Orchestrator → worker leave acknowledgement.
     DeregisterAck = 14,
+    /// Client → server: load a `(model, version)` from the server's
+    /// on-disk registry, optionally as a canary.
+    LoadModel = 15,
+    /// Client → server: unload a resident `(model, version)`.
+    UnloadModel = 16,
+    /// Client → server: list resident model versions.
+    ListModels = 17,
+    /// Server → client reply to [`FrameType::ListModels`], and the ack
+    /// for [`FrameType::LoadModel`] / [`FrameType::UnloadModel`].
+    ModelList = 18,
 }
 
 impl FrameType {
@@ -102,6 +116,10 @@ impl FrameType {
             12 => FrameType::Heartbeat,
             13 => FrameType::Deregister,
             14 => FrameType::DeregisterAck,
+            15 => FrameType::LoadModel,
+            16 => FrameType::UnloadModel,
+            17 => FrameType::ListModels,
+            18 => FrameType::ModelList,
             _ => return None,
         })
     }
@@ -130,6 +148,15 @@ pub enum ErrorCode {
     ConnectionLimit = 8,
     /// No healthy replica holds the requested model.
     NoReplica = 9,
+    /// A lifecycle operation addressed a `(model, version)` that is
+    /// not resident (and, for loads, not in the on-disk registry).
+    ModelNotFound = 10,
+    /// A lifecycle operation contradicted the resident versions
+    /// (unloading the primary, canarying the primary, shape drift).
+    VersionMismatch = 11,
+    /// Loading would exceed the resident-memory budget even after
+    /// evicting everything evictable.
+    RegistryFull = 12,
 }
 
 impl ErrorCode {
@@ -145,6 +172,9 @@ impl ErrorCode {
             7 => ErrorCode::Malformed,
             8 => ErrorCode::ConnectionLimit,
             9 => ErrorCode::NoReplica,
+            10 => ErrorCode::ModelNotFound,
+            11 => ErrorCode::VersionMismatch,
+            12 => ErrorCode::RegistryFull,
             _ => return None,
         })
     }
@@ -155,6 +185,9 @@ impl ErrorCode {
             ServeError::UnknownModel(_) => ErrorCode::UnknownModel,
             ServeError::ShapeMismatch { .. } => ErrorCode::ShapeMismatch,
             ServeError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServeError::ModelNotFound { .. } => ErrorCode::ModelNotFound,
+            ServeError::VersionMismatch { .. } => ErrorCode::VersionMismatch,
+            ServeError::RegistryFull { .. } => ErrorCode::RegistryFull,
             ServeError::ShuttingDown => ErrorCode::ShuttingDown,
             ServeError::WorkerLost => ErrorCode::WorkerLost,
             ServeError::InvalidConfig(_) | ServeError::Accel(_) | ServeError::Compress(_) => {
@@ -176,6 +209,9 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Malformed => "malformed",
             ErrorCode::ConnectionLimit => "connection-limit",
             ErrorCode::NoReplica => "no-replica",
+            ErrorCode::ModelNotFound => "model-not-found",
+            ErrorCode::VersionMismatch => "version-mismatch",
+            ErrorCode::RegistryFull => "registry-full",
         };
         f.write_str(s)
     }
@@ -307,6 +343,8 @@ pub enum Frame {
         id: u64,
         /// Registry name of the model.
         model: String,
+        /// Tenant the request is billed against (empty = "default").
+        tenant: String,
         /// Input activations.
         input: Vec<f32>,
     },
@@ -341,6 +379,11 @@ pub enum Frame {
         id: u64,
         /// Typed failure code.
         code: ErrorCode,
+        /// Tenant the failed request belonged to (empty when the
+        /// failure is not attributable to a tenant, e.g. a decode
+        /// error). Lets a client account rejections per tenant
+        /// without parsing `detail`.
+        tenant: String,
         /// Human-readable specifics.
         detail: String,
     },
@@ -430,6 +473,66 @@ pub enum Frame {
         /// Id of the deregister frame this answers.
         id: u64,
     },
+    /// Client → server: load `model@version` from the server's
+    /// on-disk registry into the live set. With `canary_pct == 0` the
+    /// version becomes (or replaces) the primary; with `1..=100` it
+    /// becomes a canary taking that share of the model's traffic.
+    /// Acked with [`Frame::ModelList`] carrying the post-load state.
+    LoadModel {
+        /// Echoed in the ack.
+        id: u64,
+        /// Registry name of the model.
+        model: String,
+        /// Version to load.
+        version: u32,
+        /// Canary traffic share in percent (0 = load as primary).
+        canary_pct: u8,
+    },
+    /// Client → server: unload a resident `(model, version)`. The
+    /// primary of a multi-version model cannot be unloaded. Acked
+    /// with [`Frame::ModelList`] carrying the post-unload state.
+    UnloadModel {
+        /// Echoed in the ack.
+        id: u64,
+        /// Registry name of the model.
+        model: String,
+        /// Version to unload.
+        version: u32,
+    },
+    /// Client → server: list resident model versions.
+    ListModels {
+        /// Echoed in the reply.
+        id: u64,
+    },
+    /// Server → client: the resident model versions, sorted by
+    /// `(name, version)`. Also the ack for [`Frame::LoadModel`] and
+    /// [`Frame::UnloadModel`].
+    ModelList {
+        /// Id of the frame this answers.
+        id: u64,
+        /// One entry per resident `(model, version)`.
+        models: Vec<WireModelStatus>,
+    },
+}
+
+/// One resident model version as reported by [`Frame::ModelList`] —
+/// the wire twin of [`cs_serve::ModelStatus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireModelStatus {
+    /// Registry name of the model.
+    pub name: String,
+    /// Version number.
+    pub version: u32,
+    /// Whether this version is the model's primary.
+    pub primary: bool,
+    /// Canary traffic share, when this version is a live canary.
+    pub canary_pct: Option<u8>,
+    /// Whether the canary was demoted for divergence.
+    pub demoted: bool,
+    /// Bytes of compressed weights resident for this version.
+    pub resident_bytes: u64,
+    /// Requests currently executing against this version.
+    pub in_flight: u64,
 }
 
 impl Frame {
@@ -450,6 +553,10 @@ impl Frame {
             Frame::Heartbeat { .. } => FrameType::Heartbeat,
             Frame::Deregister { .. } => FrameType::Deregister,
             Frame::DeregisterAck { .. } => FrameType::DeregisterAck,
+            Frame::LoadModel { .. } => FrameType::LoadModel,
+            Frame::UnloadModel { .. } => FrameType::UnloadModel,
+            Frame::ListModels { .. } => FrameType::ListModels,
+            Frame::ModelList { .. } => FrameType::ModelList,
         }
     }
 
@@ -469,7 +576,11 @@ impl Frame {
             | Frame::RegisterAck { id, .. }
             | Frame::Heartbeat { id, .. }
             | Frame::Deregister { id, .. }
-            | Frame::DeregisterAck { id } => *id,
+            | Frame::DeregisterAck { id }
+            | Frame::LoadModel { id, .. }
+            | Frame::UnloadModel { id, .. }
+            | Frame::ListModels { id }
+            | Frame::ModelList { id, .. } => *id,
         }
     }
 
@@ -488,12 +599,37 @@ impl Frame {
         }
     }
 
-    /// Builds the error frame for a server-side failure.
+    /// Builds the error frame for a server-side failure, carrying the
+    /// tenant label when the error is attributable to one.
     pub fn from_serve_error(id: u64, e: &ServeError) -> Frame {
+        let tenant = match e {
+            ServeError::Overloaded { tenant, .. } => tenant.clone(),
+            _ => String::new(),
+        };
         Frame::Error {
             id,
             code: ErrorCode::from_serve(e),
+            tenant,
             detail: e.to_string(),
+        }
+    }
+
+    /// Builds the [`Frame::ModelList`] reply from serve-side statuses.
+    pub fn from_model_list(id: u64, statuses: &[cs_serve::ModelStatus]) -> Frame {
+        Frame::ModelList {
+            id,
+            models: statuses
+                .iter()
+                .map(|s| WireModelStatus {
+                    name: s.name.clone(),
+                    version: s.version,
+                    primary: s.primary,
+                    canary_pct: s.canary_pct,
+                    demoted: s.demoted,
+                    resident_bytes: s.resident_bytes,
+                    in_flight: s.in_flight,
+                })
+                .collect(),
         }
     }
 
@@ -513,8 +649,14 @@ impl Frame {
     fn encode_payload(&self) -> Vec<u8> {
         let mut p = Vec::new();
         match self {
-            Frame::Request { model, input, .. } => {
+            Frame::Request {
+                model,
+                tenant,
+                input,
+                ..
+            } => {
                 put_str(&mut p, model);
+                put_str(&mut p, tenant);
                 put_f32s(&mut p, input);
             }
             Frame::Response {
@@ -537,8 +679,14 @@ impl Frame {
                 p.extend_from_slice(&latency_us.to_le_bytes());
                 put_str(&mut p, node);
             }
-            Frame::Error { code, detail, .. } => {
+            Frame::Error {
+                code,
+                tenant,
+                detail,
+                ..
+            } => {
                 p.extend_from_slice(&(*code as u16).to_le_bytes());
+                put_str(&mut p, tenant);
                 put_str(&mut p, detail);
             }
             Frame::Ping { .. }
@@ -580,6 +728,34 @@ impl Frame {
                 put_str(&mut p, worker);
             }
             Frame::DeregisterAck { .. } => {}
+            Frame::LoadModel {
+                model,
+                version,
+                canary_pct,
+                ..
+            } => {
+                put_str(&mut p, model);
+                p.extend_from_slice(&version.to_le_bytes());
+                p.push(*canary_pct);
+            }
+            Frame::UnloadModel { model, version, .. } => {
+                put_str(&mut p, model);
+                p.extend_from_slice(&version.to_le_bytes());
+            }
+            Frame::ListModels { .. } => {}
+            Frame::ModelList { models, .. } => {
+                let len = models.len().min(u16::MAX as usize);
+                p.extend_from_slice(&(len as u16).to_le_bytes());
+                for m in &models[..len] {
+                    put_str(&mut p, &m.name);
+                    p.extend_from_slice(&m.version.to_le_bytes());
+                    p.push(u8::from(m.primary));
+                    p.push(m.canary_pct.unwrap_or(NO_CANARY));
+                    p.push(u8::from(m.demoted));
+                    p.extend_from_slice(&m.resident_bytes.to_le_bytes());
+                    p.extend_from_slice(&m.in_flight.to_le_bytes());
+                }
+            }
         }
         p
     }
@@ -675,6 +851,10 @@ impl Frame {
     }
 }
 
+/// Sentinel byte meaning "no canary" in the `canary_pct` slot of a
+/// [`WireModelStatus`] entry (valid shares are `0..=100`).
+const NO_CANARY: u8 = 0xFF;
+
 fn put_str(p: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
     let len = bytes.len().min(u16::MAX as usize);
@@ -726,6 +906,22 @@ impl<'a> Cursor<'a> {
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// A strict boolean byte: anything but 0 or 1 is rejected so every
+    /// decoded frame re-encodes to the exact bytes it came from.
+    fn boolean(&mut self, what: &str) -> Result<bool, WireError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::BadPayload {
+                reason: format!("{what} must be 0 or 1, got {other}"),
+            }),
+        }
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, WireError> {
@@ -800,6 +996,7 @@ pub(crate) fn decode_payload(header: &Header, payload: &[u8]) -> Result<Frame, W
         FrameType::Request => Frame::Request {
             id,
             model: c.string("request model")?,
+            tenant: c.string("request tenant")?,
             input: c.f32s("request input")?,
         },
         FrameType::Response => Frame::Response {
@@ -821,6 +1018,7 @@ pub(crate) fn decode_payload(header: &Header, payload: &[u8]) -> Result<Frame, W
             Frame::Error {
                 id,
                 code,
+                tenant: c.string("error tenant")?,
                 detail: c.string("error detail")?,
             }
         }
@@ -858,6 +1056,68 @@ pub(crate) fn decode_payload(header: &Header, payload: &[u8]) -> Result<Frame, W
             worker: c.string("deregister worker")?,
         },
         FrameType::DeregisterAck => Frame::DeregisterAck { id },
+        FrameType::LoadModel => {
+            let model = c.string("load-model name")?;
+            let version = c.u32("load-model version")?;
+            let canary_pct = c.u8("load-model canary pct")?;
+            if canary_pct > 100 {
+                return Err(WireError::BadPayload {
+                    reason: format!("canary pct {canary_pct} exceeds 100"),
+                });
+            }
+            Frame::LoadModel {
+                id,
+                model,
+                version,
+                canary_pct,
+            }
+        }
+        FrameType::UnloadModel => Frame::UnloadModel {
+            id,
+            model: c.string("unload-model name")?,
+            version: c.u32("unload-model version")?,
+        },
+        FrameType::ListModels => Frame::ListModels { id },
+        FrameType::ModelList => {
+            let count = c.u16("model-list count")? as usize;
+            // Each entry costs at least 25 bytes (2-byte name prefix,
+            // version, three flag bytes, two u64 counters), so the
+            // count is bounded before the vector is allocated.
+            if count.saturating_mul(25) > c.remaining() {
+                return Err(WireError::BadPayload {
+                    reason: format!(
+                        "model list claims {count} entries, payload has {} bytes left",
+                        c.remaining()
+                    ),
+                });
+            }
+            let mut models = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = c.string("model-list name")?;
+                let version = c.u32("model-list version")?;
+                let primary = c.boolean("model-list primary")?;
+                let canary_pct = match c.u8("model-list canary pct")? {
+                    NO_CANARY => None,
+                    pct if pct <= 100 => Some(pct),
+                    pct => {
+                        return Err(WireError::BadPayload {
+                            reason: format!("canary pct {pct} exceeds 100"),
+                        })
+                    }
+                };
+                let demoted = c.boolean("model-list demoted")?;
+                models.push(WireModelStatus {
+                    name,
+                    version,
+                    primary,
+                    canary_pct,
+                    demoted,
+                    resident_bytes: c.u64("model-list resident bytes")?,
+                    in_flight: c.u64("model-list in flight")?,
+                });
+            }
+            Frame::ModelList { id, models }
+        }
     };
     c.finish("frame")?;
     Ok(frame)
@@ -872,6 +1132,7 @@ mod tests {
             Frame::Request {
                 id: 7,
                 model: "mlp".to_string(),
+                tenant: "acme".to_string(),
                 input: vec![0.0, -0.5, 1.25, f32::MIN_POSITIVE],
             },
             Frame::Response {
@@ -888,7 +1149,8 @@ mod tests {
             Frame::Error {
                 id: 9,
                 code: ErrorCode::Overloaded,
-                detail: "admission queue full (64 slots)".to_string(),
+                tenant: "acme".to_string(),
+                detail: "admission queue full (64 slots) for tenant \"acme\"".to_string(),
             },
             Frame::Ping { id: 1 },
             Frame::Pong { id: 1 },
@@ -924,6 +1186,41 @@ mod tests {
                 worker: "node-a".to_string(),
             },
             Frame::DeregisterAck { id: 5 },
+            Frame::LoadModel {
+                id: 6,
+                model: "mlp".to_string(),
+                version: 2,
+                canary_pct: 25,
+            },
+            Frame::UnloadModel {
+                id: 7,
+                model: "mlp".to_string(),
+                version: 1,
+            },
+            Frame::ListModels { id: 8 },
+            Frame::ModelList {
+                id: 8,
+                models: vec![
+                    WireModelStatus {
+                        name: "mlp".to_string(),
+                        version: 1,
+                        primary: true,
+                        canary_pct: None,
+                        demoted: false,
+                        resident_bytes: 4096,
+                        in_flight: 2,
+                    },
+                    WireModelStatus {
+                        name: "mlp".to_string(),
+                        version: 2,
+                        primary: false,
+                        canary_pct: Some(25),
+                        demoted: true,
+                        resident_bytes: 4096,
+                        in_flight: 0,
+                    },
+                ],
+            },
         ]
     }
 
@@ -947,6 +1244,7 @@ mod tests {
         let frame = Frame::Request {
             id: 1,
             model: "m".to_string(),
+            tenant: String::new(),
             input: vec![f32::NAN, -0.0, f32::INFINITY, f32::NEG_INFINITY],
         };
         let bytes = frame.encode();
@@ -1066,11 +1364,13 @@ mod tests {
         let mut bytes = Frame::Request {
             id: 1,
             model: "m".to_string(),
+            tenant: String::new(),
             input: vec![1.0, 2.0],
         }
         .encode();
-        // input count lives right after the 2-byte len + 1-byte "m".
-        let count_off = HEADER_LEN + 2 + 1;
+        // input count lives after the 2-byte len + 1-byte "m" and the
+        // 2-byte empty-tenant prefix.
+        let count_off = HEADER_LEN + 2 + 1 + 2;
         bytes[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             Frame::decode(&bytes).unwrap_err(),
@@ -1141,13 +1441,19 @@ mod tests {
             ErrorCode::Malformed,
             ErrorCode::ConnectionLimit,
             ErrorCode::NoReplica,
+            ErrorCode::ModelNotFound,
+            ErrorCode::VersionMismatch,
+            ErrorCode::RegistryFull,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
         }
         assert_eq!(ErrorCode::from_u16(0), None);
         assert_eq!(ErrorCode::from_u16(999), None);
         assert_eq!(
-            ErrorCode::from_serve(&ServeError::Overloaded { capacity: 64 }),
+            ErrorCode::from_serve(&ServeError::Overloaded {
+                capacity: 64,
+                tenant: "acme".into()
+            }),
             ErrorCode::Overloaded
         );
         assert_eq!(
@@ -1158,5 +1464,119 @@ mod tests {
             ErrorCode::from_serve(&ServeError::ShuttingDown),
             ErrorCode::ShuttingDown
         );
+        assert_eq!(
+            ErrorCode::from_serve(&ServeError::ModelNotFound {
+                model: "m".into(),
+                version: 2
+            }),
+            ErrorCode::ModelNotFound
+        );
+        assert_eq!(
+            ErrorCode::from_serve(&ServeError::VersionMismatch {
+                model: "m".into(),
+                version: 1,
+                detail: "is the primary".into()
+            }),
+            ErrorCode::VersionMismatch
+        );
+        assert_eq!(
+            ErrorCode::from_serve(&ServeError::RegistryFull {
+                model: "m".into(),
+                needed_bytes: 10,
+                budget_bytes: 5
+            }),
+            ErrorCode::RegistryFull
+        );
+    }
+
+    #[test]
+    fn overloaded_error_frame_carries_the_tenant() {
+        let e = ServeError::Overloaded {
+            capacity: 2,
+            tenant: "acme".to_string(),
+        };
+        match Frame::from_serve_error(9, &e) {
+            Frame::Error {
+                id, code, tenant, ..
+            } => {
+                assert_eq!(id, 9);
+                assert_eq!(code, ErrorCode::Overloaded);
+                assert_eq!(tenant, "acme");
+            }
+            other => panic!("built {other:?}"),
+        }
+        // Non-tenant errors leave the field empty.
+        match Frame::from_serve_error(1, &ServeError::ShuttingDown) {
+            Frame::Error { tenant, .. } => assert_eq!(tenant, ""),
+            other => panic!("built {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_model_list_count_is_rejected_before_allocation() {
+        let mut bytes = Frame::ModelList {
+            id: 1,
+            models: vec![],
+        }
+        .encode();
+        bytes[HEADER_LEN..HEADER_LEN + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes).unwrap_err(),
+            WireError::BadPayload { .. }
+        ));
+    }
+
+    #[test]
+    fn model_list_flag_bytes_are_strict() {
+        let status = WireModelStatus {
+            name: "m".to_string(),
+            version: 1,
+            primary: true,
+            canary_pct: None,
+            demoted: false,
+            resident_bytes: 8,
+            in_flight: 0,
+        };
+        let frame = Frame::ModelList {
+            id: 1,
+            models: vec![status],
+        };
+        let clean = frame.encode();
+        // primary byte lives after count (2), name (2+1), version (4).
+        let primary_off = HEADER_LEN + 2 + 3 + 4;
+        for (off, bad) in [
+            (primary_off, 2u8),     // primary must be 0/1
+            (primary_off + 1, 101), // canary pct must be <=100 or 0xFF
+            (primary_off + 2, 7),   // demoted must be 0/1
+        ] {
+            let mut bytes = clean.clone();
+            bytes[off] = bad;
+            assert!(
+                matches!(
+                    Frame::decode(&bytes).unwrap_err(),
+                    WireError::BadPayload { .. }
+                ),
+                "offset {off} value {bad} must be rejected"
+            );
+        }
+        // 0xFF decodes as "no canary" and round-trips.
+        let (decoded, _) = Frame::decode(&clean).unwrap().unwrap();
+        assert_eq!(decoded.encode(), clean);
+    }
+
+    #[test]
+    fn load_model_canary_pct_above_100_is_rejected() {
+        let mut bytes = Frame::LoadModel {
+            id: 1,
+            model: "m".to_string(),
+            version: 2,
+            canary_pct: 100,
+        }
+        .encode();
+        *bytes.last_mut().unwrap() = 101;
+        assert!(matches!(
+            Frame::decode(&bytes).unwrap_err(),
+            WireError::BadPayload { .. }
+        ));
     }
 }

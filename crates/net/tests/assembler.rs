@@ -37,6 +37,7 @@ fn sample_stream() -> (Vec<Frame>, Vec<u8>) {
         Frame::Request {
             id: 2,
             model: "mlp".to_string(),
+            tenant: "acme".to_string(),
             input: vec![1.5, f32::NAN, -0.0, 3.25, f32::INFINITY],
         },
         Frame::Query {
@@ -46,6 +47,7 @@ fn sample_stream() -> (Vec<Frame>, Vec<u8>) {
         Frame::Error {
             id: 4,
             code: ErrorCode::Overloaded,
+            tenant: "acme".to_string(),
             detail: "queue full".to_string(),
         },
         Frame::Response {
@@ -168,6 +170,7 @@ fn large_frame_spans_many_chunks_without_overbuffering() {
     let frame = Frame::Request {
         id: 99,
         model: "big".to_string(),
+        tenant: String::new(),
         input: vec![0.125; 10_000],
     };
     let mut bytes = frame.encode();
@@ -242,6 +245,7 @@ fn payload_cap_rejects_from_the_header_before_buffering_the_body() {
     let frame = Frame::Request {
         id: 1,
         model: "m".to_string(),
+        tenant: String::new(),
         input: vec![1.0; 512],
     };
     let bytes = frame.encode();

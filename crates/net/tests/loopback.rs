@@ -132,6 +132,7 @@ fn pipelined_requests_come_back_in_fifo_order() {
             let frame = Frame::Request {
                 id,
                 model: "mlp".to_string(),
+                tenant: String::new(),
                 input: request_input(n_in, id, 7),
             };
             write_frame(&mut stream, &frame).expect("write");
@@ -401,6 +402,7 @@ fn oversized_client_payload_is_rejected_before_allocation() {
         let frame = Frame::Request {
             id: 3,
             model: "mlp".to_string(),
+            tenant: String::new(),
             input: vec![1.0; 256],
         };
         write_frame(&mut stream, &frame).expect("write");
@@ -452,6 +454,7 @@ fn overload_surfaces_as_the_backpressure_code() {
             let frame = Frame::Request {
                 id,
                 model: "mlp".to_string(),
+                tenant: String::new(),
                 input: request_input(n_in, id, 3),
             };
             write_frame(&mut stream, &frame).expect("write");
@@ -501,6 +504,7 @@ fn pipelining_beyond_the_reply_window_backpressures_without_disconnect() {
             let frame = Frame::Request {
                 id,
                 model: "mlp".to_string(),
+                tenant: String::new(),
                 input: request_input(n_in, id, 13),
             };
             write_frame(&mut stream, &frame).expect("write");
@@ -564,6 +568,7 @@ fn slow_consumer_is_disconnected_and_counted() {
             let frame = Frame::Request {
                 id,
                 model: "mlp".to_string(),
+                tenant: String::new(),
                 input: request_input(n_in, id, 17),
             };
             write_frame(&mut stream, &frame).expect("write");
@@ -721,7 +726,10 @@ fn overload_stub(shed: u32) -> (std::net::SocketAddr, std::thread::JoinHandle<u3
         let (mut stream, _) = listener.accept().expect("accept");
         let mut attempts = 0u32;
         while let Ok(Some(frame)) = read_frame(&mut stream, cs_net::DEFAULT_MAX_PAYLOAD) {
-            let Frame::Request { id, model, input } = frame else {
+            let Frame::Request {
+                id, model, input, ..
+            } = frame
+            else {
                 break;
             };
             attempts += 1;
@@ -729,6 +737,7 @@ fn overload_stub(shed: u32) -> (std::net::SocketAddr, std::thread::JoinHandle<u3
                 Frame::Error {
                     id,
                     code: ErrorCode::Overloaded,
+                    tenant: String::new(),
                     detail: "backpressure".to_string(),
                 }
             } else {

@@ -1,0 +1,810 @@
+//! The `CSMR` container: a checksummed, length-bounds-checked, canonical
+//! byte encoding of one compressed model version.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic            4 B   "CSMR"
+//! format version   1 B   CONTAINER_VERSION
+//! model name       u16 len + UTF-8 ([A-Za-z0-9._-], 1..=MAX_NAME_LEN)
+//! model version    u32
+//! layer count      u16   (1..=MAX_LAYERS)
+//! layers           kind u8 + activation u8 + name + kind-specific body
+//! checksum         u32   CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! The encoding is *canonical*: every variable-length run is either
+//! derived from already-decoded geometry (structured formats store no
+//! redundant length fields) or exactly length-prefixed with zero padding
+//! enforced, so `encode(decode(bytes)) == bytes` for every container that
+//! decodes. The decoder validates every count against the remaining
+//! buffer *before* allocating and charges all heap growth against
+//! [`MAX_DECODED_BYTES`], in the style of the cs-net wire codec: hostile
+//! input yields a typed [`RegistryError`], never a panic, never an
+//! allocation beyond the declared caps.
+
+use cs_accel::pe::Activation;
+use cs_compress::format::{
+    BankBalancedFcLayer, FcLayerFormat, OutputGroup, SharedIndexLayer, TwoFourFcLayer,
+};
+use cs_quant::Codebook;
+use cs_sparsity::structured::survivors_per_lane;
+
+use crate::error::RegistryError;
+
+/// Container magic: `CSMR` (Cambricon-S Model Registry).
+pub const MAGIC: [u8; 4] = *b"CSMR";
+/// Container format version this build encodes and decodes.
+pub const CONTAINER_VERSION: u8 = 1;
+/// Hard cap on a whole container file.
+pub const MAX_CONTAINER_BYTES: usize = 1 << 26;
+/// Hard cap on model and layer names.
+pub const MAX_NAME_LEN: usize = 128;
+/// Hard cap on layers per model.
+pub const MAX_LAYERS: usize = 256;
+/// Hard cap on any layer dimension (`n_in`, `n_out`, `group_size`).
+pub const MAX_DIM: usize = 1 << 20;
+/// Hard cap on shared-index groups per layer.
+pub const MAX_GROUPS: usize = 1 << 16;
+/// Hard cap on codebook entries per group (u16 weight indices).
+pub const MAX_CODEBOOK: usize = 1 << 16;
+/// Hard cap on total heap bytes one decode may allocate.
+pub const MAX_DECODED_BYTES: usize = 1 << 27;
+
+const KIND_SHARED: u8 = 0;
+const KIND_TWO_FOUR: u8 = 1;
+const KIND_BANK_BALANCED: u8 = 2;
+
+/// One versioned compressed model: the unit the registry stores, ships
+/// over the wire, and the serving runtime hot-loads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// Model name (the registry key together with `version`).
+    pub name: String,
+    /// Monotonically meaningful version number.
+    pub version: u32,
+    /// Compressed layers with their activations, input to output.
+    pub layers: Vec<(FcLayerFormat, Activation)>,
+}
+
+impl ModelArtifact {
+    /// Input width of the first layer.
+    pub fn n_in(&self) -> usize {
+        self.layers.first().map_or(0, |(f, _)| f.n_in())
+    }
+
+    /// Output width of the last layer.
+    pub fn n_out(&self) -> usize {
+        self.layers.last().map_or(0, |(f, _)| f.n_out())
+    }
+
+    /// Compact resident footprint in bytes — what the serving memory
+    /// budget charges for this model while loaded.
+    pub fn resident_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|(f, _)| f.weight_bytes() as u64)
+            .sum()
+    }
+
+    /// The `name@vN` key used in file names, telemetry, and logs.
+    pub fn key(&self) -> String {
+        format!("{}@v{}", self.name, self.version)
+    }
+}
+
+/// True when `name` works as a registry key (nonempty, bounded, and
+/// restricted to `[A-Za-z0-9._-]` so it is safe in file names).
+pub fn valid_model_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME_LEN
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+        && name != "."
+        && name != ".."
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven; no external dependency.
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of `bytes` — the container footer checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Bounded reader + allocation budget
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Heap bytes this decode may still allocate.
+    budget: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor {
+            buf,
+            pos: 0,
+            budget: MAX_DECODED_BYTES,
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn need(&self, n: usize) -> Result<(), RegistryError> {
+        if n > self.remaining() {
+            return Err(RegistryError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Charges `n` heap bytes against the decode budget before the
+    /// caller allocates them.
+    fn charge(&mut self, n: usize) -> Result<(), RegistryError> {
+        if n > self.budget {
+            return Err(RegistryError::Oversized {
+                field: "decoded bytes",
+                value: (MAX_DECODED_BYTES - self.budget).saturating_add(n) as u64,
+                cap: MAX_DECODED_BYTES as u64,
+            });
+        }
+        self.budget -= n;
+        Ok(())
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], RegistryError> {
+        self.need(n)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, RegistryError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, RegistryError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, RegistryError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, RegistryError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// A `u16`-length-prefixed UTF-8 string bounded by [`MAX_NAME_LEN`].
+    fn name(&mut self, field: &'static str) -> Result<String, RegistryError> {
+        let len = usize::from(self.u16()?);
+        if len > MAX_NAME_LEN {
+            return Err(RegistryError::Oversized {
+                field,
+                value: len as u64,
+                cap: MAX_NAME_LEN as u64,
+            });
+        }
+        let raw = self.bytes(len)?;
+        let s = std::str::from_utf8(raw).map_err(|e| RegistryError::BadField {
+            field,
+            detail: format!("invalid UTF-8: {e}"),
+        })?;
+        self.charge(len)?;
+        Ok(s.to_string())
+    }
+
+    /// A dimension field bounded by [`MAX_DIM`].
+    fn dim(&mut self, field: &'static str) -> Result<usize, RegistryError> {
+        let v = self.u32()? as usize;
+        if v > MAX_DIM {
+            return Err(RegistryError::Oversized {
+                field,
+                value: v as u64,
+                cap: MAX_DIM as u64,
+            });
+        }
+        Ok(v)
+    }
+
+    /// Reads `count` IEEE-754 bit-exact f32 values after bounds- and
+    /// budget-checking the whole run.
+    fn f32_run(&mut self, count: usize) -> Result<Vec<f32>, RegistryError> {
+        let bytes = count.checked_mul(4).ok_or(RegistryError::Oversized {
+            field: "f32 run",
+            value: u64::MAX,
+            cap: MAX_DECODED_BYTES as u64,
+        })?;
+        self.need(bytes)?;
+        self.charge(bytes)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.f32()?);
+        }
+        Ok(out)
+    }
+}
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    fn name(&mut self, s: &str, field: &'static str) -> Result<(), RegistryError> {
+        if s.len() > MAX_NAME_LEN {
+            return Err(RegistryError::Oversized {
+                field,
+                value: s.len() as u64,
+                cap: MAX_NAME_LEN as u64,
+            });
+        }
+        self.u16(s.len() as u16);
+        self.out.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+    fn dim(&mut self, v: usize, field: &'static str) -> Result<(), RegistryError> {
+        if v > MAX_DIM {
+            return Err(RegistryError::Oversized {
+                field,
+                value: v as u64,
+                cap: MAX_DIM as u64,
+            });
+        }
+        self.u32(v as u32);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------------
+
+fn activation_tag(a: Activation) -> u8 {
+    match a {
+        Activation::None => 0,
+        Activation::Relu => 1,
+        Activation::Sigmoid => 2,
+    }
+}
+
+fn activation_from(tag: u8) -> Result<Activation, RegistryError> {
+    match tag {
+        0 => Ok(Activation::None),
+        1 => Ok(Activation::Relu),
+        2 => Ok(Activation::Sigmoid),
+        other => Err(RegistryError::BadField {
+            field: "activation",
+            detail: format!("unknown tag {other}"),
+        }),
+    }
+}
+
+/// Serializes one model into a standalone `CSMR` container.
+///
+/// # Errors
+///
+/// Returns [`RegistryError`] when the artifact violates a container cap
+/// (bad name, no layers, oversized geometry) — everything this function
+/// accepts is guaranteed to decode back byte-for-byte.
+pub fn encode_model(artifact: &ModelArtifact) -> Result<Vec<u8>, RegistryError> {
+    if !valid_model_name(&artifact.name) {
+        return Err(RegistryError::BadName(artifact.name.clone()));
+    }
+    if artifact.layers.is_empty() {
+        return Err(RegistryError::BadField {
+            field: "layer count",
+            detail: "a container holds at least one layer".into(),
+        });
+    }
+    if artifact.layers.len() > MAX_LAYERS {
+        return Err(RegistryError::Oversized {
+            field: "layer count",
+            value: artifact.layers.len() as u64,
+            cap: MAX_LAYERS as u64,
+        });
+    }
+    let mut w = Writer {
+        out: Vec::with_capacity(256),
+    };
+    w.out.extend_from_slice(&MAGIC);
+    w.u8(CONTAINER_VERSION);
+    w.name(&artifact.name, "model name")?;
+    w.u32(artifact.version);
+    w.u16(artifact.layers.len() as u16);
+    for (format, activation) in &artifact.layers {
+        match format {
+            FcLayerFormat::Shared(l) => {
+                w.u8(KIND_SHARED);
+                w.u8(activation_tag(*activation));
+                encode_shared(&mut w, l)?;
+            }
+            FcLayerFormat::TwoFour(l) => {
+                w.u8(KIND_TWO_FOUR);
+                w.u8(activation_tag(*activation));
+                encode_two_four(&mut w, l)?;
+            }
+            FcLayerFormat::BankBalanced(l) => {
+                w.u8(KIND_BANK_BALANCED);
+                w.u8(activation_tag(*activation));
+                encode_bank_balanced(&mut w, l)?;
+            }
+        }
+    }
+    let crc = crc32(&w.out);
+    w.u32(crc);
+    if w.out.len() > MAX_CONTAINER_BYTES {
+        return Err(RegistryError::Oversized {
+            field: "container",
+            value: w.out.len() as u64,
+            cap: MAX_CONTAINER_BYTES as u64,
+        });
+    }
+    Ok(w.out)
+}
+
+fn encode_shared(w: &mut Writer, l: &SharedIndexLayer) -> Result<(), RegistryError> {
+    w.name(&l.name, "layer name")?;
+    w.dim(l.n_in, "n_in")?;
+    w.dim(l.n_out, "n_out")?;
+    if l.group_size == 0 {
+        return Err(RegistryError::BadField {
+            field: "group_size",
+            detail: "zero".into(),
+        });
+    }
+    w.dim(l.group_size, "group_size")?;
+    if l.quant_bits == 0 || l.quant_bits > 16 {
+        return Err(RegistryError::BadField {
+            field: "quant_bits",
+            detail: format!("{} outside 1..=16", l.quant_bits),
+        });
+    }
+    w.u8(l.quant_bits);
+    if l.groups.len() > MAX_GROUPS {
+        return Err(RegistryError::Oversized {
+            field: "group count",
+            value: l.groups.len() as u64,
+            cap: MAX_GROUPS as u64,
+        });
+    }
+    w.u32(l.groups.len() as u32);
+    for g in &l.groups {
+        if g.index.len() != l.n_in {
+            return Err(RegistryError::BadField {
+                field: "shared index",
+                detail: format!("length {} != n_in {}", g.index.len(), l.n_in),
+            });
+        }
+        // LSB-first bit packing; padding bits stay zero (canonical form).
+        let mut packed = vec![0u8; l.n_in.div_ceil(8)];
+        for (i, bit) in g.index.iter().enumerate() {
+            if *bit {
+                packed[i / 8] |= 1 << (i % 8);
+            }
+        }
+        w.out.extend_from_slice(&packed);
+        let survivors = g.index.iter().filter(|b| **b).count();
+        let cb = g.codebook.centroids();
+        if cb.len() > MAX_CODEBOOK {
+            return Err(RegistryError::Oversized {
+                field: "codebook",
+                value: cb.len() as u64,
+                cap: MAX_CODEBOOK as u64,
+            });
+        }
+        w.u32(cb.len() as u32);
+        for &c in cb {
+            w.f32(c);
+        }
+        if g.weights.len() > MAX_DIM {
+            return Err(RegistryError::Oversized {
+                field: "group rows",
+                value: g.weights.len() as u64,
+                cap: MAX_DIM as u64,
+            });
+        }
+        w.u32(g.weights.len() as u32);
+        for row in &g.weights {
+            if row.len() != survivors {
+                return Err(RegistryError::BadField {
+                    field: "weight row",
+                    detail: format!("length {} != survivors {survivors}", row.len()),
+                });
+            }
+            for &q in row {
+                if usize::from(q) >= cb.len() {
+                    return Err(RegistryError::BadField {
+                        field: "weight index",
+                        detail: format!("{q} outside codebook of {}", cb.len()),
+                    });
+                }
+                w.u16(q);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn encode_two_four(w: &mut Writer, l: &TwoFourFcLayer) -> Result<(), RegistryError> {
+    w.name(&l.name, "layer name")?;
+    w.dim(l.n_in, "n_in")?;
+    w.dim(l.n_out, "n_out")?;
+    let meta_len = l.n_out * l.n_in.div_ceil(4);
+    let value_len = l.n_out * survivors_per_lane(l.n_in, 4, 2);
+    if l.meta.len() != meta_len || l.values.len() != value_len {
+        return Err(RegistryError::BadField {
+            field: "2:4 geometry",
+            detail: format!(
+                "meta {} / values {} disagree with derived {meta_len} / {value_len}",
+                l.meta.len(),
+                l.values.len()
+            ),
+        });
+    }
+    w.out.extend_from_slice(&l.meta);
+    for &v in &l.values {
+        w.f32(v);
+    }
+    Ok(())
+}
+
+fn encode_bank_balanced(w: &mut Writer, l: &BankBalancedFcLayer) -> Result<(), RegistryError> {
+    w.name(&l.name, "layer name")?;
+    w.dim(l.n_in, "n_in")?;
+    w.dim(l.n_out, "n_out")?;
+    if l.bank == 0 || l.bank > 256 || l.k > l.bank {
+        return Err(RegistryError::BadField {
+            field: "bank geometry",
+            detail: format!("bank {} / k {}", l.bank, l.k),
+        });
+    }
+    w.u32(l.bank as u32);
+    w.u32(l.k as u32);
+    let stride_len = l.n_out * survivors_per_lane(l.n_in, l.bank, l.k);
+    if l.offsets.len() != stride_len || l.values.len() != stride_len {
+        return Err(RegistryError::BadField {
+            field: "bank-balanced geometry",
+            detail: format!(
+                "offsets {} / values {} disagree with derived {stride_len}",
+                l.offsets.len(),
+                l.values.len()
+            ),
+        });
+    }
+    for &o in &l.offsets {
+        if usize::from(o) >= l.bank {
+            return Err(RegistryError::BadField {
+                field: "bank offset",
+                detail: format!("{o} outside bank {}", l.bank),
+            });
+        }
+    }
+    w.out.extend_from_slice(&l.offsets);
+    for &v in &l.values {
+        w.f32(v);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+/// Decodes one `CSMR` container, validating every declared length against
+/// the remaining buffer before allocating.
+///
+/// # Errors
+///
+/// Returns a typed [`RegistryError`] for every malformed input: bad
+/// magic/version, checksum mismatch, truncation, oversized declarations,
+/// non-canonical padding, inconsistent geometry, or trailing bytes.
+pub fn decode_model(bytes: &[u8]) -> Result<ModelArtifact, RegistryError> {
+    if bytes.len() > MAX_CONTAINER_BYTES {
+        return Err(RegistryError::Oversized {
+            field: "container",
+            value: bytes.len() as u64,
+            cap: MAX_CONTAINER_BYTES as u64,
+        });
+    }
+    // Magic + version + name len + model version + layer count + CRC.
+    if bytes.len() < 4 + 1 + 2 + 4 + 2 + 4 {
+        return Err(RegistryError::Truncated {
+            needed: 17,
+            remaining: bytes.len(),
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(RegistryError::BadMagic);
+    }
+    if bytes[4] != CONTAINER_VERSION {
+        return Err(RegistryError::UnsupportedVersion(bytes[4]));
+    }
+    let payload = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes([
+        bytes[bytes.len() - 4],
+        bytes[bytes.len() - 3],
+        bytes[bytes.len() - 2],
+        bytes[bytes.len() - 1],
+    ]);
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(RegistryError::ChecksumMismatch { stored, computed });
+    }
+    let mut c = Cursor::new(payload);
+    c.pos = 5; // past magic + version
+    let name = c.name("model name")?;
+    if !valid_model_name(&name) {
+        return Err(RegistryError::BadName(name));
+    }
+    let version = c.u32()?;
+    let layer_count = usize::from(c.u16()?);
+    if layer_count == 0 {
+        return Err(RegistryError::BadField {
+            field: "layer count",
+            detail: "a container holds at least one layer".into(),
+        });
+    }
+    if layer_count > MAX_LAYERS {
+        return Err(RegistryError::Oversized {
+            field: "layer count",
+            value: layer_count as u64,
+            cap: MAX_LAYERS as u64,
+        });
+    }
+    let mut layers = Vec::with_capacity(layer_count);
+    let mut prev_out: Option<usize> = None;
+    for _ in 0..layer_count {
+        let kind = c.u8()?;
+        let activation = activation_from(c.u8()?)?;
+        let format = match kind {
+            KIND_SHARED => FcLayerFormat::Shared(decode_shared(&mut c)?),
+            KIND_TWO_FOUR => FcLayerFormat::TwoFour(decode_two_four(&mut c)?),
+            KIND_BANK_BALANCED => FcLayerFormat::BankBalanced(decode_bank_balanced(&mut c)?),
+            other => {
+                return Err(RegistryError::BadField {
+                    field: "layer kind",
+                    detail: format!("unknown tag {other}"),
+                })
+            }
+        };
+        if let Some(prev) = prev_out {
+            if format.n_in() != prev {
+                return Err(RegistryError::BadField {
+                    field: "layer chain",
+                    detail: format!("n_in {} != previous n_out {prev}", format.n_in()),
+                });
+            }
+        }
+        prev_out = Some(format.n_out());
+        layers.push((format, activation));
+    }
+    if c.remaining() != 0 {
+        return Err(RegistryError::TrailingBytes(c.remaining()));
+    }
+    Ok(ModelArtifact {
+        name,
+        version,
+        layers,
+    })
+}
+
+fn decode_shared(c: &mut Cursor) -> Result<SharedIndexLayer, RegistryError> {
+    let name = c.name("layer name")?;
+    let n_in = c.dim("n_in")?;
+    let n_out = c.dim("n_out")?;
+    let group_size = c.dim("group_size")?;
+    if group_size == 0 {
+        return Err(RegistryError::BadField {
+            field: "group_size",
+            detail: "zero".into(),
+        });
+    }
+    let quant_bits = c.u8()?;
+    if quant_bits == 0 || quant_bits > 16 {
+        return Err(RegistryError::BadField {
+            field: "quant_bits",
+            detail: format!("{quant_bits} outside 1..=16"),
+        });
+    }
+    let group_count = c.u32()? as usize;
+    if group_count > MAX_GROUPS {
+        return Err(RegistryError::Oversized {
+            field: "group count",
+            value: group_count as u64,
+            cap: MAX_GROUPS as u64,
+        });
+    }
+    let index_bytes = n_in.div_ceil(8);
+    let mut groups = Vec::with_capacity(group_count.min(1024));
+    for _ in 0..group_count {
+        let packed = c.bytes(index_bytes)?;
+        if n_in % 8 != 0 && packed[index_bytes - 1] >> (n_in % 8) != 0 {
+            return Err(RegistryError::BadField {
+                field: "shared index",
+                detail: "nonzero padding bits".into(),
+            });
+        }
+        c.charge(n_in)?;
+        let mut index = Vec::with_capacity(n_in);
+        let mut survivors = 0usize;
+        for i in 0..n_in {
+            let bit = packed[i / 8] & (1 << (i % 8)) != 0;
+            survivors += usize::from(bit);
+            index.push(bit);
+        }
+        let cb_len = c.u32()? as usize;
+        if cb_len > MAX_CODEBOOK {
+            return Err(RegistryError::Oversized {
+                field: "codebook",
+                value: cb_len as u64,
+                cap: MAX_CODEBOOK as u64,
+            });
+        }
+        let centroids = c.f32_run(cb_len)?;
+        let row_count = c.u32()? as usize;
+        if row_count > MAX_DIM {
+            return Err(RegistryError::Oversized {
+                field: "group rows",
+                value: row_count as u64,
+                cap: MAX_DIM as u64,
+            });
+        }
+        let row_bytes = row_count
+            .checked_mul(survivors)
+            .and_then(|n| n.checked_mul(2))
+            .ok_or(RegistryError::Oversized {
+                field: "group rows",
+                value: row_count as u64,
+                cap: MAX_DIM as u64,
+            })?;
+        c.need(row_bytes)?;
+        // Each empty row still costs a Vec header; charge both.
+        c.charge(row_bytes + row_count * std::mem::size_of::<Vec<u16>>())?;
+        let mut weights = Vec::with_capacity(row_count);
+        for _ in 0..row_count {
+            let mut row = Vec::with_capacity(survivors);
+            for _ in 0..survivors {
+                let q = c.u16()?;
+                if usize::from(q) >= cb_len {
+                    return Err(RegistryError::BadField {
+                        field: "weight index",
+                        detail: format!("{q} outside codebook of {cb_len}"),
+                    });
+                }
+                row.push(q);
+            }
+            weights.push(row);
+        }
+        groups.push(OutputGroup {
+            index,
+            weights,
+            codebook: Codebook::new(centroids),
+        });
+    }
+    Ok(SharedIndexLayer {
+        name,
+        n_in,
+        n_out,
+        group_size,
+        quant_bits,
+        groups,
+    })
+}
+
+fn decode_two_four(c: &mut Cursor) -> Result<TwoFourFcLayer, RegistryError> {
+    let name = c.name("layer name")?;
+    let n_in = c.dim("n_in")?;
+    let n_out = c.dim("n_out")?;
+    // Geometry is derived, never declared: no hostile-length surface.
+    let meta_len = n_out
+        .checked_mul(n_in.div_ceil(4))
+        .ok_or(RegistryError::Oversized {
+            field: "2:4 meta",
+            value: u64::MAX,
+            cap: MAX_DECODED_BYTES as u64,
+        })?;
+    c.need(meta_len)?;
+    c.charge(meta_len)?;
+    let meta = c.bytes(meta_len)?.to_vec();
+    let values = c.f32_run(n_out * survivors_per_lane(n_in, 4, 2))?;
+    Ok(TwoFourFcLayer {
+        name,
+        n_in,
+        n_out,
+        meta,
+        values,
+    })
+}
+
+fn decode_bank_balanced(c: &mut Cursor) -> Result<BankBalancedFcLayer, RegistryError> {
+    let name = c.name("layer name")?;
+    let n_in = c.dim("n_in")?;
+    let n_out = c.dim("n_out")?;
+    let bank = c.u32()? as usize;
+    let k = c.u32()? as usize;
+    if bank == 0 || bank > 256 || k > bank {
+        return Err(RegistryError::BadField {
+            field: "bank geometry",
+            detail: format!("bank {bank} / k {k}"),
+        });
+    }
+    let stride_len =
+        n_out
+            .checked_mul(survivors_per_lane(n_in, bank, k))
+            .ok_or(RegistryError::Oversized {
+                field: "bank-balanced offsets",
+                value: u64::MAX,
+                cap: MAX_DECODED_BYTES as u64,
+            })?;
+    c.need(stride_len)?;
+    c.charge(stride_len)?;
+    let offsets = c.bytes(stride_len)?.to_vec();
+    for &o in &offsets {
+        if usize::from(o) >= bank {
+            return Err(RegistryError::BadField {
+                field: "bank offset",
+                detail: format!("{o} outside bank {bank}"),
+            });
+        }
+    }
+    let values = c.f32_run(stride_len)?;
+    Ok(BankBalancedFcLayer {
+        name,
+        n_in,
+        n_out,
+        bank,
+        k,
+        offsets,
+        values,
+    })
+}

@@ -1,0 +1,108 @@
+//! Typed failure taxonomy for container decode and store I/O.
+//!
+//! Every malformed container maps to one of these variants — the decoder
+//! never panics and never allocates past the declared caps, mirroring the
+//! cs-net codec's hostile-input posture.
+
+use std::fmt;
+
+/// Everything that can go wrong saving, loading, or decoding a model
+/// container.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The buffer does not start with the `CSMR` container magic.
+    BadMagic,
+    /// The container format version byte is not one this build decodes.
+    UnsupportedVersion(u8),
+    /// The trailing CRC-32 does not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the container footer.
+        stored: u32,
+        /// Checksum recomputed over the payload bytes.
+        computed: u32,
+    },
+    /// A declared field runs past the end of the buffer.
+    Truncated {
+        /// Bytes the field needs.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A declared size exceeds its documented cap.
+    Oversized {
+        /// The offending field.
+        field: &'static str,
+        /// The declared value.
+        value: u64,
+        /// The cap it violates.
+        cap: u64,
+    },
+    /// A field is structurally invalid (bad enum tag, non-canonical
+    /// padding, inconsistent geometry, ...).
+    BadField {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// Decode consumed the payload but bytes remain before the footer.
+    TrailingBytes(usize),
+    /// A model name unusable as an on-disk key (empty, too long, or
+    /// containing characters outside `[A-Za-z0-9._-]`).
+    BadName(String),
+    /// The store holds no container for this `(name, version)` key.
+    NotFound {
+        /// Requested model name.
+        model: String,
+        /// Requested version.
+        version: u32,
+    },
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::BadMagic => write!(f, "not a CSMR model container (bad magic)"),
+            RegistryError::UnsupportedVersion(v) => {
+                write!(f, "unsupported container version {v}")
+            }
+            RegistryError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "container checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            RegistryError::Truncated { needed, remaining } => write!(
+                f,
+                "container truncated: field needs {needed} bytes, {remaining} remain"
+            ),
+            RegistryError::Oversized { field, value, cap } => {
+                write!(f, "{field} declares {value}, cap is {cap}")
+            }
+            RegistryError::BadField { field, detail } => write!(f, "bad {field}: {detail}"),
+            RegistryError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the last layer")
+            }
+            RegistryError::BadName(name) => write!(f, "unusable model name {name:?}"),
+            RegistryError::NotFound { model, version } => {
+                write!(f, "model {model}@v{version} not in the registry")
+            }
+            RegistryError::Io(e) => write!(f, "registry I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}

@@ -1,0 +1,289 @@
+//! cs-registry — versioned storage for compressed models.
+//!
+//! The Cambricon-S pipeline compresses a network once (prune → quantize →
+//! shared-index encode) and then serves it many times; this crate is the
+//! layer between those two phases. It defines:
+//!
+//! - [`ModelArtifact`]: a named, versioned stack of compressed FC layers
+//!   ([`cs_compress::format::FcLayerFormat`]) with activations — the unit
+//!   the serving runtime hot-loads;
+//! - the `CSMR` container ([`encode_model`] / [`decode_model`]): a
+//!   checksummed, canonical, length-bounds-checked byte encoding with
+//!   byte-exact round trips and hard pre-allocation caps (hostile input
+//!   gets a typed [`RegistryError`], never a panic);
+//! - [`RegistryStore`]: a directory of containers keyed by
+//!   `(name, version)` with atomic saves.
+//!
+//! ```
+//! use cs_registry::{ModelArtifact, RegistryStore};
+//! # use cs_compress::format::{FcLayerFormat, TwoFourFcLayer};
+//! # use cs_accel::pe::Activation;
+//! # fn layer() -> FcLayerFormat {
+//! #     FcLayerFormat::TwoFour(TwoFourFcLayer {
+//! #         name: "fc0".into(), n_in: 4, n_out: 1,
+//! #         meta: vec![0b0100], values: vec![1.0, 2.0],
+//! #     })
+//! # }
+//! let dir = std::env::temp_dir().join("csmr-doc-example");
+//! let store = RegistryStore::open(&dir).unwrap();
+//! let artifact = ModelArtifact {
+//!     name: "mlp".into(),
+//!     version: 1,
+//!     layers: vec![(layer(), Activation::Relu)],
+//! };
+//! store.save(&artifact).unwrap();
+//! assert_eq!(store.load("mlp", 1).unwrap(), artifact);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod container;
+pub mod error;
+pub mod store;
+
+pub use container::{
+    crc32, decode_model, encode_model, valid_model_name, ModelArtifact, CONTAINER_VERSION, MAGIC,
+    MAX_CONTAINER_BYTES, MAX_DECODED_BYTES, MAX_DIM, MAX_LAYERS, MAX_NAME_LEN,
+};
+pub use error::RegistryError;
+pub use store::{RegistryStore, StoredModel};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_accel::pe::Activation;
+    use cs_compress::format::{
+        BankBalancedFcLayer, FcLayerFormat, OutputGroup, SharedIndexLayer, TwoFourFcLayer,
+    };
+    use cs_quant::Codebook;
+    use cs_sparsity::structured::survivors_per_lane;
+
+    fn shared_layer(name: &str, n_in: usize, n_out: usize) -> FcLayerFormat {
+        let group_size = 4.min(n_out).max(1);
+        let index: Vec<bool> = (0..n_in).map(|i| i % 2 == 0).collect();
+        let survivors = index.iter().filter(|b| **b).count();
+        // Finite centroids so derived PartialEq works in equality-based
+        // tests; NaN payloads get their own bitwise test below.
+        let codebook = Codebook::new(vec![-1.5, 0.0, 0.25, 2.0]);
+        let mut groups = Vec::new();
+        let mut remaining = n_out;
+        while remaining > 0 {
+            let rows = group_size.min(remaining);
+            groups.push(OutputGroup {
+                index: index.clone(),
+                weights: (0..rows)
+                    .map(|r| (0..survivors).map(|s| ((r + s) % 4) as u16).collect())
+                    .collect(),
+                codebook: codebook.clone(),
+            });
+            remaining -= rows;
+        }
+        FcLayerFormat::Shared(SharedIndexLayer {
+            name: name.into(),
+            n_in,
+            n_out,
+            group_size,
+            quant_bits: 8,
+            groups,
+        })
+    }
+
+    fn two_four_layer(name: &str, n_in: usize, n_out: usize) -> FcLayerFormat {
+        let stride = survivors_per_lane(n_in, 4, 2);
+        FcLayerFormat::TwoFour(TwoFourFcLayer {
+            name: name.into(),
+            n_in,
+            n_out,
+            meta: vec![0b0100; n_out * n_in.div_ceil(4)],
+            values: (0..n_out * stride).map(|i| i as f32 * 0.5 - 1.0).collect(),
+        })
+    }
+
+    fn bank_layer(name: &str, n_in: usize, n_out: usize) -> FcLayerFormat {
+        let bank = 8.min(n_in).max(1);
+        let k = 2.min(bank);
+        let stride = survivors_per_lane(n_in, bank, k);
+        FcLayerFormat::BankBalanced(BankBalancedFcLayer {
+            name: name.into(),
+            n_in,
+            n_out,
+            bank,
+            k,
+            offsets: (0..n_out * stride).map(|i| (i % k) as u8).collect(),
+            values: (0..n_out * stride).map(|i| -(i as f32) * 0.125).collect(),
+        })
+    }
+
+    fn artifact() -> ModelArtifact {
+        ModelArtifact {
+            name: "unit-mlp".into(),
+            version: 7,
+            layers: vec![
+                (shared_layer("fc0", 12, 8), Activation::Relu),
+                (two_four_layer("fc1", 8, 6), Activation::Sigmoid),
+                (bank_layer("fc2", 6, 3), Activation::None),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_exact() {
+        let art = artifact();
+        let bytes = encode_model(&art).unwrap();
+        let decoded = decode_model(&bytes).unwrap();
+        assert_eq!(decoded, art);
+        assert_eq!(encode_model(&decoded).unwrap(), bytes);
+    }
+
+    #[test]
+    fn nan_and_negative_zero_codebook_values_survive_bitwise() {
+        let payload = [f32::NAN, -0.0, 0.0, f32::NEG_INFINITY];
+        let mut art = artifact();
+        if let FcLayerFormat::Shared(l) = &mut art.layers[0].0 {
+            for g in &mut l.groups {
+                g.codebook = Codebook::new(payload.to_vec());
+            }
+        }
+        let bytes = encode_model(&art).unwrap();
+        let decoded = decode_model(&bytes).unwrap();
+        let FcLayerFormat::Shared(l) = &decoded.layers[0].0 else {
+            panic!("layer kind changed in round trip");
+        };
+        for (got, want) in l.groups[0].codebook.centroids().iter().zip(payload) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        assert_eq!(encode_model(&decoded).unwrap(), bytes);
+    }
+
+    #[test]
+    fn every_truncation_prefix_fails_typed() {
+        let bytes = encode_model(&artifact()).unwrap();
+        for n in 0..bytes.len() {
+            let err = decode_model(&bytes[..n]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RegistryError::Truncated { .. } | RegistryError::ChecksumMismatch { .. }
+                ),
+                "prefix {n}: unexpected {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_round_trip_silently() {
+        let bytes = encode_model(&artifact()).unwrap();
+        for pos in [0, 4, 5, 9, 16, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            match decode_model(&bad) {
+                // CRC catches almost everything; anything that slips
+                // through (a flip inside the CRC itself cannot) must
+                // still be a typed failure.
+                Err(_) => {}
+                Ok(art) => assert_ne!(encode_model(&art).unwrap(), bytes),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_declared_lengths_are_capped_before_allocation() {
+        // A syntactically valid header whose layer count is absurd: the
+        // decoder must reject on the cap, not attempt the allocation.
+        let mut bytes = encode_model(&artifact()).unwrap();
+        let name_len = 2 + "unit-mlp".len();
+        let layer_count_at = 4 + 1 + name_len + 4;
+        bytes[layer_count_at] = 0xFF;
+        bytes[layer_count_at + 1] = 0xFF;
+        let crc_at = bytes.len() - 4;
+        let crc = crc32(&bytes[..crc_at]);
+        bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        match decode_model(&bytes).unwrap_err() {
+            RegistryError::Oversized { field, cap, .. } => {
+                assert_eq!(field, "layer count");
+                assert_eq!(cap, MAX_LAYERS as u64);
+            }
+            other => panic!("expected Oversized, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_trailing_bytes_are_typed() {
+        let good = encode_model(&artifact()).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_model(&bad).unwrap_err(),
+            RegistryError::BadMagic
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            decode_model(&bad).unwrap_err(),
+            RegistryError::UnsupportedVersion(9)
+        ));
+
+        let mut bad = good.clone();
+        let body_len = bad.len() - 4;
+        bad.truncate(body_len);
+        bad.push(0);
+        let crc = crc32(&bad);
+        bad.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_model(&bad).unwrap_err(),
+            RegistryError::TrailingBytes(1)
+        ));
+    }
+
+    #[test]
+    fn store_round_trips_and_lists_sorted() {
+        let dir = std::env::temp_dir().join(format!("csmr-store-rt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = RegistryStore::open(&dir).unwrap();
+        let mut v1 = artifact();
+        let mut v2 = artifact();
+        v2.version = 8;
+        v1.name = "alpha".into();
+        v2.name = "alpha".into();
+        let mut other = artifact();
+        other.name = "beta".into();
+        store.save(&v2).unwrap();
+        store.save(&v1).unwrap();
+        store.save(&other).unwrap();
+        assert_eq!(store.load("alpha", 7).unwrap(), v1);
+        assert_eq!(store.load("alpha", 8).unwrap(), v2);
+        let listed = store.list().unwrap();
+        let keys: Vec<(String, u32)> = listed.iter().map(|m| (m.name.clone(), m.version)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("alpha".to_string(), 7),
+                ("alpha".to_string(), 8),
+                ("beta".to_string(), 7)
+            ]
+        );
+        assert!(store.exists("alpha", 7));
+        store.remove("alpha", 7).unwrap();
+        assert!(!store.exists("alpha", 7));
+        assert!(matches!(
+            store.load("alpha", 7).unwrap_err(),
+            RegistryError::NotFound { .. }
+        ));
+    }
+
+    #[test]
+    fn traversal_names_are_rejected() {
+        let dir = std::env::temp_dir().join(format!("csmr-store-names-{}", std::process::id()));
+        let store = RegistryStore::open(&dir).unwrap();
+        for name in ["../evil", "a/b", "", ".", "..", "spa ce"] {
+            assert!(
+                matches!(store.load(name, 1).unwrap_err(), RegistryError::BadName(_)),
+                "{name:?} accepted"
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! On-disk registry: one `CSMR` container per `(name, version)` key.
+//!
+//! Files live flat in one directory as `{name}@v{version}.csmr`; names
+//! are charset-restricted by the container codec, so keys are always
+//! safe path components. Saves are atomic (write to a temp sibling, then
+//! rename) so a crashed writer never leaves a half-container under a
+//! live key.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::container::{
+    decode_model, encode_model, valid_model_name, ModelArtifact, MAX_CONTAINER_BYTES,
+};
+use crate::error::RegistryError;
+
+/// One `(name, version)` key present in a store, with its on-disk size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredModel {
+    /// Model name.
+    pub name: String,
+    /// Model version.
+    pub version: u32,
+    /// Container size on disk in bytes.
+    pub bytes: u64,
+}
+
+/// A directory of versioned model containers.
+#[derive(Debug, Clone)]
+pub struct RegistryStore {
+    dir: PathBuf,
+}
+
+impl RegistryStore {
+    /// Opens (creating if needed) the registry directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] when the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(RegistryStore { dir })
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, name: &str, version: u32) -> Result<PathBuf, RegistryError> {
+        if !valid_model_name(name) {
+            return Err(RegistryError::BadName(name.to_string()));
+        }
+        Ok(self.dir.join(format!("{name}@v{version}.csmr")))
+    }
+
+    /// Encodes and atomically writes one model container, returning its
+    /// size on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] when the artifact violates a container
+    /// cap or the filesystem write fails.
+    pub fn save(&self, artifact: &ModelArtifact) -> Result<u64, RegistryError> {
+        let bytes = encode_model(artifact)?;
+        let path = self.path_for(&artifact.name, artifact.version)?;
+        let tmp = self
+            .dir
+            .join(format!(".{}@v{}.tmp", artifact.name, artifact.version));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &path)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Loads and decodes the container for `(name, version)`.
+    ///
+    /// The file size is checked against [`MAX_CONTAINER_BYTES`] *before*
+    /// reading, so an oversized file is rejected without buffering it.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] when the key has no container;
+    /// otherwise any decode or I/O error.
+    pub fn load(&self, name: &str, version: u32) -> Result<ModelArtifact, RegistryError> {
+        let path = self.path_for(name, version)?;
+        let meta = match fs::metadata(&path) {
+            Ok(m) => m,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(RegistryError::NotFound {
+                    model: name.to_string(),
+                    version,
+                })
+            }
+            Err(e) => return Err(RegistryError::Io(e)),
+        };
+        if meta.len() > MAX_CONTAINER_BYTES as u64 {
+            return Err(RegistryError::Oversized {
+                field: "container",
+                value: meta.len(),
+                cap: MAX_CONTAINER_BYTES as u64,
+            });
+        }
+        let bytes = fs::read(&path)?;
+        let artifact = decode_model(&bytes)?;
+        if artifact.name != name || artifact.version != version {
+            return Err(RegistryError::BadField {
+                field: "container key",
+                detail: format!(
+                    "file {name}@v{version} holds {}@v{}",
+                    artifact.name, artifact.version
+                ),
+            });
+        }
+        Ok(artifact)
+    }
+
+    /// Raw container bytes for `(name, version)` — what ships over the
+    /// wire. Applies the same size cap as [`RegistryStore::load`].
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`RegistryStore::load`].
+    pub fn load_bytes(&self, name: &str, version: u32) -> Result<Vec<u8>, RegistryError> {
+        let path = self.path_for(name, version)?;
+        let meta = match fs::metadata(&path) {
+            Ok(m) => m,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(RegistryError::NotFound {
+                    model: name.to_string(),
+                    version,
+                })
+            }
+            Err(e) => return Err(RegistryError::Io(e)),
+        };
+        if meta.len() > MAX_CONTAINER_BYTES as u64 {
+            return Err(RegistryError::Oversized {
+                field: "container",
+                value: meta.len(),
+                cap: MAX_CONTAINER_BYTES as u64,
+            });
+        }
+        Ok(fs::read(&path)?)
+    }
+
+    /// True when a container exists for `(name, version)`.
+    pub fn exists(&self, name: &str, version: u32) -> bool {
+        self.path_for(name, version)
+            .map(|p| p.is_file())
+            .unwrap_or(false)
+    }
+
+    /// Removes the container for `(name, version)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] when the key has no container.
+    pub fn remove(&self, name: &str, version: u32) -> Result<(), RegistryError> {
+        let path = self.path_for(name, version)?;
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(RegistryError::NotFound {
+                model: name.to_string(),
+                version,
+            }),
+            Err(e) => Err(RegistryError::Io(e)),
+        }
+    }
+
+    /// Every `(name, version)` key in the store, sorted by name then
+    /// version. Files that do not parse as `{name}@v{version}.csmr` are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] when the directory is unreadable.
+    pub fn list(&self) -> Result<Vec<StoredModel>, RegistryError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let file_name = entry.file_name();
+            let Some(stem) = file_name.to_str().and_then(|s| s.strip_suffix(".csmr")) else {
+                continue;
+            };
+            let Some((name, ver)) = stem.rsplit_once("@v") else {
+                continue;
+            };
+            let Ok(version) = ver.parse::<u32>() else {
+                continue;
+            };
+            if !valid_model_name(name) {
+                continue;
+            }
+            out.push(StoredModel {
+                name: name.to_string(),
+                version,
+                bytes: entry.metadata()?.len(),
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name).then(a.version.cmp(&b.version)));
+        Ok(out)
+    }
+}

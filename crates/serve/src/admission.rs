@@ -1,0 +1,288 @@
+//! Tenant-aware admission queue.
+//!
+//! Replaces the plain bounded channel in front of the batcher. Each
+//! tenant gets its own bounded FIFO lane; pushes reject when the global
+//! capacity or the tenant's quota is exhausted, and the batcher drains
+//! lanes with weighted round-robin so one chatty tenant can monopolize
+//! neither admission nor dispatch order. `close()` replaces dropping a
+//! channel sender: queued items still drain, then poppers observe
+//! [`Popped::Closed`], which preserves the server's graceful-shutdown
+//! contract.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Why admission refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitError {
+    /// No room: the global queue, or this tenant's quota slice, is full.
+    Full {
+        /// True when the tenant's own quota rejected the item while the
+        /// global queue still had room.
+        tenant_quota: bool,
+    },
+    /// The queue is closed; the server is shutting down.
+    Closed,
+}
+
+/// Result of a timed dequeue.
+pub(crate) enum Popped<T> {
+    /// The next item under the weighted-fair schedule.
+    Item(T),
+    /// Nothing arrived within the timeout.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+struct TenantLane<T> {
+    items: VecDeque<T>,
+    weight: u64,
+    credit: u64,
+}
+
+struct QueueState<T> {
+    lanes: HashMap<String, TenantLane<T>>,
+    /// Tenants in first-seen order; the round-robin cursor walks this
+    /// ring. Lanes are never removed (bounded by distinct tenant names).
+    ring: Vec<String>,
+    cursor: usize,
+    total: usize,
+    closed: bool,
+}
+
+/// A bounded multi-tenant queue with weighted-fair dequeue.
+pub(crate) struct AdmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+    tenant_quota: usize,
+    weights: HashMap<String, u64>,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` items total and (when
+    /// `tenant_quota > 0`) at most `tenant_quota` per tenant. Tenants
+    /// named in `weights` dequeue proportionally more often; unlisted
+    /// tenants weigh 1.
+    pub(crate) fn new(capacity: usize, tenant_quota: usize, weights: &[(String, u32)]) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                lanes: HashMap::new(),
+                ring: Vec::new(),
+                cursor: 0,
+                total: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+            tenant_quota,
+            weights: weights
+                .iter()
+                .map(|(name, w)| (name.clone(), u64::from(*w).max(1)))
+                .collect(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        // Queue state cannot be left inconsistent by a panicking
+        // recorder call, so a poisoned lock is safe to adopt.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Non-blocking admission for `tenant`.
+    pub(crate) fn try_push(&self, tenant: &str, item: T) -> Result<(), AdmitError> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(AdmitError::Closed);
+        }
+        if s.total >= self.capacity {
+            return Err(AdmitError::Full {
+                tenant_quota: false,
+            });
+        }
+        if !s.lanes.contains_key(tenant) {
+            let weight = self.weights.get(tenant).copied().unwrap_or(1);
+            s.lanes.insert(
+                tenant.to_string(),
+                TenantLane {
+                    items: VecDeque::new(),
+                    weight,
+                    credit: weight,
+                },
+            );
+            s.ring.push(tenant.to_string());
+        }
+        let Some(lane) = s.lanes.get_mut(tenant) else {
+            return Err(AdmitError::Closed); // unreachable: inserted above
+        };
+        if self.tenant_quota > 0 && lane.items.len() >= self.tenant_quota {
+            return Err(AdmitError::Full { tenant_quota: true });
+        }
+        lane.items.push_back(item);
+        s.total += 1;
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks up to `timeout` for the next item under the weighted-fair
+    /// schedule.
+    pub(crate) fn pop_timeout(&self, timeout: Duration) -> Popped<T> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.lock();
+        loop {
+            if s.total > 0 {
+                if let Some(item) = Self::take_locked(&mut s) {
+                    return Popped::Item(item);
+                }
+            }
+            if s.closed {
+                return Popped::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Popped::TimedOut;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            s = guard;
+        }
+    }
+
+    /// Weighted round-robin: the cursor tenant dequeues until its
+    /// credit (replenished to its weight on every pass) runs out, then
+    /// the cursor advances. Two passes over the ring suffice: the first
+    /// spends remaining credits, the second visits every lane with
+    /// fresh credit, so any non-empty lane yields.
+    fn take_locked(s: &mut QueueState<T>) -> Option<T> {
+        let n = s.ring.len();
+        if n == 0 {
+            return None;
+        }
+        for _ in 0..2 * n {
+            let name = s.ring[s.cursor % n].clone();
+            let Some(lane) = s.lanes.get_mut(&name) else {
+                s.cursor = (s.cursor + 1) % n;
+                continue;
+            };
+            if !lane.items.is_empty() && lane.credit > 0 {
+                lane.credit -= 1;
+                s.total -= 1;
+                return lane.items.pop_front();
+            }
+            lane.credit = lane.weight;
+            s.cursor = (s.cursor + 1) % n;
+        }
+        None
+    }
+
+    /// Stops admission. Queued items still drain through
+    /// [`AdmissionQueue::pop_timeout`]; once empty, poppers observe
+    /// [`Popped::Closed`].
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &AdmissionQueue<&'static str>, n: usize) -> Vec<&'static str> {
+        (0..n)
+            .map(|_| match q.pop_timeout(Duration::from_secs(1)) {
+                Popped::Item(x) => x,
+                _ => panic!("expected an item"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn weighted_round_robin_interleaves_by_weight() {
+        let q = AdmissionQueue::new(64, 0, &[("a".to_string(), 3), ("b".to_string(), 1)]);
+        for _ in 0..4 {
+            q.try_push("a", "a").unwrap();
+            q.try_push("b", "b").unwrap();
+        }
+        // Tenant a holds weight 3: the contended prefix dequeues three
+        // a's for every b until a lane runs dry.
+        assert_eq!(drain(&q, 8), vec!["a", "a", "a", "b", "a", "b", "b", "b"]);
+    }
+
+    #[test]
+    fn unknown_tenants_weigh_one_and_share_fairly() {
+        let q: AdmissionQueue<&str> = AdmissionQueue::new(64, 0, &[]);
+        for _ in 0..3 {
+            q.try_push("x", "x").unwrap();
+            q.try_push("y", "y").unwrap();
+        }
+        assert_eq!(drain(&q, 6), vec!["x", "y", "x", "y", "x", "y"]);
+    }
+
+    #[test]
+    fn global_capacity_and_tenant_quota_reject_typed() {
+        let q = AdmissionQueue::new(3, 2, &[]);
+        q.try_push("a", 1).unwrap();
+        q.try_push("a", 2).unwrap();
+        assert_eq!(
+            q.try_push("a", 3),
+            Err(AdmitError::Full { tenant_quota: true })
+        );
+        q.try_push("b", 4).unwrap();
+        assert_eq!(
+            q.try_push("b", 5),
+            Err(AdmitError::Full {
+                tenant_quota: false
+            })
+        );
+    }
+
+    #[test]
+    fn close_drains_queued_items_then_reports_closed() {
+        let q = AdmissionQueue::new(8, 0, &[]);
+        q.try_push("a", 1).unwrap();
+        q.try_push("a", 2).unwrap();
+        q.close();
+        assert_eq!(q.try_push("a", 3), Err(AdmitError::Closed));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Popped::Item(1)
+        ));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Popped::Item(2)
+        ));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Popped::Closed
+        ));
+    }
+
+    #[test]
+    fn pop_times_out_when_idle() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(8, 0, &[]);
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(5)),
+            Popped::TimedOut
+        ));
+    }
+
+    #[test]
+    fn close_wakes_a_parked_popper() {
+        let q: std::sync::Arc<AdmissionQueue<u32>> =
+            std::sync::Arc::new(AdmissionQueue::new(8, 0, &[]));
+        let popper = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                matches!(q.pop_timeout(Duration::from_secs(30)), Popped::Closed)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(popper.join().expect("popper thread"));
+    }
+}

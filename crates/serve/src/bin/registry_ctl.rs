@@ -1,0 +1,126 @@
+//! `cs-registry-ctl` — build and inspect on-disk model registries.
+//!
+//! The serving stack hot-loads models out of a `cs-registry` CSMR
+//! store; this tool is how a store gets populated without writing
+//! code. `build` compresses the paper's seeded MLP into a versioned
+//! artifact and saves it (same seed ⇒ byte-identical weights, so two
+//! versions built from one seed are bit-equal — the property the
+//! canary smoke test leans on); `list` prints what a store holds.
+//!
+//! ```text
+//! cs-registry-ctl build --dir /tmp/reg --model mlp --version 1 --scale 8 --seed 7
+//! cs-registry-ctl build --dir /tmp/reg --model mlp --version 2 --scale 8 --seed 7
+//! cs-registry-ctl list --dir /tmp/reg
+//! ```
+//!
+//! Exit codes: `0` success, `1` bad usage or any registry error.
+
+use cs_nn::spec::Scale;
+use cs_registry::{ModelArtifact, RegistryStore};
+use cs_serve::ServableModel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cs-registry-ctl build --dir DIR --model NAME --version N\n\
+         \x20                      [--scale N] [--seed N]\n\
+         \x20      cs-registry-ctl list --dir DIR"
+    );
+    std::process::exit(1);
+}
+
+fn parse_num(s: &str, flag: &str) -> u64 {
+    match s.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: {flag} expects a number, got {s:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = match args.next() {
+        Some(c) => c,
+        None => usage(),
+    };
+    let mut dir = String::new();
+    let mut model = "mlp".to_string();
+    let mut version = 1u32;
+    let mut scale = 8usize;
+    let mut seed = 7u64;
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {flag} requires a value");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--dir" => dir = value("--dir"),
+            "--model" => model = value("--model"),
+            "--version" => version = parse_num(&value("--version"), "--version") as u32,
+            "--scale" => scale = parse_num(&value("--scale"), "--scale") as usize,
+            "--seed" => seed = parse_num(&value("--seed"), "--seed"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if dir.is_empty() {
+        eprintln!("error: --dir is required");
+        usage();
+    }
+    let store = match RegistryStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("opening registry {dir:?} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match cmd.as_str() {
+        "build" => {
+            let servable = match ServableModel::mlp(Scale::Reduced(scale), seed) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("building model failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let artifact = ModelArtifact {
+                name: model,
+                version,
+                layers: servable.layers,
+            };
+            match store.save(&artifact) {
+                Ok(bytes) => println!(
+                    "saved {} ({bytes} bytes on disk, {} resident)",
+                    artifact.key(),
+                    artifact.resident_bytes()
+                ),
+                Err(e) => {
+                    eprintln!("saving {} failed: {e}", artifact.key());
+                    std::process::exit(1);
+                }
+            }
+        }
+        "list" => match store.list() {
+            Ok(entries) => {
+                for m in entries {
+                    println!("{}@v{} {} bytes", m.name, m.version, m.bytes);
+                }
+            }
+            Err(e) => {
+                eprintln!("listing {dir:?} failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            usage();
+        }
+    }
+}

@@ -26,8 +26,40 @@ pub enum ServeError {
     },
     /// The bounded admission queue is full; the client should back off.
     Overloaded {
-        /// Configured queue capacity that was exhausted.
+        /// Capacity that was exhausted: the global queue depth, or the
+        /// tenant's quota when that is what rejected the request.
         capacity: usize,
+        /// Tenant the rejected request belonged to.
+        tenant: String,
+    },
+    /// A lifecycle operation addressed a `(model, version)` that is not
+    /// resident.
+    ModelNotFound {
+        /// Model name.
+        model: String,
+        /// Version addressed.
+        version: u32,
+    },
+    /// A lifecycle operation is inconsistent with the versions resident
+    /// for the model (e.g. unloading the primary, canarying the
+    /// primary, or loading a version with a different shape).
+    VersionMismatch {
+        /// Model name.
+        model: String,
+        /// Version addressed.
+        version: u32,
+        /// What about the version was inconsistent.
+        detail: String,
+    },
+    /// Loading the model would exceed the resident-memory budget even
+    /// after evicting everything evictable.
+    RegistryFull {
+        /// Model whose load was refused.
+        model: String,
+        /// Bytes the load needed resident.
+        needed_bytes: u64,
+        /// Configured budget.
+        budget_bytes: u64,
     },
     /// The server is shutting down and no longer admits requests.
     ShuttingDown,
@@ -53,9 +85,29 @@ impl fmt::Display for ServeError {
                 f,
                 "model {model:?} expects {expected} inputs, request carried {actual}"
             ),
-            ServeError::Overloaded { capacity } => {
-                write!(f, "admission queue full ({capacity} slots)")
+            ServeError::Overloaded { capacity, tenant } => {
+                write!(
+                    f,
+                    "admission queue full ({capacity} slots) for tenant {tenant:?}"
+                )
             }
+            ServeError::ModelNotFound { model, version } => {
+                write!(f, "model {model}@v{version} is not loaded")
+            }
+            ServeError::VersionMismatch {
+                model,
+                version,
+                detail,
+            } => write!(f, "model {model}@v{version}: {detail}"),
+            ServeError::RegistryFull {
+                model,
+                needed_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "registry full: loading {model} needs {needed_bytes} bytes over the \
+                 {budget_bytes}-byte budget"
+            ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::WorkerLost => write!(f, "worker exited before responding"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),

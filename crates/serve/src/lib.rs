@@ -42,9 +42,11 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod batch;
 pub mod clock;
 pub mod error;
+pub mod lifecycle;
 pub mod loadgen;
 pub mod model;
 pub mod server;
@@ -54,6 +56,7 @@ pub use batch::CloseReason;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use cs_telemetry::{NoopRecorder, Recorder, Registry};
 pub use error::ServeError;
+pub use lifecycle::{outputs_equivalent, CanaryReport, ModelStatus};
 pub use model::{CompiledLane, LaneKernel, LaneLayer, ModelRegistry, ServableModel};
 pub use server::{
     DrainHandle, ExecBackend, InferRequest, InferResponse, ServeConfig, Server, Ticket,

@@ -328,6 +328,7 @@ pub fn run_sweep_with_recorder(
                     freq_ghz: cfg.freq_ghz,
                     backend: crate::server::ExecBackend::Simulator,
                     node: "local".to_string(),
+                    ..ServeConfig::default()
                 };
                 points.push(run_point_with_recorder(
                     &model,

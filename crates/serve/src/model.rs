@@ -178,6 +178,76 @@ impl ServableModel {
         ServableModel::from_spec("mlp-spiking", &spec, &cfg, seed)
     }
 
+    /// Assembles a servable model directly from compressed layers (the
+    /// path a hot-load from a `CSMR` registry container takes: the
+    /// artifact already holds [`FcLayerFormat`]s, no spec or seed is
+    /// involved).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an empty layer stack
+    /// or mismatched widths between consecutive layers.
+    pub fn from_layers(
+        name: impl Into<String>,
+        layers: Vec<(FcLayerFormat, Activation)>,
+    ) -> Result<Self, ServeError> {
+        let name = name.into();
+        for pair in layers.windows(2) {
+            let (prev, next) = (&pair[0].0, &pair[1].0);
+            if prev.n_out() != next.n_in() {
+                return Err(ServeError::InvalidConfig(format!(
+                    "layer {:?} expects {} inputs but previous layer produces {}",
+                    next.name(),
+                    next.n_in(),
+                    prev.n_out()
+                )));
+            }
+        }
+        let (n_in, n_out) = match (layers.first(), layers.last()) {
+            (Some((first, _)), Some((last, _))) => (first.n_in(), last.n_out()),
+            _ => {
+                return Err(ServeError::InvalidConfig(format!(
+                    "model {name:?} has no layers"
+                )))
+            }
+        };
+        Ok(ServableModel {
+            name,
+            layers,
+            n_in,
+            n_out,
+        })
+    }
+
+    /// Runs the executor's structural validation over every layer —
+    /// what registration and every hot load apply before a model can
+    /// receive traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an empty name or layer
+    /// stack, and propagates [`validate_layer`] failures.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.name.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "model name must not be empty".to_string(),
+            ));
+        }
+        if self.layers.is_empty() {
+            return Err(ServeError::InvalidConfig(format!(
+                "model {:?} has no layers",
+                self.name
+            )));
+        }
+        for (layer, _) in &self.layers {
+            // Structured formats validate through their exact
+            // shared-index bridge, so one structural contract covers
+            // every format.
+            validate_layer(&layer.to_shared())?;
+        }
+        Ok(())
+    }
+
     /// The layers bridged to the shared-index view the accelerator
     /// simulator executes (exact for structured formats — identity
     /// codebooks, no quantization loss). Simulator-backed workers build
@@ -387,17 +457,7 @@ impl ModelRegistry {
                 model.name
             )));
         }
-        if model.layers.is_empty() {
-            return Err(ServeError::InvalidConfig(format!(
-                "model {:?} has no layers",
-                model.name
-            )));
-        }
-        for (layer, _) in &model.layers {
-            // Structured formats validate through their exact shared-index
-            // bridge, so one structural contract covers every format.
-            validate_layer(&layer.to_shared())?;
-        }
+        model.validate()?;
         let idx = self.models.len();
         self.by_name.insert(model.name.clone(), idx);
         self.models.push(Arc::new(model));

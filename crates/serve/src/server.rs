@@ -3,27 +3,36 @@
 //! Request flow:
 //!
 //! ```text
-//! clients ──try_send──▶ bounded queue ──▶ batcher thread ──▶ per-worker
-//!    ▲                   (admission)       (size/deadline)     lanes
-//!    │                                                      (round-robin)
-//!    └──── per-request response channel ◀── worker pool ◀───────┘
-//!                                           (one Accelerator each)
+//! clients ──try_push──▶ tenant-fair queue ──▶ batcher thread ──▶ per-worker
+//!    ▲                   (admission)           (size/deadline)      lanes
+//!    │                                                          (round-robin)
+//!    └──── per-request response channel ◀── worker pool ◀──────────┘
+//!                                            (one Accelerator each)
 //! ```
 //!
-//! Admission is a `try_send` on a bounded channel: a full queue rejects
-//! with [`ServeError::Overloaded`] instead of blocking the client, which
-//! is the backpressure contract. The batcher groups same-model requests
-//! under the [`BatchPolicy`]; workers execute whole batches on their own
-//! [`Accelerator`] and answer each request on its private channel with
-//! outputs plus the simulated hardware cost (cycles, picojoules).
+//! Admission is a `try_push` on the bounded [`crate::admission`] queue:
+//! a full queue (global depth or the tenant's quota) rejects with
+//! [`ServeError::Overloaded`] instead of blocking the client, which is
+//! the backpressure contract. The batcher drains tenants weighted-fair
+//! and groups requests by the resolved model *load* (two loads of one
+//! name never share a batch) under the [`BatchPolicy`]; workers execute
+//! whole batches on their own [`Accelerator`] and answer each request
+//! on its private channel.
+//!
+//! Models are live: the server may start empty and be populated through
+//! [`Server::load_servable`] / [`Server::load_artifact`], with versions
+//! promoted, canaried, unloaded and evicted at runtime (see
+//! [`crate::lifecycle`]). A request always completes on the version it
+//! was admitted against — eviction drains per-version in-flight latches
+//! outside the registry lock.
 //!
 //! Shutdown is graceful: [`Server::shutdown`] stops admitting, drains
 //! the queue through the batcher, lets workers finish in-flight batches
 //! and joins every thread before returning the final stats snapshot.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -31,12 +40,18 @@ use cs_accel::exec::Accelerator;
 use cs_accel::AccelConfig;
 use cs_energy::energy::energy_cambricon_s;
 use cs_energy::EnergyModel;
-use cs_telemetry::{buckets, Counter, Histogram, NoopRecorder, Recorder, Span};
+use cs_registry::ModelArtifact;
+use cs_telemetry::{NoopRecorder, Recorder};
 
+use crate::admission::{AdmissionQueue, AdmitError, Popped};
 use crate::batch::{Batch, BatchPolicy, Batcher};
 use crate::clock::{Clock, MonotonicClock};
 use crate::error::ServeError;
-use crate::model::{CompiledLane, LaneKernel, ModelRegistry, ServableModel};
+use crate::lifecycle::{
+    outputs_equivalent, run_lane, CanaryReport, CanaryState, InflightGuard, LiveRegistry,
+    LoadContext, LoadedModel, ModelExec, ModelStatus,
+};
+use crate::model::{ModelRegistry, ServableModel};
 use crate::stats::{ServeSnapshot, ServeStats};
 
 /// Which execution engine worker lanes run.
@@ -92,6 +107,19 @@ pub struct ServeConfig {
     /// registered worker name here so routed responses attribute to
     /// the replica that executed them.
     pub node: String,
+    /// Resident-memory budget in compact weight bytes; loading past it
+    /// evicts least-recently-used non-primary versions. `0` disables
+    /// eviction (unlimited residency).
+    pub memory_budget_bytes: u64,
+    /// Maximum queued requests per tenant; a tenant at its quota is
+    /// rejected with [`ServeError::Overloaded`] even while the global
+    /// queue has room. `0` disables per-tenant quotas.
+    pub tenant_quota: usize,
+    /// Weighted-fair dequeue weights by tenant name; unlisted tenants
+    /// (including the `"default"` tenant) weigh 1.
+    pub tenant_weights: Vec<(String, u32)>,
+    /// Shadow-comparison divergences at which a canary auto-demotes.
+    pub canary_divergence_threshold: u64,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +133,10 @@ impl Default for ServeConfig {
             freq_ghz: 1.0,
             backend: ExecBackend::Simulator,
             node: "local".to_string(),
+            memory_budget_bytes: 0,
+            tenant_quota: 0,
+            tenant_weights: Vec::new(),
+            canary_divergence_threshold: 1,
         }
     }
 }
@@ -132,6 +164,16 @@ impl ServeConfig {
                 self.freq_ghz
             )));
         }
+        if let Some((tenant, _)) = self.tenant_weights.iter().find(|(_, w)| *w == 0) {
+            return Err(ServeError::InvalidConfig(format!(
+                "tenant weight for {tenant:?} must be at least 1"
+            )));
+        }
+        if self.canary_divergence_threshold == 0 {
+            return Err(ServeError::InvalidConfig(
+                "canary_divergence_threshold must be at least 1".to_string(),
+            ));
+        }
         self.policy().validate()
     }
 
@@ -143,21 +185,44 @@ impl ServeConfig {
     }
 }
 
-/// One inference request: a model name and its input vector.
+/// One inference request: a model name, its input vector, and the
+/// tenant it belongs to.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferRequest {
     /// Registry name of the model to run.
     pub model: String,
     /// Input activations (length must equal the model's input width).
     pub input: Vec<f32>,
+    /// Tenant this request belongs to; empty means the `"default"`
+    /// tenant. Admission quotas, fair dequeue and the per-tenant
+    /// telemetry key on this.
+    pub tenant: String,
 }
 
 impl InferRequest {
-    /// Convenience constructor.
+    /// Convenience constructor (default tenant).
     pub fn new(model: impl Into<String>, input: Vec<f32>) -> Self {
         InferRequest {
             model: model.into(),
             input,
+            tenant: String::new(),
+        }
+    }
+
+    /// Attributes the request to a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// The tenant label admission accounts this request under
+    /// (`"default"` when none was set).
+    pub fn tenant_label(&self) -> &str {
+        if self.tenant.is_empty() {
+            "default"
+        } else {
+            &self.tenant
         }
     }
 }
@@ -184,13 +249,20 @@ pub struct InferResponse {
     pub node: String,
 }
 
-/// A queued request: resolved model index, input, admission timestamp
-/// and the private channel the response goes back on.
+/// A queued request: the resolved model load (pinned by an in-flight
+/// guard, so eviction waits for it), the optional canary shadow,
+/// input, admission timestamp and the private response channel.
 struct Job {
-    model_idx: usize,
+    loaded: Arc<LoadedModel>,
+    /// When this request was routed to a canary: the primary to
+    /// shadow-compare against and the shared canary state to score.
+    shadow: Option<(Arc<LoadedModel>, Arc<CanaryState>)>,
     input: Vec<f32>,
     submit_us: u64,
     reply: SyncSender<Result<InferResponse, ServeError>>,
+    /// In-flight registrations (target, plus the shadow primary when
+    /// canaried); released when the job is dropped after its reply.
+    _guards: Vec<InflightGuard>,
 }
 
 /// Handle to one in-flight request.
@@ -238,43 +310,6 @@ impl Ticket {
     }
 }
 
-/// Runs one request through an engine lane, timing every layer's
-/// kernel into its histogram. Activation is applied outside the span:
-/// the histograms compare dense vs sparse kernel cost, and the
-/// element-wise epilogue is identical on both lanes.
-/// Per-layer telemetry handles an engine-backed worker lane records
-/// into: the kernel-time span plus the activation-gate block counters
-/// (no-op handles on ungated layers).
-struct LayerTelemetry {
-    kernel_us: Histogram,
-    gate_hits: Counter,
-    gate_skips: Counter,
-}
-
-fn run_lane(
-    lane: &CompiledLane,
-    telemetry: &[LayerTelemetry],
-    clock: &Arc<dyn Clock>,
-    input: Vec<f32>,
-) -> Result<Vec<f32>, ServeError> {
-    let mut x = input;
-    for (layer, tele) in lane.layers.iter().zip(telemetry) {
-        let span = Span::start(Arc::clone(clock), tele.kernel_us.clone());
-        let result = layer.kernel.forward_counted(&x);
-        span.finish();
-        let (mut out, gate) = result?;
-        if let Some(stats) = gate {
-            tele.gate_hits.add(stats.occupied_blocks() as u64);
-            tele.gate_skips.add(stats.zero_blocks as u64);
-        }
-        for v in &mut out {
-            *v = layer.activation.apply(*v);
-        }
-        x = out;
-    }
-    Ok(x)
-}
-
 /// Counts live worker threads; [`DrainHandle::shutdown_and_drain`]
 /// blocks on it until every in-flight batch has been answered.
 #[derive(Debug)]
@@ -316,13 +351,6 @@ impl WorkerLatch {
     }
 }
 
-/// The admission queue's sender slot, shared between the owning
-/// [`Server`] and every [`DrainHandle`]. Submission takes the read
-/// lock (uncontended on the hot path); shutdown takes the write lock
-/// once to drop the sender, which disconnects the batcher after the
-/// buffered jobs drain.
-type QueueSlot = Arc<RwLock<Option<SyncSender<Job>>>>;
-
 /// A cloneable handle that can shut the server down from any thread.
 ///
 /// [`Server::shutdown`] consumes the owning handle, which a component
@@ -332,11 +360,19 @@ type QueueSlot = Arc<RwLock<Option<SyncSender<Job>>>>;
 /// for workers to answer every in-flight request — without ownership;
 /// the final [`Server::shutdown`] (or drop) then merely joins the
 /// already-exited threads.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DrainHandle {
     shutting_down: Arc<AtomicBool>,
-    queue: QueueSlot,
+    queue: Arc<AdmissionQueue<Job>>,
     latch: Arc<WorkerLatch>,
+}
+
+impl std::fmt::Debug for DrainHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DrainHandle")
+            .field("shutting_down", &self.is_shutting_down())
+            .finish_non_exhaustive()
+    }
 }
 
 impl DrainHandle {
@@ -346,15 +382,11 @@ impl DrainHandle {
     /// once the drain completes.
     pub fn shutdown_and_drain(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
-        // Dropping the sender disconnects the batcher once the buffered
-        // jobs drain; the batcher then drops the dispatch lanes, which
-        // stops the workers after their in-flight batches.
-        drop(
-            self.queue
-                .write()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .take(),
-        );
+        // Closing the queue lets buffered jobs drain through the
+        // batcher, which then observes Closed, flushes, and drops the
+        // dispatch lanes — stopping the workers after their in-flight
+        // batches.
+        self.queue.close();
         self.latch.wait();
     }
 
@@ -367,11 +399,11 @@ impl DrainHandle {
 /// The running server. Shareable across client threads by reference;
 /// dropped or [`Server::shutdown`] joins all internal threads.
 pub struct Server {
-    registry: Arc<ModelRegistry>,
+    live: Arc<LiveRegistry>,
     cfg: ServeConfig,
     stats: Arc<ServeStats>,
     recorder: Arc<dyn Recorder>,
-    queue: QueueSlot,
+    queue: Arc<AdmissionQueue<Job>>,
     shutting_down: Arc<AtomicBool>,
     latch: Arc<WorkerLatch>,
     threads: Vec<JoinHandle<()>>,
@@ -380,18 +412,20 @@ pub struct Server {
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
-            .field("models", &self.registry.names())
+            .field("models", &self.live.names())
             .field("cfg", &self.cfg)
             .finish_non_exhaustive()
     }
 }
 
 impl Server {
-    /// Starts the server on the wall clock.
+    /// Starts the server on the wall clock, preloading every model of
+    /// `registry` as version 1. The registry may be empty: models can
+    /// be hot-loaded later through [`Server::load_servable`].
     ///
     /// # Errors
     ///
-    /// Rejects invalid configs and an empty registry.
+    /// Rejects invalid configs and models that fail validation.
     pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> Result<Server, ServeError> {
         Server::start_with_clock(registry, cfg, Arc::new(MonotonicClock::new()))
     }
@@ -401,7 +435,7 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Rejects invalid configs and an empty registry.
+    /// Rejects invalid configs and models that fail validation.
     pub fn start_with_clock(
         registry: ModelRegistry,
         cfg: ServeConfig,
@@ -412,14 +446,14 @@ impl Server {
 
     /// Starts the server with an injected clock and telemetry recorder.
     /// Every request-path event (admission, queue wait, batch close,
-    /// worker busy/idle, per-request hardware breakdown) registers and
-    /// feeds metrics on `recorder`; pass a [`cs_telemetry::Registry`]
-    /// and read them back via [`Server::metrics_text`] /
-    /// [`Server::metrics_jsonl`].
+    /// worker busy/idle, per-request hardware breakdown, model
+    /// lifecycle) registers and feeds metrics on `recorder`; pass a
+    /// [`cs_telemetry::Registry`] and read them back via
+    /// [`Server::metrics_text`] / [`Server::metrics_jsonl`].
     ///
     /// # Errors
     ///
-    /// Rejects invalid configs and an empty registry.
+    /// Rejects invalid configs and models that fail validation.
     pub fn start_with_recorder(
         registry: ModelRegistry,
         cfg: ServeConfig,
@@ -427,22 +461,21 @@ impl Server {
         recorder: Arc<dyn Recorder>,
     ) -> Result<Server, ServeError> {
         cfg.validate()?;
-        if registry.is_empty() {
-            return Err(ServeError::InvalidConfig(
-                "registry holds no models".to_string(),
-            ));
-        }
-        let registry = Arc::new(registry);
         let stats = Arc::new(ServeStats::with_recorder(
             Arc::clone(&clock),
             cfg.workers,
-            recorder.as_ref(),
+            Arc::clone(&recorder),
             cfg.max_batch,
         ));
+        let live = Arc::new(LiveRegistry::new(cfg.memory_budget_bytes));
         let shutting_down = Arc::new(AtomicBool::new(false));
         let latch = Arc::new(WorkerLatch::new(cfg.workers));
+        let queue = Arc::new(AdmissionQueue::new(
+            cfg.queue_depth,
+            cfg.tenant_quota,
+            &cfg.tenant_weights,
+        ));
 
-        let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
         // One bounded dispatch lane per worker, filled round-robin by
         // the batcher. Deterministic assignment keeps the accelerators
         // evenly loaded regardless of how the host schedules threads
@@ -457,7 +490,7 @@ impl Server {
             worker_rxs.push(rx);
         }
         threads.push(Server::spawn_batcher(
-            queue_rx,
+            Arc::clone(&queue),
             batch_txs,
             cfg.policy(),
             Arc::clone(&stats),
@@ -466,29 +499,31 @@ impl Server {
             threads.push(Server::spawn_worker(
                 worker_id,
                 rx,
-                Arc::clone(&registry),
                 &cfg,
                 Arc::clone(&stats),
                 Arc::clone(&clock),
-                recorder.as_ref(),
                 Arc::clone(&latch),
             ));
         }
 
-        Ok(Server {
-            registry,
+        let server = Server {
+            live,
             cfg,
             stats,
             recorder,
-            queue: Arc::new(RwLock::new(Some(queue_tx))),
+            queue,
             shutting_down,
             latch,
             threads,
-        })
+        };
+        for model in registry.models() {
+            server.load_servable((**model).clone(), 1, 0)?;
+        }
+        Ok(server)
     }
 
     fn spawn_batcher(
-        queue_rx: Receiver<Job>,
+        queue: Arc<AdmissionQueue<Job>>,
         batch_txs: Vec<SyncSender<Batch<Job>>>,
         policy: BatchPolicy,
         stats: Arc<ServeStats>,
@@ -517,7 +552,7 @@ impl Server {
                 loop {
                     // Wait until the open batch's deadline (or idle
                     // indefinitely when nothing is pending). Deadlines
-                    // advance on the injected clock but `recv_timeout`
+                    // advance on the injected clock but `pop_timeout`
                     // parks in wall time, so while a batch is open the
                     // park is capped at 1 ms: on an otherwise idle
                     // server the batcher keeps re-reading the clock and
@@ -531,10 +566,14 @@ impl Server {
                         }
                         None => Duration::from_secs(3600),
                     };
-                    match queue_rx.recv_timeout(wait) {
-                        Ok(job) => {
+                    match queue.pop_timeout(wait) {
+                        Popped::Item(job) => {
                             let now = stats.now_us();
-                            for batch in batcher.offer(job.model_idx, job, now) {
+                            // Batches key on the load's slot, not the
+                            // model name: two loads of one name (e.g.
+                            // across an evict and re-load, or a canary
+                            // vs its primary) never share a batch.
+                            for batch in batcher.offer(job.loaded.slot, job, now) {
                                 dispatch(batch);
                             }
                             // The deadline may already have passed while
@@ -543,14 +582,14 @@ impl Server {
                                 dispatch(batch);
                             }
                         }
-                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                        Popped::TimedOut => {
                             if let Some(batch) = batcher.poll(stats.now_us()) {
                                 dispatch(batch);
                             }
                         }
-                        Err(mpsc::RecvTimeoutError::Disconnected) => {
-                            // Shutdown: the server dropped its sender
-                            // and the buffer is drained — flush.
+                        Popped::Closed => {
+                            // Shutdown: the queue is closed and fully
+                            // drained — flush.
                             if let Some(batch) = batcher.flush() {
                                 dispatch(batch);
                             }
@@ -562,21 +601,17 @@ impl Server {
             .unwrap_or_else(|e| panic!("spawning batcher thread failed: {e}"))
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn spawn_worker(
         worker_id: usize,
         batch_rx: Receiver<Batch<Job>>,
-        registry: Arc<ModelRegistry>,
         cfg: &ServeConfig,
         stats: Arc<ServeStats>,
         clock: Arc<dyn Clock>,
-        recorder: &dyn Recorder,
         latch: Arc<WorkerLatch>,
     ) -> JoinHandle<()> {
-        // Each worker owns its models and accelerator: the Arc clones
-        // are taken once here, never through the registry lock on the
-        // hot path, and the Accelerator is Copy + reusable per request.
-        let models: Vec<Arc<ServableModel>> = registry.models().to_vec();
+        // Each worker owns its accelerator; the executors themselves
+        // ride in on every job (built once at load time, shared via
+        // Arc), so the hot path never touches the registry lock.
         let accel = Accelerator::new(AccelConfig {
             freq_ghz: cfg.freq_ghz,
             ..AccelConfig::paper_default()
@@ -585,83 +620,6 @@ impl Server {
         let emulate = cfg.emulate_hw_time;
         let freq_ghz = cfg.freq_ghz;
         let node = cfg.node.clone();
-        // Simulator workers execute the shared-index bridge view of
-        // each model (exact for structured formats); build it once at
-        // spawn so the request path never re-derives it.
-        let sim_layers = match cfg.backend {
-            ExecBackend::Simulator => {
-                Some(models.iter().map(|m| m.shared_layers()).collect::<Vec<_>>())
-            }
-            _ => None,
-        };
-        // Engine backends lower every model once at spawn (weights
-        // decoded, strips built, histograms registered) so the request
-        // path only runs kernels and observes spans.
-        let lanes: Option<Vec<(CompiledLane, Vec<LayerTelemetry>)>> = match cfg.backend {
-            ExecBackend::Simulator => None,
-            backend => {
-                let bounds = buckets::duration_us();
-                Some(
-                    models
-                        .iter()
-                        .map(|m| {
-                            let lane = match backend {
-                                ExecBackend::Dense => m.dense_lane(),
-                                ExecBackend::Gated => m.gated_lane(),
-                                _ => m.sparse_lane(),
-                            };
-                            let telemetry = lane
-                                .layers
-                                .iter()
-                                .map(|layer| {
-                                    let kernel_us = recorder.histogram(
-                                        "serve_layer_kernel_us",
-                                        "Per-layer kernel time on engine-backed \
-                                         worker lanes (µs)",
-                                        vec![
-                                            ("model".to_string(), m.name.clone()),
-                                            ("layer".to_string(), layer.name.clone()),
-                                            ("kernel".to_string(), layer.kernel.kind().to_string()),
-                                        ],
-                                        &bounds,
-                                    );
-                                    // Gate counters exist only where a
-                                    // gate runs; ungated layers get
-                                    // no-op handles so the series never
-                                    // appear for them.
-                                    let gate_counter = |outcome: &str| {
-                                        recorder.counter(
-                                            "serve_gate_blocks_total",
-                                            "Input blocks the activation gate \
-                                             inspected, by outcome (`hit` = \
-                                             occupied and computed, `skip` = \
-                                             all-zero and skipped)",
-                                            vec![
-                                                ("model".to_string(), m.name.clone()),
-                                                ("layer".to_string(), layer.name.clone()),
-                                                ("outcome".to_string(), outcome.to_string()),
-                                            ],
-                                        )
-                                    };
-                                    let (gate_hits, gate_skips) =
-                                        if matches!(layer.kernel, LaneKernel::Gated(..)) {
-                                            (gate_counter("hit"), gate_counter("skip"))
-                                        } else {
-                                            (Counter::noop(), Counter::noop())
-                                        };
-                                    LayerTelemetry {
-                                        kernel_us,
-                                        gate_hits,
-                                        gate_skips,
-                                    }
-                                })
-                                .collect();
-                            (lane, telemetry)
-                        })
-                        .collect(),
-                )
-            }
-        };
         // Releases the latch even if the worker unwinds, so a drain
         // never deadlocks on a dead thread.
         struct LatchGuard(Arc<WorkerLatch>);
@@ -685,71 +643,34 @@ impl Server {
                     };
                     let busy_from = stats.now_us();
                     let batch_size = batch.items.len();
-                    let model = match models.get(batch.model) {
-                        Some(m) => Arc::clone(m),
-                        None => {
-                            // Admission resolved the index against the
-                            // same registry, so this is unreachable;
-                            // answer the requests rather than asserting.
-                            for job in batch.items {
-                                let _ = job.reply.send(Err(ServeError::UnknownModel(format!(
-                                    "#{}",
-                                    batch.model
-                                ))));
-                                stats.record_failure();
-                            }
-                            continue;
-                        }
-                    };
                     let mut results = Vec::with_capacity(batch_size);
                     let mut batch_cycles = 0u64;
-                    match (&lanes, &sim_layers) {
-                        (None, None) => {
-                            // Spawn builds simulator layers whenever no
-                            // engine lanes exist, so this is
-                            // unreachable; answer rather than assert.
-                            for job in batch.items {
-                                let _ = job.reply.send(Err(ServeError::UnknownModel(format!(
-                                    "#{} (no execution backend)",
-                                    batch.model
-                                ))));
-                                stats.record_failure();
-                            }
-                            continue;
-                        }
-                        (None, Some(sim_layers)) => {
-                            let layers = &sim_layers[batch.model];
-                            for job in batch.items {
-                                match accel.run_network(layers, &job.input) {
-                                    Ok(run) => {
-                                        let cycles = run.stats.cycles;
-                                        let energy_pj =
-                                            energy_cambricon_s(&run.stats, &energy_model)
-                                                .total_pj();
-                                        batch_cycles += cycles;
-                                        stats.record_request_hw(&run.stats);
-                                        results.push((job, Ok((run.outputs, cycles, energy_pj))));
-                                    }
-                                    Err(e) => results.push((job, Err(ServeError::Accel(e)))),
+                    for job in batch.items {
+                        let outcome = match &job.loaded.exec {
+                            ModelExec::Sim(layers) => match accel.run_network(layers, &job.input) {
+                                Ok(run) => {
+                                    let cycles = run.stats.cycles;
+                                    let energy_pj =
+                                        energy_cambricon_s(&run.stats, &energy_model).total_pj();
+                                    batch_cycles += cycles;
+                                    stats.record_request_hw(&run.stats);
+                                    Ok((run.outputs, cycles, energy_pj))
                                 }
+                                Err(e) => Err(ServeError::Accel(e)),
+                            },
+                            ModelExec::Lane(lane, telemetry) => {
+                                // Engine lanes run real host kernels: no
+                                // simulated hardware cost to report, but
+                                // every layer's wall time lands in its
+                                // `serve_layer_kernel_us` histogram.
+                                run_lane(lane, telemetry, &clock, &job.input)
+                                    .map(|outputs| (outputs, 0u64, 0.0f64))
                             }
+                        };
+                        if let Ok((outputs, _, _)) = &outcome {
+                            shadow_compare(&job, outputs, &accel, &stats);
                         }
-                        (Some(lanes), _) => {
-                            // Engine lanes run real host kernels: no
-                            // simulated hardware cost to report, but
-                            // every layer's wall time lands in its
-                            // `serve_layer_kernel_us` histogram.
-                            let (lane, telemetry) = &lanes[batch.model];
-                            for mut job in batch.items {
-                                let input = std::mem::take(&mut job.input);
-                                match run_lane(lane, telemetry, &clock, input) {
-                                    Ok(outputs) => {
-                                        results.push((job, Ok((outputs, 0u64, 0.0f64))));
-                                    }
-                                    Err(e) => results.push((job, Err(e))),
-                                }
-                            }
-                        }
+                        results.push((job, outcome));
                     }
                     if emulate && batch_cycles > 0 {
                         // One accelerator serves the whole batch
@@ -774,7 +695,7 @@ impl Server {
                                 // The client may have dropped its ticket;
                                 // that is its prerogative, not an error.
                                 let _ = job.reply.send(Ok(InferResponse {
-                                    model: model.name.clone(),
+                                    model: job.loaded.model.name.clone(),
                                     outputs,
                                     cycles,
                                     energy_pj,
@@ -789,6 +710,9 @@ impl Server {
                                 let _ = job.reply.send(Err(e));
                             }
                         }
+                        // The job (and its in-flight guards) drops here,
+                        // after the reply — eviction drains observe the
+                        // response as already sent.
                     }
                 }
             })
@@ -801,50 +725,63 @@ impl Server {
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`] / [`ServeError::ShapeMismatch`] for
-    /// malformed requests, [`ServeError::Overloaded`] when the queue is
-    /// full, [`ServeError::ShuttingDown`] after shutdown began.
+    /// malformed requests, [`ServeError::Overloaded`] when the queue
+    /// (or the tenant's quota) is full, [`ServeError::ShuttingDown`]
+    /// after shutdown began.
     pub fn submit(&self, req: InferRequest) -> Result<Ticket, ServeError> {
         if self.shutting_down.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
-        let (model_idx, model) = self
-            .registry
-            .get(&req.model)
+        let tenant = req.tenant_label().to_string();
+        let resolved = self
+            .live
+            .resolve(&req.model)
             .ok_or_else(|| ServeError::UnknownModel(req.model.clone()))?;
-        if req.input.len() != model.n_in {
+        if req.input.len() != resolved.target.model.n_in {
             return Err(ServeError::ShapeMismatch {
                 model: req.model,
-                expected: model.n_in,
+                expected: resolved.target.model.n_in,
                 actual: req.input.len(),
             });
         }
-        let slot = self
-            .queue
-            .read()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let queue = match slot.as_ref() {
-            Some(q) => q,
-            None => return Err(ServeError::ShuttingDown),
-        };
+        let now = self.stats.now_us();
+        let target = Arc::clone(&resolved.target);
+        target.last_used_us.store(now, Ordering::SeqCst);
+        // In-flight guards pin the target (and, for canaried requests,
+        // the shadow primary) against eviction until the reply is sent.
+        let mut guards = vec![target.inflight.acquire()];
+        if let Some((primary, _)) = &resolved.shadow {
+            guards.push(primary.inflight.acquire());
+        }
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         let job = Job {
-            model_idx,
+            loaded: resolved.target,
+            shadow: resolved.shadow,
             input: req.input,
-            submit_us: self.stats.now_us(),
+            submit_us: now,
             reply: reply_tx,
+            _guards: guards,
         };
-        match queue.try_send(job) {
+        match self.queue.try_push(&tenant, job) {
             Ok(()) => {
                 self.stats.record_submit();
+                self.stats.record_tenant_submit(&tenant);
+                target.requests.inc();
                 Ok(Ticket { rx: reply_rx })
             }
-            Err(TrySendError::Full(_)) => {
+            Err(AdmitError::Full { tenant_quota }) => {
                 self.stats.record_reject();
+                self.stats.record_tenant_reject(&tenant);
                 Err(ServeError::Overloaded {
-                    capacity: self.cfg.queue_depth,
+                    capacity: if tenant_quota {
+                        self.cfg.tenant_quota
+                    } else {
+                        self.cfg.queue_depth
+                    },
+                    tenant,
                 })
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            Err(AdmitError::Closed) => Err(ServeError::ShuttingDown),
         }
     }
 
@@ -855,6 +792,98 @@ impl Server {
     /// Same conditions as [`Server::submit`] plus worker-side errors.
     pub fn infer(&self, req: InferRequest) -> Result<InferResponse, ServeError> {
         self.submit(req)?.wait()
+    }
+
+    fn load_ctx(&self) -> LoadContext<'_> {
+        LoadContext {
+            backend: self.cfg.backend,
+            recorder: self.recorder.as_ref(),
+            stats: &self.stats,
+            canary_threshold: self.cfg.canary_divergence_threshold,
+        }
+    }
+
+    /// Loads (or promotes) `model` as `version`.
+    ///
+    /// With `canary_pct == 0` the version becomes the primary its name
+    /// serves. With `canary_pct` in `1..=100` the version becomes the
+    /// name's canary: that percentage of traffic is routed to it, every
+    /// routed request is shadow-compared against the primary, and
+    /// crossing [`ServeConfig::canary_divergence_threshold`] divergences
+    /// auto-demotes it. Re-loading an already-resident version only
+    /// repoints routing. Loading past
+    /// [`ServeConfig::memory_budget_bytes`] evicts least-recently-used
+    /// non-primary versions, draining each victim's in-flight requests
+    /// before its memory is considered reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a bad percentage or a model
+    /// failing validation, [`ServeError::VersionMismatch`] for shape
+    /// or promotion inconsistencies, [`ServeError::RegistryFull`] when
+    /// the budget cannot fit the load even after eviction.
+    pub fn load_servable(
+        &self,
+        model: ServableModel,
+        version: u32,
+        canary_pct: u8,
+    ) -> Result<(), ServeError> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        self.live.load(model, version, canary_pct, &self.load_ctx())
+    }
+
+    /// Loads a compressed model artifact from a `CSMR` registry
+    /// container (see [`cs_registry`]) — the hot-load path a
+    /// `LoadModel` control frame takes. Same semantics as
+    /// [`Server::load_servable`], with the version taken from the
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Server::load_servable`].
+    pub fn load_artifact(
+        &self,
+        artifact: &ModelArtifact,
+        canary_pct: u8,
+    ) -> Result<(), ServeError> {
+        let model = ServableModel::from_layers(artifact.name.clone(), artifact.layers.clone())?;
+        self.load_servable(model, artifact.version, canary_pct)
+    }
+
+    /// Unloads one resident version after its in-flight requests drain.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelNotFound`] when the version is not resident;
+    /// [`ServeError::VersionMismatch`] when it is the primary and other
+    /// versions still depend on it.
+    pub fn unload_model(&self, name: &str, version: u32) -> Result<(), ServeError> {
+        self.live.unload(name, version, &self.stats)
+    }
+
+    /// Every resident `(model, version)` with its routing role, sorted
+    /// by name then version.
+    pub fn list_models(&self) -> Vec<ModelStatus> {
+        self.live.list()
+    }
+
+    /// Canary progress for `name`, if an experiment exists (live or
+    /// demoted).
+    pub fn canary_report(&self, name: &str) -> Option<CanaryReport> {
+        self.live.canary_report(name)
+    }
+
+    /// The primary version's model for `name` (shape probes, conformance
+    /// references).
+    pub fn lookup(&self, name: &str) -> Option<Arc<ServableModel>> {
+        self.live.lookup(name)
+    }
+
+    /// Sorted resident model names.
+    pub fn model_names(&self) -> Vec<String> {
+        self.live.names()
     }
 
     /// Current statistics snapshot.
@@ -880,11 +909,6 @@ impl Server {
         &self.cfg
     }
 
-    /// The registry the server dispatches against.
-    pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
-    }
-
     /// A cloneable handle that can gracefully shut this server down
     /// from any thread (see [`DrainHandle`]). The owning handle keeps
     /// working afterwards: [`Server::shutdown`] returns the final
@@ -906,15 +930,10 @@ impl Server {
 
     fn stop_and_join(&mut self) {
         self.shutting_down.store(true, Ordering::SeqCst);
-        // Dropping the queue sender disconnects the batcher once the
-        // buffered jobs drain; the batcher then drops the dispatch
-        // sender, which stops the workers after in-flight batches.
-        drop(
-            self.queue
-                .write()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .take(),
-        );
+        // Closing the queue drains buffered jobs through the batcher,
+        // which then drops the dispatch lanes, stopping the workers
+        // after in-flight batches.
+        self.queue.close();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -924,6 +943,39 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop_and_join();
+    }
+}
+
+/// Scores one canary-routed request: re-runs the input on the shadow
+/// primary and compares outputs under the differential rule. A
+/// divergence (or a primary-side failure) increments the canary's
+/// counter; crossing the threshold demotes it exactly once.
+fn shadow_compare(job: &Job, outputs: &[f32], accel: &Accelerator, stats: &ServeStats) {
+    let Some((primary, state)) = &job.shadow else {
+        return;
+    };
+    if state.demoted.load(Ordering::SeqCst) {
+        return;
+    }
+    let reference: Result<Vec<f32>, ServeError> = match &primary.exec {
+        ModelExec::Sim(layers) => accel
+            .run_network(layers, &job.input)
+            .map(|run| run.outputs)
+            .map_err(ServeError::Accel),
+        // `forward` (not the telemetry path): shadow runs must not
+        // pollute the primary's kernel histograms.
+        ModelExec::Lane(lane, _) => lane.forward(&job.input),
+    };
+    let diverged = match &reference {
+        Ok(expected) => !outputs_equivalent(outputs, expected),
+        Err(_) => true,
+    };
+    if diverged {
+        let seen = state.divergences.fetch_add(1, Ordering::SeqCst) + 1;
+        stats.record_canary_divergence(&job.loaded.model.name);
+        if seen >= state.threshold && !state.demoted.swap(true, Ordering::SeqCst) {
+            stats.record_canary_demotion();
+        }
     }
 }
 
@@ -1053,6 +1105,14 @@ mod tests {
                 freq_ghz: 0.0,
                 ..ServeConfig::default()
             },
+            ServeConfig {
+                tenant_weights: vec![("acme".to_string(), 0)],
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                canary_divergence_threshold: 0,
+                ..ServeConfig::default()
+            },
         ] {
             let (reg_fresh, _) = mlp_registry();
             assert!(Server::start(reg_fresh, cfg).is_err());
@@ -1130,6 +1190,17 @@ mod tests {
                 .map(|(s, n)| *s as u64 * n)
                 .sum::<u64>()
         );
+
+        // Per-model lifecycle accounting: one primary resident, every
+        // request attributed to it.
+        assert_eq!(snap.loaded_models, 1);
+        let per_model = registry
+            .find_counter(
+                "serve_model_requests_total",
+                &[("model", "mlp"), ("version", "1")],
+            )
+            .expect("per-model counter registered");
+        assert_eq!(per_model.get(), snap.submitted);
 
         assert!(text.contains("serve_requests_completed_total 6"));
         assert!(jsonl.contains("serve_request_latency_us"));
@@ -1498,10 +1569,85 @@ mod tests {
     }
 
     #[test]
-    fn empty_registry_is_rejected() {
+    fn empty_registry_starts_and_serves_after_hot_load() {
+        let server = Server::start(ModelRegistry::new(), ServeConfig::default()).expect("start");
+        assert!(server.list_models().is_empty());
+        let model = ServableModel::mlp(Scale::Reduced(8), 7).expect("mlp");
+        let input = input_for(&model, 1);
         assert!(matches!(
-            Server::start(ModelRegistry::new(), ServeConfig::default()),
-            Err(ServeError::InvalidConfig(_))
+            server.submit(InferRequest::new("mlp", input.clone())),
+            Err(ServeError::UnknownModel(_))
         ));
+        server.load_servable(model.clone(), 1, 0).expect("load");
+        let resp = server
+            .infer(InferRequest::new("mlp", input))
+            .expect("infer after hot load");
+        assert_eq!(resp.outputs.len(), model.n_out);
+        let listed = server.list_models();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].name, "mlp");
+        assert_eq!(listed[0].version, 1);
+        assert!(listed[0].primary);
+        assert!(listed[0].resident_bytes > 0);
+        let snap = server.shutdown();
+        assert_eq!(snap.loaded_models, 1);
+        assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_with_the_tenant_label() {
+        let (reg, model) = mlp_registry();
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_depth: 64,
+            tenant_quota: 2,
+            // Single-request batches on a deliberately slow emulated
+            // accelerator: the dispatch pipeline (one batch in the
+            // worker, one buffered, one blocking the batcher) fills
+            // within a few submissions, after which the tenant's lane
+            // backs up and the quota must reject.
+            max_batch: 1,
+            emulate_hw_time: true,
+            freq_ghz: 1e-3,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(reg, cfg).expect("start");
+        let mut tickets = Vec::new();
+        // Fill tenant "acme" to its quota. The batcher may drain some
+        // jobs into an open batch, so push until a rejection arrives
+        // (bounded by the quota plus the open batch).
+        let mut rejected = None;
+        for i in 0..200 {
+            match server.submit(InferRequest::new("mlp", input_for(&model, i)).with_tenant("acme"))
+            {
+                Ok(t) => tickets.push(t),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        match rejected.expect("quota eventually rejects") {
+            ServeError::Overloaded { capacity, tenant } => {
+                assert_eq!(capacity, 2);
+                assert_eq!(tenant, "acme");
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        // A different tenant still has room.
+        tickets.push(
+            server
+                .submit(InferRequest::new("mlp", input_for(&model, 500)).with_tenant("beta"))
+                .expect("other tenant admits"),
+        );
+        let snap = server.shutdown();
+        for t in tickets {
+            t.wait().expect("queued requests drain on shutdown");
+        }
+        let acme = snap.tenants.iter().find(|(t, _, _)| t == "acme").unwrap();
+        assert_eq!(acme.2, 1, "exactly one acme rejection");
+        let beta = snap.tenants.iter().find(|(t, _, _)| t == "beta").unwrap();
+        assert_eq!(beta.1, 1);
+        assert_eq!(beta.2, 0);
     }
 }

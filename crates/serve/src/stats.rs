@@ -15,7 +15,7 @@
 //! rule ([`cs_telemetry::rank_for_quantile`]), so they agree exactly
 //! whenever latencies land on histogram bucket bounds.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use cs_sim::SimStats;
@@ -51,6 +51,13 @@ struct StatsInner {
     total_cycles: u64,
     total_energy_pj: f64,
     worker_busy_cycles: Vec<u64>,
+    loaded_models: u64,
+    resident_bytes: u64,
+    evictions: u64,
+    canary_divergences: u64,
+    canary_demotions: u64,
+    /// Tenant → (submitted, rejected).
+    tenants: BTreeMap<String, (u64, u64)>,
 }
 
 /// Telemetry handles for every serving-path event, fetched once at
@@ -75,6 +82,10 @@ struct ServeMetrics {
     worker_busy_us: Vec<Counter>,
     worker_idle_us: Vec<Counter>,
     worker_busy_cycles: Vec<Counter>,
+    loaded_models: Gauge,
+    resident_bytes: Gauge,
+    evictions: Counter,
+    canary_demotions: Counter,
 }
 
 impl ServeMetrics {
@@ -191,6 +202,26 @@ impl ServeMetrics {
                     )
                 })
                 .collect(),
+            loaded_models: rec.gauge(
+                "serve_loaded_models",
+                "Model versions currently resident",
+                Labels::new(),
+            ),
+            resident_bytes: rec.gauge(
+                "serve_resident_bytes",
+                "Compact weight bytes held by resident model versions",
+                Labels::new(),
+            ),
+            evictions: rec.counter(
+                "serve_model_evictions_total",
+                "Model versions evicted by the memory budget",
+                Labels::new(),
+            ),
+            canary_demotions: rec.counter(
+                "serve_canary_demotions_total",
+                "Canary versions auto-demoted by divergence",
+                Labels::new(),
+            ),
         }
     }
 
@@ -215,6 +246,11 @@ pub struct ServeStats {
     start_us: u64,
     inner: Mutex<StatsInner>,
     metrics: ServeMetrics,
+    /// Kept for series that register lazily: tenants and canary models
+    /// are not known at startup.
+    recorder: Arc<dyn Recorder>,
+    tenant_metrics: Mutex<HashMap<String, (Counter, Counter)>>,
+    canary_metrics: Mutex<HashMap<String, Counter>>,
 }
 
 impl std::fmt::Debug for ServeStats {
@@ -229,7 +265,7 @@ impl ServeStats {
     /// A recorder for `workers` worker threads, timed by `clock`, with
     /// telemetry discarded (no-op handles).
     pub fn new(clock: Arc<dyn Clock>, workers: usize) -> Self {
-        ServeStats::with_recorder(clock, workers, &NoopRecorder, 64)
+        ServeStats::with_recorder(clock, workers, Arc::new(NoopRecorder), 64)
     }
 
     /// A recorder whose events additionally feed telemetry handles
@@ -238,7 +274,7 @@ impl ServeStats {
     pub fn with_recorder(
         clock: Arc<dyn Clock>,
         workers: usize,
-        recorder: &dyn Recorder,
+        recorder: Arc<dyn Recorder>,
         max_batch: usize,
     ) -> Self {
         let start_us = clock.now_us();
@@ -250,7 +286,10 @@ impl ServeStats {
                 worker_busy_cycles: vec![0; workers],
                 ..StatsInner::default()
             }),
-            metrics: ServeMetrics::new(recorder, workers, max_batch),
+            metrics: ServeMetrics::new(recorder.as_ref(), workers, max_batch),
+            recorder,
+            tenant_metrics: Mutex::new(HashMap::new()),
+            canary_metrics: Mutex::new(HashMap::new()),
         }
     }
 
@@ -377,6 +416,111 @@ impl ServeStats {
         self.metrics.failed.inc();
     }
 
+    fn tenant_handles(&self, tenant: &str) -> (Counter, Counter) {
+        let mut g = lock_or_recover(&self.tenant_metrics);
+        g.entry(tenant.to_string())
+            .or_insert_with(|| {
+                (
+                    self.recorder.counter(
+                        "serve_tenant_requests_total",
+                        "Requests admitted, by tenant",
+                        label("tenant", tenant),
+                    ),
+                    self.recorder.counter(
+                        "serve_tenant_rejected_total",
+                        "Requests rejected with Overloaded, by tenant",
+                        label("tenant", tenant),
+                    ),
+                )
+            })
+            .clone()
+    }
+
+    /// Records an admission attributed to `tenant` (companion to
+    /// [`ServeStats::record_submit`], which keeps the global counters).
+    pub fn record_tenant_submit(&self, tenant: &str) {
+        lock_or_recover(&self.inner)
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert((0, 0))
+            .0 += 1;
+        self.tenant_handles(tenant).0.inc();
+    }
+
+    /// Records a rejection attributed to `tenant`.
+    pub fn record_tenant_reject(&self, tenant: &str) {
+        lock_or_recover(&self.inner)
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert((0, 0))
+            .1 += 1;
+        self.tenant_handles(tenant).1.inc();
+    }
+
+    /// Records a model version becoming resident (`bytes` compact
+    /// weight bytes).
+    pub fn record_load(&self, bytes: u64) {
+        {
+            let mut g = lock_or_recover(&self.inner);
+            g.loaded_models += 1;
+            g.resident_bytes += bytes;
+        }
+        self.metrics.loaded_models.add(1);
+        self.metrics
+            .resident_bytes
+            .add(bytes.min(i64::MAX as u64) as i64);
+    }
+
+    fn record_resident_drop(&self, bytes: u64) {
+        {
+            let mut g = lock_or_recover(&self.inner);
+            g.loaded_models = g.loaded_models.saturating_sub(1);
+            g.resident_bytes = g.resident_bytes.saturating_sub(bytes);
+        }
+        self.metrics.loaded_models.sub(1);
+        self.metrics
+            .resident_bytes
+            .sub(bytes.min(i64::MAX as u64) as i64);
+    }
+
+    /// Records an explicit unload of a resident version.
+    pub fn record_unload(&self, bytes: u64) {
+        self.record_resident_drop(bytes);
+    }
+
+    /// Records a version evicted (and drained) by the memory budget.
+    pub fn record_eviction(&self, bytes: u64) {
+        lock_or_recover(&self.inner).evictions += 1;
+        self.metrics.evictions.inc();
+        self.record_resident_drop(bytes);
+    }
+
+    /// Records one canary shadow comparison that diverged from the
+    /// primary for `model`.
+    pub fn record_canary_divergence(&self, model: &str) {
+        lock_or_recover(&self.inner).canary_divergences += 1;
+        let counter = {
+            let mut g = lock_or_recover(&self.canary_metrics);
+            g.entry(model.to_string())
+                .or_insert_with(|| {
+                    self.recorder.counter(
+                        "serve_canary_divergences_total",
+                        "Canary outputs that diverged from the primary, by model",
+                        label("model", model),
+                    )
+                })
+                .clone()
+        };
+        counter.inc();
+    }
+
+    /// Records a canary crossing its divergence threshold and being
+    /// demoted.
+    pub fn record_canary_demotion(&self) {
+        lock_or_recover(&self.inner).canary_demotions += 1;
+        self.metrics.canary_demotions.inc();
+    }
+
     /// Folds the counters into an immutable snapshot at the current
     /// clock reading.
     pub fn snapshot(&self) -> ServeSnapshot {
@@ -428,6 +572,16 @@ impl ServeStats {
                 g.total_energy_pj / g.hw_completed as f64
             },
             worker_busy_cycles: g.worker_busy_cycles.clone(),
+            loaded_models: g.loaded_models,
+            resident_bytes: g.resident_bytes,
+            evictions: g.evictions,
+            canary_divergences: g.canary_divergences,
+            canary_demotions: g.canary_demotions,
+            tenants: g
+                .tenants
+                .iter()
+                .map(|(t, (s, r))| (t.clone(), *s, *r))
+                .collect(),
         }
     }
 }
@@ -477,6 +631,18 @@ pub struct ServeSnapshot {
     pub energy_pj_per_req: f64,
     /// Simulated busy cycles per worker (one accelerator each).
     pub worker_busy_cycles: Vec<u64>,
+    /// Model versions currently resident.
+    pub loaded_models: u64,
+    /// Compact weight bytes held by resident versions.
+    pub resident_bytes: u64,
+    /// Versions evicted (and drained) by the memory budget.
+    pub evictions: u64,
+    /// Canary shadow comparisons that diverged from the primary.
+    pub canary_divergences: u64,
+    /// Canaries auto-demoted by crossing their divergence threshold.
+    pub canary_demotions: u64,
+    /// `(tenant, submitted, rejected)` triples in tenant order.
+    pub tenants: Vec<(String, u64, u64)>,
 }
 
 impl ServeSnapshot {
@@ -646,9 +812,9 @@ mod tests {
 
     #[test]
     fn recorder_sees_every_event_the_snapshot_sees() {
-        let registry = Registry::new();
+        let registry = Arc::new(Registry::new());
         let clock = Arc::new(ManualClock::new(0));
-        let stats = ServeStats::with_recorder(clock, 2, &registry, 8);
+        let stats = ServeStats::with_recorder(clock, 2, registry.clone(), 8);
         stats.record_submit();
         stats.record_submit();
         stats.record_reject();
@@ -699,9 +865,9 @@ mod tests {
         // exact sample percentiles (snapshot) and the bucketed
         // histogram quantiles share `rank_for_quantile`, so they must
         // agree to the microsecond.
-        let registry = Registry::new();
+        let registry = Arc::new(Registry::new());
         let clock = Arc::new(ManualClock::new(0));
-        let stats = ServeStats::with_recorder(clock, 1, &registry, 8);
+        let stats = ServeStats::with_recorder(clock, 1, registry.clone(), 8);
         let latencies = [10u64, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000];
         for l in latencies {
             stats.record_done(0, l, 1, 0.0);
@@ -717,9 +883,61 @@ mod tests {
     }
 
     #[test]
+    fn tenant_and_lifecycle_events_reach_snapshot_and_recorder() {
+        let registry = Arc::new(Registry::new());
+        let stats =
+            ServeStats::with_recorder(Arc::new(ManualClock::new(0)), 1, registry.clone(), 8);
+        stats.record_tenant_submit("acme");
+        stats.record_tenant_submit("acme");
+        stats.record_tenant_submit("beta");
+        stats.record_tenant_reject("beta");
+        stats.record_load(1_000);
+        stats.record_load(500);
+        stats.record_eviction(500);
+        stats.record_unload(250);
+        stats.record_canary_divergence("mlp");
+        stats.record_canary_divergence("mlp");
+        stats.record_canary_demotion();
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.tenants,
+            vec![("acme".to_string(), 2, 0), ("beta".to_string(), 1, 1)]
+        );
+        assert_eq!(snap.loaded_models, 0);
+        // 1000 + 500 loaded, 500 evicted, 250 unloaded.
+        assert_eq!(snap.resident_bytes, 750);
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.canary_divergences, 2);
+        assert_eq!(snap.canary_demotions, 1);
+
+        let acme = registry
+            .find_counter("serve_tenant_requests_total", &[("tenant", "acme")])
+            .unwrap();
+        assert_eq!(acme.get(), 2);
+        let beta_rej = registry
+            .find_counter("serve_tenant_rejected_total", &[("tenant", "beta")])
+            .unwrap();
+        assert_eq!(beta_rej.get(), 1);
+        let div = registry
+            .find_counter("serve_canary_divergences_total", &[("model", "mlp")])
+            .unwrap();
+        assert_eq!(div.get(), 2);
+        let resident = registry.find_gauge("serve_resident_bytes", &[]).unwrap();
+        assert_eq!(resident.get(), 750);
+        assert_eq!(
+            registry
+                .find_counter("serve_model_evictions_total", &[])
+                .unwrap()
+                .get(),
+            1
+        );
+    }
+
+    #[test]
     fn hw_breakdown_and_worker_lane_accounting_reach_the_recorder() {
-        let registry = Registry::new();
-        let stats = ServeStats::with_recorder(Arc::new(ManualClock::new(0)), 1, &registry, 8);
+        let registry = Arc::new(Registry::new());
+        let stats =
+            ServeStats::with_recorder(Arc::new(ManualClock::new(0)), 1, registry.clone(), 8);
         let sim = SimStats {
             cycles: 100,
             compute_busy_cycles: 80,

@@ -129,7 +129,7 @@ fn full_queue_rejects_with_overloaded() {
     for rid in 0..32 {
         match server.submit(InferRequest::new("mlp", deterministic_input(n_in, rid))) {
             Ok(t) => tickets.push(t),
-            Err(ServeError::Overloaded { capacity }) => {
+            Err(ServeError::Overloaded { capacity, .. }) => {
                 assert_eq!(capacity, 2);
                 rejected += 1;
             }
